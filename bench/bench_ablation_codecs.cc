@@ -1,0 +1,71 @@
+// Ablation: posting-list compression codecs (the Zobel/Moffat/Sacks-Davis
+// axis the paper treats as a black box through BlockPosting). Measures
+// bytes per posting on realistic long lists drawn from the calibrated
+// corpus, which directly sets the achievable BlockPosting value.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/codec_family.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+
+  // Build real doc-frequency lists from a slice of the corpus.
+  text::CorpusOptions corpus = bench::BenchCorpus();
+  corpus.num_updates = std::min<uint32_t>(corpus.num_updates, 16);
+  text::CorpusGenerator generator(corpus);
+  std::map<uint64_t, std::vector<DocId>> lists;
+  DocId doc = 0;
+  for (uint32_t u = 0; u < corpus.num_updates; ++u) {
+    for (const text::SyntheticDoc& d : generator.GenerateUpdate(u)) {
+      for (const uint64_t key : d) lists[key].push_back(doc);
+      ++doc;
+    }
+  }
+  std::cerr << "[bench] built " << lists.size() << " lists over " << doc
+            << " docs\n";
+
+  // Group lists by length decade and measure bytes/posting per codec.
+  struct Bucket {
+    uint64_t lists = 0;
+    uint64_t postings = 0;
+    uint64_t bytes[3] = {0, 0, 0};
+  };
+  std::map<int, Bucket> decades;
+  const core::CodecKind kinds[3] = {core::CodecKind::kVByte,
+                                    core::CodecKind::kEliasGamma,
+                                    core::CodecKind::kEliasDelta};
+  for (const auto& [key, docs] : lists) {
+    int decade = 0;
+    for (size_t n = docs.size(); n >= 10; n /= 10) ++decade;
+    Bucket& b = decades[decade];
+    ++b.lists;
+    b.postings += docs.size();
+    for (int c = 0; c < 3; ++c) {
+      b.bytes[c] += core::EncodedSize(kinds[c], docs, 0);
+    }
+  }
+
+  TableWriter table({"list length", "lists", "vbyte B/posting",
+                     "elias-gamma B/posting", "elias-delta B/posting"});
+  for (const auto& [decade, b] : decades) {
+    std::string label = "10^" + std::to_string(decade) + "..";
+    table.Row().Cell(label).Cell(b.lists);
+    for (int c = 0; c < 3; ++c) {
+      table.Cell(static_cast<double>(b.bytes[c]) /
+                     static_cast<double>(b.postings),
+                 3);
+    }
+  }
+  table.PrintAscii(std::cout,
+                   "Ablation: compression codec bytes per posting by list "
+                   "length");
+  std::cout << "\nLong (dense) lists compress far below 1 byte/posting "
+               "with bitwise codes;\nshort lists stay near vbyte. With "
+               "4 KiB blocks, ~1 B/posting supports the\ncalibrated "
+               "BlockPosting where 8 B raw postings would not.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef DUPLEX_BENCH_BENCH_COMMON_H_
+#define DUPLEX_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/pipeline.h"
+#include "text/corpus_generator.h"
+#include "util/stopwatch.h"
+
+namespace duplex::bench {
+
+// Scale knobs: DUPLEX_BENCH_UPDATES / DUPLEX_BENCH_DOCS shrink the corpus
+// for quick iteration; defaults reproduce the calibrated full-scale
+// experiment (66 daily updates, ~11M postings, see DESIGN.md).
+inline uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
+}
+
+inline text::CorpusOptions BenchCorpus() {
+  text::CorpusOptions corpus;
+  corpus.num_updates =
+      static_cast<uint32_t>(EnvOr("DUPLEX_BENCH_UPDATES", 66));
+  corpus.docs_per_update =
+      static_cast<uint32_t>(EnvOr("DUPLEX_BENCH_DOCS", 2000));
+  if (corpus.interrupted_update >=
+      static_cast<int32_t>(corpus.num_updates)) {
+    corpus.interrupted_update = -1;
+  }
+  return corpus;
+}
+
+inline sim::SimConfig BenchConfig() { return sim::SimConfig{}; }
+
+// Generates the batch stream once per process, reporting progress.
+inline const sim::BatchStream& SharedStream() {
+  static const sim::BatchStream* stream = [] {
+    Stopwatch watch;
+    std::cerr << "[bench] generating corpus ("
+              << BenchCorpus().num_updates << " updates x "
+              << BenchCorpus().docs_per_update << " docs)...\n";
+    auto* s = new sim::BatchStream(sim::GenerateBatches(BenchCorpus()));
+    std::cerr << "[bench] corpus ready: " << s->stats.total_postings
+              << " postings, " << s->stats.total_words << " words ("
+              << watch.ElapsedSeconds() << "s)\n";
+    return s;
+  }();
+  return *stream;
+}
+
+// The five policy curves of paper Figures 8/9/10/13/14.
+inline std::vector<std::pair<std::string, core::Policy>> FigurePolicies() {
+  return {
+      {"new 0", core::Policy::New0()},
+      {"new z", core::Policy::NewZ()},
+      {"fill 0", core::Policy::Fill0(4)},
+      {"fill z", core::Policy::FillZ(4)},
+      {"whole 0", core::Policy::Whole0()},
+      {"whole z", core::Policy::WholeZ()},
+  };
+}
+
+inline sim::PolicyRunResult Run(const core::Policy& policy) {
+  Stopwatch watch;
+  sim::PolicyRunResult run =
+      sim::RunPolicy(BenchConfig(), SharedStream().batches, policy);
+  std::cerr << "[bench] ran policy '" << policy.Name() << "' in "
+            << watch.ElapsedSeconds() << "s\n";
+  return run;
+}
+
+}  // namespace duplex::bench
+
+#endif  // DUPLEX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Reproduces the technical-note extensions the paper summarizes in its
+// conclusion: the impact of (a) the number of disks, (b) disk speed, and
+// (c) an optical disk on incremental update time. Each disk count is a
+// separate full run (allocation spreads differently), while disk models
+// replay the same trace.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+  using core::Policy;
+
+  // (a) Number of disks.
+  TableWriter disks_table({"disks", "new z build (s)", "whole z build (s)"});
+  for (const uint32_t n : {1u, 2u, 4u, 8u}) {
+    sim::SimConfig config = bench::BenchConfig();
+    config.num_disks = n;
+    const sim::PolicyRunResult rn =
+        sim::RunPolicy(config, bench::SharedStream().batches,
+                       Policy::NewZ());
+    const sim::PolicyRunResult rw =
+        sim::RunPolicy(config, bench::SharedStream().batches,
+                       Policy::WholeZ());
+    disks_table.Row()
+        .Cell(static_cast<uint64_t>(n))
+        .Cell(sim::ExerciseDisks(config, rn.trace).total_seconds(), 1)
+        .Cell(sim::ExerciseDisks(config, rw.trace).total_seconds(), 1);
+    std::cerr << "[bench] disks=" << n << " done\n";
+  }
+  disks_table.PrintAscii(std::cout,
+                         "Extension: build time vs number of disks");
+
+  // (b, c) Disk speed and optical media on the 4-disk trace.
+  const sim::PolicyRunResult run = bench::Run(Policy::NewZ());
+  TableWriter model_table({"disk model", "build (s)"});
+  const std::vector<std::pair<const char*, storage::DiskModelParams>>
+      models = {{"Seagate ST31200N (1993)",
+                 storage::DiskModelParams::Seagate1993()},
+                {"fast magnetic disk", storage::DiskModelParams::FastDisk()},
+                {"optical disk", storage::DiskModelParams::OpticalDisk()}};
+  for (const auto& [label, model] : models) {
+    model_table.Row().Cell(label).Cell(
+        sim::ExerciseDisks(bench::BenchConfig(), run.trace, model)
+            .total_seconds(),
+        1);
+  }
+  std::cout << "\n";
+  model_table.PrintAscii(std::cout,
+                         "Extension: build time vs disk model (new z)");
+  return 0;
+}

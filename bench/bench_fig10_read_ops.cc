@@ -1,0 +1,36 @@
+// Reproduces paper Figure 10: the average number of read operations
+// required to read a word's long list (query performance for the vector
+// IRM). Expected: whole = 1.0 always; fill z and new z a small constant;
+// new 0 / fill 0 grow with every update (one chunk per append).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+  std::vector<std::string> columns = {"update"};
+  std::vector<sim::PolicyRunResult> runs;
+  for (const auto& [label, policy] : bench::FigurePolicies()) {
+    columns.push_back(label);
+    runs.push_back(bench::Run(policy));
+  }
+
+  TableWriter table(columns);
+  const size_t updates = runs[0].avg_reads_per_list.size();
+  for (size_t u = 0; u < updates; ++u) {
+    table.Row().Cell(static_cast<uint64_t>(u));
+    for (const auto& run : runs) table.Cell(run.avg_reads_per_list[u], 3);
+  }
+  table.PrintAscii(
+      std::cout,
+      "Figure 10: average read operations to read a long list");
+
+  std::cout << "\nFinal-index ratios vs whole (paper: fill z ~2.5x, "
+               "new z ~4x):\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::cout << "  " << columns[i + 1] << ": "
+              << runs[i].avg_reads_per_list.back() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces paper Figure 14: the (simulated) time of each individual
+// batch update, per policy. Expected: times grow as the index accumulates
+// long lists; new 0 grows only slightly (coalesced sequential writes);
+// whole z is the policy most sensitive to update-size variation (weekly
+// dips).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+  std::vector<std::string> columns = {"update"};
+  std::vector<storage::ExecutionResult> execs;
+  for (const auto& [label, policy] : bench::FigurePolicies()) {
+    columns.push_back(label);
+    const sim::PolicyRunResult run = bench::Run(policy);
+    execs.push_back(sim::ExerciseDisks(bench::BenchConfig(), run.trace));
+  }
+
+  TableWriter table(columns);
+  const size_t updates = execs[0].update_seconds.size();
+  for (size_t u = 0; u < updates; ++u) {
+    table.Row().Cell(static_cast<uint64_t>(u));
+    for (const auto& e : execs) table.Cell(e.update_seconds[u], 2);
+  }
+  table.PrintAscii(std::cout,
+                   "Figure 14: simulated time per update (seconds)");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces paper Figure 7: the fraction of words per update that are
+// new (previously unseen), bucket words, or long words. Expected shape:
+// new words start at 1.0 and stabilize around 0.2; bucket words rise while
+// the buckets fill (~first dozen updates) then decline as promotions
+// accumulate; long words rise roughly linearly after the buckets fill,
+// with weekly peaks on small (Saturday) updates.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+  const sim::PolicyRunResult run = bench::Run(core::Policy::NewZ());
+
+  TableWriter table({"update", "new", "bucket", "long"});
+  for (size_t u = 0; u < run.categories.size(); ++u) {
+    const core::UpdateCategories& c = run.categories[u];
+    const double total = static_cast<double>(c.total());
+    table.Row()
+        .Cell(static_cast<uint64_t>(u))
+        .Cell(total == 0 ? 0.0 : c.new_words / total, 4)
+        .Cell(total == 0 ? 0.0 : c.bucket_words / total, 4)
+        .Cell(total == 0 ? 0.0 : c.long_words / total, 4);
+  }
+  table.PrintAscii(std::cout,
+                   "Figure 7: fraction of words per update per category");
+  return 0;
+}

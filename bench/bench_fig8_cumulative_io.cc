@@ -1,0 +1,37 @@
+// Reproduces paper Figure 8: cumulative I/O operations to build the index
+// incrementally, per policy. Expected: all curves have increasing slope;
+// in-place updates (Limit=z) roughly double the operations of new/fill;
+// whole is the upper bound, with whole 0 == whole z.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+  std::vector<std::string> columns = {"update"};
+  std::vector<sim::PolicyRunResult> runs;
+  for (const auto& [label, policy] : bench::FigurePolicies()) {
+    columns.push_back(label);
+    runs.push_back(bench::Run(policy));
+  }
+
+  TableWriter table(columns);
+  const size_t updates = runs[0].cumulative_io_ops.size();
+  for (size_t u = 0; u < updates; ++u) {
+    table.Row().Cell(static_cast<uint64_t>(u));
+    for (const auto& run : runs) table.Cell(run.cumulative_io_ops[u]);
+  }
+  table.PrintAscii(std::cout,
+                   "Figure 8: cumulative I/O operations per policy");
+
+  std::cout << "\nFinal index totals:\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::cout << "  " << columns[i + 1] << ": "
+              << runs[i].final_stats.io_ops << " ops ("
+              << runs[i].trace.CountOps(storage::IoOp::kRead) << " reads, "
+              << runs[i].trace.CountOps(storage::IoOp::kWrite)
+              << " writes)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) of the core data-structure hot
+// paths: bucket insertion, bucket eviction scans, posting codec, free-list
+// allocation, and Zipf sampling.
+#include <benchmark/benchmark.h>
+
+#include "core/bucket_store.h"
+#include "core/posting_codec.h"
+#include "storage/free_space.h"
+#include "util/random.h"
+
+namespace duplex {
+namespace {
+
+void BM_BucketInsert(benchmark::State& state) {
+  core::BucketStoreOptions options;
+  options.num_buckets = static_cast<uint32_t>(state.range(0));
+  options.bucket_capacity = 512;
+  core::BucketStore store(options);
+  Rng rng(1);
+  WordId w = 0;
+  for (auto _ : state) {
+    auto evicted =
+        store.Insert(w++ % 100000,
+                     core::PostingList::Counted(1 + rng.Uniform(4)));
+    benchmark::DoNotOptimize(evicted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BucketInsert)->Arg(256)->Arg(4096);
+
+void BM_CodecEncode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<DocId> docs;
+  DocId d = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    d += 1 + static_cast<DocId>(rng.Uniform(100));
+    docs.push_back(d);
+  }
+  for (auto _ : state) {
+    std::string bytes = core::EncodePostingBlock(docs, 0);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CodecEncode)->Arg(128)->Arg(4096);
+
+void BM_CodecDecode(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<DocId> docs;
+  DocId d = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    d += 1 + static_cast<DocId>(rng.Uniform(100));
+    docs.push_back(d);
+  }
+  const std::string bytes = core::EncodePostingBlock(docs, 0);
+  for (auto _ : state) {
+    auto decoded = core::DecodePostingBlock(bytes, docs.size(), 0);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CodecDecode)->Arg(128)->Arg(4096);
+
+void BM_FreeListAllocFree(benchmark::State& state) {
+  const auto strategy =
+      static_cast<storage::FreeSpaceStrategy>(state.range(0));
+  auto map = storage::MakeFreeSpaceMap(strategy, 1 << 20);
+  Rng rng(4);
+  std::vector<std::pair<storage::BlockId, uint64_t>> live;
+  for (auto _ : state) {
+    if (live.size() < 512 || rng.Bernoulli(0.55)) {
+      const uint64_t len = 1 + rng.Uniform(16);
+      auto r = map->Allocate(len);
+      if (r.ok()) live.emplace_back(*r, len);
+    } else {
+      const size_t pick = rng.Uniform(live.size());
+      (void)map->Free(live[pick].first, live[pick].second);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreeListAllocFree)
+    ->Arg(static_cast<int>(storage::FreeSpaceStrategy::kFirstFit))
+    ->Arg(static_cast<int>(storage::FreeSpaceStrategy::kBestFit))
+    ->Arg(static_cast<int>(storage::FreeSpaceStrategy::kBuddy));
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(5);
+  ZipfDistribution zipf(static_cast<uint64_t>(state.range(0)), 1.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(100000)->Arg(2000000);
+
+}  // namespace
+}  // namespace duplex
+
+BENCHMARK_MAIN();

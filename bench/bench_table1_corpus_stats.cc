@@ -1,0 +1,43 @@
+// Reproduces paper Table 1: statistics of the News abstracts text
+// database. Our corpus is the calibrated synthetic NetNews stream (see
+// DESIGN.md); "frequent" words are the top 2% by posting count.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+  const sim::CorpusStats& s = bench::SharedStream().stats;
+
+  TableWriter table({"Statistic", "Value"});
+  table.Row().Cell("Total Raw Text (MB)").Cell(
+      static_cast<double>(s.raw_text_bytes) / 1e6, 1);
+  table.Row().Cell("Total Words").Cell(s.total_words);
+  table.Row().Cell("Total Postings").Cell(s.total_postings);
+  table.Row().Cell("Documents").Cell(s.total_docs);
+  table.Row().Cell("Average Postings per Word")
+      .Cell(s.avg_postings_per_word, 1);
+  table.Row().Cell("Frequent Words (top 2%)").Cell(s.frequent_words);
+  table.Row().Cell("Infrequent Words").Cell(s.infrequent_words);
+  table.Row()
+      .Cell("Postings for Frequent Words (%)")
+      .Cell(100.0 * s.frequent_posting_share, 1);
+  table.Row()
+      .Cell("Postings for Infrequent Words (%)")
+      .Cell(100.0 * (1.0 - s.frequent_posting_share), 1);
+  table.PrintAscii(std::cout,
+                   "Table 1: Statistics for the synthetic News database");
+
+  TableWriter per_update({"update", "docs", "postings", "distinct_words"});
+  for (size_t u = 0; u < s.docs_per_update.size(); ++u) {
+    per_update.Row()
+        .Cell(static_cast<uint64_t>(u))
+        .Cell(s.docs_per_update[u])
+        .Cell(s.postings_per_update[u])
+        .Cell(s.distinct_words_per_update[u]);
+  }
+  std::cout << "\n";
+  per_update.PrintAscii(std::cout, "Per-update corpus profile");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Table 6: allocation strategies for the whole style.
+// Reads per long list are always 1.0 for this style, so the table reports
+// utilization, in-place updates, and the in-place fraction. Expected: the
+// proportional strategy is the only one achieving >= ~50% on both
+// utilization and in-place fraction simultaneously.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace duplex;
+  using core::AllocStrategy;
+  using core::Policy;
+
+  struct Row {
+    const char* alloc;
+    double k;
+    Policy policy;
+  };
+  const std::vector<Row> rows = {
+      {"constant", 0, Policy::WholeZ(AllocStrategy::kConstant, 0)},
+      {"constant", 500, Policy::WholeZ(AllocStrategy::kConstant, 500)},
+      {"constant", 1000, Policy::WholeZ(AllocStrategy::kConstant, 1000)},
+      {"block", 2, Policy::WholeZ(AllocStrategy::kBlock, 2)},
+      {"block", 4, Policy::WholeZ(AllocStrategy::kBlock, 4)},
+      {"block", 8, Policy::WholeZ(AllocStrategy::kBlock, 8)},
+      {"proportional", 1.1,
+       Policy::WholeZ(AllocStrategy::kProportional, 1.1)},
+      {"proportional", 1.25,
+       Policy::WholeZ(AllocStrategy::kProportional, 1.25)},
+      {"proportional", 1.5,
+       Policy::WholeZ(AllocStrategy::kProportional, 1.5)},
+  };
+
+  TableWriter table({"Allocation", "k", "Util", "In-place", "Frac"});
+  for (const Row& row : rows) {
+    const sim::PolicyRunResult run = bench::Run(row.policy);
+    const double possible =
+        static_cast<double>(run.counters.appends_to_existing);
+    table.Row()
+        .Cell(row.alloc)
+        .Cell(row.k, row.alloc == std::string("proportional") ? 2 : 0)
+        .Cell(run.final_stats.long_utilization, 2)
+        .Cell(run.counters.in_place_updates)
+        .Cell(possible == 0
+                  ? 0.0
+                  : run.counters.in_place_updates / possible,
+              2);
+  }
+  table.PrintAscii(std::cout,
+                   "Table 6: allocation strategies, whole style (final "
+                   "index)");
+  return 0;
+}

@@ -1,0 +1,183 @@
+// duplexctl — command-line front end for the duplex index: build an index
+// from text files, persist it as a snapshot, and query it later.
+//
+//   duplexctl build <prefix> <file-or-dir>...   index documents, snapshot
+//   duplexctl query <prefix> "<boolean query>"  query a snapshot
+//   duplexctl stats <prefix>                    snapshot statistics
+//   duplexctl demo                              self-contained demo (default)
+//
+// Each regular file becomes one document.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/snapshot.h"
+#include "ir/query_eval.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace duplex;
+
+core::IndexOptions DefaultOptions() {
+  core::IndexOptions options;
+  options.buckets.num_buckets = 1024;
+  options.buckets.bucket_capacity = 512;
+  options.policy = core::Policy::RecommendedUpdateOptimized();
+  options.block_postings = 128;
+  options.disks.num_disks = 2;
+  options.disks.blocks_per_disk = 1 << 20;
+  options.materialize = true;
+  options.bucket_grow_threshold = 0.85;
+  return options;
+}
+
+int Build(const std::string& prefix,
+          const std::vector<std::string>& inputs) {
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.emplace_back(input);
+    } else {
+      std::cerr << "skipping " << input << " (not a file or directory)\n";
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "no input files\n";
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+
+  core::InvertedIndex index(DefaultOptions());
+  size_t indexed = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot read " << file << ", skipping\n";
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const DocId doc = index.AddDocument(text.str());
+    std::cout << "doc " << doc << " <- " << file.string() << "\n";
+    ++indexed;
+    // Batch every 64 documents, like the paper batches daily updates.
+    if (index.buffered_documents() >= 64) {
+      if (Status s = index.FlushDocuments(); !s.ok()) {
+        std::cerr << "flush failed: " << s << "\n";
+        return 1;
+      }
+    }
+  }
+  if (Status s = index.FlushDocuments(); !s.ok()) {
+    std::cerr << "flush failed: " << s << "\n";
+    return 1;
+  }
+  if (Status s = core::Snapshot::Write(index, prefix); !s.ok()) {
+    std::cerr << "snapshot failed: " << s << "\n";
+    return 1;
+  }
+  const core::IndexStats stats = index.Stats();
+  std::cout << "indexed " << indexed << " documents, "
+            << stats.total_postings << " postings ("
+            << stats.bucket_words << " bucket words, " << stats.long_words
+            << " long words) -> " << prefix << ".postings/.dict\n";
+  return 0;
+}
+
+duplex::Result<std::unique_ptr<core::InvertedIndex>> LoadIndex(
+    const std::string& prefix) {
+  auto index = std::make_unique<core::InvertedIndex>(DefaultOptions());
+  DUPLEX_RETURN_IF_ERROR(core::Snapshot::Load(prefix, index.get()));
+  return index;
+}
+
+int Query(const std::string& prefix, const std::string& query) {
+  Result<std::unique_ptr<core::InvertedIndex>> index = LoadIndex(prefix);
+  if (!index.ok()) {
+    std::cerr << "cannot load snapshot: " << index.status() << "\n";
+    return 1;
+  }
+  Result<ir::QueryResult> result = ir::EvaluateBoolean(**index, query);
+  if (!result.ok()) {
+    std::cerr << "query error: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << result->docs.size() << " matching documents ("
+            << result->read_ops << " list reads):";
+  for (const DocId d : result->docs) std::cout << " " << d;
+  std::cout << "\n";
+  return 0;
+}
+
+int Stats(const std::string& prefix) {
+  Result<std::unique_ptr<core::SnapshotReader>> reader =
+      core::SnapshotReader::Open(prefix);
+  if (!reader.ok()) {
+    std::cerr << "cannot open snapshot: " << reader.status() << "\n";
+    return 1;
+  }
+  std::cout << "snapshot " << prefix << ": " << (*reader)->word_count()
+            << " words, "
+            << ((*reader)->materialized() ? "materialized"
+                                          : "count-only")
+            << "\n";
+  Result<std::unique_ptr<core::InvertedIndex>> index = LoadIndex(prefix);
+  if (index.ok()) {
+    const core::IndexStats s = (*index)->Stats();
+    std::cout << "  postings " << s.total_postings << ", bucket words "
+              << s.bucket_words << ", long words " << s.long_words
+              << ", long-list utilization " << s.long_utilization << "\n";
+  }
+  return 0;
+}
+
+int Demo() {
+  const std::string dir = fs::temp_directory_path() / "duplexctl_demo";
+  fs::create_directories(dir);
+  const std::vector<std::pair<std::string, std::string>> docs = {
+      {"a.txt", "the quick brown fox jumps over the lazy dog"},
+      {"b.txt", "inverted lists map words to documents"},
+      {"c.txt", "the dog reads the inverted index"},
+  };
+  for (const auto& [name, text] : docs) {
+    std::ofstream(dir + "/" + name) << text;
+  }
+  // Keep the snapshot outside the indexed directory so re-running the
+  // demo does not index the snapshot files themselves.
+  const std::string prefix = dir + "_snapshot";
+  std::cout << "== demo: build ==\n";
+  if (int rc = Build(prefix, {dir}); rc != 0) return rc;
+  std::cout << "\n== demo: query 'dog AND NOT fox' ==\n";
+  if (int rc = Query(prefix, "dog AND NOT fox"); rc != 0) return rc;
+  std::cout << "\n== demo: stats ==\n";
+  return Stats(prefix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "demo") return Demo();
+  if (args[0] == "build" && args.size() >= 3) {
+    return Build(args[1], {args.begin() + 2, args.end()});
+  }
+  if (args[0] == "query" && args.size() == 3) {
+    return Query(args[1], args[2]);
+  }
+  if (args[0] == "stats" && args.size() == 2) return Stats(args[1]);
+  std::cerr << "usage: duplexctl build <prefix> <file-or-dir>...\n"
+               "       duplexctl query <prefix> \"<boolean query>\"\n"
+               "       duplexctl stats <prefix>\n"
+               "       duplexctl demo\n";
+  return 2;
+}

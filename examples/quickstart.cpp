@@ -1,0 +1,96 @@
+// Quickstart: build a small dual-structure inverted index over raw text
+// documents, query it (boolean and vector-space), and delete a document.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/inverted_index.h"
+#include "ir/query_eval.h"
+#include "ir/vector_query.h"
+
+int main() {
+  using namespace duplex;
+
+  // 1. Configure the index. `materialize = true` stores real posting
+  //    payloads so queries work; the policy controls how long lists are
+  //    laid out on disk (here: the paper's recommended update-optimized
+  //    policy, new style + proportional reservation 1.2).
+  core::IndexOptions options;
+  options.buckets.num_buckets = 64;
+  options.buckets.bucket_capacity = 256;
+  options.policy = core::Policy::RecommendedUpdateOptimized();
+  options.block_postings = 64;
+  options.disks.num_disks = 2;
+  options.disks.blocks_per_disk = 1 << 16;
+  options.materialize = true;
+  core::InvertedIndex index(options);
+
+  // 2. Add documents. Documents buffer in memory; FlushDocuments() pushes
+  //    one batch into the on-disk structures (the paper's batch update).
+  index.AddDocument("the quick brown fox jumps over the lazy dog");
+  index.AddDocument("a quick survey of text document retrieval");
+  index.AddDocument("inverted lists map each word to its documents");
+  index.AddDocument("the dog chased the cat around the document archive");
+  if (Status s = index.FlushDocuments(); !s.ok()) {
+    std::cerr << "flush failed: " << s << "\n";
+    return 1;
+  }
+
+  // A second batch arrives later — this is an *incremental* update, no
+  // index rebuild happens.
+  index.AddDocument("quick cats write quick documents");
+  index.AddDocument("the fox reads inverted lists");
+  if (Status s = index.FlushDocuments(); !s.ok()) {
+    std::cerr << "flush failed: " << s << "\n";
+    return 1;
+  }
+
+  // 3. Boolean queries, e.g. the paper's "(cat and dog) or mouse" form.
+  for (const char* q : {"quick AND dog", "(fox OR cat) AND NOT lazy",
+                        "inverted lists"}) {
+    Result<ir::QueryResult> r = ir::EvaluateBoolean(index, q);
+    if (!r.ok()) {
+      std::cerr << "query failed: " << r.status() << "\n";
+      return 1;
+    }
+    std::cout << "query " << q << " -> docs [";
+    for (size_t i = 0; i < r->docs.size(); ++i) {
+      std::cout << (i ? ", " : "") << r->docs[i];
+    }
+    std::cout << "]  (" << r->read_ops << " list reads)\n";
+  }
+
+  // 4. Vector-space query: weighted terms, top-k scored documents.
+  ir::VectorQuery vq;
+  vq.terms = {{"quick", 2.0}, {"document", 1.0}, {"fox", 1.0}};
+  Result<ir::VectorQueryResult> vr =
+      ir::EvaluateVector(index, vq, 3, index.next_doc_id());
+  if (!vr.ok()) {
+    std::cerr << "vector query failed: " << vr.status() << "\n";
+    return 1;
+  }
+  std::cout << "vector query top docs:";
+  for (const ir::ScoredDoc& d : vr->top) {
+    std::cout << " doc" << d.doc << "(score " << d.score << ")";
+  }
+  std::cout << "\n";
+
+  // 5. Delete a document: immediate filtering, then a background sweep
+  //    reclaims the space.
+  index.DeleteDocument(0);
+  Result<ir::QueryResult> after = ir::EvaluateBoolean(index, "lazy");
+  std::cout << "after deleting doc 0, 'lazy' matches " << after->docs.size()
+            << " docs\n";
+  if (Status s = index.SweepDeletions(); !s.ok()) {
+    std::cerr << "sweep failed: " << s << "\n";
+    return 1;
+  }
+
+  // 6. Index statistics.
+  const core::IndexStats stats = index.Stats();
+  std::cout << "index: " << stats.total_postings << " postings, "
+            << stats.bucket_words << " bucket words, " << stats.long_words
+            << " long words, utilization " << stats.long_utilization
+            << ", " << stats.io_ops << " I/O events recorded\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Walks the paper's Figure 3 experiment pipeline stage by stage, printing
+// a sample of each intermediate representation:
+//   news -> invert index -> batch updates (Figure 5 format)
+//        -> compute buckets + compute disks -> I/O trace (Figure 6 format)
+//        -> exercise disks -> per-update times.
+//
+//   $ ./trace_pipeline
+#include <iostream>
+#include <sstream>
+
+#include "core/inverted_index.h"
+#include "sim/pipeline.h"
+#include "text/corpus_generator.h"
+
+int main() {
+  using namespace duplex;
+
+  // Stage 1: News. A small synthetic stream (see DESIGN.md for why this
+  // substitutes faithfully for the 1993 NetNews collection).
+  text::CorpusOptions corpus;
+  corpus.num_updates = 6;
+  corpus.docs_per_update = 300;
+  corpus.interrupted_update = -1;
+  text::CorpusGenerator generator(corpus);
+  std::cout << "=== Stage 1: News ===\n";
+  const std::vector<text::SyntheticDoc> day0 = generator.GenerateUpdate(0);
+  std::cout << "day 0 has " << day0.size() << " documents; doc 0 renders "
+            << "as:\n  "
+            << text::CorpusGenerator::RenderDocumentText(day0[0]).substr(
+                   0, 72)
+            << "...\n\n";
+
+  // Stage 2: Invert Index -> batch updates (word-occurrence pairs).
+  text::KeyVocabulary vocabulary;
+  std::vector<text::BatchUpdate> batches;
+  for (uint32_t u = 0; u < corpus.num_updates; ++u) {
+    batches.push_back(text::CorpusGenerator::ToBatchUpdate(
+        generator.GenerateUpdate(u), &vocabulary));
+  }
+  std::cout << "=== Stage 2: batch update (paper Figure 5 format) ===\n";
+  {
+    std::ostringstream os;
+    batches[1].Print(os);
+    std::istringstream is(os.str());
+    std::string line;
+    for (int i = 0; i < 6 && std::getline(is, line); ++i) {
+      std::cout << "  " << line << "\n";
+    }
+    std::cout << "  ... (" << batches[1].pairs.size() << " pairs, "
+              << batches[1].TotalPostings() << " postings)\n\n";
+  }
+
+  // Stage 3+4: compute buckets + compute disks. The index performs both,
+  // emitting the I/O trace.
+  sim::SimConfig config;
+  config.num_buckets = 512;
+  config.bucket_capacity = 512;
+  core::InvertedIndex index(
+      config.ToIndexOptions(core::Policy::FillZ(4)));
+  for (const text::BatchUpdate& batch : batches) {
+    if (Status s = index.ApplyBatchUpdate(batch); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  std::cout << "=== Stage 3/4: I/O trace (paper Figure 6 format) ===\n";
+  {
+    std::istringstream is(index.trace().ToText());
+    std::string line;
+    for (int i = 0; i < 10 && std::getline(is, line); ++i) {
+      std::cout << "  " << line << "\n";
+    }
+    std::cout << "  ... (" << index.trace().event_count()
+              << " events over " << index.trace().update_count()
+              << " updates)\n\n";
+  }
+
+  // The trace round-trips through its text form — an implementation could
+  // pipe it between processes exactly like the paper's design.
+  Result<storage::IoTrace> reparsed =
+      storage::IoTrace::Parse(index.trace().ToText());
+  if (!reparsed.ok()) {
+    std::cerr << "trace round-trip failed: " << reparsed.status() << "\n";
+    return 1;
+  }
+
+  // Stage 5: exercise disks.
+  std::cout << "=== Stage 5: exercise disks ===\n";
+  const storage::ExecutionResult exec =
+      sim::ExerciseDisks(config, *reparsed);
+  for (size_t u = 0; u < exec.update_seconds.size(); ++u) {
+    std::cout << "  update " << u << ": " << exec.update_seconds[u]
+              << " s\n";
+  }
+  std::cout << "  total " << exec.total_seconds() << " s, "
+            << exec.trace_events << " events coalesced into "
+            << exec.issued_requests << " requests\n";
+  return 0;
+}

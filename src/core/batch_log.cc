@@ -1,0 +1,264 @@
+#include "core/batch_log.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "core/posting_codec.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace duplex::core {
+namespace {
+
+constexpr char kBatchRecord = 'B';
+constexpr char kAppliedRecord = 'A';
+constexpr uint64_t kFlagMaterialized = 1;
+
+std::string EncodeBatchPayload(uint64_t id, bool materialized,
+                               const text::BatchUpdate& counts,
+                               const text::InvertedBatch& docs) {
+  std::string payload;
+  PutVarint64(id, &payload);
+  PutVarint64(materialized ? kFlagMaterialized : 0, &payload);
+  if (materialized) {
+    PutVarint64(docs.entries.size(), &payload);
+    for (const auto& entry : docs.entries) {
+      PutVarint64(entry.word, &payload);
+      PutVarint64(entry.docs.size(), &payload);
+      EncodePostings(entry.docs, 0, &payload);
+    }
+  } else {
+    PutVarint64(counts.pairs.size(), &payload);
+    for (const auto& pair : counts.pairs) {
+      PutVarint64(pair.word, &payload);
+      PutVarint64(pair.count, &payload);
+    }
+  }
+  return payload;
+}
+
+Status DecodeBatchPayload(const std::string& payload,
+                          BatchLog::LoggedBatch* batch) {
+  size_t pos = 0;
+  Result<uint64_t> id = GetVarint64(payload, &pos);
+  if (!id.ok()) return id.status();
+  batch->id = *id;
+  Result<uint64_t> flags = GetVarint64(payload, &pos);
+  if (!flags.ok()) return flags.status();
+  batch->materialized = (*flags & kFlagMaterialized) != 0;
+  Result<uint64_t> entries = GetVarint64(payload, &pos);
+  if (!entries.ok()) return entries.status();
+  for (uint64_t i = 0; i < *entries; ++i) {
+    Result<uint64_t> word = GetVarint64(payload, &pos);
+    if (!word.ok()) return word.status();
+    Result<uint64_t> count = GetVarint64(payload, &pos);
+    if (!count.ok()) return count.status();
+    batch->counts.pairs.push_back(
+        {static_cast<WordId>(*word), static_cast<uint32_t>(*count)});
+    if (batch->materialized) {
+      std::vector<DocId> doc_ids;
+      doc_ids.reserve(*count);
+      DUPLEX_RETURN_IF_ERROR(
+          DecodePostings(payload, &pos, *count, 0, &doc_ids));
+      batch->docs.entries.push_back(
+          {static_cast<WordId>(*word), std::move(doc_ids)});
+    }
+  }
+  if (pos != payload.size()) {
+    return Status::Corruption("batch-log payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BatchLog>> BatchLog::Open(const std::string& path) {
+  std::unique_ptr<BatchLog> log(new BatchLog(path));
+  DUPLEX_RETURN_IF_ERROR(log->Scan());
+  log->file_ = std::fopen(path.c_str(), "ab");
+  if (log->file_ == nullptr) {
+    return Status::Internal("cannot open batch log " + path);
+  }
+  return log;
+}
+
+BatchLog::~BatchLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BatchLog::Scan() {
+  std::string contents;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      contents.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    }
+  }
+  size_t pos = 0;
+  size_t valid_end = 0;
+  while (pos < contents.size()) {
+    const size_t record_start = pos;
+    const char type = contents[pos++];
+    size_t len_pos = pos;
+    Result<uint64_t> len = GetVarint64(contents, &len_pos);
+    if (!len.ok()) break;  // torn tail
+    pos = len_pos;
+    if (pos + *len + 8 > contents.size()) break;  // torn tail
+    const std::string payload = contents.substr(pos, *len);
+    pos += *len;
+    uint64_t stored_checksum = 0;
+    std::memcpy(&stored_checksum, contents.data() + pos, 8);
+    pos += 8;
+    const uint64_t checksum =
+        Fnv1a64(payload.data(), payload.size(),
+                Fnv1a64(&type, 1));
+    if (checksum != stored_checksum) {
+      return Status::Corruption("batch log checksum mismatch at offset " +
+                                std::to_string(record_start));
+    }
+    if (type == kBatchRecord) {
+      LoggedBatch batch;
+      DUPLEX_RETURN_IF_ERROR(DecodeBatchPayload(payload, &batch));
+      if (batch.id != batches_.size()) {
+        return Status::Corruption("batch log ids out of sequence");
+      }
+      batches_.push_back(std::move(batch));
+      applied_.push_back(false);
+    } else if (type == kAppliedRecord) {
+      size_t id_pos = 0;
+      Result<uint64_t> id = GetVarint64(payload, &id_pos);
+      if (!id.ok()) return id.status();
+      if (*id >= applied_.size()) {
+        return Status::Corruption("applied record for unknown batch");
+      }
+      if (!applied_[*id]) {
+        applied_[*id] = true;
+        ++applied_count_;
+      }
+    } else {
+      return Status::Corruption("unknown batch-log record type");
+    }
+    valid_end = pos;
+  }
+  next_id_ = batches_.size();
+  if (valid_end < contents.size()) {
+    // Drop the torn tail so the next append starts at a record boundary.
+    if (::truncate(path_.c_str(),
+                   static_cast<off_t>(valid_end)) != 0) {
+      return Status::Internal("cannot truncate torn batch-log tail");
+    }
+  }
+  return Status::OK();
+}
+
+Status BatchLog::AppendRecord(char type, const std::string& payload) {
+  DUPLEX_CHECK(file_ != nullptr);
+  std::string record(1, type);
+  PutVarint64(payload.size(), &record);
+  record += payload;
+  const uint64_t checksum =
+      Fnv1a64(payload.data(), payload.size(), Fnv1a64(&type, 1));
+  record.append(reinterpret_cast<const char*>(&checksum), 8);
+  if (std::fwrite(record.data(), 1, record.size(), file_) !=
+      record.size()) {
+    return Status::Internal("batch log write failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("batch log flush failed");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> BatchLog::AppendBatchRecord(const std::string& payload,
+                                             LoggedBatch batch) {
+  DUPLEX_RETURN_IF_ERROR(AppendRecord(kBatchRecord, payload));
+  const uint64_t id = batch.id;
+  batches_.push_back(std::move(batch));
+  applied_.push_back(false);
+  ++next_id_;
+  return id;
+}
+
+Result<uint64_t> BatchLog::AppendBatch(const text::BatchUpdate& batch) {
+  LoggedBatch logged;
+  logged.id = next_id_;
+  logged.materialized = false;
+  logged.counts = batch;
+  return AppendBatchRecord(
+      EncodeBatchPayload(next_id_, false, batch, {}), std::move(logged));
+}
+
+Result<uint64_t> BatchLog::AppendBatch(const text::InvertedBatch& batch) {
+  LoggedBatch logged;
+  logged.id = next_id_;
+  logged.materialized = true;
+  logged.counts = batch.ToBatchUpdate();
+  logged.docs = batch;
+  return AppendBatchRecord(
+      EncodeBatchPayload(next_id_, true, logged.counts, batch),
+      std::move(logged));
+}
+
+Status BatchLog::MarkApplied(uint64_t batch_id) {
+  if (batch_id >= batches_.size()) {
+    return Status::InvalidArgument("unknown batch id");
+  }
+  if (applied_[batch_id]) return Status::OK();
+  std::string payload;
+  PutVarint64(batch_id, &payload);
+  DUPLEX_RETURN_IF_ERROR(AppendRecord(kAppliedRecord, payload));
+  applied_[batch_id] = true;
+  ++applied_count_;
+  return Status::OK();
+}
+
+std::vector<const BatchLog::LoggedBatch*> BatchLog::UnappliedBatches()
+    const {
+  std::vector<const LoggedBatch*> result;
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (!applied_[i]) result.push_back(&batches_[i]);
+  }
+  return result;
+}
+
+Status BatchLog::RecoverInto(InvertedIndex* index) {
+  DUPLEX_CHECK(index != nullptr);
+  for (const LoggedBatch* batch : UnappliedBatches()) {
+    if (index->options().materialize) {
+      if (!batch->materialized) {
+        return Status::FailedPrecondition(
+            "count-only batch cannot be replayed into a materialized "
+            "index");
+      }
+      DUPLEX_RETURN_IF_ERROR(index->ApplyInvertedBatch(batch->docs));
+    } else {
+      DUPLEX_RETURN_IF_ERROR(index->ApplyBatchUpdate(batch->counts));
+    }
+    DUPLEX_RETURN_IF_ERROR(MarkApplied(batch->id));
+  }
+  return Status::OK();
+}
+
+Status BatchLog::Truncate() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (::truncate(path_.c_str(), 0) != 0) {
+    return Status::Internal("cannot truncate batch log");
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot reopen batch log");
+  }
+  batches_.clear();
+  applied_.clear();
+  applied_count_ = 0;
+  next_id_ = 0;
+  return Status::OK();
+}
+
+}  // namespace duplex::core

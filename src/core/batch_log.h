@@ -1,0 +1,89 @@
+#ifndef DUPLEX_CORE_BATCH_LOG_H_
+#define DUPLEX_CORE_BATCH_LOG_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "text/batch.h"
+#include "util/status.h"
+
+namespace duplex::core {
+
+// Write-ahead log of batch updates, making incremental index maintenance
+// restartable (the paper: "the algorithms and data structures are
+// constructed so that the incremental update of the index can be restarted
+// if it is aborted"). Protocol:
+//
+//   1. log.AppendBatch(batch)          -- durable before any index I/O
+//   2. index.ApplyBatchUpdate(batch)   -- buckets/directory flushed after
+//   3. log.MarkApplied(batch_id)       -- commit record
+//
+// After a crash, UnappliedBatches() returns the batches whose apply never
+// committed; replaying them (plus a Snapshot of the pre-crash index, if
+// any) reconstructs the index. Records carry an FNV-64 checksum; a torn
+// tail (partial final record) is detected and ignored, matching the usual
+// WAL recovery contract.
+class BatchLog {
+ public:
+  // One logged batch; `counts` is always populated, `docs` only when the
+  // batch was materialized.
+  struct LoggedBatch {
+    uint64_t id = 0;
+    bool materialized = false;
+    text::BatchUpdate counts;
+    text::InvertedBatch docs;
+  };
+
+  // Opens (creating if necessary) the log at `path` and scans it. Returns
+  // Corruption only for damage before the final record; a torn tail is
+  // silently truncated on the next append.
+  static Result<std::unique_ptr<BatchLog>> Open(const std::string& path);
+
+  ~BatchLog();
+
+  BatchLog(const BatchLog&) = delete;
+  BatchLog& operator=(const BatchLog&) = delete;
+
+  // Appends a batch record; returns the assigned batch id. Durable (the
+  // stream is flushed) before returning.
+  Result<uint64_t> AppendBatch(const text::BatchUpdate& batch);
+  Result<uint64_t> AppendBatch(const text::InvertedBatch& batch);
+
+  // Appends the commit record for `batch_id`.
+  Status MarkApplied(uint64_t batch_id);
+
+  // Batches appended but never marked applied, in append order.
+  std::vector<const LoggedBatch*> UnappliedBatches() const;
+
+  // Replays every unapplied batch into `index` and marks it applied.
+  Status RecoverInto(InvertedIndex* index);
+
+  // Drops all records (e.g. after a Snapshot made them redundant).
+  Status Truncate();
+
+  uint64_t batches_logged() const { return batches_.size(); }
+  uint64_t batches_applied() const { return applied_count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit BatchLog(std::string path) : path_(std::move(path)) {}
+
+  Status Scan();
+  Status AppendRecord(char type, const std::string& payload);
+  Result<uint64_t> AppendBatchRecord(const std::string& payload,
+                                     LoggedBatch batch);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t next_id_ = 0;
+  uint64_t applied_count_ = 0;
+  std::vector<LoggedBatch> batches_;
+  std::vector<bool> applied_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_BATCH_LOG_H_

@@ -1,0 +1,73 @@
+#include "core/bucket.h"
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+const PostingList* Bucket::Find(WordId word) const {
+  auto it = entries_.find(word);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Bucket::Upsert(WordId word, const PostingList& list) {
+  postings_ += list.size();
+  auto [it, inserted] = entries_.try_emplace(word, list);
+  if (!inserted) it->second.Append(list);
+}
+
+std::pair<WordId, PostingList> Bucket::EvictLongest() {
+  DUPLEX_CHECK(!entries_.empty());
+  auto longest = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.size() > longest->second.size() ||
+        (it->second.size() == longest->second.size() &&
+         it->first < longest->first)) {
+      longest = it;
+    }
+  }
+  std::pair<WordId, PostingList> result{longest->first,
+                                        std::move(longest->second)};
+  postings_ -= result.second.size();
+  entries_.erase(longest);
+  return result;
+}
+
+uint64_t Bucket::FilterPostings(
+    const std::function<bool(DocId)>& deleted) {
+  uint64_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!it->second.materialized()) {
+      ++it;
+      continue;
+    }
+    std::vector<DocId> kept;
+    kept.reserve(it->second.docs().size());
+    for (const DocId d : it->second.docs()) {
+      if (!deleted(d)) kept.push_back(d);
+    }
+    const uint64_t dropped = it->second.size() - kept.size();
+    if (dropped == 0) {
+      ++it;
+      continue;
+    }
+    removed += dropped;
+    postings_ -= dropped;
+    if (kept.empty()) {
+      it = entries_.erase(it);
+    } else {
+      it->second = PostingList::Materialized(std::move(kept));
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool Bucket::Remove(WordId word) {
+  auto it = entries_.find(word);
+  if (it == entries_.end()) return false;
+  postings_ -= it->second.size();
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace duplex::core

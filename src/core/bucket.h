@@ -1,0 +1,61 @@
+#ifndef DUPLEX_CORE_BUCKET_H_
+#define DUPLEX_CORE_BUCKET_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/posting.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// One fixed-size bucket holding the short inverted lists of many words
+// (paper Section 2). Size accounting follows the paper exactly: each
+// posting is charged 1 unit and each word is charged 1 unit ("for each
+// inverted list in the bucket, we need to store the word it represents
+// plus all of its postings").
+class Bucket {
+ public:
+  Bucket() = default;
+
+  bool Contains(WordId word) const { return entries_.contains(word); }
+
+  // Returns nullptr when the word has no short list here.
+  const PostingList* Find(WordId word) const;
+
+  // Inserts `list` for `word`, or appends it to the existing short list.
+  void Upsert(WordId word, const PostingList& list);
+
+  // Removes and returns the entry with the most postings (the paper picks
+  // "the longest short list"; ties broken by smaller word id for
+  // determinism). Requires word_count() > 0.
+  std::pair<WordId, PostingList> EvictLongest();
+
+  // Removes `word` if present; returns true if it was present.
+  bool Remove(WordId word);
+
+  // Drops postings matching `deleted` from every materialized short list
+  // (the paper's background deletion sweep); returns postings removed.
+  // Counted lists are left untouched. Words whose lists become empty are
+  // removed.
+  uint64_t FilterPostings(const std::function<bool(DocId)>& deleted);
+
+  size_t word_count() const { return entries_.size(); }
+  uint64_t posting_count() const { return postings_; }
+  // Units used: words + postings.
+  uint64_t used_units() const { return entries_.size() + postings_; }
+
+  const std::unordered_map<WordId, PostingList>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::unordered_map<WordId, PostingList> entries_;
+  uint64_t postings_ = 0;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_BUCKET_H_

@@ -1,0 +1,110 @@
+#include "core/bucket_store.h"
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+BucketStore::BucketStore(const BucketStoreOptions& options)
+    : options_(options), buckets_(options.num_buckets) {
+  DUPLEX_CHECK_GT(options.num_buckets, 0u);
+  DUPLEX_CHECK_GT(options.bucket_capacity, 0u);
+}
+
+bool BucketStore::Contains(WordId word) const {
+  return buckets_[BucketFor(word)].Contains(word);
+}
+
+const PostingList* BucketStore::Find(WordId word) const {
+  return buckets_[BucketFor(word)].Find(word);
+}
+
+std::vector<std::pair<WordId, PostingList>> BucketStore::Insert(
+    WordId word, const PostingList& list) {
+  const uint32_t b = BucketFor(word);
+  Bucket& bucket = buckets_[b];
+  bucket.Upsert(word, list);
+  NotifyChange(b);
+  std::vector<std::pair<WordId, PostingList>> evicted;
+  // Paper Section 2: "If the bucket overflows, we then pick the longest
+  // short list, remove it, and make it a long list." A single insertion
+  // larger than the remaining space can require several evictions (and may
+  // evict the inserted list itself).
+  while (bucket.used_units() > options_.bucket_capacity) {
+    evicted.push_back(bucket.EvictLongest());
+    ++evictions_;
+    NotifyChange(b);
+  }
+  return evicted;
+}
+
+bool BucketStore::Remove(WordId word) {
+  const uint32_t b = BucketFor(word);
+  const bool removed = buckets_[b].Remove(word);
+  if (removed) NotifyChange(b);
+  return removed;
+}
+
+uint64_t BucketStore::TotalWords() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.word_count();
+  return n;
+}
+
+uint64_t BucketStore::TotalPostings() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.posting_count();
+  return n;
+}
+
+uint64_t BucketStore::TotalUsedUnits() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.used_units();
+  return n;
+}
+
+double BucketStore::Occupancy() const {
+  return static_cast<double>(TotalUsedUnits()) /
+         static_cast<double>(TotalCapacityUnits());
+}
+
+std::vector<std::pair<WordId, PostingList>> BucketStore::Resize(
+    uint32_t new_num_buckets, uint64_t new_bucket_capacity) {
+  DUPLEX_CHECK_GT(new_num_buckets, 0u);
+  DUPLEX_CHECK_GT(new_bucket_capacity, 0u);
+  std::vector<Bucket> old_buckets = std::move(buckets_);
+  buckets_.assign(new_num_buckets, Bucket());
+  options_.num_buckets = new_num_buckets;
+  options_.bucket_capacity = new_bucket_capacity;
+  ++resizes_;
+  std::vector<std::pair<WordId, PostingList>> promoted;
+  for (Bucket& old_bucket : old_buckets) {
+    for (const auto& [word, list] : old_bucket.entries()) {
+      for (auto& evicted : Insert(word, list)) {
+        promoted.push_back(std::move(evicted));
+      }
+    }
+  }
+  return promoted;
+}
+
+uint64_t BucketStore::FilterPostings(
+    const std::function<bool(DocId)>& deleted) {
+  uint64_t removed = 0;
+  for (uint32_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t r = buckets_[i].FilterPostings(deleted);
+    if (r > 0) {
+      removed += r;
+      NotifyChange(i);
+    }
+  }
+  return removed;
+}
+
+void BucketStore::NotifyChange(uint32_t bucket_id) {
+  if (hook_) {
+    const Bucket& b = buckets_[bucket_id];
+    hook_(bucket_id, b.word_count(), b.posting_count());
+  }
+}
+
+}  // namespace duplex::core

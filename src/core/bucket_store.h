@@ -1,0 +1,97 @@
+#ifndef DUPLEX_CORE_BUCKET_STORE_H_
+#define DUPLEX_CORE_BUCKET_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/bucket.h"
+#include "core/posting.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+struct BucketStoreOptions {
+  uint32_t num_buckets = 4096;
+  // Bucket capacity in units (1 per word + 1 per posting), the paper's
+  // BucketSize.
+  uint64_t bucket_capacity = 512;
+};
+
+// The short-list half of the dual-structure index: a fixed array of
+// fixed-size buckets addressed by h(w) (the paper uses a modular-arithmetic
+// hash, Section 4.3). Inserting may overflow a bucket, in which case the
+// longest short list is evicted repeatedly until the bucket fits; evicted
+// lists must be promoted to long lists by the caller.
+class BucketStore {
+ public:
+  // Observes every change to a bucket (insert of a new word, append to an
+  // existing word, or eviction) — used to reproduce the paper's Figure 1
+  // bucket animation.
+  using ChangeHook = std::function<void(
+      uint32_t bucket, uint64_t words, uint64_t postings)>;
+
+  explicit BucketStore(const BucketStoreOptions& options);
+
+  uint32_t BucketFor(WordId word) const {
+    return static_cast<uint32_t>(word % options_.num_buckets);
+  }
+
+  bool Contains(WordId word) const;
+  const PostingList* Find(WordId word) const;
+
+  // Inserts the in-memory list for `word` into bucket h(word) and returns
+  // the (word, list) pairs evicted by overflow, in eviction order. The
+  // evicted list carries all postings accumulated in the bucket for that
+  // word, possibly including the ones just inserted.
+  std::vector<std::pair<WordId, PostingList>> Insert(WordId word,
+                                                     const PostingList& list);
+
+  // Removes a word (used when a list is promoted through another path).
+  bool Remove(WordId word);
+
+  const BucketStoreOptions& options() const { return options_; }
+  const Bucket& bucket(uint32_t i) const { return buckets_[i]; }
+
+  uint64_t TotalWords() const;
+  uint64_t TotalPostings() const;
+  uint64_t TotalUsedUnits() const;
+  uint64_t TotalCapacityUnits() const {
+    return static_cast<uint64_t>(options_.num_buckets) *
+           options_.bucket_capacity;
+  }
+  double Occupancy() const;
+
+  uint64_t evictions() const { return evictions_; }
+
+  // Applies the deletion sweep to every bucket (see Bucket::FilterPostings);
+  // returns total postings removed.
+  uint64_t FilterPostings(const std::function<bool(DocId)>& deleted);
+
+  // Grows (or reshapes) the bucket space, rehashing every short list into
+  // the new geometry — the paper's future-work mechanism for keeping the
+  // short/long division balanced as the index grows ("periodically, as
+  // the buckets are read, they can be expanded and written in a larger
+  // region of disk"). Returns lists evicted by overflow in the new
+  // geometry; the caller must promote them to long lists.
+  std::vector<std::pair<WordId, PostingList>> Resize(
+      uint32_t new_num_buckets, uint64_t new_bucket_capacity);
+
+  uint64_t resizes() const { return resizes_; }
+
+  void set_change_hook(ChangeHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void NotifyChange(uint32_t bucket_id);
+
+  BucketStoreOptions options_;
+  std::vector<Bucket> buckets_;
+  uint64_t evictions_ = 0;
+  uint64_t resizes_ = 0;
+  ChangeHook hook_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_BUCKET_STORE_H_

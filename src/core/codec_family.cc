@@ -1,0 +1,232 @@
+#include "core/codec_family.h"
+
+#include <bit>
+
+#include "core/posting_codec.h"
+#include "util/logging.h"
+
+namespace duplex::core {
+
+void BitWriter::WriteBits(uint64_t value, int count) {
+  DUPLEX_CHECK_GE(count, 0);
+  DUPLEX_CHECK_LE(count, 64);
+  for (int i = count - 1; i >= 0; --i) {
+    pending_ = static_cast<uint8_t>((pending_ << 1) |
+                                    ((value >> i) & 1));
+    if (++pending_bits_ == 8) {
+      out_->push_back(static_cast<char>(pending_));
+      pending_ = 0;
+      pending_bits_ = 0;
+    }
+  }
+}
+
+void BitWriter::WriteUnary(int n) {
+  DUPLEX_CHECK_GE(n, 0);
+  while (n >= 32) {
+    WriteBits(0, 32);
+    n -= 32;
+  }
+  WriteBits(1, n + 1);  // n zeros then a one
+}
+
+void BitWriter::Finish() {
+  if (pending_bits_ > 0) {
+    out_->push_back(
+        static_cast<char>(pending_ << (8 - pending_bits_)));
+    pending_ = 0;
+    pending_bits_ = 0;
+  }
+}
+
+Result<uint64_t> BitReader::ReadBits(int count) {
+  DUPLEX_CHECK_GE(count, 0);
+  DUPLEX_CHECK_LE(count, 64);
+  if (pos_ + static_cast<size_t>(count) > bytes_.size() * 8) {
+    return Status::Corruption("bit stream exhausted");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const size_t byte = pos_ >> 3;
+    const int bit = 7 - static_cast<int>(pos_ & 7);
+    value = (value << 1) |
+            ((static_cast<uint8_t>(bytes_[byte]) >> bit) & 1);
+    ++pos_;
+  }
+  return value;
+}
+
+Result<int> BitReader::ReadUnary() {
+  int zeros = 0;
+  for (;;) {
+    Result<uint64_t> bit = ReadBits(1);
+    if (!bit.ok()) return bit.status();
+    if (*bit == 1) return zeros;
+    if (++zeros > 4096) {
+      return Status::Corruption("runaway unary code");
+    }
+  }
+}
+
+namespace {
+
+int BitWidth(uint64_t v) { return 64 - std::countl_zero(v); }
+
+// --- VByte ----------------------------------------------------------------
+
+class VByteCodec : public GapCodec {
+ public:
+  const char* name() const override { return "vbyte"; }
+
+  void Encode(const std::vector<DocId>& docs, DocId base,
+              std::string* out) const override {
+    EncodePostings(docs, base, out);
+  }
+
+  Status Decode(const std::string& bytes, uint64_t count, DocId base,
+                std::vector<DocId>* docs) const override {
+    size_t pos = 0;
+    return DecodePostings(bytes, &pos, count, base, docs);
+  }
+};
+
+// --- Elias gamma ------------------------------------------------------------
+// gamma(x) for x >= 1: unary(len-1) then the low len-1 bits of x.
+// Gaps are >= 1 except a possible first gap of 0 (doc id 0 from base 0),
+// so gaps are encoded as gap+1.
+
+class EliasGammaCodec : public GapCodec {
+ public:
+  const char* name() const override { return "elias-gamma"; }
+
+  void Encode(const std::vector<DocId>& docs, DocId base,
+              std::string* out) const override {
+    BitWriter writer(out);
+    DocId prev = base;
+    bool first = true;
+    for (const DocId doc : docs) {
+      if (first) {
+        DUPLEX_CHECK_GE(doc, prev);
+        first = false;
+      } else {
+        DUPLEX_CHECK_GT(doc, prev);
+      }
+      const uint64_t x = static_cast<uint64_t>(doc - prev) + 1;
+      const int len = BitWidth(x);
+      writer.WriteUnary(len - 1);
+      writer.WriteBits(x & ((1ULL << (len - 1)) - 1), len - 1);
+      prev = doc;
+    }
+    writer.Finish();
+  }
+
+  Status Decode(const std::string& bytes, uint64_t count, DocId base,
+                std::vector<DocId>* docs) const override {
+    BitReader reader(bytes);
+    DocId prev = base;
+    for (uint64_t i = 0; i < count; ++i) {
+      Result<int> len_minus_1 = reader.ReadUnary();
+      if (!len_minus_1.ok()) return len_minus_1.status();
+      Result<uint64_t> low = reader.ReadBits(*len_minus_1);
+      if (!low.ok()) return low.status();
+      const uint64_t x = (1ULL << *len_minus_1) | *low;
+      prev = static_cast<DocId>(prev + (x - 1));
+      docs->push_back(prev);
+    }
+    return Status::OK();
+  }
+};
+
+// --- Elias delta ------------------------------------------------------------
+// delta(x): gamma(len(x)) then the low len(x)-1 bits of x.
+
+class EliasDeltaCodec : public GapCodec {
+ public:
+  const char* name() const override { return "elias-delta"; }
+
+  void Encode(const std::vector<DocId>& docs, DocId base,
+              std::string* out) const override {
+    BitWriter writer(out);
+    DocId prev = base;
+    bool first = true;
+    for (const DocId doc : docs) {
+      if (first) {
+        DUPLEX_CHECK_GE(doc, prev);
+        first = false;
+      } else {
+        DUPLEX_CHECK_GT(doc, prev);
+      }
+      const uint64_t x = static_cast<uint64_t>(doc - prev) + 1;
+      const int len = BitWidth(x);
+      const int len_len = BitWidth(static_cast<uint64_t>(len));
+      writer.WriteUnary(len_len - 1);
+      writer.WriteBits(static_cast<uint64_t>(len) &
+                           ((1ULL << (len_len - 1)) - 1),
+                       len_len - 1);
+      writer.WriteBits(x & ((1ULL << (len - 1)) - 1), len - 1);
+      prev = doc;
+    }
+    writer.Finish();
+  }
+
+  Status Decode(const std::string& bytes, uint64_t count, DocId base,
+                std::vector<DocId>* docs) const override {
+    BitReader reader(bytes);
+    DocId prev = base;
+    for (uint64_t i = 0; i < count; ++i) {
+      Result<int> len_len_minus_1 = reader.ReadUnary();
+      if (!len_len_minus_1.ok()) return len_len_minus_1.status();
+      Result<uint64_t> len_low = reader.ReadBits(*len_len_minus_1);
+      if (!len_low.ok()) return len_low.status();
+      const int len = static_cast<int>((1ULL << *len_len_minus_1) |
+                                       *len_low);
+      if (len < 1 || len > 64) {
+        return Status::Corruption("elias-delta: bad length code");
+      }
+      Result<uint64_t> low = reader.ReadBits(len - 1);
+      if (!low.ok()) return low.status();
+      const uint64_t x = (1ULL << (len - 1)) | *low;
+      prev = static_cast<DocId>(prev + (x - 1));
+      docs->push_back(prev);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const char* CodecKindName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kVByte:
+      return "vbyte";
+    case CodecKind::kEliasGamma:
+      return "elias-gamma";
+    case CodecKind::kEliasDelta:
+      return "elias-delta";
+  }
+  return "unknown";
+}
+
+const GapCodec& GetCodec(CodecKind kind) {
+  static const VByteCodec* vbyte = new VByteCodec();
+  static const EliasGammaCodec* gamma = new EliasGammaCodec();
+  static const EliasDeltaCodec* delta = new EliasDeltaCodec();
+  switch (kind) {
+    case CodecKind::kVByte:
+      return *vbyte;
+    case CodecKind::kEliasGamma:
+      return *gamma;
+    case CodecKind::kEliasDelta:
+      return *delta;
+  }
+  return *vbyte;
+}
+
+size_t EncodedSize(CodecKind kind, const std::vector<DocId>& docs,
+                   DocId base) {
+  std::string out;
+  GetCodec(kind).Encode(docs, base, &out);
+  return out.size();
+}
+
+}  // namespace duplex::core

@@ -1,0 +1,88 @@
+#ifndef DUPLEX_CORE_CODEC_FAMILY_H_
+#define DUPLEX_CORE_CODEC_FAMILY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// Pluggable posting-list compression (the paper points to Zobel, Moffat &
+// Sacks-Davis' compressed inverted files as complementary; BlockPosting
+// "implicitly models the efficiency of the compression algorithm", and
+// this family makes that knob concrete). All codecs encode strictly
+// ascending doc ids as gaps relative to `base`, like posting_codec.h.
+class GapCodec {
+ public:
+  virtual ~GapCodec() = default;
+
+  virtual const char* name() const = 0;
+
+  // Appends the encoding of `docs` (ascending, docs[0] >= base) to *out.
+  virtual void Encode(const std::vector<DocId>& docs, DocId base,
+                      std::string* out) const = 0;
+
+  // Decodes exactly `count` postings starting at bit/byte position *pos.
+  // For byte-aligned codecs `pos` counts bytes; for bitwise codecs it
+  // counts bits. Fresh decodes should start at *pos = 0 on a buffer that
+  // contains exactly one encoded sequence.
+  virtual Status Decode(const std::string& bytes, uint64_t count,
+                        DocId base, std::vector<DocId>* docs) const = 0;
+};
+
+enum class CodecKind {
+  kVByte,       // LEB128 varint (the default on-disk codec)
+  kEliasGamma,  // unary length + binary remainder; best for tiny gaps
+  kEliasDelta,  // gamma-coded length + remainder; best all-round bitwise
+};
+
+const char* CodecKindName(CodecKind kind);
+
+// Returns a stateless singleton codec; never fails.
+const GapCodec& GetCodec(CodecKind kind);
+
+// Encoded size in bytes for `docs` under `kind` (convenience for the
+// compression-ratio bench).
+size_t EncodedSize(CodecKind kind, const std::vector<DocId>& docs,
+                   DocId base);
+
+// Bit-granular writer/reader used by the Elias codecs; exposed for tests.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  // Appends `count` bits of `value`, most-significant first.
+  void WriteBits(uint64_t value, int count);
+  // Appends `n` zero bits followed by a one bit (unary code of n).
+  void WriteUnary(int n);
+  // Pads the final partial byte with zeros.
+  void Finish();
+
+ private:
+  std::string* out_;
+  uint8_t pending_ = 0;
+  int pending_bits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::string& bytes) : bytes_(bytes) {}
+
+  // Reads `count` bits, most-significant first.
+  Result<uint64_t> ReadBits(int count);
+  // Reads a unary code: the number of zero bits before the next one bit.
+  Result<int> ReadUnary();
+
+  size_t bit_position() const { return pos_; }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;  // in bits
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_CODEC_FAMILY_H_

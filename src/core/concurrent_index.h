@@ -1,0 +1,118 @@
+#ifndef DUPLEX_CORE_CONCURRENT_INDEX_H_
+#define DUPLEX_CORE_CONCURRENT_INDEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// Thread-safe facade over InvertedIndex with reader-writer semantics: any
+// number of concurrent queries, exclusive batch updates. This serves the
+// paper's core motivation — "in today's world of 7 days a week, 24 hours a
+// day continuous operation, degradation of service for prolonged periods
+// is not acceptable" — the index stays queryable except for the short
+// exclusive window in which a batch is applied (no index rebuild ever
+// blocks readers for hours).
+class ConcurrentIndex {
+ public:
+  explicit ConcurrentIndex(const IndexOptions& options)
+      : index_(options) {}
+
+  ConcurrentIndex(const ConcurrentIndex&) = delete;
+  ConcurrentIndex& operator=(const ConcurrentIndex&) = delete;
+
+  // --- Writers (exclusive) -------------------------------------------------
+
+  DocId AddDocument(const std::string& text) {
+    std::unique_lock lock(mutex_);
+    return index_.AddDocument(text);
+  }
+
+  Status FlushDocuments() {
+    std::unique_lock lock(mutex_);
+    return index_.FlushDocuments();
+  }
+
+  Status ApplyBatchUpdate(const text::BatchUpdate& batch) {
+    std::unique_lock lock(mutex_);
+    return index_.ApplyBatchUpdate(batch);
+  }
+
+  Status ApplyInvertedBatch(const text::InvertedBatch& batch) {
+    std::unique_lock lock(mutex_);
+    return index_.ApplyInvertedBatch(batch);
+  }
+
+  void DeleteDocument(DocId doc) {
+    std::unique_lock lock(mutex_);
+    index_.DeleteDocument(doc);
+  }
+
+  Status SweepDeletions() {
+    std::unique_lock lock(mutex_);
+    return index_.SweepDeletions();
+  }
+
+  Status GrowBuckets(uint32_t new_num_buckets, uint64_t new_capacity) {
+    std::unique_lock lock(mutex_);
+    return index_.GrowBuckets(new_num_buckets, new_capacity);
+  }
+
+  // Runs `fn(InvertedIndex&)` under the exclusive lock (e.g. Snapshot
+  // writes, custom maintenance).
+  template <typename Fn>
+  auto WithWriteLock(Fn&& fn) {
+    std::unique_lock lock(mutex_);
+    return fn(index_);
+  }
+
+  // --- Readers (shared) -----------------------------------------------------
+
+  Result<std::vector<DocId>> GetPostings(std::string_view word) const {
+    std::shared_lock lock(mutex_);
+    return index_.GetPostings(word);
+  }
+
+  Result<std::vector<DocId>> GetPostings(WordId word) const {
+    std::shared_lock lock(mutex_);
+    return index_.GetPostings(word);
+  }
+
+  InvertedIndex::ListLocation Locate(std::string_view word) const {
+    std::shared_lock lock(mutex_);
+    return index_.Locate(word);
+  }
+
+  IndexStats Stats() const {
+    std::shared_lock lock(mutex_);
+    return index_.Stats();
+  }
+
+  // Runs `fn(const InvertedIndex&)` under the shared lock — the hook the
+  // query layer uses to evaluate whole boolean/vector queries against a
+  // consistent index state:
+  //
+  //   concurrent.WithReadLock([&](const core::InvertedIndex& idx) {
+  //     return ir::EvaluateBoolean(idx, "cat AND dog");
+  //   });
+  template <typename Fn>
+  auto WithReadLock(Fn&& fn) const {
+    std::shared_lock lock(mutex_);
+    return fn(static_cast<const InvertedIndex&>(index_));
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  InvertedIndex index_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_CONCURRENT_INDEX_H_

@@ -1,0 +1,56 @@
+#include "core/directory.h"
+
+namespace duplex::core {
+
+LongList& Directory::GetOrCreate(WordId word) { return lists_[word]; }
+
+const LongList* Directory::Find(WordId word) const {
+  auto it = lists_.find(word);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+LongList* Directory::FindMutable(WordId word) {
+  auto it = lists_.find(word);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+bool Directory::Erase(WordId word) { return lists_.erase(word) > 0; }
+
+uint64_t Directory::TotalChunks() const {
+  uint64_t n = 0;
+  for (const auto& [word, list] : lists_) n += list.chunks.size();
+  return n;
+}
+
+uint64_t Directory::TotalBlocks() const {
+  uint64_t n = 0;
+  for (const auto& [word, list] : lists_) n += list.total_blocks();
+  return n;
+}
+
+uint64_t Directory::TotalPostings() const {
+  uint64_t n = 0;
+  for (const auto& [word, list] : lists_) n += list.total_postings;
+  return n;
+}
+
+double Directory::Utilization(uint64_t block_postings) const {
+  const uint64_t capacity = TotalBlocks() * block_postings;
+  if (capacity == 0) return 1.0;
+  return static_cast<double>(TotalPostings()) /
+         static_cast<double>(capacity);
+}
+
+double Directory::AvgReadsPerList() const {
+  if (lists_.empty()) return 0.0;
+  return static_cast<double>(TotalChunks()) /
+         static_cast<double>(lists_.size());
+}
+
+uint64_t Directory::EstimatedBytes() const {
+  // 8 bytes per word entry + 24 bytes per chunk pointer, the ballpark an
+  // implementation would need.
+  return 8 * lists_.size() + 24 * TotalChunks();
+}
+
+}  // namespace duplex::core

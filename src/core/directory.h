@@ -1,0 +1,82 @@
+#ifndef DUPLEX_CORE_DIRECTORY_H_
+#define DUPLEX_CORE_DIRECTORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// One contiguous piece of a long list on disk. `range.length * BlockPosting`
+// postings fit; `postings` of them are used. The difference is the free
+// tail space the paper calls z (for the last chunk of a list).
+struct ChunkRef {
+  storage::BlockRange range;
+  uint64_t postings = 0;   // postings stored in this chunk
+  DocId base_doc = 0;      // doc id preceding this chunk's first posting
+  uint64_t byte_length = 0;  // encoded payload bytes (materialized mode)
+};
+
+// Directory entry for a word with a long list.
+struct LongList {
+  std::vector<ChunkRef> chunks;
+  uint64_t total_postings = 0;
+  DocId last_doc = 0;  // last doc id appended (materialized mode)
+
+  uint64_t total_blocks() const {
+    uint64_t n = 0;
+    for (const auto& c : chunks) n += c.range.length;
+    return n;
+  }
+};
+
+// The in-memory directory mapping words to the disk locations of their
+// long lists (paper Section 3, first issue: "the directory resides in
+// memory at all times; periodically, the directory is written to disk").
+class Directory {
+ public:
+  bool Contains(WordId word) const { return lists_.contains(word); }
+
+  // Returns the entry for `word`, creating it if absent.
+  LongList& GetOrCreate(WordId word);
+
+  // Returns nullptr when the word has no long list.
+  const LongList* Find(WordId word) const;
+  LongList* FindMutable(WordId word);
+
+  // Removes the entry for `word`; returns true if it was present.
+  bool Erase(WordId word);
+
+  size_t word_count() const { return lists_.size(); }
+
+  // Aggregates for Figures 9/10 and Tables 5/6.
+  uint64_t TotalChunks() const;
+  uint64_t TotalBlocks() const;
+  uint64_t TotalPostings() const;
+
+  // Internal long-list utilization: stored postings / posting capacity of
+  // all allocated long-list blocks (paper Figure 9). 1.0 when empty.
+  double Utilization(uint64_t block_postings) const;
+
+  // Average number of read operations to read one long list = total
+  // chunks / long words (paper Figure 10). 0 when empty.
+  double AvgReadsPerList() const;
+
+  // Estimated on-disk size of the directory itself, for the periodic
+  // directory flush (paper Figure 6's directory line).
+  uint64_t EstimatedBytes() const;
+
+  // Iteration support (stable order not guaranteed).
+  const std::unordered_map<WordId, LongList>& lists() const { return lists_; }
+
+ private:
+  std::unordered_map<WordId, LongList> lists_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_DIRECTORY_H_

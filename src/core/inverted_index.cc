@@ -1,0 +1,382 @@
+#include "core/inverted_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+InvertedIndex::InvertedIndex(const IndexOptions& options)
+    : options_(options),
+      buckets_(options.buckets) {
+  storage::DiskArrayOptions disk_opts = options.disks;
+  disk_opts.materialize_payloads = options.materialize;
+  disks_ = std::make_unique<storage::DiskArray>(disk_opts);
+
+  LongListStoreOptions ll_opts;
+  ll_opts.policy = options.policy;
+  ll_opts.block_postings = options.block_postings;
+  ll_opts.materialize = options.materialize;
+  long_lists_ = std::make_unique<LongListStore>(
+      ll_opts, disks_.get(), options.record_trace ? &trace_ : nullptr);
+}
+
+void InvertedIndex::Categorize(WordId word, UpdateCategories* cats) const {
+  if (long_lists_->Contains(word)) {
+    ++cats->long_words;
+  } else if (buckets_.Contains(word)) {
+    ++cats->bucket_words;
+  } else {
+    ++cats->new_words;
+  }
+}
+
+Status InvertedIndex::RouteList(WordId word, const PostingList& list) {
+  if (list.empty()) return Status::OK();
+  // Paper Section 2: if w already has a long list, append to it;
+  // otherwise insert into bucket h(w), promoting overflow evictions.
+  if (long_lists_->Contains(word)) {
+    return long_lists_->Append(word, list);
+  }
+  for (auto& [evicted_word, evicted_list] : buckets_.Insert(word, list)) {
+    DUPLEX_RETURN_IF_ERROR(
+        long_lists_->Append(evicted_word, evicted_list));
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::ApplyBatchUpdate(const text::BatchUpdate& batch) {
+  if (options_.materialize) {
+    return Status::FailedPrecondition(
+        "count-only batches cannot feed a materialized index; use "
+        "ApplyInvertedBatch");
+  }
+  UpdateCategories cats;
+  for (const text::WordCount& pair : batch.pairs) {
+    if (pair.count == 0) continue;
+    Categorize(pair.word, &cats);
+    DUPLEX_RETURN_IF_ERROR(
+        RouteList(pair.word, PostingList::Counted(pair.count)));
+    total_postings_ += pair.count;
+  }
+  categories_.push_back(cats);
+  ++updates_applied_;
+  return FlushMeta();
+}
+
+Status InvertedIndex::ApplyInvertedBatch(const text::InvertedBatch& batch) {
+  if (!options_.materialize) {
+    return Status::FailedPrecondition(
+        "materialized batches require materialize=true");
+  }
+  UpdateCategories cats;
+  for (const text::InvertedBatch::Entry& entry : batch.entries) {
+    if (entry.docs.empty()) continue;
+    Categorize(entry.word, &cats);
+    DUPLEX_RETURN_IF_ERROR(
+        RouteList(entry.word, PostingList::Materialized(entry.docs)));
+    total_postings_ += entry.docs.size();
+    if (!entry.docs.empty()) {
+      next_doc_id_ = std::max(next_doc_id_, entry.docs.back() + 1);
+    }
+  }
+  categories_.push_back(cats);
+  ++updates_applied_;
+  return FlushMeta();
+}
+
+DocId InvertedIndex::AddDocument(const std::string& text) {
+  const DocId doc =
+      next_doc_id_ + static_cast<DocId>(memory_index_.document_count());
+  memory_index_.AddDocument(doc, text);
+  return doc;
+}
+
+Status InvertedIndex::FlushDocuments() {
+  if (memory_index_.empty()) return Status::OK();
+  text::InvertedBatch batch;
+  batch.entries.reserve(memory_index_.lists().size());
+  for (const auto& [word, docs] : memory_index_.lists()) {
+    batch.entries.push_back({word, docs});
+  }
+  std::sort(batch.entries.begin(), batch.entries.end(),
+            [](const text::InvertedBatch::Entry& a,
+               const text::InvertedBatch::Entry& b) {
+              return a.word < b.word;
+            });
+  const DocId new_next =
+      next_doc_id_ + static_cast<DocId>(memory_index_.document_count());
+  DUPLEX_RETURN_IF_ERROR(ApplyInvertedBatch(batch));
+  next_doc_id_ = std::max(next_doc_id_, new_next);
+  memory_index_.Clear();
+  return Status::OK();
+}
+
+Status InvertedIndex::GrowBuckets(uint32_t new_num_buckets,
+                                  uint64_t new_bucket_capacity) {
+  for (auto& [word, list] :
+       buckets_.Resize(new_num_buckets, new_bucket_capacity)) {
+    DUPLEX_RETURN_IF_ERROR(long_lists_->Append(word, list));
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::FlushMeta() {
+  // Auto-grow the bucket space when it saturates (paper future work: "we
+  // need to study how to dynamically grow the bucket space since ... the
+  // performance of the index degrades").
+  if (options_.bucket_grow_threshold > 0.0 &&
+      buckets_.Occupancy() > options_.bucket_grow_threshold) {
+    DUPLEX_RETURN_IF_ERROR(
+        GrowBuckets(buckets_.options().num_buckets * 2,
+                    buckets_.options().bucket_capacity));
+  }
+  const uint32_t n_disks = disks_->num_disks();
+  // Buckets occupy a fixed region of BucketTotal units; the whole region
+  // is rewritten (shadow-paged) and striped evenly across all disks, then
+  // the previous copy's blocks are freed (paper Sections 2 and 4.4).
+  const uint64_t bucket_blocks =
+      (buckets_.TotalCapacityUnits() * options_.bucket_unit_bytes +
+       disks_->block_size() - 1) /
+      disks_->block_size();
+  const uint64_t per_disk = (bucket_blocks + n_disks - 1) / n_disks;
+  std::vector<storage::BlockRange> new_bucket_ranges;
+  for (storage::DiskId d = 0; d < n_disks; ++d) {
+    Result<storage::BlockRange> r = disks_->AllocateOn(d, per_disk);
+    if (!r.ok()) return r.status();
+    new_bucket_ranges.push_back(*r);
+    if (options_.record_trace) {
+      trace_.Add({storage::IoOp::kWrite, storage::IoTag::kBucket, 0, 0, d,
+                  r->start, r->length});
+    }
+  }
+  // Directory flush: size proportional to its entries.
+  std::vector<storage::BlockRange> new_directory_ranges;
+  const uint64_t dir_bytes = long_lists_->directory().EstimatedBytes();
+  const uint64_t dir_blocks =
+      (dir_bytes + disks_->block_size() - 1) / disks_->block_size();
+  if (dir_blocks > 0) {
+    Result<storage::BlockRange> r = disks_->Allocate(dir_blocks);
+    if (!r.ok()) return r.status();
+    new_directory_ranges.push_back(*r);
+    if (options_.record_trace) {
+      trace_.Add({storage::IoOp::kWrite, storage::IoTag::kDirectory, 0, 0,
+                  r->disk, r->start, r->length});
+    }
+  }
+  for (const auto& r : prev_bucket_ranges_) {
+    DUPLEX_RETURN_IF_ERROR(disks_->Free(r));
+  }
+  for (const auto& r : prev_directory_ranges_) {
+    DUPLEX_RETURN_IF_ERROR(disks_->Free(r));
+  }
+  prev_bucket_ranges_ = std::move(new_bucket_ranges);
+  prev_directory_ranges_ = std::move(new_directory_ranges);
+  // Whole-style moves freed their old chunks onto the RELEASE list; they
+  // are returned to free space now, after the flush.
+  DUPLEX_RETURN_IF_ERROR(long_lists_->FlushEpoch());
+  if (options_.record_trace) trace_.EndUpdate();
+  return Status::OK();
+}
+
+Status InvertedIndex::RestoreWord(WordId word, const PostingList& list,
+                                  bool was_long) {
+  if (list.empty()) return Status::OK();
+  if (Locate(word).exists) {
+    return Status::AlreadyExists("word already present in index");
+  }
+  if (was_long) {
+    DUPLEX_RETURN_IF_ERROR(long_lists_->Append(word, list));
+  } else {
+    for (auto& [evicted_word, evicted_list] : buckets_.Insert(word, list)) {
+      DUPLEX_RETURN_IF_ERROR(
+          long_lists_->Append(evicted_word, evicted_list));
+    }
+  }
+  total_postings_ += list.size();
+  return Status::OK();
+}
+
+void InvertedIndex::RestoreDocState(DocId next_doc_id,
+                                    std::vector<DocId> deleted) {
+  next_doc_id_ = std::max(next_doc_id_, next_doc_id);
+  deleted_.insert(deleted.begin(), deleted.end());
+}
+
+InvertedIndex::ListLocation InvertedIndex::Locate(WordId word) const {
+  ListLocation loc;
+  if (const LongList* list = long_lists_->directory().Find(word)) {
+    loc.exists = true;
+    loc.is_long = true;
+    loc.chunks = list->chunks.size();
+    loc.postings = list->total_postings;
+  } else if (const PostingList* list = buckets_.Find(word)) {
+    loc.exists = true;
+    loc.is_long = false;
+    loc.chunks = 1;  // one bucket read fetches the whole short list
+    loc.postings = list->size();
+  }
+  // Buffered postings are visible too; they cost no disk reads.
+  if (const std::vector<DocId>* buffered = memory_index_.Find(word)) {
+    loc.exists = true;
+    loc.postings += buffered->size();
+  }
+  return loc;
+}
+
+InvertedIndex::ListLocation InvertedIndex::Locate(
+    std::string_view word) const {
+  const WordId id = vocabulary_.Lookup(word);
+  if (id == kInvalidWord) return ListLocation{};
+  return Locate(id);
+}
+
+Result<std::vector<DocId>> InvertedIndex::GetPostings(WordId word) const {
+  if (!options_.materialize) {
+    return Status::FailedPrecondition("index is not materialized");
+  }
+  std::vector<DocId> docs;
+  bool found = false;
+  if (long_lists_->Contains(word)) {
+    Result<std::vector<DocId>> r = long_lists_->ReadPostings(word);
+    if (!r.ok()) return r.status();
+    docs = std::move(*r);
+    found = true;
+  } else if (const PostingList* list = buckets_.Find(word)) {
+    docs = list->docs();
+    found = true;
+  }
+  // The unflushed in-memory batch is searched together with the on-disk
+  // index (paper Section 1); its doc ids are strictly newer.
+  if (const std::vector<DocId>* buffered = memory_index_.Find(word)) {
+    DUPLEX_CHECK(docs.empty() || docs.back() < buffered->front());
+    docs.insert(docs.end(), buffered->begin(), buffered->end());
+    found = true;
+  }
+  if (!found) return Status::NotFound("word has no inverted list");
+  if (!deleted_.empty()) {
+    docs.erase(std::remove_if(docs.begin(), docs.end(),
+                              [&](DocId d) { return deleted_.contains(d); }),
+               docs.end());
+  }
+  return docs;
+}
+
+Result<std::vector<DocId>> InvertedIndex::GetPostings(
+    std::string_view word) const {
+  const WordId id = vocabulary_.Lookup(word);
+  if (id == kInvalidWord) return Status::NotFound("unknown word");
+  return GetPostings(id);
+}
+
+Status InvertedIndex::SweepDeletions() {
+  if (!options_.materialize) {
+    return Status::FailedPrecondition("sweep requires a materialized index");
+  }
+  if (deleted_.empty()) return Status::OK();
+  // Long lists: rewrite each list without the deleted documents. The
+  // paper describes this as a background process sweeping one list at a
+  // time.
+  std::vector<WordId> long_words;
+  long_words.reserve(long_lists_->directory().word_count());
+  for (const auto& [word, list] : long_lists_->directory().lists()) {
+    long_words.push_back(word);
+  }
+  std::sort(long_words.begin(), long_words.end());
+  uint64_t removed = 0;
+  for (const WordId word : long_words) {
+    Result<std::vector<DocId>> docs = long_lists_->ReadPostings(word);
+    if (!docs.ok()) return docs.status();
+    std::vector<DocId> kept;
+    kept.reserve(docs->size());
+    for (const DocId d : *docs) {
+      if (!deleted_.contains(d)) kept.push_back(d);
+    }
+    if (kept.size() == docs->size()) continue;
+    removed += docs->size() - kept.size();
+    DUPLEX_RETURN_IF_ERROR(long_lists_->Drop(word));
+    if (!kept.empty()) {
+      DUPLEX_RETURN_IF_ERROR(long_lists_->Append(
+          word, PostingList::Materialized(std::move(kept))));
+    }
+  }
+  removed += buckets_.FilterPostings(
+      [&](DocId d) { return deleted_.contains(d); });
+  total_postings_ -= removed;
+  // "After a sweep of the index, the list of deleted document identifiers
+  // can be thrown away."
+  deleted_.clear();
+  return Status::OK();
+}
+
+Status InvertedIndex::VerifyIntegrity() const {
+  std::map<std::pair<storage::DiskId, storage::BlockId>, storage::BlockId>
+      ranges;
+  for (const auto& [word, list] : long_lists_->directory().lists()) {
+    uint64_t postings = 0;
+    for (const ChunkRef& c : list.chunks) {
+      if (c.range.length == 0 || c.postings == 0) {
+        return Status::Corruption("empty chunk for word " +
+                                  std::to_string(word));
+      }
+      if (c.postings > c.range.length * options_.block_postings) {
+        return Status::Corruption("overfull chunk for word " +
+                                  std::to_string(word));
+      }
+      postings += c.postings;
+      if (!ranges
+               .emplace(std::make_pair(c.range.disk, c.range.start),
+                        c.range.end())
+               .second) {
+        return Status::Corruption("duplicate chunk start for word " +
+                                  std::to_string(word));
+      }
+    }
+    if (postings != list.total_postings) {
+      return Status::Corruption("chunk postings do not sum for word " +
+                                std::to_string(word));
+    }
+  }
+  storage::DiskId prev_disk = 0;
+  storage::BlockId prev_end = 0;
+  bool first = true;
+  for (const auto& [key, end] : ranges) {
+    if (!first && key.first == prev_disk && key.second < prev_end) {
+      return Status::Corruption("overlapping chunks on disk " +
+                                std::to_string(key.first));
+    }
+    prev_disk = key.first;
+    prev_end = end;
+    first = false;
+  }
+  // total_postings_ counts flushed postings only; the in-memory batch is
+  // accounted separately until FlushDocuments().
+  const IndexStats s = Stats();
+  if (s.bucket_postings + s.long_postings != s.total_postings) {
+    return Status::Corruption("posting totals inconsistent");
+  }
+  return Status::OK();
+}
+
+IndexStats InvertedIndex::Stats() const {
+  IndexStats s;
+  s.updates_applied = updates_applied_;
+  s.total_postings = total_postings_;
+  s.bucket_words = buckets_.TotalWords();
+  s.bucket_postings = buckets_.TotalPostings();
+  const Directory& dir = long_lists_->directory();
+  s.long_words = dir.word_count();
+  s.long_postings = dir.TotalPostings();
+  s.long_chunks = dir.TotalChunks();
+  s.long_blocks = dir.TotalBlocks();
+  s.long_utilization = dir.Utilization(options_.block_postings);
+  s.avg_reads_per_list = dir.AvgReadsPerList();
+  s.bucket_occupancy = buckets_.Occupancy();
+  s.io_ops = trace_.event_count();
+  s.in_place_updates = long_lists_->counters().in_place_updates;
+  s.append_opportunities = long_lists_->counters().appends_to_existing;
+  return s;
+}
+
+}  // namespace duplex::core

@@ -1,0 +1,218 @@
+#ifndef DUPLEX_CORE_INVERTED_INDEX_H_
+#define DUPLEX_CORE_INVERTED_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bucket_store.h"
+#include "core/long_list_store.h"
+#include "core/memory_index.h"
+#include "core/policy.h"
+#include "storage/disk_array.h"
+#include "storage/io_trace.h"
+#include "text/batch.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// Top-level configuration of a dual-structure index.
+struct IndexOptions {
+  BucketStoreOptions buckets;
+  Policy policy;
+  uint64_t block_postings = 128;  // paper's BlockPosting
+  // Bytes one bucket unit (word or posting) occupies in the on-disk bucket
+  // region; sizes the periodic bucket flush. The paper's Figure 6 trace
+  // implies ~16 bytes per unit.
+  uint64_t bucket_unit_bytes = 16;
+  storage::DiskArrayOptions disks;
+  // Store actual posting payloads (doc ids) so queries can run. The
+  // count-only mode reproduces the paper's experiment pipeline.
+  bool materialize = false;
+  // Record every I/O into an internal trace (replayable by the
+  // storage::TraceExecutor).
+  bool record_trace = true;
+  // Automatic bucket-space rebalancing (the paper's future-work item):
+  // when bucket occupancy after a batch exceeds this threshold, the number
+  // of buckets doubles and every short list is rehashed (overflow in the
+  // new geometry is promoted). 0 disables auto-growth.
+  double bucket_grow_threshold = 0.0;
+};
+
+// Per-batch word categorization (paper Figure 7): of the words appearing
+// in a batch update, how many were previously unseen, how many already sat
+// in a bucket, and how many had long lists.
+struct UpdateCategories {
+  uint64_t new_words = 0;
+  uint64_t bucket_words = 0;
+  uint64_t long_words = 0;
+
+  uint64_t total() const { return new_words + bucket_words + long_words; }
+};
+
+// Snapshot of index-wide statistics after an update.
+struct IndexStats {
+  uint64_t updates_applied = 0;
+  uint64_t total_postings = 0;
+  uint64_t bucket_words = 0;
+  uint64_t bucket_postings = 0;
+  uint64_t long_words = 0;
+  uint64_t long_postings = 0;
+  uint64_t long_chunks = 0;
+  uint64_t long_blocks = 0;
+  double long_utilization = 1.0;    // paper Figure 9
+  double avg_reads_per_list = 0.0;  // paper Figure 10
+  double bucket_occupancy = 0.0;
+  uint64_t io_ops = 0;  // cumulative trace events (paper Figure 8)
+  uint64_t in_place_updates = 0;
+  uint64_t append_opportunities = 0;
+};
+
+// The dual-structure incremental inverted index (the paper's primary
+// contribution). New documents accumulate in an in-memory index; each
+// FlushBatch / ApplyBatchUpdate pushes one batch into the on-disk
+// structures: short lists into hash-addressed fixed-size buckets, bucket
+// overflows promoting the longest short lists into policy-managed long
+// lists.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const IndexOptions& options);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  const IndexOptions& options() const { return options_; }
+
+  // --- Count-only update path (the paper's evaluation pipeline) ---------
+
+  // Applies one batch update of word-occurrence pairs (each word at most
+  // once; any order). Appends this update's categories to
+  // update_categories() and ends a trace update.
+  Status ApplyBatchUpdate(const text::BatchUpdate& batch);
+
+  // --- Materialized update path -----------------------------------------
+
+  // Applies one inverted batch with real doc ids (requires materialize).
+  Status ApplyInvertedBatch(const text::InvertedBatch& batch);
+
+  // Buffers a raw document into the in-memory index; FlushDocuments()
+  // pushes the accumulated batch to disk. Returns this document's id.
+  // Buffered documents are immediately searchable: GetPostings merges the
+  // in-memory batch with the on-disk structures, the paper's "searched
+  // simultaneously with the larger index".
+  DocId AddDocument(const std::string& text);
+  Status FlushDocuments();
+  size_t buffered_documents() const {
+    return memory_index_.document_count();
+  }
+  const MemoryIndex& memory_index() const { return memory_index_; }
+
+  // --- Query access ------------------------------------------------------
+
+  // Where a word's list lives — input to the query cost model.
+  struct ListLocation {
+    bool exists = false;
+    bool is_long = false;
+    uint64_t chunks = 0;  // read ops to fetch the list (1 for a bucket)
+    uint64_t postings = 0;
+  };
+  ListLocation Locate(WordId word) const;
+  ListLocation Locate(std::string_view word) const;
+
+  // Returns the word's full posting list (bucket or long list), with
+  // deleted documents filtered out. Requires materialize. NotFound when
+  // the word has no list.
+  Result<std::vector<DocId>> GetPostings(WordId word) const;
+  Result<std::vector<DocId>> GetPostings(std::string_view word) const;
+
+  // --- Deletion (paper Section 3 end) -------------------------------------
+
+  // Marks a document deleted; queries filter it immediately.
+  void DeleteDocument(DocId doc) { deleted_.insert(doc); }
+  bool IsDeleted(DocId doc) const { return deleted_.contains(doc); }
+  size_t deleted_count() const { return deleted_.size(); }
+  std::vector<DocId> deleted_docs() const {
+    return {deleted_.begin(), deleted_.end()};
+  }
+
+  // Background sweep: rewrites every list dropping deleted documents, then
+  // clears the deleted set. Requires materialize.
+  Status SweepDeletions();
+
+  // --- Bucket-space rebalancing ---------------------------------------------
+
+  // Manually reshapes the bucket space (see BucketStore::Resize); lists
+  // overflowing the new geometry are promoted to long lists through the
+  // configured policy.
+  Status GrowBuckets(uint32_t new_num_buckets,
+                     uint64_t new_bucket_capacity);
+
+  // --- Snapshot restore hooks (used by core::Snapshot) ---------------------
+
+  // Reinstates one word's full posting list into the structure it lived in
+  // when the snapshot was taken: long lists are recreated through the
+  // policy path; bucket lists are inserted into h(w) (which may promote on
+  // overflow if the bucket configuration shrank). No trace update is
+  // recorded.
+  Status RestoreWord(WordId word, const PostingList& list, bool was_long);
+
+  // Reinstates document-id state after all RestoreWord calls.
+  void RestoreDocState(DocId next_doc_id, std::vector<DocId> deleted);
+
+  // --- Introspection -------------------------------------------------------
+
+  IndexStats Stats() const;
+
+  // Structural self-check: every chunk non-empty and within its capacity,
+  // no two chunks overlapping on disk, per-word chunk postings summing to
+  // the directory totals, and global posting accounting consistent.
+  // Returns Corruption with a description on the first violation.
+  Status VerifyIntegrity() const;
+  const std::vector<UpdateCategories>& update_categories() const {
+    return categories_;
+  }
+  const storage::IoTrace& trace() const { return trace_; }
+  const BucketStore& bucket_store() const { return buckets_; }
+  BucketStore& bucket_store() { return buckets_; }
+  const LongListStore& long_list_store() const { return *long_lists_; }
+  const storage::DiskArray& disks() const { return *disks_; }
+  text::Vocabulary& vocabulary() { return vocabulary_; }
+  const text::Vocabulary& vocabulary() const { return vocabulary_; }
+  DocId next_doc_id() const { return next_doc_id_; }
+
+ private:
+  // Routes one in-memory list to the long-list store or the buckets,
+  // promoting bucket evictions.
+  Status RouteList(WordId word, const PostingList& list);
+
+  // End-of-batch flush of buckets + directory (shadow-paged: write new,
+  // free old), then the long-list RELEASE list.
+  Status FlushMeta();
+
+  void Categorize(WordId word, UpdateCategories* cats) const;
+
+  IndexOptions options_;
+  std::unique_ptr<storage::DiskArray> disks_;
+  storage::IoTrace trace_;
+  BucketStore buckets_;
+  std::unique_ptr<LongListStore> long_lists_;
+  text::Vocabulary vocabulary_;
+  text::Tokenizer tokenizer_;
+  MemoryIndex memory_index_{&tokenizer_, &vocabulary_};
+  DocId next_doc_id_ = 0;
+  uint64_t updates_applied_ = 0;
+  uint64_t total_postings_ = 0;
+  std::vector<UpdateCategories> categories_;
+  std::unordered_set<DocId> deleted_;
+  std::vector<storage::BlockRange> prev_bucket_ranges_;
+  std::vector<storage::BlockRange> prev_directory_ranges_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_INVERTED_INDEX_H_

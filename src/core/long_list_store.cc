@@ -1,0 +1,286 @@
+#include "core/long_list_store.h"
+
+#include <algorithm>
+
+#include "core/posting_codec.h"
+#include "util/logging.h"
+
+namespace duplex::core {
+
+LongListStore::LongListStore(const LongListStoreOptions& options,
+                             storage::DiskArray* disks,
+                             storage::IoTrace* trace)
+    : options_(options), disks_(disks), trace_(trace) {
+  DUPLEX_CHECK(disks != nullptr);
+  DUPLEX_CHECK_GT(options.block_postings, 0u);
+  DUPLEX_CHECK_OK(options.policy.Validate());
+  if (options_.materialize) {
+    DUPLEX_CHECK(disks_->device(0) != nullptr)
+        << "materialize requires a disk array with payload devices";
+    // Varints use at most 5 bytes per doc-id posting; the byte capacity of
+    // a chunk must cover its posting capacity.
+    DUPLEX_CHECK_GE(disks_->block_size(),
+                    5 * options_.block_postings);
+  }
+}
+
+void LongListStore::Record(storage::IoOp op, WordId word, uint64_t postings,
+                           const storage::BlockRange& range,
+                           uint64_t nblocks) {
+  if (op == storage::IoOp::kRead) {
+    ++counters_.read_ops;
+  } else {
+    ++counters_.write_ops;
+  }
+  if (trace_ != nullptr) {
+    storage::IoEvent e;
+    e.op = op;
+    e.tag = storage::IoTag::kLongList;
+    e.word = word;
+    e.postings = postings;
+    e.disk = range.disk;
+    e.block = range.start;
+    e.nblocks = nblocks;
+    trace_->Add(e);
+  }
+}
+
+uint64_t LongListStore::TailSpace(WordId word) const {
+  const LongList* list = directory_.Find(word);
+  if (list == nullptr || list->chunks.empty()) return 0;
+  const ChunkRef& last = list->chunks.back();
+  return ChunkCapacity(last) - last.postings;
+}
+
+Status LongListStore::WritePayload(const ChunkRef& chunk,
+                                   const std::vector<DocId>& docs, DocId base,
+                                   uint64_t byte_offset) {
+  const std::string bytes = EncodePostingBlock(docs, base);
+  storage::BlockDevice* dev = disks_->device(chunk.range.disk);
+  DUPLEX_CHECK(dev != nullptr);
+  return dev->Write(chunk.range.start, byte_offset,
+                    reinterpret_cast<const uint8_t*>(bytes.data()),
+                    bytes.size());
+}
+
+Status LongListStore::UpdateInPlace(WordId word, LongList* list,
+                                    const PostingList& m) {
+  ChunkRef& c = list->chunks.back();
+  DUPLEX_CHECK_GT(c.postings, 0u);
+  const uint64_t y = m.size();
+  // UPDATE(a) "reads the last block containing postings for word w,
+  // appends a to it, and then writes the result back as an in-place
+  // update". The write covers the old last block through the new last one.
+  const storage::BlockId last_block =
+      c.range.start + (c.postings - 1) / options_.block_postings;
+  const storage::BlockId new_last_block =
+      c.range.start + (c.postings + y - 1) / options_.block_postings;
+  DUPLEX_CHECK_LT(new_last_block, c.range.end());
+  storage::BlockRange read_at{c.range.disk, last_block, 1};
+  Record(storage::IoOp::kRead, word, y, read_at, 1);
+  Record(storage::IoOp::kWrite, word, y, read_at,
+         new_last_block - last_block + 1);
+
+  if (options_.materialize) {
+    DUPLEX_CHECK(m.materialized());
+    const std::string bytes = EncodePostingBlock(m.docs(), list->last_doc);
+    storage::BlockDevice* dev = disks_->device(c.range.disk);
+    DUPLEX_RETURN_IF_ERROR(
+        dev->Write(c.range.start, c.byte_length,
+                   reinterpret_cast<const uint8_t*>(bytes.data()),
+                   bytes.size()));
+    c.byte_length += bytes.size();
+    list->last_doc = m.last_doc();
+  }
+  c.postings += y;
+  list->total_postings += y;
+  ++counters_.in_place_updates;
+  return Status::OK();
+}
+
+Result<PostingList> LongListStore::ReadAndRelease(WordId word,
+                                                  LongList* list) {
+  PostingList full;
+  if (options_.materialize) {
+    std::vector<DocId> docs;
+    docs.reserve(list->total_postings);
+    for (const ChunkRef& c : list->chunks) {
+      const storage::BlockDevice* dev = disks_->device(c.range.disk);
+      std::string bytes(c.byte_length, '\0');
+      DUPLEX_RETURN_IF_ERROR(dev->Read(
+          c.range.start, 0, reinterpret_cast<uint8_t*>(bytes.data()),
+          bytes.size()));
+      Result<std::vector<DocId>> chunk_docs =
+          DecodePostingBlock(bytes, c.postings, c.base_doc);
+      if (!chunk_docs.ok()) return chunk_docs.status();
+      docs.insert(docs.end(), chunk_docs->begin(), chunk_docs->end());
+    }
+    full = PostingList::Materialized(std::move(docs));
+  } else {
+    full = PostingList::Counted(list->total_postings);
+  }
+  for (const ChunkRef& c : list->chunks) {
+    Record(storage::IoOp::kRead, word, c.postings, c.range, c.range.length);
+    release_.push_back(c.range);
+  }
+  counters_.postings_moved += list->total_postings;
+  list->chunks.clear();
+  list->total_postings = 0;
+  return full;
+}
+
+Status LongListStore::WriteReserved(WordId word, LongList* list,
+                                    const PostingList& a) {
+  const uint64_t x = a.size();
+  DUPLEX_CHECK_GT(x, 0u);
+  const uint64_t f = std::max(
+      x, options_.policy.ReservedFor(x, options_.block_postings,
+                                     list->chunks.size()));
+  const uint64_t alloc_blocks = std::max<uint64_t>(1, BlocksFor(f));
+  Result<storage::BlockRange> range = disks_->Allocate(alloc_blocks);
+  if (!range.ok()) return range.status();
+
+  const uint64_t data_blocks = std::max<uint64_t>(1, BlocksFor(x));
+  Record(storage::IoOp::kWrite, word, x, *range, data_blocks);
+
+  ChunkRef chunk;
+  chunk.range = *range;
+  chunk.postings = x;
+  chunk.base_doc = list->total_postings > 0 ? list->last_doc : 0;
+  if (options_.materialize) {
+    DUPLEX_CHECK(a.materialized());
+    const std::string bytes = EncodePostingBlock(a.docs(), chunk.base_doc);
+    chunk.byte_length = bytes.size();
+    storage::BlockDevice* dev = disks_->device(range->disk);
+    DUPLEX_RETURN_IF_ERROR(
+        dev->Write(range->start, 0,
+                   reinterpret_cast<const uint8_t*>(bytes.data()),
+                   bytes.size()));
+    list->last_doc = a.last_doc();
+  }
+  list->chunks.push_back(chunk);
+  list->total_postings += x;
+  return Status::OK();
+}
+
+Status LongListStore::WriteExtents(WordId word, LongList* list,
+                                   PostingList m) {
+  const uint64_t extent_capacity =
+      static_cast<uint64_t>(options_.policy.extent_blocks) *
+      options_.block_postings;
+  // Paper Figure 2 lines 8-9: WHILE (M not empty) WRITE(M, M).
+  while (!m.empty()) {
+    const uint64_t take = std::min(m.size(), extent_capacity);
+    PostingList prefix = m.TakePrefix(take);
+    Result<storage::BlockRange> range =
+        disks_->Allocate(options_.policy.extent_blocks);
+    if (!range.ok()) return range.status();
+    const uint64_t data_blocks = std::max<uint64_t>(1, BlocksFor(take));
+    Record(storage::IoOp::kWrite, word, take, *range, data_blocks);
+
+    ChunkRef chunk;
+    chunk.range = *range;
+    chunk.postings = take;
+    chunk.base_doc = list->total_postings > 0 ? list->last_doc : 0;
+    if (options_.materialize) {
+      DUPLEX_CHECK(prefix.materialized());
+      const std::string bytes =
+          EncodePostingBlock(prefix.docs(), chunk.base_doc);
+      chunk.byte_length = bytes.size();
+      storage::BlockDevice* dev = disks_->device(range->disk);
+      DUPLEX_RETURN_IF_ERROR(
+          dev->Write(range->start, 0,
+                     reinterpret_cast<const uint8_t*>(bytes.data()),
+                     bytes.size()));
+      list->last_doc = prefix.last_doc();
+    }
+    list->chunks.push_back(chunk);
+    list->total_postings += take;
+  }
+  return Status::OK();
+}
+
+Status LongListStore::Append(WordId word, const PostingList& m) {
+  if (m.empty()) return Status::OK();
+  if (options_.materialize && !m.materialized()) {
+    return Status::InvalidArgument(
+        "materialized store requires materialized posting lists");
+  }
+  LongList* list = directory_.FindMutable(word);
+  const bool is_new = list == nullptr;
+  if (is_new) {
+    list = &directory_.GetOrCreate(word);
+    ++counters_.lists_created;
+  } else {
+    ++counters_.appends_to_existing;
+  }
+
+  const uint64_t y = m.size();
+  // Figure 2 line 1: "if y <= Limit then UPDATE(M)". Limit is 0 or z; a
+  // brand-new list has no chunk to extend so it always falls through.
+  if (!is_new && options_.policy.in_place && !list->chunks.empty() &&
+      y <= ChunkCapacity(list->chunks.back()) -
+               list->chunks.back().postings) {
+    return UpdateInPlace(word, list, m);
+  }
+
+  switch (options_.policy.style) {
+    case Style::kWhole: {
+      PostingList combined;
+      if (!list->chunks.empty()) {
+        Result<PostingList> b = ReadAndRelease(word, list);
+        if (!b.ok()) return b.status();
+        combined = std::move(*b);
+      }
+      combined.Append(m);
+      return WriteReserved(word, list, combined);
+    }
+    case Style::kFill:
+      return WriteExtents(word, list, m);
+    case Style::kNew:
+      return WriteReserved(word, list, m);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status LongListStore::FlushEpoch() {
+  for (const storage::BlockRange& r : release_) {
+    DUPLEX_RETURN_IF_ERROR(disks_->Free(r));
+  }
+  release_.clear();
+  return Status::OK();
+}
+
+Result<std::vector<DocId>> LongListStore::ReadPostings(WordId word) const {
+  if (!options_.materialize) {
+    return Status::FailedPrecondition("store is not materialized");
+  }
+  const LongList* list = directory_.Find(word);
+  if (list == nullptr) return Status::NotFound("no long list for word");
+  std::vector<DocId> docs;
+  docs.reserve(list->total_postings);
+  for (const ChunkRef& c : list->chunks) {
+    const storage::BlockDevice* dev = disks_->device(c.range.disk);
+    std::string bytes(c.byte_length, '\0');
+    DUPLEX_RETURN_IF_ERROR(dev->Read(c.range.start, 0,
+                                     reinterpret_cast<uint8_t*>(bytes.data()),
+                                     bytes.size()));
+    Result<std::vector<DocId>> chunk_docs =
+        DecodePostingBlock(bytes, c.postings, c.base_doc);
+    if (!chunk_docs.ok()) return chunk_docs.status();
+    docs.insert(docs.end(), chunk_docs->begin(), chunk_docs->end());
+  }
+  return docs;
+}
+
+Status LongListStore::Drop(WordId word) {
+  LongList* list = directory_.FindMutable(word);
+  if (list == nullptr) return Status::NotFound("no long list for word");
+  for (const ChunkRef& c : list->chunks) {
+    DUPLEX_RETURN_IF_ERROR(disks_->Free(c.range));
+  }
+  directory_.Erase(word);
+  return Status::OK();
+}
+
+}  // namespace duplex::core

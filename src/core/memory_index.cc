@@ -1,0 +1,31 @@
+#include "core/memory_index.h"
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+void MemoryIndex::AddDocument(DocId doc, const std::string& text) {
+  DUPLEX_CHECK(tokenizer_ != nullptr);
+  DUPLEX_CHECK(vocabulary_ != nullptr);
+  for (const std::string& word : tokenizer_->Tokenize(text)) {
+    std::vector<DocId>& list = lists_[vocabulary_->GetOrAdd(word)];
+    DUPLEX_CHECK(list.empty() || list.back() < doc)
+        << "documents must be added in ascending doc-id order";
+    list.push_back(doc);
+    ++postings_;
+  }
+  ++documents_;
+}
+
+const std::vector<DocId>* MemoryIndex::Find(WordId word) const {
+  auto it = lists_.find(word);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+void MemoryIndex::Clear() {
+  lists_.clear();
+  documents_ = 0;
+  postings_ = 0;
+}
+
+}  // namespace duplex::core

@@ -1,0 +1,56 @@
+#ifndef DUPLEX_CORE_MEMORY_INDEX_H_
+#define DUPLEX_CORE_MEMORY_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// The in-memory inverted index over documents that have arrived but not
+// yet been flushed to disk. The paper's introduction requires exactly
+// this: updates are batched, and "to maintain access to the batch, it can
+// be searched simultaneously with the larger index". InvertedIndex merges
+// these postings into query results until FlushDocuments() drains them.
+class MemoryIndex {
+ public:
+  MemoryIndex(const text::Tokenizer* tokenizer,
+              text::Vocabulary* vocabulary)
+      : tokenizer_(tokenizer), vocabulary_(vocabulary) {}
+
+  MemoryIndex(const MemoryIndex&) = delete;
+  MemoryIndex& operator=(const MemoryIndex&) = delete;
+
+  // Tokenizes `text` and adds its words under `doc`. Doc ids must arrive
+  // in ascending order.
+  void AddDocument(DocId doc, const std::string& text);
+
+  // Postings buffered for `word`; nullptr when none.
+  const std::vector<DocId>* Find(WordId word) const;
+
+  size_t document_count() const { return documents_; }
+  size_t distinct_words() const { return lists_.size(); }
+  uint64_t total_postings() const { return postings_; }
+  bool empty() const { return documents_ == 0; }
+
+  void Clear();
+
+  const std::unordered_map<WordId, std::vector<DocId>>& lists() const {
+    return lists_;
+  }
+
+ private:
+  const text::Tokenizer* tokenizer_;
+  text::Vocabulary* vocabulary_;
+  std::unordered_map<WordId, std::vector<DocId>> lists_;
+  size_t documents_ = 0;
+  uint64_t postings_ = 0;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_MEMORY_INDEX_H_

@@ -1,0 +1,190 @@
+#include "core/policy.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+const char* StyleName(Style style) {
+  switch (style) {
+    case Style::kNew:
+      return "new";
+    case Style::kFill:
+      return "fill";
+    case Style::kWhole:
+      return "whole";
+  }
+  return "unknown";
+}
+
+const char* AllocStrategyName(AllocStrategy alloc) {
+  switch (alloc) {
+    case AllocStrategy::kConstant:
+      return "constant";
+    case AllocStrategy::kBlock:
+      return "block";
+    case AllocStrategy::kProportional:
+      return "proportional";
+    case AllocStrategy::kExponential:
+      return "exponential";
+  }
+  return "unknown";
+}
+
+Policy Policy::New0() {
+  Policy p;
+  p.style = Style::kNew;
+  p.in_place = false;
+  p.alloc = AllocStrategy::kConstant;
+  p.k = 0.0;
+  return p;
+}
+
+Policy Policy::NewZ(AllocStrategy alloc, double k) {
+  Policy p;
+  p.style = Style::kNew;
+  p.in_place = true;
+  p.alloc = alloc;
+  p.k = k;
+  return p;
+}
+
+Policy Policy::Fill0(uint32_t extent_blocks) {
+  Policy p;
+  p.style = Style::kFill;
+  p.in_place = false;
+  p.alloc = AllocStrategy::kConstant;
+  p.k = 0.0;
+  p.extent_blocks = extent_blocks;
+  return p;
+}
+
+Policy Policy::FillZ(uint32_t extent_blocks) {
+  Policy p = Fill0(extent_blocks);
+  p.in_place = true;
+  return p;
+}
+
+Policy Policy::Whole0() {
+  Policy p;
+  p.style = Style::kWhole;
+  p.in_place = false;
+  p.alloc = AllocStrategy::kConstant;
+  p.k = 0.0;
+  return p;
+}
+
+Policy Policy::WholeZ(AllocStrategy alloc, double k) {
+  Policy p;
+  p.style = Style::kWhole;
+  p.in_place = true;
+  p.alloc = alloc;
+  p.k = k;
+  return p;
+}
+
+Policy Policy::RecommendedUpdateOptimized() {
+  return NewZ(AllocStrategy::kProportional, 1.2);
+}
+
+Policy Policy::RecommendedQueryOptimized() {
+  return WholeZ(AllocStrategy::kProportional, 1.2);
+}
+
+uint64_t Policy::ReservedFor(uint64_t x, uint64_t block_postings,
+                             uint64_t chunk_index) const {
+  DUPLEX_CHECK_GT(block_postings, 0u);
+  switch (alloc) {
+    case AllocStrategy::kConstant:
+      return x + static_cast<uint64_t>(k);
+    case AllocStrategy::kBlock: {
+      // k is in blocks: the chunk is rounded up to a multiple of k blocks.
+      const uint64_t k_postings =
+          static_cast<uint64_t>(k) * block_postings;
+      DUPLEX_CHECK_GT(k_postings, 0u);
+      const uint64_t multiples = (x + k_postings - 1) / k_postings;
+      return (multiples == 0 ? 1 : multiples) * k_postings;
+    }
+    case AllocStrategy::kProportional:
+      return static_cast<uint64_t>(std::ceil(k * static_cast<double>(x)));
+    case AllocStrategy::kExponential: {
+      // Chunk `chunk_index` is at least k^chunk_index blocks (capped so
+      // the exponent cannot overflow); the data itself may need more.
+      const double exponent = std::min<double>(
+          static_cast<double>(chunk_index), 40.0);
+      const uint64_t min_blocks = static_cast<uint64_t>(
+          std::ceil(std::pow(k, exponent)));
+      return std::max(x, min_blocks * block_postings);
+    }
+  }
+  return x;
+}
+
+Status Policy::Validate() const {
+  if (!in_place) {
+    // Limit = 0: reserved space would never be used; the paper fixes
+    // Alloc = constant with k = 0 in this case.
+    if (alloc != AllocStrategy::kConstant || k != 0.0) {
+      return Status::InvalidArgument(
+          "Limit=0 requires Alloc=constant with k=0 (reserved space would "
+          "never be used)");
+    }
+  }
+  if (style == Style::kFill) {
+    if (extent_blocks == 0) {
+      return Status::InvalidArgument("fill style requires extent_blocks>0");
+    }
+    if (alloc != AllocStrategy::kConstant || k != 0.0) {
+      return Status::InvalidArgument(
+          "fill style has its own extent allocation; Alloc must be left at "
+          "constant k=0");
+    }
+  }
+  if (alloc == AllocStrategy::kProportional && in_place && k < 1.0) {
+    return Status::InvalidArgument("proportional k must be >= 1");
+  }
+  if (alloc == AllocStrategy::kBlock && in_place && k < 1.0) {
+    return Status::InvalidArgument("block k must be >= 1 block");
+  }
+  if (alloc == AllocStrategy::kExponential) {
+    if (style != Style::kNew) {
+      return Status::InvalidArgument(
+          "exponential allocation only makes sense for the new style "
+          "(whole keeps one chunk; fill has its own extents)");
+    }
+    if (k <= 1.0) {
+      return Status::InvalidArgument("exponential k must be > 1");
+    }
+  }
+  if (k < 0.0) return Status::InvalidArgument("k must be non-negative");
+  return Status::OK();
+}
+
+std::string Policy::Name() const {
+  std::ostringstream os;
+  os << StyleName(style) << " " << (in_place ? "z" : "0");
+  if (style == Style::kFill) {
+    os << " e=" << extent_blocks;
+  } else if (in_place &&
+             !(alloc == AllocStrategy::kConstant && k == 0.0)) {
+    switch (alloc) {
+      case AllocStrategy::kConstant:
+        os << " const" << static_cast<uint64_t>(k);
+        break;
+      case AllocStrategy::kBlock:
+        os << " block" << static_cast<uint64_t>(k);
+        break;
+      case AllocStrategy::kProportional:
+        os << " prop" << k;
+        break;
+      case AllocStrategy::kExponential:
+        os << " exp" << k;
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace duplex::core

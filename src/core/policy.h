@@ -1,0 +1,88 @@
+#ifndef DUPLEX_CORE_POLICY_H_
+#define DUPLEX_CORE_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace duplex::core {
+
+// The three long-list styles of paper Table 2.
+enum class Style : uint8_t {
+  kNew,    // write each update as a new chunk (with reserved space)
+  kFill,   // fill fixed-size extents of `extent_blocks` blocks
+  kWhole,  // keep every long list one whole contiguous chunk
+};
+
+// Reserved-space strategy f(x) for WRITE_RESERVED (paper Table 2):
+//   constant:     f(x) = x + k
+//   block:        f(x) = k_blocks * ceil(x / k_blocks_postings) — the chunk
+//                 is a constant multiple of k blocks
+//   proportional: f(x) = k * x
+//   exponential:  chunk n of a list is at least k^n blocks — the adaptive
+//                 geometric-growth scheme of Faloutsos & Jagadish that the
+//                 paper lists as "not studied here"; bounds a list's chunk
+//                 count (and so its read cost) to O(log_k postings)
+enum class AllocStrategy : uint8_t {
+  kConstant,
+  kBlock,
+  kProportional,
+  kExponential,
+};
+
+const char* StyleName(Style style);
+const char* AllocStrategyName(AllocStrategy alloc);
+
+// A complete long-list allocation policy. `Limit` from the paper is the
+// boolean `in_place` here: Limit = 0 (never update in place) or Limit = z
+// (update in place whenever the in-memory list fits the free tail space).
+struct Policy {
+  Style style = Style::kNew;
+  bool in_place = false;          // paper's Limit: false = 0, true = z
+  AllocStrategy alloc = AllocStrategy::kConstant;
+  double k = 0.0;                 // constant: postings; block: blocks;
+                                  // proportional: multiplier (>= 1)
+  uint32_t extent_blocks = 4;     // e, used only by the fill style
+
+  // --- Named policies used throughout the paper -------------------------
+
+  // Update-optimized extreme: new style, Limit = 0.
+  static Policy New0();
+  // New style with in-place updates; k = 0 keeps only block-rounding slack.
+  static Policy NewZ(AllocStrategy alloc = AllocStrategy::kConstant,
+                     double k = 0.0);
+  // Fill style without in-place updates (paper: unusable disk utilization).
+  static Policy Fill0(uint32_t extent_blocks = 4);
+  // The recommended fill policy: in-place updates, e = 4.
+  static Policy FillZ(uint32_t extent_blocks = 4);
+  // Query-optimized extreme: whole style, never in place, no reserve
+  // (also models the naive WAIS copy-the-whole-list behaviour).
+  static Policy Whole0();
+  // Whole style with in-place updates.
+  static Policy WholeZ(AllocStrategy alloc = AllocStrategy::kConstant,
+                       double k = 0.0);
+
+  // The paper's two bottom-line recommendations (Section 5.4).
+  static Policy RecommendedUpdateOptimized();  // new, prop k=1.2, in-place
+  static Policy RecommendedQueryOptimized();   // whole, prop k=1.2, in-place
+
+  // Reserved-space target f(x) in postings for a list of x postings.
+  // block_postings = postings per disk block (needed by the block and
+  // exponential strategies, whose k is expressed in blocks).
+  // `chunk_index` is how many chunks the list already has (used by the
+  // exponential strategy; the others ignore it).
+  uint64_t ReservedFor(uint64_t x, uint64_t block_postings,
+                       uint64_t chunk_index = 0) const;
+
+  // Validates parameter combinations (paper Section 3.1 rules: Limit = 0
+  // forces Alloc = constant k = 0; fill ignores Alloc).
+  Status Validate() const;
+
+  // Short display name like "new z prop1.2" / "fill 0 e=4" / "whole 0".
+  std::string Name() const;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_POLICY_H_

@@ -1,0 +1,48 @@
+#include "core/posting.h"
+
+#include <algorithm>
+
+namespace duplex::core {
+
+void PostingList::Append(const PostingList& other) {
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.count_ == 0) return;
+  if (materialized_ && other.materialized_) {
+    DUPLEX_CHECK_LT(docs_.back(), other.docs_.front());
+    docs_.insert(docs_.end(), other.docs_.begin(), other.docs_.end());
+    count_ += other.count_;
+    return;
+  }
+  // Mixing counted and materialized lists degrades to counted.
+  materialized_ = false;
+  docs_.clear();
+  count_ += other.count_;
+}
+
+void PostingList::Add(DocId doc) {
+  if (count_ == 0) materialized_ = true;
+  if (materialized_) {
+    if (!docs_.empty()) DUPLEX_CHECK_LT(docs_.back(), doc);
+    docs_.push_back(doc);
+  }
+  ++count_;
+}
+
+PostingList PostingList::TakePrefix(uint64_t n) {
+  DUPLEX_CHECK_LE(n, count_);
+  PostingList prefix;
+  prefix.count_ = n;
+  prefix.materialized_ = materialized_;
+  if (materialized_) {
+    prefix.docs_.assign(docs_.begin(),
+                        docs_.begin() + static_cast<ptrdiff_t>(n));
+    docs_.erase(docs_.begin(), docs_.begin() + static_cast<ptrdiff_t>(n));
+  }
+  count_ -= n;
+  return prefix;
+}
+
+}  // namespace duplex::core

@@ -1,0 +1,73 @@
+#ifndef DUPLEX_CORE_POSTING_H_
+#define DUPLEX_CORE_POSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// An in-memory inverted list. Two modes:
+//  - materialized: holds the ascending doc ids (what the real index stores
+//    and queries read);
+//  - counted: holds only the number of postings. The paper's experiment
+//    pipeline runs entirely on counts ("for our performance evaluation we
+//    do not need to know the contents of each inverted list, only its
+//    size", Section 4.2), and the policy code below works identically on
+//    both modes.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  // Counted-mode list of `count` postings.
+  static PostingList Counted(uint64_t count) {
+    PostingList list;
+    list.count_ = count;
+    return list;
+  }
+
+  // Materialized list; `docs` must be strictly ascending.
+  static PostingList Materialized(std::vector<DocId> docs) {
+    PostingList list;
+    list.count_ = docs.size();
+    list.docs_ = std::move(docs);
+    list.materialized_ = true;
+    return list;
+  }
+
+  bool materialized() const { return materialized_; }
+  uint64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Requires materialized().
+  const std::vector<DocId>& docs() const {
+    DUPLEX_CHECK(materialized_);
+    return docs_;
+  }
+
+  DocId last_doc() const {
+    DUPLEX_CHECK(materialized_);
+    DUPLEX_CHECK(!docs_.empty());
+    return docs_.back();
+  }
+
+  // Appends `other` (doc ids must continue ascending when materialized).
+  void Append(const PostingList& other);
+
+  // Adds one posting.
+  void Add(DocId doc);
+
+  // Splits off the first `n` postings (n <= size()); *this keeps the rest.
+  PostingList TakePrefix(uint64_t n);
+
+ private:
+  uint64_t count_ = 0;
+  bool materialized_ = false;
+  std::vector<DocId> docs_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_POSTING_H_

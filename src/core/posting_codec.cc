@@ -1,0 +1,79 @@
+#include "core/posting_codec.h"
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+void PutVarint64(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+Result<uint64_t> GetVarint64(const uint8_t* data, size_t len, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < len && shift <= 63) {
+    const uint8_t byte = data[*pos];
+    ++*pos;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::Corruption("truncated or overlong varint");
+}
+
+Result<uint64_t> GetVarint64(const std::string& bytes, size_t* pos) {
+  return GetVarint64(reinterpret_cast<const uint8_t*>(bytes.data()),
+                     bytes.size(), pos);
+}
+
+void EncodePostings(const std::vector<DocId>& docs, DocId base,
+                    std::string* out) {
+  DocId prev = base;
+  bool first = true;
+  for (const DocId doc : docs) {
+    if (first) {
+      DUPLEX_CHECK_GE(doc, prev);
+      first = false;
+    } else {
+      DUPLEX_CHECK_GT(doc, prev);
+    }
+    PutVarint64(doc - prev, out);
+    prev = doc;
+  }
+}
+
+Status DecodePostings(const std::string& bytes, size_t* pos, uint64_t count,
+                      DocId base, std::vector<DocId>* docs) {
+  DocId prev = base;
+  for (uint64_t i = 0; i < count; ++i) {
+    Result<uint64_t> gap = GetVarint64(bytes, pos);
+    if (!gap.ok()) return gap.status();
+    prev = static_cast<DocId>(prev + *gap);
+    docs->push_back(prev);
+  }
+  return Status::OK();
+}
+
+std::string EncodePostingBlock(const std::vector<DocId>& docs, DocId base) {
+  std::string out;
+  out.reserve(docs.size() * 2);
+  EncodePostings(docs, base, &out);
+  return out;
+}
+
+Result<std::vector<DocId>> DecodePostingBlock(const std::string& bytes,
+                                              uint64_t count, DocId base) {
+  std::vector<DocId> docs;
+  docs.reserve(count);
+  size_t pos = 0;
+  DUPLEX_RETURN_IF_ERROR(DecodePostings(bytes, &pos, count, base, &docs));
+  return docs;
+}
+
+size_t MaxEncodedSize(size_t count) { return count * 5; }
+
+}  // namespace duplex::core

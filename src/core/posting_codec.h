@@ -1,0 +1,51 @@
+#ifndef DUPLEX_CORE_POSTING_CODEC_H_
+#define DUPLEX_CORE_POSTING_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// Varint + delta ("d-gap") compression for on-disk posting lists, the
+// standard inverted-file encoding (Zobel/Moffat/Sacks-Davis, cited as
+// complementary by the paper). Doc ids are ascending; each posting stores
+// the gap to its predecessor as a LEB128 varint.
+//
+// A sequence is encoded relative to `base`, the doc id preceding the
+// sequence plus one convention: the first gap is doc[0] - base where base
+// starts at 0 for a fresh chunk, so doc ids must be >= base and strictly
+// ascending (gap 0 is allowed only for the first posting of a fresh chunk
+// with doc id 0, encoded as varint 0).
+
+// Appends one varint to out.
+void PutVarint64(uint64_t value, std::string* out);
+
+// Reads one varint at offset *pos; advances *pos. Fails on truncation or
+// >10-byte runaway.
+Result<uint64_t> GetVarint64(const std::string& bytes, size_t* pos);
+Result<uint64_t> GetVarint64(const uint8_t* data, size_t len, size_t* pos);
+
+// Encodes `docs` (strictly ascending, docs[0] >= base) as gaps from `base`.
+void EncodePostings(const std::vector<DocId>& docs, DocId base,
+                    std::string* out);
+
+// Decodes exactly `count` postings from bytes[*pos...] relative to `base`,
+// appending to *docs; advances *pos.
+Status DecodePostings(const std::string& bytes, size_t* pos, uint64_t count,
+                      DocId base, std::vector<DocId>* docs);
+
+// Convenience: encode/decode a whole buffer.
+std::string EncodePostingBlock(const std::vector<DocId>& docs, DocId base);
+Result<std::vector<DocId>> DecodePostingBlock(const std::string& bytes,
+                                              uint64_t count, DocId base);
+
+// Upper bound on encoded size in bytes.
+size_t MaxEncodedSize(size_t count);
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_POSTING_CODEC_H_

@@ -1,0 +1,292 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "core/posting_codec.h"
+#include "util/logging.h"
+
+namespace duplex::core {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'U', 'P', 'X', 'S', 'N', 'P', '1'};
+constexpr uint32_t kFlagMaterialized = 1;
+constexpr uint32_t kFlagWasLong = 1;
+constexpr uint32_t kDictValueSize = 20;  // offset(8) count(8) flags(4)
+
+std::string PackDictEntry(uint64_t offset, uint64_t count, uint32_t flags) {
+  std::string v(kDictValueSize, '\0');
+  std::memcpy(v.data(), &offset, 8);
+  std::memcpy(v.data() + 8, &count, 8);
+  std::memcpy(v.data() + 16, &flags, 4);
+  return v;
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Snapshot::Write(const InvertedIndex& index,
+                       const std::string& prefix) {
+  const bool materialized = index.options().materialize;
+
+  // Gather every word with a list, with its home structure.
+  struct WordRef {
+    WordId word;
+    bool was_long;
+  };
+  std::vector<WordRef> words;
+  for (const auto& [word, list] :
+       index.long_list_store().directory().lists()) {
+    words.push_back({word, true});
+  }
+  const BucketStore& buckets = index.bucket_store();
+  for (uint32_t b = 0; b < buckets.options().num_buckets; ++b) {
+    for (const auto& [word, list] : buckets.bucket(b).entries()) {
+      words.push_back({word, false});
+    }
+  }
+  std::sort(words.begin(), words.end(),
+            [](const WordRef& a, const WordRef& b) { return a.word < b.word; });
+
+  std::string stream;
+  stream.append(kMagic, sizeof(kMagic));
+  PutVarint64(materialized ? kFlagMaterialized : 0, &stream);
+  PutVarint64(words.size(), &stream);
+
+  struct DictRecord {
+    WordId word;
+    uint64_t offset;
+    uint64_t count;
+    uint32_t flags;
+  };
+  std::vector<DictRecord> dict_records;
+  dict_records.reserve(words.size());
+
+  for (const WordRef& ref : words) {
+    const uint64_t offset = stream.size();
+    PutVarint64(ref.word, &stream);
+    PutVarint64(ref.was_long ? kFlagWasLong : 0, &stream);
+    uint64_t count = 0;
+    if (ref.was_long) {
+      const LongList* list =
+          index.long_list_store().directory().Find(ref.word);
+      DUPLEX_CHECK(list != nullptr);
+      count = list->total_postings;
+      PutVarint64(count, &stream);
+      if (materialized) {
+        Result<std::vector<DocId>> docs =
+            index.long_list_store().ReadPostings(ref.word);
+        if (!docs.ok()) return docs.status();
+        EncodePostings(*docs, 0, &stream);
+      }
+    } else {
+      const PostingList* list = buckets.Find(ref.word);
+      DUPLEX_CHECK(list != nullptr);
+      count = list->size();
+      PutVarint64(count, &stream);
+      if (materialized) {
+        DUPLEX_CHECK(list->materialized());
+        EncodePostings(list->docs(), 0, &stream);
+      }
+    }
+    dict_records.push_back({ref.word, offset, count,
+                            ref.was_long ? kFlagWasLong : 0u});
+  }
+
+  // Vocabulary section (string path only; the count-only pipeline has an
+  // empty vocabulary).
+  const text::Vocabulary& vocabulary = index.vocabulary();
+  PutVarint64(vocabulary.size(), &stream);
+  for (WordId id = 0; id < vocabulary.size(); ++id) {
+    const std::string& word = vocabulary.WordFor(id);
+    PutVarint64(word.size(), &stream);
+    stream.append(word);
+  }
+
+  // Document state.
+  PutVarint64(index.next_doc_id(), &stream);
+  std::vector<DocId> deleted = index.deleted_docs();
+  std::sort(deleted.begin(), deleted.end());
+  PutVarint64(deleted.size(), &stream);
+  EncodePostings(deleted, 0, &stream);
+
+  {
+    std::ofstream out(prefix + ".postings",
+                      std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot write " + prefix +
+                                      ".postings");
+    out.write(stream.data(), static_cast<std::streamsize>(stream.size()));
+    if (!out) return Status::Internal("short write to snapshot");
+  }
+
+  // Dictionary B+-tree on a file-backed device.
+  const uint64_t dict_blocks =
+      256 + 2 * (words.size() / 100 + 1);
+  {
+    std::ofstream truncate(prefix + ".dict",
+                           std::ios::binary | std::ios::trunc);
+  }
+  Result<std::unique_ptr<storage::FileBlockDevice>> device =
+      storage::FileBlockDevice::Open(prefix + ".dict", dict_blocks, 4096);
+  if (!device.ok()) return device.status();
+  Result<std::unique_ptr<storage::BPlusTree>> dict =
+      storage::BPlusTree::Create(device->get(), kDictValueSize);
+  if (!dict.ok()) return dict.status();
+  for (const DictRecord& r : dict_records) {
+    DUPLEX_RETURN_IF_ERROR((*dict)->Insert(
+        r.word, PackDictEntry(r.offset, r.count, r.flags)));
+  }
+  return (*device)->Sync();
+}
+
+Status Snapshot::Load(const std::string& prefix, InvertedIndex* index) {
+  DUPLEX_CHECK(index != nullptr);
+  std::string stream;
+  DUPLEX_RETURN_IF_ERROR(ReadFile(prefix + ".postings", &stream));
+  if (stream.size() < sizeof(kMagic) ||
+      std::memcmp(stream.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  size_t pos = sizeof(kMagic);
+  Result<uint64_t> flags = GetVarint64(stream, &pos);
+  if (!flags.ok()) return flags.status();
+  const bool materialized = (*flags & kFlagMaterialized) != 0;
+  if (materialized != index->options().materialize) {
+    return Status::FailedPrecondition(
+        "snapshot materialization mode does not match index options");
+  }
+  Result<uint64_t> word_count = GetVarint64(stream, &pos);
+  if (!word_count.ok()) return word_count.status();
+
+  for (uint64_t i = 0; i < *word_count; ++i) {
+    Result<uint64_t> word = GetVarint64(stream, &pos);
+    if (!word.ok()) return word.status();
+    Result<uint64_t> word_flags = GetVarint64(stream, &pos);
+    if (!word_flags.ok()) return word_flags.status();
+    Result<uint64_t> count = GetVarint64(stream, &pos);
+    if (!count.ok()) return count.status();
+    PostingList list;
+    if (materialized) {
+      std::vector<DocId> docs;
+      docs.reserve(*count);
+      DUPLEX_RETURN_IF_ERROR(
+          DecodePostings(stream, &pos, *count, 0, &docs));
+      list = PostingList::Materialized(std::move(docs));
+    } else {
+      list = PostingList::Counted(*count);
+    }
+    DUPLEX_RETURN_IF_ERROR(
+        index->RestoreWord(static_cast<WordId>(*word), list,
+                           (*word_flags & kFlagWasLong) != 0));
+  }
+
+  Result<uint64_t> vocab_size = GetVarint64(stream, &pos);
+  if (!vocab_size.ok()) return vocab_size.status();
+  for (uint64_t i = 0; i < *vocab_size; ++i) {
+    Result<uint64_t> len = GetVarint64(stream, &pos);
+    if (!len.ok()) return len.status();
+    if (pos + *len > stream.size()) {
+      return Status::Corruption("snapshot: truncated vocabulary");
+    }
+    const WordId id =
+        index->vocabulary().GetOrAdd(stream.substr(pos, *len));
+    if (id != i) {
+      return Status::Corruption(
+          "snapshot: vocabulary ids must restore densely in order");
+    }
+    pos += *len;
+  }
+
+  Result<uint64_t> next_doc = GetVarint64(stream, &pos);
+  if (!next_doc.ok()) return next_doc.status();
+  Result<uint64_t> n_deleted = GetVarint64(stream, &pos);
+  if (!n_deleted.ok()) return n_deleted.status();
+  std::vector<DocId> deleted;
+  DUPLEX_RETURN_IF_ERROR(
+      DecodePostings(stream, &pos, *n_deleted, 0, &deleted));
+  index->RestoreDocState(static_cast<DocId>(*next_doc),
+                         std::move(deleted));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SnapshotReader>> SnapshotReader::Open(
+    const std::string& prefix) {
+  std::unique_ptr<SnapshotReader> reader(new SnapshotReader());
+  reader->postings_path_ = prefix + ".postings";
+  DUPLEX_RETURN_IF_ERROR(
+      ReadFile(reader->postings_path_, &reader->file_contents_));
+  if (reader->file_contents_.size() < sizeof(kMagic) ||
+      std::memcmp(reader->file_contents_.data(), kMagic, sizeof(kMagic)) !=
+          0) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  size_t pos = sizeof(kMagic);
+  Result<uint64_t> flags = GetVarint64(reader->file_contents_, &pos);
+  if (!flags.ok()) return flags.status();
+  reader->materialized_ = (*flags & kFlagMaterialized) != 0;
+
+  // Reopen the dictionary with a generous capacity bound; the tree's own
+  // meta page records its true extent.
+  Result<std::unique_ptr<storage::FileBlockDevice>> device =
+      storage::FileBlockDevice::Open(prefix + ".dict", 1 << 24, 4096);
+  if (!device.ok()) return device.status();
+  reader->dict_device_ = std::move(*device);
+  Result<std::unique_ptr<storage::BPlusTree>> dict =
+      storage::BPlusTree::Open(reader->dict_device_.get());
+  if (!dict.ok()) return dict.status();
+  reader->dict_ = std::move(*dict);
+  return reader;
+}
+
+uint64_t SnapshotReader::word_count() const { return dict_->size(); }
+
+Result<SnapshotReader::DictEntry> SnapshotReader::Lookup(
+    WordId word) const {
+  Result<std::string> value = dict_->Get(word);
+  if (!value.ok()) return value.status();
+  DictEntry entry;
+  std::memcpy(&entry.offset, value->data(), 8);
+  std::memcpy(&entry.count, value->data() + 8, 8);
+  std::memcpy(&entry.flags, value->data() + 16, 4);
+  return entry;
+}
+
+bool SnapshotReader::Contains(WordId word) const {
+  return Lookup(word).ok();
+}
+
+Result<uint64_t> SnapshotReader::Count(WordId word) const {
+  Result<DictEntry> entry = Lookup(word);
+  if (!entry.ok()) return entry.status();
+  return entry->count;
+}
+
+Result<std::vector<DocId>> SnapshotReader::Postings(WordId word) const {
+  if (!materialized_) {
+    return Status::FailedPrecondition(
+        "count-only snapshot has no doc ids");
+  }
+  Result<DictEntry> entry = Lookup(word);
+  if (!entry.ok()) return entry.status();
+  size_t pos = entry->offset;
+  // Skip the word id, flags, and count varints, then decode the doc ids.
+  for (int i = 0; i < 3; ++i) {
+    Result<uint64_t> skipped = GetVarint64(file_contents_, &pos);
+    if (!skipped.ok()) return skipped.status();
+  }
+  std::vector<DocId> docs;
+  docs.reserve(entry->count);
+  DUPLEX_RETURN_IF_ERROR(
+      DecodePostings(file_contents_, &pos, entry->count, 0, &docs));
+  return docs;
+}
+
+}  // namespace duplex::core

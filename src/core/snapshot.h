@@ -1,0 +1,85 @@
+#ifndef DUPLEX_CORE_SNAPSHOT_H_
+#define DUPLEX_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "storage/btree.h"
+#include "storage/file_block_device.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// Durable logical snapshots of an index — the restartability mechanism the
+// paper assumes ("the algorithms and data structures are constructed so
+// that the incremental update of the index can be restarted if it is
+// aborted"). A snapshot is a pair of files:
+//
+//   <prefix>.postings   header + one record per word:
+//                         varint word | flags (long/bucket, materialized)
+//                         | varint count | [delta-varint doc ids]
+//                       followed by a vocabulary section and doc state.
+//   <prefix>.dict       a BPlusTree (on a FileBlockDevice) mapping word ->
+//                       {byte offset into .postings, count, flags} so
+//                       individual words can be read without restoring
+//                       the whole index.
+//
+// Restoring rebuilds the index through the normal policy paths; the
+// logical content (every word's postings, the short/long split, document
+// state, vocabulary) round-trips exactly, while physical chunk addresses
+// are re-derived.
+class Snapshot {
+ public:
+  // Writes a snapshot of `index` to `<prefix>.postings` / `<prefix>.dict`,
+  // replacing existing files.
+  static Status Write(const InvertedIndex& index, const std::string& prefix);
+
+  // Restores a snapshot into `index`, which must be freshly constructed
+  // with a compatible `materialize` setting.
+  static Status Load(const std::string& prefix, InvertedIndex* index);
+};
+
+// Random access into a snapshot without restoring it.
+class SnapshotReader {
+ public:
+  static Result<std::unique_ptr<SnapshotReader>> Open(
+      const std::string& prefix);
+
+  // Word count recorded in the dictionary.
+  uint64_t word_count() const;
+
+  // Whether the word exists; cheap dictionary lookup.
+  bool Contains(WordId word) const;
+
+  // The word's posting count.
+  Result<uint64_t> Count(WordId word) const;
+
+  // The word's doc ids (materialized snapshots only).
+  Result<std::vector<DocId>> Postings(WordId word) const;
+
+  bool materialized() const { return materialized_; }
+
+ private:
+  SnapshotReader() = default;
+
+  struct DictEntry {
+    uint64_t offset = 0;
+    uint64_t count = 0;
+    uint32_t flags = 0;
+  };
+  Result<DictEntry> Lookup(WordId word) const;
+
+  std::string postings_path_;
+  std::string file_contents_;  // .postings loaded once (snapshots are
+                               // compact varint streams)
+  bool materialized_ = false;
+  std::unique_ptr<storage::FileBlockDevice> dict_device_;
+  std::unique_ptr<storage::BPlusTree> dict_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_SNAPSHOT_H_

@@ -1,0 +1,211 @@
+#include "ir/boolean_query.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace duplex::ir {
+namespace {
+
+// Recursive-descent parser:
+//   or_expr  := and_expr ( OR and_expr )*
+//   and_expr := not_expr ( [AND] not_expr )*   -- implicit AND
+//   not_expr := primary | primary AND NOT primary (handled in and_expr)
+//   primary  := term | '(' or_expr ')'
+class Parser {
+ public:
+  explicit Parser(std::string_view text) { Lex(text); }
+
+  Result<std::unique_ptr<BooleanQuery>> Parse() {
+    if (tokens_.empty()) {
+      return Status::InvalidArgument("empty query");
+    }
+    Result<std::unique_ptr<BooleanQuery>> q = ParseOr();
+    if (!q.ok()) return q;
+    if (pos_ != tokens_.size()) {
+      return Status::InvalidArgument("unexpected token '" + tokens_[pos_] +
+                                     "'");
+    }
+    return q;
+  }
+
+ private:
+  void Lex(std::string_view text) {
+    size_t i = 0;
+    while (i < text.size()) {
+      const unsigned char c = static_cast<unsigned char>(text[i]);
+      if (c == '(' || c == ')') {
+        tokens_.emplace_back(1, text[i]);
+        ++i;
+      } else if (std::isalnum(c) != 0) {
+        size_t j = i + 1;
+        while (j < text.size() &&
+               std::isalnum(static_cast<unsigned char>(text[j])) != 0) {
+          ++j;
+        }
+        tokens_.emplace_back(text.substr(i, j - i));
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  bool AtKeyword(const char* kw) const {
+    if (pos_ >= tokens_.size()) return false;
+    const std::string& t = tokens_[pos_];
+    if (t.size() != std::string_view(kw).size()) return false;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(t[i])) != kw[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Result<std::unique_ptr<BooleanQuery>> ParseOr() {
+    Result<std::unique_ptr<BooleanQuery>> left = ParseAnd();
+    if (!left.ok()) return left;
+    std::unique_ptr<BooleanQuery> node = std::move(*left);
+    while (AtKeyword("OR")) {
+      ++pos_;
+      Result<std::unique_ptr<BooleanQuery>> right = ParseAnd();
+      if (!right.ok()) return right;
+      node = BooleanQuery::Or(std::move(node), std::move(*right));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<BooleanQuery>> ParseAnd() {
+    Result<std::unique_ptr<BooleanQuery>> left = ParsePrimary();
+    if (!left.ok()) return left;
+    std::unique_ptr<BooleanQuery> node = std::move(*left);
+    for (;;) {
+      bool negated = false;
+      if (AtKeyword("AND")) {
+        ++pos_;
+        if (AtKeyword("NOT")) {
+          ++pos_;
+          negated = true;
+        }
+      } else if (AtKeyword("NOT")) {
+        ++pos_;
+        negated = true;
+      } else if (pos_ < tokens_.size() && tokens_[pos_] != ")" &&
+                 !AtKeyword("OR")) {
+        // implicit AND between adjacent primaries
+      } else {
+        break;
+      }
+      Result<std::unique_ptr<BooleanQuery>> right = ParsePrimary();
+      if (!right.ok()) return right;
+      node = negated
+                 ? BooleanQuery::AndNot(std::move(node), std::move(*right))
+                 : BooleanQuery::And(std::move(node), std::move(*right));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<BooleanQuery>> ParsePrimary() {
+    if (pos_ >= tokens_.size()) {
+      return Status::InvalidArgument("query ends unexpectedly");
+    }
+    if (tokens_[pos_] == "(") {
+      ++pos_;
+      Result<std::unique_ptr<BooleanQuery>> inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (pos_ >= tokens_.size() || tokens_[pos_] != ")") {
+        return Status::InvalidArgument("missing ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (tokens_[pos_] == ")") {
+      return Status::InvalidArgument("unexpected ')'");
+    }
+    if (AtKeyword("AND") || AtKeyword("OR") || AtKeyword("NOT")) {
+      return Status::InvalidArgument("operator '" + tokens_[pos_] +
+                                     "' needs operands");
+    }
+    std::string term = tokens_[pos_++];
+    std::transform(term.begin(), term.end(), term.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return BooleanQuery::Term(std::move(term));
+  }
+
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+void CollectTerms(const BooleanQuery& q, std::vector<std::string>* out) {
+  if (q.kind == BooleanQuery::Kind::kTerm) {
+    out->push_back(q.term);
+    return;
+  }
+  if (q.left) CollectTerms(*q.left, out);
+  if (q.right) CollectTerms(*q.right, out);
+}
+
+}  // namespace
+
+std::unique_ptr<BooleanQuery> BooleanQuery::Term(std::string word) {
+  auto q = std::make_unique<BooleanQuery>();
+  q->kind = Kind::kTerm;
+  q->term = std::move(word);
+  return q;
+}
+
+std::unique_ptr<BooleanQuery> BooleanQuery::And(
+    std::unique_ptr<BooleanQuery> l, std::unique_ptr<BooleanQuery> r) {
+  auto q = std::make_unique<BooleanQuery>();
+  q->kind = Kind::kAnd;
+  q->left = std::move(l);
+  q->right = std::move(r);
+  return q;
+}
+
+std::unique_ptr<BooleanQuery> BooleanQuery::Or(
+    std::unique_ptr<BooleanQuery> l, std::unique_ptr<BooleanQuery> r) {
+  auto q = std::make_unique<BooleanQuery>();
+  q->kind = Kind::kOr;
+  q->left = std::move(l);
+  q->right = std::move(r);
+  return q;
+}
+
+std::unique_ptr<BooleanQuery> BooleanQuery::AndNot(
+    std::unique_ptr<BooleanQuery> l, std::unique_ptr<BooleanQuery> r) {
+  auto q = std::make_unique<BooleanQuery>();
+  q->kind = Kind::kAndNot;
+  q->left = std::move(l);
+  q->right = std::move(r);
+  return q;
+}
+
+std::vector<std::string> BooleanQuery::Terms() const {
+  std::vector<std::string> terms;
+  CollectTerms(*this, &terms);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+std::string BooleanQuery::ToString() const {
+  switch (kind) {
+    case Kind::kTerm:
+      return term;
+    case Kind::kAnd:
+      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+    case Kind::kAndNot:
+      return "(" + left->ToString() + " AND NOT " + right->ToString() + ")";
+  }
+  return "";
+}
+
+Result<std::unique_ptr<BooleanQuery>> ParseBooleanQuery(
+    std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace duplex::ir

@@ -1,0 +1,48 @@
+#ifndef DUPLEX_IR_BOOLEAN_QUERY_H_
+#define DUPLEX_IR_BOOLEAN_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace duplex::ir {
+
+// Boolean query AST over words, e.g. "(cat AND dog) OR mouse", the query
+// form of the paper's boolean information-retrieval model. NOT is
+// supported as a binary and-not ("cat AND NOT dog") since a bare NOT has
+// no bounded result set.
+struct BooleanQuery {
+  enum class Kind { kTerm, kAnd, kOr, kAndNot };
+
+  Kind kind = Kind::kTerm;
+  std::string term;  // kTerm only
+  std::unique_ptr<BooleanQuery> left;
+  std::unique_ptr<BooleanQuery> right;
+
+  static std::unique_ptr<BooleanQuery> Term(std::string word);
+  static std::unique_ptr<BooleanQuery> And(std::unique_ptr<BooleanQuery> l,
+                                           std::unique_ptr<BooleanQuery> r);
+  static std::unique_ptr<BooleanQuery> Or(std::unique_ptr<BooleanQuery> l,
+                                          std::unique_ptr<BooleanQuery> r);
+  static std::unique_ptr<BooleanQuery> AndNot(
+      std::unique_ptr<BooleanQuery> l, std::unique_ptr<BooleanQuery> r);
+
+  // All distinct terms in the query, lowercased.
+  std::vector<std::string> Terms() const;
+
+  // Canonical text form with full parenthesization.
+  std::string ToString() const;
+};
+
+// Parses "cat AND (dog OR mouse) AND NOT bird". Keywords AND/OR/NOT are
+// case-insensitive; terms are letter/digit runs; precedence NOT > AND > OR;
+// AND binds implicitly between adjacent terms ("cat dog" == "cat AND dog").
+Result<std::unique_ptr<BooleanQuery>> ParseBooleanQuery(
+    std::string_view text);
+
+}  // namespace duplex::ir
+
+#endif  // DUPLEX_IR_BOOLEAN_QUERY_H_

@@ -1,0 +1,101 @@
+#include "ir/query_eval.h"
+
+#include <algorithm>
+
+namespace duplex::ir {
+
+std::vector<DocId> Intersect(const std::vector<DocId>& a,
+                             const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      out.push_back(*ia);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+std::vector<DocId> Union(const std::vector<DocId>& a,
+                         const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Difference(const std::vector<DocId>& a,
+                              const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+namespace {
+
+Status EvalNode(const core::InvertedIndex& index, const BooleanQuery& node,
+                QueryResult* result, std::vector<DocId>* out) {
+  switch (node.kind) {
+    case BooleanQuery::Kind::kTerm: {
+      const core::InvertedIndex::ListLocation loc = index.Locate(node.term);
+      if (!loc.exists) {
+        ++result->missing_terms;
+        out->clear();
+        return Status::OK();
+      }
+      result->read_ops += loc.chunks;
+      result->postings_read += loc.postings;
+      Result<std::vector<DocId>> docs = index.GetPostings(node.term);
+      if (!docs.ok()) return docs.status();
+      *out = std::move(*docs);
+      return Status::OK();
+    }
+    case BooleanQuery::Kind::kAnd:
+    case BooleanQuery::Kind::kOr:
+    case BooleanQuery::Kind::kAndNot: {
+      std::vector<DocId> left;
+      std::vector<DocId> right;
+      DUPLEX_RETURN_IF_ERROR(EvalNode(index, *node.left, result, &left));
+      DUPLEX_RETURN_IF_ERROR(EvalNode(index, *node.right, result, &right));
+      if (node.kind == BooleanQuery::Kind::kAnd) {
+        *out = Intersect(left, right);
+      } else if (node.kind == BooleanQuery::Kind::kOr) {
+        *out = Union(left, right);
+      } else {
+        *out = Difference(left, right);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
+                                    const BooleanQuery& query) {
+  QueryResult result;
+  DUPLEX_RETURN_IF_ERROR(EvalNode(index, query, &result, &result.docs));
+  return result;
+}
+
+Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
+                                    std::string_view query_text) {
+  Result<std::unique_ptr<BooleanQuery>> query =
+      ParseBooleanQuery(query_text);
+  if (!query.ok()) return query.status();
+  return EvaluateBoolean(index, **query);
+}
+
+}  // namespace duplex::ir

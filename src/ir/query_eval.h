@@ -1,0 +1,42 @@
+#ifndef DUPLEX_IR_QUERY_EVAL_H_
+#define DUPLEX_IR_QUERY_EVAL_H_
+
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "ir/boolean_query.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::ir {
+
+// Sorted-list set operations — the merge primitives the paper relies on
+// ("implementations of IR systems indexes merge inverted lists to compute
+// the answer to a boolean query", Section 3). Inputs must be ascending.
+std::vector<DocId> Intersect(const std::vector<DocId>& a,
+                             const std::vector<DocId>& b);
+std::vector<DocId> Union(const std::vector<DocId>& a,
+                         const std::vector<DocId>& b);
+std::vector<DocId> Difference(const std::vector<DocId>& a,
+                              const std::vector<DocId>& b);
+
+// Result of evaluating a query, with the disk cost it would incur.
+struct QueryResult {
+  std::vector<DocId> docs;
+  uint64_t read_ops = 0;       // chunk/bucket reads to fetch all lists
+  uint64_t postings_read = 0;  // postings scanned
+  uint64_t missing_terms = 0;  // terms with no inverted list
+};
+
+// Evaluates a boolean query against a materialized index. Unknown terms
+// evaluate to the empty list.
+Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
+                                    const BooleanQuery& query);
+
+// Convenience: parse + evaluate.
+Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
+                                    std::string_view query_text);
+
+}  // namespace duplex::ir
+
+#endif  // DUPLEX_IR_QUERY_EVAL_H_

@@ -1,0 +1,77 @@
+#include "ir/query_workload.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duplex::ir {
+
+QueryWorkloadGenerator::QueryWorkloadGenerator(
+    const core::InvertedIndex& index, uint64_t seed)
+    : index_(index), rng_(seed) {
+  // Collect all words with lists: long-list words from the directory and
+  // short-list words from the buckets.
+  for (const auto& [word, list] : index.long_list_store().directory().lists()) {
+    words_.push_back(word);
+  }
+  const core::BucketStore& buckets = index.bucket_store();
+  for (uint32_t b = 0; b < buckets.options().num_buckets; ++b) {
+    for (const auto& [word, list] : buckets.bucket(b).entries()) {
+      words_.push_back(word);
+    }
+  }
+  std::sort(words_.begin(), words_.end());
+  cumulative_postings_.reserve(words_.size());
+  uint64_t sum = 0;
+  for (const WordId w : words_) {
+    sum += index.Locate(w).postings;
+    cumulative_postings_.push_back(sum);
+  }
+}
+
+std::vector<WordId> QueryWorkloadGenerator::SampleBooleanTerms(
+    size_t num_terms) {
+  DUPLEX_CHECK(!words_.empty());
+  std::vector<WordId> terms;
+  terms.reserve(num_terms);
+  for (size_t i = 0; i < num_terms; ++i) {
+    terms.push_back(words_[rng_.Uniform(words_.size())]);
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+std::vector<WordId> QueryWorkloadGenerator::SampleVectorTerms(
+    size_t num_terms) {
+  DUPLEX_CHECK(!words_.empty());
+  const uint64_t total = cumulative_postings_.back();
+  DUPLEX_CHECK_GT(total, 0u);
+  std::vector<WordId> terms;
+  terms.reserve(num_terms);
+  for (size_t i = 0; i < num_terms; ++i) {
+    const uint64_t target = rng_.Uniform(total) + 1;
+    const auto it = std::lower_bound(cumulative_postings_.begin(),
+                                     cumulative_postings_.end(), target);
+    terms.push_back(
+        words_[static_cast<size_t>(it - cumulative_postings_.begin())]);
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+QueryWorkloadGenerator::Cost QueryWorkloadGenerator::EstimateCost(
+    const std::vector<WordId>& words) const {
+  Cost cost;
+  for (const WordId w : words) {
+    const core::InvertedIndex::ListLocation loc = index_.Locate(w);
+    if (!loc.exists) continue;
+    cost.read_ops += loc.chunks;
+    cost.postings += loc.postings;
+    if (loc.is_long) ++cost.long_lists;
+  }
+  return cost;
+}
+
+}  // namespace duplex::ir

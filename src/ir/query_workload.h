@@ -1,0 +1,50 @@
+#ifndef DUPLEX_IR_QUERY_WORKLOAD_H_
+#define DUPLEX_IR_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "util/random.h"
+#include "util/types.h"
+
+namespace duplex::ir {
+
+// Samples query term sets matching the paper's two workload models
+// (Section 5.2.1):
+//  - boolean queries contain few words (< 10) biased toward infrequent
+//    words ("frequently appearing words do not discriminate strongly
+//    between documents") — modeled as uniform sampling over the
+//    vocabulary, which is dominated by rare words;
+//  - vector queries are derived from documents, contain many words
+//    (> 100), and follow the frequency of words in documents — modeled as
+//    sampling proportional to posting counts.
+class QueryWorkloadGenerator {
+ public:
+  // Snapshots the index's current word -> posting-count distribution.
+  QueryWorkloadGenerator(const core::InvertedIndex& index, uint64_t seed);
+
+  // Words with any inverted list right now.
+  size_t vocabulary_size() const { return words_.size(); }
+
+  std::vector<WordId> SampleBooleanTerms(size_t num_terms);
+  std::vector<WordId> SampleVectorTerms(size_t num_terms);
+
+  // Disk cost of fetching the given words' lists under the current layout.
+  struct Cost {
+    uint64_t read_ops = 0;
+    uint64_t postings = 0;
+    uint64_t long_lists = 0;
+  };
+  Cost EstimateCost(const std::vector<WordId>& words) const;
+
+ private:
+  const core::InvertedIndex& index_;
+  Rng rng_;
+  std::vector<WordId> words_;
+  std::vector<uint64_t> cumulative_postings_;  // prefix sums over words_
+};
+
+}  // namespace duplex::ir
+
+#endif  // DUPLEX_IR_QUERY_WORKLOAD_H_

@@ -1,0 +1,30 @@
+#include "ir/read_latency.h"
+
+#include <algorithm>
+#include <map>
+
+namespace duplex::ir {
+
+ListReadEstimate EstimateListRead(const core::LongList& list,
+                                  const storage::DiskModelParams& disk) {
+  ListReadEstimate estimate;
+  std::map<storage::DiskId, double> per_disk_ms;
+  const double request_overhead_ms =
+      disk.avg_seek_ms + disk.HalfRotationMs();
+  for (const core::ChunkRef& chunk : list.chunks) {
+    const double ms =
+        request_overhead_ms +
+        static_cast<double>(chunk.range.length) * disk.BlockTransferMs();
+    per_disk_ms[chunk.range.disk] += ms;
+    estimate.serial_ms += ms;
+    ++estimate.read_ops;
+    estimate.blocks += chunk.range.length;
+  }
+  estimate.disks_used = static_cast<uint32_t>(per_disk_ms.size());
+  for (const auto& [disk_id, ms] : per_disk_ms) {
+    estimate.ms = std::max(estimate.ms, ms);
+  }
+  return estimate;
+}
+
+}  // namespace duplex::ir

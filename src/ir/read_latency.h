@@ -1,0 +1,31 @@
+#ifndef DUPLEX_IR_READ_LATENCY_H_
+#define DUPLEX_IR_READ_LATENCY_H_
+
+#include "core/directory.h"
+#include "storage/disk_model.h"
+
+namespace duplex::ir {
+
+// Estimated latency to fetch one long list from disk, answering the
+// paper's striping question ("If multiple disks are available, can we
+// stripe large lists across multiple disks to improve performance?" —
+// and its observation that the fill style "automatically divides lists
+// into sections of disks which can be ... read in parallel").
+struct ListReadEstimate {
+  double ms = 0.0;          // parallel latency: max over disks
+  double serial_ms = 0.0;   // single-spindle equivalent: sum over chunks
+  uint64_t read_ops = 0;    // chunk reads issued
+  uint64_t blocks = 0;      // blocks transferred
+  uint32_t disks_used = 0;  // distinct disks touched
+};
+
+// Cost model: each chunk read pays a seek + half rotation + its transfer;
+// chunks on distinct disks proceed in parallel (the paper issues requests
+// per disk from independent processes), so latency is the max over disks
+// of each disk's serial chunk-read time.
+ListReadEstimate EstimateListRead(const core::LongList& list,
+                                  const storage::DiskModelParams& disk);
+
+}  // namespace duplex::ir
+
+#endif  // DUPLEX_IR_READ_LATENCY_H_

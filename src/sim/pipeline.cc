@@ -1,0 +1,147 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace duplex::sim {
+
+core::IndexOptions SimConfig::ToIndexOptions(
+    const core::Policy& policy) const {
+  core::IndexOptions opts;
+  opts.buckets.num_buckets = num_buckets;
+  opts.buckets.bucket_capacity = bucket_capacity;
+  opts.policy = policy;
+  opts.block_postings = block_postings;
+  opts.bucket_unit_bytes = bucket_unit_bytes;
+  opts.disks.num_disks = num_disks;
+  opts.disks.blocks_per_disk = blocks_per_disk;
+  opts.disks.block_size_bytes = block_size;
+  opts.materialize = false;
+  opts.record_trace = true;
+  return opts;
+}
+
+storage::ExecutorOptions SimConfig::ToExecutorOptions(
+    const storage::DiskModelParams& disk) const {
+  storage::ExecutorOptions opts;
+  opts.disk = disk;
+  opts.disk.block_size_bytes = block_size;
+  opts.num_disks = num_disks;
+  opts.buffer_blocks = buffer_blocks;
+  return opts;
+}
+
+BatchStream GenerateBatches(const text::CorpusOptions& corpus) {
+  BatchStream stream;
+  text::CorpusGenerator generator(corpus);
+  text::KeyVocabulary vocabulary;
+  std::unordered_map<WordId, uint64_t> word_postings;
+  for (uint32_t u = 0; u < corpus.num_updates; ++u) {
+    const std::vector<text::SyntheticDoc> docs = generator.GenerateUpdate(u);
+    uint64_t postings = 0;
+    uint64_t raw = 0;
+    for (const auto& d : docs) {
+      postings += d.size();
+      raw += text::CorpusGenerator::EstimatedRawBytes(d);
+    }
+    text::BatchUpdate batch =
+        text::CorpusGenerator::ToBatchUpdate(docs, &vocabulary);
+    for (const auto& pair : batch.pairs) {
+      word_postings[pair.word] += pair.count;
+    }
+    stream.stats.docs_per_update.push_back(docs.size());
+    stream.stats.postings_per_update.push_back(postings);
+    stream.stats.distinct_words_per_update.push_back(batch.pairs.size());
+    stream.stats.total_docs += docs.size();
+    stream.stats.total_postings += postings;
+    stream.stats.raw_text_bytes += raw;
+    stream.batches.push_back(std::move(batch));
+  }
+  stream.stats.total_words = vocabulary.size();
+  if (stream.stats.total_words > 0) {
+    stream.stats.avg_postings_per_word =
+        static_cast<double>(stream.stats.total_postings) /
+        static_cast<double>(stream.stats.total_words);
+  }
+  // Frequent-word concentration (paper Table 1): sort words by posting
+  // count, take the top frequent_fraction.
+  std::vector<uint64_t> counts;
+  counts.reserve(word_postings.size());
+  for (const auto& [word, count] : word_postings) counts.push_back(count);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const uint64_t frequent =
+      static_cast<uint64_t>(stream.stats.frequent_fraction *
+                            static_cast<double>(counts.size()));
+  uint64_t frequent_postings = 0;
+  for (uint64_t i = 0; i < frequent && i < counts.size(); ++i) {
+    frequent_postings += counts[i];
+  }
+  stream.stats.frequent_words = frequent;
+  stream.stats.infrequent_words = counts.size() - frequent;
+  stream.stats.frequent_posting_share =
+      stream.stats.total_postings == 0
+          ? 0.0
+          : static_cast<double>(frequent_postings) /
+                static_cast<double>(stream.stats.total_postings);
+  return stream;
+}
+
+PolicyRunResult RunPolicy(const SimConfig& config,
+                          const std::vector<text::BatchUpdate>& batches,
+                          const core::Policy& policy) {
+  Stopwatch watch;
+  PolicyRunResult result;
+  result.policy = policy;
+  core::InvertedIndex index(config.ToIndexOptions(policy));
+  for (const text::BatchUpdate& batch : batches) {
+    DUPLEX_CHECK_OK(index.ApplyBatchUpdate(batch));
+    const core::IndexStats stats = index.Stats();
+    result.cumulative_io_ops.push_back(stats.io_ops);
+    result.utilization.push_back(stats.long_utilization);
+    result.avg_reads_per_list.push_back(stats.avg_reads_per_list);
+    result.long_words.push_back(stats.long_words);
+  }
+  result.categories = index.update_categories();
+  result.final_stats = index.Stats();
+  result.counters = index.long_list_store().counters();
+  result.trace = index.trace();
+  result.harness_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+storage::ExecutionResult ExerciseDisks(const SimConfig& config,
+                                       const storage::IoTrace& trace,
+                                       const storage::DiskModelParams& disk) {
+  storage::TraceExecutor executor(config.ToExecutorOptions(disk));
+  return executor.Execute(trace);
+}
+
+storage::IoTrace RebuildBaselineTrace(
+    const SimConfig& config,
+    const std::vector<uint64_t>& cumulative_postings) {
+  storage::IoTrace trace;
+  for (const uint64_t postings : cumulative_postings) {
+    // Read the accumulated batch data (sequential, striped) and write the
+    // full index contiguously across the disks. Lists are laid out with no
+    // gaps, so this is pure sequential I/O in BufferBlock-sized requests.
+    const uint64_t total_blocks =
+        (postings + config.block_postings - 1) / config.block_postings;
+    const uint64_t per_disk =
+        (total_blocks + config.num_disks - 1) / config.num_disks;
+    for (storage::DiskId d = 0; d < config.num_disks; ++d) {
+      // Alternate between two shadow areas so reads and writes do not
+      // overlap; block addresses only matter for sequentiality.
+      trace.Add({storage::IoOp::kRead, storage::IoTag::kLongList, 0,
+                 postings, d, 0, per_disk});
+      trace.Add({storage::IoOp::kWrite, storage::IoTag::kLongList, 0,
+                 postings, d, per_disk, per_disk});
+    }
+    trace.EndUpdate();
+  }
+  return trace;
+}
+
+}  // namespace duplex::sim

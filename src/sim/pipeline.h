@@ -1,0 +1,104 @@
+#ifndef DUPLEX_SIM_PIPELINE_H_
+#define DUPLEX_SIM_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/long_list_store.h"
+#include "core/policy.h"
+#include "storage/io_trace.h"
+#include "storage/trace_executor.h"
+#include "text/batch.h"
+#include "text/corpus_generator.h"
+
+namespace duplex::sim {
+
+// Base (non-policy) parameters of one experiment — the paper's Table 4.
+// Several of the paper's exact values are illegible in the available scan;
+// these defaults are calibrated so the qualitative milestones of the paper
+// hold (see DESIGN.md).
+struct SimConfig {
+  uint32_t num_buckets = 8192;      // Buckets
+  uint64_t bucket_capacity = 512;   // BucketSize (units)
+  uint64_t block_postings = 128;    // BlockPosting
+  uint64_t bucket_unit_bytes = 16;  // on-disk bytes per bucket unit
+  uint32_t num_disks = 4;           // Disks
+  uint64_t blocks_per_disk = 1 << 21;
+  uint64_t block_size = 4096;       // BlockSize (bytes)
+  uint64_t buffer_blocks = 128;     // BufferBlock (coalescing cap)
+
+  core::IndexOptions ToIndexOptions(const core::Policy& policy) const;
+  storage::ExecutorOptions ToExecutorOptions(
+      const storage::DiskModelParams& disk =
+          storage::DiskModelParams::Seagate1993()) const;
+};
+
+// Per-update statistics of the generated corpus, plus Table 1 aggregates.
+struct CorpusStats {
+  std::vector<uint64_t> docs_per_update;
+  std::vector<uint64_t> postings_per_update;
+  std::vector<uint64_t> distinct_words_per_update;
+  uint64_t total_docs = 0;
+  uint64_t total_postings = 0;
+  uint64_t total_words = 0;       // distinct words over the whole corpus
+  uint64_t raw_text_bytes = 0;    // estimated
+  double avg_postings_per_word = 0.0;
+  // Frequent = top `frequent_fraction` of words by posting count.
+  double frequent_fraction = 0.02;
+  uint64_t frequent_words = 0;
+  uint64_t infrequent_words = 0;
+  double frequent_posting_share = 0.0;  // fraction of postings
+};
+
+// The invert-index stage of paper Figure 3 run over the whole synthetic
+// corpus once: daily batch updates (word-occurrence pairs) that every
+// policy run then consumes. Word ids are dense in first-seen order.
+struct BatchStream {
+  std::vector<text::BatchUpdate> batches;
+  CorpusStats stats;
+};
+
+// Generates all batches for `corpus` (count-only path).
+BatchStream GenerateBatches(const text::CorpusOptions& corpus);
+
+// Result of pushing one batch stream through the index under one policy
+// (the compute-buckets + compute-disks stages fused, since our index
+// performs both).
+struct PolicyRunResult {
+  core::Policy policy;
+  // Series indexed by update ("index after update").
+  std::vector<uint64_t> cumulative_io_ops;   // Figure 8
+  std::vector<double> utilization;           // Figure 9
+  std::vector<double> avg_reads_per_list;    // Figure 10
+  std::vector<uint64_t> long_words;
+  std::vector<core::UpdateCategories> categories;  // Figure 7
+  core::IndexStats final_stats;
+  core::LongListStore::Counters counters;
+  storage::IoTrace trace;  // replayable by TraceExecutor (Figures 13/14)
+  double harness_seconds = 0.0;
+};
+
+// Runs one policy over a pre-generated batch stream.
+PolicyRunResult RunPolicy(const SimConfig& config,
+                          const std::vector<text::BatchUpdate>& batches,
+                          const core::Policy& policy);
+
+// Replays a run's trace through the disk model (the exercise-disks stage).
+storage::ExecutionResult ExerciseDisks(
+    const SimConfig& config, const storage::IoTrace& trace,
+    const storage::DiskModelParams& disk =
+        storage::DiskModelParams::Seagate1993());
+
+// The rebuild-from-scratch baseline of traditional systems (paper
+// Sections 1 and 6): after each batch the entire index is rebuilt, laying
+// every list out sequentially and contiguously. Returns the I/O trace of
+// the rebuild writes (reading the accumulated raw text is charged as
+// sequential reads too).
+storage::IoTrace RebuildBaselineTrace(const SimConfig& config,
+                                      const std::vector<uint64_t>&
+                                          cumulative_postings);
+
+}  // namespace duplex::sim
+
+#endif  // DUPLEX_SIM_PIPELINE_H_

@@ -1,0 +1,37 @@
+#ifndef DUPLEX_STORAGE_BLOCK_H_
+#define DUPLEX_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace duplex::storage {
+
+// Disk block index within one disk (block number, not a byte offset).
+using BlockId = uint64_t;
+
+// Identifies one disk in a DiskArray.
+using DiskId = uint32_t;
+
+inline constexpr BlockId kInvalidBlock = ~static_cast<BlockId>(0);
+
+// A contiguous run of blocks on one disk. This is the unit the paper calls
+// a "chunk" (variable-sized) or an "extent" (fixed-sized).
+struct BlockRange {
+  DiskId disk = 0;
+  BlockId start = 0;
+  uint64_t length = 0;  // in blocks
+
+  BlockId end() const { return start + length; }
+
+  friend bool operator==(const BlockRange& a, const BlockRange& b) {
+    return a.disk == b.disk && a.start == b.start && a.length == b.length;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BlockRange& r) {
+  return os << "disk " << r.disk << " [" << r.start << ", " << r.end() << ")";
+}
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_BLOCK_H_

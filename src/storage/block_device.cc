@@ -1,0 +1,58 @@
+#include "storage/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace duplex::storage {
+
+MemBlockDevice::MemBlockDevice(uint64_t capacity_blocks, uint64_t block_size)
+    : capacity_blocks_(capacity_blocks), block_size_(block_size) {}
+
+Status MemBlockDevice::Write(BlockId start, uint64_t byte_offset,
+                             const uint8_t* data, size_t len) {
+  const uint64_t abs = start * block_size_ + byte_offset;
+  if (abs + len > capacity_blocks_ * block_size_) {
+    return Status::OutOfRange("write beyond device end");
+  }
+  uint64_t pos = abs;
+  size_t written = 0;
+  while (written < len) {
+    const BlockId blk = pos / block_size_;
+    const uint64_t in_blk = pos % block_size_;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(block_size_ - in_blk, len - written));
+    auto& bytes = blocks_[blk];
+    if (bytes.empty()) bytes.assign(block_size_, 0);
+    std::memcpy(bytes.data() + in_blk, data + written, n);
+    pos += n;
+    written += n;
+  }
+  return Status::OK();
+}
+
+Status MemBlockDevice::Read(BlockId start, uint64_t byte_offset, uint8_t* out,
+                            size_t len) const {
+  const uint64_t abs = start * block_size_ + byte_offset;
+  if (abs + len > capacity_blocks_ * block_size_) {
+    return Status::OutOfRange("read beyond device end");
+  }
+  uint64_t pos = abs;
+  size_t done = 0;
+  while (done < len) {
+    const BlockId blk = pos / block_size_;
+    const uint64_t in_blk = pos % block_size_;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(block_size_ - in_blk, len - done));
+    auto it = blocks_.find(blk);
+    if (it == blocks_.end()) {
+      std::memset(out + done, 0, n);
+    } else {
+      std::memcpy(out + done, it->second.data() + in_blk, n);
+    }
+    pos += n;
+    done += n;
+  }
+  return Status::OK();
+}
+
+}  // namespace duplex::storage

@@ -1,0 +1,58 @@
+#ifndef DUPLEX_STORAGE_BLOCK_DEVICE_H_
+#define DUPLEX_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// Byte-addressed storage for one disk, at block granularity underneath.
+// The core library stores encoded posting payloads through this interface;
+// the simulation pipeline runs without a device (counts only).
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint64_t capacity_blocks() const = 0;
+  virtual uint64_t block_size() const = 0;
+
+  // Writes `len` bytes starting `byte_offset` bytes into block `start`.
+  // The write must stay within the device.
+  virtual Status Write(BlockId start, uint64_t byte_offset,
+                       const uint8_t* data, size_t len) = 0;
+
+  // Reads `len` bytes starting `byte_offset` bytes into block `start`.
+  // Unwritten bytes read as zero.
+  virtual Status Read(BlockId start, uint64_t byte_offset, uint8_t* out,
+                      size_t len) const = 0;
+};
+
+// In-memory sparse block device: only blocks ever written consume memory.
+class MemBlockDevice : public BlockDevice {
+ public:
+  MemBlockDevice(uint64_t capacity_blocks, uint64_t block_size);
+
+  uint64_t capacity_blocks() const override { return capacity_blocks_; }
+  uint64_t block_size() const override { return block_size_; }
+
+  Status Write(BlockId start, uint64_t byte_offset, const uint8_t* data,
+               size_t len) override;
+  Status Read(BlockId start, uint64_t byte_offset, uint8_t* out,
+              size_t len) const override;
+
+  // Number of distinct blocks that have ever been written.
+  uint64_t resident_blocks() const { return blocks_.size(); }
+
+ private:
+  uint64_t capacity_blocks_;
+  uint64_t block_size_;
+  std::unordered_map<BlockId, std::vector<uint8_t>> blocks_;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_BLOCK_DEVICE_H_

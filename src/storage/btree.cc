@@ -1,0 +1,460 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace duplex::storage {
+namespace {
+
+constexpr uint64_t kMagic = 0x78656c7075647462ULL;  // "btdupex" + version
+constexpr size_t kPageHeaderBytes = 16;
+
+void Put64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint64_t Get64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+void Put32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint32_t Get32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void Put16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint16_t Get16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+}  // namespace
+
+size_t BPlusTree::LeafCapacity() const {
+  return (meta_.block_size - kPageHeaderBytes) / (8 + meta_.value_size);
+}
+
+size_t BPlusTree::InternalCapacity() const {
+  // n keys + (n+1) children of 8 bytes each.
+  return (meta_.block_size - kPageHeaderBytes - 8) / 16;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(BlockDevice* device,
+                                                     uint32_t value_size) {
+  DUPLEX_CHECK(device != nullptr);
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(device));
+  tree->meta_.magic = kMagic;
+  tree->meta_.value_size = value_size;
+  tree->meta_.block_size = static_cast<uint32_t>(device->block_size());
+  tree->meta_.count = 0;
+  tree->meta_.free_head = 0;
+  tree->meta_.high_water = 1;  // page 0 is the meta page
+  if (tree->LeafCapacity() < 4 || tree->InternalCapacity() < 4) {
+    return Status::InvalidArgument(
+        "value_size too large for block size: fewer than 4 entries/page");
+  }
+  Result<BlockId> root = tree->AllocatePage();
+  if (!root.ok()) return root.status();
+  tree->meta_.root = *root;
+  Page root_page;
+  root_page.id = *root;
+  root_page.leaf = true;
+  DUPLEX_RETURN_IF_ERROR(tree->StorePage(root_page));
+  DUPLEX_RETURN_IF_ERROR(tree->StoreMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(BlockDevice* device) {
+  DUPLEX_CHECK(device != nullptr);
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(device));
+  DUPLEX_RETURN_IF_ERROR(tree->LoadMeta());
+  if (tree->meta_.magic != kMagic) {
+    return Status::Corruption("btree: bad magic");
+  }
+  if (tree->meta_.block_size != device->block_size()) {
+    return Status::Corruption("btree: block size mismatch");
+  }
+  return tree;
+}
+
+Status BPlusTree::LoadMeta() {
+  std::vector<uint8_t> buf(device_->block_size());
+  DUPLEX_RETURN_IF_ERROR(device_->Read(0, 0, buf.data(), buf.size()));
+  meta_.magic = Get64(buf.data());
+  meta_.value_size = Get32(buf.data() + 8);
+  meta_.block_size = Get32(buf.data() + 12);
+  meta_.root = Get64(buf.data() + 16);
+  meta_.count = Get64(buf.data() + 24);
+  meta_.free_head = Get64(buf.data() + 32);
+  meta_.high_water = Get64(buf.data() + 40);
+  return Status::OK();
+}
+
+Status BPlusTree::StoreMeta() {
+  std::vector<uint8_t> buf(device_->block_size(), 0);
+  Put64(buf.data(), meta_.magic);
+  Put32(buf.data() + 8, meta_.value_size);
+  Put32(buf.data() + 12, meta_.block_size);
+  Put64(buf.data() + 16, meta_.root);
+  Put64(buf.data() + 24, meta_.count);
+  Put64(buf.data() + 32, meta_.free_head);
+  Put64(buf.data() + 40, meta_.high_water);
+  return device_->Write(0, 0, buf.data(), buf.size());
+}
+
+Result<BPlusTree::Page> BPlusTree::LoadPage(BlockId id) const {
+  std::vector<uint8_t> buf(meta_.block_size);
+  DUPLEX_RETURN_IF_ERROR(device_->Read(id, 0, buf.data(), buf.size()));
+  Page page;
+  page.id = id;
+  page.leaf = buf[0] != 0;
+  const uint16_t count = Get16(buf.data() + 2);
+  page.next = Get64(buf.data() + 8);
+  const uint8_t* p = buf.data() + kPageHeaderBytes;
+  if (page.leaf) {
+    if (count > LeafCapacity() + 1) {
+      return Status::Corruption("btree: leaf count out of range");
+    }
+    for (uint16_t i = 0; i < count; ++i) {
+      page.keys.push_back(Get64(p));
+      p += 8;
+      page.values.emplace_back(reinterpret_cast<const char*>(p),
+                               meta_.value_size);
+      p += meta_.value_size;
+    }
+  } else {
+    if (count > InternalCapacity() + 1) {
+      return Status::Corruption("btree: internal count out of range");
+    }
+    for (uint16_t i = 0; i < count; ++i) {
+      page.keys.push_back(Get64(p));
+      p += 8;
+    }
+    for (uint16_t i = 0; i <= count; ++i) {
+      page.children.push_back(Get64(p));
+      p += 8;
+    }
+  }
+  return page;
+}
+
+Status BPlusTree::StorePage(const Page& page) {
+  std::vector<uint8_t> buf(meta_.block_size, 0);
+  buf[0] = page.leaf ? 1 : 0;
+  Put16(buf.data() + 2, static_cast<uint16_t>(page.keys.size()));
+  Put64(buf.data() + 8, page.next);
+  uint8_t* p = buf.data() + kPageHeaderBytes;
+  if (page.leaf) {
+    DUPLEX_CHECK_EQ(page.keys.size(), page.values.size());
+    for (size_t i = 0; i < page.keys.size(); ++i) {
+      Put64(p, page.keys[i]);
+      p += 8;
+      DUPLEX_CHECK_EQ(page.values[i].size(), meta_.value_size);
+      std::memcpy(p, page.values[i].data(), meta_.value_size);
+      p += meta_.value_size;
+    }
+  } else {
+    DUPLEX_CHECK_EQ(page.children.size(), page.keys.size() + 1);
+    for (const uint64_t k : page.keys) {
+      Put64(p, k);
+      p += 8;
+    }
+    for (const uint64_t c : page.children) {
+      Put64(p, c);
+      p += 8;
+    }
+  }
+  DUPLEX_CHECK_LE(static_cast<size_t>(p - buf.data()), buf.size());
+  return device_->Write(page.id, 0, buf.data(), buf.size());
+}
+
+Result<BlockId> BPlusTree::AllocatePage() {
+  if (meta_.free_head != 0) {
+    const BlockId id = meta_.free_head;
+    uint8_t next_buf[8];
+    DUPLEX_RETURN_IF_ERROR(device_->Read(id, 8, next_buf, 8));
+    meta_.free_head = Get64(next_buf);
+    return id;
+  }
+  if (meta_.high_water >= device_->capacity_blocks()) {
+    return Status::ResourceExhausted("btree: device full");
+  }
+  return meta_.high_water++;
+}
+
+Status BPlusTree::FreePage(BlockId id) {
+  uint8_t buf[16] = {0};
+  Put64(buf + 8, meta_.free_head);
+  DUPLEX_RETURN_IF_ERROR(device_->Write(id, 0, buf, sizeof(buf)));
+  meta_.free_head = id;
+  return Status::OK();
+}
+
+Status BPlusTree::DescendTo(uint64_t key, std::vector<PathEntry>* path,
+                            Page* leaf) const {
+  Result<Page> page = LoadPage(meta_.root);
+  if (!page.ok()) return page.status();
+  while (!page->leaf) {
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(page->keys.begin(), page->keys.end(), key) -
+        page->keys.begin());
+    const BlockId child = page->children[idx];
+    if (path != nullptr) path->push_back({std::move(*page), idx});
+    page = LoadPage(child);
+    if (!page.ok()) return page.status();
+  }
+  *leaf = std::move(*page);
+  return Status::OK();
+}
+
+Result<std::pair<uint64_t, BPlusTree::Page>> BPlusTree::SplitPage(
+    Page* page) {
+  Result<BlockId> right_id = AllocatePage();
+  if (!right_id.ok()) return right_id.status();
+  Page right;
+  right.id = *right_id;
+  right.leaf = page->leaf;
+  uint64_t separator = 0;
+  const size_t mid = page->keys.size() / 2;
+  if (page->leaf) {
+    right.keys.assign(page->keys.begin() + static_cast<ptrdiff_t>(mid),
+                      page->keys.end());
+    right.values.assign(page->values.begin() + static_cast<ptrdiff_t>(mid),
+                        page->values.end());
+    page->keys.resize(mid);
+    page->values.resize(mid);
+    right.next = page->next;
+    page->next = right.id;
+    separator = right.keys.front();
+  } else {
+    // The middle key moves up; it does not stay in either child.
+    separator = page->keys[mid];
+    right.keys.assign(page->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                      page->keys.end());
+    right.children.assign(
+        page->children.begin() + static_cast<ptrdiff_t>(mid) + 1,
+        page->children.end());
+    page->keys.resize(mid);
+    page->children.resize(mid + 1);
+  }
+  DUPLEX_RETURN_IF_ERROR(StorePage(*page));
+  DUPLEX_RETURN_IF_ERROR(StorePage(right));
+  return std::make_pair(separator, std::move(right));
+}
+
+Status BPlusTree::InsertIntoParents(std::vector<PathEntry>* path,
+                                    uint64_t separator,
+                                    BlockId right_child) {
+  while (!path->empty()) {
+    Page parent = std::move(path->back().page);
+    const size_t idx = path->back().child_index;
+    path->pop_back();
+    parent.keys.insert(parent.keys.begin() + static_cast<ptrdiff_t>(idx),
+                       separator);
+    parent.children.insert(
+        parent.children.begin() + static_cast<ptrdiff_t>(idx) + 1,
+        right_child);
+    if (parent.keys.size() <= InternalCapacity()) {
+      return StorePage(parent);
+    }
+    Result<std::pair<uint64_t, Page>> split = SplitPage(&parent);
+    if (!split.ok()) return split.status();
+    separator = split->first;
+    right_child = split->second.id;
+  }
+  // The root itself split: grow the tree by one level.
+  Result<BlockId> new_root_id = AllocatePage();
+  if (!new_root_id.ok()) return new_root_id.status();
+  Page new_root;
+  new_root.id = *new_root_id;
+  new_root.leaf = false;
+  new_root.keys = {separator};
+  new_root.children = {meta_.root, right_child};
+  DUPLEX_RETURN_IF_ERROR(StorePage(new_root));
+  meta_.root = new_root.id;
+  return Status::OK();
+}
+
+Status BPlusTree::Insert(uint64_t key, const std::string& value) {
+  if (value.size() != meta_.value_size) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  std::vector<PathEntry> path;
+  Page leaf;
+  DUPLEX_RETURN_IF_ERROR(DescendTo(key, &path, &leaf));
+  const auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  const size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+  if (it != leaf.keys.end() && *it == key) {
+    leaf.values[pos] = value;
+    return StorePage(leaf);
+  }
+  leaf.keys.insert(it, key);
+  leaf.values.insert(leaf.values.begin() + static_cast<ptrdiff_t>(pos),
+                     value);
+  ++meta_.count;
+  if (leaf.keys.size() <= LeafCapacity()) {
+    DUPLEX_RETURN_IF_ERROR(StorePage(leaf));
+  } else {
+    Result<std::pair<uint64_t, Page>> split = SplitPage(&leaf);
+    if (!split.ok()) return split.status();
+    DUPLEX_RETURN_IF_ERROR(
+        InsertIntoParents(&path, split->first, split->second.id));
+  }
+  return StoreMeta();
+}
+
+Result<std::string> BPlusTree::Get(uint64_t key) const {
+  Page leaf;
+  DUPLEX_RETURN_IF_ERROR(DescendTo(key, nullptr, &leaf));
+  const auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it == leaf.keys.end() || *it != key) {
+    return Status::NotFound("key not in btree");
+  }
+  return leaf.values[static_cast<size_t>(it - leaf.keys.begin())];
+}
+
+Status BPlusTree::Delete(uint64_t key) {
+  std::vector<PathEntry> path;
+  Page leaf;
+  DUPLEX_RETURN_IF_ERROR(DescendTo(key, &path, &leaf));
+  const auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it == leaf.keys.end() || *it != key) {
+    return Status::NotFound("key not in btree");
+  }
+  const size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+  leaf.keys.erase(it);
+  leaf.values.erase(leaf.values.begin() + static_cast<ptrdiff_t>(pos));
+  --meta_.count;
+  DUPLEX_RETURN_IF_ERROR(StorePage(leaf));
+
+  // Lazy rebalancing: reclaim a now-empty leaf when its immediate left
+  // sibling shares the parent (so the sibling link can be patched);
+  // otherwise the empty page stays and scans skip it.
+  if (leaf.keys.empty() && !path.empty() && path.back().child_index > 0) {
+    Page parent = std::move(path.back().page);
+    const size_t idx = path.back().child_index;
+    Result<Page> left = LoadPage(parent.children[idx - 1]);
+    if (!left.ok()) return left.status();
+    left->next = leaf.next;
+    DUPLEX_RETURN_IF_ERROR(StorePage(*left));
+    parent.keys.erase(parent.keys.begin() + static_cast<ptrdiff_t>(idx) -
+                      1);
+    parent.children.erase(parent.children.begin() +
+                          static_cast<ptrdiff_t>(idx));
+    DUPLEX_RETURN_IF_ERROR(StorePage(parent));
+    DUPLEX_RETURN_IF_ERROR(FreePage(leaf.id));
+  }
+
+  // Collapse a root that has become a single-child internal node.
+  for (;;) {
+    Result<Page> root = LoadPage(meta_.root);
+    if (!root.ok()) return root.status();
+    if (root->leaf || root->children.size() > 1) break;
+    const BlockId old_root = meta_.root;
+    meta_.root = root->children[0];
+    DUPLEX_RETURN_IF_ERROR(FreePage(old_root));
+  }
+  return StoreMeta();
+}
+
+Status BPlusTree::Scan(
+    uint64_t first_key,
+    const std::function<bool(uint64_t, const std::string&)>& fn) const {
+  Page leaf;
+  DUPLEX_RETURN_IF_ERROR(DescendTo(first_key, nullptr, &leaf));
+  for (;;) {
+    const auto start =
+        std::lower_bound(leaf.keys.begin(), leaf.keys.end(), first_key);
+    for (size_t i = static_cast<size_t>(start - leaf.keys.begin());
+         i < leaf.keys.size(); ++i) {
+      if (!fn(leaf.keys[i], leaf.values[i])) return Status::OK();
+    }
+    if (leaf.next == 0) return Status::OK();
+    Result<Page> next = LoadPage(leaf.next);
+    if (!next.ok()) return next.status();
+    leaf = std::move(*next);
+  }
+}
+
+uint32_t BPlusTree::height() const {
+  uint32_t h = 1;
+  Result<Page> page = LoadPage(meta_.root);
+  while (page.ok() && !page->leaf) {
+    ++h;
+    page = LoadPage(page->children[0]);
+  }
+  return h;
+}
+
+Status BPlusTree::CheckInvariants() const {
+  uint64_t counted = 0;
+  uint64_t prev_key = 0;
+  bool have_prev = false;
+  // Structural walk with key-range bounds.
+  std::function<Status(BlockId, bool, uint64_t, bool, uint64_t)> walk =
+      [&](BlockId id, bool has_lo, uint64_t lo, bool has_hi,
+          uint64_t hi) -> Status {
+    Result<Page> page = LoadPage(id);
+    if (!page.ok()) return page.status();
+    for (size_t i = 0; i < page->keys.size(); ++i) {
+      if (i > 0 && page->keys[i - 1] >= page->keys[i]) {
+        return Status::Corruption("keys not strictly ascending in page");
+      }
+      if (has_lo && page->keys[i] < lo) {
+        return Status::Corruption("key below subtree lower bound");
+      }
+      if (has_hi && page->keys[i] >= hi) {
+        return Status::Corruption("key above subtree upper bound");
+      }
+    }
+    if (page->leaf) {
+      counted += page->keys.size();
+      return Status::OK();
+    }
+    if (page->children.size() != page->keys.size() + 1) {
+      return Status::Corruption("internal fanout mismatch");
+    }
+    for (size_t i = 0; i < page->children.size(); ++i) {
+      const bool child_has_lo = i > 0 || has_lo;
+      const uint64_t child_lo = i > 0 ? page->keys[i - 1] : lo;
+      const bool child_has_hi = i < page->keys.size() || has_hi;
+      const uint64_t child_hi =
+          i < page->keys.size() ? page->keys[i] : hi;
+      DUPLEX_RETURN_IF_ERROR(walk(page->children[i], child_has_lo,
+                                  child_lo, child_has_hi, child_hi));
+    }
+    return Status::OK();
+  };
+  DUPLEX_RETURN_IF_ERROR(walk(meta_.root, false, 0, false, 0));
+  if (counted != meta_.count) {
+    return Status::Corruption("entry count mismatch: tree has " +
+                              std::to_string(counted) + ", meta says " +
+                              std::to_string(meta_.count));
+  }
+  // Leaf chain must be globally sorted and cover all entries.
+  Page leaf;
+  DUPLEX_RETURN_IF_ERROR(DescendTo(0, nullptr, &leaf));
+  uint64_t chain_count = 0;
+  for (;;) {
+    for (const uint64_t k : leaf.keys) {
+      if (have_prev && k <= prev_key) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      prev_key = k;
+      have_prev = true;
+      ++chain_count;
+    }
+    if (leaf.next == 0) break;
+    Result<Page> next = LoadPage(leaf.next);
+    if (!next.ok()) return next.status();
+    leaf = std::move(*next);
+  }
+  if (chain_count != meta_.count) {
+    return Status::Corruption("leaf chain count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace duplex::storage

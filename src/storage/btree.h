@@ -1,0 +1,121 @@
+#ifndef DUPLEX_STORAGE_BTREE_H_
+#define DUPLEX_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// A paged B+-tree over a BlockDevice: 64-bit keys, fixed-size values,
+// one page per block. This is the substrate traditional retrieval systems
+// use as the on-disk word dictionary ("they also built a B-tree that maps
+// each word to the locations of its list on disk", paper Section 1), and
+// the structure Cutting & Pedersen build their dynamic index on.
+//
+// Layout:
+//   page 0            meta page: magic, geometry, root page, entry count,
+//                     free-list head, high-water mark
+//   other pages       leaf pages (sorted key/value pairs + next-leaf link)
+//                     or internal pages (sorted separator keys + children)
+//
+// Deletion is lazy: pages may underflow; empty pages are recycled through
+// an on-device free list, and the root collapses when it has one child.
+// Keys are unique (Insert overwrites).
+class BPlusTree {
+ public:
+  // Creates a fresh tree on `device` (overwriting anything there).
+  // `value_size` must leave room for at least 4 entries per page.
+  static Result<std::unique_ptr<BPlusTree>> Create(BlockDevice* device,
+                                                   uint32_t value_size);
+
+  // Opens an existing tree, validating magic and geometry.
+  static Result<std::unique_ptr<BPlusTree>> Open(BlockDevice* device);
+
+  // Inserts or overwrites `key`. `value` must have exactly value_size
+  // bytes.
+  Status Insert(uint64_t key, const std::string& value);
+
+  // Point lookup. NotFound when absent.
+  Result<std::string> Get(uint64_t key) const;
+
+  // Removes `key`. NotFound when absent.
+  Status Delete(uint64_t key);
+
+  // Visits entries with key >= first_key in ascending key order until the
+  // callback returns false or the tree is exhausted.
+  Status Scan(uint64_t first_key,
+              const std::function<bool(uint64_t, const std::string&)>& fn)
+      const;
+
+  uint64_t size() const { return meta_.count; }
+  uint32_t value_size() const { return meta_.value_size; }
+  uint32_t height() const;
+
+  // Consistency check: key ordering within and across pages, separator
+  // invariants, reachability of all leaves via sibling links, and entry
+  // count. Intended for tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Meta {
+    uint64_t magic = 0;
+    uint32_t value_size = 0;
+    uint32_t block_size = 0;
+    uint64_t root = 0;
+    uint64_t count = 0;
+    uint64_t free_head = 0;   // head of recycled-page list (0 = none)
+    uint64_t high_water = 0;  // first never-used page
+  };
+
+  // In-memory image of one page.
+  struct Page {
+    BlockId id = 0;
+    bool leaf = true;
+    uint64_t next = 0;  // leaf sibling link (0 = none)
+    std::vector<uint64_t> keys;
+    std::vector<std::string> values;   // leaf: one per key
+    std::vector<uint64_t> children;    // internal: keys.size() + 1
+  };
+
+  explicit BPlusTree(BlockDevice* device) : device_(device) {}
+
+  size_t LeafCapacity() const;
+  size_t InternalCapacity() const;
+
+  Status LoadMeta();
+  Status StoreMeta();
+  Result<Page> LoadPage(BlockId id) const;
+  Status StorePage(const Page& page);
+  Result<BlockId> AllocatePage();
+  Status FreePage(BlockId id);
+
+  // Descends to the leaf for `key`, recording the path of internal pages
+  // and child indices taken.
+  struct PathEntry {
+    Page page;
+    size_t child_index;
+  };
+  Status DescendTo(uint64_t key, std::vector<PathEntry>* path,
+                   Page* leaf) const;
+
+  // Splits `page` (leaf or internal), returning the new right sibling and
+  // the separator key to push up.
+  Result<std::pair<uint64_t, Page>> SplitPage(Page* page);
+
+  Status InsertIntoParents(std::vector<PathEntry>* path, uint64_t separator,
+                           BlockId right_child);
+
+  BlockDevice* device_;
+  Meta meta_;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_BTREE_H_

@@ -1,0 +1,111 @@
+#include "storage/disk_array.h"
+
+#include "util/logging.h"
+
+namespace duplex::storage {
+
+const char* DiskChoiceName(DiskChoice c) {
+  switch (c) {
+    case DiskChoice::kRoundRobin:
+      return "round-robin";
+    case DiskChoice::kMostFree:
+      return "most-free";
+  }
+  return "unknown";
+}
+
+DiskArray::DiskArray(const DiskArrayOptions& options) : options_(options) {
+  DUPLEX_CHECK_GT(options.num_disks, 0u);
+  disks_.reserve(options.num_disks);
+  for (uint32_t i = 0; i < options.num_disks; ++i) {
+    Disk d;
+    d.space = MakeFreeSpaceMap(options.free_space, options.blocks_per_disk);
+    if (options.materialize_payloads) {
+      d.device = std::make_unique<MemBlockDevice>(options.blocks_per_disk,
+                                                  options.block_size_bytes);
+    }
+    disks_.push_back(std::move(d));
+  }
+}
+
+DiskId DiskArray::NextDisk() {
+  if (options_.disk_choice == DiskChoice::kMostFree) {
+    DiskId best = 0;
+    uint64_t best_free = 0;
+    for (DiskId i = 0; i < num_disks(); ++i) {
+      const uint64_t f = disks_[i].space->free_blocks();
+      if (f > best_free) {
+        best_free = f;
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Paper: "the strategy considered here is to choose disk i+1 mod n".
+  cursor_ = (cursor_ + 1) % num_disks();
+  return cursor_;
+}
+
+Result<BlockRange> DiskArray::AllocateOn(DiskId disk, uint64_t length) {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  Result<BlockId> start = disks_[disk].space->Allocate(length);
+  if (!start.ok()) return start.status();
+  return BlockRange{disk, *start, length};
+}
+
+Result<BlockRange> DiskArray::Allocate(uint64_t length) {
+  const DiskId chosen = NextDisk();
+  Result<BlockRange> r = AllocateOn(chosen, length);
+  if (r.ok()) return r;
+  for (DiskId offset = 1; offset < num_disks(); ++offset) {
+    const DiskId d = (chosen + offset) % num_disks();
+    r = AllocateOn(d, length);
+    if (r.ok()) return r;
+  }
+  return Status::ResourceExhausted("all disks full for run of " +
+                                   std::to_string(length) + " blocks");
+}
+
+Status DiskArray::Free(const BlockRange& range) {
+  DUPLEX_CHECK_LT(range.disk, num_disks());
+  return disks_[range.disk].space->Free(range.start, range.length);
+}
+
+uint64_t DiskArray::free_blocks(DiskId disk) const {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return disks_[disk].space->free_blocks();
+}
+
+uint64_t DiskArray::used_blocks(DiskId disk) const {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return disks_[disk].space->used_blocks();
+}
+
+uint64_t DiskArray::total_free_blocks() const {
+  uint64_t sum = 0;
+  for (const auto& d : disks_) sum += d.space->free_blocks();
+  return sum;
+}
+
+uint64_t DiskArray::total_used_blocks() const {
+  uint64_t sum = 0;
+  for (const auto& d : disks_) sum += d.space->used_blocks();
+  return sum;
+}
+
+uint64_t DiskArray::fragment_count(DiskId disk) const {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return disks_[disk].space->fragment_count();
+}
+
+BlockDevice* DiskArray::device(DiskId disk) {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return disks_[disk].device.get();
+}
+
+const BlockDevice* DiskArray::device(DiskId disk) const {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return disks_[disk].device.get();
+}
+
+}  // namespace duplex::storage

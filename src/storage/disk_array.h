@@ -1,0 +1,85 @@
+#ifndef DUPLEX_STORAGE_DISK_ARRAY_H_
+#define DUPLEX_STORAGE_DISK_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/block_device.h"
+#include "storage/free_space.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// How to pick the disk for a new word or chunk. The paper (Section 3,
+// second issue) uses round-robin (i+1 mod n) and names most-empty as an
+// unstudied alternative; both are implemented for the ablation bench.
+enum class DiskChoice {
+  kRoundRobin,
+  kMostFree,
+};
+
+const char* DiskChoiceName(DiskChoice c);
+
+struct DiskArrayOptions {
+  uint32_t num_disks = 4;
+  uint64_t blocks_per_disk = 1 << 20;  // 4 GiB at 4 KiB blocks
+  uint64_t block_size_bytes = 4096;
+  FreeSpaceStrategy free_space = FreeSpaceStrategy::kFirstFit;
+  DiskChoice disk_choice = DiskChoice::kRoundRobin;
+  // When true, each disk carries a MemBlockDevice so posting payloads are
+  // actually stored (required for query evaluation; the simulation pipeline
+  // leaves it off).
+  bool materialize_payloads = false;
+};
+
+// A bank of simulated disks: per-disk free-space management plus optional
+// payload storage, with the chunk-placement strategy on top.
+class DiskArray {
+ public:
+  explicit DiskArray(const DiskArrayOptions& options);
+
+  DiskArray(const DiskArray&) = delete;
+  DiskArray& operator=(const DiskArray&) = delete;
+
+  uint32_t num_disks() const { return static_cast<uint32_t>(disks_.size()); }
+  uint64_t block_size() const { return options_.block_size_bytes; }
+
+  // Picks the disk for the next new word/chunk per the configured strategy
+  // and advances the round-robin cursor.
+  DiskId NextDisk();
+
+  // Allocates `length` contiguous blocks on `disk`.
+  Result<BlockRange> AllocateOn(DiskId disk, uint64_t length);
+
+  // Allocates on the strategy-chosen disk; falls back to scanning all other
+  // disks if the chosen one is full.
+  Result<BlockRange> Allocate(uint64_t length);
+
+  Status Free(const BlockRange& range);
+
+  uint64_t free_blocks(DiskId disk) const;
+  uint64_t used_blocks(DiskId disk) const;
+  uint64_t total_free_blocks() const;
+  uint64_t total_used_blocks() const;
+  uint64_t fragment_count(DiskId disk) const;
+
+  // Payload access; null when materialize_payloads is off.
+  BlockDevice* device(DiskId disk);
+  const BlockDevice* device(DiskId disk) const;
+
+ private:
+  struct Disk {
+    std::unique_ptr<FreeSpaceMap> space;
+    std::unique_ptr<MemBlockDevice> device;
+  };
+
+  DiskArrayOptions options_;
+  std::vector<Disk> disks_;
+  uint32_t cursor_ = 0;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_DISK_ARRAY_H_

@@ -1,0 +1,46 @@
+#include "storage/disk_model.h"
+
+namespace duplex::storage {
+
+DiskModelParams DiskModelParams::Seagate1993() { return DiskModelParams{}; }
+
+DiskModelParams DiskModelParams::FastDisk() {
+  DiskModelParams p;
+  p.avg_seek_ms = 4.0;
+  p.rpm = 10000.0;
+  p.transfer_mb_per_s = 40.0;
+  return p;
+}
+
+DiskModelParams DiskModelParams::OpticalDisk() {
+  DiskModelParams p;
+  p.avg_seek_ms = 95.0;
+  p.rpm = 2400.0;
+  p.transfer_mb_per_s = 1.0;
+  return p;
+}
+
+double DiskClock::Service(BlockId start, uint64_t length) {
+  double ms = 0.0;
+  const bool sequential = has_position_ && start == next_sequential_;
+  if (!sequential) {
+    ms += params_.avg_seek_ms + params_.HalfRotationMs();
+    ++seeks_;
+  }
+  ms += static_cast<double>(length) * params_.BlockTransferMs();
+  has_position_ = true;
+  next_sequential_ = start + length;
+  busy_ms_ += ms;
+  ++requests_;
+  blocks_ += length;
+  return ms;
+}
+
+void DiskClock::ResetAccumulation() {
+  busy_ms_ = 0.0;
+  requests_ = 0;
+  seeks_ = 0;
+  blocks_ = 0;
+}
+
+}  // namespace duplex::storage

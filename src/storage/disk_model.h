@@ -1,0 +1,75 @@
+#ifndef DUPLEX_STORAGE_DISK_MODEL_H_
+#define DUPLEX_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/block.h"
+
+namespace duplex::storage {
+
+// Service-time model for one disk. This replaces the paper's "exercise
+// disks" step (real Seagate ST31200N drives on an IBM RS/6000): the trace
+// replay needs seek cost, rotational latency, transfer rate, and
+// sequential-access detection — all modeled here. Defaults approximate the
+// paper's 1993-era hardware; alternative presets support the technical-note
+// extensions (faster disks, optical disk).
+struct DiskModelParams {
+  double avg_seek_ms = 10.5;       // average seek time
+  double rpm = 5400.0;             // spindle speed (half rotation = latency)
+  double transfer_mb_per_s = 2.0;  // sustained media transfer rate
+  uint64_t block_size_bytes = 4096;
+
+  // Paper-era magnetic disk (Seagate ST31200N, 1 GB, 3.5", SCSI-2).
+  static DiskModelParams Seagate1993();
+  // A contemporary-for-2000s fast magnetic disk (TN extension: "speeding up
+  // the disk").
+  static DiskModelParams FastDisk();
+  // Write-once optical disk: slow seek and rotation, moderate transfer
+  // (TN extension: "performance of updates on an optical disk").
+  static DiskModelParams OpticalDisk();
+
+  double HalfRotationMs() const { return 0.5 * 60000.0 / rpm; }
+  double BlockTransferMs() const {
+    return static_cast<double>(block_size_bytes) /
+           (transfer_mb_per_s * 1e6) * 1e3;
+  }
+};
+
+// Tracks one disk arm and charges service time per request. Requests are
+// charged a seek plus half a rotation unless they start exactly where the
+// previous request on this disk ended (sequential access), in which case
+// only transfer time is charged — this is what makes append-only policies
+// coalesce into near-linear build times (paper Section 5.3).
+class DiskClock {
+ public:
+  explicit DiskClock(const DiskModelParams& params) : params_(params) {}
+
+  // Charges a request of `length` blocks starting at `start`; returns the
+  // service time in milliseconds and advances the arm position.
+  double Service(BlockId start, uint64_t length);
+
+  // Elapsed busy time accumulated on this disk, in milliseconds.
+  double busy_ms() const { return busy_ms_; }
+
+  uint64_t requests() const { return requests_; }
+  uint64_t seeks() const { return seeks_; }
+  uint64_t blocks_transferred() const { return blocks_; }
+
+  // Clears accumulated time but keeps the arm position (a new batch does
+  // not teleport the arm).
+  void ResetAccumulation();
+
+ private:
+  DiskModelParams params_;
+  bool has_position_ = false;
+  BlockId next_sequential_ = 0;
+  double busy_ms_ = 0.0;
+  uint64_t requests_ = 0;
+  uint64_t seeks_ = 0;
+  uint64_t blocks_ = 0;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_DISK_MODEL_H_

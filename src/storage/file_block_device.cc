@@ -1,0 +1,92 @@
+#include "storage/file_block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace duplex::storage {
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, uint64_t capacity_blocks,
+    uint64_t block_size) {
+  if (capacity_blocks == 0 || block_size == 0) {
+    return Status::InvalidArgument("device geometry must be non-zero");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Internal("open(" + path +
+                            ") failed: " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(path, fd, capacity_blocks, block_size));
+}
+
+FileBlockDevice::FileBlockDevice(std::string path, int fd,
+                                 uint64_t capacity_blocks,
+                                 uint64_t block_size)
+    : path_(std::move(path)),
+      fd_(fd),
+      capacity_blocks_(capacity_blocks),
+      block_size_(block_size) {}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileBlockDevice::Write(BlockId start, uint64_t byte_offset,
+                              const uint8_t* data, size_t len) {
+  const uint64_t abs = start * block_size_ + byte_offset;
+  if (abs + len > capacity_blocks_ * block_size_) {
+    return Status::OutOfRange("write beyond device end");
+  }
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n =
+        ::pwrite(fd_, data + written, len - written,
+                 static_cast<off_t>(abs + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pwrite failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::Read(BlockId start, uint64_t byte_offset,
+                             uint8_t* out, size_t len) const {
+  const uint64_t abs = start * block_size_ + byte_offset;
+  if (abs + len > capacity_blocks_ * block_size_) {
+    return Status::OutOfRange("read beyond device end");
+  }
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd_, out + done, len - done,
+                              static_cast<off_t>(abs + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pread failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      // Past EOF of a sparse/short file: unwritten bytes read as zero.
+      std::memset(out + done, 0, len - done);
+      return Status::OK();
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal(std::string("fdatasync failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace duplex::storage

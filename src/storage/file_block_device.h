@@ -1,0 +1,55 @@
+#ifndef DUPLEX_STORAGE_FILE_BLOCK_DEVICE_H_
+#define DUPLEX_STORAGE_FILE_BLOCK_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/block_device.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// File-backed block device: blocks live in a regular file accessed with
+// positioned reads/writes, the library's equivalent of the paper's raw
+// disk partitions. The file is grown lazily (sparse where the filesystem
+// supports it); unwritten regions read as zero, matching MemBlockDevice
+// semantics.
+class FileBlockDevice : public BlockDevice {
+ public:
+  // Creates (or opens, when the file exists) a device of
+  // `capacity_blocks` x `block_size` bytes at `path`.
+  static Result<std::unique_ptr<FileBlockDevice>> Open(
+      const std::string& path, uint64_t capacity_blocks,
+      uint64_t block_size);
+
+  ~FileBlockDevice() override;
+
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  uint64_t capacity_blocks() const override { return capacity_blocks_; }
+  uint64_t block_size() const override { return block_size_; }
+
+  Status Write(BlockId start, uint64_t byte_offset, const uint8_t* data,
+               size_t len) override;
+  Status Read(BlockId start, uint64_t byte_offset, uint8_t* out,
+              size_t len) const override;
+
+  // Flushes dirty pages to stable storage (fdatasync).
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileBlockDevice(std::string path, int fd, uint64_t capacity_blocks,
+                  uint64_t block_size);
+
+  std::string path_;
+  int fd_;
+  uint64_t capacity_blocks_;
+  uint64_t block_size_;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_FILE_BLOCK_DEVICE_H_

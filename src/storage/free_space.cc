@@ -1,0 +1,197 @@
+#include "storage/free_space.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace duplex::storage {
+
+const char* FreeSpaceStrategyName(FreeSpaceStrategy s) {
+  switch (s) {
+    case FreeSpaceStrategy::kFirstFit:
+      return "first-fit";
+    case FreeSpaceStrategy::kBestFit:
+      return "best-fit";
+    case FreeSpaceStrategy::kBuddy:
+      return "buddy";
+  }
+  return "unknown";
+}
+
+FreeListMap::FreeListMap(uint64_t capacity_blocks, bool best_fit)
+    : capacity_(capacity_blocks), free_(capacity_blocks), best_fit_(best_fit) {
+  if (capacity_blocks > 0) runs_[0] = capacity_blocks;
+}
+
+Result<BlockId> FreeListMap::Allocate(uint64_t length) {
+  if (length == 0) return Status::InvalidArgument("zero-length allocation");
+  auto chosen = runs_.end();
+  if (best_fit_) {
+    uint64_t best_len = ~0ULL;
+    for (auto it = runs_.begin(); it != runs_.end(); ++it) {
+      if (it->second >= length && it->second < best_len) {
+        best_len = it->second;
+        chosen = it;
+        if (best_len == length) break;
+      }
+    }
+  } else {
+    // First-fit: the map is ordered by start block, i.e. we scan from the
+    // beginning of the disk exactly as the paper specifies.
+    for (auto it = runs_.begin(); it != runs_.end(); ++it) {
+      if (it->second >= length) {
+        chosen = it;
+        break;
+      }
+    }
+  }
+  if (chosen == runs_.end()) {
+    return Status::ResourceExhausted("no contiguous run of " +
+                                     std::to_string(length) + " blocks");
+  }
+  const BlockId start = chosen->first;
+  const uint64_t run_len = chosen->second;
+  runs_.erase(chosen);
+  if (run_len > length) runs_[start + length] = run_len - length;
+  free_ -= length;
+  return start;
+}
+
+Status FreeListMap::Free(BlockId start, uint64_t length) {
+  if (length == 0) return Status::InvalidArgument("zero-length free");
+  if (start + length > capacity_) {
+    return Status::InvalidArgument("free beyond end of disk");
+  }
+  // Find the first run at or after `start` and its predecessor to check
+  // overlap and coalesce.
+  auto next = runs_.lower_bound(start);
+  if (next != runs_.end() && next->first < start + length) {
+    return Status::Corruption("double free: overlaps following free run");
+  }
+  bool merge_prev = false;
+  auto prev = next;
+  if (prev != runs_.begin()) {
+    --prev;
+    if (prev->first + prev->second > start) {
+      return Status::Corruption("double free: overlaps preceding free run");
+    }
+    merge_prev = prev->first + prev->second == start;
+  }
+  BlockId new_start = start;
+  uint64_t new_len = length;
+  if (merge_prev) {
+    new_start = prev->first;
+    new_len += prev->second;
+    runs_.erase(prev);
+  }
+  if (next != runs_.end() && start + length == next->first) {
+    new_len += next->second;
+    runs_.erase(next);
+  }
+  runs_[new_start] = new_len;
+  free_ += length;
+  return Status::OK();
+}
+
+uint64_t FreeListMap::largest_free_run() const {
+  uint64_t best = 0;
+  for (const auto& [start, len] : runs_) best = std::max(best, len);
+  return best;
+}
+
+int BuddyAllocator::OrderFor(uint64_t length) {
+  int order = 0;
+  while ((1ULL << order) < length) ++order;
+  return order;
+}
+
+BuddyAllocator::BuddyAllocator(uint64_t capacity_blocks) {
+  max_order_ = 0;
+  while ((2ULL << max_order_) <= capacity_blocks) ++max_order_;
+  capacity_ = 1ULL << max_order_;
+  free_ = capacity_;
+  free_lists_.resize(static_cast<size_t>(max_order_) + 1);
+  free_lists_[static_cast<size_t>(max_order_)][0] = true;
+}
+
+Result<BlockId> BuddyAllocator::Allocate(uint64_t length) {
+  if (length == 0) return Status::InvalidArgument("zero-length allocation");
+  if (length > capacity_) {
+    return Status::ResourceExhausted("request exceeds disk capacity");
+  }
+  const int order = OrderFor(length);
+  int avail = order;
+  while (avail <= max_order_ &&
+         free_lists_[static_cast<size_t>(avail)].empty()) {
+    ++avail;
+  }
+  if (avail > max_order_) {
+    return Status::ResourceExhausted("buddy: no free block of order " +
+                                     std::to_string(order));
+  }
+  // Split down to the requested order.
+  BlockId start = free_lists_[static_cast<size_t>(avail)].begin()->first;
+  free_lists_[static_cast<size_t>(avail)].erase(start);
+  while (avail > order) {
+    --avail;
+    const BlockId buddy = start + (1ULL << avail);
+    free_lists_[static_cast<size_t>(avail)][buddy] = true;
+  }
+  // The buddy allocator hands out the full 2^order run; callers that track
+  // `length` for Free() still work because Free() recomputes the order.
+  free_ -= 1ULL << order;
+  return start;
+}
+
+Status BuddyAllocator::Free(BlockId start, uint64_t length) {
+  if (length == 0) return Status::InvalidArgument("zero-length free");
+  int order = OrderFor(length);
+  if (start % (1ULL << order) != 0) {
+    return Status::InvalidArgument("buddy: misaligned free");
+  }
+  BlockId cur = start;
+  while (order < max_order_) {
+    const BlockId buddy = cur ^ (1ULL << order);
+    auto& list = free_lists_[static_cast<size_t>(order)];
+    auto it = list.find(buddy);
+    if (it == list.end()) break;
+    list.erase(it);
+    cur = std::min(cur, buddy);
+    ++order;
+  }
+  auto& list = free_lists_[static_cast<size_t>(order)];
+  if (list.count(cur) != 0) return Status::Corruption("buddy: double free");
+  list[cur] = true;
+  free_ += 1ULL << OrderFor(length);
+  return Status::OK();
+}
+
+uint64_t BuddyAllocator::fragment_count() const {
+  uint64_t n = 0;
+  for (const auto& list : free_lists_) n += list.size();
+  return n;
+}
+
+uint64_t BuddyAllocator::largest_free_run() const {
+  for (int order = max_order_; order >= 0; --order) {
+    if (!free_lists_[static_cast<size_t>(order)].empty()) {
+      return 1ULL << order;
+    }
+  }
+  return 0;
+}
+
+std::unique_ptr<FreeSpaceMap> MakeFreeSpaceMap(FreeSpaceStrategy strategy,
+                                               uint64_t capacity_blocks) {
+  switch (strategy) {
+    case FreeSpaceStrategy::kFirstFit:
+      return std::make_unique<FreeListMap>(capacity_blocks, false);
+    case FreeSpaceStrategy::kBestFit:
+      return std::make_unique<FreeListMap>(capacity_blocks, true);
+    case FreeSpaceStrategy::kBuddy:
+      return std::make_unique<BuddyAllocator>(capacity_blocks);
+  }
+  return nullptr;
+}
+
+}  // namespace duplex::storage

@@ -1,0 +1,106 @@
+#ifndef DUPLEX_STORAGE_FREE_SPACE_H_
+#define DUPLEX_STORAGE_FREE_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// Free-space manager for a single disk. The paper (Section 3, fourth issue)
+// uses first-fit over the free list scanned from the beginning of the disk;
+// best-fit and a buddy system are mentioned as unexplored alternatives, so
+// all three are implemented here for the ablation benches.
+class FreeSpaceMap {
+ public:
+  virtual ~FreeSpaceMap() = default;
+
+  // Finds a contiguous run of `length` blocks; returns its start block.
+  // Fails with ResourceExhausted when no sufficient run exists.
+  virtual Result<BlockId> Allocate(uint64_t length) = 0;
+
+  // Returns [start, start+length) to free space. Freeing blocks that are
+  // already free is a Corruption error.
+  virtual Status Free(BlockId start, uint64_t length) = 0;
+
+  virtual uint64_t capacity_blocks() const = 0;
+  virtual uint64_t free_blocks() const = 0;
+  uint64_t used_blocks() const { return capacity_blocks() - free_blocks(); }
+
+  // Number of maximal free runs (external fragmentation indicator).
+  virtual uint64_t fragment_count() const = 0;
+
+  // Length of the largest free run.
+  virtual uint64_t largest_free_run() const = 0;
+};
+
+enum class FreeSpaceStrategy {
+  kFirstFit,  // paper's strategy: scan from the beginning of the disk
+  kBestFit,   // smallest sufficient run
+  kBuddy,     // power-of-two buddy system (Cutting & Pedersen)
+};
+
+const char* FreeSpaceStrategyName(FreeSpaceStrategy s);
+
+// First-fit / best-fit over an ordered map of free runs with coalescing on
+// free. Allocate is O(#runs) for first-fit, O(#runs) for best-fit; Free is
+// O(log #runs).
+class FreeListMap : public FreeSpaceMap {
+ public:
+  FreeListMap(uint64_t capacity_blocks, bool best_fit);
+
+  Result<BlockId> Allocate(uint64_t length) override;
+  Status Free(BlockId start, uint64_t length) override;
+
+  uint64_t capacity_blocks() const override { return capacity_; }
+  uint64_t free_blocks() const override { return free_; }
+  uint64_t fragment_count() const override { return runs_.size(); }
+  uint64_t largest_free_run() const override;
+
+ private:
+  uint64_t capacity_;
+  uint64_t free_;
+  bool best_fit_;
+  // start -> length of each maximal free run; invariant: no two runs touch.
+  std::map<BlockId, uint64_t> runs_;
+};
+
+// Classic binary buddy allocator. Requests are rounded up to a power of
+// two, which trades internal fragmentation for O(log capacity) operations
+// and cheap coalescing.
+class BuddyAllocator : public FreeSpaceMap {
+ public:
+  // capacity_blocks is rounded down to a power of two.
+  explicit BuddyAllocator(uint64_t capacity_blocks);
+
+  Result<BlockId> Allocate(uint64_t length) override;
+  Status Free(BlockId start, uint64_t length) override;
+
+  uint64_t capacity_blocks() const override { return capacity_; }
+  uint64_t free_blocks() const override { return free_; }
+  uint64_t fragment_count() const override;
+  uint64_t largest_free_run() const override;
+
+ private:
+  static int OrderFor(uint64_t length);
+
+  uint64_t capacity_;
+  uint64_t free_;
+  int max_order_;
+  // free_lists_[k] holds start blocks of free runs of size 2^k, as a sorted
+  // set for deterministic behaviour.
+  std::vector<std::map<BlockId, bool>> free_lists_;
+};
+
+// Factory for the configured strategy.
+std::unique_ptr<FreeSpaceMap> MakeFreeSpaceMap(FreeSpaceStrategy strategy,
+                                               uint64_t capacity_blocks);
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_FREE_SPACE_H_

@@ -1,0 +1,122 @@
+#include "storage/io_trace.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace duplex::storage {
+
+const char* IoOpName(IoOp op) {
+  return op == IoOp::kRead ? "read" : "write";
+}
+
+const char* IoTagName(IoTag tag) {
+  switch (tag) {
+    case IoTag::kLongList:
+      return "long";
+    case IoTag::kBucket:
+      return "bucket";
+    case IoTag::kDirectory:
+      return "directory";
+  }
+  return "unknown";
+}
+
+std::pair<size_t, size_t> IoTrace::UpdateRange(size_t u) const {
+  DUPLEX_CHECK_LT(u, boundaries_.size());
+  const size_t first = u == 0 ? 0 : boundaries_[u - 1];
+  return {first, boundaries_[u]};
+}
+
+uint64_t IoTrace::CountOps(IoOp op) const {
+  uint64_t n = 0;
+  for (const auto& e : events_) n += e.op == op ? 1 : 0;
+  return n;
+}
+
+uint64_t IoTrace::CountBlocks(IoOp op) const {
+  uint64_t n = 0;
+  for (const auto& e : events_) n += e.op == op ? e.nblocks : 0;
+  return n;
+}
+
+void IoTrace::Print(std::ostream& os) const {
+  size_t update = 0;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    while (update < boundaries_.size() && boundaries_[update] == i) {
+      os << "end-update\n";
+      ++update;
+    }
+    const IoEvent& e = events_[i];
+    os << IoOpName(e.op) << " " << IoTagName(e.tag);
+    if (e.tag == IoTag::kLongList) {
+      os << " word " << e.word << " postings " << e.postings;
+    }
+    os << " disk " << e.disk << " block " << e.block << " blocks "
+       << e.nblocks << "\n";
+  }
+  while (update < boundaries_.size()) {
+    os << "end-update\n";
+    ++update;
+  }
+}
+
+std::string IoTrace::ToText() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+Result<IoTrace> IoTrace::Parse(const std::string& text) {
+  IoTrace trace;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line == "end-update") {
+      trace.EndUpdate();
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string op_s, tag_s;
+    ls >> op_s >> tag_s;
+    IoEvent e;
+    if (op_s == "read") {
+      e.op = IoOp::kRead;
+    } else if (op_s == "write") {
+      e.op = IoOp::kWrite;
+    } else {
+      return Status::Corruption("trace line " + std::to_string(lineno) +
+                                ": bad op '" + op_s + "'");
+    }
+    if (tag_s == "long") {
+      e.tag = IoTag::kLongList;
+      std::string kw1, kw2;
+      ls >> kw1 >> e.word >> kw2 >> e.postings;
+      if (kw1 != "word" || kw2 != "postings") {
+        return Status::Corruption("trace line " + std::to_string(lineno) +
+                                  ": malformed long-list event");
+      }
+    } else if (tag_s == "bucket") {
+      e.tag = IoTag::kBucket;
+    } else if (tag_s == "directory") {
+      e.tag = IoTag::kDirectory;
+    } else {
+      return Status::Corruption("trace line " + std::to_string(lineno) +
+                                ": bad tag '" + tag_s + "'");
+    }
+    std::string kw3, kw4, kw5;
+    ls >> kw3 >> e.disk >> kw4 >> e.block >> kw5 >> e.nblocks;
+    if (kw3 != "disk" || kw4 != "block" || kw5 != "blocks" || ls.fail()) {
+      return Status::Corruption("trace line " + std::to_string(lineno) +
+                                ": malformed location fields");
+    }
+    trace.Add(e);
+  }
+  return trace;
+}
+
+}  // namespace duplex::storage

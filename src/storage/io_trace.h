@@ -1,0 +1,70 @@
+#ifndef DUPLEX_STORAGE_IO_TRACE_H_
+#define DUPLEX_STORAGE_IO_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+enum class IoOp : uint8_t { kRead, kWrite };
+
+// What an I/O event is for; mirrors the line kinds of paper Figure 6
+// ("update bucket", the directory line, and "write word ..." lines).
+enum class IoTag : uint8_t { kLongList, kBucket, kDirectory };
+
+const char* IoOpName(IoOp op);
+const char* IoTagName(IoTag tag);
+
+// One system-call-sized I/O request, as emitted by the compute-disks stage.
+struct IoEvent {
+  IoOp op = IoOp::kWrite;
+  IoTag tag = IoTag::kLongList;
+  uint32_t word = 0;      // word id for long-list events, 0 otherwise
+  uint64_t postings = 0;  // postings touched (long-list events)
+  DiskId disk = 0;
+  BlockId block = 0;
+  uint64_t nblocks = 0;
+
+  friend bool operator==(const IoEvent& a, const IoEvent& b) = default;
+};
+
+// A trace of I/O events partitioned into batch updates — the paper's trace
+// file from the compute-disks process, kept in memory with a text
+// round-trip for inspection and tooling.
+class IoTrace {
+ public:
+  void Add(const IoEvent& e) { events_.push_back(e); }
+  // Marks the end of the current batch update.
+  void EndUpdate() { boundaries_.push_back(events_.size()); }
+
+  size_t event_count() const { return events_.size(); }
+  size_t update_count() const { return boundaries_.size(); }
+  const std::vector<IoEvent>& events() const { return events_; }
+
+  // Event index range [first, last) of update `u`.
+  std::pair<size_t, size_t> UpdateRange(size_t u) const;
+
+  uint64_t CountOps() const { return events_.size(); }
+  uint64_t CountOps(IoOp op) const;
+  uint64_t CountBlocks(IoOp op) const;
+
+  // Text serialization in the spirit of paper Figure 6, e.g.
+  //   write long word 120990 postings 3094 disk 0 block 4878 blocks 7
+  //   end-update
+  void Print(std::ostream& os) const;
+  std::string ToText() const;
+  static Result<IoTrace> Parse(const std::string& text);
+
+ private:
+  std::vector<IoEvent> events_;
+  std::vector<size_t> boundaries_;  // cumulative event counts per update
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_IO_TRACE_H_

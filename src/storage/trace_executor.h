@@ -1,0 +1,56 @@
+#ifndef DUPLEX_STORAGE_TRACE_EXECUTOR_H_
+#define DUPLEX_STORAGE_TRACE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/disk_model.h"
+#include "storage/io_trace.h"
+
+namespace duplex::storage {
+
+// Configuration for the exercise-disks stage (paper Section 4.5).
+struct ExecutorOptions {
+  DiskModelParams disk = DiskModelParams::Seagate1993();
+  uint32_t num_disks = 4;
+  // The executor coalesces adjacent requests without reordering, up to this
+  // many blocks per request — the paper's BufferBlock parameter modeling a
+  // finite I/O buffer.
+  uint64_t buffer_blocks = 128;
+  bool coalesce = true;
+};
+
+// Result of replaying one trace.
+struct ExecutionResult {
+  // Simulated seconds per batch update (elapsed = max over disks, since
+  // the paper issues requests to each disk from independent processes).
+  std::vector<double> update_seconds;
+  // Running total of update_seconds.
+  std::vector<double> cumulative_seconds;
+
+  uint64_t issued_requests = 0;     // after coalescing
+  uint64_t trace_events = 0;        // before coalescing
+  uint64_t seeks = 0;
+  uint64_t blocks_transferred = 0;
+
+  double total_seconds() const {
+    return cumulative_seconds.empty() ? 0.0 : cumulative_seconds.back();
+  }
+};
+
+// Replays an I/O trace against the disk service-time model. This stands in
+// for the paper's raw-partition replay on real hardware; see DESIGN.md for
+// the substitution argument.
+class TraceExecutor {
+ public:
+  explicit TraceExecutor(const ExecutorOptions& options);
+
+  ExecutionResult Execute(const IoTrace& trace);
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_TRACE_EXECUTOR_H_

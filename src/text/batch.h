@@ -1,0 +1,71 @@
+#ifndef DUPLEX_TEXT_BATCH_H_
+#define DUPLEX_TEXT_BATCH_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::text {
+
+// One word-occurrence pair of a batch update (paper Table 3 / Figure 5):
+// the word and the number of documents of the batch containing it.
+struct WordCount {
+  WordId word = 0;
+  uint32_t count = 0;
+
+  friend bool operator==(const WordCount& a, const WordCount& b) = default;
+};
+
+// A batch update: all words appearing in one batch of documents with their
+// in-memory inverted-list lengths, sorted by word id. This is the paper's
+// representation of the in-memory index for the count-only pipeline.
+struct BatchUpdate {
+  std::vector<WordCount> pairs;  // sorted by word
+
+  uint64_t TotalPostings() const;
+  size_t DistinctWords() const { return pairs.size(); }
+
+  // Renders "word count" lines terminated by "0 0" (paper Figure 5).
+  void Print(std::ostream& os) const;
+  static Result<BatchUpdate> Parse(const std::string& text);
+};
+
+// The materialized counterpart: per word, the sorted doc ids of the batch.
+// Used by the real index path (queries need actual postings).
+struct InvertedBatch {
+  struct Entry {
+    WordId word = 0;
+    std::vector<DocId> docs;  // ascending
+  };
+  std::vector<Entry> entries;  // sorted by word
+
+  BatchUpdate ToBatchUpdate() const;
+  uint64_t TotalPostings() const;
+};
+
+// Builds batches from raw document text: tokenize each document, assign
+// word ids through the shared vocabulary, and invert. Documents are
+// assigned increasing doc ids from `next_doc_id`.
+class BatchInverter {
+ public:
+  BatchInverter(Tokenizer tokenizer, Vocabulary* vocabulary)
+      : tokenizer_(std::move(tokenizer)), vocabulary_(vocabulary) {}
+
+  // `documents` is the text of each document of the batch. Advances
+  // *next_doc_id by documents.size().
+  InvertedBatch Invert(const std::vector<std::string>& documents,
+                       DocId* next_doc_id) const;
+
+ private:
+  Tokenizer tokenizer_;
+  Vocabulary* vocabulary_;
+};
+
+}  // namespace duplex::text
+
+#endif  // DUPLEX_TEXT_BATCH_H_

@@ -1,0 +1,126 @@
+#include "text/corpus_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace duplex::text {
+namespace {
+
+// Bijective 64-bit mix (SplitMix64 finalizer): turns a Zipf rank into a
+// latent word key so that word-id order carries no frequency information,
+// like alphabetic numbering in the paper.
+uint64_t MixRank(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(const CorpusOptions& options)
+    : options_(options), zipf_(options.word_universe, options.zipf_s) {
+  DUPLEX_CHECK_GT(options.num_updates, 0u);
+  DUPLEX_CHECK_GT(options.docs_per_update, 0u);
+  DUPLEX_CHECK_GE(options.max_doc_words, options.min_doc_words);
+}
+
+uint32_t CorpusGenerator::DocsInUpdate(uint32_t u) const {
+  double docs = static_cast<double>(options_.docs_per_update);
+  if ((u + 7 - options_.first_saturday % 7) % 7 == 0) {
+    docs *= options_.weekend_factor;
+  }
+  if (static_cast<int32_t>(u) == options_.interrupted_update) {
+    docs *= options_.interrupted_factor;
+  }
+  return std::max<uint32_t>(1, static_cast<uint32_t>(docs));
+}
+
+std::vector<SyntheticDoc> CorpusGenerator::GenerateUpdate(uint32_t u) const {
+  // Per-update deterministic stream, independent of generation order.
+  Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + 0xda942042e4dd58b5ULL * u);
+  const uint32_t n_docs = DocsInUpdate(u);
+  std::vector<SyntheticDoc> docs;
+  docs.reserve(n_docs);
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t d = 0; d < n_docs; ++d) {
+    const double len_d =
+        rng.NextLogNormal(options_.doc_words_mu, options_.doc_words_sigma);
+    uint32_t len = static_cast<uint32_t>(len_d);
+    len = std::clamp(len, options_.min_doc_words, options_.max_doc_words);
+    SyntheticDoc doc;
+    doc.reserve(len);
+    seen.clear();
+    // Sample distinct ranks; duplicates model repeated words within a
+    // document and are dropped (the paper's tokenizer dedupes too). Cap
+    // attempts so a pathological configuration cannot loop forever.
+    uint32_t attempts = 0;
+    const uint32_t max_attempts = len * 8 + 64;
+    while (doc.size() < len && attempts < max_attempts) {
+      ++attempts;
+      const uint64_t rank = zipf_.Sample(rng);
+      if (seen.insert(rank).second) doc.push_back(MixRank(rank));
+    }
+    std::sort(doc.begin(), doc.end());
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+BatchUpdate CorpusGenerator::ToBatchUpdate(
+    const std::vector<SyntheticDoc>& docs, KeyVocabulary* vocabulary) {
+  DUPLEX_CHECK(vocabulary != nullptr);
+  std::map<WordId, uint32_t> counts;
+  for (const SyntheticDoc& doc : docs) {
+    for (const uint64_t key : doc) ++counts[vocabulary->GetOrAdd(key)];
+  }
+  BatchUpdate update;
+  update.pairs.reserve(counts.size());
+  for (const auto& [word, count] : counts) update.pairs.push_back({word, count});
+  return update;
+}
+
+InvertedBatch CorpusGenerator::ToInvertedBatch(
+    const std::vector<SyntheticDoc>& docs, KeyVocabulary* vocabulary,
+    DocId* next_doc_id) {
+  DUPLEX_CHECK(vocabulary != nullptr);
+  DUPLEX_CHECK(next_doc_id != nullptr);
+  std::map<WordId, std::vector<DocId>> lists;
+  for (const SyntheticDoc& doc : docs) {
+    const DocId doc_id = (*next_doc_id)++;
+    for (const uint64_t key : doc) {
+      lists[vocabulary->GetOrAdd(key)].push_back(doc_id);
+    }
+  }
+  InvertedBatch batch;
+  batch.entries.reserve(lists.size());
+  for (auto& [word, doc_ids] : lists) {
+    batch.entries.push_back({word, std::move(doc_ids)});
+  }
+  return batch;
+}
+
+std::string CorpusGenerator::RenderDocumentText(const SyntheticDoc& doc) {
+  // Keys render as all-letter tokens so the tokenizer (which splits letter
+  // runs from digit runs) reads each back as exactly one word.
+  std::string text;
+  text.reserve(doc.size() * 16);
+  for (const uint64_t key : doc) {
+    uint64_t v = key;
+    char buf[16];
+    int n = 0;
+    do {
+      buf[n++] = static_cast<char>('a' + v % 26);
+      v /= 26;
+    } while (v != 0 && n < 15);
+    text.push_back('w');
+    while (n > 0) text.push_back(buf[--n]);
+    text.push_back(' ');
+  }
+  if (!text.empty()) text.pop_back();
+  return text;
+}
+
+}  // namespace duplex::text

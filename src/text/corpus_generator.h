@@ -1,0 +1,93 @@
+#ifndef DUPLEX_TEXT_CORPUS_GENERATOR_H_
+#define DUPLEX_TEXT_CORPUS_GENERATOR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/batch.h"
+#include "text/vocabulary.h"
+#include "util/random.h"
+#include "util/types.h"
+
+namespace duplex::text {
+
+// Parameters of the synthetic NetNews stream that substitutes for the
+// paper's 66 days of collected News articles (see DESIGN.md). Every result
+// in the paper depends only on the word-occurrence statistics of the daily
+// batches; this generator reproduces them:
+//  - word frequencies follow a Zipf law over a large latent word universe
+//    (the paper cites Zipf explicitly for inverted-list lengths);
+//  - vocabulary grows over time as new ranks are first sampled (Heaps'
+//    law), giving the paper's stabilizing new-word fraction (Figure 7);
+//  - documents contain a log-normally distributed number of distinct words
+//    (one posting per word per document, abstracts-style);
+//  - batches follow a weekly cycle with small Saturday batches, plus one
+//    tiny batch modeling the paper's data-collection interruption at
+//    update 31.
+struct CorpusOptions {
+  uint32_t num_updates = 66;
+  uint32_t docs_per_update = 2000;
+  double weekend_factor = 0.4;      // Saturday batch size multiplier
+  uint32_t first_saturday = 2;      // collection started on a Thursday
+  int32_t interrupted_update = 30;  // 0-based index; negative disables
+  double interrupted_factor = 0.05;
+
+  uint64_t word_universe = 2'000'000;  // latent ranks
+  double zipf_s = 1.2;
+  double doc_words_mu = std::log(80.0);  // log-normal distinct words/doc
+  double doc_words_sigma = 0.6;
+  uint32_t min_doc_words = 8;
+  uint32_t max_doc_words = 2000;
+  uint64_t seed = 42;
+};
+
+// A generated document: the set of latent word keys it contains (already
+// de-duplicated, as the paper's tokenizer drops duplicate tokens).
+using SyntheticDoc = std::vector<uint64_t>;
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(const CorpusOptions& options);
+
+  const CorpusOptions& options() const { return options_; }
+
+  // Documents in update `u` after the weekly cycle and interruption.
+  uint32_t DocsInUpdate(uint32_t u) const;
+
+  // Generates update u's documents. Deterministic in (seed, u): updates can
+  // be generated in any order or re-generated identically.
+  std::vector<SyntheticDoc> GenerateUpdate(uint32_t u) const;
+
+  // Collapses documents to the count-only batch update through the shared
+  // key vocabulary (pairs sorted by word id).
+  static BatchUpdate ToBatchUpdate(const std::vector<SyntheticDoc>& docs,
+                                   KeyVocabulary* vocabulary);
+
+  // Materialized form: per word the ascending doc ids, consuming doc ids
+  // from *next_doc_id.
+  static InvertedBatch ToInvertedBatch(const std::vector<SyntheticDoc>& docs,
+                                       KeyVocabulary* vocabulary,
+                                       DocId* next_doc_id);
+
+  // Renders a document as text ("w184a3 w99f2 ...") so the tokenizer path
+  // can be exercised on generated data.
+  static std::string RenderDocumentText(const SyntheticDoc& doc);
+
+  // Estimated raw text bytes of a document (words reappear ~1.8x in real
+  // text and average ~7 bytes incl. separator). Used for the Table 1
+  // "total raw text" line.
+  static uint64_t EstimatedRawBytes(const SyntheticDoc& doc) {
+    return 60 + static_cast<uint64_t>(
+                    static_cast<double>(doc.size()) * 1.8 * 7.0);
+  }
+
+ private:
+  CorpusOptions options_;
+  ZipfDistribution zipf_;
+};
+
+}  // namespace duplex::text
+
+#endif  // DUPLEX_TEXT_CORPUS_GENERATOR_H_

@@ -1,0 +1,71 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace duplex::text {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(std::move(options)) {}
+
+bool Tokenizer::LineIsIgnored(std::string_view line) const {
+  for (const std::string& header : options_.ignored_headers) {
+    if (line.size() >= header.size() &&
+        line.compare(0, header.size(), header) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view document) const {
+  std::vector<std::string> words;
+  size_t line_start = 0;
+  while (line_start <= document.size()) {
+    size_t line_end = document.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = document.size();
+    const std::string_view line =
+        document.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (LineIsIgnored(line)) continue;
+
+    size_t i = 0;
+    while (i < line.size()) {
+      const unsigned char c = static_cast<unsigned char>(line[i]);
+      const bool alpha = std::isalpha(c) != 0;
+      const bool digit = std::isdigit(c) != 0;
+      if (!alpha && !digit) {
+        ++i;
+        continue;
+      }
+      // A token is a maximal run of the same character class.
+      size_t j = i + 1;
+      while (j < line.size()) {
+        const unsigned char cj = static_cast<unsigned char>(line[j]);
+        const bool same_class =
+            alpha ? std::isalpha(cj) != 0 : std::isdigit(cj) != 0;
+        if (!same_class) break;
+        ++j;
+      }
+      if (j - i >= options_.min_token_length) {
+        std::string token(line.substr(i, j - i));
+        if (options_.lowercase) {
+          std::transform(token.begin(), token.end(), token.begin(),
+                         [](unsigned char ch) {
+                           return static_cast<char>(std::tolower(ch));
+                         });
+        }
+        words.push_back(std::move(token));
+      }
+      i = j;
+    }
+    if (line_end == document.size()) break;
+  }
+
+  if (options_.dedupe) {
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+  }
+  return words;
+}
+
+}  // namespace duplex::text

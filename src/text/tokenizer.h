@@ -1,0 +1,44 @@
+#ifndef DUPLEX_TEXT_TOKENIZER_H_
+#define DUPLEX_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace duplex::text {
+
+// Lexical analysis rules from paper Section 4.2:
+//  - a token is a maximal run of letters or a maximal run of digits;
+//  - every other character is ignored;
+//  - lines whose header prefix matches an ignored header (e.g. "Date:")
+//    are skipped entirely;
+//  - tokens are lowercased to form words;
+//  - duplicate words within one document are dropped (abstracts-style
+//    indexing: one posting per (word, document) pair).
+struct TokenizerOptions {
+  std::vector<std::string> ignored_headers = {"Date:", "Message-ID:",
+                                              "Path:", "References:"};
+  bool lowercase = true;
+  bool dedupe = true;
+  size_t min_token_length = 1;
+};
+
+class Tokenizer {
+ public:
+  Tokenizer() : Tokenizer(TokenizerOptions{}) {}
+  explicit Tokenizer(TokenizerOptions options);
+
+  // Returns the document's words. With options.dedupe the result is sorted
+  // and unique (paper Figure 4b shows tokens in sorted order); otherwise
+  // tokens appear in document order.
+  std::vector<std::string> Tokenize(std::string_view document) const;
+
+ private:
+  bool LineIsIgnored(std::string_view line) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace duplex::text
+
+#endif  // DUPLEX_TEXT_TOKENIZER_H_

@@ -1,0 +1,37 @@
+#include "text/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace duplex::text {
+
+WordId Vocabulary::GetOrAdd(std::string_view word) {
+  auto it = ids_.find(std::string(word));
+  if (it != ids_.end()) return it->second;
+  const WordId id = static_cast<WordId>(words_.size());
+  words_.emplace_back(word);
+  ids_.emplace(words_.back(), id);
+  return id;
+}
+
+WordId Vocabulary::Lookup(std::string_view word) const {
+  auto it = ids_.find(std::string(word));
+  return it == ids_.end() ? kInvalidWord : it->second;
+}
+
+const std::string& Vocabulary::WordFor(WordId id) const {
+  DUPLEX_CHECK_LT(id, words_.size());
+  return words_[id];
+}
+
+WordId KeyVocabulary::GetOrAdd(uint64_t key) {
+  auto [it, inserted] = ids_.emplace(key, next_);
+  if (inserted) ++next_;
+  return it->second;
+}
+
+WordId KeyVocabulary::Lookup(uint64_t key) const {
+  auto it = ids_.find(key);
+  return it == ids_.end() ? kInvalidWord : it->second;
+}
+
+}  // namespace duplex::text

@@ -1,0 +1,55 @@
+#ifndef DUPLEX_TEXT_VOCABULARY_H_
+#define DUPLEX_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace duplex::text {
+
+// Bidirectional word <-> dense WordId map. Ids are assigned in first-seen
+// order; the paper likewise converts all words in batch updates to unique
+// integers before the bucket stage (Section 4.2).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Returns the id for `word`, inserting it if new.
+  WordId GetOrAdd(std::string_view word);
+
+  // Returns the id for `word` or kInvalidWord if absent.
+  WordId Lookup(std::string_view word) const;
+
+  // Requires id < size().
+  const std::string& WordFor(WordId id) const;
+
+  size_t size() const { return words_.size(); }
+  bool Contains(std::string_view word) const {
+    return Lookup(word) != kInvalidWord;
+  }
+
+ private:
+  std::unordered_map<std::string, WordId> ids_;
+  std::vector<std::string> words_;
+};
+
+// 64-bit word keys from the synthetic corpus generator get dense ids here.
+// Same contract as Vocabulary but without string storage, so the
+// count-only experiment pipeline never pays for string materialization.
+class KeyVocabulary {
+ public:
+  WordId GetOrAdd(uint64_t key);
+  WordId Lookup(uint64_t key) const;
+  size_t size() const { return next_; }
+
+ private:
+  std::unordered_map<uint64_t, WordId> ids_;
+  WordId next_ = 0;
+};
+
+}  // namespace duplex::text
+
+#endif  // DUPLEX_TEXT_VOCABULARY_H_

@@ -1,0 +1,29 @@
+#ifndef DUPLEX_UTIL_HASH_H_
+#define DUPLEX_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace duplex {
+
+// FNV-1a 64-bit hash; used as the batch-log record checksum and for
+// hash-based sharding. Not cryptographic.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_HASH_H_

@@ -1,0 +1,81 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace duplex {
+
+void Histogram::Add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Clear() {
+  values_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  return values_.front();
+}
+
+double Histogram::max() const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  return values_.back();
+}
+
+double Histogram::Mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Histogram::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  const double n = static_cast<double>(values_.size());
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  return std::sqrt(var);
+}
+
+double Histogram::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  if (p <= 0.0) return values_.front();
+  if (p >= 100.0) return values_.back();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << Mean() << " p50=" << Median()
+     << " p99=" << Percentile(99.0) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace duplex

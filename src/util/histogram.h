@@ -1,0 +1,46 @@
+#ifndef DUPLEX_UTIL_HISTOGRAM_H_
+#define DUPLEX_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duplex {
+
+// Streaming summary of a scalar series: count / sum / min / max / mean /
+// percentiles. Percentiles are exact (values retained); intended for
+// experiment harnesses, not hot paths.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return values_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double StdDev() const;
+
+  // p in [0, 100]. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // One-line summary: "count=... mean=... p50=... p99=... max=...".
+  std::string ToString() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_HISTOGRAM_H_

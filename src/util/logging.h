@@ -1,0 +1,62 @@
+#ifndef DUPLEX_UTIL_LOGGING_H_
+#define DUPLEX_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace duplex {
+namespace internal_logging {
+
+// Accumulates a fatal message and aborts the process when destroyed.
+// Used only via the DUPLEX_CHECK macros below.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lower-precedence-than-<< adapter so DUPLEX_CHECK can be used inside a
+// ternary while still supporting `DUPLEX_CHECK(x) << "context"`.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace duplex
+
+// Invariant checks. These guard internal invariants (never user input — user
+// input errors are reported via Status). Enabled in all build types: a
+// storage engine that silently corrupts state is worse than one that stops.
+#define DUPLEX_CHECK(condition)                                 \
+  (condition) ? (void)0                                         \
+              : ::duplex::internal_logging::Voidify() &         \
+                    ::duplex::internal_logging::FatalMessage(   \
+                        __FILE__, __LINE__, #condition)         \
+                        .stream()
+
+#define DUPLEX_CHECK_OP(op, a, b) DUPLEX_CHECK((a)op(b))
+#define DUPLEX_CHECK_EQ(a, b) DUPLEX_CHECK_OP(==, a, b)
+#define DUPLEX_CHECK_NE(a, b) DUPLEX_CHECK_OP(!=, a, b)
+#define DUPLEX_CHECK_LT(a, b) DUPLEX_CHECK_OP(<, a, b)
+#define DUPLEX_CHECK_LE(a, b) DUPLEX_CHECK_OP(<=, a, b)
+#define DUPLEX_CHECK_GT(a, b) DUPLEX_CHECK_OP(>, a, b)
+#define DUPLEX_CHECK_GE(a, b) DUPLEX_CHECK_OP(>=, a, b)
+
+#define DUPLEX_CHECK_OK(status_expr)                                     \
+  do {                                                                   \
+    const ::duplex::Status _duplex_chk = (status_expr);                  \
+    DUPLEX_CHECK(_duplex_chk.ok()) << _duplex_chk.ToString();            \
+  } while (false)
+
+#endif  // DUPLEX_UTIL_LOGGING_H_

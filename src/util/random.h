@@ -1,0 +1,64 @@
+#ifndef DUPLEX_UTIL_RANDOM_H_
+#define DUPLEX_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace duplex {
+
+// Deterministic 64-bit PRNG (xoshiro256**). All experiments in this
+// repository are seeded, so every figure and table is exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform over [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf(s) sampler over ranks {1, ..., n}: P(k) proportional to 1/k^s.
+// Uses rejection-inversion (Hormann & Derflinger 1996), O(1) per sample
+// with no O(n) table, so it scales to multi-million-word vocabularies.
+class ZipfDistribution {
+ public:
+  // n >= 1; s > 0, s != 1 handled, s == 1 handled via the limit forms.
+  ZipfDistribution(uint64_t n, double s);
+
+  // Returns a rank in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;  // s_threshold for the rejection test shortcut
+};
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_RANDOM_H_

@@ -1,0 +1,29 @@
+#ifndef DUPLEX_UTIL_STOPWATCH_H_
+#define DUPLEX_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace duplex {
+
+// Wall-clock stopwatch for harness instrumentation (not for the simulated
+// disk clock — that lives in storage::DiskModel).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_STOPWATCH_H_

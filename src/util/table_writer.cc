@@ -1,0 +1,75 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace duplex {
+
+TableWriter::TableWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  DUPLEX_CHECK(!columns_.empty());
+}
+
+TableWriter& TableWriter::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(const std::string& v) {
+  DUPLEX_CHECK(!rows_.empty());
+  DUPLEX_CHECK_LT(rows_.back().size(), columns_.size());
+  rows_.back().push_back(v);
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(const char* v) { return Cell(std::string(v)); }
+
+TableWriter& TableWriter::Cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return Cell(os.str());
+}
+
+TableWriter& TableWriter::Cell(uint64_t v) { return Cell(std::to_string(v)); }
+TableWriter& TableWriter::Cell(int64_t v) { return Cell(std::to_string(v)); }
+TableWriter& TableWriter::Cell(int v) { return Cell(std::to_string(v)); }
+
+void TableWriter::PrintAscii(std::ostream& os, const std::string& title) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableWriter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace duplex

@@ -1,0 +1,39 @@
+#ifndef DUPLEX_UTIL_TABLE_WRITER_H_
+#define DUPLEX_UTIL_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace duplex {
+
+// Collects rows and renders them either as an aligned ASCII table (the
+// format every bench binary prints, matching the paper's tables) or as CSV
+// for downstream plotting.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> columns);
+
+  // Starts a new row; subsequent Cell() calls fill it left to right.
+  TableWriter& Row();
+  TableWriter& Cell(const std::string& v);
+  TableWriter& Cell(const char* v);
+  TableWriter& Cell(double v, int precision = 3);
+  TableWriter& Cell(uint64_t v);
+  TableWriter& Cell(int64_t v);
+  TableWriter& Cell(int v);
+
+  size_t row_count() const { return rows_.size(); }
+
+  void PrintAscii(std::ostream& os, const std::string& title = "") const;
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_TABLE_WRITER_H_

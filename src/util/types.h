@@ -1,0 +1,22 @@
+#ifndef DUPLEX_UTIL_TYPES_H_
+#define DUPLEX_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace duplex {
+
+// Dense identifier of a word assigned by the Vocabulary in first-seen
+// order. The paper converts all words to unique integers the same way
+// (Section 4.2).
+using WordId = uint32_t;
+
+// Document identifier. The paper assumes documents are numbered in
+// increasing arrival order, which is what makes append-only long lists
+// stay sorted and merge-able (Section 3).
+using DocId = uint32_t;
+
+inline constexpr WordId kInvalidWord = ~static_cast<WordId>(0);
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_TYPES_H_

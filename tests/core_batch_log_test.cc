@@ -1,0 +1,221 @@
+#include "core/batch_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace duplex::core {
+namespace {
+
+class BatchLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/duplex_wal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static text::BatchUpdate CountBatch(
+      std::vector<text::WordCount> pairs) {
+    text::BatchUpdate b;
+    b.pairs = std::move(pairs);
+    return b;
+  }
+
+  static IndexOptions Options(bool materialize = false) {
+    IndexOptions o;
+    o.buckets.num_buckets = 8;
+    o.buckets.bucket_capacity = 32;
+    o.policy = Policy::NewZ();
+    o.block_postings = 10;
+    o.disks.num_disks = 2;
+    o.disks.blocks_per_disk = 1 << 16;
+    o.disks.block_size_bytes = 64;
+    o.materialize = materialize;
+    return o;
+  }
+
+  std::string path_;
+};
+
+TEST_F(BatchLogTest, EmptyLog) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ((*log)->batches_logged(), 0u);
+  EXPECT_TRUE((*log)->UnappliedBatches().empty());
+}
+
+TEST_F(BatchLogTest, AppendAssignsSequentialIds) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(*(*log)->AppendBatch(CountBatch({{1, 2}})), 0u);
+  EXPECT_EQ(*(*log)->AppendBatch(CountBatch({{3, 4}})), 1u);
+  EXPECT_EQ((*log)->batches_logged(), 2u);
+  EXPECT_EQ((*log)->UnappliedBatches().size(), 2u);
+}
+
+TEST_F(BatchLogTest, MarkAppliedRemovesFromUnapplied) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{3, 4}})).ok());
+  ASSERT_TRUE((*log)->MarkApplied(0).ok());
+  const auto unapplied = (*log)->UnappliedBatches();
+  ASSERT_EQ(unapplied.size(), 1u);
+  EXPECT_EQ(unapplied[0]->id, 1u);
+  EXPECT_EQ((*log)->batches_applied(), 1u);
+  EXPECT_EQ((*log)->MarkApplied(9).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BatchLogTest, SurvivesReopen) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}, {5, 9}})).ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{7, 1}})).ok());
+    ASSERT_TRUE((*log)->MarkApplied(0).ok());
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ((*log)->batches_logged(), 2u);
+  const auto unapplied = (*log)->UnappliedBatches();
+  ASSERT_EQ(unapplied.size(), 1u);
+  EXPECT_EQ(unapplied[0]->id, 1u);
+  EXPECT_EQ(unapplied[0]->counts.pairs,
+            (std::vector<text::WordCount>{{7, 1}}));
+}
+
+TEST_F(BatchLogTest, MaterializedBatchesRoundTrip) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    text::InvertedBatch batch;
+    batch.entries = {{2, {0, 3, 4}}, {8, {1}}};
+    ASSERT_TRUE((*log)->AppendBatch(batch).ok());
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  const auto unapplied = (*log)->UnappliedBatches();
+  ASSERT_EQ(unapplied.size(), 1u);
+  EXPECT_TRUE(unapplied[0]->materialized);
+  ASSERT_EQ(unapplied[0]->docs.entries.size(), 2u);
+  EXPECT_EQ(unapplied[0]->docs.entries[0].docs,
+            (std::vector<DocId>{0, 3, 4}));
+  EXPECT_EQ(unapplied[0]->counts.pairs[0], (text::WordCount{2, 3}));
+}
+
+TEST_F(BatchLogTest, TornTailIsDroppedSilently) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{3, 4}})).ok());
+  }
+  // Simulate a crash mid-write: chop bytes off the end.
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    contents.resize(contents.size() - 5);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ((*log)->batches_logged(), 1u);  // second record dropped
+  // The log remains appendable after tail truncation.
+  EXPECT_EQ(*(*log)->AppendBatch(CountBatch({{9, 9}})), 1u);
+}
+
+TEST_F(BatchLogTest, CorruptedMiddleRecordIsFatal) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{3, 4}})).ok());
+  }
+  // Flip a payload byte in the first record.
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(3);
+    f.put('\x7f');
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_FALSE(log.ok());
+  EXPECT_EQ(log.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BatchLogTest, RecoverIntoReplaysExactly) {
+  // "Crash" after applying only the first of three logged batches.
+  InvertedIndex reference(Options());
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    const text::BatchUpdate b0 = CountBatch({{1, 40}, {2, 3}});
+    const text::BatchUpdate b1 = CountBatch({{1, 5}, {3, 2}});
+    const text::BatchUpdate b2 = CountBatch({{2, 1}});
+    for (const auto& b : {b0, b1, b2}) {
+      ASSERT_TRUE((*log)->AppendBatch(b).ok());
+    }
+    ASSERT_TRUE(reference.ApplyBatchUpdate(b0).ok());
+    ASSERT_TRUE((*log)->MarkApplied(0).ok());
+    ASSERT_TRUE(reference.ApplyBatchUpdate(b1).ok());
+    ASSERT_TRUE(reference.ApplyBatchUpdate(b2).ok());
+  }
+  // Recovery: rebuild from scratch (no snapshot here), replaying ALL
+  // batches would double-apply batch 0 — so recover a fresh index by
+  // first replaying the applied prefix manually (stands in for Snapshot),
+  // then RecoverInto for the rest.
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  InvertedIndex recovered(Options());
+  ASSERT_TRUE(
+      recovered.ApplyBatchUpdate(CountBatch({{1, 40}, {2, 3}})).ok());
+  ASSERT_TRUE((*log)->RecoverInto(&recovered).ok());
+  EXPECT_TRUE((*log)->UnappliedBatches().empty());
+  for (const WordId w : {1u, 2u, 3u}) {
+    EXPECT_EQ(recovered.Locate(w).postings, reference.Locate(w).postings)
+        << w;
+  }
+}
+
+TEST_F(BatchLogTest, RecoverMaterializedIndex) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  text::InvertedBatch batch;
+  batch.entries = {{1, {0, 1, 2}}, {4, {2}}};
+  ASSERT_TRUE((*log)->AppendBatch(batch).ok());
+  InvertedIndex index(Options(true));
+  ASSERT_TRUE((*log)->RecoverInto(&index).ok());
+  Result<std::vector<DocId>> docs = index.GetPostings(WordId{1});
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(*docs, (std::vector<DocId>{0, 1, 2}));
+}
+
+TEST_F(BatchLogTest, RecoverModeMismatchFails) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+  InvertedIndex materialized(Options(true));
+  EXPECT_EQ((*log)->RecoverInto(&materialized).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BatchLogTest, TruncateClearsEverything) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+  ASSERT_TRUE((*log)->Truncate().ok());
+  EXPECT_EQ((*log)->batches_logged(), 0u);
+  // Ids restart and the file is reusable.
+  EXPECT_EQ(*(*log)->AppendBatch(CountBatch({{5, 5}})), 0u);
+  Result<std::unique_ptr<BatchLog>> reopened = BatchLog::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->batches_logged(), 1u);
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,174 @@
+#include "core/bucket_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace duplex::core {
+namespace {
+
+BucketStoreOptions Small(uint32_t buckets = 4, uint64_t capacity = 16) {
+  BucketStoreOptions o;
+  o.num_buckets = buckets;
+  o.bucket_capacity = capacity;
+  return o;
+}
+
+TEST(BucketStoreTest, ModularHash) {
+  BucketStore store(Small(4));
+  EXPECT_EQ(store.BucketFor(0), 0u);
+  EXPECT_EQ(store.BucketFor(5), 1u);
+  EXPECT_EQ(store.BucketFor(7), 3u);
+}
+
+TEST(BucketStoreTest, InsertWithoutOverflow) {
+  BucketStore store(Small());
+  EXPECT_TRUE(store.Insert(1, PostingList::Counted(3)).empty());
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_EQ(store.Find(1)->size(), 3u);
+  EXPECT_EQ(store.TotalWords(), 1u);
+  EXPECT_EQ(store.TotalPostings(), 3u);
+  EXPECT_EQ(store.TotalUsedUnits(), 4u);
+}
+
+TEST(BucketStoreTest, OverflowEvictsLongestShortList) {
+  BucketStore store(Small(1, 16));
+  store.Insert(1, PostingList::Counted(5));   // 6 units
+  store.Insert(2, PostingList::Counted(8));   // +9 = 15 units
+  const auto evicted = store.Insert(3, PostingList::Counted(3));  // 19 > 16
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 2u);  // longest list evicted
+  EXPECT_EQ(evicted[0].second.size(), 8u);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_TRUE(store.Contains(3));
+  EXPECT_FALSE(store.Contains(2));
+  EXPECT_EQ(store.evictions(), 1u);
+}
+
+TEST(BucketStoreTest, EvictedListIncludesPriorBucketPostings) {
+  // Paper: "the postings for an update can come from the new postings in a
+  // batch or from previous postings in a bucket".
+  BucketStore store(Small(1, 16));
+  store.Insert(1, PostingList::Counted(7));
+  const auto evicted = store.Insert(1, PostingList::Counted(9));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 1u);
+  EXPECT_EQ(evicted[0].second.size(), 16u);  // 7 old + 9 new
+}
+
+TEST(BucketStoreTest, GiantInsertEvictsItself) {
+  BucketStore store(Small(1, 20));
+  store.Insert(1, PostingList::Counted(8));
+  store.Insert(2, PostingList::Counted(7));
+  // Inserting a list bigger than the whole bucket evicts the giant list
+  // itself (it is the longest short list), leaving the others in place.
+  // Since the bucket held <= capacity before the insert and the longest
+  // list is at least as large as the overshoot, one eviction always
+  // restores the invariant.
+  const auto evicted = store.Insert(3, PostingList::Counted(100));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 3u);
+  EXPECT_EQ(evicted[0].second.size(), 100u);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_TRUE(store.Contains(2));
+  EXPECT_LE(store.TotalUsedUnits(), 20u);
+}
+
+TEST(BucketStoreTest, IndependentBucketsDoNotInterfere) {
+  BucketStore store(Small(2, 10));
+  store.Insert(0, PostingList::Counted(8));  // bucket 0: 9 units
+  // Word 1 hashes to bucket 1: no overflow in bucket 0.
+  EXPECT_TRUE(store.Insert(1, PostingList::Counted(8)).empty());
+  EXPECT_TRUE(store.Contains(0));
+  EXPECT_TRUE(store.Contains(1));
+}
+
+TEST(BucketStoreTest, RemoveWord) {
+  BucketStore store(Small());
+  store.Insert(5, PostingList::Counted(2));
+  EXPECT_TRUE(store.Remove(5));
+  EXPECT_FALSE(store.Contains(5));
+  EXPECT_FALSE(store.Remove(5));
+}
+
+TEST(BucketStoreTest, OccupancyFraction) {
+  BucketStore store(Small(2, 10));  // 20 units capacity
+  store.Insert(0, PostingList::Counted(4));
+  EXPECT_DOUBLE_EQ(store.Occupancy(), 5.0 / 20.0);
+}
+
+TEST(BucketStoreTest, ChangeHookObservesInsertsAndEvictions) {
+  BucketStore store(Small(1, 12));
+  struct Event {
+    uint32_t bucket;
+    uint64_t words;
+    uint64_t postings;
+  };
+  std::vector<Event> events;
+  store.set_change_hook([&](uint32_t b, uint64_t w, uint64_t p) {
+    events.push_back({b, w, p});
+  });
+  store.Insert(1, PostingList::Counted(5));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].words, 1u);
+  EXPECT_EQ(events[0].postings, 5u);
+  store.Insert(2, PostingList::Counted(8));  // overflow: insert + evict
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].words, 2u);
+  EXPECT_EQ(events[1].postings, 13u);
+  EXPECT_EQ(events[2].words, 1u);  // after eviction of word 2
+  EXPECT_EQ(events[2].postings, 5u);
+}
+
+TEST(BucketStoreTest, ResizePreservesAllLists) {
+  BucketStore store(Small(2, 100));
+  store.Insert(0, PostingList::Counted(5));
+  store.Insert(1, PostingList::Counted(7));
+  store.Insert(5, PostingList::Counted(3));
+  const auto promoted = store.Resize(8, 100);
+  EXPECT_TRUE(promoted.empty());
+  EXPECT_EQ(store.options().num_buckets, 8u);
+  EXPECT_EQ(store.TotalWords(), 3u);
+  EXPECT_EQ(store.TotalPostings(), 15u);
+  EXPECT_EQ(store.Find(1)->size(), 7u);
+  // Word 5 rehashed: 5 % 8 = bucket 5 now.
+  EXPECT_EQ(store.BucketFor(5), 5u);
+  EXPECT_TRUE(store.bucket(5).Contains(5));
+  EXPECT_EQ(store.resizes(), 1u);
+}
+
+TEST(BucketStoreTest, ShrinkingResizePromotesOverflow) {
+  BucketStore store(Small(4, 100));
+  store.Insert(0, PostingList::Counted(60));
+  store.Insert(1, PostingList::Counted(60));
+  store.Insert(2, PostingList::Counted(10));
+  // Collapse to one tiny bucket: the longest lists must overflow out.
+  const auto promoted = store.Resize(1, 80);
+  ASSERT_FALSE(promoted.empty());
+  uint64_t promoted_postings = 0;
+  for (const auto& [word, list] : promoted) promoted_postings += list.size();
+  EXPECT_EQ(promoted_postings + store.TotalPostings(), 130u);
+  EXPECT_LE(store.TotalUsedUnits(), 80u);
+}
+
+TEST(BucketStoreTest, ResizeKeepsGrowingCapacity) {
+  BucketStore store(Small(1, 20));
+  store.Insert(0, PostingList::Counted(15));  // 16 units, nearly full
+  const auto promoted = store.Resize(1, 64);
+  EXPECT_TRUE(promoted.empty());
+  // Now a bigger list fits without eviction.
+  EXPECT_TRUE(store.Insert(1, PostingList::Counted(40)).empty());
+}
+
+TEST(BucketStoreTest, FilterPostingsAcrossBuckets) {
+  BucketStore store(Small(2, 100));
+  store.Insert(0, PostingList::Materialized({1, 2}));
+  store.Insert(1, PostingList::Materialized({2, 3}));
+  const uint64_t removed =
+      store.FilterPostings([](DocId d) { return d == 2; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(store.TotalPostings(), 2u);
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,100 @@
+#include "core/bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::core {
+namespace {
+
+TEST(BucketTest, UnitsChargeOnePerWordPlusOnePerPosting) {
+  Bucket b;
+  b.Upsert(1, PostingList::Counted(3));
+  EXPECT_EQ(b.word_count(), 1u);
+  EXPECT_EQ(b.posting_count(), 3u);
+  EXPECT_EQ(b.used_units(), 4u);  // 1 word + 3 postings (paper Figure 1)
+  b.Upsert(2, PostingList::Counted(5));
+  EXPECT_EQ(b.used_units(), 10u);
+}
+
+TEST(BucketTest, UpsertAppendsToExistingWord) {
+  Bucket b;
+  b.Upsert(1, PostingList::Counted(3));
+  b.Upsert(1, PostingList::Counted(2));
+  EXPECT_EQ(b.word_count(), 1u);
+  EXPECT_EQ(b.posting_count(), 5u);
+  ASSERT_NE(b.Find(1), nullptr);
+  EXPECT_EQ(b.Find(1)->size(), 5u);
+}
+
+TEST(BucketTest, FindMissingReturnsNull) {
+  Bucket b;
+  EXPECT_EQ(b.Find(9), nullptr);
+  EXPECT_FALSE(b.Contains(9));
+}
+
+TEST(BucketTest, EvictLongestPicksMostPostings) {
+  Bucket b;
+  b.Upsert(1, PostingList::Counted(3));
+  b.Upsert(2, PostingList::Counted(10));
+  b.Upsert(3, PostingList::Counted(7));
+  auto [word, list] = b.EvictLongest();
+  EXPECT_EQ(word, 2u);
+  EXPECT_EQ(list.size(), 10u);
+  EXPECT_EQ(b.word_count(), 2u);
+  EXPECT_EQ(b.posting_count(), 10u);
+  EXPECT_FALSE(b.Contains(2));
+}
+
+TEST(BucketTest, EvictTieBreaksOnSmallerWordId) {
+  Bucket b;
+  b.Upsert(9, PostingList::Counted(5));
+  b.Upsert(4, PostingList::Counted(5));
+  auto [word, list] = b.EvictLongest();
+  EXPECT_EQ(word, 4u);
+}
+
+TEST(BucketTest, EvictedListKeepsMaterializedDocs) {
+  Bucket b;
+  b.Upsert(1, PostingList::Materialized({1, 2, 3}));
+  b.Upsert(1, PostingList::Materialized({8}));
+  auto [word, list] = b.EvictLongest();
+  ASSERT_TRUE(list.materialized());
+  EXPECT_EQ(list.docs(), (std::vector<DocId>{1, 2, 3, 8}));
+}
+
+TEST(BucketTest, RemoveAdjustsAccounting) {
+  Bucket b;
+  b.Upsert(1, PostingList::Counted(4));
+  b.Upsert(2, PostingList::Counted(6));
+  EXPECT_TRUE(b.Remove(1));
+  EXPECT_EQ(b.used_units(), 7u);
+  EXPECT_FALSE(b.Remove(1));
+}
+
+TEST(BucketTest, FilterPostingsDropsDeletedDocs) {
+  Bucket b;
+  b.Upsert(1, PostingList::Materialized({1, 2, 3}));
+  b.Upsert(2, PostingList::Materialized({2}));
+  b.Upsert(3, PostingList::Counted(5));  // counted lists untouched
+  const uint64_t removed =
+      b.FilterPostings([](DocId d) { return d == 2; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(b.Find(1)->docs(), (std::vector<DocId>{1, 3}));
+  EXPECT_EQ(b.Find(2), nullptr);  // emptied word removed entirely
+  EXPECT_EQ(b.Find(3)->size(), 5u);
+  EXPECT_EQ(b.posting_count(), 7u);
+}
+
+TEST(BucketTest, FilterNoMatchesIsNoop) {
+  Bucket b;
+  b.Upsert(1, PostingList::Materialized({1, 2}));
+  EXPECT_EQ(b.FilterPostings([](DocId) { return false; }), 0u);
+  EXPECT_EQ(b.posting_count(), 2u);
+}
+
+TEST(BucketDeathTest, EvictFromEmptyChecks) {
+  Bucket b;
+  EXPECT_DEATH(b.EvictLongest(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,164 @@
+#include "core/codec_family.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace duplex::core {
+namespace {
+
+TEST(BitIoTest, WriteReadBits) {
+  std::string bytes;
+  BitWriter writer(&bytes);
+  writer.WriteBits(0b101, 3);
+  writer.WriteBits(0xffff, 16);
+  writer.WriteBits(0, 5);
+  writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(*reader.ReadBits(3), 0b101u);
+  EXPECT_EQ(*reader.ReadBits(16), 0xffffu);
+  EXPECT_EQ(*reader.ReadBits(5), 0u);
+}
+
+TEST(BitIoTest, UnaryRoundTrip) {
+  std::string bytes;
+  BitWriter writer(&bytes);
+  for (const int n : {0, 1, 7, 8, 31, 32, 100}) writer.WriteUnary(n);
+  writer.Finish();
+  BitReader reader(bytes);
+  for (const int n : {0, 1, 7, 8, 31, 32, 100}) {
+    EXPECT_EQ(*reader.ReadUnary(), n);
+  }
+}
+
+TEST(BitIoTest, ReadPastEndIsCorruption) {
+  std::string bytes;
+  BitWriter writer(&bytes);
+  writer.WriteBits(1, 4);
+  writer.Finish();  // one byte total
+  BitReader reader(bytes);
+  EXPECT_TRUE(reader.ReadBits(8).ok());
+  EXPECT_EQ(reader.ReadBits(1).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BitIoTest, ZeroBitReads) {
+  std::string bytes;
+  BitWriter writer(&bytes);
+  writer.WriteBits(0, 0);
+  writer.Finish();
+  EXPECT_TRUE(bytes.empty());
+  BitReader reader(bytes);
+  EXPECT_EQ(*reader.ReadBits(0), 0u);
+}
+
+TEST(CodecFamilyTest, Names) {
+  EXPECT_STREQ(GetCodec(CodecKind::kVByte).name(), "vbyte");
+  EXPECT_STREQ(GetCodec(CodecKind::kEliasGamma).name(), "elias-gamma");
+  EXPECT_STREQ(GetCodec(CodecKind::kEliasDelta).name(), "elias-delta");
+  EXPECT_STREQ(CodecKindName(CodecKind::kEliasDelta), "elias-delta");
+}
+
+class CodecRoundTripTest : public ::testing::TestWithParam<CodecKind> {};
+
+TEST_P(CodecRoundTripTest, SimpleSequence) {
+  const GapCodec& codec = GetCodec(GetParam());
+  const std::vector<DocId> docs = {0, 1, 2, 10, 500, 501, 1000000};
+  std::string bytes;
+  codec.Encode(docs, 0, &bytes);
+  std::vector<DocId> decoded;
+  ASSERT_TRUE(codec.Decode(bytes, docs.size(), 0, &decoded).ok());
+  EXPECT_EQ(decoded, docs);
+}
+
+TEST_P(CodecRoundTripTest, NonZeroBase) {
+  const GapCodec& codec = GetCodec(GetParam());
+  const std::vector<DocId> docs = {100, 105, 222};
+  std::string bytes;
+  codec.Encode(docs, 99, &bytes);
+  std::vector<DocId> decoded;
+  ASSERT_TRUE(codec.Decode(bytes, docs.size(), 99, &decoded).ok());
+  EXPECT_EQ(decoded, docs);
+}
+
+TEST_P(CodecRoundTripTest, EmptySequence) {
+  const GapCodec& codec = GetCodec(GetParam());
+  std::string bytes;
+  codec.Encode({}, 0, &bytes);
+  std::vector<DocId> decoded;
+  ASSERT_TRUE(codec.Decode(bytes, 0, 0, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST_P(CodecRoundTripTest, LargeGaps) {
+  const GapCodec& codec = GetCodec(GetParam());
+  const std::vector<DocId> docs = {0, 1u << 30, (1u << 30) + 1,
+                                   0xfffffff0u};
+  std::string bytes;
+  codec.Encode(docs, 0, &bytes);
+  std::vector<DocId> decoded;
+  ASSERT_TRUE(codec.Decode(bytes, docs.size(), 0, &decoded).ok());
+  EXPECT_EQ(decoded, docs);
+}
+
+TEST_P(CodecRoundTripTest, RandomSequences) {
+  const GapCodec& codec = GetCodec(GetParam());
+  Rng rng(static_cast<uint64_t>(GetParam()) + 99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t max_gap = 1 + rng.Uniform(1 << (1 + trial % 20));
+    std::vector<DocId> docs;
+    DocId d = static_cast<DocId>(rng.Uniform(100));
+    const DocId base = d;
+    for (int i = 0; i < 200; ++i) {
+      d += 1 + static_cast<DocId>(rng.Uniform(max_gap));
+      docs.push_back(d);
+    }
+    std::string bytes;
+    codec.Encode(docs, base, &bytes);
+    std::vector<DocId> decoded;
+    ASSERT_TRUE(codec.Decode(bytes, docs.size(), base, &decoded).ok());
+    ASSERT_EQ(decoded, docs);
+  }
+}
+
+TEST_P(CodecRoundTripTest, TruncatedInputIsError) {
+  const GapCodec& codec = GetCodec(GetParam());
+  std::vector<DocId> docs;
+  for (DocId d = 10; d < 2000; d += 10) docs.push_back(d);
+  std::string bytes;
+  codec.Encode(docs, 0, &bytes);
+  bytes.resize(bytes.size() / 2);
+  std::vector<DocId> decoded;
+  EXPECT_FALSE(codec.Decode(bytes, docs.size(), 0, &decoded).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTripTest,
+                         ::testing::Values(CodecKind::kVByte,
+                                           CodecKind::kEliasGamma,
+                                           CodecKind::kEliasDelta));
+
+TEST(CodecComparisonTest, GammaBeatsVByteOnDenseLists) {
+  // Gap-1 lists: gamma needs 2 bits/posting (x=2), vbyte needs 8.
+  std::vector<DocId> docs;
+  for (DocId d = 1; d <= 1000; ++d) docs.push_back(d);
+  EXPECT_LT(EncodedSize(CodecKind::kEliasGamma, docs, 0),
+            EncodedSize(CodecKind::kVByte, docs, 0) / 2);
+}
+
+TEST(CodecComparisonTest, VByteCompetitiveOnSparseLists) {
+  // Large uniform gaps favor byte-aligned codes over gamma's unary parts.
+  std::vector<DocId> docs;
+  DocId d = 0;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    d += 1 << 20;
+    docs.push_back(d);
+  }
+  EXPECT_LT(EncodedSize(CodecKind::kVByte, docs, 0),
+            EncodedSize(CodecKind::kEliasGamma, docs, 0));
+  // Delta stays close to vbyte even here.
+  EXPECT_LT(EncodedSize(CodecKind::kEliasDelta, docs, 0),
+            EncodedSize(CodecKind::kEliasGamma, docs, 0));
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,152 @@
+#include "core/concurrent_index.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ir/query_eval.h"
+#include "util/random.h"
+
+namespace duplex::core {
+namespace {
+
+IndexOptions Options() {
+  IndexOptions o;
+  o.buckets.num_buckets = 16;
+  o.buckets.bucket_capacity = 64;
+  o.policy = Policy::NewZ();
+  o.block_postings = 16;
+  o.disks.num_disks = 2;
+  o.disks.blocks_per_disk = 1 << 18;
+  o.disks.block_size_bytes = 128;
+  o.materialize = true;
+  return o;
+}
+
+TEST(ConcurrentIndexTest, SingleThreadedBasics) {
+  ConcurrentIndex index(Options());
+  index.AddDocument("alpha beta");
+  index.AddDocument("alpha");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  Result<std::vector<DocId>> docs = index.GetPostings("alpha");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(*docs, (std::vector<DocId>{0, 1}));
+  EXPECT_TRUE(index.Locate("beta").exists);
+  EXPECT_EQ(index.Stats().total_postings, 3u);
+}
+
+TEST(ConcurrentIndexTest, WithReadLockRunsQueries) {
+  ConcurrentIndex index(Options());
+  index.AddDocument("cat dog");
+  index.AddDocument("cat");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  const Result<ir::QueryResult> result =
+      index.WithReadLock([](const InvertedIndex& idx) {
+        return ir::EvaluateBoolean(idx, "cat AND NOT dog");
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->docs, (std::vector<DocId>{1}));
+}
+
+TEST(ConcurrentIndexTest, DeletionUnderLock) {
+  ConcurrentIndex index(Options());
+  index.AddDocument("x y");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  index.DeleteDocument(0);
+  ASSERT_TRUE(index.SweepDeletions().ok());
+  EXPECT_EQ(index.GetPostings("x").status().code(), StatusCode::kNotFound);
+}
+
+// Stress: one writer streams batches while many readers query. Readers
+// must always observe a consistent postings list for the hot word: a
+// strictly ascending doc-id sequence whose length only grows.
+TEST(ConcurrentIndexTest, ReadersSeeConsistentStateDuringWrites) {
+  ConcurrentIndex index(Options());
+  constexpr int kBatches = 40;
+  constexpr int kDocsPerBatch = 10;
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&] {
+    for (int b = 0; b < kBatches && !failed; ++b) {
+      for (int d = 0; d < kDocsPerBatch; ++d) {
+        index.AddDocument("hot filler" + std::to_string(d));
+      }
+      if (!index.FlushDocuments().ok()) failed = true;
+    }
+    done = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(static_cast<uint64_t>(r));
+      size_t last_size = 0;
+      while (!done && !failed) {
+        Result<std::vector<DocId>> docs = index.GetPostings("hot");
+        if (!docs.ok()) {
+          // Acceptable only before the first flush lands.
+          if (docs.status().IsNotFound() && last_size == 0) continue;
+          failed = true;
+          break;
+        }
+        if (docs->size() < last_size) {
+          failed = true;  // postings must never shrink
+          break;
+        }
+        for (size_t i = 1; i < docs->size(); ++i) {
+          if ((*docs)[i - 1] >= (*docs)[i]) {
+            failed = true;  // must stay strictly ascending
+            break;
+          }
+        }
+        last_size = docs->size();
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_FALSE(failed);
+  Result<std::vector<DocId>> docs = index.GetPostings("hot");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->size(),
+            static_cast<size_t>(kBatches * kDocsPerBatch));
+}
+
+// Stress: concurrent Stats snapshots while writing must stay internally
+// consistent (postings split across buckets and long lists sums up).
+TEST(ConcurrentIndexTest, StatsConsistentUnderWrites) {
+  ConcurrentIndex index(Options());
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (int b = 0; b < 30; ++b) {
+      text::InvertedBatch batch;
+      std::vector<DocId> docs;
+      for (int d = 0; d < 20; ++d) {
+        docs.push_back(static_cast<DocId>(b * 20 + d));
+      }
+      batch.entries = {{0, docs}, {static_cast<WordId>(b + 1), docs}};
+      if (!index.ApplyInvertedBatch(batch).ok()) {
+        failed = true;
+        break;
+      }
+    }
+    done = true;
+  });
+  std::thread checker([&] {
+    while (!done && !failed) {
+      const IndexStats s = index.Stats();
+      if (s.total_postings != s.bucket_postings + s.long_postings) {
+        failed = true;
+      }
+    }
+  });
+  writer.join();
+  checker.join();
+  ASSERT_FALSE(failed);
+}
+
+}  // namespace
+}  // namespace duplex::core

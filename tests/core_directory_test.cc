@@ -1,0 +1,87 @@
+#include "core/directory.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::core {
+namespace {
+
+ChunkRef Chunk(storage::DiskId disk, storage::BlockId start, uint64_t blocks,
+               uint64_t postings) {
+  ChunkRef c;
+  c.range = {disk, start, blocks};
+  c.postings = postings;
+  return c;
+}
+
+TEST(DirectoryTest, GetOrCreateAndFind) {
+  Directory dir;
+  EXPECT_FALSE(dir.Contains(7));
+  EXPECT_EQ(dir.Find(7), nullptr);
+  LongList& list = dir.GetOrCreate(7);
+  list.total_postings = 5;
+  EXPECT_TRUE(dir.Contains(7));
+  ASSERT_NE(dir.Find(7), nullptr);
+  EXPECT_EQ(dir.Find(7)->total_postings, 5u);
+  EXPECT_EQ(dir.word_count(), 1u);
+}
+
+TEST(DirectoryTest, Erase) {
+  Directory dir;
+  dir.GetOrCreate(1);
+  EXPECT_TRUE(dir.Erase(1));
+  EXPECT_FALSE(dir.Contains(1));
+  EXPECT_FALSE(dir.Erase(1));
+}
+
+TEST(DirectoryTest, Aggregates) {
+  Directory dir;
+  LongList& a = dir.GetOrCreate(1);
+  a.chunks = {Chunk(0, 0, 2, 200), Chunk(1, 10, 1, 50)};
+  a.total_postings = 250;
+  LongList& b = dir.GetOrCreate(2);
+  b.chunks = {Chunk(0, 5, 3, 300)};
+  b.total_postings = 300;
+
+  EXPECT_EQ(dir.TotalChunks(), 3u);
+  EXPECT_EQ(dir.TotalBlocks(), 6u);
+  EXPECT_EQ(dir.TotalPostings(), 550u);
+}
+
+TEST(DirectoryTest, UtilizationMatchesPaperDefinition) {
+  Directory dir;
+  LongList& a = dir.GetOrCreate(1);
+  a.chunks = {Chunk(0, 0, 4, 100)};
+  a.total_postings = 100;
+  // 4 blocks x 128 postings/block = 512 capacity; 100 stored.
+  EXPECT_DOUBLE_EQ(dir.Utilization(128), 100.0 / 512.0);
+}
+
+TEST(DirectoryTest, UtilizationOfEmptyDirectoryIsOne) {
+  Directory dir;
+  EXPECT_DOUBLE_EQ(dir.Utilization(128), 1.0);
+}
+
+TEST(DirectoryTest, AvgReadsPerList) {
+  Directory dir;
+  EXPECT_DOUBLE_EQ(dir.AvgReadsPerList(), 0.0);
+  dir.GetOrCreate(1).chunks = {Chunk(0, 0, 1, 1), Chunk(0, 2, 1, 1),
+                               Chunk(0, 4, 1, 1)};
+  dir.GetOrCreate(2).chunks = {Chunk(0, 6, 1, 1)};
+  EXPECT_DOUBLE_EQ(dir.AvgReadsPerList(), 2.0);  // (3 + 1) / 2
+}
+
+TEST(DirectoryTest, EstimatedBytesGrowsWithEntries) {
+  Directory dir;
+  const uint64_t empty = dir.EstimatedBytes();
+  dir.GetOrCreate(1).chunks = {Chunk(0, 0, 1, 1)};
+  EXPECT_GT(dir.EstimatedBytes(), empty);
+}
+
+TEST(LongListTest, TotalBlocks) {
+  LongList list;
+  list.chunks = {Chunk(0, 0, 2, 10), Chunk(1, 4, 5, 20)};
+  EXPECT_EQ(list.total_blocks(), 7u);
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,169 @@
+// Property-based, cross-policy invariant checks: random batch streams are
+// pushed through every policy and the resulting index state is verified
+// against a reference model (plain map from word to doc ids) and against
+// structural invariants (no overlapping chunks, accounting consistency,
+// utilization bounds).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "util/random.h"
+
+namespace duplex::core {
+namespace {
+
+struct PolicyCase {
+  const char* label;
+  Policy policy;
+};
+
+std::vector<PolicyCase> AllPolicies() {
+  return {
+      {"new0", Policy::New0()},
+      {"newz", Policy::NewZ()},
+      {"newz_prop", Policy::NewZ(AllocStrategy::kProportional, 1.5)},
+      {"newz_const", Policy::NewZ(AllocStrategy::kConstant, 30)},
+      {"newz_block", Policy::NewZ(AllocStrategy::kBlock, 2)},
+      {"newz_exp", Policy::NewZ(AllocStrategy::kExponential, 2.0)},
+      {"fill0", Policy::Fill0(2)},
+      {"fillz", Policy::FillZ(3)},
+      {"whole0", Policy::Whole0()},
+      {"wholez", Policy::WholeZ()},
+      {"wholez_prop", Policy::WholeZ(AllocStrategy::kProportional, 1.2)},
+  };
+}
+
+IndexOptions Options(const Policy& policy, bool materialize) {
+  IndexOptions o;
+  o.buckets.num_buckets = 16;
+  o.buckets.bucket_capacity = 64;
+  o.policy = policy;
+  o.block_postings = 8;
+  o.disks.num_disks = 3;
+  o.disks.blocks_per_disk = 1 << 16;
+  o.disks.block_size_bytes = 64;
+  o.materialize = materialize;
+  return o;
+}
+
+// Verifies that no two chunks overlap on disk and none overlaps the
+// shadow-paged meta regions. Allocator correctness end-to-end.
+void CheckChunksDisjoint(const InvertedIndex& index) {
+  std::map<std::pair<storage::DiskId, storage::BlockId>, storage::BlockId>
+      ranges;  // (disk, start) -> end
+  for (const auto& [word, list] :
+       index.long_list_store().directory().lists()) {
+    uint64_t postings_sum = 0;
+    for (const ChunkRef& c : list.chunks) {
+      ASSERT_GT(c.range.length, 0u);
+      ASSERT_GE(c.postings, 1u) << "empty chunk for word " << word;
+      ASSERT_LE(c.postings,
+                c.range.length * index.options().block_postings)
+          << "chunk overfull for word " << word;
+      postings_sum += c.postings;
+      auto [it, inserted] = ranges.emplace(
+          std::make_pair(c.range.disk, c.range.start), c.range.end());
+      ASSERT_TRUE(inserted) << "duplicate chunk start";
+    }
+    ASSERT_EQ(postings_sum, list.total_postings);
+  }
+  storage::DiskId prev_disk = 0;
+  storage::BlockId prev_end = 0;
+  bool first = true;
+  for (const auto& [key, end] : ranges) {
+    if (!first && key.first == prev_disk) {
+      ASSERT_GE(key.second, prev_end) << "overlapping chunks on disk "
+                                      << key.first;
+    }
+    prev_disk = key.first;
+    prev_end = end;
+    first = false;
+  }
+}
+
+class PolicyInvariantsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PolicyInvariantsTest, CountedStreamKeepsAccountingConsistent) {
+  const PolicyCase pc = AllPolicies()[GetParam()];
+  InvertedIndex index(Options(pc.policy, /*materialize=*/false));
+  Rng rng(1000 + GetParam());
+  std::map<WordId, uint64_t> reference;
+  for (int batch = 0; batch < 12; ++batch) {
+    // Skewed word ids: low ids recur with big counts, high ids are rare.
+    std::set<WordId> used;
+    const int words = 20 + static_cast<int>(rng.Uniform(30));
+    for (int i = 0; i < words; ++i) {
+      used.insert(static_cast<WordId>(
+          rng.Bernoulli(0.5) ? rng.Uniform(10) : rng.Uniform(500)));
+    }
+    text::BatchUpdate update;
+    for (const WordId w : used) {
+      const uint32_t count =
+          w < 10 ? 20 + static_cast<uint32_t>(rng.Uniform(40))
+                 : 1 + static_cast<uint32_t>(rng.Uniform(4));
+      update.pairs.push_back({w, count});
+      reference[w] += count;
+    }
+    ASSERT_TRUE(index.ApplyBatchUpdate(update).ok());
+    CheckChunksDisjoint(index);
+    const IndexStats s = index.Stats();
+    ASSERT_EQ(s.total_postings, s.bucket_postings + s.long_postings);
+    ASSERT_LE(s.long_utilization, 1.0 + 1e-9);
+  }
+  // Every word's postings, wherever they live (bucket or long list), must
+  // match the reference totals exactly.
+  uint64_t located_total = 0;
+  for (const auto& [w, total] : reference) {
+    const auto loc = index.Locate(w);
+    ASSERT_TRUE(loc.exists) << "word " << w;
+    ASSERT_EQ(loc.postings, total) << pc.label << " word " << w;
+    located_total += loc.postings;
+  }
+  ASSERT_EQ(located_total, index.Stats().total_postings);
+}
+
+TEST_P(PolicyInvariantsTest, MaterializedStreamMatchesReferenceModel) {
+  const PolicyCase pc = AllPolicies()[GetParam()];
+  InvertedIndex index(Options(pc.policy, /*materialize=*/true));
+  Rng rng(77 + GetParam());
+  std::map<WordId, std::vector<DocId>> reference;
+  DocId next_doc = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    // Build a random inverted batch of 15 documents.
+    std::map<WordId, std::vector<DocId>> lists;
+    for (int d = 0; d < 15; ++d) {
+      const DocId doc = next_doc++;
+      std::set<WordId> words;
+      const int n = 3 + static_cast<int>(rng.Uniform(8));
+      for (int i = 0; i < n; ++i) {
+        words.insert(static_cast<WordId>(
+            rng.Bernoulli(0.6) ? rng.Uniform(6) : rng.Uniform(200)));
+      }
+      for (const WordId w : words) {
+        lists[w].push_back(doc);
+        reference[w].push_back(doc);
+      }
+    }
+    text::InvertedBatch update;
+    for (auto& [w, docs] : lists) update.entries.push_back({w, docs});
+    ASSERT_TRUE(index.ApplyInvertedBatch(update).ok());
+    CheckChunksDisjoint(index);
+  }
+  // Every word's postings must round-trip exactly through buckets /
+  // long-list chunks / codec, under every policy.
+  for (const auto& [w, docs] : reference) {
+    Result<std::vector<DocId>> got = index.GetPostings(w);
+    ASSERT_TRUE(got.ok()) << pc.label << " word " << w << ": "
+                          << got.status();
+    ASSERT_EQ(*got, docs) << pc.label << " word " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariantsTest,
+                         ::testing::Range<size_t>(0, 11));
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,151 @@
+// Property tests for the long-list store across every policy: disk-space
+// conservation (allocated blocks are exactly the directory's blocks plus
+// the pending RELEASE list; dropping everything returns the disks to
+// empty), counter identities, and trace/counter agreement under random
+// append/flush/drop interleavings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/long_list_store.h"
+#include "storage/disk_array.h"
+#include "storage/io_trace.h"
+#include "util/random.h"
+
+namespace duplex::core {
+namespace {
+
+struct PolicyCase {
+  const char* label;
+  Policy policy;
+};
+
+std::vector<PolicyCase> AllPolicies() {
+  return {
+      {"new0", Policy::New0()},
+      {"newz", Policy::NewZ()},
+      {"newz_prop", Policy::NewZ(AllocStrategy::kProportional, 1.5)},
+      {"newz_exp", Policy::NewZ(AllocStrategy::kExponential, 2.0)},
+      {"fill0", Policy::Fill0(2)},
+      {"fillz", Policy::FillZ(4)},
+      {"whole0", Policy::Whole0()},
+      {"wholez_prop", Policy::WholeZ(AllocStrategy::kProportional, 1.2)},
+  };
+}
+
+class LongListPropertyTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void Init(const Policy& policy) {
+    storage::DiskArrayOptions disk_opts;
+    disk_opts.num_disks = 3;
+    disk_opts.blocks_per_disk = 1 << 16;
+    disks_ = std::make_unique<storage::DiskArray>(disk_opts);
+    LongListStoreOptions opts;
+    opts.policy = policy;
+    opts.block_postings = 8;
+    store_ = std::make_unique<LongListStore>(opts, disks_.get(), &trace_);
+  }
+
+  // Blocks currently parked on the RELEASE list = allocated minus live.
+  void CheckSpaceConservation() {
+    const uint64_t live = store_->directory().TotalBlocks();
+    const uint64_t used = disks_->total_used_blocks();
+    ASSERT_GE(used, live) << "directory references freed blocks";
+    // After FlushEpoch the two must be equal.
+  }
+
+  storage::IoTrace trace_;
+  std::unique_ptr<storage::DiskArray> disks_;
+  std::unique_ptr<LongListStore> store_;
+};
+
+TEST_P(LongListPropertyTest, SpaceConservedAcrossRandomOps) {
+  const PolicyCase pc = AllPolicies()[GetParam()];
+  Init(pc.policy);
+  Rng rng(31 + GetParam());
+  std::map<WordId, uint64_t> reference;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const int ops = 30 + static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < ops; ++i) {
+      const WordId word = static_cast<WordId>(rng.Uniform(25));
+      const uint64_t count = 1 + rng.Uniform(60);
+      ASSERT_TRUE(
+          store_->Append(word, PostingList::Counted(count)).ok())
+          << pc.label;
+      reference[word] += count;
+      CheckSpaceConservation();
+    }
+    ASSERT_TRUE(store_->FlushEpoch().ok());
+    // Post-flush: allocated == live directory blocks exactly.
+    ASSERT_EQ(disks_->total_used_blocks(),
+              store_->directory().TotalBlocks())
+        << pc.label << " epoch " << epoch;
+    // Occasionally drop a word entirely.
+    if (epoch % 3 == 2 && !reference.empty()) {
+      const WordId victim = reference.begin()->first;
+      ASSERT_TRUE(store_->Drop(victim).ok());
+      reference.erase(victim);
+    }
+  }
+  // Totals per word match the reference model.
+  for (const auto& [word, total] : reference) {
+    const LongList* list = store_->directory().Find(word);
+    ASSERT_NE(list, nullptr) << pc.label << " word " << word;
+    ASSERT_EQ(list->total_postings, total) << pc.label << " word " << word;
+  }
+  // Counter identities.
+  const LongListStore::Counters& c = store_->counters();
+  EXPECT_LE(c.in_place_updates, c.appends_to_existing);
+  EXPECT_EQ(c.read_ops, trace_.CountOps(storage::IoOp::kRead));
+  EXPECT_EQ(c.write_ops, trace_.CountOps(storage::IoOp::kWrite));
+  if (!pc.policy.in_place) {
+    EXPECT_EQ(c.in_place_updates, 0u);
+  }
+  if (pc.policy.style != Style::kWhole) {
+    EXPECT_EQ(c.postings_moved, 0u);
+  }
+  // Dropping every remaining word returns the disks to empty.
+  std::vector<WordId> words;
+  for (const auto& [word, list] : store_->directory().lists()) {
+    words.push_back(word);
+  }
+  for (const WordId word : words) ASSERT_TRUE(store_->Drop(word).ok());
+  ASSERT_TRUE(store_->FlushEpoch().ok());
+  EXPECT_EQ(disks_->total_used_blocks(), 0u) << pc.label;
+}
+
+TEST_P(LongListPropertyTest, ExhaustionSurfacesCleanly) {
+  const PolicyCase pc = AllPolicies()[GetParam()];
+  // A single tiny disk: appends must eventually fail with
+  // ResourceExhausted, never crash or corrupt accounting.
+  storage::DiskArrayOptions disk_opts;
+  disk_opts.num_disks = 1;
+  disk_opts.blocks_per_disk = 64;
+  disks_ = std::make_unique<storage::DiskArray>(disk_opts);
+  LongListStoreOptions opts;
+  opts.policy = pc.policy;
+  opts.block_postings = 8;
+  store_ = std::make_unique<LongListStore>(opts, disks_.get(), &trace_);
+
+  Rng rng(7 + GetParam());
+  Status last = Status::OK();
+  for (int i = 0; i < 10000 && last.ok(); ++i) {
+    last = store_->Append(static_cast<WordId>(rng.Uniform(4)),
+                          PostingList::Counted(1 + rng.Uniform(20)));
+    if (i % 7 == 6) {
+      ASSERT_TRUE(store_->FlushEpoch().ok());
+    }
+  }
+  ASSERT_FALSE(last.ok()) << pc.label << ": tiny disk never filled";
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted) << pc.label;
+  // The store remains structurally sound.
+  EXPECT_LE(store_->directory().TotalBlocks(), 64u);
+  EXPECT_LE(store_->directory().Utilization(8), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, LongListPropertyTest,
+                         ::testing::Range<size_t>(0, 8));
+
+}  // namespace
+}  // namespace duplex::core

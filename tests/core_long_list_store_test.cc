@@ -1,0 +1,334 @@
+#include "core/long_list_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/disk_array.h"
+#include "storage/io_trace.h"
+
+namespace duplex::core {
+namespace {
+
+// Fixture with a small disk array (1 disk keeps block addresses
+// predictable) and BlockPosting = 10 so chunk geometry is easy to reason
+// about.
+class LongListStoreTest : public ::testing::Test {
+ protected:
+  void Init(const Policy& policy, uint32_t num_disks = 1,
+            bool materialize = false) {
+    storage::DiskArrayOptions disk_opts;
+    disk_opts.num_disks = num_disks;
+    disk_opts.blocks_per_disk = 4096;
+    disk_opts.block_size_bytes = 64;  // >= 5 * block_postings
+    disk_opts.materialize_payloads = materialize;
+    disks_ = std::make_unique<storage::DiskArray>(disk_opts);
+    LongListStoreOptions opts;
+    opts.policy = policy;
+    opts.block_postings = 10;
+    opts.materialize = materialize;
+    store_ = std::make_unique<LongListStore>(opts, disks_.get(), &trace_);
+  }
+
+  storage::IoTrace trace_;
+  std::unique_ptr<storage::DiskArray> disks_;
+  std::unique_ptr<LongListStore> store_;
+};
+
+TEST_F(LongListStoreTest, NewListWritesOneChunk) {
+  Init(Policy::New0());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(25)).ok());
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->chunks.size(), 1u);
+  EXPECT_EQ(list->chunks[0].postings, 25u);
+  EXPECT_EQ(list->chunks[0].range.length, 3u);  // ceil(25/10)
+  EXPECT_EQ(trace_.event_count(), 1u);
+  EXPECT_EQ(trace_.events()[0].op, storage::IoOp::kWrite);
+  EXPECT_EQ(store_->counters().lists_created, 1u);
+  EXPECT_EQ(store_->counters().appends_to_existing, 0u);
+}
+
+TEST_F(LongListStoreTest, EmptyAppendIsNoop) {
+  Init(Policy::New0());
+  ASSERT_TRUE(store_->Append(1, PostingList()).ok());
+  EXPECT_FALSE(store_->Contains(1));
+  EXPECT_EQ(trace_.event_count(), 0u);
+}
+
+TEST_F(LongListStoreTest, New0NeverUpdatesInPlace) {
+  Init(Policy::New0());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(25)).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(3)).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(2)).ok());
+  const LongList* list = store_->directory().Find(1);
+  EXPECT_EQ(list->chunks.size(), 3u);
+  EXPECT_EQ(list->total_postings, 30u);
+  EXPECT_EQ(store_->counters().in_place_updates, 0u);
+  EXPECT_EQ(store_->counters().appends_to_existing, 2u);
+  // Every event is a write: Limit = 0 does no reads at all.
+  EXPECT_EQ(trace_.CountOps(storage::IoOp::kRead), 0u);
+}
+
+TEST_F(LongListStoreTest, NewZFillsBlockSlackInPlace) {
+  Init(Policy::NewZ());
+  // 25 postings in 3 blocks: z = 30 - 25 = 5.
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(25)).ok());
+  EXPECT_EQ(store_->TailSpace(1), 5u);
+  // y = 3 <= z: in-place (1 read of the last block + 1 write).
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(3)).ok());
+  const LongList* list = store_->directory().Find(1);
+  EXPECT_EQ(list->chunks.size(), 1u);
+  EXPECT_EQ(list->chunks[0].postings, 28u);
+  EXPECT_EQ(store_->counters().in_place_updates, 1u);
+  EXPECT_EQ(trace_.CountOps(storage::IoOp::kRead), 1u);
+  EXPECT_EQ(trace_.CountOps(storage::IoOp::kWrite), 2u);
+  EXPECT_EQ(store_->TailSpace(1), 2u);
+}
+
+TEST_F(LongListStoreTest, NewZOverflowingUpdateWritesNewChunk) {
+  Init(Policy::NewZ());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(25)).ok());
+  // y = 6 > z = 5: the in-memory list is never split for an in-place
+  // update (paper Figure 2 consequence) -> a new chunk, tail space wasted.
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(6)).ok());
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_EQ(list->chunks.size(), 2u);
+  EXPECT_EQ(list->chunks[0].postings, 25u);
+  EXPECT_EQ(list->chunks[1].postings, 6u);
+  EXPECT_EQ(store_->counters().in_place_updates, 0u);
+}
+
+TEST_F(LongListStoreTest, InPlaceUpdateReadsLastPostingBlock) {
+  Init(Policy::NewZ(AllocStrategy::kConstant, 20));
+  // 5 postings, reserve 20 more: f = 25 -> 3 blocks. Last posting block =
+  // chunk start (block 0 of the chunk).
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(5)).ok());
+  const storage::BlockId chunk_start =
+      store_->directory().Find(1)->chunks[0].range.start;
+  // Append 9: postings span into block 2 of the chunk; the read must hit
+  // the old last block, the write covers old-last..new-last.
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(9)).ok());
+  const auto& events = trace_.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].op, storage::IoOp::kRead);
+  EXPECT_EQ(events[1].block, chunk_start);
+  EXPECT_EQ(events[1].nblocks, 1u);
+  EXPECT_EQ(events[2].op, storage::IoOp::kWrite);
+  EXPECT_EQ(events[2].block, chunk_start);
+  EXPECT_EQ(events[2].nblocks, 2u);  // blocks 0..1 of the chunk
+}
+
+TEST_F(LongListStoreTest, WholeStyleKeepsSingleChunk) {
+  Init(Policy::Whole0());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(12)).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(15)).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(4)).ok());
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_EQ(list->chunks.size(), 1u);
+  EXPECT_EQ(list->total_postings, 31u);
+  EXPECT_EQ(list->chunks[0].range.length, 4u);
+  // Appends 2 and 3 each read the whole old list and write the new one.
+  EXPECT_EQ(trace_.CountOps(storage::IoOp::kRead), 2u);
+  EXPECT_EQ(trace_.CountOps(storage::IoOp::kWrite), 3u);
+  EXPECT_EQ(store_->counters().postings_moved, 12u + 27u);
+}
+
+TEST_F(LongListStoreTest, WholeStyleReleasesOldChunksAtFlush) {
+  Init(Policy::Whole0());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(12)).ok());
+  const uint64_t used_after_first = disks_->total_used_blocks();
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(15)).ok());
+  // Old chunk (2 blocks) still allocated until FlushEpoch.
+  EXPECT_EQ(disks_->total_used_blocks(), used_after_first + 3);
+  ASSERT_TRUE(store_->FlushEpoch().ok());
+  EXPECT_EQ(disks_->total_used_blocks(), 3u);  // only the new 3-block chunk
+}
+
+TEST_F(LongListStoreTest, WholeZUsesInPlaceWhenFits) {
+  Init(Policy::WholeZ());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(12)).ok());  // z = 8
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(5)).ok());
+  const LongList* list = store_->directory().Find(1);
+  EXPECT_EQ(list->chunks.size(), 1u);
+  EXPECT_EQ(store_->counters().in_place_updates, 1u);
+  EXPECT_EQ(store_->counters().postings_moved, 0u);
+}
+
+TEST_F(LongListStoreTest, WholeProportionalReservesGrowingSpace) {
+  Init(Policy::WholeZ(AllocStrategy::kProportional, 1.5));
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(20)).ok());
+  // f = 30 -> 3 blocks; z = 10.
+  EXPECT_EQ(store_->directory().Find(1)->chunks[0].range.length, 3u);
+  EXPECT_EQ(store_->TailSpace(1), 10u);
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(10)).ok());  // in place
+  EXPECT_EQ(store_->counters().in_place_updates, 1u);
+  // Next append of 11 can't fit (z = 0): whole list moves, f = 1.5*41.
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(11)).ok());
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_EQ(list->chunks.size(), 1u);
+  EXPECT_EQ(list->total_postings, 41u);
+  EXPECT_EQ(list->chunks[0].range.length, 7u);  // ceil(61.5 / 10) = 7
+}
+
+TEST_F(LongListStoreTest, FillStyleAllocatesFixedExtents) {
+  Init(Policy::Fill0(/*extent_blocks=*/2));  // extent capacity = 20
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(50)).ok());
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_EQ(list->chunks.size(), 3u);  // 20 + 20 + 10
+  for (const ChunkRef& c : list->chunks) {
+    EXPECT_EQ(c.range.length, 2u);  // extents are always e blocks
+  }
+  EXPECT_EQ(list->chunks[0].postings, 20u);
+  EXPECT_EQ(list->chunks[2].postings, 10u);
+}
+
+TEST_F(LongListStoreTest, FillZTopsUpLastExtent) {
+  Init(Policy::FillZ(2));
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(15)).ok());
+  EXPECT_EQ(store_->TailSpace(1), 5u);
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(5)).ok());  // in place
+  const LongList* list = store_->directory().Find(1);
+  EXPECT_EQ(list->chunks.size(), 1u);
+  EXPECT_EQ(list->chunks[0].postings, 20u);
+  EXPECT_EQ(store_->counters().in_place_updates, 1u);
+  // Extent now full: the next append opens a new extent.
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(1)).ok());
+  EXPECT_EQ(store_->directory().Find(1)->chunks.size(), 2u);
+}
+
+TEST_F(LongListStoreTest, FillZOverflowingUpdateWastesTail) {
+  Init(Policy::FillZ(2));
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(15)).ok());  // z = 5
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(6)).ok());   // y > z
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_EQ(list->chunks.size(), 2u);
+  EXPECT_EQ(list->chunks[0].postings, 15u);  // tail space wasted
+  EXPECT_EQ(list->chunks[1].postings, 6u);
+}
+
+TEST_F(LongListStoreTest, ExponentialAllocGrowsChunksGeometrically) {
+  Init(Policy::NewZ(AllocStrategy::kExponential, 2.0));
+  // Each append overflows the (already full) geometric chunk by writing
+  // exactly its capacity, forcing the next chunk.
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(10)).ok());   // 1 blk
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(20)).ok());   // 2 blk
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(35)).ok());   // 4 blk
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_EQ(list->chunks.size(), 3u);
+  EXPECT_EQ(list->chunks[0].range.length, 1u);
+  EXPECT_EQ(list->chunks[1].range.length, 2u);
+  EXPECT_EQ(list->chunks[2].range.length, 4u);
+  // Smaller appends now land in the big tail chunk in place.
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(3)).ok());
+  EXPECT_EQ(store_->directory().Find(1)->chunks.size(), 3u);
+  EXPECT_EQ(store_->counters().in_place_updates, 1u);
+}
+
+TEST_F(LongListStoreTest, RoundRobinSpreadsChunksAcrossDisks) {
+  Init(Policy::New0(), /*num_disks=*/3);
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(5)).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(5)).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(5)).ok());
+  const LongList* list = store_->directory().Find(1);
+  ASSERT_EQ(list->chunks.size(), 3u);
+  EXPECT_EQ(list->chunks[0].range.disk, 1u);
+  EXPECT_EQ(list->chunks[1].range.disk, 2u);
+  EXPECT_EQ(list->chunks[2].range.disk, 0u);
+}
+
+TEST_F(LongListStoreTest, TraceRecordsWordAndPostings) {
+  Init(Policy::New0());
+  ASSERT_TRUE(store_->Append(99, PostingList::Counted(7)).ok());
+  const storage::IoEvent& e = trace_.events()[0];
+  EXPECT_EQ(e.word, 99u);
+  EXPECT_EQ(e.postings, 7u);
+  EXPECT_EQ(e.tag, storage::IoTag::kLongList);
+}
+
+TEST_F(LongListStoreTest, DropFreesChunks) {
+  Init(Policy::New0());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(25)).ok());
+  EXPECT_GT(disks_->total_used_blocks(), 0u);
+  ASSERT_TRUE(store_->Drop(1).ok());
+  EXPECT_FALSE(store_->Contains(1));
+  EXPECT_EQ(disks_->total_used_blocks(), 0u);
+  EXPECT_EQ(store_->Drop(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(LongListStoreTest, TailSpaceOfUnknownWordIsZero) {
+  Init(Policy::NewZ());
+  EXPECT_EQ(store_->TailSpace(123), 0u);
+}
+
+TEST_F(LongListStoreTest, MaterializedRoundTripSingleChunk) {
+  Init(Policy::NewZ(), 1, /*materialize=*/true);
+  ASSERT_TRUE(
+      store_->Append(1, PostingList::Materialized({3, 10, 50})).ok());
+  Result<std::vector<DocId>> docs = store_->ReadPostings(1);
+  ASSERT_TRUE(docs.ok()) << docs.status();
+  EXPECT_EQ(*docs, (std::vector<DocId>{3, 10, 50}));
+}
+
+TEST_F(LongListStoreTest, MaterializedRoundTripAfterInPlaceAppends) {
+  Init(Policy::NewZ(AllocStrategy::kConstant, 50), 1, true);
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({1, 4})).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({9, 12})).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({100})).ok());
+  EXPECT_GE(store_->counters().in_place_updates, 2u);
+  Result<std::vector<DocId>> docs = store_->ReadPostings(1);
+  ASSERT_TRUE(docs.ok()) << docs.status();
+  EXPECT_EQ(*docs, (std::vector<DocId>{1, 4, 9, 12, 100}));
+}
+
+TEST_F(LongListStoreTest, MaterializedRoundTripAcrossChunks) {
+  Init(Policy::New0(), 2, true);
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({1, 2, 3})).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({7, 20})).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({21})).ok());
+  Result<std::vector<DocId>> docs = store_->ReadPostings(1);
+  ASSERT_TRUE(docs.ok()) << docs.status();
+  EXPECT_EQ(*docs, (std::vector<DocId>{1, 2, 3, 7, 20, 21}));
+}
+
+TEST_F(LongListStoreTest, MaterializedWholeStyleMovePreservesPostings) {
+  Init(Policy::Whole0(), 1, true);
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({5, 6})).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({30, 31})).ok());
+  ASSERT_TRUE(store_->Append(1, PostingList::Materialized({90})).ok());
+  Result<std::vector<DocId>> docs = store_->ReadPostings(1);
+  ASSERT_TRUE(docs.ok()) << docs.status();
+  EXPECT_EQ(*docs, (std::vector<DocId>{5, 6, 30, 31, 90}));
+}
+
+TEST_F(LongListStoreTest, MaterializedFillStylePreservesPostings) {
+  Init(Policy::FillZ(1), 1, true);  // extent capacity = 10 postings
+  std::vector<DocId> all;
+  DocId d = 0;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<DocId> batch;
+    for (int i = 0; i < 7; ++i) batch.push_back(d += 3);
+    all.insert(all.end(), batch.begin(), batch.end());
+    ASSERT_TRUE(
+        store_->Append(1, PostingList::Materialized(std::move(batch))).ok());
+  }
+  Result<std::vector<DocId>> docs = store_->ReadPostings(1);
+  ASSERT_TRUE(docs.ok()) << docs.status();
+  EXPECT_EQ(*docs, all);
+}
+
+TEST_F(LongListStoreTest, ReadPostingsOnCountedStoreFails) {
+  Init(Policy::New0());
+  ASSERT_TRUE(store_->Append(1, PostingList::Counted(5)).ok());
+  EXPECT_EQ(store_->ReadPostings(1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LongListStoreTest, MaterializedStoreRejectsCountedLists) {
+  Init(Policy::New0(), 1, true);
+  EXPECT_EQ(store_->Append(1, PostingList::Counted(5)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace duplex::core

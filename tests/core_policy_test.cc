@@ -1,0 +1,129 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::core {
+namespace {
+
+TEST(PolicyTest, NamedPoliciesValidate) {
+  EXPECT_TRUE(Policy::New0().Validate().ok());
+  EXPECT_TRUE(Policy::NewZ().Validate().ok());
+  EXPECT_TRUE(Policy::Fill0().Validate().ok());
+  EXPECT_TRUE(Policy::FillZ().Validate().ok());
+  EXPECT_TRUE(Policy::Whole0().Validate().ok());
+  EXPECT_TRUE(Policy::WholeZ().Validate().ok());
+  EXPECT_TRUE(Policy::RecommendedUpdateOptimized().Validate().ok());
+  EXPECT_TRUE(Policy::RecommendedQueryOptimized().Validate().ok());
+}
+
+TEST(PolicyTest, UpdateOptimizedExtremeShape) {
+  const Policy p = Policy::New0();
+  EXPECT_EQ(p.style, Style::kNew);
+  EXPECT_FALSE(p.in_place);
+  EXPECT_EQ(p.alloc, AllocStrategy::kConstant);
+  EXPECT_EQ(p.k, 0.0);
+}
+
+TEST(PolicyTest, RecommendationsMatchPaperSection54) {
+  const Policy update = Policy::RecommendedUpdateOptimized();
+  EXPECT_EQ(update.style, Style::kNew);
+  EXPECT_TRUE(update.in_place);
+  EXPECT_EQ(update.alloc, AllocStrategy::kProportional);
+  EXPECT_DOUBLE_EQ(update.k, 1.2);
+
+  const Policy query = Policy::RecommendedQueryOptimized();
+  EXPECT_EQ(query.style, Style::kWhole);
+  EXPECT_TRUE(query.in_place);
+  EXPECT_DOUBLE_EQ(query.k, 1.2);
+}
+
+TEST(PolicyTest, Limit0ForcesConstantZero) {
+  Policy p = Policy::New0();
+  p.alloc = AllocStrategy::kProportional;
+  p.k = 2.0;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolicyTest, FillIgnoresAllocButRejectsExplicitOne) {
+  Policy p = Policy::FillZ();
+  p.alloc = AllocStrategy::kProportional;
+  p.k = 1.5;
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+  Policy zero_extent = Policy::FillZ(0);
+  EXPECT_FALSE(zero_extent.Validate().ok());
+}
+
+TEST(PolicyTest, ProportionalBelowOneRejected) {
+  const Policy p = Policy::NewZ(AllocStrategy::kProportional, 0.5);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PolicyTest, NegativeKRejected) {
+  Policy p = Policy::NewZ(AllocStrategy::kConstant, 0.0);
+  p.k = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PolicyTest, ReservedForConstant) {
+  const Policy p = Policy::NewZ(AllocStrategy::kConstant, 700);
+  EXPECT_EQ(p.ReservedFor(100, 128), 800u);
+  EXPECT_EQ(p.ReservedFor(0, 128), 700u);
+}
+
+TEST(PolicyTest, ReservedForBlockRoundsToMultiple) {
+  // block k=2 with 128 postings/block: chunks are multiples of 256
+  // postings.
+  const Policy p = Policy::NewZ(AllocStrategy::kBlock, 2);
+  EXPECT_EQ(p.ReservedFor(1, 128), 256u);
+  EXPECT_EQ(p.ReservedFor(256, 128), 256u);
+  EXPECT_EQ(p.ReservedFor(257, 128), 512u);
+}
+
+TEST(PolicyTest, ReservedForProportional) {
+  const Policy p = Policy::NewZ(AllocStrategy::kProportional, 1.5);
+  EXPECT_EQ(p.ReservedFor(100, 128), 150u);
+  EXPECT_EQ(p.ReservedFor(1, 128), 2u);  // ceil(1.5)
+}
+
+TEST(PolicyTest, ReservedForExponentialGrowsWithChunkIndex) {
+  const Policy p = Policy::NewZ(AllocStrategy::kExponential, 2.0);
+  ASSERT_TRUE(p.Validate().ok());
+  // Chunk n is at least 2^n blocks of 128 postings.
+  EXPECT_EQ(p.ReservedFor(1, 128, 0), 128u);
+  EXPECT_EQ(p.ReservedFor(1, 128, 1), 256u);
+  EXPECT_EQ(p.ReservedFor(1, 128, 3), 1024u);
+  // The data itself can exceed the geometric floor.
+  EXPECT_EQ(p.ReservedFor(5000, 128, 0), 5000u);
+}
+
+TEST(PolicyTest, ExponentialValidation) {
+  EXPECT_FALSE(
+      Policy::NewZ(AllocStrategy::kExponential, 1.0).Validate().ok());
+  EXPECT_FALSE(
+      Policy::WholeZ(AllocStrategy::kExponential, 2.0).Validate().ok());
+  EXPECT_TRUE(
+      Policy::NewZ(AllocStrategy::kExponential, 1.5).Validate().ok());
+}
+
+TEST(PolicyTest, Names) {
+  EXPECT_EQ(Policy::New0().Name(), "new 0");
+  EXPECT_EQ(Policy::NewZ().Name(), "new z");
+  EXPECT_EQ(Policy::FillZ(4).Name(), "fill z e=4");
+  EXPECT_EQ(Policy::Whole0().Name(), "whole 0");
+  EXPECT_EQ(Policy::RecommendedUpdateOptimized().Name(), "new z prop1.2");
+  EXPECT_EQ(Policy::NewZ(AllocStrategy::kConstant, 700).Name(),
+            "new z const700");
+  EXPECT_EQ(Policy::WholeZ(AllocStrategy::kBlock, 4).Name(),
+            "whole z block4");
+}
+
+TEST(PolicyTest, StyleAndAllocNames) {
+  EXPECT_STREQ(StyleName(Style::kNew), "new");
+  EXPECT_STREQ(StyleName(Style::kFill), "fill");
+  EXPECT_STREQ(StyleName(Style::kWhole), "whole");
+  EXPECT_STREQ(AllocStrategyName(AllocStrategy::kProportional),
+               "proportional");
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,155 @@
+#include "core/posting_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace duplex::core {
+namespace {
+
+TEST(VarintTest, SmallValuesOneByte) {
+  std::string out;
+  PutVarint64(0, &out);
+  PutVarint64(127, &out);
+  EXPECT_EQ(out.size(), 2u);
+  size_t pos = 0;
+  EXPECT_EQ(*GetVarint64(out, &pos), 0u);
+  EXPECT_EQ(*GetVarint64(out, &pos), 127u);
+  EXPECT_EQ(pos, out.size());
+}
+
+TEST(VarintTest, BoundaryValues) {
+  for (const uint64_t v :
+       {uint64_t{128}, uint64_t{16383}, uint64_t{16384},
+        uint64_t{0xffffffff}, ~uint64_t{0}}) {
+    std::string out;
+    PutVarint64(v, &out);
+    size_t pos = 0;
+    Result<uint64_t> r = GetVarint64(out, &pos);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+    EXPECT_EQ(pos, out.size());
+  }
+}
+
+TEST(VarintTest, MaxValueUsesTenBytes) {
+  std::string out;
+  PutVarint64(~uint64_t{0}, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string out;
+  PutVarint64(1ULL << 40, &out);
+  out.pop_back();
+  size_t pos = 0;
+  EXPECT_EQ(GetVarint64(out, &pos).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(VarintTest, EmptyInputIsCorruption) {
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint64(std::string(), &pos).ok());
+}
+
+TEST(PostingCodecTest, RoundTripFromZeroBase) {
+  const std::vector<DocId> docs = {0, 1, 7, 100, 1000000};
+  const std::string bytes = EncodePostingBlock(docs, 0);
+  Result<std::vector<DocId>> decoded =
+      DecodePostingBlock(bytes, docs.size(), 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, docs);
+}
+
+TEST(PostingCodecTest, RoundTripWithBase) {
+  const std::vector<DocId> docs = {500, 501, 777};
+  const std::string bytes = EncodePostingBlock(docs, 499);
+  Result<std::vector<DocId>> decoded =
+      DecodePostingBlock(bytes, docs.size(), 499);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, docs);
+}
+
+TEST(PostingCodecTest, DenseListCompressesToOneBytePerPosting) {
+  std::vector<DocId> docs;
+  for (DocId d = 100; d < 1100; ++d) docs.push_back(d);
+  const std::string bytes = EncodePostingBlock(docs, 99);
+  EXPECT_EQ(bytes.size(), docs.size());  // every gap is 1
+}
+
+TEST(PostingCodecTest, StreamingAppendDecodesAsOneChunk) {
+  // Mirrors the in-place update path: a chunk's payload is extended by a
+  // second encoded segment whose base is the previous last doc id.
+  const std::vector<DocId> first = {10, 20, 30};
+  const std::vector<DocId> second = {35, 60};
+  std::string bytes = EncodePostingBlock(first, 0);
+  bytes += EncodePostingBlock(second, 30);
+  Result<std::vector<DocId>> decoded = DecodePostingBlock(bytes, 5, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (std::vector<DocId>{10, 20, 30, 35, 60}));
+}
+
+TEST(PostingCodecTest, DecodeTruncatedIsCorruption) {
+  const std::string bytes = EncodePostingBlock({1, 2, 3}, 0);
+  EXPECT_EQ(DecodePostingBlock(bytes, 4, 0).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(PostingCodecTest, DecodePartialCount) {
+  const std::string bytes = EncodePostingBlock({1, 2, 3}, 0);
+  Result<std::vector<DocId>> decoded = DecodePostingBlock(bytes, 2, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (std::vector<DocId>{1, 2}));
+}
+
+TEST(PostingCodecTest, EmptyList) {
+  const std::string bytes = EncodePostingBlock({}, 0);
+  EXPECT_TRUE(bytes.empty());
+  Result<std::vector<DocId>> decoded = DecodePostingBlock(bytes, 0, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PostingCodecTest, MaxEncodedSizeIsUpperBound) {
+  Rng rng(17);
+  std::vector<DocId> docs;
+  DocId d = 0;
+  for (int i = 0; i < 1000; ++i) {
+    d += 1 + static_cast<DocId>(rng.Uniform(1 << 20));
+    docs.push_back(d);
+  }
+  const std::string bytes = EncodePostingBlock(docs, 0);
+  EXPECT_LE(bytes.size(), MaxEncodedSize(docs.size()));
+}
+
+TEST(PostingCodecDeathTest, NonAscendingEncodingChecks) {
+  std::string out;
+  EXPECT_DEATH(EncodePostings({5, 5}, 0, &out), "CHECK failed");
+  EXPECT_DEATH(EncodePostings({5}, 6, &out), "CHECK failed");
+}
+
+// Property sweep: random gap distributions round-trip exactly.
+class CodecPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CodecPropertyTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  const uint64_t max_gap = 1 + rng.Uniform(1 << 16);
+  std::vector<DocId> docs;
+  DocId d = static_cast<DocId>(rng.Uniform(1000));
+  const DocId base = d;
+  for (int i = 0; i < 500; ++i) {
+    d += 1 + static_cast<DocId>(rng.Uniform(max_gap));
+    docs.push_back(d);
+  }
+  const std::string bytes = EncodePostingBlock(docs, base);
+  Result<std::vector<DocId>> decoded =
+      DecodePostingBlock(bytes, docs.size(), base);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, docs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,117 @@
+#include "core/posting.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::core {
+namespace {
+
+TEST(PostingListTest, DefaultIsEmpty) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.materialized());
+}
+
+TEST(PostingListTest, CountedMode) {
+  PostingList list = PostingList::Counted(42);
+  EXPECT_EQ(list.size(), 42u);
+  EXPECT_FALSE(list.materialized());
+}
+
+TEST(PostingListTest, MaterializedMode) {
+  PostingList list = PostingList::Materialized({1, 5, 9});
+  EXPECT_EQ(list.size(), 3u);
+  ASSERT_TRUE(list.materialized());
+  EXPECT_EQ(list.docs(), (std::vector<DocId>{1, 5, 9}));
+  EXPECT_EQ(list.last_doc(), 9u);
+}
+
+TEST(PostingListTest, AddBuildsMaterializedList) {
+  PostingList list;
+  list.Add(3);
+  list.Add(7);
+  ASSERT_TRUE(list.materialized());
+  EXPECT_EQ(list.docs(), (std::vector<DocId>{3, 7}));
+}
+
+TEST(PostingListTest, AppendMaterialized) {
+  PostingList a = PostingList::Materialized({1, 2});
+  PostingList b = PostingList::Materialized({5, 8});
+  a.Append(b);
+  EXPECT_EQ(a.docs(), (std::vector<DocId>{1, 2, 5, 8}));
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(PostingListTest, AppendCounted) {
+  PostingList a = PostingList::Counted(10);
+  a.Append(PostingList::Counted(5));
+  EXPECT_EQ(a.size(), 15u);
+  EXPECT_FALSE(a.materialized());
+}
+
+TEST(PostingListTest, AppendMixedDegradesToCounted) {
+  PostingList a = PostingList::Materialized({1, 2});
+  a.Append(PostingList::Counted(3));
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_FALSE(a.materialized());
+}
+
+TEST(PostingListTest, AppendIntoEmptyCopies) {
+  PostingList a;
+  a.Append(PostingList::Materialized({4, 6}));
+  ASSERT_TRUE(a.materialized());
+  EXPECT_EQ(a.docs(), (std::vector<DocId>{4, 6}));
+}
+
+TEST(PostingListTest, AppendEmptyIsNoop) {
+  PostingList a = PostingList::Materialized({1});
+  a.Append(PostingList());
+  ASSERT_TRUE(a.materialized());
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(PostingListTest, TakePrefixMaterialized) {
+  PostingList a = PostingList::Materialized({1, 2, 3, 4, 5});
+  PostingList prefix = a.TakePrefix(2);
+  EXPECT_EQ(prefix.docs(), (std::vector<DocId>{1, 2}));
+  EXPECT_EQ(a.docs(), (std::vector<DocId>{3, 4, 5}));
+}
+
+TEST(PostingListTest, TakePrefixCounted) {
+  PostingList a = PostingList::Counted(10);
+  PostingList prefix = a.TakePrefix(4);
+  EXPECT_EQ(prefix.size(), 4u);
+  EXPECT_EQ(a.size(), 6u);
+  EXPECT_FALSE(prefix.materialized());
+}
+
+TEST(PostingListTest, TakePrefixAll) {
+  PostingList a = PostingList::Counted(3);
+  PostingList prefix = a.TakePrefix(3);
+  EXPECT_EQ(prefix.size(), 3u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(PostingListDeathTest, AppendOutOfOrderChecks) {
+  PostingList a = PostingList::Materialized({5});
+  EXPECT_DEATH(a.Append(PostingList::Materialized({3})), "CHECK failed");
+}
+
+TEST(PostingListDeathTest, AddNonAscendingChecks) {
+  PostingList a;
+  a.Add(5);
+  EXPECT_DEATH(a.Add(5), "CHECK failed");
+}
+
+TEST(PostingListDeathTest, DocsOnCountedChecks) {
+  PostingList a = PostingList::Counted(2);
+  EXPECT_DEATH(a.docs(), "CHECK failed");
+}
+
+TEST(PostingListDeathTest, TakePrefixTooLargeChecks) {
+  PostingList a = PostingList::Counted(2);
+  EXPECT_DEATH(a.TakePrefix(3), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -1,0 +1,207 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace duplex::core {
+namespace {
+
+IndexOptions Options(bool materialize) {
+  IndexOptions o;
+  o.buckets.num_buckets = 8;
+  o.buckets.bucket_capacity = 32;
+  o.policy = Policy::NewZ();
+  o.block_postings = 10;
+  o.disks.num_disks = 2;
+  o.disks.blocks_per_disk = 1 << 16;
+  o.disks.block_size_bytes = 64;
+  o.materialize = materialize;
+  return o;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/duplex_snap_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove((prefix_ + ".postings").c_str());
+    std::remove((prefix_ + ".dict").c_str());
+  }
+
+  std::string prefix_;
+};
+
+TEST_F(SnapshotTest, CountOnlyRoundTrip) {
+  InvertedIndex index(Options(false));
+  text::BatchUpdate batch;
+  batch.pairs = {{1, 40}, {2, 3}, {3, 7}, {9, 1}};
+  ASSERT_TRUE(index.ApplyBatchUpdate(batch).ok());
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+
+  InvertedIndex restored(Options(false));
+  ASSERT_TRUE(Snapshot::Load(prefix_, &restored).ok());
+  for (const WordId w : {1u, 2u, 3u, 9u}) {
+    const auto orig = index.Locate(w);
+    const auto got = restored.Locate(w);
+    EXPECT_TRUE(got.exists);
+    EXPECT_EQ(got.postings, orig.postings) << w;
+    EXPECT_EQ(got.is_long, orig.is_long) << w;
+  }
+  EXPECT_EQ(restored.Stats().total_postings,
+            index.Stats().total_postings);
+}
+
+TEST_F(SnapshotTest, MaterializedRoundTripWithQueries) {
+  InvertedIndex index(Options(true));
+  index.AddDocument("alpha beta gamma");
+  index.AddDocument("alpha beta");
+  index.AddDocument("alpha delta");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  index.AddDocument("beta gamma epsilon");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  index.DeleteDocument(1);
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+
+  InvertedIndex restored(Options(true));
+  ASSERT_TRUE(Snapshot::Load(prefix_, &restored).ok());
+  // Vocabulary restored: string lookups work.
+  for (const char* w : {"alpha", "beta", "gamma", "delta", "epsilon"}) {
+    Result<std::vector<DocId>> orig = index.GetPostings(w);
+    Result<std::vector<DocId>> got = restored.GetPostings(w);
+    ASSERT_TRUE(orig.ok());
+    ASSERT_TRUE(got.ok()) << w << ": " << got.status();
+    EXPECT_EQ(*got, *orig) << w;
+  }
+  // Deleted set and doc counter restored.
+  EXPECT_TRUE(restored.IsDeleted(1));
+  EXPECT_EQ(restored.next_doc_id(), index.next_doc_id());
+}
+
+TEST_F(SnapshotTest, PreservesShortLongSplit) {
+  InvertedIndex index(Options(false));
+  text::BatchUpdate batch;
+  batch.pairs = {{1, 40}, {2, 3}};  // word 1 promotes, word 2 stays
+  ASSERT_TRUE(index.ApplyBatchUpdate(batch).ok());
+  ASSERT_TRUE(index.Locate(WordId{1}).is_long);
+  ASSERT_FALSE(index.Locate(WordId{2}).is_long);
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+
+  InvertedIndex restored(Options(false));
+  ASSERT_TRUE(Snapshot::Load(prefix_, &restored).ok());
+  EXPECT_TRUE(restored.Locate(WordId{1}).is_long);
+  EXPECT_FALSE(restored.Locate(WordId{2}).is_long);
+}
+
+TEST_F(SnapshotTest, RestoredIndexAcceptsFurtherUpdates) {
+  InvertedIndex index(Options(false));
+  text::BatchUpdate b1;
+  b1.pairs = {{1, 40}, {2, 3}};
+  ASSERT_TRUE(index.ApplyBatchUpdate(b1).ok());
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+
+  InvertedIndex restored(Options(false));
+  ASSERT_TRUE(Snapshot::Load(prefix_, &restored).ok());
+  text::BatchUpdate b2;
+  b2.pairs = {{1, 5}, {4, 2}};
+  ASSERT_TRUE(restored.ApplyBatchUpdate(b2).ok());
+  EXPECT_EQ(restored.Locate(WordId{1}).postings, 45u);
+  EXPECT_EQ(restored.Locate(WordId{4}).postings, 2u);
+}
+
+TEST_F(SnapshotTest, LoadRejectsModeMismatch) {
+  InvertedIndex index(Options(false));
+  text::BatchUpdate batch;
+  batch.pairs = {{1, 2}};
+  ASSERT_TRUE(index.ApplyBatchUpdate(batch).ok());
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+  InvertedIndex materialized(Options(true));
+  EXPECT_EQ(Snapshot::Load(prefix_, &materialized).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotTest, LoadMissingFileFails) {
+  InvertedIndex index(Options(false));
+  EXPECT_EQ(Snapshot::Load(prefix_ + "_nope", &index).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, LoadRejectsGarbage) {
+  {
+    std::FILE* f = std::fopen((prefix_ + ".postings").c_str(), "wb");
+    std::fputs("garbage!!", f);
+    std::fclose(f);
+  }
+  InvertedIndex index(Options(false));
+  EXPECT_EQ(Snapshot::Load(prefix_, &index).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(SnapshotTest, ReaderRandomAccess) {
+  InvertedIndex index(Options(true));
+  index.AddDocument("red green blue");
+  index.AddDocument("red green");
+  index.AddDocument("red");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+
+  Result<std::unique_ptr<SnapshotReader>> reader =
+      SnapshotReader::Open(prefix_);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_TRUE((*reader)->materialized());
+  EXPECT_EQ((*reader)->word_count(), 3u);
+
+  const WordId red = index.vocabulary().Lookup("red");
+  const WordId blue = index.vocabulary().Lookup("blue");
+  EXPECT_TRUE((*reader)->Contains(red));
+  EXPECT_FALSE((*reader)->Contains(999));
+  EXPECT_EQ(*(*reader)->Count(red), 3u);
+  EXPECT_EQ(*(*reader)->Count(blue), 1u);
+  Result<std::vector<DocId>> docs = (*reader)->Postings(red);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(*docs, (std::vector<DocId>{0, 1, 2}));
+}
+
+TEST_F(SnapshotTest, ReaderOnCountOnlySnapshotRefusesPostings) {
+  InvertedIndex index(Options(false));
+  text::BatchUpdate batch;
+  batch.pairs = {{5, 9}};
+  ASSERT_TRUE(index.ApplyBatchUpdate(batch).ok());
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+  Result<std::unique_ptr<SnapshotReader>> reader =
+      SnapshotReader::Open(prefix_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*(*reader)->Count(5), 9u);
+  EXPECT_EQ((*reader)->Postings(5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotTest, LargeSnapshotRoundTrip) {
+  InvertedIndex index(Options(false));
+  for (int b = 0; b < 5; ++b) {
+    text::BatchUpdate batch;
+    for (WordId w = 0; w < 500; ++w) {
+      batch.pairs.push_back({w, 1 + w % 7});
+    }
+    ASSERT_TRUE(index.ApplyBatchUpdate(batch).ok());
+  }
+  ASSERT_TRUE(Snapshot::Write(index, prefix_).ok());
+  InvertedIndex restored(Options(false));
+  ASSERT_TRUE(Snapshot::Load(prefix_, &restored).ok());
+  for (WordId w = 0; w < 500; ++w) {
+    ASSERT_EQ(restored.Locate(w).postings, index.Locate(w).postings) << w;
+  }
+  Result<std::unique_ptr<SnapshotReader>> reader =
+      SnapshotReader::Open(prefix_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->word_count(), 500u);
+}
+
+}  // namespace
+}  // namespace duplex::core

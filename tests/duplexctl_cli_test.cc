@@ -1,0 +1,113 @@
+// Integration tests for the duplexctl command-line front end: build an
+// index from real files on disk, persist it, and query it from a separate
+// invocation — the full downstream-user workflow.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace duplex {
+namespace {
+
+namespace fs = std::filesystem;
+
+int RunShell(const std::string& command) {
+  return std::system(command.c_str());
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class DuplexctlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/duplexctl_cli_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ + "/docs");
+    prefix_ = dir_ + "/snapshot";
+    std::ofstream(dir_ + "/docs/a.txt")
+        << "the quick brown fox jumps over the lazy dog";
+    std::ofstream(dir_ + "/docs/b.txt") << "a quick survey of retrieval";
+    std::ofstream(dir_ + "/docs/c.txt") << "the dog chased the cat";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int Build() {
+    return RunShell(std::string(DUPLEXCTL_BIN) + " build " + prefix_ +
+                    " " + dir_ + "/docs > " + dir_ + "/build.out 2>&1");
+  }
+  std::string Query(const std::string& query) {
+    const std::string out = dir_ + "/query.out";
+    EXPECT_EQ(RunShell(std::string(DUPLEXCTL_BIN) + " query " + prefix_ +
+                       " \"" + query + "\" > " + out + " 2>&1"),
+              0);
+    return ReadAll(out);
+  }
+
+  std::string dir_;
+  std::string prefix_;
+};
+
+TEST_F(DuplexctlTest, BuildCreatesSnapshotFiles) {
+  ASSERT_EQ(Build(), 0) << ReadAll(dir_ + "/build.out");
+  EXPECT_TRUE(fs::exists(prefix_ + ".postings"));
+  EXPECT_TRUE(fs::exists(prefix_ + ".dict"));
+  const std::string log = ReadAll(dir_ + "/build.out");
+  EXPECT_NE(log.find("indexed 3 documents"), std::string::npos) << log;
+}
+
+TEST_F(DuplexctlTest, QueryFindsDocuments) {
+  ASSERT_EQ(Build(), 0);
+  // Files are indexed in sorted path order: a=0, b=1, c=2.
+  EXPECT_NE(Query("quick").find("2 matching documents"),
+            std::string::npos);
+  EXPECT_NE(Query("dog AND NOT fox").find("1 matching documents"),
+            std::string::npos);
+  EXPECT_NE(Query("unicorn").find("0 matching documents"),
+            std::string::npos);
+}
+
+TEST_F(DuplexctlTest, StatsReportsWordCounts) {
+  ASSERT_EQ(Build(), 0);
+  const std::string out = dir_ + "/stats.out";
+  ASSERT_EQ(RunShell(std::string(DUPLEXCTL_BIN) + " stats " + prefix_ +
+                     " > " + out + " 2>&1"),
+            0);
+  const std::string stats = ReadAll(out);
+  EXPECT_NE(stats.find("materialized"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("words"), std::string::npos);
+}
+
+TEST_F(DuplexctlTest, QueryMissingSnapshotFails) {
+  EXPECT_NE(RunShell(std::string(DUPLEXCTL_BIN) + " query " + dir_ +
+                     "/nope \"cat\" > /dev/null 2>&1"),
+            0);
+}
+
+TEST_F(DuplexctlTest, UsageOnBadArguments) {
+  EXPECT_NE(RunShell(std::string(DUPLEXCTL_BIN) +
+                     " frobnicate > /dev/null 2>&1"),
+            0);
+  EXPECT_NE(RunShell(std::string(DUPLEXCTL_BIN) +
+                     " build onlyprefix > /dev/null 2>&1"),
+            0);
+}
+
+TEST_F(DuplexctlTest, BuildOnEmptyDirectoryFails) {
+  fs::create_directories(dir_ + "/empty");
+  EXPECT_NE(RunShell(std::string(DUPLEXCTL_BIN) + " build " + prefix_ +
+                     " " + dir_ + "/empty > /dev/null 2>&1"),
+            0);
+}
+
+}  // namespace
+}  // namespace duplex

@@ -1,0 +1,95 @@
+#include "ir/boolean_query.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::ir {
+namespace {
+
+std::string Parse(const std::string& text) {
+  Result<std::unique_ptr<BooleanQuery>> q = ParseBooleanQuery(text);
+  if (!q.ok()) return "ERROR: " + q.status().ToString();
+  return (*q)->ToString();
+}
+
+TEST(BooleanQueryParserTest, SingleTerm) { EXPECT_EQ(Parse("cat"), "cat"); }
+
+TEST(BooleanQueryParserTest, TermsAreLowercased) {
+  EXPECT_EQ(Parse("CaT"), "cat");
+}
+
+TEST(BooleanQueryParserTest, SimpleAnd) {
+  EXPECT_EQ(Parse("cat AND dog"), "(cat AND dog)");
+}
+
+TEST(BooleanQueryParserTest, KeywordsCaseInsensitive) {
+  EXPECT_EQ(Parse("cat and dog or mouse"), "((cat AND dog) OR mouse)");
+}
+
+TEST(BooleanQueryParserTest, PaperExampleQuery) {
+  // "(cat and dog) or mouse" from the paper's introduction.
+  EXPECT_EQ(Parse("(cat and dog) or mouse"), "((cat AND dog) OR mouse)");
+}
+
+TEST(BooleanQueryParserTest, AndBindsTighterThanOr) {
+  EXPECT_EQ(Parse("a OR b AND c"), "(a OR (b AND c))");
+}
+
+TEST(BooleanQueryParserTest, ParenthesesOverridePrecedence) {
+  EXPECT_EQ(Parse("(a OR b) AND c"), "((a OR b) AND c)");
+}
+
+TEST(BooleanQueryParserTest, ImplicitAnd) {
+  EXPECT_EQ(Parse("cat dog mouse"), "((cat AND dog) AND mouse)");
+}
+
+TEST(BooleanQueryParserTest, AndNot) {
+  EXPECT_EQ(Parse("cat AND NOT dog"), "(cat AND NOT dog)");
+  EXPECT_EQ(Parse("cat NOT dog"), "(cat AND NOT dog)");
+}
+
+TEST(BooleanQueryParserTest, LeftAssociativeChains) {
+  EXPECT_EQ(Parse("a AND b AND c"), "((a AND b) AND c)");
+  EXPECT_EQ(Parse("a OR b OR c"), "((a OR b) OR c)");
+}
+
+TEST(BooleanQueryParserTest, NestedParens) {
+  EXPECT_EQ(Parse("((a))"), "a");
+  EXPECT_EQ(Parse("(a AND (b OR (c)))"), "(a AND (b OR c))");
+}
+
+TEST(BooleanQueryParserTest, NumbersAreTerms) {
+  EXPECT_EQ(Parse("error 404"), "(error AND 404)");
+}
+
+TEST(BooleanQueryParserTest, Errors) {
+  EXPECT_TRUE(Parse("").starts_with("ERROR"));
+  EXPECT_TRUE(Parse("AND").starts_with("ERROR"));
+  EXPECT_TRUE(Parse("cat AND").starts_with("ERROR"));
+  EXPECT_TRUE(Parse("(cat").starts_with("ERROR"));
+  EXPECT_TRUE(Parse("cat)").starts_with("ERROR"));
+  EXPECT_TRUE(Parse(")").starts_with("ERROR"));
+  EXPECT_TRUE(Parse("OR cat").starts_with("ERROR"));
+}
+
+TEST(BooleanQueryParserTest, PunctuationIgnoredInLexer) {
+  EXPECT_EQ(Parse("cat, dog!"), "(cat AND dog)");
+}
+
+TEST(BooleanQueryTest, TermsCollectsSortedUnique) {
+  Result<std::unique_ptr<BooleanQuery>> q =
+      ParseBooleanQuery("dog AND (cat OR dog) AND NOT ant");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->Terms(),
+            (std::vector<std::string>{"ant", "cat", "dog"}));
+}
+
+TEST(BooleanQueryTest, BuilderApi) {
+  auto q = BooleanQuery::Or(
+      BooleanQuery::And(BooleanQuery::Term("a"), BooleanQuery::Term("b")),
+      BooleanQuery::Term("c"));
+  EXPECT_EQ(q->ToString(), "((a AND b) OR c)");
+  EXPECT_EQ(q->kind, BooleanQuery::Kind::kOr);
+}
+
+}  // namespace
+}  // namespace duplex::ir

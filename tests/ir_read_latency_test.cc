@@ -1,0 +1,102 @@
+#include "ir/read_latency.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::ir {
+namespace {
+
+core::ChunkRef Chunk(storage::DiskId disk, storage::BlockId start,
+                     uint64_t blocks) {
+  core::ChunkRef c;
+  c.range = {disk, start, blocks};
+  c.postings = blocks;
+  return c;
+}
+
+const storage::DiskModelParams kDisk =
+    storage::DiskModelParams::Seagate1993();
+
+TEST(ReadLatencyTest, EmptyListIsFree) {
+  core::LongList list;
+  const ListReadEstimate e = EstimateListRead(list, kDisk);
+  EXPECT_EQ(e.ms, 0.0);
+  EXPECT_EQ(e.read_ops, 0u);
+  EXPECT_EQ(e.disks_used, 0u);
+}
+
+TEST(ReadLatencyTest, SingleChunkPaysOneSeekPlusTransfer) {
+  core::LongList list;
+  list.chunks = {Chunk(0, 100, 10)};
+  const ListReadEstimate e = EstimateListRead(list, kDisk);
+  EXPECT_NEAR(e.ms,
+              kDisk.avg_seek_ms + kDisk.HalfRotationMs() +
+                  10 * kDisk.BlockTransferMs(),
+              1e-9);
+  EXPECT_EQ(e.ms, e.serial_ms);
+  EXPECT_EQ(e.read_ops, 1u);
+  EXPECT_EQ(e.blocks, 10u);
+  EXPECT_EQ(e.disks_used, 1u);
+}
+
+TEST(ReadLatencyTest, ChunksOnOneDiskSerialize) {
+  core::LongList list;
+  list.chunks = {Chunk(0, 0, 4), Chunk(0, 100, 4)};
+  const ListReadEstimate e = EstimateListRead(list, kDisk);
+  EXPECT_NEAR(e.ms, e.serial_ms, 1e-9);
+  EXPECT_EQ(e.read_ops, 2u);
+}
+
+TEST(ReadLatencyTest, StripedChunksReadInParallel) {
+  core::LongList striped;
+  striped.chunks = {Chunk(0, 0, 4), Chunk(1, 0, 4), Chunk(2, 0, 4),
+                    Chunk(3, 0, 4)};
+  core::LongList contiguous;
+  contiguous.chunks = {Chunk(0, 0, 16)};
+  const ListReadEstimate s = EstimateListRead(striped, kDisk);
+  const ListReadEstimate c = EstimateListRead(contiguous, kDisk);
+  EXPECT_EQ(s.disks_used, 4u);
+  // Parallel latency = one seek + 4 blocks, a quarter of the transfer.
+  EXPECT_NEAR(s.ms,
+              kDisk.avg_seek_ms + kDisk.HalfRotationMs() +
+                  4 * kDisk.BlockTransferMs(),
+              1e-9);
+  EXPECT_LT(s.ms, s.serial_ms);
+  // For 16 blocks the seek dominates, so whole still wins...
+  EXPECT_LT(c.ms, s.serial_ms);
+}
+
+TEST(ReadLatencyTest, StripingWinsForTransferDominatedLists) {
+  // A big list (1000 blocks = ~4 MB): 4-way striping beats one contiguous
+  // read despite paying 4 seeks, because transfer dominates.
+  core::LongList striped;
+  for (storage::DiskId d = 0; d < 4; ++d) {
+    striped.chunks.push_back(Chunk(d, 0, 250));
+  }
+  core::LongList contiguous;
+  contiguous.chunks = {Chunk(0, 0, 1000)};
+  const ListReadEstimate s = EstimateListRead(striped, kDisk);
+  const ListReadEstimate c = EstimateListRead(contiguous, kDisk);
+  EXPECT_LT(s.ms, c.ms);
+  EXPECT_GT(c.ms / s.ms, 2.0);  // close to 4x for huge lists
+}
+
+TEST(ReadLatencyTest, ManySmallChunksOnFewDisksAreWorst) {
+  // The new-0 pathology: dozens of tiny chunks pay a seek each.
+  core::LongList fragmented;
+  for (int i = 0; i < 24; ++i) {
+    fragmented.chunks.push_back(
+        Chunk(static_cast<storage::DiskId>(i % 2), static_cast<uint64_t>(
+                                                       i * 50),
+              1));
+  }
+  core::LongList contiguous;
+  contiguous.chunks = {Chunk(0, 0, 24)};
+  const ListReadEstimate f = EstimateListRead(fragmented, kDisk);
+  const ListReadEstimate c = EstimateListRead(contiguous, kDisk);
+  // 12 seek-bound chunk reads per disk vs one seek + 24-block transfer.
+  EXPECT_GT(f.ms, 2.5 * c.ms);
+  EXPECT_GT(f.serial_ms, 5 * c.ms);
+}
+
+}  // namespace
+}  // namespace duplex::ir

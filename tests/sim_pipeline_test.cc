@@ -1,0 +1,196 @@
+#include "sim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::sim {
+namespace {
+
+text::CorpusOptions TinyCorpus() {
+  text::CorpusOptions o;
+  o.num_updates = 8;
+  o.docs_per_update = 120;
+  o.word_universe = 20000;
+  o.interrupted_update = 5;
+  o.seed = 7;
+  return o;
+}
+
+SimConfig TinyConfig() {
+  SimConfig c;
+  c.num_buckets = 64;
+  c.bucket_capacity = 128;
+  c.block_postings = 16;
+  c.num_disks = 2;
+  c.blocks_per_disk = 1 << 18;
+  return c;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    stream_ = new BatchStream(GenerateBatches(TinyCorpus()));
+  }
+  static void TearDownTestSuite() {
+    delete stream_;
+    stream_ = nullptr;
+  }
+  static BatchStream* stream_;
+};
+
+BatchStream* PipelineTest::stream_ = nullptr;
+
+TEST_F(PipelineTest, CorpusStatsAreConsistent) {
+  const CorpusStats& s = stream_->stats;
+  EXPECT_EQ(s.docs_per_update.size(), 8u);
+  uint64_t docs = 0;
+  uint64_t postings = 0;
+  for (size_t u = 0; u < 8; ++u) {
+    docs += s.docs_per_update[u];
+    postings += s.postings_per_update[u];
+  }
+  EXPECT_EQ(docs, s.total_docs);
+  EXPECT_EQ(postings, s.total_postings);
+  EXPECT_GT(s.total_words, 0u);
+  EXPECT_GT(s.avg_postings_per_word, 1.0);
+  EXPECT_EQ(s.frequent_words + s.infrequent_words, s.total_words);
+  EXPECT_GT(s.frequent_posting_share, 0.1);
+  EXPECT_LT(s.frequent_posting_share, 1.0);
+  EXPECT_GT(s.raw_text_bytes, s.total_postings);  // > 1 byte per posting
+}
+
+TEST_F(PipelineTest, InterruptedUpdateIsTiny) {
+  EXPECT_LT(stream_->stats.docs_per_update[5],
+            stream_->stats.docs_per_update[4] / 5);
+}
+
+TEST_F(PipelineTest, BatchPairsSortedByWord) {
+  for (const text::BatchUpdate& b : stream_->batches) {
+    for (size_t i = 1; i < b.pairs.size(); ++i) {
+      ASSERT_LT(b.pairs[i - 1].word, b.pairs[i].word);
+    }
+  }
+}
+
+TEST_F(PipelineTest, RunPolicyProducesFullSeries) {
+  const PolicyRunResult run =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::NewZ());
+  EXPECT_EQ(run.cumulative_io_ops.size(), 8u);
+  EXPECT_EQ(run.utilization.size(), 8u);
+  EXPECT_EQ(run.avg_reads_per_list.size(), 8u);
+  EXPECT_EQ(run.categories.size(), 8u);
+  EXPECT_EQ(run.trace.update_count(), 8u);
+  // Cumulative I/O is nondecreasing.
+  for (size_t i = 1; i < run.cumulative_io_ops.size(); ++i) {
+    EXPECT_GE(run.cumulative_io_ops[i], run.cumulative_io_ops[i - 1]);
+  }
+  EXPECT_EQ(run.final_stats.io_ops, run.cumulative_io_ops.back());
+}
+
+TEST_F(PipelineTest, FirstUpdateIsAllNewWords) {
+  const PolicyRunResult run =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::New0());
+  EXPECT_EQ(run.categories[0].bucket_words, 0u);
+  EXPECT_EQ(run.categories[0].long_words, 0u);
+  EXPECT_GT(run.categories[0].new_words, 0u);
+  // Later updates mostly hit existing words.
+  const core::UpdateCategories& last = run.categories.back();
+  EXPECT_GT(last.bucket_words + last.long_words, last.new_words);
+}
+
+TEST_F(PipelineTest, WholeStyleHasUnitReadCost) {
+  const PolicyRunResult run =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::WholeZ());
+  EXPECT_DOUBLE_EQ(run.avg_reads_per_list.back(), 1.0);
+  EXPECT_GT(run.final_stats.long_words, 0u);
+}
+
+TEST_F(PipelineTest, PaperOrderingsHoldOnTinyCorpus) {
+  const PolicyRunResult new0 =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::New0());
+  const PolicyRunResult newz =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::NewZ());
+  const PolicyRunResult whole0 =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::Whole0());
+  // Figure 8: in-place updates roughly double I/O ops; whole is the upper
+  // bound among long-list policies.
+  EXPECT_LT(new0.final_stats.io_ops, newz.final_stats.io_ops);
+  EXPECT_LE(newz.final_stats.io_ops, whole0.final_stats.io_ops);
+  // Figure 9: whole utilization beats new-without-in-place.
+  EXPECT_GT(whole0.utilization.back(), new0.utilization.back());
+  // Figure 10: new0 fragments lists; whole keeps them contiguous.
+  EXPECT_GT(new0.avg_reads_per_list.back(), 1.5);
+  // In-place counters.
+  EXPECT_EQ(new0.counters.in_place_updates, 0u);
+  EXPECT_GT(newz.counters.in_place_updates, 0u);
+  EXPECT_EQ(newz.counters.appends_to_existing,
+            new0.counters.appends_to_existing);
+}
+
+TEST_F(PipelineTest, ExerciseDisksProducesPerUpdateTimes) {
+  const PolicyRunResult run =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::New0());
+  const storage::ExecutionResult exec = ExerciseDisks(TinyConfig(),
+                                                      run.trace);
+  EXPECT_EQ(exec.update_seconds.size(), 8u);
+  EXPECT_GT(exec.total_seconds(), 0.0);
+  EXPECT_LE(exec.issued_requests, exec.trace_events);
+}
+
+TEST_F(PipelineTest, WholeSlowerThanNewOnDisk) {
+  const PolicyRunResult new0 =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::New0());
+  const PolicyRunResult whole0 =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::Whole0());
+  const double t_new = ExerciseDisks(TinyConfig(), new0.trace).total_seconds();
+  const double t_whole =
+      ExerciseDisks(TinyConfig(), whole0.trace).total_seconds();
+  EXPECT_LT(t_new, t_whole);
+}
+
+TEST_F(PipelineTest, FasterDiskBuildsFaster) {
+  const PolicyRunResult run =
+      RunPolicy(TinyConfig(), stream_->batches, core::Policy::NewZ());
+  const double t_old =
+      ExerciseDisks(TinyConfig(), run.trace,
+                    storage::DiskModelParams::Seagate1993())
+          .total_seconds();
+  const double t_fast = ExerciseDisks(TinyConfig(), run.trace,
+                                      storage::DiskModelParams::FastDisk())
+                            .total_seconds();
+  const double t_optical =
+      ExerciseDisks(TinyConfig(), run.trace,
+                    storage::DiskModelParams::OpticalDisk())
+          .total_seconds();
+  EXPECT_LT(t_fast, t_old);
+  EXPECT_GT(t_optical, t_old);
+}
+
+TEST_F(PipelineTest, RebuildBaselineGrowsQuadratically) {
+  std::vector<uint64_t> cumulative = {1000, 2000, 3000, 4000};
+  const storage::IoTrace trace =
+      RebuildBaselineTrace(TinyConfig(), cumulative);
+  EXPECT_EQ(trace.update_count(), 4u);
+  const storage::ExecutionResult exec = ExerciseDisks(TinyConfig(), trace);
+  // Each rebuild rewrites everything: later updates take longer.
+  EXPECT_GT(exec.update_seconds[3], exec.update_seconds[0]);
+  // Total blocks written across rebuilds exceed a single final write by
+  // roughly the cumulative factor.
+  EXPECT_GT(trace.CountBlocks(storage::IoOp::kWrite),
+            2 * (4000 / TinyConfig().block_postings));
+}
+
+TEST(SimConfigTest, ConversionCarriesParameters) {
+  SimConfig c = TinyConfig();
+  const core::IndexOptions idx = c.ToIndexOptions(core::Policy::FillZ());
+  EXPECT_EQ(idx.buckets.num_buckets, c.num_buckets);
+  EXPECT_EQ(idx.block_postings, c.block_postings);
+  EXPECT_EQ(idx.disks.num_disks, c.num_disks);
+  EXPECT_EQ(idx.policy.style, core::Style::kFill);
+  const storage::ExecutorOptions exec = c.ToExecutorOptions();
+  EXPECT_EQ(exec.num_disks, c.num_disks);
+  EXPECT_EQ(exec.buffer_blocks, c.buffer_blocks);
+  EXPECT_EQ(exec.disk.block_size_bytes, c.block_size);
+}
+
+}  // namespace
+}  // namespace duplex::sim

@@ -1,0 +1,247 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "storage/block_device.h"
+#include "util/random.h"
+
+namespace duplex::storage {
+namespace {
+
+std::string Value(uint64_t key, uint32_t size = 16) {
+  std::string v = "v" + std::to_string(key);
+  v.resize(size, '_');
+  return v;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  // Small blocks force deep trees with few keys.
+  void Init(uint64_t block_size = 256, uint32_t value_size = 16,
+            uint64_t capacity = 4096) {
+    device_ = std::make_unique<MemBlockDevice>(capacity, block_size);
+    Result<std::unique_ptr<BPlusTree>> tree =
+        BPlusTree::Create(device_.get(), value_size);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    tree_ = std::move(*tree);
+  }
+
+  std::unique_ptr<MemBlockDevice> device_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  Init();
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_EQ(tree_->height(), 1u);
+  EXPECT_EQ(tree_->Get(1).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, InsertAndGet) {
+  Init();
+  ASSERT_TRUE(tree_->Insert(5, Value(5)).ok());
+  ASSERT_TRUE(tree_->Insert(1, Value(1)).ok());
+  ASSERT_TRUE(tree_->Insert(9, Value(9)).ok());
+  EXPECT_EQ(tree_->size(), 3u);
+  EXPECT_EQ(*tree_->Get(5), Value(5));
+  EXPECT_EQ(*tree_->Get(1), Value(1));
+  EXPECT_EQ(*tree_->Get(9), Value(9));
+  EXPECT_FALSE(tree_->Get(2).ok());
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, InsertOverwrites) {
+  Init();
+  ASSERT_TRUE(tree_->Insert(5, Value(5)).ok());
+  ASSERT_TRUE(tree_->Insert(5, Value(777)).ok());
+  EXPECT_EQ(tree_->size(), 1u);
+  EXPECT_EQ(*tree_->Get(5), Value(777));
+}
+
+TEST_F(BTreeTest, WrongValueSizeRejected) {
+  Init();
+  EXPECT_EQ(tree_->Insert(1, "short").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BTreeTest, SplitsGrowTree) {
+  Init();
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value(k)).ok()) << k;
+  }
+  EXPECT_EQ(tree_->size(), 500u);
+  EXPECT_GE(tree_->height(), 3u);  // 256-byte pages hold ~10 entries
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(*tree_->Get(k), Value(k)) << k;
+  }
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, ReverseInsertionOrder) {
+  Init();
+  for (uint64_t k = 500; k > 0; --k) {
+    ASSERT_TRUE(tree_->Insert(k, Value(k)).ok());
+  }
+  for (uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(tree_->Get(k).ok()) << k;
+  }
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, ScanVisitsAscendingFromKey) {
+  Init();
+  for (uint64_t k = 0; k < 300; k += 3) {
+    ASSERT_TRUE(tree_->Insert(k, Value(k)).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree_->Scan(100, [&](uint64_t k, const std::string& v) {
+                       EXPECT_EQ(v, Value(k));
+                       seen.push_back(k);
+                       return true;
+                     })
+                  .ok());
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front(), 102u);  // first multiple of 3 >= 100
+  EXPECT_EQ(seen.back(), 297u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), (297u - 102u) / 3 + 1);
+}
+
+TEST_F(BTreeTest, ScanEarlyTermination) {
+  Init();
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value(k)).ok());
+  }
+  int visited = 0;
+  ASSERT_TRUE(tree_->Scan(0, [&](uint64_t, const std::string&) {
+                       return ++visited < 7;
+                     })
+                  .ok());
+  EXPECT_EQ(visited, 7);
+}
+
+TEST_F(BTreeTest, DeleteRemovesKeys) {
+  Init();
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value(k)).ok());
+  }
+  for (uint64_t k = 0; k < 200; k += 2) {
+    ASSERT_TRUE(tree_->Delete(k).ok()) << k;
+  }
+  EXPECT_EQ(tree_->size(), 100u);
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(tree_->Get(k).ok(), k % 2 == 1) << k;
+  }
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+  EXPECT_EQ(tree_->Delete(0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeTest, DeleteEverythingThenReuse) {
+  Init();
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value(k)).ok());
+  }
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(tree_->Delete(k).ok()) << k;
+  }
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+  // Tree remains fully usable after total deletion.
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(tree_->Insert(k * 7, Value(k * 7)).ok());
+  }
+  EXPECT_EQ(tree_->size(), 300u);
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, PersistsThroughOpen) {
+  Init();
+  for (uint64_t k = 0; k < 150; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value(k)).ok());
+  }
+  tree_.reset();
+  Result<std::unique_ptr<BPlusTree>> reopened =
+      BPlusTree::Open(device_.get());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->size(), 150u);
+  EXPECT_EQ(*(*reopened)->Get(77), Value(77));
+  EXPECT_TRUE((*reopened)->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, OpenRejectsGarbage) {
+  MemBlockDevice garbage(64, 256);
+  const uint8_t junk[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(garbage.Write(0, 0, junk, 8).ok());
+  EXPECT_EQ(BPlusTree::Open(&garbage).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(BTreeTest, ValueTooLargeForBlockRejected) {
+  MemBlockDevice device(64, 128);
+  EXPECT_EQ(BPlusTree::Create(&device, 100).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BTreeTest, DeviceFullIsResourceExhausted) {
+  Init(256, 16, /*capacity=*/8);  // almost no pages available
+  Status last = Status::OK();
+  for (uint64_t k = 0; k < 10000 && last.ok(); ++k) {
+    last = tree_->Insert(k, Value(k));
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+// Property test against std::map with random interleaved operations.
+class BTreePropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceMap) {
+  MemBlockDevice device(1 << 14, 256);
+  Result<std::unique_ptr<BPlusTree>> tree_or =
+      BPlusTree::Create(&device, 16);
+  ASSERT_TRUE(tree_or.ok());
+  BPlusTree& tree = **tree_or;
+  Rng rng(GetParam());
+  std::map<uint64_t, std::string> reference;
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t key = rng.Uniform(700);
+    const double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      const std::string value = Value(key + rng.Uniform(1000));
+      ASSERT_TRUE(tree.Insert(key, value).ok());
+      reference[key] = value;
+    } else if (dice < 0.9) {
+      const Status s = tree.Delete(key);
+      ASSERT_EQ(s.ok(), reference.erase(key) > 0) << s;
+    } else {
+      Result<std::string> got = tree.Get(key);
+      const auto it = reference.find(key);
+      ASSERT_EQ(got.ok(), it != reference.end());
+      if (got.ok()) {
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Full scan must equal the reference map.
+  auto it = reference.begin();
+  ASSERT_TRUE(tree.Scan(0, [&](uint64_t k, const std::string& v) {
+                    EXPECT_NE(it, reference.end());
+                    EXPECT_EQ(k, it->first);
+                    EXPECT_EQ(v, it->second);
+                    ++it;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(it, reference.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Range(0u, 6u));
+
+}  // namespace
+}  // namespace duplex::storage

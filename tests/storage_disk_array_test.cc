@@ -1,0 +1,106 @@
+#include "storage/disk_array.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::storage {
+namespace {
+
+DiskArrayOptions SmallArray(uint32_t disks = 4, uint64_t blocks = 64) {
+  DiskArrayOptions o;
+  o.num_disks = disks;
+  o.blocks_per_disk = blocks;
+  return o;
+}
+
+TEST(DiskArrayTest, RoundRobinCyclesThroughDisks) {
+  DiskArray array(SmallArray(3));
+  // Paper: disk i+1 mod n, with i initially 0 -> first choice is disk 1.
+  EXPECT_EQ(array.NextDisk(), 1u);
+  EXPECT_EQ(array.NextDisk(), 2u);
+  EXPECT_EQ(array.NextDisk(), 0u);
+  EXPECT_EQ(array.NextDisk(), 1u);
+}
+
+TEST(DiskArrayTest, AllocateUsesRoundRobin) {
+  DiskArray array(SmallArray(2));
+  Result<BlockRange> a = array.Allocate(4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->disk, 1u);
+  Result<BlockRange> b = array.Allocate(4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->disk, 0u);
+}
+
+TEST(DiskArrayTest, AllocateOnSpecificDisk) {
+  DiskArray array(SmallArray());
+  Result<BlockRange> r = array.AllocateOn(2, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->disk, 2u);
+  EXPECT_EQ(r->start, 0u);
+  EXPECT_EQ(r->length, 8u);
+  EXPECT_EQ(array.used_blocks(2), 8u);
+  EXPECT_EQ(array.used_blocks(0), 0u);
+}
+
+TEST(DiskArrayTest, FallsBackWhenChosenDiskFull) {
+  DiskArray array(SmallArray(2, 16));
+  ASSERT_TRUE(array.AllocateOn(1, 16).ok());  // fill disk 1
+  // Round-robin picks disk 1 next (cursor starts at 0) but it is full;
+  // allocation must fall back to disk 0 instead of failing.
+  Result<BlockRange> r = array.Allocate(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->disk, 0u);
+}
+
+TEST(DiskArrayTest, ExhaustionWhenAllFull) {
+  DiskArray array(SmallArray(2, 16));
+  ASSERT_TRUE(array.AllocateOn(0, 16).ok());
+  ASSERT_TRUE(array.AllocateOn(1, 16).ok());
+  Result<BlockRange> r = array.Allocate(1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DiskArrayTest, FreeReturnsBlocks) {
+  DiskArray array(SmallArray());
+  Result<BlockRange> r = array.Allocate(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(array.total_used_blocks(), 8u);
+  ASSERT_TRUE(array.Free(*r).ok());
+  EXPECT_EQ(array.total_used_blocks(), 0u);
+  EXPECT_EQ(array.total_free_blocks(), 4 * 64u);
+}
+
+TEST(DiskArrayTest, MostFreeStrategyBalances) {
+  DiskArrayOptions o = SmallArray(3);
+  o.disk_choice = DiskChoice::kMostFree;
+  DiskArray array(o);
+  ASSERT_TRUE(array.AllocateOn(0, 30).ok());
+  ASSERT_TRUE(array.AllocateOn(1, 10).ok());
+  // Disk 2 is emptiest.
+  EXPECT_EQ(array.NextDisk(), 2u);
+}
+
+TEST(DiskArrayTest, DevicesOnlyWhenMaterialized) {
+  DiskArray plain(SmallArray());
+  EXPECT_EQ(plain.device(0), nullptr);
+  DiskArrayOptions o = SmallArray();
+  o.materialize_payloads = true;
+  DiskArray mat(o);
+  EXPECT_NE(mat.device(0), nullptr);
+  EXPECT_EQ(mat.device(0)->block_size(), o.block_size_bytes);
+}
+
+TEST(DiskArrayTest, FragmentCountTracksHoles) {
+  DiskArray array(SmallArray(1, 64));
+  Result<BlockRange> a = array.AllocateOn(0, 8);
+  Result<BlockRange> b = array.AllocateOn(0, 8);
+  Result<BlockRange> c = array.AllocateOn(0, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(array.Free(*a).ok());
+  ASSERT_TRUE(array.Free(*c).ok());
+  EXPECT_EQ(array.fragment_count(0), 2u);  // [0,8) and [16,64)
+}
+
+}  // namespace
+}  // namespace duplex::storage

@@ -1,0 +1,84 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::storage {
+namespace {
+
+TEST(DiskModelParamsTest, DerivedQuantities) {
+  DiskModelParams p = DiskModelParams::Seagate1993();
+  EXPECT_NEAR(p.HalfRotationMs(), 5.56, 0.01);  // 5400 rpm
+  EXPECT_NEAR(p.BlockTransferMs(), 4096.0 / 2e6 * 1e3, 1e-9);
+}
+
+TEST(DiskModelParamsTest, PresetsDiffer) {
+  const DiskModelParams fast = DiskModelParams::FastDisk();
+  const DiskModelParams old = DiskModelParams::Seagate1993();
+  const DiskModelParams optical = DiskModelParams::OpticalDisk();
+  EXPECT_LT(fast.avg_seek_ms, old.avg_seek_ms);
+  EXPECT_GT(optical.avg_seek_ms, old.avg_seek_ms);
+  EXPECT_GT(fast.transfer_mb_per_s, old.transfer_mb_per_s);
+}
+
+TEST(DiskClockTest, FirstRequestPaysSeek) {
+  DiskClock clock(DiskModelParams::Seagate1993());
+  const double t = clock.Service(100, 1);
+  const DiskModelParams p;
+  EXPECT_NEAR(t, p.avg_seek_ms + p.HalfRotationMs() + p.BlockTransferMs(),
+              1e-9);
+  EXPECT_EQ(clock.seeks(), 1u);
+}
+
+TEST(DiskClockTest, SequentialRequestSkipsSeek) {
+  DiskClock clock(DiskModelParams::Seagate1993());
+  clock.Service(100, 4);
+  const double t = clock.Service(104, 2);  // continues where we left off
+  const DiskModelParams p;
+  EXPECT_NEAR(t, 2 * p.BlockTransferMs(), 1e-9);
+  EXPECT_EQ(clock.seeks(), 1u);
+  EXPECT_EQ(clock.requests(), 2u);
+  EXPECT_EQ(clock.blocks_transferred(), 6u);
+}
+
+TEST(DiskClockTest, NonSequentialPaysSeekAgain) {
+  DiskClock clock(DiskModelParams::Seagate1993());
+  clock.Service(100, 4);
+  clock.Service(50, 1);  // backwards: seek
+  EXPECT_EQ(clock.seeks(), 2u);
+}
+
+TEST(DiskClockTest, SameStartIsNotSequential) {
+  DiskClock clock(DiskModelParams::Seagate1993());
+  clock.Service(100, 4);
+  clock.Service(100, 4);  // rewrite in place: the arm must reposition
+  EXPECT_EQ(clock.seeks(), 2u);
+}
+
+TEST(DiskClockTest, BusyAccumulates) {
+  DiskClock clock(DiskModelParams::Seagate1993());
+  const double a = clock.Service(0, 1);
+  const double b = clock.Service(1, 1);
+  EXPECT_NEAR(clock.busy_ms(), a + b, 1e-9);
+}
+
+TEST(DiskClockTest, ResetKeepsArmPosition) {
+  DiskClock clock(DiskModelParams::Seagate1993());
+  clock.Service(0, 4);
+  clock.ResetAccumulation();
+  EXPECT_EQ(clock.busy_ms(), 0.0);
+  EXPECT_EQ(clock.seeks(), 0u);
+  // Still sequential from block 4: no seek charged.
+  clock.Service(4, 1);
+  EXPECT_EQ(clock.seeks(), 0u);
+}
+
+TEST(DiskClockTest, TransferScalesWithLength) {
+  DiskClock clock(DiskModelParams::Seagate1993());
+  const DiskModelParams p;
+  clock.Service(0, 1);
+  const double t = clock.Service(1, 100);
+  EXPECT_NEAR(t, 100 * p.BlockTransferMs(), 1e-9);
+}
+
+}  // namespace
+}  // namespace duplex::storage

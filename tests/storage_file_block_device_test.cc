@@ -1,0 +1,124 @@
+#include "storage/file_block_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace duplex::storage {
+namespace {
+
+class FileBlockDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/duplex_fbd_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(FileBlockDeviceTest, CreateAndGeometry) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open(path_, 64, 512);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  EXPECT_EQ((*dev)->capacity_blocks(), 64u);
+  EXPECT_EQ((*dev)->block_size(), 512u);
+  EXPECT_EQ((*dev)->path(), path_);
+}
+
+TEST_F(FileBlockDeviceTest, RoundTrip) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open(path_, 64, 512);
+  ASSERT_TRUE(dev.ok());
+  const std::string payload = "hello disk world";
+  ASSERT_TRUE((*dev)
+                  ->Write(3, 17, reinterpret_cast<const uint8_t*>(
+                                     payload.data()),
+                          payload.size())
+                  .ok());
+  std::string out(payload.size(), '\0');
+  ASSERT_TRUE((*dev)
+                  ->Read(3, 17, reinterpret_cast<uint8_t*>(out.data()),
+                         out.size())
+                  .ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(FileBlockDeviceTest, UnwrittenReadsAsZero) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open(path_, 64, 512);
+  ASSERT_TRUE(dev.ok());
+  std::string out(32, 'x');
+  ASSERT_TRUE((*dev)
+                  ->Read(10, 0, reinterpret_cast<uint8_t*>(out.data()),
+                         out.size())
+                  .ok());
+  EXPECT_EQ(out, std::string(32, '\0'));
+}
+
+TEST_F(FileBlockDeviceTest, PersistsAcrossReopen) {
+  {
+    Result<std::unique_ptr<FileBlockDevice>> dev =
+        FileBlockDevice::Open(path_, 64, 512);
+    ASSERT_TRUE(dev.ok());
+    const std::string payload = "durable";
+    ASSERT_TRUE((*dev)
+                    ->Write(0, 0,
+                            reinterpret_cast<const uint8_t*>(payload.data()),
+                            payload.size())
+                    .ok());
+    ASSERT_TRUE((*dev)->Sync().ok());
+  }
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open(path_, 64, 512);
+  ASSERT_TRUE(dev.ok());
+  std::string out(7, '\0');
+  ASSERT_TRUE(
+      (*dev)->Read(0, 0, reinterpret_cast<uint8_t*>(out.data()), 7).ok());
+  EXPECT_EQ(out, "durable");
+}
+
+TEST_F(FileBlockDeviceTest, CrossBlockWrite) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open(path_, 8, 16);
+  ASSERT_TRUE(dev.ok());
+  const std::string payload(40, 'a');  // spans 3 blocks
+  ASSERT_TRUE((*dev)
+                  ->Write(1, 8, reinterpret_cast<const uint8_t*>(
+                                    payload.data()),
+                          payload.size())
+                  .ok());
+  std::string out(payload.size(), '\0');
+  ASSERT_TRUE((*dev)
+                  ->Read(1, 8, reinterpret_cast<uint8_t*>(out.data()),
+                         out.size())
+                  .ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(FileBlockDeviceTest, BoundsChecked) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open(path_, 4, 16);  // 64 bytes
+  ASSERT_TRUE(dev.ok());
+  uint8_t buf[8] = {0};
+  EXPECT_EQ((*dev)->Write(3, 10, buf, 8).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ((*dev)->Read(4, 0, buf, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE((*dev)->Write(3, 8, buf, 8).ok());
+}
+
+TEST_F(FileBlockDeviceTest, ZeroGeometryRejected) {
+  EXPECT_FALSE(FileBlockDevice::Open(path_, 0, 512).ok());
+  EXPECT_FALSE(FileBlockDevice::Open(path_, 8, 0).ok());
+}
+
+TEST_F(FileBlockDeviceTest, UnopenablePathFails) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open("/nonexistent_dir_zz/f", 8, 512);
+  EXPECT_FALSE(dev.ok());
+}
+
+}  // namespace
+}  // namespace duplex::storage

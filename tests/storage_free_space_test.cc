@@ -1,0 +1,233 @@
+#include "storage/free_space.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/random.h"
+
+namespace duplex::storage {
+namespace {
+
+TEST(FirstFitTest, AllocatesFromBeginning) {
+  FreeListMap m(100, /*best_fit=*/false);
+  Result<BlockId> a = m.Allocate(10);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 0u);
+  Result<BlockId> b = m.Allocate(5);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 10u);
+  EXPECT_EQ(m.free_blocks(), 85u);
+  EXPECT_EQ(m.used_blocks(), 15u);
+}
+
+TEST(FirstFitTest, ReusesEarliestSufficientHole) {
+  FreeListMap m(100, false);
+  ASSERT_TRUE(m.Allocate(10).ok());  // [0,10)
+  ASSERT_TRUE(m.Allocate(10).ok());  // [10,20)
+  ASSERT_TRUE(m.Allocate(10).ok());  // [20,30)
+  ASSERT_TRUE(m.Free(0, 10).ok());
+  ASSERT_TRUE(m.Free(20, 10).ok());
+  // First-fit must pick the hole at 0, not the one at 20 or the tail.
+  Result<BlockId> a = m.Allocate(8);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 0u);
+  // A request too big for hole 0's remainder but fitting hole 20.
+  Result<BlockId> b = m.Allocate(9);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 20u);
+}
+
+TEST(FirstFitTest, SkipsTooSmallHoles) {
+  FreeListMap m(100, false);
+  ASSERT_TRUE(m.Allocate(5).ok());   // [0,5)
+  ASSERT_TRUE(m.Allocate(95).ok());  // [5,100)
+  ASSERT_TRUE(m.Free(0, 5).ok());
+  ASSERT_TRUE(m.Free(50, 50).ok());
+  Result<BlockId> a = m.Allocate(20);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 50u);
+}
+
+TEST(FirstFitTest, ExhaustionReturnsResourceExhausted) {
+  FreeListMap m(10, false);
+  ASSERT_TRUE(m.Allocate(10).ok());
+  Result<BlockId> r = m.Allocate(1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FirstFitTest, FragmentationBlocksLargeRequest) {
+  FreeListMap m(30, false);
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Free(0, 10).ok());
+  ASSERT_TRUE(m.Free(20, 10).ok());
+  EXPECT_EQ(m.free_blocks(), 20u);
+  EXPECT_EQ(m.largest_free_run(), 10u);
+  EXPECT_FALSE(m.Allocate(15).ok());  // 20 free but not contiguous
+}
+
+TEST(FirstFitTest, FreeCoalescesBothSides) {
+  FreeListMap m(30, false);
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Free(0, 10).ok());
+  ASSERT_TRUE(m.Free(20, 10).ok());
+  EXPECT_EQ(m.fragment_count(), 2u);
+  ASSERT_TRUE(m.Free(10, 10).ok());
+  EXPECT_EQ(m.fragment_count(), 1u);
+  EXPECT_EQ(m.largest_free_run(), 30u);
+}
+
+TEST(FirstFitTest, DoubleFreeIsCorruption) {
+  FreeListMap m(30, false);
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Free(0, 10).ok());
+  EXPECT_EQ(m.Free(0, 10).code(), StatusCode::kCorruption);
+  EXPECT_EQ(m.Free(5, 2).code(), StatusCode::kCorruption);
+}
+
+TEST(FirstFitTest, PartialOverlapFreeIsCorruption) {
+  FreeListMap m(30, false);
+  ASSERT_TRUE(m.Allocate(10).ok());
+  ASSERT_TRUE(m.Free(0, 5).ok());
+  EXPECT_EQ(m.Free(3, 5).code(), StatusCode::kCorruption);
+}
+
+TEST(FirstFitTest, FreeBeyondEndRejected) {
+  FreeListMap m(30, false);
+  EXPECT_EQ(m.Free(25, 10).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FirstFitTest, ZeroLengthOpsRejected) {
+  FreeListMap m(30, false);
+  EXPECT_FALSE(m.Allocate(0).ok());
+  EXPECT_FALSE(m.Free(0, 0).ok());
+}
+
+TEST(BestFitTest, PicksSmallestSufficientHole) {
+  FreeListMap m(100, /*best_fit=*/true);
+  ASSERT_TRUE(m.Allocate(100).ok());
+  ASSERT_TRUE(m.Free(0, 20).ok());   // hole of 20
+  ASSERT_TRUE(m.Free(30, 6).ok());   // hole of 6
+  ASSERT_TRUE(m.Free(50, 10).ok());  // hole of 10
+  Result<BlockId> a = m.Allocate(6);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 30u);  // exact fit wins over earlier bigger holes
+  Result<BlockId> b = m.Allocate(8);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 50u);  // 10-hole beats 20-hole
+}
+
+TEST(BuddyTest, RoundsCapacityToPowerOfTwo) {
+  BuddyAllocator b(100);
+  EXPECT_EQ(b.capacity_blocks(), 64u);
+  EXPECT_EQ(b.free_blocks(), 64u);
+}
+
+TEST(BuddyTest, AllocatesAlignedPowerOfTwo) {
+  BuddyAllocator b(64);
+  Result<BlockId> a = b.Allocate(5);  // rounds to 8
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a % 8, 0u);
+  EXPECT_EQ(b.free_blocks(), 56u);
+}
+
+TEST(BuddyTest, CoalescesBuddiesOnFree) {
+  BuddyAllocator b(64);
+  Result<BlockId> a1 = b.Allocate(8);
+  Result<BlockId> a2 = b.Allocate(8);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(b.Free(*a1, 8).ok());
+  ASSERT_TRUE(b.Free(*a2, 8).ok());
+  EXPECT_EQ(b.free_blocks(), 64u);
+  EXPECT_EQ(b.largest_free_run(), 64u);
+  // After full coalescing a max-size allocation succeeds again.
+  EXPECT_TRUE(b.Allocate(64).ok());
+}
+
+TEST(BuddyTest, DoubleFreeIsCorruption) {
+  BuddyAllocator b(64);
+  Result<BlockId> a = b.Allocate(64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.Free(*a, 64).ok());
+  EXPECT_EQ(b.Free(*a, 64).code(), StatusCode::kCorruption);
+}
+
+TEST(BuddyTest, MisalignedFreeRejected) {
+  BuddyAllocator b(64);
+  ASSERT_TRUE(b.Allocate(8).ok());
+  EXPECT_EQ(b.Free(3, 8).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuddyTest, OversizeRequestRejected) {
+  BuddyAllocator b(64);
+  EXPECT_EQ(b.Allocate(65).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(FactoryTest, MakesAllStrategies) {
+  for (const FreeSpaceStrategy s :
+       {FreeSpaceStrategy::kFirstFit, FreeSpaceStrategy::kBestFit,
+        FreeSpaceStrategy::kBuddy}) {
+    auto m = MakeFreeSpaceMap(s, 128);
+    ASSERT_NE(m, nullptr) << FreeSpaceStrategyName(s);
+    EXPECT_TRUE(m->Allocate(4).ok());
+  }
+}
+
+// Property test: random alloc/free against a reference bitmap; no
+// allocation may overlap a live one, and accounting must stay consistent.
+class FreeSpacePropertyTest
+    : public ::testing::TestWithParam<FreeSpaceStrategy> {};
+
+TEST_P(FreeSpacePropertyTest, RandomOpsNeverOverlap) {
+  auto m = MakeFreeSpaceMap(GetParam(), 1 << 12);
+  Rng rng(99);
+  std::vector<bool> live(m->capacity_blocks(), false);
+  struct Alloc {
+    BlockId start;
+    uint64_t len;
+  };
+  std::vector<Alloc> allocs;
+  for (int iter = 0; iter < 3000; ++iter) {
+    if (allocs.empty() || rng.Bernoulli(0.6)) {
+      const uint64_t len = 1 + rng.Uniform(32);
+      Result<BlockId> r = m->Allocate(len);
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+        continue;
+      }
+      // The buddy allocator hands out >= len; verify at least `len`
+      // non-live blocks starting at the returned address.
+      ASSERT_LE(*r + len, live.size());
+      for (uint64_t i = 0; i < len; ++i) {
+        ASSERT_FALSE(live[*r + i]) << "overlap at block " << *r + i;
+        live[*r + i] = true;
+      }
+      allocs.push_back({*r, len});
+    } else {
+      const size_t pick = rng.Uniform(allocs.size());
+      const Alloc a = allocs[pick];
+      allocs.erase(allocs.begin() + static_cast<ptrdiff_t>(pick));
+      ASSERT_TRUE(m->Free(a.start, a.len).ok());
+      for (uint64_t i = 0; i < a.len; ++i) live[a.start + i] = false;
+    }
+  }
+  // Free everything; the map must return to fully free.
+  for (const Alloc& a : allocs) ASSERT_TRUE(m->Free(a.start, a.len).ok());
+  EXPECT_EQ(m->free_blocks(), m->capacity_blocks());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, FreeSpacePropertyTest,
+                         ::testing::Values(FreeSpaceStrategy::kFirstFit,
+                                           FreeSpaceStrategy::kBestFit,
+                                           FreeSpaceStrategy::kBuddy));
+
+}  // namespace
+}  // namespace duplex::storage

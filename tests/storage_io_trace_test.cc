@@ -1,0 +1,115 @@
+#include "storage/io_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace duplex::storage {
+namespace {
+
+IoEvent LongWrite(uint32_t word, uint64_t postings, DiskId disk,
+                  BlockId block, uint64_t nblocks) {
+  return {IoOp::kWrite, IoTag::kLongList, word, postings, disk, block,
+          nblocks};
+}
+
+TEST(IoTraceTest, CountsOpsAndBlocks) {
+  IoTrace t;
+  t.Add(LongWrite(1, 100, 0, 10, 2));
+  t.Add({IoOp::kRead, IoTag::kLongList, 1, 100, 0, 10, 2});
+  t.Add({IoOp::kWrite, IoTag::kBucket, 0, 0, 1, 0, 8});
+  t.EndUpdate();
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_EQ(t.update_count(), 1u);
+  EXPECT_EQ(t.CountOps(IoOp::kWrite), 2u);
+  EXPECT_EQ(t.CountOps(IoOp::kRead), 1u);
+  EXPECT_EQ(t.CountBlocks(IoOp::kWrite), 10u);
+  EXPECT_EQ(t.CountBlocks(IoOp::kRead), 2u);
+}
+
+TEST(IoTraceTest, UpdateRanges) {
+  IoTrace t;
+  t.Add(LongWrite(1, 1, 0, 0, 1));
+  t.Add(LongWrite(2, 1, 0, 1, 1));
+  t.EndUpdate();
+  t.Add(LongWrite(3, 1, 0, 2, 1));
+  t.EndUpdate();
+  t.EndUpdate();  // empty update
+  ASSERT_EQ(t.update_count(), 3u);
+  const std::pair<size_t, size_t> r0(0, 2);
+  const std::pair<size_t, size_t> r1(2, 3);
+  const std::pair<size_t, size_t> r2(3, 3);
+  EXPECT_EQ(t.UpdateRange(0), r0);
+  EXPECT_EQ(t.UpdateRange(1), r1);
+  EXPECT_EQ(t.UpdateRange(2), r2);
+}
+
+TEST(IoTraceTest, TextFormatMatchesPaperShape) {
+  IoTrace t;
+  t.Add({IoOp::kWrite, IoTag::kBucket, 0, 0, 0, 0, 1667});
+  t.Add({IoOp::kWrite, IoTag::kDirectory, 0, 0, 3, 0, 1});
+  t.Add(LongWrite(120990, 3094, 0, 4878, 7));
+  t.EndUpdate();
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("write bucket disk 0 block 0 blocks 1667"),
+            std::string::npos);
+  EXPECT_NE(text.find("write directory disk 3 block 0 blocks 1"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "write long word 120990 postings 3094 disk 0 block 4878 "
+                "blocks 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("end-update"), std::string::npos);
+}
+
+TEST(IoTraceTest, TextRoundTrip) {
+  IoTrace t;
+  t.Add({IoOp::kWrite, IoTag::kBucket, 0, 0, 0, 0, 16});
+  t.Add(LongWrite(42, 12, 1, 100, 2));
+  t.Add({IoOp::kRead, IoTag::kLongList, 42, 12, 1, 100, 2});
+  t.EndUpdate();
+  t.Add(LongWrite(7, 1, 3, 0, 1));
+  t.EndUpdate();
+
+  Result<IoTrace> parsed = IoTrace::Parse(t.ToText());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->events(), t.events());
+  EXPECT_EQ(parsed->update_count(), t.update_count());
+  EXPECT_EQ(parsed->UpdateRange(1), t.UpdateRange(1));
+}
+
+TEST(IoTraceTest, ParseRejectsBadOp) {
+  Result<IoTrace> r = IoTrace::Parse("scribble long word 1 postings 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(IoTraceTest, ParseRejectsBadTag) {
+  Result<IoTrace> r =
+      IoTrace::Parse("write nonsense disk 0 block 0 blocks 1\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(IoTraceTest, ParseRejectsTruncatedLine) {
+  Result<IoTrace> r = IoTrace::Parse("write long word 1 postings 2 disk 0\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(IoTraceTest, ParseSkipsBlankLines) {
+  Result<IoTrace> r =
+      IoTrace::Parse("\nwrite bucket disk 0 block 0 blocks 1\n\nend-update\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->event_count(), 1u);
+  EXPECT_EQ(r->update_count(), 1u);
+}
+
+TEST(IoTraceTest, NamesAreStable) {
+  EXPECT_STREQ(IoOpName(IoOp::kRead), "read");
+  EXPECT_STREQ(IoOpName(IoOp::kWrite), "write");
+  EXPECT_STREQ(IoTagName(IoTag::kLongList), "long");
+  EXPECT_STREQ(IoTagName(IoTag::kBucket), "bucket");
+  EXPECT_STREQ(IoTagName(IoTag::kDirectory), "directory");
+}
+
+}  // namespace
+}  // namespace duplex::storage

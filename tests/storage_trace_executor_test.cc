@@ -1,0 +1,144 @@
+#include "storage/trace_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/io_trace.h"
+
+namespace duplex::storage {
+namespace {
+
+ExecutorOptions Opts(uint32_t disks = 2, uint64_t buffer = 8) {
+  ExecutorOptions o;
+  o.num_disks = disks;
+  o.buffer_blocks = buffer;
+  return o;
+}
+
+IoEvent Write(DiskId disk, BlockId block, uint64_t nblocks) {
+  return {IoOp::kWrite, IoTag::kLongList, 0, 0, disk, block, nblocks};
+}
+
+TEST(TraceExecutorTest, EmptyTrace) {
+  TraceExecutor exec(Opts());
+  IoTrace t;
+  const ExecutionResult r = exec.Execute(t);
+  EXPECT_EQ(r.total_seconds(), 0.0);
+  EXPECT_TRUE(r.update_seconds.empty());
+}
+
+TEST(TraceExecutorTest, CoalescesContiguousSameOpRequests) {
+  TraceExecutor exec(Opts(1, 16));
+  IoTrace t;
+  t.Add(Write(0, 0, 2));
+  t.Add(Write(0, 2, 2));
+  t.Add(Write(0, 4, 2));
+  t.EndUpdate();
+  const ExecutionResult r = exec.Execute(t);
+  EXPECT_EQ(r.trace_events, 3u);
+  EXPECT_EQ(r.issued_requests, 1u);  // one coalesced 6-block write
+  EXPECT_EQ(r.seeks, 1u);
+  EXPECT_EQ(r.blocks_transferred, 6u);
+}
+
+TEST(TraceExecutorTest, BufferCapLimitsCoalescing) {
+  TraceExecutor exec(Opts(1, 4));
+  IoTrace t;
+  for (int i = 0; i < 4; ++i) t.Add(Write(0, 2 * i, 2));
+  t.EndUpdate();
+  const ExecutionResult r = exec.Execute(t);
+  // 8 contiguous blocks with a 4-block buffer: two requests.
+  EXPECT_EQ(r.issued_requests, 2u);
+}
+
+TEST(TraceExecutorTest, NonContiguousNotCoalesced) {
+  TraceExecutor exec(Opts(1, 16));
+  IoTrace t;
+  t.Add(Write(0, 0, 2));
+  t.Add(Write(0, 10, 2));
+  t.EndUpdate();
+  const ExecutionResult r = exec.Execute(t);
+  EXPECT_EQ(r.issued_requests, 2u);
+  EXPECT_EQ(r.seeks, 2u);
+}
+
+TEST(TraceExecutorTest, ReadWriteBoundaryBreaksCoalescing) {
+  TraceExecutor exec(Opts(1, 16));
+  IoTrace t;
+  t.Add(Write(0, 0, 2));
+  t.Add({IoOp::kRead, IoTag::kLongList, 0, 0, 0, 2, 2});
+  t.EndUpdate();
+  EXPECT_EQ(exec.Execute(t).issued_requests, 2u);
+}
+
+TEST(TraceExecutorTest, CoalescingDisabled) {
+  ExecutorOptions o = Opts(1, 16);
+  o.coalesce = false;
+  TraceExecutor exec(o);
+  IoTrace t;
+  t.Add(Write(0, 0, 2));
+  t.Add(Write(0, 2, 2));
+  t.EndUpdate();
+  EXPECT_EQ(exec.Execute(t).issued_requests, 2u);
+}
+
+TEST(TraceExecutorTest, ElapsedIsMaxOverDisks) {
+  TraceExecutor exec(Opts(2, 1));
+  IoTrace t;
+  // Disk 0 gets two scattered requests, disk 1 one: disk 0 dominates.
+  t.Add(Write(0, 0, 1));
+  t.Add(Write(0, 100, 1));
+  t.Add(Write(1, 0, 1));
+  t.EndUpdate();
+  const ExecutionResult r = exec.Execute(t);
+  ASSERT_EQ(r.update_seconds.size(), 1u);
+  const DiskModelParams p;
+  const double req =
+      (p.avg_seek_ms + p.HalfRotationMs() + p.BlockTransferMs()) / 1e3;
+  EXPECT_NEAR(r.update_seconds[0], 2 * req, 1e-9);
+}
+
+TEST(TraceExecutorTest, CumulativeSumsUpdates) {
+  TraceExecutor exec(Opts(1, 1));
+  IoTrace t;
+  t.Add(Write(0, 0, 1));
+  t.EndUpdate();
+  t.Add(Write(0, 100, 1));
+  t.EndUpdate();
+  const ExecutionResult r = exec.Execute(t);
+  ASSERT_EQ(r.cumulative_seconds.size(), 2u);
+  EXPECT_NEAR(r.cumulative_seconds[1],
+              r.update_seconds[0] + r.update_seconds[1], 1e-12);
+  EXPECT_EQ(r.total_seconds(), r.cumulative_seconds[1]);
+}
+
+TEST(TraceExecutorTest, CoalescingNeverCrossesUpdateBoundary) {
+  TraceExecutor exec(Opts(1, 16));
+  IoTrace t;
+  t.Add(Write(0, 0, 2));
+  t.EndUpdate();
+  t.Add(Write(0, 2, 2));  // contiguous but in the next batch
+  t.EndUpdate();
+  const ExecutionResult r = exec.Execute(t);
+  EXPECT_EQ(r.issued_requests, 2u);
+  // Still sequential on disk though: only the first pays a seek.
+  EXPECT_EQ(r.seeks, 1u);
+}
+
+TEST(TraceExecutorTest, SequentialAppendsAreMuchCheaperThanScattered) {
+  TraceExecutor exec_seq(Opts(1, 128));
+  TraceExecutor exec_rand(Opts(1, 128));
+  IoTrace seq;
+  IoTrace rand;
+  for (int i = 0; i < 100; ++i) {
+    seq.Add(Write(0, static_cast<BlockId>(i), 1));
+    rand.Add(Write(0, static_cast<BlockId>(1000 * i), 1));
+  }
+  seq.EndUpdate();
+  rand.EndUpdate();
+  const double t_seq = exec_seq.Execute(seq).total_seconds();
+  const double t_rand = exec_rand.Execute(rand).total_seconds();
+  EXPECT_LT(t_seq * 5, t_rand);
+}
+
+}  // namespace
+}  // namespace duplex::storage

@@ -1,0 +1,122 @@
+#include "text/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace duplex::text {
+namespace {
+
+TEST(BatchUpdateTest, TotalsAndDistinct) {
+  BatchUpdate b;
+  b.pairs = {{1, 3}, {5, 2}, {9, 1}};
+  EXPECT_EQ(b.TotalPostings(), 6u);
+  EXPECT_EQ(b.DistinctWords(), 3u);
+}
+
+TEST(BatchUpdateTest, PrintMatchesPaperFigure5Format) {
+  BatchUpdate b;
+  b.pairs = {{120990, 3094}, {133816, 1117}};
+  std::ostringstream os;
+  b.Print(os);
+  EXPECT_EQ(os.str(), "120990 3094\n133816 1117\n0 0\n");
+}
+
+TEST(BatchUpdateTest, ParseRoundTrip) {
+  BatchUpdate b;
+  b.pairs = {{1, 10}, {2, 20}, {100, 5}};
+  std::ostringstream os;
+  b.Print(os);
+  Result<BatchUpdate> parsed = BatchUpdate::Parse(os.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->pairs, b.pairs);
+}
+
+TEST(BatchUpdateTest, ParseMissingTerminator) {
+  Result<BatchUpdate> r = BatchUpdate::Parse("1 10\n2 20\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BatchUpdateTest, ParseEmptyBatch) {
+  Result<BatchUpdate> r = BatchUpdate::Parse("0 0\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pairs.empty());
+}
+
+TEST(BatchUpdateTest, WordZeroWithCountIsNotTerminator) {
+  // Word id 0 is a valid word; only the exact pair "0 0" terminates.
+  Result<BatchUpdate> r = BatchUpdate::Parse("0 5\n3 1\n0 0\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pairs.size(), 2u);
+  EXPECT_EQ(r->pairs[0], (WordCount{0, 5}));
+}
+
+TEST(BatchInverterTest, EmptyAndWordlessDocumentsConsumeDocIds) {
+  Vocabulary vocabulary;
+  BatchInverter inverter(Tokenizer(), &vocabulary);
+  DocId next = 0;
+  const InvertedBatch batch = inverter.Invert({"", "...", "real"}, &next);
+  EXPECT_EQ(next, 3u);
+  ASSERT_EQ(batch.entries.size(), 1u);
+  EXPECT_EQ(batch.entries[0].docs, (std::vector<DocId>{2}));
+}
+
+TEST(InvertedBatchTest, ToBatchUpdateCollapsesDocLists) {
+  InvertedBatch b;
+  b.entries = {{3, {0, 1, 4}}, {7, {2}}};
+  const BatchUpdate u = b.ToBatchUpdate();
+  ASSERT_EQ(u.pairs.size(), 2u);
+  EXPECT_EQ(u.pairs[0], (WordCount{3, 3}));
+  EXPECT_EQ(u.pairs[1], (WordCount{7, 1}));
+  EXPECT_EQ(b.TotalPostings(), 4u);
+}
+
+TEST(BatchInverterTest, InvertsDocuments) {
+  Vocabulary vocabulary;
+  BatchInverter inverter(Tokenizer(), &vocabulary);
+  DocId next = 10;
+  const InvertedBatch batch = inverter.Invert(
+      {"the cat sat", "the dog", "cat and dog"}, &next);
+  EXPECT_EQ(next, 13u);
+
+  auto docs_for = [&](const std::string& word) -> std::vector<DocId> {
+    const WordId id = vocabulary.Lookup(word);
+    for (const auto& e : batch.entries) {
+      if (e.word == id) return e.docs;
+    }
+    return {};
+  };
+  EXPECT_EQ(docs_for("the"), (std::vector<DocId>{10, 11}));
+  EXPECT_EQ(docs_for("cat"), (std::vector<DocId>{10, 12}));
+  EXPECT_EQ(docs_for("dog"), (std::vector<DocId>{11, 12}));
+  EXPECT_EQ(docs_for("sat"), (std::vector<DocId>{10}));
+}
+
+TEST(BatchInverterTest, EntriesSortedByWordIdAndDocsAscending) {
+  Vocabulary vocabulary;
+  BatchInverter inverter(Tokenizer(), &vocabulary);
+  DocId next = 0;
+  const InvertedBatch batch =
+      inverter.Invert({"zebra apple", "apple", "zebra"}, &next);
+  for (size_t i = 1; i < batch.entries.size(); ++i) {
+    EXPECT_LT(batch.entries[i - 1].word, batch.entries[i].word);
+  }
+  for (const auto& e : batch.entries) {
+    for (size_t i = 1; i < e.docs.size(); ++i) {
+      EXPECT_LT(e.docs[i - 1], e.docs[i]);
+    }
+  }
+}
+
+TEST(BatchInverterTest, DuplicateWordsInDocYieldOnePosting) {
+  Vocabulary vocabulary;
+  BatchInverter inverter(Tokenizer(), &vocabulary);
+  DocId next = 0;
+  const InvertedBatch batch = inverter.Invert({"echo echo echo"}, &next);
+  ASSERT_EQ(batch.entries.size(), 1u);
+  EXPECT_EQ(batch.entries[0].docs, (std::vector<DocId>{0}));
+}
+
+}  // namespace
+}  // namespace duplex::text

@@ -1,0 +1,193 @@
+#include "text/corpus_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace duplex::text {
+namespace {
+
+CorpusOptions SmallCorpus() {
+  CorpusOptions o;
+  o.num_updates = 10;
+  o.docs_per_update = 50;
+  o.word_universe = 50000;
+  o.seed = 123;
+  return o;
+}
+
+TEST(CorpusGeneratorTest, DeterministicAcrossInstances) {
+  CorpusGenerator a(SmallCorpus());
+  CorpusGenerator b(SmallCorpus());
+  EXPECT_EQ(a.GenerateUpdate(3), b.GenerateUpdate(3));
+}
+
+TEST(CorpusGeneratorTest, UpdatesIndependentOfGenerationOrder) {
+  CorpusGenerator g(SmallCorpus());
+  const std::vector<SyntheticDoc> first = g.GenerateUpdate(5);
+  g.GenerateUpdate(0);
+  g.GenerateUpdate(9);
+  EXPECT_EQ(g.GenerateUpdate(5), first);
+}
+
+TEST(CorpusGeneratorTest, SeedChangesOutput) {
+  CorpusOptions o = SmallCorpus();
+  CorpusGenerator a(o);
+  o.seed = 124;
+  CorpusGenerator b(o);
+  EXPECT_NE(a.GenerateUpdate(0), b.GenerateUpdate(0));
+}
+
+TEST(CorpusGeneratorTest, DocsAreDedupedAndSorted) {
+  CorpusGenerator g(SmallCorpus());
+  for (const SyntheticDoc& doc : g.GenerateUpdate(0)) {
+    std::set<uint64_t> unique(doc.begin(), doc.end());
+    EXPECT_EQ(unique.size(), doc.size());
+    EXPECT_TRUE(std::is_sorted(doc.begin(), doc.end()));
+  }
+}
+
+TEST(CorpusGeneratorTest, DocLengthsWithinBounds) {
+  CorpusOptions o = SmallCorpus();
+  o.min_doc_words = 10;
+  o.max_doc_words = 40;
+  CorpusGenerator g(o);
+  for (const SyntheticDoc& doc : g.GenerateUpdate(1)) {
+    EXPECT_GE(doc.size(), 5u);  // allows the attempt-cap slack
+    EXPECT_LE(doc.size(), 40u);
+  }
+}
+
+TEST(CorpusGeneratorTest, WeeklyCycleShrinksSaturdays) {
+  CorpusOptions o = SmallCorpus();
+  o.num_updates = 21;
+  o.docs_per_update = 100;
+  o.weekend_factor = 0.4;
+  o.first_saturday = 2;
+  o.interrupted_update = -1;
+  CorpusGenerator g(o);
+  EXPECT_EQ(g.DocsInUpdate(2), 40u);
+  EXPECT_EQ(g.DocsInUpdate(9), 40u);
+  EXPECT_EQ(g.DocsInUpdate(16), 40u);
+  EXPECT_EQ(g.DocsInUpdate(3), 100u);
+  EXPECT_EQ(g.DocsInUpdate(0), 100u);
+}
+
+TEST(CorpusGeneratorTest, InterruptedUpdateIsTiny) {
+  CorpusOptions o = SmallCorpus();
+  o.interrupted_update = 4;
+  o.interrupted_factor = 0.05;
+  CorpusGenerator g(o);
+  EXPECT_LT(g.DocsInUpdate(4), g.DocsInUpdate(3) / 10);
+  EXPECT_GE(g.DocsInUpdate(4), 1u);
+}
+
+TEST(CorpusGeneratorTest, NewWordFractionDeclines) {
+  // Heaps-law behaviour: the share of previously-unseen words per update
+  // must fall substantially from the first to the last update.
+  CorpusOptions o = SmallCorpus();
+  o.num_updates = 12;
+  o.docs_per_update = 200;
+  CorpusGenerator g(o);
+  std::unordered_set<uint64_t> seen;
+  double first_frac = 0;
+  double last_frac = 0;
+  for (uint32_t u = 0; u < o.num_updates; ++u) {
+    std::set<uint64_t> update_words;
+    for (const SyntheticDoc& doc : g.GenerateUpdate(u)) {
+      update_words.insert(doc.begin(), doc.end());
+    }
+    uint64_t fresh = 0;
+    for (const uint64_t w : update_words) {
+      if (seen.insert(w).second) ++fresh;
+    }
+    const double frac =
+        static_cast<double>(fresh) / static_cast<double>(update_words.size());
+    if (u == 0) first_frac = frac;
+    if (u == o.num_updates - 1) last_frac = frac;
+  }
+  EXPECT_EQ(first_frac, 1.0);
+  EXPECT_LT(last_frac, 0.6);
+}
+
+TEST(CorpusGeneratorTest, FrequencySkewConcentratesPostings) {
+  CorpusOptions o = SmallCorpus();
+  o.num_updates = 6;
+  o.docs_per_update = 300;
+  CorpusGenerator g(o);
+  std::unordered_map<uint64_t, uint64_t> counts;
+  uint64_t total = 0;
+  for (uint32_t u = 0; u < o.num_updates; ++u) {
+    for (const SyntheticDoc& doc : g.GenerateUpdate(u)) {
+      for (const uint64_t w : doc) {
+        ++counts[w];
+        ++total;
+      }
+    }
+  }
+  std::vector<uint64_t> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [w, c] : counts) sorted.push_back(c);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  uint64_t head = 0;
+  const size_t top = sorted.size() / 50;  // top 2%
+  for (size_t i = 0; i < top; ++i) head += sorted[i];
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.5);
+}
+
+TEST(CorpusGeneratorTest, RenderedTextTokenizesBackToSameWordCount) {
+  CorpusGenerator g(SmallCorpus());
+  const std::vector<SyntheticDoc> docs = g.GenerateUpdate(0);
+  Tokenizer tokenizer;
+  const std::string text = CorpusGenerator::RenderDocumentText(docs[0]);
+  const std::vector<std::string> tokens = tokenizer.Tokenize(text);
+  EXPECT_EQ(tokens.size(), docs[0].size());
+}
+
+TEST(CorpusGeneratorTest, ToBatchUpdateCountsDocsPerWord) {
+  KeyVocabulary vocabulary;
+  const std::vector<SyntheticDoc> docs = {{10, 20}, {20, 30}, {20}};
+  const BatchUpdate batch =
+      CorpusGenerator::ToBatchUpdate(docs, &vocabulary);
+  EXPECT_EQ(batch.TotalPostings(), 5u);
+  // Word with key 20 appears in all 3 docs.
+  const WordId id20 = vocabulary.Lookup(20);
+  uint32_t count20 = 0;
+  for (const auto& p : batch.pairs) {
+    if (p.word == id20) count20 = p.count;
+  }
+  EXPECT_EQ(count20, 3u);
+  // Pairs sorted by word id.
+  for (size_t i = 1; i < batch.pairs.size(); ++i) {
+    EXPECT_LT(batch.pairs[i - 1].word, batch.pairs[i].word);
+  }
+}
+
+TEST(CorpusGeneratorTest, ToInvertedBatchAssignsSequentialDocIds) {
+  KeyVocabulary vocabulary;
+  DocId next = 100;
+  const std::vector<SyntheticDoc> docs = {{10, 20}, {20}};
+  const InvertedBatch batch =
+      CorpusGenerator::ToInvertedBatch(docs, &vocabulary, &next);
+  EXPECT_EQ(next, 102u);
+  const WordId id20 = vocabulary.Lookup(20);
+  for (const auto& e : batch.entries) {
+    if (e.word == id20) {
+      EXPECT_EQ(e.docs, (std::vector<DocId>{100, 101}));
+    }
+  }
+  EXPECT_EQ(batch.TotalPostings(), 3u);
+}
+
+TEST(CorpusGeneratorTest, EstimatedRawBytesScalesWithLength) {
+  SyntheticDoc small(10);
+  SyntheticDoc big(100);
+  EXPECT_LT(CorpusGenerator::EstimatedRawBytes(small),
+            CorpusGenerator::EstimatedRawBytes(big));
+}
+
+}  // namespace
+}  // namespace duplex::text

@@ -1,0 +1,109 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::text {
+namespace {
+
+TEST(TokenizerTest, PaperFigure4Example) {
+  // Paper Figure 4: the document fragment and its sorted token set.
+  const char* fragment =
+      "for years. And it was a total flop. in all the years it was "
+      "available\n"
+      "very few people ever took advantage of it so it was dropped.";
+  Tokenizer tokenizer;
+  const std::vector<std::string> expected = {
+      "a",    "advantage", "all",  "and", "available", "dropped", "ever",
+      "few",  "flop",      "for",  "in",  "it",        "of",      "people",
+      "so",   "the",       "took", "total", "very",    "was",     "years"};
+  EXPECT_EQ(tokenizer.Tokenize(fragment), expected);
+}
+
+TEST(TokenizerTest, LowercasesTokens) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Hello WORLD"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, DigitRunsAreTokens) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("abc123def"),
+            (std::vector<std::string>{"123", "abc", "def"}));
+}
+
+TEST(TokenizerTest, PunctuationIgnored) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("e-mail, (really)!"),
+            (std::vector<std::string>{"e", "mail", "really"}));
+}
+
+TEST(TokenizerTest, DuplicatesDropped) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("cat dog cat CAT dog"),
+            (std::vector<std::string>{"cat", "dog"}));
+}
+
+TEST(TokenizerTest, DateLinesIgnored) {
+  Tokenizer tokenizer;
+  const char* doc =
+      "Date: Thu Nov 18 1993\n"
+      "subject words here\n"
+      "Message-ID: abc123\n"
+      "body";
+  EXPECT_EQ(tokenizer.Tokenize(doc),
+            (std::vector<std::string>{"body", "here", "subject", "words"}));
+}
+
+TEST(TokenizerTest, EmptyDocument) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  ... !!!").empty());
+}
+
+TEST(TokenizerTest, NoDedupeKeepsDocumentOrder) {
+  TokenizerOptions options;
+  options.dedupe = false;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("b a b"),
+            (std::vector<std::string>{"b", "a", "b"}));
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("Ab aB"),
+            (std::vector<std::string>{"Ab", "aB"}));
+}
+
+TEST(TokenizerTest, MinTokenLengthFilters) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("a bb ccc dddd"),
+            (std::vector<std::string>{"ccc", "dddd"}));
+}
+
+TEST(TokenizerTest, CustomIgnoredHeaders) {
+  TokenizerOptions options;
+  options.ignored_headers = {"X-Secret:"};
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("X-Secret: hidden\nDate: visible words"),
+            (std::vector<std::string>{"date", "visible", "words"}));
+}
+
+TEST(TokenizerTest, LastLineWithoutNewline) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("first\nsecond"),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(TokenizerTest, MixedClassBoundaries) {
+  Tokenizer tokenizer;
+  // "12abc34" splits into digit run, letter run, digit run.
+  EXPECT_EQ(tokenizer.Tokenize("12abc34"),
+            (std::vector<std::string>{"12", "34", "abc"}));
+}
+
+}  // namespace
+}  // namespace duplex::text

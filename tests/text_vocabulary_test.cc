@@ -1,0 +1,63 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::text {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInFirstSeenOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("cat"), 0u);
+  EXPECT_EQ(v.GetOrAdd("dog"), 1u);
+  EXPECT_EQ(v.GetOrAdd("cat"), 0u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary v;
+  v.GetOrAdd("cat");
+  EXPECT_EQ(v.Lookup("dog"), kInvalidWord);
+  EXPECT_EQ(v.Lookup("cat"), 0u);
+  EXPECT_TRUE(v.Contains("cat"));
+  EXPECT_FALSE(v.Contains("dog"));
+}
+
+TEST(VocabularyTest, WordForRoundTrips) {
+  Vocabulary v;
+  const WordId id = v.GetOrAdd("mouse");
+  EXPECT_EQ(v.WordFor(id), "mouse");
+}
+
+TEST(VocabularyTest, ManyWords) {
+  Vocabulary v;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.GetOrAdd("w" + std::to_string(i)),
+              static_cast<WordId>(i));
+  }
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v.Lookup("w500"), 500u);
+  EXPECT_EQ(v.WordFor(999), "w999");
+}
+
+TEST(VocabularyDeathTest, WordForOutOfRangeChecks) {
+  Vocabulary v;
+  EXPECT_DEATH(v.WordFor(0), "CHECK failed");
+}
+
+TEST(KeyVocabularyTest, DenseIds) {
+  KeyVocabulary v;
+  EXPECT_EQ(v.GetOrAdd(0xdeadbeefULL), 0u);
+  EXPECT_EQ(v.GetOrAdd(0xfeedfaceULL), 1u);
+  EXPECT_EQ(v.GetOrAdd(0xdeadbeefULL), 0u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(KeyVocabularyTest, LookupMissing) {
+  KeyVocabulary v;
+  EXPECT_EQ(v.Lookup(42), kInvalidWord);
+  v.GetOrAdd(42);
+  EXPECT_EQ(v.Lookup(42), 0u);
+}
+
+}  // namespace
+}  // namespace duplex::text

@@ -1,0 +1,147 @@
+// Integration tests for the decoupled tools/ pipeline: the three
+// processes must interoperate through the paper's text formats exactly
+// like the in-process pipeline does.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "storage/io_trace.h"
+#include "text/batch.h"
+
+namespace duplex {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/duplex_tools_" + name;
+}
+
+int RunShell(const std::string& command) { return std::system(command.c_str()); }
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ToolsPipelineTest, GenerateBatchesEmitsParsableFigure5Format) {
+  const std::string out = TempPath("batches.txt");
+  ASSERT_EQ(RunShell(std::string(GENERATE_BATCHES_BIN) +
+                " --updates 3 --docs 50 --seed 7 > " + out + " 2>/dev/null"),
+            0);
+  // The stream is a concatenation of batch updates, each "0 0"-terminated;
+  // split and parse each.
+  const std::string text = ReadAll(out);
+  size_t pos = 0;
+  int batches = 0;
+  uint64_t postings = 0;
+  while (pos < text.size()) {
+    const size_t end = text.find("0 0\n", pos);
+    ASSERT_NE(end, std::string::npos) << "missing batch terminator";
+    Result<text::BatchUpdate> batch =
+        text::BatchUpdate::Parse(text.substr(pos, end + 4 - pos));
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    EXPECT_GT(batch->pairs.size(), 0u);
+    postings += batch->TotalPostings();
+    pos = end + 4;
+    ++batches;
+  }
+  EXPECT_EQ(batches, 3);
+  EXPECT_GT(postings, 1000u);
+  std::remove(out.c_str());
+}
+
+TEST(ToolsPipelineTest, FullPipelineProducesPerUpdateTimes) {
+  const std::string out = TempPath("times.txt");
+  const std::string cmd =
+      std::string(GENERATE_BATCHES_BIN) + " --updates 4 --docs 80 | " +
+      BUILD_TRACE_BIN +
+      " --style new --limit z --buckets 128 --bucket-size 256 | " +
+      EXERCISE_TRACE_BIN + " --disks 4 > " + out + " 2>/dev/null";
+  ASSERT_EQ(RunShell(cmd), 0);
+  std::ifstream in(out);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header, "update\tseconds\tcumulative");
+  int rows = 0;
+  uint64_t update;
+  double seconds;
+  double cumulative;
+  double prev_cumulative = 0;
+  while (in >> update >> seconds >> cumulative) {
+    EXPECT_EQ(update, static_cast<uint64_t>(rows));
+    EXPECT_GE(seconds, 0.0);
+    EXPECT_GE(cumulative, prev_cumulative);
+    prev_cumulative = cumulative;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+  std::remove(out.c_str());
+}
+
+TEST(ToolsPipelineTest, TraceOutputIsParsable) {
+  const std::string out = TempPath("trace.txt");
+  ASSERT_EQ(RunShell(std::string(GENERATE_BATCHES_BIN) +
+                " --updates 2 --docs 60 | " + BUILD_TRACE_BIN +
+                " --style fill --limit z --extent 4 --buckets 128 > " + out +
+                " 2>/dev/null"),
+            0);
+  Result<storage::IoTrace> trace = storage::IoTrace::Parse(ReadAll(out));
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(trace->update_count(), 2u);
+  EXPECT_GT(trace->event_count(), 2u);
+  std::remove(out.c_str());
+}
+
+TEST(ToolsPipelineTest, PolicyFlagChangesTrace) {
+  const std::string batches = TempPath("pol_batches.txt");
+  ASSERT_EQ(RunShell(std::string(GENERATE_BATCHES_BIN) +
+                " --updates 4 --docs 120 > " + batches + " 2>/dev/null"),
+            0);
+  auto trace_ops = [&](const std::string& policy_flags) -> uint64_t {
+    const std::string out = TempPath("pol_trace.txt");
+    EXPECT_EQ(RunShell(std::string(BUILD_TRACE_BIN) + " " + policy_flags +
+                  " --buckets 128 --bucket-size 256 < " + batches + " > " +
+                  out + " 2>/dev/null"),
+              0);
+    Result<storage::IoTrace> trace = storage::IoTrace::Parse(ReadAll(out));
+    EXPECT_TRUE(trace.ok());
+    std::remove(out.c_str());
+    return trace.ok() ? trace->event_count() : 0;
+  };
+  const uint64_t new0 = trace_ops("--style new --limit 0");
+  const uint64_t whole = trace_ops("--style whole --limit z");
+  EXPECT_LT(new0, whole);  // Figure 8 ordering holds across processes
+  std::remove(batches.c_str());
+}
+
+TEST(ToolsPipelineTest, BadFlagsRejected) {
+  EXPECT_NE(RunShell(std::string(BUILD_TRACE_BIN) +
+                " --style bogus --nonsense 1 < /dev/null > /dev/null "
+                "2>/dev/null"),
+            0);
+  EXPECT_NE(RunShell(std::string(EXERCISE_TRACE_BIN) +
+                " --model warp < /dev/null > /dev/null 2>/dev/null"),
+            0);
+}
+
+TEST(ToolsPipelineTest, DeterministicForSameSeed) {
+  const std::string a = TempPath("det_a.txt");
+  const std::string b = TempPath("det_b.txt");
+  for (const std::string& out : {a, b}) {
+    ASSERT_EQ(RunShell(std::string(GENERATE_BATCHES_BIN) +
+                  " --updates 2 --docs 40 --seed 99 > " + out +
+                  " 2>/dev/null"),
+              0);
+  }
+  EXPECT_EQ(ReadAll(a), ReadAll(b));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+}  // namespace
+}  // namespace duplex

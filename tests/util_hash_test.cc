@@ -1,0 +1,40 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace duplex {
+namespace {
+
+TEST(Fnv1a64Test, KnownVector) {
+  // FNV-1a 64 of "a" is a published constant.
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);  // offset basis
+}
+
+TEST(Fnv1a64Test, DifferentInputsDiffer) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(Fnv1a64("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Fnv1a64Test, SeedChaining) {
+  const std::string a = "hello";
+  const std::string b = "world";
+  // Chained hashing equals hashing the concatenation.
+  const uint64_t chained =
+      Fnv1a64(b.data(), b.size(), Fnv1a64(a.data(), a.size()));
+  EXPECT_EQ(chained, Fnv1a64("helloworld"));
+}
+
+TEST(Fnv1a64Test, BinaryDataSupported) {
+  const uint8_t bytes[4] = {0x00, 0xff, 0x00, 0x80};
+  EXPECT_NE(Fnv1a64(bytes, 4), Fnv1a64(bytes, 3));
+}
+
+}  // namespace
+}  // namespace duplex

@@ -1,0 +1,100 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Mean(), 5.0);
+  EXPECT_EQ(h.Median(), 5.0);
+  EXPECT_EQ(h.min(), 5.0);
+  EXPECT_EQ(h.max(), 5.0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.Median(), 50.5, 0.51);
+  EXPECT_NEAR(h.Percentile(99), 99.0, 1.1);
+  EXPECT_NEAR(h.StdDev(), 28.87, 0.1);
+}
+
+TEST(HistogramTest, PercentileClamping) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  EXPECT_EQ(h.Percentile(-5), 1.0);
+  EXPECT_EQ(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(100), 3.0);
+  EXPECT_EQ(h.Percentile(150), 3.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Add(0);
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 2.5);
+}
+
+TEST(HistogramTest, AddAfterPercentileStillCorrect) {
+  Histogram h;
+  h.Add(3);
+  h.Add(1);
+  EXPECT_EQ(h.min(), 1.0);
+  h.Add(0.5);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 3.0);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a;
+  Histogram b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(3);
+  b.Add(4);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.5);
+  EXPECT_EQ(a.max(), 4.0);
+}
+
+TEST(HistogramTest, Clear) {
+  Histogram h;
+  h.Add(1);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  h.Add(7);
+  EXPECT_DOUBLE_EQ(h.Mean(), 7.0);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace duplex

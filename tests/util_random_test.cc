@@ -1,0 +1,154 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace duplex {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformBoundOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(5);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.Uniform(10)];
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 expected each
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.NextLogNormal(std::log(80.0), 0.6), 0.0);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(1);
+  ZipfDistribution zipf(1000, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysOne) {
+  Rng rng(1);
+  ZipfDistribution zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  Rng rng(2);
+  ZipfDistribution zipf(10000, 1.2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Sample(rng)];
+  int max_count = 0;
+  uint64_t max_rank = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 1u);
+}
+
+// Parameterized property: the empirical frequency ratio between ranks 1
+// and 2 approximates 2^s.
+class ZipfRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfRatioTest, HeadRatioMatchesExponent) {
+  const double s = GetParam();
+  Rng rng(42);
+  ZipfDistribution zipf(100000, s);
+  int c1 = 0;
+  int c2 = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    if (k == 1) ++c1;
+    if (k == 2) ++c2;
+  }
+  ASSERT_GT(c2, 0);
+  const double ratio = static_cast<double>(c1) / c2;
+  EXPECT_NEAR(ratio, std::pow(2.0, s), 0.35 * std::pow(2.0, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfRatioTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5, 2.0));
+
+// Parameterized property: the head concentration increases with s.
+class ZipfConcentrationTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ZipfConcentrationTest, Top1PercentShare) {
+  const auto [s, min_share] = GetParam();
+  Rng rng(7);
+  ZipfDistribution zipf(100000, s);
+  const int n = 200000;
+  int head = 0;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) <= 1000) ++head;  // top 1% of ranks
+  }
+  EXPECT_GT(static_cast<double>(head) / n, min_share);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shares, ZipfConcentrationTest,
+    ::testing::Values(std::make_pair(1.0, 0.4), std::make_pair(1.2, 0.6),
+                      std::make_pair(1.5, 0.85)));
+
+}  // namespace
+}  // namespace duplex

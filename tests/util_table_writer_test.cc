@@ -1,0 +1,67 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace duplex {
+namespace {
+
+TEST(TableWriterTest, AsciiAlignsColumns) {
+  TableWriter t({"name", "value"});
+  t.Row().Cell("alpha").Cell(uint64_t{42});
+  t.Row().Cell("b").Cell(uint64_t{7});
+  std::ostringstream os;
+  t.PrintAscii(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvFormat) {
+  TableWriter t({"a", "b"});
+  t.Row().Cell(1).Cell(2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, DoublePrecision) {
+  TableWriter t({"x"});
+  t.Row().Cell(3.14159, 2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x\n3.14\n");
+}
+
+TEST(TableWriterTest, RowCount) {
+  TableWriter t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.Row().Cell(1);
+  t.Row().Cell(2);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableWriterTest, PartialRowPrintsEmptyCells) {
+  TableWriter t({"a", "b"});
+  t.Row().Cell("only");
+  std::ostringstream os;
+  t.PrintAscii(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TableWriterDeathTest, TooManyCellsInRowChecks) {
+  TableWriter t({"a"});
+  t.Row().Cell(1);
+  EXPECT_DEATH(t.Cell(2), "CHECK failed");
+}
+
+TEST(TableWriterDeathTest, CellWithoutRowChecks) {
+  TableWriter t({"a"});
+  EXPECT_DEATH(t.Cell(1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace duplex

@@ -1,0 +1,116 @@
+// Stages 3+4 of the paper's Figure 3 pipeline as a standalone process:
+// read batch updates (Figure 5 format) from stdin, run the dual-structure
+// index under the given policy, and emit the I/O trace (Figure 6 format)
+// on stdout. Pipe into exercise_trace.
+//
+//   generate_batches | build_trace --style new --limit z --alloc prop
+//       --k 1.2 > trace.txt   (one line)
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "core/inverted_index.h"
+#include "sim/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace duplex;
+  core::Policy policy = core::Policy::NewZ();
+  sim::SimConfig config;
+  std::string style = "new";
+  std::string limit = "z";
+  std::string alloc = "const";
+  double k = 0.0;
+  uint32_t extent = 4;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    const char* value = argv[i + 1];
+    if (std::strcmp(flag, "--style") == 0) {
+      style = value;
+    } else if (std::strcmp(flag, "--limit") == 0) {
+      limit = value;
+    } else if (std::strcmp(flag, "--alloc") == 0) {
+      alloc = value;
+    } else if (std::strcmp(flag, "--k") == 0) {
+      k = atof(value);
+    } else if (std::strcmp(flag, "--extent") == 0) {
+      extent = static_cast<uint32_t>(atoi(value));
+    } else if (std::strcmp(flag, "--buckets") == 0) {
+      config.num_buckets = static_cast<uint32_t>(atoi(value));
+    } else if (std::strcmp(flag, "--bucket-size") == 0) {
+      config.bucket_capacity = static_cast<uint64_t>(atoll(value));
+    } else if (std::strcmp(flag, "--disks") == 0) {
+      config.num_disks = static_cast<uint32_t>(atoi(value));
+    } else if (std::strcmp(flag, "--block-postings") == 0) {
+      config.block_postings = static_cast<uint64_t>(atoll(value));
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  if (style == "fill") {
+    policy.style = core::Style::kFill;
+  } else if (style == "whole") {
+    policy.style = core::Style::kWhole;
+  } else if (style == "new") {
+    policy.style = core::Style::kNew;
+  } else {
+    std::cerr << "unknown style '" << style << "' (new|fill|whole)\n";
+    return 2;
+  }
+  if (limit != "0" && limit != "z") {
+    std::cerr << "unknown limit '" << limit << "' (0|z)\n";
+    return 2;
+  }
+  policy.in_place = limit == "z";
+  policy.extent_blocks = extent;
+  if (policy.in_place && k > 0.0) {
+    policy.alloc = alloc == std::string("block") ? core::AllocStrategy::kBlock
+                   : alloc == std::string("prop")
+                       ? core::AllocStrategy::kProportional
+                   : alloc == std::string("exp")
+                       ? core::AllocStrategy::kExponential
+                       : core::AllocStrategy::kConstant;
+    policy.k = k;
+  }
+  if (Status s = policy.Validate(); !s.ok()) {
+    std::cerr << "bad policy: " << s << "\n";
+    return 2;
+  }
+  std::cerr << "policy: " << policy.Name() << "\n";
+
+  core::InvertedIndex index(config.ToIndexOptions(policy));
+  // Read "word count" lines; "0 0" terminates a batch.
+  std::string line;
+  text::BatchUpdate batch;
+  uint64_t batches = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    uint64_t word = 0;
+    uint64_t count = 0;
+    if (!(ls >> word >> count)) {
+      std::cerr << "malformed line: " << line << "\n";
+      return 1;
+    }
+    if (word == 0 && count == 0) {
+      if (Status s = index.ApplyBatchUpdate(batch); !s.ok()) {
+        std::cerr << "apply failed: " << s << "\n";
+        return 1;
+      }
+      batch.pairs.clear();
+      ++batches;
+      continue;
+    }
+    batch.pairs.push_back(
+        {static_cast<WordId>(word), static_cast<uint32_t>(count)});
+  }
+  index.trace().Print(std::cout);
+  const core::IndexStats stats = index.Stats();
+  std::cerr << "applied " << batches << " updates: "
+            << stats.total_postings << " postings, " << stats.long_words
+            << " long words, " << stats.io_ops
+            << " I/O events, utilization " << stats.long_utilization
+            << ", reads/list " << stats.avg_reads_per_list << "\n";
+  return 0;
+}

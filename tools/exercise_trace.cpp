@@ -1,0 +1,64 @@
+// Stage 5 of the paper's Figure 3 pipeline as a standalone process: read
+// an I/O trace (Figure 6 format) from stdin and replay it through the
+// disk service-time model, printing per-update and cumulative times.
+//
+//   generate_batches | build_trace --style whole | exercise_trace --disks 4
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "storage/io_trace.h"
+#include "storage/trace_executor.h"
+
+int main(int argc, char** argv) {
+  using namespace duplex;
+  storage::ExecutorOptions options;
+  std::string model = "seagate1993";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    const char* value = argv[i + 1];
+    if (std::strcmp(flag, "--disks") == 0) {
+      options.num_disks = static_cast<uint32_t>(atoi(value));
+    } else if (std::strcmp(flag, "--buffer-blocks") == 0) {
+      options.buffer_blocks = static_cast<uint64_t>(atoll(value));
+    } else if (std::strcmp(flag, "--model") == 0) {
+      model = value;
+    } else if (std::strcmp(flag, "--coalesce") == 0) {
+      options.coalesce = std::strcmp(value, "off") != 0;
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  if (model == "fast") {
+    options.disk = storage::DiskModelParams::FastDisk();
+  } else if (model == "optical") {
+    options.disk = storage::DiskModelParams::OpticalDisk();
+  } else if (model != "seagate1993") {
+    std::cerr << "unknown disk model " << model
+              << " (seagate1993|fast|optical)\n";
+    return 2;
+  }
+
+  std::stringstream buffer;
+  buffer << std::cin.rdbuf();
+  Result<storage::IoTrace> trace = storage::IoTrace::Parse(buffer.str());
+  if (!trace.ok()) {
+    std::cerr << "bad trace: " << trace.status() << "\n";
+    return 1;
+  }
+  storage::TraceExecutor executor(options);
+  const storage::ExecutionResult result = executor.Execute(*trace);
+  std::cout << "update\tseconds\tcumulative\n";
+  for (size_t u = 0; u < result.update_seconds.size(); ++u) {
+    std::cout << u << "\t" << result.update_seconds[u] << "\t"
+              << result.cumulative_seconds[u] << "\n";
+  }
+  std::cerr << "total " << result.total_seconds() << " s; "
+            << result.trace_events << " events -> "
+            << result.issued_requests << " requests, " << result.seeks
+            << " seeks, " << result.blocks_transferred
+            << " blocks transferred\n";
+  return 0;
+}

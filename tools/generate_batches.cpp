@@ -1,0 +1,51 @@
+// Stage 1+2 of the paper's Figure 3 pipeline as a standalone process:
+// generate the synthetic News stream and emit its batch updates in the
+// paper's Figure 5 text format (word-count pairs, each batch terminated
+// by "0 0") on stdout. Pipe into build_trace.
+//
+//   generate_batches --updates 20 --docs 800 --seed 42 > batches.txt
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "text/corpus_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace duplex;
+  text::CorpusOptions corpus;
+  corpus.num_updates = 20;
+  corpus.docs_per_update = 800;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    const char* value = argv[i + 1];
+    if (std::strcmp(flag, "--updates") == 0) {
+      corpus.num_updates = static_cast<uint32_t>(atoi(value));
+    } else if (std::strcmp(flag, "--docs") == 0) {
+      corpus.docs_per_update = static_cast<uint32_t>(atoi(value));
+    } else if (std::strcmp(flag, "--seed") == 0) {
+      corpus.seed = static_cast<uint64_t>(atoll(value));
+    } else if (std::strcmp(flag, "--zipf") == 0) {
+      corpus.zipf_s = atof(value);
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  if (corpus.interrupted_update >=
+      static_cast<int32_t>(corpus.num_updates)) {
+    corpus.interrupted_update = -1;
+  }
+  text::CorpusGenerator generator(corpus);
+  text::KeyVocabulary vocabulary;
+  uint64_t postings = 0;
+  for (uint32_t u = 0; u < corpus.num_updates; ++u) {
+    const text::BatchUpdate batch = text::CorpusGenerator::ToBatchUpdate(
+        generator.GenerateUpdate(u), &vocabulary);
+    batch.Print(std::cout);
+    postings += batch.TotalPostings();
+  }
+  std::cerr << "generated " << corpus.num_updates << " batch updates, "
+            << postings << " postings, " << vocabulary.size()
+            << " distinct words\n";
+  return 0;
+}
