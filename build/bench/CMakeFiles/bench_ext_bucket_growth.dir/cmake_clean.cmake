@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bucket_growth.dir/bench_ext_bucket_growth.cc.o"
+  "CMakeFiles/bench_ext_bucket_growth.dir/bench_ext_bucket_growth.cc.o.d"
+  "bench_ext_bucket_growth"
+  "bench_ext_bucket_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bucket_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bucket_tuning.dir/bench_ext_bucket_tuning.cc.o"
+  "CMakeFiles/bench_ext_bucket_tuning.dir/bench_ext_bucket_tuning.cc.o.d"
+  "bench_ext_bucket_tuning"
+  "bench_ext_bucket_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bucket_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_12_proportional_k.dir/bench_fig11_12_proportional_k.cc.o"
+  "CMakeFiles/bench_fig11_12_proportional_k.dir/bench_fig11_12_proportional_k.cc.o.d"
+  "bench_fig11_12_proportional_k"
+  "bench_fig11_12_proportional_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_12_proportional_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

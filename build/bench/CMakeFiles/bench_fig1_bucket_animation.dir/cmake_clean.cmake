@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_bucket_animation.dir/bench_fig1_bucket_animation.cc.o"
+  "CMakeFiles/bench_fig1_bucket_animation.dir/bench_fig1_bucket_animation.cc.o.d"
+  "bench_fig1_bucket_animation"
+  "bench_fig1_bucket_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_bucket_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_word_categories.dir/bench_fig7_word_categories.cc.o"
+  "CMakeFiles/bench_fig7_word_categories.dir/bench_fig7_word_categories.cc.o.d"
+  "bench_fig7_word_categories"
+  "bench_fig7_word_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_word_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

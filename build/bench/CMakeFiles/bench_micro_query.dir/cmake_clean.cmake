@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_query.dir/bench_micro_query.cc.o"
+  "CMakeFiles/bench_micro_query.dir/bench_micro_query.cc.o.d"
+  "bench_micro_query"
+  "bench_micro_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_recommendation.dir/bench_policy_recommendation.cc.o"
+  "CMakeFiles/bench_policy_recommendation.dir/bench_policy_recommendation.cc.o.d"
+  "bench_policy_recommendation"
+  "bench_policy_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebuild_baseline.dir/bench_rebuild_baseline.cc.o"
+  "CMakeFiles/bench_rebuild_baseline.dir/bench_rebuild_baseline.cc.o.d"
+  "bench_rebuild_baseline"
+  "bench_rebuild_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebuild_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

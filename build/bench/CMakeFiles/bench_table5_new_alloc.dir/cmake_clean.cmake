@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_new_alloc.dir/bench_table5_new_alloc.cc.o"
+  "CMakeFiles/bench_table5_new_alloc.dir/bench_table5_new_alloc.cc.o.d"
+  "bench_table5_new_alloc"
+  "bench_table5_new_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_new_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_whole_alloc.dir/bench_table6_whole_alloc.cc.o"
+  "CMakeFiles/bench_table6_whole_alloc.dir/bench_table6_whole_alloc.cc.o.d"
+  "bench_table6_whole_alloc"
+  "bench_table6_whole_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_whole_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplexctl.dir/duplexctl.cpp.o"
+  "CMakeFiles/duplexctl.dir/duplexctl.cpp.o.d"
+  "duplexctl"
+  "duplexctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplexctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

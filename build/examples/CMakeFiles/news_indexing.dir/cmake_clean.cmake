@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_indexing.dir/news_indexing.cpp.o"
+  "CMakeFiles/news_indexing.dir/news_indexing.cpp.o.d"
+  "news_indexing"
+  "news_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

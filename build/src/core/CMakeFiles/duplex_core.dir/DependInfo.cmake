@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_log.cc" "src/core/CMakeFiles/duplex_core.dir/batch_log.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/batch_log.cc.o.d"
+  "/root/repo/src/core/bucket.cc" "src/core/CMakeFiles/duplex_core.dir/bucket.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/bucket.cc.o.d"
+  "/root/repo/src/core/bucket_store.cc" "src/core/CMakeFiles/duplex_core.dir/bucket_store.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/bucket_store.cc.o.d"
+  "/root/repo/src/core/codec_family.cc" "src/core/CMakeFiles/duplex_core.dir/codec_family.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/codec_family.cc.o.d"
+  "/root/repo/src/core/directory.cc" "src/core/CMakeFiles/duplex_core.dir/directory.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/directory.cc.o.d"
+  "/root/repo/src/core/inverted_index.cc" "src/core/CMakeFiles/duplex_core.dir/inverted_index.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/inverted_index.cc.o.d"
+  "/root/repo/src/core/long_list_store.cc" "src/core/CMakeFiles/duplex_core.dir/long_list_store.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/long_list_store.cc.o.d"
+  "/root/repo/src/core/memory_index.cc" "src/core/CMakeFiles/duplex_core.dir/memory_index.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/memory_index.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/duplex_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/posting.cc" "src/core/CMakeFiles/duplex_core.dir/posting.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/posting.cc.o.d"
+  "/root/repo/src/core/posting_codec.cc" "src/core/CMakeFiles/duplex_core.dir/posting_codec.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/posting_codec.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/duplex_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/duplex_core.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/duplex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/duplex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/duplex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

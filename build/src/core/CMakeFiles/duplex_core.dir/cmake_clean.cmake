@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_core.dir/batch_log.cc.o"
+  "CMakeFiles/duplex_core.dir/batch_log.cc.o.d"
+  "CMakeFiles/duplex_core.dir/bucket.cc.o"
+  "CMakeFiles/duplex_core.dir/bucket.cc.o.d"
+  "CMakeFiles/duplex_core.dir/bucket_store.cc.o"
+  "CMakeFiles/duplex_core.dir/bucket_store.cc.o.d"
+  "CMakeFiles/duplex_core.dir/codec_family.cc.o"
+  "CMakeFiles/duplex_core.dir/codec_family.cc.o.d"
+  "CMakeFiles/duplex_core.dir/directory.cc.o"
+  "CMakeFiles/duplex_core.dir/directory.cc.o.d"
+  "CMakeFiles/duplex_core.dir/inverted_index.cc.o"
+  "CMakeFiles/duplex_core.dir/inverted_index.cc.o.d"
+  "CMakeFiles/duplex_core.dir/long_list_store.cc.o"
+  "CMakeFiles/duplex_core.dir/long_list_store.cc.o.d"
+  "CMakeFiles/duplex_core.dir/memory_index.cc.o"
+  "CMakeFiles/duplex_core.dir/memory_index.cc.o.d"
+  "CMakeFiles/duplex_core.dir/policy.cc.o"
+  "CMakeFiles/duplex_core.dir/policy.cc.o.d"
+  "CMakeFiles/duplex_core.dir/posting.cc.o"
+  "CMakeFiles/duplex_core.dir/posting.cc.o.d"
+  "CMakeFiles/duplex_core.dir/posting_codec.cc.o"
+  "CMakeFiles/duplex_core.dir/posting_codec.cc.o.d"
+  "CMakeFiles/duplex_core.dir/snapshot.cc.o"
+  "CMakeFiles/duplex_core.dir/snapshot.cc.o.d"
+  "libduplex_core.a"
+  "libduplex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

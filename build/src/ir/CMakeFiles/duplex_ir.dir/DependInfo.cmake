@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/boolean_query.cc" "src/ir/CMakeFiles/duplex_ir.dir/boolean_query.cc.o" "gcc" "src/ir/CMakeFiles/duplex_ir.dir/boolean_query.cc.o.d"
+  "/root/repo/src/ir/query_eval.cc" "src/ir/CMakeFiles/duplex_ir.dir/query_eval.cc.o" "gcc" "src/ir/CMakeFiles/duplex_ir.dir/query_eval.cc.o.d"
+  "/root/repo/src/ir/query_workload.cc" "src/ir/CMakeFiles/duplex_ir.dir/query_workload.cc.o" "gcc" "src/ir/CMakeFiles/duplex_ir.dir/query_workload.cc.o.d"
+  "/root/repo/src/ir/read_latency.cc" "src/ir/CMakeFiles/duplex_ir.dir/read_latency.cc.o" "gcc" "src/ir/CMakeFiles/duplex_ir.dir/read_latency.cc.o.d"
+  "/root/repo/src/ir/vector_query.cc" "src/ir/CMakeFiles/duplex_ir.dir/vector_query.cc.o" "gcc" "src/ir/CMakeFiles/duplex_ir.dir/vector_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/duplex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/duplex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/duplex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/duplex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

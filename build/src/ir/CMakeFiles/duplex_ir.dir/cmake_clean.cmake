@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_ir.dir/boolean_query.cc.o"
+  "CMakeFiles/duplex_ir.dir/boolean_query.cc.o.d"
+  "CMakeFiles/duplex_ir.dir/query_eval.cc.o"
+  "CMakeFiles/duplex_ir.dir/query_eval.cc.o.d"
+  "CMakeFiles/duplex_ir.dir/query_workload.cc.o"
+  "CMakeFiles/duplex_ir.dir/query_workload.cc.o.d"
+  "CMakeFiles/duplex_ir.dir/read_latency.cc.o"
+  "CMakeFiles/duplex_ir.dir/read_latency.cc.o.d"
+  "CMakeFiles/duplex_ir.dir/vector_query.cc.o"
+  "CMakeFiles/duplex_ir.dir/vector_query.cc.o.d"
+  "libduplex_ir.a"
+  "libduplex_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_sim.dir/pipeline.cc.o"
+  "CMakeFiles/duplex_sim.dir/pipeline.cc.o.d"
+  "libduplex_sim.a"
+  "libduplex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

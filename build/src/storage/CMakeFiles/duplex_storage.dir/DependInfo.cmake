@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/duplex_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/duplex_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/disk_array.cc" "src/storage/CMakeFiles/duplex_storage.dir/disk_array.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/disk_array.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/storage/CMakeFiles/duplex_storage.dir/disk_model.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/disk_model.cc.o.d"
+  "/root/repo/src/storage/file_block_device.cc" "src/storage/CMakeFiles/duplex_storage.dir/file_block_device.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/file_block_device.cc.o.d"
+  "/root/repo/src/storage/free_space.cc" "src/storage/CMakeFiles/duplex_storage.dir/free_space.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/free_space.cc.o.d"
+  "/root/repo/src/storage/io_trace.cc" "src/storage/CMakeFiles/duplex_storage.dir/io_trace.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/io_trace.cc.o.d"
+  "/root/repo/src/storage/trace_executor.cc" "src/storage/CMakeFiles/duplex_storage.dir/trace_executor.cc.o" "gcc" "src/storage/CMakeFiles/duplex_storage.dir/trace_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/duplex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

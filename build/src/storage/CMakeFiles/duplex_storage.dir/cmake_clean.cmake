@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_storage.dir/block_device.cc.o"
+  "CMakeFiles/duplex_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/duplex_storage.dir/btree.cc.o"
+  "CMakeFiles/duplex_storage.dir/btree.cc.o.d"
+  "CMakeFiles/duplex_storage.dir/disk_array.cc.o"
+  "CMakeFiles/duplex_storage.dir/disk_array.cc.o.d"
+  "CMakeFiles/duplex_storage.dir/disk_model.cc.o"
+  "CMakeFiles/duplex_storage.dir/disk_model.cc.o.d"
+  "CMakeFiles/duplex_storage.dir/file_block_device.cc.o"
+  "CMakeFiles/duplex_storage.dir/file_block_device.cc.o.d"
+  "CMakeFiles/duplex_storage.dir/free_space.cc.o"
+  "CMakeFiles/duplex_storage.dir/free_space.cc.o.d"
+  "CMakeFiles/duplex_storage.dir/io_trace.cc.o"
+  "CMakeFiles/duplex_storage.dir/io_trace.cc.o.d"
+  "CMakeFiles/duplex_storage.dir/trace_executor.cc.o"
+  "CMakeFiles/duplex_storage.dir/trace_executor.cc.o.d"
+  "libduplex_storage.a"
+  "libduplex_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

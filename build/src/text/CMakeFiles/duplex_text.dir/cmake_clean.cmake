@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_text.dir/batch.cc.o"
+  "CMakeFiles/duplex_text.dir/batch.cc.o.d"
+  "CMakeFiles/duplex_text.dir/corpus_generator.cc.o"
+  "CMakeFiles/duplex_text.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/duplex_text.dir/tokenizer.cc.o"
+  "CMakeFiles/duplex_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/duplex_text.dir/vocabulary.cc.o"
+  "CMakeFiles/duplex_text.dir/vocabulary.cc.o.d"
+  "libduplex_text.a"
+  "libduplex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

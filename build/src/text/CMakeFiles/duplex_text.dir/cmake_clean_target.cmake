@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libduplex_text.a"
+)

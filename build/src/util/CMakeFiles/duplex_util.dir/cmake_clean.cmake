@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_util.dir/histogram.cc.o"
+  "CMakeFiles/duplex_util.dir/histogram.cc.o.d"
+  "CMakeFiles/duplex_util.dir/random.cc.o"
+  "CMakeFiles/duplex_util.dir/random.cc.o.d"
+  "CMakeFiles/duplex_util.dir/status.cc.o"
+  "CMakeFiles/duplex_util.dir/status.cc.o.d"
+  "CMakeFiles/duplex_util.dir/table_writer.cc.o"
+  "CMakeFiles/duplex_util.dir/table_writer.cc.o.d"
+  "libduplex_util.a"
+  "libduplex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bucket_test.dir/core_bucket_test.cc.o"
+  "CMakeFiles/core_bucket_test.dir/core_bucket_test.cc.o.d"
+  "core_bucket_test"
+  "core_bucket_test.pdb"
+  "core_bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_posting_test.dir/core_posting_test.cc.o"
+  "CMakeFiles/core_posting_test.dir/core_posting_test.cc.o.d"
+  "core_posting_test"
+  "core_posting_test.pdb"
+  "core_posting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_posting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplexctl_cli_test.dir/duplexctl_cli_test.cc.o"
+  "CMakeFiles/duplexctl_cli_test.dir/duplexctl_cli_test.cc.o.d"
+  "duplexctl_cli_test"
+  "duplexctl_cli_test.pdb"
+  "duplexctl_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplexctl_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_boolean_query_test.dir/ir_boolean_query_test.cc.o"
+  "CMakeFiles/ir_boolean_query_test.dir/ir_boolean_query_test.cc.o.d"
+  "ir_boolean_query_test"
+  "ir_boolean_query_test.pdb"
+  "ir_boolean_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_boolean_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir_query_workload_test.cc" "tests/CMakeFiles/ir_query_workload_test.dir/ir_query_workload_test.cc.o" "gcc" "tests/CMakeFiles/ir_query_workload_test.dir/ir_query_workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/duplex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/duplex_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/duplex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/duplex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/duplex_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/duplex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

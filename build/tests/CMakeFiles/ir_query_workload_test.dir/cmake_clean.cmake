@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_query_workload_test.dir/ir_query_workload_test.cc.o"
+  "CMakeFiles/ir_query_workload_test.dir/ir_query_workload_test.cc.o.d"
+  "ir_query_workload_test"
+  "ir_query_workload_test.pdb"
+  "ir_query_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_query_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_read_latency_test.dir/ir_read_latency_test.cc.o"
+  "CMakeFiles/ir_read_latency_test.dir/ir_read_latency_test.cc.o.d"
+  "ir_read_latency_test"
+  "ir_read_latency_test.pdb"
+  "ir_read_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_read_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_btree_test.dir/storage_btree_test.cc.o"
+  "CMakeFiles/storage_btree_test.dir/storage_btree_test.cc.o.d"
+  "storage_btree_test"
+  "storage_btree_test.pdb"
+  "storage_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

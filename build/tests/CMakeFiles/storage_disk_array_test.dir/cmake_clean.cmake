@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_disk_array_test.dir/storage_disk_array_test.cc.o"
+  "CMakeFiles/storage_disk_array_test.dir/storage_disk_array_test.cc.o.d"
+  "storage_disk_array_test"
+  "storage_disk_array_test.pdb"
+  "storage_disk_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_disk_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

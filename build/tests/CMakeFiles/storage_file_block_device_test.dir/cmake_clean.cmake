@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_file_block_device_test.dir/storage_file_block_device_test.cc.o"
+  "CMakeFiles/storage_file_block_device_test.dir/storage_file_block_device_test.cc.o.d"
+  "storage_file_block_device_test"
+  "storage_file_block_device_test.pdb"
+  "storage_file_block_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_file_block_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_free_space_test.dir/storage_free_space_test.cc.o"
+  "CMakeFiles/storage_free_space_test.dir/storage_free_space_test.cc.o.d"
+  "storage_free_space_test"
+  "storage_free_space_test.pdb"
+  "storage_free_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_free_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

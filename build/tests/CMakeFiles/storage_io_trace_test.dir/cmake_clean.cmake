@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_io_trace_test.dir/storage_io_trace_test.cc.o"
+  "CMakeFiles/storage_io_trace_test.dir/storage_io_trace_test.cc.o.d"
+  "storage_io_trace_test"
+  "storage_io_trace_test.pdb"
+  "storage_io_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_io_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_trace_executor_test.dir/storage_trace_executor_test.cc.o"
+  "CMakeFiles/storage_trace_executor_test.dir/storage_trace_executor_test.cc.o.d"
+  "storage_trace_executor_test"
+  "storage_trace_executor_test.pdb"
+  "storage_trace_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_trace_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_batch_test.dir/text_batch_test.cc.o"
+  "CMakeFiles/text_batch_test.dir/text_batch_test.cc.o.d"
+  "text_batch_test"
+  "text_batch_test.pdb"
+  "text_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_trace.dir/build_trace.cpp.o"
+  "CMakeFiles/build_trace.dir/build_trace.cpp.o.d"
+  "build_trace"
+  "build_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exercise_trace.dir/exercise_trace.cpp.o"
+  "CMakeFiles/exercise_trace.dir/exercise_trace.cpp.o.d"
+  "exercise_trace"
+  "exercise_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exercise_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

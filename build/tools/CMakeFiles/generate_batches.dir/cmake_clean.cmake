@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_batches.dir/generate_batches.cpp.o"
+  "CMakeFiles/generate_batches.dir/generate_batches.cpp.o.d"
+  "generate_batches"
+  "generate_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
