@@ -1,0 +1,97 @@
+// Sharded indexing: the dual-structure index word-partitioned across four
+// shards. Each shard owns its own bucket store, long-list store, directory
+// and disk array behind its own reader-writer lock; batch updates split by
+// word hash and apply to the shards in parallel, while queries fan out to
+// the owning shard only — so an update on one shard never blocks a query
+// whose words live elsewhere (the paper's 24x7 motivation, scaled out).
+//
+//   $ ./sharded_indexing
+#include <iostream>
+#include <thread>
+
+#include "core/sharded_index.h"
+#include "ir/query_eval.h"
+#include "ir/vector_query.h"
+#include "text/corpus_generator.h"
+
+int main() {
+  using namespace duplex;
+
+  // 1. Configure one index worth of resources, partitioned across four
+  //    shards (the bucket space divides; each shard owns its own disks).
+  core::IndexOptions total;
+  total.buckets.num_buckets = 64;
+  total.buckets.bucket_capacity = 256;
+  total.policy = core::Policy::RecommendedUpdateOptimized();
+  total.block_postings = 64;
+  total.disks.num_disks = 2;
+  total.disks.blocks_per_disk = 1 << 16;
+  total.materialize = true;
+  core::ShardedIndex index(core::ShardedIndexOptions::Partition(total, 4));
+
+  // 2. Documents buffer above the shards and stay searchable; each flush
+  //    partitions the batch by word hash and applies shard-parallel.
+  index.AddDocument("the quick brown fox jumps over the lazy dog");
+  index.AddDocument("a quick survey of text document retrieval");
+  index.AddDocument("inverted lists map each word to its documents");
+  index.AddDocument("the dog chased the cat around the document archive");
+  if (Status s = index.FlushDocuments(); !s.ok()) {
+    std::cerr << "flush failed: " << s << "\n";
+    return 1;
+  }
+  index.AddDocument("quick cats write quick documents");
+  index.AddDocument("the fox reads inverted lists");
+  if (Status s = index.FlushDocuments(); !s.ok()) {
+    std::cerr << "flush failed: " << s << "\n";
+    return 1;
+  }
+
+  // 3. Queries fan out per term to the owning shard and merge; results are
+  //    bit-identical to the unsharded index.
+  for (const char* q : {"quick AND dog", "(fox OR cat) AND NOT lazy"}) {
+    Result<ir::QueryResult> r = ir::EvaluateBoolean(index, q);
+    if (!r.ok()) {
+      std::cerr << "query failed: " << r.status() << "\n";
+      return 1;
+    }
+    std::cout << "query " << q << " -> docs [";
+    for (size_t i = 0; i < r->docs.size(); ++i) {
+      std::cout << (i ? ", " : "") << r->docs[i];
+    }
+    std::cout << "]\n";
+  }
+  ir::VectorQuery vq;
+  vq.terms = {{"quick", 2.0}, {"document", 1.0}};
+  Result<ir::VectorQueryResult> vr =
+      ir::EvaluateVector(index, vq, 3, index.next_doc_id());
+  if (!vr.ok()) {
+    std::cerr << "vector query failed: " << vr.status() << "\n";
+    return 1;
+  }
+  std::cout << "vector query top docs:";
+  for (const ir::ScoredDoc& d : vr->top) {
+    std::cout << " doc" << d.doc << "(score " << d.score << ")";
+  }
+  std::cout << "\n";
+
+  // 4. Per-shard and merged statistics; every shard verifies.
+  const std::vector<core::IndexStats> per_shard = index.ShardStats();
+  for (uint32_t s = 0; s < index.num_shards(); ++s) {
+    std::cout << "shard " << s << ": " << per_shard[s].total_postings
+              << " postings, " << per_shard[s].bucket_words
+              << " bucket words, " << per_shard[s].long_words
+              << " long words\n";
+  }
+  const core::IndexStats merged = core::MergeStats(per_shard);
+  std::cout << "merged: " << merged.total_postings << " postings across "
+            << index.num_shards() << " shards ("
+            << std::thread::hardware_concurrency()
+            << " hardware threads for parallel apply)\n";
+  if (Status s = index.VerifyIntegrity(); !s.ok()) {
+    std::cerr << "integrity check failed: " << s << "\n";
+    return 1;
+  }
+  std::cout << "integrity ok; merged trace: "
+            << index.MergedTrace().event_count() << " I/O events\n";
+  return 0;
+}

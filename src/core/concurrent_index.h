@@ -1,12 +1,12 @@
 #ifndef DUPLEX_CORE_CONCURRENT_INDEX_H_
 #define DUPLEX_CORE_CONCURRENT_INDEX_H_
 
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "core/index_shard.h"
 #include "core/inverted_index.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -20,10 +20,16 @@ namespace duplex::core {
 // is not acceptable" — the index stays queryable except for the short
 // exclusive window in which a batch is applied (no index rebuild ever
 // blocks readers for hours).
+//
+// Implemented as the single-shard case of the sharded architecture: the
+// lock lives in IndexShard, the same per-shard lock ShardedIndex takes N
+// of. Use ShardedIndex when updates should not block unrelated queries at
+// all; use this facade when callers need whole-index consistent reads
+// (WithReadLock) over one InvertedIndex.
 class ConcurrentIndex {
  public:
   explicit ConcurrentIndex(const IndexOptions& options)
-      : index_(options) {}
+      : shard_(options) {}
 
   ConcurrentIndex(const ConcurrentIndex&) = delete;
   ConcurrentIndex& operator=(const ConcurrentIndex&) = delete;
@@ -31,68 +37,94 @@ class ConcurrentIndex {
   // --- Writers (exclusive) -------------------------------------------------
 
   DocId AddDocument(const std::string& text) {
-    std::unique_lock lock(mutex_);
-    return index_.AddDocument(text);
+    return shard_.WithWrite(
+        [&](InvertedIndex& index) { return index.AddDocument(text); });
   }
 
   Status FlushDocuments() {
-    std::unique_lock lock(mutex_);
-    return index_.FlushDocuments();
+    return shard_.WithWrite(
+        [](InvertedIndex& index) { return index.FlushDocuments(); });
   }
 
   Status ApplyBatchUpdate(const text::BatchUpdate& batch) {
-    std::unique_lock lock(mutex_);
-    return index_.ApplyBatchUpdate(batch);
+    return shard_.WithWrite(
+        [&](InvertedIndex& index) { return index.ApplyBatchUpdate(batch); });
   }
 
   Status ApplyInvertedBatch(const text::InvertedBatch& batch) {
-    std::unique_lock lock(mutex_);
-    return index_.ApplyInvertedBatch(batch);
+    return shard_.WithWrite([&](InvertedIndex& index) {
+      return index.ApplyInvertedBatch(batch);
+    });
   }
 
   void DeleteDocument(DocId doc) {
-    std::unique_lock lock(mutex_);
-    index_.DeleteDocument(doc);
+    shard_.WithWrite([&](InvertedIndex& index) { index.DeleteDocument(doc); });
   }
 
   Status SweepDeletions() {
-    std::unique_lock lock(mutex_);
-    return index_.SweepDeletions();
+    return shard_.WithWrite(
+        [](InvertedIndex& index) { return index.SweepDeletions(); });
   }
 
   Status GrowBuckets(uint32_t new_num_buckets, uint64_t new_capacity) {
-    std::unique_lock lock(mutex_);
-    return index_.GrowBuckets(new_num_buckets, new_capacity);
+    return shard_.WithWrite([&](InvertedIndex& index) {
+      return index.GrowBuckets(new_num_buckets, new_capacity);
+    });
   }
 
   // Runs `fn(InvertedIndex&)` under the exclusive lock (e.g. Snapshot
   // writes, custom maintenance).
   template <typename Fn>
   auto WithWriteLock(Fn&& fn) {
-    std::unique_lock lock(mutex_);
-    return fn(index_);
+    return shard_.WithWrite(std::forward<Fn>(fn));
   }
 
   // --- Readers (shared) -----------------------------------------------------
 
   Result<std::vector<DocId>> GetPostings(std::string_view word) const {
-    std::shared_lock lock(mutex_);
-    return index_.GetPostings(word);
+    return shard_.WithRead(
+        [&](const InvertedIndex& index) { return index.GetPostings(word); });
   }
 
   Result<std::vector<DocId>> GetPostings(WordId word) const {
-    std::shared_lock lock(mutex_);
-    return index_.GetPostings(word);
+    return shard_.WithRead(
+        [&](const InvertedIndex& index) { return index.GetPostings(word); });
   }
 
   InvertedIndex::ListLocation Locate(std::string_view word) const {
-    std::shared_lock lock(mutex_);
-    return index_.Locate(word);
+    return shard_.WithRead(
+        [&](const InvertedIndex& index) { return index.Locate(word); });
+  }
+
+  InvertedIndex::ListLocation Locate(WordId word) const {
+    return shard_.WithRead(
+        [&](const InvertedIndex& index) { return index.Locate(word); });
+  }
+
+  bool IsDeleted(DocId doc) const {
+    return shard_.WithRead(
+        [&](const InvertedIndex& index) { return index.IsDeleted(doc); });
+  }
+
+  size_t deleted_count() const {
+    return shard_.WithRead(
+        [](const InvertedIndex& index) { return index.deleted_count(); });
+  }
+
+  size_t buffered_documents() const {
+    return shard_.WithRead([](const InvertedIndex& index) {
+      return index.buffered_documents();
+    });
   }
 
   IndexStats Stats() const {
-    std::shared_lock lock(mutex_);
-    return index_.Stats();
+    return shard_.WithRead(
+        [](const InvertedIndex& index) { return index.Stats(); });
+  }
+
+  Status VerifyIntegrity() const {
+    return shard_.WithRead(
+        [](const InvertedIndex& index) { return index.VerifyIntegrity(); });
   }
 
   // Runs `fn(const InvertedIndex&)` under the shared lock — the hook the
@@ -104,13 +136,11 @@ class ConcurrentIndex {
   //   });
   template <typename Fn>
   auto WithReadLock(Fn&& fn) const {
-    std::shared_lock lock(mutex_);
-    return fn(static_cast<const InvertedIndex&>(index_));
+    return shard_.WithRead(std::forward<Fn>(fn));
   }
 
  private:
-  mutable std::shared_mutex mutex_;
-  InvertedIndex index_;
+  IndexShard shard_;
 };
 
 }  // namespace duplex::core

@@ -1,0 +1,60 @@
+#include "core/index_stats.h"
+
+#include <algorithm>
+
+namespace duplex::core {
+
+IndexStats MergeStats(const std::vector<IndexStats>& shards) {
+  IndexStats merged;
+  if (shards.empty()) return merged;
+  merged.long_utilization = 0.0;
+  double utilization_weight = 0.0;
+  double reads_weight = 0.0;
+  double occupancy_sum = 0.0;
+  for (const IndexStats& s : shards) {
+    merged.updates_applied = std::max(merged.updates_applied,
+                                      s.updates_applied);
+    merged.total_postings += s.total_postings;
+    merged.bucket_words += s.bucket_words;
+    merged.bucket_postings += s.bucket_postings;
+    merged.long_words += s.long_words;
+    merged.long_postings += s.long_postings;
+    merged.long_chunks += s.long_chunks;
+    merged.long_blocks += s.long_blocks;
+    merged.long_utilization +=
+        s.long_utilization * static_cast<double>(s.long_blocks);
+    utilization_weight += static_cast<double>(s.long_blocks);
+    merged.avg_reads_per_list +=
+        s.avg_reads_per_list * static_cast<double>(s.long_words);
+    reads_weight += static_cast<double>(s.long_words);
+    occupancy_sum += s.bucket_occupancy;
+    merged.io_ops += s.io_ops;
+    merged.in_place_updates += s.in_place_updates;
+    merged.append_opportunities += s.append_opportunities;
+  }
+  merged.long_utilization = utilization_weight > 0.0
+                                ? merged.long_utilization / utilization_weight
+                                : 1.0;
+  merged.avg_reads_per_list =
+      reads_weight > 0.0 ? merged.avg_reads_per_list / reads_weight : 0.0;
+  merged.bucket_occupancy =
+      occupancy_sum / static_cast<double>(shards.size());
+  return merged;
+}
+
+std::vector<UpdateCategories> MergeCategories(
+    const std::vector<std::vector<UpdateCategories>>& shards) {
+  size_t length = 0;
+  for (const auto& series : shards) length = std::max(length, series.size());
+  std::vector<UpdateCategories> merged(length);
+  for (const auto& series : shards) {
+    for (size_t u = 0; u < series.size(); ++u) {
+      merged[u].new_words += series[u].new_words;
+      merged[u].bucket_words += series[u].bucket_words;
+      merged[u].long_words += series[u].long_words;
+    }
+  }
+  return merged;
+}
+
+}  // namespace duplex::core

@@ -1,0 +1,67 @@
+#ifndef DUPLEX_CORE_INDEX_STATS_H_
+#define DUPLEX_CORE_INDEX_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace duplex::core {
+
+// Per-batch word categorization (paper Figure 7): of the words appearing
+// in a batch update, how many were previously unseen, how many already sat
+// in a bucket, and how many had long lists.
+struct UpdateCategories {
+  uint64_t new_words = 0;
+  uint64_t bucket_words = 0;
+  uint64_t long_words = 0;
+
+  uint64_t total() const { return new_words + bucket_words + long_words; }
+};
+
+// Snapshot of index-wide statistics after an update. Produced per
+// InvertedIndex; a ShardedIndex produces one per shard and reduces them
+// with MergeStats().
+struct IndexStats {
+  uint64_t updates_applied = 0;
+  uint64_t total_postings = 0;
+  uint64_t bucket_words = 0;
+  uint64_t bucket_postings = 0;
+  uint64_t long_words = 0;
+  uint64_t long_postings = 0;
+  uint64_t long_chunks = 0;
+  uint64_t long_blocks = 0;
+  double long_utilization = 1.0;    // paper Figure 9
+  double avg_reads_per_list = 0.0;  // paper Figure 10
+  double bucket_occupancy = 0.0;
+  uint64_t io_ops = 0;  // cumulative trace events (paper Figure 8)
+  uint64_t in_place_updates = 0;
+  uint64_t append_opportunities = 0;
+};
+
+// Where a word's list lives — input to the query cost model. Historically
+// nested in InvertedIndex (still aliased there); hoisted so the sharded
+// index and the ir layer can speak it without the full index type.
+struct ListLocation {
+  bool exists = false;
+  bool is_long = false;
+  uint64_t chunks = 0;  // read ops to fetch the list (1 for a bucket)
+  uint64_t postings = 0;
+};
+
+// Reduces per-shard statistics into index-wide totals. Counters sum;
+// `updates_applied` takes the max (every shard sees every batch, so they
+// agree in a healthy index); ratio metrics are recombined from their
+// underlying numerators/denominators: `long_utilization` weighted by
+// long_blocks, `avg_reads_per_list` by long_words, and
+// `bucket_occupancy` as the plain mean (shards share one bucket
+// geometry, so capacities are equal). Empty input yields a default
+// IndexStats.
+IndexStats MergeStats(const std::vector<IndexStats>& shards);
+
+// Element-wise sum of per-shard category series. Shorter shard series are
+// treated as zero-padded; the result has the length of the longest input.
+std::vector<UpdateCategories> MergeCategories(
+    const std::vector<std::vector<UpdateCategories>>& shards);
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_INDEX_STATS_H_

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/bucket_store.h"
+#include "core/index_stats.h"
 #include "core/long_list_store.h"
 #include "core/memory_index.h"
 #include "core/policy.h"
@@ -44,34 +45,8 @@ struct IndexOptions {
   double bucket_grow_threshold = 0.0;
 };
 
-// Per-batch word categorization (paper Figure 7): of the words appearing
-// in a batch update, how many were previously unseen, how many already sat
-// in a bucket, and how many had long lists.
-struct UpdateCategories {
-  uint64_t new_words = 0;
-  uint64_t bucket_words = 0;
-  uint64_t long_words = 0;
-
-  uint64_t total() const { return new_words + bucket_words + long_words; }
-};
-
-// Snapshot of index-wide statistics after an update.
-struct IndexStats {
-  uint64_t updates_applied = 0;
-  uint64_t total_postings = 0;
-  uint64_t bucket_words = 0;
-  uint64_t bucket_postings = 0;
-  uint64_t long_words = 0;
-  uint64_t long_postings = 0;
-  uint64_t long_chunks = 0;
-  uint64_t long_blocks = 0;
-  double long_utilization = 1.0;    // paper Figure 9
-  double avg_reads_per_list = 0.0;  // paper Figure 10
-  double bucket_occupancy = 0.0;
-  uint64_t io_ops = 0;  // cumulative trace events (paper Figure 8)
-  uint64_t in_place_updates = 0;
-  uint64_t append_opportunities = 0;
-};
+// UpdateCategories / IndexStats / ListLocation live in core/index_stats.h
+// so the sharded index and ir layers can use them without this header.
 
 // The dual-structure incremental inverted index (the paper's primary
 // contribution). New documents accumulate in an in-memory index; each
@@ -115,12 +90,7 @@ class InvertedIndex {
   // --- Query access ------------------------------------------------------
 
   // Where a word's list lives — input to the query cost model.
-  struct ListLocation {
-    bool exists = false;
-    bool is_long = false;
-    uint64_t chunks = 0;  // read ops to fetch the list (1 for a bucket)
-    uint64_t postings = 0;
-  };
+  using ListLocation = duplex::core::ListLocation;
   ListLocation Locate(WordId word) const;
   ListLocation Locate(std::string_view word) const;
 

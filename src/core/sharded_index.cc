@@ -1,0 +1,321 @@
+#include "core/sharded_index.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+ShardedIndexOptions ShardedIndexOptions::Partition(const IndexOptions& total,
+                                                   uint32_t num_shards,
+                                                   uint32_t threads) {
+  DUPLEX_CHECK(num_shards > 0);
+  ShardedIndexOptions opts;
+  opts.shard = total;
+  opts.shard.buckets.num_buckets =
+      std::max<uint32_t>(1, total.buckets.num_buckets / num_shards);
+  opts.num_shards = num_shards;
+  opts.threads = threads;
+  return opts;
+}
+
+ShardedIndex::ShardedIndex(const ShardedIndexOptions& options)
+    : options_(options),
+      pool_(options.num_shards <= 1
+                ? 0
+                : (options.threads == 0 ? options.num_shards
+                                        : options.threads)) {
+  DUPLEX_CHECK(options.num_shards > 0);
+  shards_.reserve(options.num_shards);
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    shards_.push_back(std::make_unique<IndexShard>(options.shard));
+  }
+}
+
+Status ShardedIndex::ParallelOverShards(
+    const std::function<Status(uint32_t)>& fn) {
+  std::vector<Status> statuses(num_shards());
+  pool_.ParallelFor(num_shards(),
+                    [&](uint32_t s) { statuses[s] = fn(s); });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+Status ShardedIndex::ApplyBatchUpdate(const text::BatchUpdate& batch) {
+  std::vector<text::BatchUpdate> parts =
+      text::PartitionBatch(batch, num_shards());
+  return ParallelOverShards([&](uint32_t s) {
+    return shards_[s]->WithWrite([&](InvertedIndex& index) {
+      return index.ApplyBatchUpdate(parts[s]);
+    });
+  });
+}
+
+Status ShardedIndex::ApplyInvertedBatch(const text::InvertedBatch& batch) {
+  std::vector<text::InvertedBatch> parts =
+      text::PartitionBatch(batch, num_shards());
+  DocId max_doc = 0;
+  bool any = false;
+  for (const text::InvertedBatch::Entry& entry : batch.entries) {
+    if (!entry.docs.empty()) {
+      max_doc = std::max(max_doc, entry.docs.back());
+      any = true;
+    }
+  }
+  DUPLEX_RETURN_IF_ERROR(ParallelOverShards([&](uint32_t s) {
+    return shards_[s]->WithWrite([&](InvertedIndex& index) {
+      return index.ApplyInvertedBatch(parts[s]);
+    });
+  }));
+  if (any) {
+    std::unique_lock lock(doc_mutex_);
+    next_doc_id_ = std::max(next_doc_id_, max_doc + 1);
+  }
+  return Status::OK();
+}
+
+DocId ShardedIndex::AddDocument(const std::string& text) {
+  std::unique_lock lock(doc_mutex_);
+  const DocId doc =
+      next_doc_id_ + static_cast<DocId>(memory_index_.document_count());
+  memory_index_.AddDocument(doc, text);
+  return doc;
+}
+
+Status ShardedIndex::FlushDocuments() {
+  std::unique_lock lock(doc_mutex_);
+  if (memory_index_.empty()) return Status::OK();
+  text::InvertedBatch batch;
+  batch.entries.reserve(memory_index_.lists().size());
+  for (const auto& [word, docs] : memory_index_.lists()) {
+    batch.entries.push_back({word, docs});
+  }
+  std::sort(batch.entries.begin(), batch.entries.end(),
+            [](const text::InvertedBatch::Entry& a,
+               const text::InvertedBatch::Entry& b) {
+              return a.word < b.word;
+            });
+  const DocId new_next =
+      next_doc_id_ + static_cast<DocId>(memory_index_.document_count());
+  std::vector<text::InvertedBatch> parts =
+      text::PartitionBatch(batch, num_shards());
+  DUPLEX_RETURN_IF_ERROR(ParallelOverShards([&](uint32_t s) {
+    return shards_[s]->WithWrite([&](InvertedIndex& index) {
+      return index.ApplyInvertedBatch(parts[s]);
+    });
+  }));
+  next_doc_id_ = std::max(next_doc_id_, new_next);
+  memory_index_.Clear();
+  return Status::OK();
+}
+
+size_t ShardedIndex::buffered_documents() const {
+  std::shared_lock lock(doc_mutex_);
+  return memory_index_.document_count();
+}
+
+ListLocation ShardedIndex::Locate(WordId word) const {
+  std::shared_lock doc_lock(doc_mutex_);
+  ListLocation loc = shards_[ShardFor(word)]->WithRead(
+      [&](const InvertedIndex& index) { return index.Locate(word); });
+  // The shard's own memory index is always empty (documents buffer at the
+  // sharded level); merge our buffer exactly as InvertedIndex::Locate does.
+  if (const std::vector<DocId>* buffered = memory_index_.Find(word)) {
+    loc.exists = true;
+    loc.postings += buffered->size();
+  }
+  return loc;
+}
+
+ListLocation ShardedIndex::Locate(std::string_view word) const {
+  std::shared_lock doc_lock(doc_mutex_);
+  const WordId id = vocabulary_.Lookup(word);
+  if (id == kInvalidWord) return ListLocation{};
+  ListLocation loc = shards_[ShardFor(id)]->WithRead(
+      [&](const InvertedIndex& index) { return index.Locate(id); });
+  if (const std::vector<DocId>* buffered = memory_index_.Find(id)) {
+    loc.exists = true;
+    loc.postings += buffered->size();
+  }
+  return loc;
+}
+
+Result<std::vector<DocId>> ShardedIndex::GetPostings(WordId word) const {
+  std::shared_lock doc_lock(doc_mutex_);
+  Result<std::vector<DocId>> flushed = shards_[ShardFor(word)]->WithRead(
+      [&](const InvertedIndex& index) { return index.GetPostings(word); });
+  if (!flushed.ok() && !flushed.status().IsNotFound()) {
+    return flushed.status();
+  }
+  std::vector<DocId> docs =
+      flushed.ok() ? std::move(*flushed) : std::vector<DocId>{};
+  bool found = flushed.ok();
+  // Buffered postings are strictly newer than anything flushed.
+  if (const std::vector<DocId>* buffered = memory_index_.Find(word)) {
+    DUPLEX_CHECK(docs.empty() || docs.back() < buffered->front());
+    docs.insert(docs.end(), buffered->begin(), buffered->end());
+    found = true;
+  }
+  if (!found) return Status::NotFound("word has no inverted list");
+  if (!deleted_.empty()) {
+    docs.erase(std::remove_if(docs.begin(), docs.end(),
+                              [&](DocId d) { return deleted_.contains(d); }),
+               docs.end());
+  }
+  return docs;
+}
+
+Result<std::vector<DocId>> ShardedIndex::GetPostings(
+    std::string_view word) const {
+  WordId id;
+  {
+    std::shared_lock doc_lock(doc_mutex_);
+    id = vocabulary_.Lookup(word);
+  }
+  if (id == kInvalidWord) return Status::NotFound("unknown word");
+  return GetPostings(id);
+}
+
+void ShardedIndex::DeleteDocument(DocId doc) {
+  {
+    std::unique_lock lock(doc_mutex_);
+    deleted_.insert(doc);
+  }
+  // The owning shard is unknown (any shard's lists may contain the doc);
+  // every shard records the deletion and filters its own reads.
+  for (auto& shard : shards_) {
+    shard->WithWrite(
+        [&](InvertedIndex& index) { index.DeleteDocument(doc); });
+  }
+}
+
+bool ShardedIndex::IsDeleted(DocId doc) const {
+  std::shared_lock lock(doc_mutex_);
+  return deleted_.contains(doc);
+}
+
+size_t ShardedIndex::deleted_count() const {
+  std::shared_lock lock(doc_mutex_);
+  return deleted_.size();
+}
+
+Status ShardedIndex::SweepDeletions() {
+  DUPLEX_RETURN_IF_ERROR(ParallelOverShards([&](uint32_t s) {
+    return shards_[s]->WithWrite(
+        [](InvertedIndex& index) { return index.SweepDeletions(); });
+  }));
+  std::unique_lock lock(doc_mutex_);
+  deleted_.clear();
+  return Status::OK();
+}
+
+Status ShardedIndex::GrowBuckets(uint32_t new_num_buckets_per_shard,
+                                 uint64_t new_bucket_capacity) {
+  return ParallelOverShards([&](uint32_t s) {
+    return shards_[s]->WithWrite([&](InvertedIndex& index) {
+      return index.GrowBuckets(new_num_buckets_per_shard,
+                               new_bucket_capacity);
+    });
+  });
+}
+
+std::vector<IndexStats> ShardedIndex::ShardStats() const {
+  // Hold every shard lock (ascending order) so the per-shard snapshots
+  // are mutually consistent — a concurrent batch is either fully in or
+  // fully out of the merged numbers.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex());
+  }
+  std::vector<IndexStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.push_back(shard->index_unlocked().Stats());
+  }
+  return stats;
+}
+
+IndexStats ShardedIndex::Stats() const { return MergeStats(ShardStats()); }
+
+std::vector<UpdateCategories> ShardedIndex::MergedCategories() const {
+  std::vector<std::vector<UpdateCategories>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    per_shard.push_back(shard->WithRead(
+        [](const InvertedIndex& index) {
+          return index.update_categories();
+        }));
+  }
+  return MergeCategories(per_shard);
+}
+
+Status ShardedIndex::VerifyIntegrity() const {
+  uint64_t total = 0;
+  uint64_t bucket = 0;
+  uint64_t long_postings = 0;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    Status status = shards_[s]->WithRead([&](const InvertedIndex& index) {
+      DUPLEX_RETURN_IF_ERROR(index.VerifyIntegrity());
+      // Cross-shard ownership: every word this shard stores must hash
+      // here; a violation means a batch was partitioned inconsistently.
+      for (const auto& [word, list] :
+           index.long_list_store().directory().lists()) {
+        if (ShardFor(word) != s) {
+          return Status::Corruption("word " + std::to_string(word) +
+                                    " stored on shard " + std::to_string(s) +
+                                    " but owned by shard " +
+                                    std::to_string(ShardFor(word)));
+        }
+      }
+      const IndexStats stats = index.Stats();
+      total += stats.total_postings;
+      bucket += stats.bucket_postings;
+      long_postings += stats.long_postings;
+      return Status::OK();
+    });
+    DUPLEX_RETURN_IF_ERROR(std::move(status));
+  }
+  if (bucket + long_postings != total) {
+    return Status::Corruption("merged posting totals inconsistent");
+  }
+  return Status::OK();
+}
+
+storage::IoTrace ShardedIndex::MergedTrace() const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex());
+  }
+  storage::IoTrace merged;
+  size_t updates = 0;
+  for (const auto& shard : shards_) {
+    updates = std::max(updates,
+                       shard->index_unlocked().trace().update_count());
+  }
+  for (size_t u = 0; u < updates; ++u) {
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      const storage::IoTrace& trace = shards_[s]->index_unlocked().trace();
+      if (u >= trace.update_count()) continue;
+      const auto [first, last] = trace.UpdateRange(u);
+      for (size_t i = first; i < last; ++i) {
+        storage::IoEvent event = trace.events()[i];
+        event.disk = GlobalDiskId(s, event.disk);
+        merged.Add(event);
+      }
+    }
+    merged.EndUpdate();
+  }
+  return merged;
+}
+
+DocId ShardedIndex::next_doc_id() const {
+  std::shared_lock lock(doc_mutex_);
+  return next_doc_id_;
+}
+
+}  // namespace duplex::core

@@ -1,0 +1,171 @@
+#ifndef DUPLEX_CORE_SHARDED_INDEX_H_
+#define DUPLEX_CORE_SHARDED_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/index_shard.h"
+#include "core/index_stats.h"
+#include "core/inverted_index.h"
+#include "storage/io_trace.h"
+#include "text/batch.h"
+#include "text/shard_partition.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace duplex::core {
+
+// Configuration of a word-partitioned index.
+struct ShardedIndexOptions {
+  // Per-shard index configuration; every shard is built from the same
+  // options (so merged statistics stay meaningful) but owns independent
+  // instances of everything inside.
+  IndexOptions shard;
+  uint32_t num_shards = 4;
+  // Worker threads for parallel batch apply; 0 means one per shard.
+  // `threads = 1` with `num_shards > 1` still shards the word space (and
+  // the locks) but applies sub-batches sequentially.
+  uint32_t threads = 0;
+
+  // Splits a single-index configuration across `num_shards` shards,
+  // dividing the bucket space so the total bucket capacity matches the
+  // unsharded index (disk geometry is kept per shard: each shard owns its
+  // own disk array, mirroring the paper's "assign long lists across
+  // multiple disks" scaled out).
+  static ShardedIndexOptions Partition(const IndexOptions& total,
+                                       uint32_t num_shards,
+                                       uint32_t threads = 0);
+};
+
+// The word-partitioned dual-structure index: N independent IndexShards
+// (each a full InvertedIndex — bucket store, long-list store, directory,
+// disk array, I/O trace — behind its own reader-writer lock) with the
+// word space hash-partitioned across them by text::ShardForWord.
+//
+// Concurrency model: a batch update is split into per-shard sub-batches
+// and applied under per-shard exclusive locks, in parallel on a fixed
+// worker pool; queries take only the owning shard's shared lock, so a
+// batch applying on shard 2 never blocks a query whose words live on
+// shard 0 — the paper's 24x7 motivation carried past a single global
+// lock. Document buffering (AddDocument) and the shared vocabulary sit
+// above the shards behind a separate reader-writer lock, acquired before
+// any shard lock (fixed order, no deadlock).
+//
+// Determinism: shard assignment depends only on (word, num_shards), each
+// shard's trace is recorded by exactly one worker per batch, and
+// MergedTrace() interleaves the per-shard traces in shard order with
+// global disk ids disk_global = shard * disks_per_shard + disk_local, so
+// recorded traces are bit-identical across runs regardless of thread
+// scheduling.
+class ShardedIndex {
+ public:
+  explicit ShardedIndex(const ShardedIndexOptions& options);
+
+  ShardedIndex(const ShardedIndex&) = delete;
+  ShardedIndex& operator=(const ShardedIndex&) = delete;
+
+  const ShardedIndexOptions& options() const { return options_; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  uint32_t ShardFor(WordId word) const {
+    return text::ShardForWord(word, num_shards());
+  }
+  IndexShard& shard(uint32_t s) { return *shards_[s]; }
+  const IndexShard& shard(uint32_t s) const { return *shards_[s]; }
+
+  // --- Batch update paths (parallel across shards) -----------------------
+
+  // Splits the batch by word hash and applies the sub-batches to their
+  // shards concurrently. Every shard participates in every batch (empty
+  // sub-batches included) so per-shard update counts and trace boundaries
+  // stay aligned. On multi-shard failure the first shard's error (by
+  // shard id) is returned.
+  Status ApplyBatchUpdate(const text::BatchUpdate& batch);
+  Status ApplyInvertedBatch(const text::InvertedBatch& batch);
+
+  // --- Document path ------------------------------------------------------
+
+  // Buffers a document in the index-wide memory index (shared vocabulary);
+  // buffered documents are immediately searchable, exactly as in
+  // InvertedIndex. FlushDocuments inverts the buffer once, partitions by
+  // word, and applies per shard in parallel.
+  DocId AddDocument(const std::string& text);
+  Status FlushDocuments();
+  size_t buffered_documents() const;
+
+  // --- Query access (per-shard shared locks) ------------------------------
+
+  ListLocation Locate(WordId word) const;
+  ListLocation Locate(std::string_view word) const;
+  Result<std::vector<DocId>> GetPostings(WordId word) const;
+  Result<std::vector<DocId>> GetPostings(std::string_view word) const;
+
+  // --- Deletion ------------------------------------------------------------
+
+  void DeleteDocument(DocId doc);
+  bool IsDeleted(DocId doc) const;
+  size_t deleted_count() const;
+  Status SweepDeletions();
+
+  // --- Maintenance ---------------------------------------------------------
+
+  // Grows every shard's bucket space (per-shard geometry values).
+  Status GrowBuckets(uint32_t new_num_buckets_per_shard,
+                     uint64_t new_bucket_capacity);
+
+  // --- Introspection -------------------------------------------------------
+
+  // Merged statistics (MergeStats over a consistent per-shard snapshot:
+  // all shard locks are held in ascending order while collecting).
+  IndexStats Stats() const;
+  std::vector<IndexStats> ShardStats() const;
+
+  // Per-update categories summed across shards (paper Figure 7).
+  std::vector<UpdateCategories> MergedCategories() const;
+
+  // Every shard's VerifyIntegrity plus cross-shard accounting (each word
+  // owned by its hash shard; merged posting totals consistent).
+  Status VerifyIntegrity() const;
+
+  // Deterministic merged trace: for each batch update, shard 0's events,
+  // then shard 1's, ..., with disk ids remapped via GlobalDiskId.
+  storage::IoTrace MergedTrace() const;
+  storage::DiskId GlobalDiskId(uint32_t shard,
+                               storage::DiskId local_disk) const {
+    return static_cast<storage::DiskId>(
+        shard * options_.shard.disks.num_disks + local_disk);
+  }
+
+  DocId next_doc_id() const;
+  const text::Vocabulary& vocabulary() const { return vocabulary_; }
+
+ private:
+  // Applies `fn(shard_index)` to every shard on the worker pool and
+  // returns the first non-OK status in shard order.
+  Status ParallelOverShards(const std::function<Status(uint32_t)>& fn);
+
+  ShardedIndexOptions options_;
+  std::vector<std::unique_ptr<IndexShard>> shards_;
+  mutable ThreadPool pool_;
+
+  // Document-buffer state, locked before any shard lock.
+  mutable std::shared_mutex doc_mutex_;
+  text::Vocabulary vocabulary_;
+  text::Tokenizer tokenizer_;
+  MemoryIndex memory_index_{&tokenizer_, &vocabulary_};
+  DocId next_doc_id_ = 0;
+  std::unordered_set<DocId> deleted_;
+};
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_SHARDED_INDEX_H_

@@ -44,11 +44,15 @@ std::vector<DocId> Difference(const std::vector<DocId>& a,
 
 namespace {
 
-Status EvalNode(const core::InvertedIndex& index, const BooleanQuery& node,
+// Templated over the index type: anything providing Locate(string_view)
+// and GetPostings(string_view) — InvertedIndex evaluates in place,
+// ShardedIndex fans each term out to its owning shard.
+template <typename Index>
+Status EvalNode(const Index& index, const BooleanQuery& node,
                 QueryResult* result, std::vector<DocId>* out) {
   switch (node.kind) {
     case BooleanQuery::Kind::kTerm: {
-      const core::InvertedIndex::ListLocation loc = index.Locate(node.term);
+      const core::ListLocation loc = index.Locate(node.term);
       if (!loc.exists) {
         ++result->missing_terms;
         out->clear();
@@ -81,21 +85,43 @@ Status EvalNode(const core::InvertedIndex& index, const BooleanQuery& node,
   return Status::Internal("unreachable");
 }
 
-}  // namespace
-
-Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
-                                    const BooleanQuery& query) {
+template <typename Index>
+Result<QueryResult> EvaluateBooleanImpl(const Index& index,
+                                        const BooleanQuery& query) {
   QueryResult result;
   DUPLEX_RETURN_IF_ERROR(EvalNode(index, query, &result, &result.docs));
   return result;
 }
 
-Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
-                                    std::string_view query_text) {
+template <typename Index>
+Result<QueryResult> EvaluateBooleanImpl(const Index& index,
+                                        std::string_view query_text) {
   Result<std::unique_ptr<BooleanQuery>> query =
       ParseBooleanQuery(query_text);
   if (!query.ok()) return query.status();
-  return EvaluateBoolean(index, **query);
+  return EvaluateBooleanImpl(index, **query);
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
+                                    const BooleanQuery& query) {
+  return EvaluateBooleanImpl(index, query);
+}
+
+Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
+                                    std::string_view query_text) {
+  return EvaluateBooleanImpl(index, query_text);
+}
+
+Result<QueryResult> EvaluateBoolean(const core::ShardedIndex& index,
+                                    const BooleanQuery& query) {
+  return EvaluateBooleanImpl(index, query);
+}
+
+Result<QueryResult> EvaluateBoolean(const core::ShardedIndex& index,
+                                    std::string_view query_text) {
+  return EvaluateBooleanImpl(index, query_text);
 }
 
 }  // namespace duplex::ir

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/inverted_index.h"
+#include "core/sharded_index.h"
 #include "ir/boolean_query.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -35,6 +36,15 @@ Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
 
 // Convenience: parse + evaluate.
 Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
+                                    std::string_view query_text);
+
+// Sharded fan-out: each term's Locate/GetPostings goes to the owning
+// shard (taking only that shard's shared lock), and the per-term lists
+// merge exactly as in the unsharded evaluator — results are bit-identical
+// to evaluating against an equivalent unsharded index.
+Result<QueryResult> EvaluateBoolean(const core::ShardedIndex& index,
+                                    const BooleanQuery& query);
+Result<QueryResult> EvaluateBoolean(const core::ShardedIndex& index,
                                     std::string_view query_text);
 
 }  // namespace duplex::ir

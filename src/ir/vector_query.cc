@@ -5,14 +5,18 @@
 #include <unordered_map>
 
 namespace duplex::ir {
+namespace {
 
-Result<VectorQueryResult> EvaluateVector(const core::InvertedIndex& index,
-                                         const VectorQuery& query, size_t k,
-                                         uint64_t total_docs) {
+// Templated over the index type (see query_eval.cc): InvertedIndex reads
+// in place, ShardedIndex fetches each term from its owning shard.
+template <typename Index>
+Result<VectorQueryResult> EvaluateVectorImpl(const Index& index,
+                                             const VectorQuery& query,
+                                             size_t k, uint64_t total_docs) {
   VectorQueryResult result;
   std::unordered_map<DocId, double> accumulators;
   for (const VectorQuery::TermWeight& tw : query.terms) {
-    const core::InvertedIndex::ListLocation loc = index.Locate(tw.term);
+    const core::ListLocation loc = index.Locate(tw.term);
     if (!loc.exists) {
       ++result.missing_terms;
       continue;
@@ -39,6 +43,20 @@ Result<VectorQueryResult> EvaluateVector(const core::InvertedIndex& index,
             });
   if (result.top.size() > k) result.top.resize(k);
   return result;
+}
+
+}  // namespace
+
+Result<VectorQueryResult> EvaluateVector(const core::InvertedIndex& index,
+                                         const VectorQuery& query, size_t k,
+                                         uint64_t total_docs) {
+  return EvaluateVectorImpl(index, query, k, total_docs);
+}
+
+Result<VectorQueryResult> EvaluateVector(const core::ShardedIndex& index,
+                                         const VectorQuery& query, size_t k,
+                                         uint64_t total_docs) {
+  return EvaluateVectorImpl(index, query, k, total_docs);
 }
 
 }  // namespace duplex::ir

@@ -112,6 +112,29 @@ PolicyRunResult RunPolicy(const SimConfig& config,
   return result;
 }
 
+ShardedRunResult RunPolicySharded(const SimConfig& config,
+                                  const std::vector<text::BatchUpdate>&
+                                      batches,
+                                  const core::Policy& policy,
+                                  uint32_t num_shards, uint32_t threads) {
+  Stopwatch watch;
+  ShardedRunResult result;
+  result.policy = policy;
+  result.num_shards = num_shards;
+  core::ShardedIndex index(core::ShardedIndexOptions::Partition(
+      config.ToIndexOptions(policy), num_shards, threads));
+  for (const text::BatchUpdate& batch : batches) {
+    DUPLEX_CHECK_OK(index.ApplyBatchUpdate(batch));
+    result.cumulative_io_ops.push_back(index.Stats().io_ops);
+  }
+  result.shard_stats = index.ShardStats();
+  result.final_stats = core::MergeStats(result.shard_stats);
+  result.categories = index.MergedCategories();
+  result.trace = index.MergedTrace();
+  result.harness_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
 storage::ExecutionResult ExerciseDisks(const SimConfig& config,
                                        const storage::IoTrace& trace,
                                        const storage::DiskModelParams& disk) {

@@ -7,6 +7,7 @@
 #include "core/inverted_index.h"
 #include "core/long_list_store.h"
 #include "core/policy.h"
+#include "core/sharded_index.h"
 #include "storage/io_trace.h"
 #include "storage/trace_executor.h"
 #include "text/batch.h"
@@ -83,6 +84,31 @@ struct PolicyRunResult {
 PolicyRunResult RunPolicy(const SimConfig& config,
                           const std::vector<text::BatchUpdate>& batches,
                           const core::Policy& policy);
+
+// Result of the sharded pipeline mode: the same batch stream pushed
+// through a word-partitioned core::ShardedIndex with parallel per-shard
+// batch apply.
+struct ShardedRunResult {
+  core::Policy policy;
+  uint32_t num_shards = 1;
+  std::vector<uint64_t> cumulative_io_ops;  // merged across shards
+  core::IndexStats final_stats;             // MergeStats over shards
+  std::vector<core::IndexStats> shard_stats;
+  std::vector<core::UpdateCategories> categories;  // summed across shards
+  storage::IoTrace trace;  // deterministic merged trace (global disk ids)
+  double harness_seconds = 0.0;
+};
+
+// Runs one policy over the stream through `num_shards` shards. The total
+// bucket space of `config` is divided across the shards
+// (ShardedIndexOptions::Partition); `threads` == 0 uses one worker per
+// shard. num_shards == 1 matches RunPolicy's series and trace exactly.
+ShardedRunResult RunPolicySharded(const SimConfig& config,
+                                  const std::vector<text::BatchUpdate>&
+                                      batches,
+                                  const core::Policy& policy,
+                                  uint32_t num_shards,
+                                  uint32_t threads = 0);
 
 // Replays a run's trace through the disk model (the exercise-disks stage).
 storage::ExecutionResult ExerciseDisks(

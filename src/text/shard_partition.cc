@@ -1,0 +1,36 @@
+#include "text/shard_partition.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace duplex::text {
+
+uint32_t ShardForWord(WordId word, uint32_t num_shards) {
+  DUPLEX_CHECK(num_shards > 0);
+  if (num_shards == 1) return 0;
+  // Hash rather than mod directly: dense first-seen word ids would map
+  // consecutive vocabulary onto shards round-robin, which is balanced but
+  // correlates shard load with batch composition; FNV decorrelates it.
+  const uint64_t h = Fnv1a64(&word, sizeof(word));
+  return static_cast<uint32_t>(h % num_shards);
+}
+
+std::vector<BatchUpdate> PartitionBatch(const BatchUpdate& batch,
+                                        uint32_t num_shards) {
+  std::vector<BatchUpdate> parts(num_shards);
+  for (const WordCount& pair : batch.pairs) {
+    parts[ShardForWord(pair.word, num_shards)].pairs.push_back(pair);
+  }
+  return parts;
+}
+
+std::vector<InvertedBatch> PartitionBatch(const InvertedBatch& batch,
+                                          uint32_t num_shards) {
+  std::vector<InvertedBatch> parts(num_shards);
+  for (const InvertedBatch::Entry& entry : batch.entries) {
+    parts[ShardForWord(entry.word, num_shards)].entries.push_back(entry);
+  }
+  return parts;
+}
+
+}  // namespace duplex::text

@@ -1,0 +1,33 @@
+#ifndef DUPLEX_TEXT_SHARD_PARTITION_H_
+#define DUPLEX_TEXT_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/batch.h"
+#include "util/types.h"
+
+namespace duplex::text {
+
+// Word-space partitioning for the sharded index: every word is owned by
+// exactly one shard, chosen by hashing the word id. The mapping depends
+// only on (word, num_shards), never on arrival order or thread schedule,
+// so shard assignment — and therefore every per-shard I/O trace — is
+// reproducible across runs.
+uint32_t ShardForWord(WordId word, uint32_t num_shards);
+
+// Splits one batch update into `num_shards` per-shard sub-batches by word
+// hash. Sub-batch i contains exactly the pairs with ShardForWord(word) ==
+// i, in the original (sorted-by-word) order; empty sub-batches are
+// returned for shards owning none of the batch's words so every shard
+// still observes every batch boundary.
+std::vector<BatchUpdate> PartitionBatch(const BatchUpdate& batch,
+                                        uint32_t num_shards);
+
+// The materialized counterpart: splits an inverted batch by word hash.
+std::vector<InvertedBatch> PartitionBatch(const InvertedBatch& batch,
+                                          uint32_t num_shards);
+
+}  // namespace duplex::text
+
+#endif  // DUPLEX_TEXT_SHARD_PARTITION_H_

@@ -1,0 +1,115 @@
+#ifndef DUPLEX_UTIL_THREAD_POOL_H_
+#define DUPLEX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace duplex {
+
+// A small fixed-size worker pool for per-shard parallel batch apply.
+// Deliberately minimal: no futures, no work stealing — submitted tasks
+// drain FIFO, and Wait() blocks until the pool is fully idle. With
+// num_threads == 0 every task runs inline in the submitting thread, so
+// single-threaded configurations stay deterministic and allocation-free.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t num_threads) {
+    workers_.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  // Enqueues one task. Inline execution when the pool has no workers.
+  void Submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::unique_lock lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  // Blocks until every submitted task has finished.
+  void Wait() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  }
+
+  // Runs fn(0) ... fn(n-1) across the pool and blocks until all complete.
+  // The calls may run in any order and concurrently; fn must be safe for
+  // that. Inline (in submission order) when the pool has no workers.
+  void ParallelFor(uint32_t n, const std::function<void(uint32_t)>& fn) {
+    if (workers_.empty()) {
+      for (uint32_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    uint32_t remaining = n;
+    for (uint32_t i = 0; i < n; ++i) {
+      Submit([&, i] {
+        fn(i);
+        std::unique_lock lock(done_mutex);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+      }
+      task();
+      {
+        std::unique_lock lock(mutex_);
+        --running_;
+        if (queue_.empty() && running_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  uint32_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_THREAD_POOL_H_

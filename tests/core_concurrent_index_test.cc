@@ -49,6 +49,60 @@ TEST(ConcurrentIndexTest, WithReadLockRunsQueries) {
   EXPECT_EQ(result->docs, (std::vector<DocId>{1}));
 }
 
+TEST(ConcurrentIndexTest, FacadeReadPathsMatchInvertedIndex) {
+  ConcurrentIndex index(Options());
+  index.AddDocument("alpha beta");
+  EXPECT_EQ(index.buffered_documents(), 1u);
+  index.AddDocument("alpha");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  EXPECT_EQ(index.buffered_documents(), 0u);
+  // WordId read paths (previously missing from the facade).
+  const WordId alpha = index.WithReadLock([](const InvertedIndex& idx) {
+    return idx.vocabulary().Lookup("alpha");
+  });
+  ASSERT_NE(alpha, kInvalidWord);
+  const Result<std::vector<DocId>> by_id = index.GetPostings(alpha);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(*by_id, (std::vector<DocId>{0, 1}));
+  const InvertedIndex::ListLocation loc = index.Locate(alpha);
+  EXPECT_TRUE(loc.exists);
+  EXPECT_EQ(loc.postings, 2u);
+  EXPECT_TRUE(index.VerifyIntegrity().ok());
+  EXPECT_FALSE(index.IsDeleted(0));
+  index.DeleteDocument(0);
+  EXPECT_TRUE(index.IsDeleted(0));
+  EXPECT_EQ(index.deleted_count(), 1u);
+}
+
+TEST(ConcurrentIndexTest, VerifyIntegrityUnderConcurrentWrites) {
+  ConcurrentIndex index(Options());
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (int b = 0; b < 20; ++b) {
+      text::InvertedBatch batch;
+      std::vector<DocId> docs;
+      for (int d = 0; d < 10; ++d) {
+        docs.push_back(static_cast<DocId>(b * 10 + d));
+      }
+      batch.entries = {{static_cast<WordId>(b % 3), docs}};
+      if (!index.ApplyInvertedBatch(batch).ok()) {
+        failed = true;
+        break;
+      }
+    }
+    done = true;
+  });
+  std::thread verifier([&] {
+    while (!done && !failed) {
+      if (!index.VerifyIntegrity().ok()) failed = true;
+    }
+  });
+  writer.join();
+  verifier.join();
+  ASSERT_FALSE(failed);
+}
+
 TEST(ConcurrentIndexTest, DeletionUnderLock) {
   ConcurrentIndex index(Options());
   index.AddDocument("x y");

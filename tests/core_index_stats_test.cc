@@ -1,0 +1,128 @@
+#include "core/index_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace duplex::core {
+namespace {
+
+TEST(MergeStatsTest, EmptyInputYieldsDefaults) {
+  const IndexStats merged = MergeStats({});
+  EXPECT_EQ(merged.total_postings, 0u);
+  EXPECT_EQ(merged.updates_applied, 0u);
+  EXPECT_DOUBLE_EQ(merged.long_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(merged.avg_reads_per_list, 0.0);
+}
+
+TEST(MergeStatsTest, SingleShardIsIdentity) {
+  IndexStats s;
+  s.updates_applied = 7;
+  s.total_postings = 1000;
+  s.bucket_words = 30;
+  s.bucket_postings = 400;
+  s.long_words = 5;
+  s.long_postings = 600;
+  s.long_chunks = 9;
+  s.long_blocks = 12;
+  s.long_utilization = 0.8;
+  s.avg_reads_per_list = 1.5;
+  s.bucket_occupancy = 0.4;
+  s.io_ops = 200;
+  s.in_place_updates = 11;
+  s.append_opportunities = 13;
+  const IndexStats merged = MergeStats({s});
+  EXPECT_EQ(merged.updates_applied, 7u);
+  EXPECT_EQ(merged.total_postings, 1000u);
+  EXPECT_EQ(merged.bucket_words, 30u);
+  EXPECT_EQ(merged.bucket_postings, 400u);
+  EXPECT_EQ(merged.long_words, 5u);
+  EXPECT_EQ(merged.long_postings, 600u);
+  EXPECT_EQ(merged.long_chunks, 9u);
+  EXPECT_EQ(merged.long_blocks, 12u);
+  EXPECT_DOUBLE_EQ(merged.long_utilization, 0.8);
+  EXPECT_DOUBLE_EQ(merged.avg_reads_per_list, 1.5);
+  EXPECT_DOUBLE_EQ(merged.bucket_occupancy, 0.4);
+  EXPECT_EQ(merged.io_ops, 200u);
+  EXPECT_EQ(merged.in_place_updates, 11u);
+  EXPECT_EQ(merged.append_opportunities, 13u);
+}
+
+TEST(MergeStatsTest, CountersSumAndUpdatesTakeMax) {
+  IndexStats a;
+  a.updates_applied = 10;
+  a.total_postings = 100;
+  a.io_ops = 5;
+  IndexStats b;
+  b.updates_applied = 10;
+  b.total_postings = 250;
+  b.io_ops = 7;
+  const IndexStats merged = MergeStats({a, b});
+  EXPECT_EQ(merged.updates_applied, 10u);
+  EXPECT_EQ(merged.total_postings, 350u);
+  EXPECT_EQ(merged.io_ops, 12u);
+}
+
+TEST(MergeStatsTest, UtilizationWeightedByBlocks) {
+  // Shard a: 10 blocks at 50% full; shard b: 30 blocks at 90% full.
+  // Combined: (10*0.5 + 30*0.9) / 40 = 0.8.
+  IndexStats a;
+  a.long_blocks = 10;
+  a.long_utilization = 0.5;
+  IndexStats b;
+  b.long_blocks = 30;
+  b.long_utilization = 0.9;
+  const IndexStats merged = MergeStats({a, b});
+  EXPECT_DOUBLE_EQ(merged.long_utilization, 0.8);
+}
+
+TEST(MergeStatsTest, AvgReadsWeightedByLongWords) {
+  // Shard a: 2 long lists averaging 1 read; shard b: 6 averaging 3.
+  // Combined: (2*1 + 6*3) / 8 = 2.5.
+  IndexStats a;
+  a.long_words = 2;
+  a.avg_reads_per_list = 1.0;
+  IndexStats b;
+  b.long_words = 6;
+  b.avg_reads_per_list = 3.0;
+  const IndexStats merged = MergeStats({a, b});
+  EXPECT_DOUBLE_EQ(merged.avg_reads_per_list, 2.5);
+}
+
+TEST(MergeStatsTest, OccupancyIsMeanOverEqualGeometryShards) {
+  IndexStats a;
+  a.bucket_occupancy = 0.2;
+  IndexStats b;
+  b.bucket_occupancy = 0.6;
+  const IndexStats merged = MergeStats({a, b});
+  EXPECT_DOUBLE_EQ(merged.bucket_occupancy, 0.4);
+}
+
+TEST(MergeStatsTest, NoLongListsLeavesRatioDefaults) {
+  IndexStats a;
+  a.bucket_postings = 10;
+  a.total_postings = 10;
+  const IndexStats merged = MergeStats({a, a});
+  EXPECT_DOUBLE_EQ(merged.long_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(merged.avg_reads_per_list, 0.0);
+}
+
+TEST(MergeCategoriesTest, ElementWiseSumWithZeroPadding) {
+  std::vector<UpdateCategories> a = {{5, 1, 0}, {2, 3, 1}};
+  std::vector<UpdateCategories> b = {{4, 0, 2}};
+  const std::vector<UpdateCategories> merged = MergeCategories({a, b});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].new_words, 9u);
+  EXPECT_EQ(merged[0].bucket_words, 1u);
+  EXPECT_EQ(merged[0].long_words, 2u);
+  EXPECT_EQ(merged[1].new_words, 2u);
+  EXPECT_EQ(merged[1].bucket_words, 3u);
+  EXPECT_EQ(merged[1].long_words, 1u);
+  EXPECT_EQ(merged[0].total(), 12u);
+}
+
+TEST(MergeCategoriesTest, EmptyInput) {
+  EXPECT_TRUE(MergeCategories({}).empty());
+  EXPECT_TRUE(MergeCategories({{}, {}}).empty());
+}
+
+}  // namespace
+}  // namespace duplex::core

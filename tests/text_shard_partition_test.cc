@@ -1,0 +1,111 @@
+#include "text/shard_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace duplex::text {
+namespace {
+
+TEST(ShardPartitionTest, SingleShardOwnsEverything) {
+  for (WordId w = 0; w < 1000; ++w) {
+    EXPECT_EQ(ShardForWord(w, 1), 0u);
+  }
+}
+
+TEST(ShardPartitionTest, MappingIsDeterministicAndInRange) {
+  for (const uint32_t shards : {2u, 4u, 8u}) {
+    for (WordId w = 0; w < 1000; ++w) {
+      const uint32_t s = ShardForWord(w, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardForWord(w, shards));
+    }
+  }
+}
+
+TEST(ShardPartitionTest, HashSpreadsDenseWordIds) {
+  // 1000 dense word ids across 4 shards: every shard must own a
+  // reasonable fraction (this is the balance the dense-id corpus relies
+  // on; the expected share is 250 each).
+  std::vector<int> counts(4, 0);
+  for (WordId w = 0; w < 1000; ++w) ++counts[ShardForWord(w, 4)];
+  for (int c : counts) {
+    EXPECT_GT(c, 150);
+    EXPECT_LT(c, 350);
+  }
+}
+
+TEST(ShardPartitionTest, BatchUpdatePartitionCoversExactly) {
+  BatchUpdate batch;
+  for (WordId w = 0; w < 500; ++w) {
+    batch.pairs.push_back({w, w % 7 + 1});
+  }
+  const std::vector<BatchUpdate> parts = PartitionBatch(batch, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  uint64_t total_pairs = 0;
+  uint64_t total_postings = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    for (const WordCount& pair : parts[s].pairs) {
+      EXPECT_EQ(ShardForWord(pair.word, 4), s);
+    }
+    // Original sorted order is preserved within each sub-batch.
+    EXPECT_TRUE(std::is_sorted(parts[s].pairs.begin(), parts[s].pairs.end(),
+                               [](const WordCount& a, const WordCount& b) {
+                                 return a.word < b.word;
+                               }));
+    total_pairs += parts[s].pairs.size();
+    total_postings += parts[s].TotalPostings();
+  }
+  EXPECT_EQ(total_pairs, batch.pairs.size());
+  EXPECT_EQ(total_postings, batch.TotalPostings());
+}
+
+TEST(ShardPartitionTest, NoWordAppearsInTwoSubBatches) {
+  BatchUpdate batch;
+  for (WordId w = 0; w < 300; ++w) batch.pairs.push_back({w, 1});
+  const std::vector<BatchUpdate> parts = PartitionBatch(batch, 8);
+  std::set<WordId> seen;
+  for (const BatchUpdate& part : parts) {
+    for (const WordCount& pair : part.pairs) {
+      EXPECT_TRUE(seen.insert(pair.word).second)
+          << "word " << pair.word << " in two sub-batches";
+    }
+  }
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(ShardPartitionTest, InvertedBatchPartitionKeepsDocs) {
+  InvertedBatch batch;
+  for (WordId w = 0; w < 100; ++w) {
+    batch.entries.push_back({w, {w, w + 1000, w + 2000}});
+  }
+  const std::vector<InvertedBatch> parts = PartitionBatch(batch, 4);
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    for (const InvertedBatch::Entry& entry : parts[s].entries) {
+      EXPECT_EQ(ShardForWord(entry.word, 4), s);
+      EXPECT_EQ(entry.docs.size(), 3u);
+      EXPECT_EQ(entry.docs, (std::vector<DocId>{entry.word,
+                                                entry.word + 1000,
+                                                entry.word + 2000}));
+    }
+    total += parts[s].TotalPostings();
+  }
+  EXPECT_EQ(total, batch.TotalPostings());
+}
+
+TEST(ShardPartitionTest, EmptyShardsStillReturned) {
+  BatchUpdate batch;
+  batch.pairs.push_back({0, 5});
+  const std::vector<BatchUpdate> parts = PartitionBatch(batch, 8);
+  ASSERT_EQ(parts.size(), 8u);
+  int nonempty = 0;
+  for (const BatchUpdate& part : parts) {
+    nonempty += part.pairs.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(nonempty, 1);
+}
+
+}  // namespace
+}  // namespace duplex::text

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: build + test in Release, then rebuild with
+# ThreadSanitizer (-DDUPLEX_SANITIZE=thread) and re-run the concurrency
+# surface (thread pool, concurrent facade, sharded index) so every PR is
+# race-checked. Usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+GEN=()
+command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+
+echo "=== Release build + full test suite ==="
+cmake -B build-ci-release -S . "${GEN[@]}" \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci-release -j "$JOBS"
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+echo "=== ThreadSanitizer build + concurrency tests ==="
+cmake -B build-ci-tsan -S . "${GEN[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDUPLEX_SANITIZE=thread >/dev/null
+cmake --build build-ci-tsan -j "$JOBS" --target \
+  util_thread_pool_test core_concurrent_index_test core_sharded_index_test
+ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex'
+
+echo "CI OK"
