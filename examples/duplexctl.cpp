@@ -6,6 +6,10 @@
 //   duplexctl stats <prefix>                    snapshot statistics
 //   duplexctl demo                              self-contained demo (default)
 //
+// Global flags (before the command): --cache-blocks <n> puts a buffer
+// pool of n frames in front of the index's disks; --cache-mode
+// write-through|write-back picks when dirty frames reach them.
+//
 // Each regular file becomes one document.
 #include <filesystem>
 #include <fstream>
@@ -17,11 +21,14 @@
 #include "core/inverted_index.h"
 #include "core/snapshot.h"
 #include "ir/query_eval.h"
+#include "storage/buffer_pool.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 using namespace duplex;
+
+storage::BufferPoolOptions g_cache;
 
 core::IndexOptions DefaultOptions() {
   core::IndexOptions options;
@@ -33,6 +40,7 @@ core::IndexOptions DefaultOptions() {
   options.disks.blocks_per_disk = 1 << 20;
   options.materialize = true;
   options.bucket_grow_threshold = 0.85;
+  options.cache = g_cache;
   return options;
 }
 
@@ -113,7 +121,11 @@ int Query(const std::string& prefix, const std::string& query) {
     return 1;
   }
   std::cout << result->docs.size() << " matching documents ("
-            << result->read_ops << " list reads):";
+            << result->read_ops << " list reads";
+  if (g_cache.enabled()) {
+    std::cout << ", " << result->cached_read_ops << " cache-resident";
+  }
+  std::cout << "):";
   for (const DocId d : result->docs) std::cout << " " << d;
   std::cout << "\n";
   return 0;
@@ -166,7 +178,26 @@ int Demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // Peel global cache flags off the front, in any order.
+  while (args.size() >= 2 && args[0].rfind("--cache-", 0) == 0) {
+    if (args[0] == "--cache-blocks") {
+      g_cache.capacity_blocks = std::strtoull(args[1].c_str(), nullptr, 10);
+    } else if (args[0] == "--cache-mode") {
+      duplex::Result<storage::CacheMode> mode =
+          storage::ParseCacheMode(args[1]);
+      if (!mode.ok()) {
+        std::cerr << "unknown cache mode '" << args[1]
+                  << "' (write-through|write-back)\n";
+        return 2;
+      }
+      g_cache.mode = *mode;
+    } else {
+      std::cerr << "unknown flag " << args[0] << "\n";
+      return 2;
+    }
+    args.erase(args.begin(), args.begin() + 2);
+  }
   if (args.empty() || args[0] == "demo") return Demo();
   if (args[0] == "build" && args.size() >= 3) {
     return Build(args[1], {args.begin() + 2, args.end()});
@@ -175,7 +206,9 @@ int main(int argc, char** argv) {
     return Query(args[1], args[2]);
   }
   if (args[0] == "stats" && args.size() == 2) return Stats(args[1]);
-  std::cerr << "usage: duplexctl build <prefix> <file-or-dir>...\n"
+  std::cerr << "usage: duplexctl [--cache-blocks <n>] [--cache-mode "
+               "write-through|write-back]\n"
+               "                 build <prefix> <file-or-dir>...\n"
                "       duplexctl query <prefix> \"<boolean query>\"\n"
                "       duplexctl stats <prefix>\n"
                "       duplexctl demo\n";

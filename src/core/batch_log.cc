@@ -169,6 +169,16 @@ Status BatchLog::AppendRecord(char type, const std::string& payload) {
   if (std::fflush(file_) != 0) {
     return Status::Internal("batch log flush failed");
   }
+  if (fsync_enabled_) {
+    // fflush only moved the bytes into the kernel; "durable before any
+    // index I/O" needs them on the platter. fdatasync skips the inode
+    // timestamp update — record boundaries are self-describing, so file
+    // length metadata is not load-bearing.
+    if (::fdatasync(::fileno(file_)) != 0) {
+      return Status::Internal("batch log fdatasync failed");
+    }
+    ++syncs_;
+  }
   return Status::OK();
 }
 
@@ -224,6 +234,29 @@ std::vector<const BatchLog::LoggedBatch*> BatchLog::UnappliedBatches()
   return result;
 }
 
+Status BatchLog::ApplyLogged(InvertedIndex* index,
+                             const text::BatchUpdate& batch) {
+  DUPLEX_CHECK(index != nullptr);
+  Result<uint64_t> id = AppendBatch(batch);
+  if (!id.ok()) return id.status();
+  DUPLEX_RETURN_IF_ERROR(index->ApplyBatchUpdate(batch));
+  // Write-back pools may still hold this batch's index writes as dirty
+  // frames; they must reach the devices before the commit record, or a
+  // crash after MarkApplied would lose writes the log says are applied.
+  DUPLEX_RETURN_IF_ERROR(index->FlushCaches());
+  return MarkApplied(*id);
+}
+
+Status BatchLog::ApplyLogged(InvertedIndex* index,
+                             const text::InvertedBatch& batch) {
+  DUPLEX_CHECK(index != nullptr);
+  Result<uint64_t> id = AppendBatch(batch);
+  if (!id.ok()) return id.status();
+  DUPLEX_RETURN_IF_ERROR(index->ApplyInvertedBatch(batch));
+  DUPLEX_RETURN_IF_ERROR(index->FlushCaches());
+  return MarkApplied(*id);
+}
+
 Status BatchLog::RecoverInto(InvertedIndex* index) {
   DUPLEX_CHECK(index != nullptr);
   for (const LoggedBatch* batch : UnappliedBatches()) {
@@ -237,6 +270,9 @@ Status BatchLog::RecoverInto(InvertedIndex* index) {
     } else {
       DUPLEX_RETURN_IF_ERROR(index->ApplyBatchUpdate(batch->counts));
     }
+    // Same ordering as ApplyLogged: dirty frames down before the commit
+    // record.
+    DUPLEX_RETURN_IF_ERROR(index->FlushCaches());
     DUPLEX_RETURN_IF_ERROR(MarkApplied(batch->id));
   }
   return Status::OK();

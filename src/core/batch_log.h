@@ -47,13 +47,29 @@ class BatchLog {
   BatchLog(const BatchLog&) = delete;
   BatchLog& operator=(const BatchLog&) = delete;
 
-  // Appends a batch record; returns the assigned batch id. Durable (the
-  // stream is flushed) before returning.
+  // Appends a batch record; returns the assigned batch id. Durable before
+  // returning: the stream is flushed and, unless set_fsync(false), pushed
+  // through fdatasync so the record survives an OS crash, not just a
+  // process crash.
   Result<uint64_t> AppendBatch(const text::BatchUpdate& batch);
   Result<uint64_t> AppendBatch(const text::InvertedBatch& batch);
 
   // Appends the commit record for `batch_id`.
   Status MarkApplied(uint64_t batch_id);
+
+  // Full commit protocol for one batch: append (durable), apply to the
+  // index, flush the index's dirty cache frames (write-back pools must
+  // not hold committed index writes hostage in memory), then the commit
+  // record. This is the ordering diagram in DESIGN.md § Buffer pool.
+  Status ApplyLogged(InvertedIndex* index, const text::BatchUpdate& batch);
+  Status ApplyLogged(InvertedIndex* index, const text::InvertedBatch& batch);
+
+  // Test hook: disable the per-record fdatasync (appends still fflush).
+  // Durability tests count syncs(); everything else can skip the disk
+  // round-trips.
+  void set_fsync(bool enabled) { fsync_enabled_ = enabled; }
+  bool fsync_enabled() const { return fsync_enabled_; }
+  uint64_t syncs() const { return syncs_; }
 
   // Batches appended but never marked applied, in append order.
   std::vector<const LoggedBatch*> UnappliedBatches() const;
@@ -78,6 +94,8 @@ class BatchLog {
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  bool fsync_enabled_ = true;
+  uint64_t syncs_ = 0;
   uint64_t next_id_ = 0;
   uint64_t applied_count_ = 0;
   std::vector<LoggedBatch> batches_;

@@ -72,6 +72,12 @@ class ConcurrentIndex {
     });
   }
 
+  // Writes dirty cache frames back to the devices (write-back mode).
+  Status FlushCaches() {
+    return shard_.WithWrite(
+        [](InvertedIndex& index) { return index.FlushCaches(); });
+  }
+
   // Runs `fn(InvertedIndex&)` under the exclusive lock (e.g. Snapshot
   // writes, custom maintenance).
   template <typename Fn>

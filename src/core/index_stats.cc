@@ -31,6 +31,13 @@ IndexStats MergeStats(const std::vector<IndexStats>& shards) {
     merged.io_ops += s.io_ops;
     merged.in_place_updates += s.in_place_updates;
     merged.append_opportunities += s.append_opportunities;
+    merged.cache_hits += s.cache_hits;
+    merged.cache_misses += s.cache_misses;
+    merged.cache_evictions += s.cache_evictions;
+    merged.cache_dirty_writebacks += s.cache_dirty_writebacks;
+    merged.cache_pinned_peak += s.cache_pinned_peak;
+    merged.cache_physical_reads += s.cache_physical_reads;
+    merged.cache_physical_writes += s.cache_physical_writes;
   }
   merged.long_utilization = utilization_weight > 0.0
                                 ? merged.long_utilization / utilization_weight

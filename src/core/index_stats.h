@@ -35,6 +35,17 @@ struct IndexStats {
   uint64_t io_ops = 0;  // cumulative trace events (paper Figure 8)
   uint64_t in_place_updates = 0;
   uint64_t append_opportunities = 0;
+  // Buffer-pool accounting (zero when no cache is configured). Plain
+  // counters, so merging is a field-wise sum; `cache_pinned_peak` sums
+  // too (each shard pool pins independently, so the sum is the
+  // worst-case simultaneous footprint).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_dirty_writebacks = 0;
+  uint64_t cache_pinned_peak = 0;
+  uint64_t cache_physical_reads = 0;
+  uint64_t cache_physical_writes = 0;
 };
 
 // Where a word's list lives — input to the query cost model. Historically
@@ -45,6 +56,9 @@ struct ListLocation {
   bool is_long = false;
   uint64_t chunks = 0;  // read ops to fetch the list (1 for a bucket)
   uint64_t postings = 0;
+  // Of `chunks`, how many are fully buffer-pool resident right now (their
+  // reads would be logical-only). 0 when no cache is configured.
+  uint64_t cached_chunks = 0;
 };
 
 // Reduces per-shard statistics into index-wide totals. Counters sum;

@@ -12,6 +12,7 @@ InvertedIndex::InvertedIndex(const IndexOptions& options)
       buckets_(options.buckets) {
   storage::DiskArrayOptions disk_opts = options.disks;
   disk_opts.materialize_payloads = options.materialize;
+  disk_opts.cache = options.cache;
   disks_ = std::make_unique<storage::DiskArray>(disk_opts);
 
   LongListStoreOptions ll_opts;
@@ -211,6 +212,24 @@ InvertedIndex::ListLocation InvertedIndex::Locate(WordId word) const {
     loc.is_long = true;
     loc.chunks = list->chunks.size();
     loc.postings = list->total_postings;
+    if (disks_->cache_enabled()) {
+      const uint64_t bs = disks_->block_size();
+      for (const ChunkRef& c : list->chunks) {
+        // Probe the blocks a read of this chunk would touch: the encoded
+        // bytes when payloads exist, the posting-count blocks otherwise.
+        // Reserved tail blocks are never read, so they don't gate
+        // residency.
+        const uint64_t data_blocks = std::max<uint64_t>(
+            1, options_.materialize
+                   ? (c.byte_length + bs - 1) / bs
+                   : (c.postings + options_.block_postings - 1) /
+                         options_.block_postings);
+        if (disks_->CachePeek(c.range.disk, c.range.start, data_blocks) ==
+            data_blocks) {
+          ++loc.cached_chunks;
+        }
+      }
+    }
   } else if (const PostingList* list = buckets_.Find(word)) {
     loc.exists = true;
     loc.is_long = false;
@@ -376,7 +395,17 @@ IndexStats InvertedIndex::Stats() const {
   s.io_ops = trace_.event_count();
   s.in_place_updates = long_lists_->counters().in_place_updates;
   s.append_opportunities = long_lists_->counters().appends_to_existing;
+  const storage::CacheStats cache = disks_->cache_stats();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_evictions = cache.evictions;
+  s.cache_dirty_writebacks = cache.dirty_writebacks;
+  s.cache_pinned_peak = cache.pinned_peak;
+  s.cache_physical_reads = cache.physical_reads;
+  s.cache_physical_writes = cache.physical_writes;
   return s;
 }
+
+Status InvertedIndex::FlushCaches() { return disks_->FlushCache(); }
 
 }  // namespace duplex::core

@@ -32,6 +32,12 @@ struct IndexOptions {
   // implies ~16 bytes per unit.
   uint64_t bucket_unit_bytes = 16;
   storage::DiskArrayOptions disks;
+  // Block cache over the disk array (see storage::BufferPool). Disabled by
+  // default (capacity 0). Long-list reads and writes flow through it; the
+  // shadow-paged bucket/directory regions bypass it by design — they
+  // rewrite a region far larger than any sane cache every batch, and
+  // their freed ranges are invalidated so stale frames cannot resurface.
+  storage::BufferPoolOptions cache;
   // Store actual posting payloads (doc ids) so queries can run. The
   // count-only mode reproduces the paper's experiment pipeline.
   bool materialize = false;
@@ -133,6 +139,15 @@ class InvertedIndex {
 
   // Reinstates document-id state after all RestoreWord calls.
   void RestoreDocState(DocId next_doc_id, std::vector<DocId> deleted);
+
+  // --- Buffer pool ---------------------------------------------------------
+
+  // Writes every dirty cache frame back to the disk devices. Must run
+  // before a batch is marked applied in the WAL (see BatchLog) so
+  // write-back mode cannot lose committed index writes. No-op without a
+  // cache or in write-through mode.
+  Status FlushCaches();
+  storage::CacheStats cache_stats() const { return disks_->cache_stats(); }
 
   // --- Introspection -------------------------------------------------------
 

@@ -27,10 +27,17 @@ LongListStore::LongListStore(const LongListStoreOptions& options,
 void LongListStore::Record(storage::IoOp op, WordId word, uint64_t postings,
                            const storage::BlockRange& range,
                            uint64_t nblocks) {
+  const storage::BlockRange span{range.disk, range.start, nblocks};
+  bool cached = false;
   if (op == storage::IoOp::kRead) {
     ++counters_.read_ops;
+    // A read is cached only when every block it touches is resident —
+    // otherwise the arm moves anyway and the op stays physical.
+    cached =
+        nblocks > 0 && disks_->CacheTouchRead(span, nblocks) == nblocks;
   } else {
     ++counters_.write_ops;
+    disks_->CacheNoteWrite(span, nblocks);
   }
   if (trace_ != nullptr) {
     storage::IoEvent e;
@@ -41,6 +48,7 @@ void LongListStore::Record(storage::IoOp op, WordId word, uint64_t postings,
     e.disk = range.disk;
     e.block = range.start;
     e.nblocks = nblocks;
+    e.cached = cached;
     trace_->Add(e);
   }
 }
@@ -100,11 +108,17 @@ Status LongListStore::UpdateInPlace(WordId word, LongList* list,
 
 Result<PostingList> LongListStore::ReadAndRelease(WordId word,
                                                   LongList* list) {
-  PostingList full;
-  if (options_.materialize) {
-    std::vector<DocId> docs;
-    docs.reserve(list->total_postings);
-    for (const ChunkRef& c : list->chunks) {
+  std::vector<DocId> docs;
+  if (options_.materialize) docs.reserve(list->total_postings);
+  for (const ChunkRef& c : list->chunks) {
+    // Account before touching the device: the cached flag must reflect
+    // residency before this very read warms the pool. The read covers the
+    // blocks that hold postings — the reserved tail was never written, so
+    // it is never read (mirrors the write side, which records data
+    // blocks, not the allocation).
+    Record(storage::IoOp::kRead, word, c.postings, c.range,
+           std::max<uint64_t>(1, BlocksFor(c.postings)));
+    if (options_.materialize) {
       const storage::BlockDevice* dev = disks_->device(c.range.disk);
       std::string bytes(c.byte_length, '\0');
       DUPLEX_RETURN_IF_ERROR(dev->Read(
@@ -115,14 +129,11 @@ Result<PostingList> LongListStore::ReadAndRelease(WordId word,
       if (!chunk_docs.ok()) return chunk_docs.status();
       docs.insert(docs.end(), chunk_docs->begin(), chunk_docs->end());
     }
-    full = PostingList::Materialized(std::move(docs));
-  } else {
-    full = PostingList::Counted(list->total_postings);
-  }
-  for (const ChunkRef& c : list->chunks) {
-    Record(storage::IoOp::kRead, word, c.postings, c.range, c.range.length);
     release_.push_back(c.range);
   }
+  PostingList full = options_.materialize
+                         ? PostingList::Materialized(std::move(docs))
+                         : PostingList::Counted(list->total_postings);
   counters_.postings_moved += list->total_postings;
   list->chunks.clear();
   list->total_postings = 0;

@@ -15,6 +15,13 @@ ShardedIndexOptions ShardedIndexOptions::Partition(const IndexOptions& total,
   opts.shard = total;
   opts.shard.buckets.num_buckets =
       std::max<uint32_t>(1, total.buckets.num_buckets / num_shards);
+  if (total.cache.enabled()) {
+    // One pool per shard (a shared pool would re-serialize the shards on
+    // its locks); divide the global frame budget so the sharded index
+    // caches no more memory than the unsharded one.
+    opts.shard.cache.capacity_blocks =
+        std::max<uint64_t>(1, total.cache.capacity_blocks / num_shards);
+  }
   opts.num_shards = num_shards;
   opts.threads = threads;
   return opts;
@@ -219,6 +226,13 @@ Status ShardedIndex::GrowBuckets(uint32_t new_num_buckets_per_shard,
       return index.GrowBuckets(new_num_buckets_per_shard,
                                new_bucket_capacity);
     });
+  });
+}
+
+Status ShardedIndex::FlushCaches() {
+  return ParallelOverShards([&](uint32_t s) {
+    return shards_[s]->WithWrite(
+        [](InvertedIndex& index) { return index.FlushCaches(); });
   });
 }
 

@@ -122,6 +122,10 @@ class ShardedIndex {
   Status GrowBuckets(uint32_t new_num_buckets_per_shard,
                      uint64_t new_bucket_capacity);
 
+  // Writes every shard's dirty cache frames back to its devices
+  // (write-back mode; no-op otherwise). Parallel across shards.
+  Status FlushCaches();
+
   // --- Introspection -------------------------------------------------------
 
   // Merged statistics (MergeStats over a consistent per-shard snapshot:

@@ -59,6 +59,7 @@ Status EvalNode(const Index& index, const BooleanQuery& node,
         return Status::OK();
       }
       result->read_ops += loc.chunks;
+      result->cached_read_ops += loc.cached_chunks;
       result->postings_read += loc.postings;
       Result<std::vector<DocId>> docs = index.GetPostings(node.term);
       if (!docs.ok()) return docs.status();

@@ -27,6 +27,9 @@ struct QueryResult {
   uint64_t read_ops = 0;       // chunk/bucket reads to fetch all lists
   uint64_t postings_read = 0;  // postings scanned
   uint64_t missing_terms = 0;  // terms with no inverted list
+  // Of read_ops, how many were buffer-pool resident at evaluation time
+  // (logical reads that cost no disk arm movement). 0 without a cache.
+  uint64_t cached_read_ops = 0;
 };
 
 // Evaluates a boolean query against a materialized index. Unknown terms

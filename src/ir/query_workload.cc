@@ -69,6 +69,7 @@ QueryWorkloadGenerator::Cost QueryWorkloadGenerator::EstimateCost(
     if (!loc.exists) continue;
     cost.read_ops += loc.chunks;
     cost.postings += loc.postings;
+    cost.cached_read_ops += loc.cached_chunks;
     if (loc.is_long) ++cost.long_lists;
   }
   return cost;

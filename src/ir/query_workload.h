@@ -35,6 +35,10 @@ class QueryWorkloadGenerator {
     uint64_t read_ops = 0;
     uint64_t postings = 0;
     uint64_t long_lists = 0;
+    // Of read_ops, how many are buffer-pool resident right now (no arm
+    // movement). 0 without a cache; bucket reads never count (the bucket
+    // region bypasses the pool).
+    uint64_t cached_read_ops = 0;
   };
   Cost EstimateCost(const std::vector<WordId>& words) const;
 

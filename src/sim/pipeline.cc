@@ -21,6 +21,10 @@ core::IndexOptions SimConfig::ToIndexOptions(
   opts.disks.block_size_bytes = block_size;
   opts.materialize = false;
   opts.record_trace = true;
+  opts.cache.capacity_blocks = cache_blocks;
+  opts.cache.mode = cache_mode;
+  opts.cache.eviction = cache_eviction;
+  opts.cache.lock_shards = cache_lock_shards;
   return opts;
 }
 

@@ -29,6 +29,14 @@ struct SimConfig {
   uint64_t block_size = 4096;       // BlockSize (bytes)
   uint64_t buffer_blocks = 128;     // BufferBlock (coalescing cap)
 
+  // Buffer pool over the disk array (accounting-only in the count-only
+  // pipeline). 0 frames disables it; long-list reads that hit become
+  // `cached` trace events the executor skips.
+  uint64_t cache_blocks = 0;
+  storage::CacheMode cache_mode = storage::CacheMode::kWriteThrough;
+  storage::CacheEviction cache_eviction = storage::CacheEviction::kClock;
+  uint32_t cache_lock_shards = 8;
+
   core::IndexOptions ToIndexOptions(const core::Policy& policy) const;
   storage::ExecutorOptions ToExecutorOptions(
       const storage::DiskModelParams& disk =

@@ -1,0 +1,526 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace duplex::storage {
+
+const char* CacheModeName(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kWriteThrough:
+      return "write-through";
+    case CacheMode::kWriteBack:
+      return "write-back";
+  }
+  return "unknown";
+}
+
+const char* CacheEvictionName(CacheEviction eviction) {
+  switch (eviction) {
+    case CacheEviction::kClock:
+      return "clock";
+    case CacheEviction::kLru:
+      return "lru";
+  }
+  return "unknown";
+}
+
+Result<CacheMode> ParseCacheMode(std::string_view name) {
+  if (name == "write-through") return CacheMode::kWriteThrough;
+  if (name == "write-back") return CacheMode::kWriteBack;
+  return Status::InvalidArgument("unknown cache mode '" + std::string(name) +
+                                 "' (write-through|write-back)");
+}
+
+Result<CacheEviction> ParseCacheEviction(std::string_view name) {
+  if (name == "clock") return CacheEviction::kClock;
+  if (name == "lru") return CacheEviction::kLru;
+  return Status::InvalidArgument("unknown cache eviction '" +
+                                 std::string(name) + "' (clock|lru)");
+}
+
+CacheStats& CacheStats::Add(const CacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  dirty_writebacks += other.dirty_writebacks;
+  pinned_peak += other.pinned_peak;
+  physical_reads += other.physical_reads;
+  physical_writes += other.physical_writes;
+  return *this;
+}
+
+BufferPool::PinnedBlock& BufferPool::PinnedBlock::operator=(
+    PinnedBlock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    shard_ = other.shard_;
+    slot_ = other.slot_;
+    block_ = other.block_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void BufferPool::PinnedBlock::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(shard_, slot_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(const BufferPoolOptions& options, uint64_t block_size,
+                       bool materialized)
+    : options_(options),
+      capacity_(options.capacity_blocks),
+      block_size_(block_size),
+      materialized_(materialized) {
+  DUPLEX_CHECK_GT(capacity_, 0u) << "a BufferPool needs capacity";
+  DUPLEX_CHECK_GT(block_size_, 0u);
+  const uint32_t nshards = static_cast<uint32_t>(std::clamp<uint64_t>(
+      options.lock_shards == 0 ? 1 : options.lock_shards, 1, capacity_));
+  shards_ = std::vector<Shard>(nshards);
+  for (uint32_t s = 0; s < nshards; ++s) {
+    const uint64_t cap =
+        capacity_ / nshards + (s < capacity_ % nshards ? 1 : 0);
+    Shard& shard = shards_[s];
+    shard.slots.resize(cap);
+    shard.free_slots.reserve(cap);
+    // Pop order matches slot order so cold fills walk slots 0, 1, ...
+    for (uint32_t i = 0; i < cap; ++i) {
+      shard.free_slots.push_back(static_cast<uint32_t>(cap - 1 - i));
+    }
+    shard.map.reserve(cap);
+  }
+}
+
+uint32_t BufferPool::RegisterClient(BlockSource* source) {
+  Client client;
+  client.source = source;
+  client.io_mu = std::make_unique<std::mutex>();
+  clients_.push_back(std::move(client));
+  return static_cast<uint32_t>(clients_.size() - 1);
+}
+
+BufferPool::Frame* BufferPool::FindFrame(Shard& shard, uint64_t key) {
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : &shard.slots[it->second];
+}
+
+void BufferPool::LruUnlink(Shard& shard, uint32_t slot) {
+  Frame& f = shard.slots[slot];
+  if (f.lru_prev != kNoSlot) {
+    shard.slots[f.lru_prev].lru_next = f.lru_next;
+  } else if (shard.lru_head == slot) {
+    shard.lru_head = f.lru_next;
+  }
+  if (f.lru_next != kNoSlot) {
+    shard.slots[f.lru_next].lru_prev = f.lru_prev;
+  } else if (shard.lru_tail == slot) {
+    shard.lru_tail = f.lru_prev;
+  }
+  f.lru_prev = kNoSlot;
+  f.lru_next = kNoSlot;
+}
+
+void BufferPool::LruPushFront(Shard& shard, uint32_t slot) {
+  Frame& f = shard.slots[slot];
+  f.lru_prev = kNoSlot;
+  f.lru_next = shard.lru_head;
+  if (shard.lru_head != kNoSlot) shard.slots[shard.lru_head].lru_prev = slot;
+  shard.lru_head = slot;
+  if (shard.lru_tail == kNoSlot) shard.lru_tail = slot;
+}
+
+void BufferPool::TouchRecency(Shard& shard, uint32_t slot) {
+  shard.slots[slot].referenced = true;
+  if (options_.eviction == CacheEviction::kLru && shard.lru_head != slot) {
+    LruUnlink(shard, slot);
+    LruPushFront(shard, slot);
+  }
+}
+
+Status BufferPool::WriteBackFrame(Shard& shard, Frame& frame) {
+  (void)shard;
+  DUPLEX_CHECK(frame.dirty);
+  BlockSource* source = clients_[frame.client].source;
+  if (source != nullptr && materialized_) {
+    std::lock_guard io_lock(*clients_[frame.client].io_mu);
+    DUPLEX_RETURN_IF_ERROR(source->StoreBlock(frame.block,
+                                              frame.data.data()));
+  }
+  frame.dirty = false;
+  ++shard.stats.dirty_writebacks;
+  ++shard.stats.physical_writes;
+  return Status::OK();
+}
+
+Result<uint32_t> BufferPool::EvictVictim(Shard& shard) {
+  const size_t n = shard.slots.size();
+  uint32_t victim = kNoSlot;
+  if (options_.eviction == CacheEviction::kClock) {
+    // Second-chance sweep: referenced frames get one reprieve; two full
+    // revolutions with no victim means every frame is pinned.
+    for (size_t step = 0; step < 2 * n && victim == kNoSlot; ++step) {
+      Frame& f = shard.slots[shard.clock_hand];
+      const uint32_t slot = shard.clock_hand;
+      shard.clock_hand = static_cast<uint32_t>((shard.clock_hand + 1) % n);
+      if (!f.in_use || f.pins > 0) continue;
+      if (f.referenced) {
+        f.referenced = false;
+        continue;
+      }
+      victim = slot;
+    }
+  } else {
+    for (uint32_t slot = shard.lru_tail; slot != kNoSlot;
+         slot = shard.slots[slot].lru_prev) {
+      if (shard.slots[slot].pins == 0) {
+        victim = slot;
+        break;
+      }
+    }
+  }
+  if (victim == kNoSlot) {
+    return Status::ResourceExhausted(
+        "buffer pool shard exhausted: every frame is pinned");
+  }
+  Frame& f = shard.slots[victim];
+  if (f.dirty) DUPLEX_RETURN_IF_ERROR(WriteBackFrame(shard, f));
+  ++shard.stats.evictions;
+  shard.map.erase(f.key);
+  LruUnlink(shard, victim);
+  f.in_use = false;
+  return victim;
+}
+
+Result<uint32_t> BufferPool::AcquireSlot(Shard& shard) {
+  if (!shard.free_slots.empty()) {
+    const uint32_t slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+    return slot;
+  }
+  return EvictVictim(shard);
+}
+
+void BufferPool::ReleaseFrame(Shard& shard, uint32_t slot) {
+  Frame& f = shard.slots[slot];
+  shard.map.erase(f.key);
+  LruUnlink(shard, slot);
+  f.in_use = false;
+  f.dirty = false;
+  f.referenced = false;
+  shard.free_slots.push_back(slot);
+}
+
+Result<uint32_t> BufferPool::FaultIn(Shard& shard, uint32_t client,
+                                     BlockId block, bool load) {
+  Result<uint32_t> slot = AcquireSlot(shard);
+  if (!slot.ok()) return slot.status();
+  Frame& f = shard.slots[*slot];
+  f.key = Key(client, block);
+  f.client = client;
+  f.block = block;
+  f.pins = 0;
+  f.dirty = false;
+  f.referenced = true;
+  f.in_use = true;
+  if (materialized_) {
+    f.data.assign(block_size_, 0);
+    if (load) {
+      BlockSource* source = clients_[client].source;
+      DUPLEX_CHECK(source != nullptr)
+          << "payload fault-in needs a block source";
+      std::lock_guard io_lock(*clients_[client].io_mu);
+      Status s = source->LoadBlock(block, f.data.data());
+      if (!s.ok()) {
+        f.in_use = false;
+        shard.free_slots.push_back(*slot);
+        return s;
+      }
+    }
+  }
+  shard.map.emplace(f.key, *slot);
+  LruPushFront(shard, *slot);
+  return *slot;
+}
+
+Result<BufferPool::PinnedBlock> BufferPool::Pin(uint32_t client,
+                                                BlockId block) {
+  DUPLEX_CHECK_LT(client, clients_.size());
+  const uint64_t key = Key(client, block);
+  const uint32_t shard_index =
+      static_cast<uint32_t>(key % shards_.size());
+  Shard& shard = shards_[shard_index];
+  std::lock_guard lock(shard.mu);
+  uint32_t slot;
+  if (Frame* f = FindFrame(shard, key); f != nullptr) {
+    ++shard.stats.hits;
+    slot = static_cast<uint32_t>(f - shard.slots.data());
+    TouchRecency(shard, slot);
+  } else {
+    ++shard.stats.misses;
+    if (materialized_) ++shard.stats.physical_reads;
+    Result<uint32_t> faulted =
+        FaultIn(shard, client, block, /*load=*/materialized_);
+    if (!faulted.ok()) return faulted.status();
+    slot = *faulted;
+  }
+  Frame& frame = shard.slots[slot];
+  if (frame.pins++ == 0) {
+    ++shard.pinned_now;
+    shard.stats.pinned_peak =
+        std::max(shard.stats.pinned_peak, shard.pinned_now);
+  }
+  return PinnedBlock(this, shard_index, slot, block,
+                     materialized_ ? frame.data.data() : nullptr);
+}
+
+void BufferPool::Unpin(uint32_t shard_index, uint32_t slot) {
+  Shard& shard = shards_[shard_index];
+  std::lock_guard lock(shard.mu);
+  Frame& frame = shard.slots[slot];
+  DUPLEX_CHECK_GT(frame.pins, 0u);
+  if (--frame.pins == 0) --shard.pinned_now;
+}
+
+Status BufferPool::Read(uint32_t client, BlockId block, uint64_t offset,
+                        uint8_t* out, size_t len) {
+  DUPLEX_CHECK(materialized_) << "payload reads need a materialized pool";
+  DUPLEX_CHECK_LE(offset + len, block_size_);
+  Result<PinnedBlock> pin = Pin(client, block);
+  if (!pin.ok()) return pin.status();
+  // The copy runs unpinned-lock-free: the pin guard keeps the frame (and
+  // its bytes) alive until it releases.
+  std::memcpy(out, pin->data() + offset, len);
+  return Status::OK();
+}
+
+Status BufferPool::Write(uint32_t client, BlockId block, uint64_t offset,
+                         const uint8_t* data, size_t len) {
+  DUPLEX_CHECK(materialized_) << "payload writes need a materialized pool";
+  DUPLEX_CHECK_LT(client, clients_.size());
+  DUPLEX_CHECK_LE(offset + len, block_size_);
+  const uint64_t key = Key(client, block);
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mu);
+  uint32_t slot;
+  if (Frame* f = FindFrame(shard, key); f != nullptr) {
+    slot = static_cast<uint32_t>(f - shard.slots.data());
+    TouchRecency(shard, slot);
+  } else {
+    // Write-allocate. A partial write must first load the block so the
+    // bytes around the write survive; a full-block write overwrites all
+    // of it, no base read needed.
+    const bool full = offset == 0 && len == block_size_;
+    if (!full) ++shard.stats.physical_reads;
+    Result<uint32_t> faulted = FaultIn(shard, client, block, !full);
+    if (!faulted.ok()) return faulted.status();
+    slot = *faulted;
+  }
+  Frame& frame = shard.slots[slot];
+  std::memcpy(frame.data.data() + offset, data, len);
+  if (options_.mode == CacheMode::kWriteThrough) {
+    BlockSource* source = clients_[client].source;
+    DUPLEX_CHECK(source != nullptr);
+    std::lock_guard io_lock(*clients_[client].io_mu);
+    DUPLEX_RETURN_IF_ERROR(source->StoreBlock(block, frame.data.data()));
+    ++shard.stats.physical_writes;
+    frame.dirty = false;
+  } else {
+    frame.dirty = true;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Flush() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (Frame& f : shard.slots) {
+      if (f.in_use && f.dirty) {
+        DUPLEX_RETURN_IF_ERROR(WriteBackFrame(shard, f));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushClient(uint32_t client) {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (Frame& f : shard.slots) {
+      if (f.in_use && f.dirty && f.client == client) {
+        DUPLEX_RETURN_IF_ERROR(WriteBackFrame(shard, f));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t BufferPool::TouchRead(uint32_t client, BlockId start,
+                               uint64_t nblocks) {
+  DUPLEX_CHECK(!materialized_)
+      << "materialized pools account reads on the payload path";
+  uint64_t resident = 0;
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    const uint64_t key = Key(client, start + i);
+    Shard& shard = ShardFor(key);
+    std::lock_guard lock(shard.mu);
+    if (Frame* f = FindFrame(shard, key); f != nullptr) {
+      ++resident;
+      ++shard.stats.hits;
+      TouchRecency(shard,
+                   static_cast<uint32_t>(f - shard.slots.data()));
+    } else {
+      ++shard.stats.misses;
+      ++shard.stats.physical_reads;
+      // An eviction failure is impossible here: accounting frames are
+      // never pinned.
+      DUPLEX_CHECK_OK(
+          FaultIn(shard, client, start + i, /*load=*/false).status());
+    }
+  }
+  return resident;
+}
+
+void BufferPool::TouchWrite(uint32_t client, BlockId start,
+                            uint64_t nblocks) {
+  DUPLEX_CHECK(!materialized_)
+      << "materialized pools account writes on the payload path";
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    const uint64_t key = Key(client, start + i);
+    Shard& shard = ShardFor(key);
+    std::lock_guard lock(shard.mu);
+    Frame* f = FindFrame(shard, key);
+    if (f == nullptr) {
+      Result<uint32_t> faulted =
+          FaultIn(shard, client, start + i, /*load=*/false);
+      DUPLEX_CHECK_OK(faulted.status());
+      f = &shard.slots[*faulted];
+    } else {
+      TouchRecency(shard, static_cast<uint32_t>(f - shard.slots.data()));
+    }
+    if (options_.mode == CacheMode::kWriteThrough) {
+      ++shard.stats.physical_writes;
+      f->dirty = false;
+    } else {
+      f->dirty = true;
+    }
+  }
+}
+
+uint64_t BufferPool::PeekResident(uint32_t client, BlockId start,
+                                  uint64_t nblocks) const {
+  uint64_t resident = 0;
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    const uint64_t key = Key(client, start + i);
+    const Shard& shard = ShardFor(key);
+    std::lock_guard lock(shard.mu);
+    resident += shard.map.contains(key) ? 1 : 0;
+  }
+  return resident;
+}
+
+void BufferPool::Invalidate(uint32_t client, BlockId start,
+                            uint64_t nblocks) {
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    const uint64_t key = Key(client, start + i);
+    Shard& shard = ShardFor(key);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) continue;
+    DUPLEX_CHECK_EQ(shard.slots[it->second].pins, 0u)
+        << "invalidating a pinned frame (freed block still in use?)";
+    ReleaseFrame(shard, it->second);
+  }
+}
+
+CacheStats BufferPool::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total.Add(shard.stats);
+  }
+  return total;
+}
+
+uint64_t BufferPool::resident_blocks() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+CachingBlockDevice::CachingBlockDevice(BlockDevice* base, BufferPool* pool)
+    : base_(base), pool_(pool) {
+  DUPLEX_CHECK(base != nullptr);
+  DUPLEX_CHECK(pool != nullptr);
+  DUPLEX_CHECK(pool->materialized())
+      << "CachingBlockDevice needs a materialized pool";
+  DUPLEX_CHECK_EQ(pool->block_size(), base->block_size());
+  client_ = pool_->RegisterClient(this);
+}
+
+Status CachingBlockDevice::Read(BlockId start, uint64_t byte_offset,
+                                uint8_t* out, size_t len) const {
+  const uint64_t bs = block_size();
+  const uint64_t abs = start * bs + byte_offset;
+  if (abs + len > capacity_blocks() * bs) {
+    return Status::OutOfRange("read beyond device end");
+  }
+  uint64_t pos = abs;
+  size_t done = 0;
+  while (done < len) {
+    const BlockId blk = pos / bs;
+    const uint64_t in_blk = pos % bs;
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(bs - in_blk, len - done));
+    DUPLEX_RETURN_IF_ERROR(
+        pool_->Read(client_, blk, in_blk, out + done, n));
+    pos += n;
+    done += n;
+  }
+  return Status::OK();
+}
+
+Status CachingBlockDevice::Write(BlockId start, uint64_t byte_offset,
+                                 const uint8_t* data, size_t len) {
+  const uint64_t bs = block_size();
+  const uint64_t abs = start * bs + byte_offset;
+  if (abs + len > capacity_blocks() * bs) {
+    return Status::OutOfRange("write beyond device end");
+  }
+  uint64_t pos = abs;
+  size_t written = 0;
+  while (written < len) {
+    const BlockId blk = pos / bs;
+    const uint64_t in_blk = pos % bs;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(bs - in_blk, len - written));
+    DUPLEX_RETURN_IF_ERROR(
+        pool_->Write(client_, blk, in_blk, data + written, n));
+    pos += n;
+    written += n;
+  }
+  return Status::OK();
+}
+
+Status CachingBlockDevice::Flush() { return pool_->FlushClient(client_); }
+
+Status CachingBlockDevice::LoadBlock(BlockId block, uint8_t* out) {
+  return base_->Read(block, 0, out, block_size());
+}
+
+Status CachingBlockDevice::StoreBlock(BlockId block, const uint8_t* data) {
+  return base_->Write(block, 0, data, block_size());
+}
+
+}  // namespace duplex::storage

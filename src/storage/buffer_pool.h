@@ -1,0 +1,324 @@
+#ifndef DUPLEX_STORAGE_BUFFER_POOL_H_
+#define DUPLEX_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/block_device.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// When the base device learns about a write: immediately (write-through)
+// or at eviction / Flush() time (write-back). Write-back batches the
+// physical writes of hot blocks but requires dirty frames to be flushed
+// before a batch commits (see core::BatchLog — dirty frames are written
+// back before MarkApplied so the WAL protocol stays crash-safe).
+enum class CacheMode : uint8_t { kWriteThrough, kWriteBack };
+
+// Victim selection among unpinned frames.
+enum class CacheEviction : uint8_t { kClock, kLru };
+
+const char* CacheModeName(CacheMode mode);
+const char* CacheEvictionName(CacheEviction eviction);
+Result<CacheMode> ParseCacheMode(std::string_view name);
+Result<CacheEviction> ParseCacheEviction(std::string_view name);
+
+struct BufferPoolOptions {
+  // Total frames across all lock shards; 0 disables caching entirely
+  // (no pool is created anywhere in the stack).
+  uint64_t capacity_blocks = 0;
+  // Lock shards: frames are hash-partitioned by block key, each partition
+  // behind its own mutex so concurrent queries on disjoint blocks do not
+  // serialize. Clamped to [1, capacity_blocks].
+  uint32_t lock_shards = 8;
+  CacheMode mode = CacheMode::kWriteThrough;
+  CacheEviction eviction = CacheEviction::kClock;
+
+  bool enabled() const { return capacity_blocks > 0; }
+};
+
+// End-to-end cache accounting. Every counter is a plain sum over the
+// pool's lock shards, so merging pools (e.g. per index shard) is a plain
+// field-wise sum too — MergeStats relies on that.
+struct CacheStats {
+  uint64_t hits = 0;              // read probes served from a frame
+  uint64_t misses = 0;            // read probes that went to the base
+  uint64_t evictions = 0;         // frames reclaimed (clean or dirty)
+  uint64_t dirty_writebacks = 0;  // dirty frames written back (evict/flush)
+  uint64_t pinned_peak = 0;       // max frames pinned at once
+  uint64_t physical_reads = 0;    // block reads issued to the base
+  uint64_t physical_writes = 0;   // block writes issued to the base
+
+  CacheStats& Add(const CacheStats& other);
+  double hit_rate() const {
+    const uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(probes);
+  }
+
+  friend bool operator==(const CacheStats& a, const CacheStats& b) = default;
+};
+
+// A sharded block cache with pinning and write-back. Frames are whole
+// blocks keyed by (client, block); clients are the devices sharing the
+// pool (one per disk of a DiskArray), so one pool manages a global
+// capacity across all disks of an index.
+//
+// Two operating modes, chosen at construction:
+//  - materialized: frames carry block payloads; the payload path
+//    (Read/Write/Pin/Flush) is what CachingBlockDevice drives.
+//  - accounting-only: frames carry residency metadata but no bytes; the
+//    Touch* path lets the count-only simulation pipeline model hit/miss
+//    behaviour of the identical block access stream without storing data.
+//
+// Frame lifecycle:
+//
+//   empty --miss--> resident(clean) --write--> resident(dirty)
+//     ^                  |   ^                      |
+//     |               evict  +---- write-back ------+  (StoreBlock,
+//     +---- Invalidate ---+            on evict/Flush    dirty_writebacks)
+//
+// Pinned frames are never evicted; Pin() returns a guard whose data
+// pointer stays valid without holding any pool lock until the guard is
+// destroyed. Callers must not race a Write against a pinned read of the
+// same block — the same single-writer contract BlockDevice already has.
+//
+// Concurrency: each lock shard owns its frames exclusively; base-device
+// I/O (loads, write-backs) runs under the owning shard's lock plus a
+// per-client I/O mutex, so a non-thread-safe base device (MemBlockDevice)
+// is never accessed concurrently through one client.
+class BufferPool {
+ public:
+  // The base a client's frames load from and write back to. Null for
+  // accounting-only clients.
+  class BlockSource {
+   public:
+    virtual ~BlockSource() = default;
+    // Fills `out` (exactly block_size bytes) from `block`.
+    virtual Status LoadBlock(BlockId block, uint8_t* out) = 0;
+    // Writes a full block back to the base.
+    virtual Status StoreBlock(BlockId block, const uint8_t* data) = 0;
+  };
+
+  // RAII pin. While alive, the frame cannot be evicted; data() (payload
+  // pools only) may be read without holding pool locks.
+  class PinnedBlock {
+   public:
+    PinnedBlock() = default;
+    PinnedBlock(PinnedBlock&& other) noexcept { *this = std::move(other); }
+    PinnedBlock& operator=(PinnedBlock&& other) noexcept;
+    PinnedBlock(const PinnedBlock&) = delete;
+    PinnedBlock& operator=(const PinnedBlock&) = delete;
+    ~PinnedBlock() { Release(); }
+
+    bool valid() const { return pool_ != nullptr; }
+    // Null for accounting-only pools.
+    const uint8_t* data() const { return data_; }
+    BlockId block() const { return block_; }
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PinnedBlock(BufferPool* pool, uint32_t shard, uint32_t slot,
+                BlockId block, const uint8_t* data)
+        : pool_(pool), shard_(shard), slot_(slot), block_(block),
+          data_(data) {}
+
+    BufferPool* pool_ = nullptr;
+    uint32_t shard_ = 0;
+    uint32_t slot_ = 0;
+    BlockId block_ = 0;
+    const uint8_t* data_ = nullptr;
+  };
+
+  // `materialized` selects payload frames; `block_size` is the frame size
+  // in bytes (payload pools only, but recorded for both).
+  BufferPool(const BufferPoolOptions& options, uint64_t block_size,
+             bool materialized);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Registers a device with the pool and returns its client id. All
+  // clients must be registered before concurrent use begins. `source`
+  // may be null (accounting-only client).
+  uint32_t RegisterClient(BlockSource* source);
+
+  // --- Payload path (materialized pools) ---------------------------------
+
+  // Reads `len` bytes at `offset` within `block` through the cache,
+  // loading the frame from the client's base on a miss.
+  Status Read(uint32_t client, BlockId block, uint64_t offset, uint8_t* out,
+              size_t len);
+
+  // Writes through the cache. The frame is always populated
+  // (write-allocate); a partial-block miss first loads the block so
+  // unwritten bytes survive. Write-through stores the frame to the base
+  // before returning; write-back only marks it dirty.
+  Status Write(uint32_t client, BlockId block, uint64_t offset,
+               const uint8_t* data, size_t len);
+
+  // Pins the frame for `block`, loading it on a miss.
+  Result<PinnedBlock> Pin(uint32_t client, BlockId block);
+
+  // Writes every dirty frame back to its base (all clients / one client).
+  Status Flush();
+  Status FlushClient(uint32_t client);
+
+  // --- Accounting path (count-only pools; also valid on payload pools
+  // for residency probes) ------------------------------------------------
+
+  // Simulates reading `nblocks` starting at `start`: returns how many
+  // were already resident (hits); misses are faulted in with full
+  // eviction and stats effects, but no payload I/O.
+  uint64_t TouchRead(uint32_t client, BlockId start, uint64_t nblocks);
+
+  // Simulates writing: frames are populated (write-allocate); physical
+  // writes are charged now (write-through) or deferred to eviction/flush
+  // (write-back).
+  void TouchWrite(uint32_t client, BlockId start, uint64_t nblocks);
+
+  // How many of the blocks are currently resident. Const: no stats, no
+  // recency update.
+  uint64_t PeekResident(uint32_t client, BlockId start,
+                        uint64_t nblocks) const;
+
+  // Drops frames without write-back — the blocks were freed, their
+  // contents are dead (shadow-paged regions, released chunks).
+  void Invalidate(uint32_t client, BlockId start, uint64_t nblocks);
+
+  // --- Introspection -----------------------------------------------------
+
+  CacheStats stats() const;
+  uint64_t resident_blocks() const;
+  uint64_t capacity_blocks() const { return capacity_; }
+  uint64_t block_size() const { return block_size_; }
+  bool materialized() const { return materialized_; }
+  const BufferPoolOptions& options() const { return options_; }
+
+ private:
+  static constexpr uint32_t kNoSlot = ~0u;
+
+  struct Frame {
+    uint64_t key = ~0ull;
+    uint32_t client = 0;
+    BlockId block = 0;
+    std::vector<uint8_t> data;  // empty in accounting-only pools
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool referenced = false;  // CLOCK second-chance bit
+    bool in_use = false;
+    // Intrusive LRU list (slot indices).
+    uint32_t lru_prev = kNoSlot;
+    uint32_t lru_next = kNoSlot;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, uint32_t> map;  // key -> slot
+    std::vector<Frame> slots;
+    std::vector<uint32_t> free_slots;
+    uint32_t clock_hand = 0;
+    uint32_t lru_head = kNoSlot;  // most recent
+    uint32_t lru_tail = kNoSlot;  // least recent
+    uint64_t pinned_now = 0;
+    CacheStats stats;
+  };
+
+  struct Client {
+    BlockSource* source = nullptr;
+    std::unique_ptr<std::mutex> io_mu;
+  };
+
+  static uint64_t Key(uint32_t client, BlockId block) {
+    return (static_cast<uint64_t>(client) << 48) | block;
+  }
+  Shard& ShardFor(uint64_t key) {
+    return shards_[key % shards_.size()];
+  }
+  const Shard& ShardFor(uint64_t key) const {
+    return shards_[key % shards_.size()];
+  }
+
+  // All helpers below run under the shard's mutex.
+  Frame* FindFrame(Shard& shard, uint64_t key);
+  void TouchRecency(Shard& shard, uint32_t slot);
+  void LruUnlink(Shard& shard, uint32_t slot);
+  void LruPushFront(Shard& shard, uint32_t slot);
+  Result<uint32_t> AcquireSlot(Shard& shard);          // may evict
+  Result<uint32_t> EvictVictim(Shard& shard);          // returns freed slot
+  Status WriteBackFrame(Shard& shard, Frame& frame);   // StoreBlock + stats
+  void ReleaseFrame(Shard& shard, uint32_t slot);      // to the free list
+  // Faults (client, block) into a frame; `load` fills the payload from the
+  // base when true (payload pools).
+  Result<uint32_t> FaultIn(Shard& shard, uint32_t client, BlockId block,
+                           bool load);
+  void Unpin(uint32_t shard_index, uint32_t slot);
+
+  BufferPoolOptions options_;
+  uint64_t capacity_ = 0;
+  uint64_t block_size_ = 0;
+  bool materialized_ = false;
+  std::vector<Shard> shards_;
+  std::vector<Client> clients_;
+};
+
+// Decorator that gives any BlockDevice a buffer-pool front: reads are
+// served from pool frames (loading on miss), writes go through the pool
+// in the pool's cache mode. MemBlockDevice and FileBlockDevice both
+// benefit without any caller change — callers keep speaking BlockDevice.
+//
+//   auto pool = std::make_unique<BufferPool>(opts, 4096, true);
+//   CachingBlockDevice cached(&base, pool.get());
+//   cached.Write(...);   // hot blocks stay in the pool
+//   cached.Flush();      // write-back mode: push dirty frames to `base`
+class CachingBlockDevice : public BlockDevice,
+                           private BufferPool::BlockSource {
+ public:
+  // Registers itself as a client of `pool`. `base` and `pool` must
+  // outlive this device; `pool` must be materialized with the base's
+  // block size.
+  CachingBlockDevice(BlockDevice* base, BufferPool* pool);
+
+  uint64_t capacity_blocks() const override {
+    return base_->capacity_blocks();
+  }
+  uint64_t block_size() const override { return base_->block_size(); }
+
+  Status Write(BlockId start, uint64_t byte_offset, const uint8_t* data,
+               size_t len) override;
+  Status Read(BlockId start, uint64_t byte_offset, uint8_t* out,
+              size_t len) const override;
+
+  // Writes this device's dirty frames back to the base.
+  Status Flush();
+
+  // Pins one block of this device (see BufferPool::Pin).
+  Result<BufferPool::PinnedBlock> PinBlock(BlockId block) {
+    return pool_->Pin(client_, block);
+  }
+
+  BlockDevice* base() { return base_; }
+  const BlockDevice* base() const { return base_; }
+  BufferPool* pool() { return pool_; }
+  uint32_t client_id() const { return client_; }
+
+ private:
+  Status LoadBlock(BlockId block, uint8_t* out) override;
+  Status StoreBlock(BlockId block, const uint8_t* data) override;
+
+  BlockDevice* base_;
+  BufferPool* pool_;
+  uint32_t client_;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_BUFFER_POOL_H_

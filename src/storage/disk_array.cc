@@ -16,6 +16,11 @@ const char* DiskChoiceName(DiskChoice c) {
 
 DiskArray::DiskArray(const DiskArrayOptions& options) : options_(options) {
   DUPLEX_CHECK_GT(options.num_disks, 0u);
+  if (options.cache.enabled()) {
+    pool_ = std::make_unique<BufferPool>(options.cache,
+                                         options.block_size_bytes,
+                                         options.materialize_payloads);
+  }
   disks_.reserve(options.num_disks);
   for (uint32_t i = 0; i < options.num_disks; ++i) {
     Disk d;
@@ -23,6 +28,13 @@ DiskArray::DiskArray(const DiskArrayOptions& options) : options_(options) {
     if (options.materialize_payloads) {
       d.device = std::make_unique<MemBlockDevice>(options.blocks_per_disk,
                                                   options.block_size_bytes);
+      if (pool_ != nullptr) {
+        d.cached =
+            std::make_unique<CachingBlockDevice>(d.device.get(), pool_.get());
+        d.cache_client = d.cached->client_id();
+      }
+    } else if (pool_ != nullptr) {
+      d.cache_client = pool_->RegisterClient(nullptr);
     }
     disks_.push_back(std::move(d));
   }
@@ -68,6 +80,12 @@ Result<BlockRange> DiskArray::Allocate(uint64_t length) {
 
 Status DiskArray::Free(const BlockRange& range) {
   DUPLEX_CHECK_LT(range.disk, num_disks());
+  if (pool_ != nullptr) {
+    // The blocks are dead; cached copies must not be served (or written
+    // back) if the range is later reallocated.
+    pool_->Invalidate(disks_[range.disk].cache_client, range.start,
+                      range.length);
+  }
   return disks_[range.disk].space->Free(range.start, range.length);
 }
 
@@ -100,12 +118,50 @@ uint64_t DiskArray::fragment_count(DiskId disk) const {
 
 BlockDevice* DiskArray::device(DiskId disk) {
   DUPLEX_CHECK_LT(disk, num_disks());
-  return disks_[disk].device.get();
+  Disk& d = disks_[disk];
+  return d.cached != nullptr ? static_cast<BlockDevice*>(d.cached.get())
+                             : d.device.get();
 }
 
 const BlockDevice* DiskArray::device(DiskId disk) const {
   DUPLEX_CHECK_LT(disk, num_disks());
-  return disks_[disk].device.get();
+  const Disk& d = disks_[disk];
+  return d.cached != nullptr ? static_cast<const BlockDevice*>(d.cached.get())
+                             : d.device.get();
+}
+
+uint64_t DiskArray::CacheTouchRead(const BlockRange& range, uint64_t nblocks) {
+  if (pool_ == nullptr || nblocks == 0) return 0;
+  DUPLEX_CHECK_LT(range.disk, num_disks());
+  const uint32_t client = disks_[range.disk].cache_client;
+  if (options_.materialize_payloads) {
+    return pool_->PeekResident(client, range.start, nblocks);
+  }
+  return pool_->TouchRead(client, range.start, nblocks);
+}
+
+void DiskArray::CacheNoteWrite(const BlockRange& range, uint64_t nblocks) {
+  if (pool_ == nullptr || nblocks == 0 || options_.materialize_payloads) {
+    return;
+  }
+  DUPLEX_CHECK_LT(range.disk, num_disks());
+  pool_->TouchWrite(disks_[range.disk].cache_client, range.start, nblocks);
+}
+
+uint64_t DiskArray::CachePeek(DiskId disk, BlockId start,
+                              uint64_t nblocks) const {
+  if (pool_ == nullptr || nblocks == 0) return 0;
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return pool_->PeekResident(disks_[disk].cache_client, start, nblocks);
+}
+
+Status DiskArray::FlushCache() {
+  if (pool_ == nullptr) return Status::OK();
+  return pool_->Flush();
+}
+
+CacheStats DiskArray::cache_stats() const {
+  return pool_ != nullptr ? pool_->stats() : CacheStats{};
 }
 
 }  // namespace duplex::storage

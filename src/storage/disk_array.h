@@ -7,6 +7,7 @@
 
 #include "storage/block.h"
 #include "storage/block_device.h"
+#include "storage/buffer_pool.h"
 #include "storage/free_space.h"
 #include "util/status.h"
 
@@ -32,6 +33,12 @@ struct DiskArrayOptions {
   // actually stored (required for query evaluation; the simulation pipeline
   // leaves it off).
   bool materialize_payloads = false;
+  // Block cache shared by all disks of the array. Disabled (capacity 0)
+  // by default. With materialized payloads the devices handed out by
+  // device() are CachingBlockDevice decorators; without, the pool runs in
+  // accounting-only mode so the count-only pipeline still models hit/miss
+  // behaviour of the same block access stream.
+  BufferPoolOptions cache;
 };
 
 // A bank of simulated disks: per-disk free-space management plus optional
@@ -65,18 +72,51 @@ class DiskArray {
   uint64_t total_used_blocks() const;
   uint64_t fragment_count(DiskId disk) const;
 
-  // Payload access; null when materialize_payloads is off.
+  // Payload access; null when materialize_payloads is off. With a cache
+  // configured this is the CachingBlockDevice decorator, so all callers
+  // go through the pool without knowing it exists.
   BlockDevice* device(DiskId disk);
   const BlockDevice* device(DiskId disk) const;
+
+  // --- Cache integration --------------------------------------------------
+  // All of these are safe no-ops when no cache is configured.
+
+  bool cache_enabled() const { return pool_ != nullptr; }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  const BufferPool* buffer_pool() const { return pool_.get(); }
+
+  // Accounts a logical read of `nblocks` starting at range.start and
+  // returns how many of them were cache-resident. Count-only arrays run
+  // the full TouchRead simulation; materialized arrays only peek — there
+  // the device path through the pool is the accounting authority, and a
+  // second touch here would double-count.
+  uint64_t CacheTouchRead(const BlockRange& range, uint64_t nblocks);
+
+  // Accounts a logical write. Count-only arrays simulate write-allocate;
+  // materialized arrays no-op (the device path already saw the write).
+  void CacheNoteWrite(const BlockRange& range, uint64_t nblocks);
+
+  // Residency probe without stats or recency side effects.
+  uint64_t CachePeek(DiskId disk, BlockId start, uint64_t nblocks) const;
+
+  // Writes every dirty frame back to the base devices (write-back mode).
+  Status FlushCache();
+
+  CacheStats cache_stats() const;
 
  private:
   struct Disk {
     std::unique_ptr<FreeSpaceMap> space;
     std::unique_ptr<MemBlockDevice> device;
+    // Decorator over `device` when the cache is on and payloads are
+    // materialized.
+    std::unique_ptr<CachingBlockDevice> cached;
+    uint32_t cache_client = 0;
   };
 
   DiskArrayOptions options_;
   std::vector<Disk> disks_;
+  std::unique_ptr<BufferPool> pool_;
   uint32_t cursor_ = 0;
 };
 

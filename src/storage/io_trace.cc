@@ -41,6 +41,24 @@ uint64_t IoTrace::CountBlocks(IoOp op) const {
   return n;
 }
 
+uint64_t IoTrace::CountPhysicalOps() const {
+  uint64_t n = 0;
+  for (const auto& e : events_) n += e.cached ? 0 : 1;
+  return n;
+}
+
+uint64_t IoTrace::CountPhysicalOps(IoOp op) const {
+  uint64_t n = 0;
+  for (const auto& e : events_) n += (e.op == op && !e.cached) ? 1 : 0;
+  return n;
+}
+
+uint64_t IoTrace::CountCachedOps() const {
+  uint64_t n = 0;
+  for (const auto& e : events_) n += e.cached ? 1 : 0;
+  return n;
+}
+
 void IoTrace::Print(std::ostream& os) const {
   size_t update = 0;
   for (size_t i = 0; i < events_.size(); ++i) {
@@ -54,7 +72,9 @@ void IoTrace::Print(std::ostream& os) const {
       os << " word " << e.word << " postings " << e.postings;
     }
     os << " disk " << e.disk << " block " << e.block << " blocks "
-       << e.nblocks << "\n";
+       << e.nblocks;
+    if (e.cached) os << " cached";
+    os << "\n";
   }
   while (update < boundaries_.size()) {
     os << "end-update\n";
@@ -113,6 +133,15 @@ Result<IoTrace> IoTrace::Parse(const std::string& text) {
     if (kw3 != "disk" || kw4 != "block" || kw5 != "blocks" || ls.fail()) {
       return Status::Corruption("trace line " + std::to_string(lineno) +
                                 ": malformed location fields");
+    }
+    std::string tail;
+    if (ls >> tail) {
+      if (tail != "cached") {
+        return Status::Corruption("trace line " + std::to_string(lineno) +
+                                  ": unexpected trailing token '" + tail +
+                                  "'");
+      }
+      e.cached = true;
     }
     trace.Add(e);
   }

@@ -29,6 +29,11 @@ struct IoEvent {
   DiskId disk = 0;
   BlockId block = 0;
   uint64_t nblocks = 0;
+  // True when every block of a read was served by the buffer pool — the
+  // event is logical (the index asked for the data) but not physical (no
+  // disk arm moved). Only reads carry this; writes always reach the trace
+  // as physical work (write-back batching shows up in CacheStats instead).
+  bool cached = false;
 
   friend bool operator==(const IoEvent& a, const IoEvent& b) = default;
 };
@@ -52,6 +57,10 @@ class IoTrace {
   uint64_t CountOps() const { return events_.size(); }
   uint64_t CountOps(IoOp op) const;
   uint64_t CountBlocks(IoOp op) const;
+  // Events that actually reach a disk (cached reads excluded).
+  uint64_t CountPhysicalOps() const;
+  uint64_t CountPhysicalOps(IoOp op) const;
+  uint64_t CountCachedOps() const;
 
   // Text serialization in the spirit of paper Figure 6, e.g.
   //   write long word 120990 postings 3094 disk 0 block 4878 blocks 7

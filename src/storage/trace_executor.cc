@@ -39,6 +39,11 @@ ExecutionResult TraceExecutor::Execute(const IoTrace& trace) {
 
   auto submit = [&](const IoEvent& e) {
     DUPLEX_CHECK_LT(e.disk, options_.num_disks);
+    if (e.cached) {
+      // Logical-only event: the buffer pool served it, no arm moved.
+      ++result.cached_events;
+      return;
+    }
     Pending& p = pending[e.disk];
     if (options_.coalesce && p.active && p.op == e.op &&
         p.start + p.nblocks == e.block &&

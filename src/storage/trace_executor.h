@@ -30,6 +30,7 @@ struct ExecutionResult {
 
   uint64_t issued_requests = 0;     // after coalescing
   uint64_t trace_events = 0;        // before coalescing
+  uint64_t cached_events = 0;       // served by the buffer pool, no disk work
   uint64_t seeks = 0;
   uint64_t blocks_transferred = 0;
 

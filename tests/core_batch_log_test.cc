@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "storage/buffer_pool.h"
+
 namespace duplex::core {
 namespace {
 
@@ -215,6 +217,69 @@ TEST_F(BatchLogTest, TruncateClearsEverything) {
   Result<std::unique_ptr<BatchLog>> reopened = BatchLog::Open(path_);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->batches_logged(), 1u);
+}
+
+TEST_F(BatchLogTest, FsyncToggleCountsSyncs) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE((*log)->fsync_enabled());  // durable by default
+  EXPECT_EQ((*log)->syncs(), 0u);
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+  EXPECT_EQ((*log)->syncs(), 1u);
+  ASSERT_TRUE((*log)->MarkApplied(0).ok());
+  EXPECT_EQ((*log)->syncs(), 2u);  // commit records sync too
+
+  (*log)->set_fsync(false);
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{3, 4}})).ok());
+  ASSERT_TRUE((*log)->MarkApplied(1).ok());
+  EXPECT_EQ((*log)->syncs(), 2u);  // disabled: appends only fflush
+
+  (*log)->set_fsync(true);
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{5, 6}})).ok());
+  EXPECT_EQ((*log)->syncs(), 3u);
+  // Toggling never loses records either way.
+  Result<std::unique_ptr<BatchLog>> reopened = BatchLog::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->batches_logged(), 3u);
+  EXPECT_EQ((*reopened)->batches_applied(), 2u);
+}
+
+TEST_F(BatchLogTest, ApplyLoggedRunsTheFullCommitProtocol) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  (*log)->set_fsync(false);
+  InvertedIndex index(Options());
+  ASSERT_TRUE((*log)->ApplyLogged(&index, CountBatch({{1, 3}, {2, 5}})).ok());
+  ASSERT_TRUE((*log)->ApplyLogged(&index, CountBatch({{1, 4}})).ok());
+  EXPECT_EQ((*log)->batches_logged(), 2u);
+  EXPECT_EQ((*log)->batches_applied(), 2u);
+  EXPECT_TRUE((*log)->UnappliedBatches().empty());
+  EXPECT_EQ(index.Locate(WordId{1}).postings, 7u);
+  EXPECT_EQ(index.Locate(WordId{2}).postings, 5u);
+}
+
+TEST_F(BatchLogTest, ApplyLoggedFlushesWriteBackFramesBeforeCommit) {
+  IndexOptions options = Options(true);
+  options.cache.capacity_blocks = 32;
+  options.cache.mode = storage::CacheMode::kWriteBack;
+  InvertedIndex index(options);
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  (*log)->set_fsync(false);
+
+  text::InvertedBatch batch;
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < 40; ++d) docs.push_back(d);
+  batch.entries = {{0, docs}, {1, {2, 9}}};
+  ASSERT_TRUE((*log)->ApplyLogged(&index, batch).ok());
+  EXPECT_EQ((*log)->batches_applied(), 1u);
+  // The protocol flushed every dirty frame before MarkApplied: the pool
+  // pushed writes down and holds nothing dirty now, so another flush is a
+  // no-op.
+  const uint64_t writebacks = index.cache_stats().dirty_writebacks;
+  EXPECT_GT(writebacks, 0u);
+  ASSERT_TRUE(index.FlushCaches().ok());
+  EXPECT_EQ(index.cache_stats().dirty_writebacks, writebacks);
 }
 
 }  // namespace

@@ -105,6 +105,35 @@ TEST(MergeStatsTest, NoLongListsLeavesRatioDefaults) {
   EXPECT_DOUBLE_EQ(merged.avg_reads_per_list, 0.0);
 }
 
+TEST(MergeStatsTest, CacheCountersSumFieldWise) {
+  IndexStats a;
+  a.cache_hits = 10;
+  a.cache_misses = 4;
+  a.cache_evictions = 3;
+  a.cache_dirty_writebacks = 2;
+  a.cache_pinned_peak = 1;
+  a.cache_physical_reads = 5;
+  a.cache_physical_writes = 6;
+  IndexStats b;
+  b.cache_hits = 100;
+  b.cache_misses = 40;
+  b.cache_evictions = 30;
+  b.cache_dirty_writebacks = 20;
+  b.cache_pinned_peak = 10;
+  b.cache_physical_reads = 50;
+  b.cache_physical_writes = 60;
+  const IndexStats merged = MergeStats({a, b});
+  EXPECT_EQ(merged.cache_hits, 110u);
+  EXPECT_EQ(merged.cache_misses, 44u);
+  EXPECT_EQ(merged.cache_evictions, 33u);
+  EXPECT_EQ(merged.cache_dirty_writebacks, 22u);
+  // Per-shard pools pin independently; the sum is the worst-case
+  // simultaneous footprint.
+  EXPECT_EQ(merged.cache_pinned_peak, 11u);
+  EXPECT_EQ(merged.cache_physical_reads, 55u);
+  EXPECT_EQ(merged.cache_physical_writes, 66u);
+}
+
 TEST(MergeCategoriesTest, ElementWiseSumWithZeroPadding) {
   std::vector<UpdateCategories> a = {{5, 1, 0}, {2, 3, 1}};
   std::vector<UpdateCategories> b = {{4, 0, 2}};

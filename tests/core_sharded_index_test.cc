@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/inverted_index.h"
+#include "storage/buffer_pool.h"
 #include "ir/query_eval.h"
 #include "ir/vector_query.h"
 #include "text/shard_partition.h"
@@ -268,6 +269,45 @@ TEST(ShardedIndexTest, CountOnlyBatchPathAndMergedCategories) {
   EXPECT_EQ(cats[1].new_words, 0u);
   EXPECT_EQ(cats[1].total(), 50u);
   EXPECT_EQ(index.Stats().total_postings, 300u);
+}
+
+TEST(ShardedIndexTest, MergedCacheStatsEqualPerShardSums) {
+  ShardedIndexOptions options = ShardedOptions(4, true);
+  options.shard.cache.capacity_blocks = 64;
+  options.shard.cache.mode = storage::CacheMode::kWriteBack;
+  ShardedIndex index(options);
+  for (const auto& batch : MakeBatches(10, 100, 30)) {
+    ASSERT_TRUE(index.ApplyInvertedBatch(batch).ok());
+  }
+  // Touch the read path too so hits accumulate outside batch apply.
+  for (WordId w = 0; w < 100; ++w) {
+    (void)index.GetPostings(w);
+  }
+
+  const std::vector<IndexStats> per_shard = index.ShardStats();
+  ASSERT_EQ(per_shard.size(), 4u);
+  IndexStats sum;
+  for (const IndexStats& s : per_shard) {
+    sum.cache_hits += s.cache_hits;
+    sum.cache_misses += s.cache_misses;
+    sum.cache_evictions += s.cache_evictions;
+    sum.cache_dirty_writebacks += s.cache_dirty_writebacks;
+    sum.cache_pinned_peak += s.cache_pinned_peak;
+    sum.cache_physical_reads += s.cache_physical_reads;
+    sum.cache_physical_writes += s.cache_physical_writes;
+  }
+  const IndexStats merged = index.Stats();
+  EXPECT_EQ(merged.cache_hits, sum.cache_hits);
+  EXPECT_EQ(merged.cache_misses, sum.cache_misses);
+  EXPECT_EQ(merged.cache_evictions, sum.cache_evictions);
+  EXPECT_EQ(merged.cache_dirty_writebacks, sum.cache_dirty_writebacks);
+  EXPECT_EQ(merged.cache_pinned_peak, sum.cache_pinned_peak);
+  EXPECT_EQ(merged.cache_physical_reads, sum.cache_physical_reads);
+  EXPECT_EQ(merged.cache_physical_writes, sum.cache_physical_writes);
+  // The pools actually ran: the undersized per-shard capacity forces
+  // misses and write-back traffic during the ten batches.
+  EXPECT_GT(merged.cache_hits + merged.cache_misses, 0u);
+  EXPECT_GT(merged.cache_physical_writes, 0u);
 }
 
 // --- Concurrency stress ----------------------------------------------------

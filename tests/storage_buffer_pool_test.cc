@@ -1,0 +1,371 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/file_block_device.h"
+
+namespace duplex::storage {
+namespace {
+
+constexpr uint64_t kBlockSize = 64;
+
+BufferPoolOptions Opts(uint64_t capacity, CacheMode mode = CacheMode::kWriteThrough,
+                       CacheEviction eviction = CacheEviction::kClock,
+                       uint32_t lock_shards = 1) {
+  BufferPoolOptions o;
+  o.capacity_blocks = capacity;
+  o.lock_shards = lock_shards;
+  o.mode = mode;
+  o.eviction = eviction;
+  return o;
+}
+
+std::string ReadString(const BlockDevice& dev, BlockId start, uint64_t off,
+                       size_t len) {
+  std::string out(len, '\0');
+  EXPECT_TRUE(
+      dev.Read(start, off, reinterpret_cast<uint8_t*>(out.data()), len).ok());
+  return out;
+}
+
+Status WriteString(BlockDevice& dev, BlockId start, uint64_t off,
+                   const std::string& s) {
+  return dev.Write(start, off, reinterpret_cast<const uint8_t*>(s.data()),
+                   s.size());
+}
+
+TEST(CacheStatsTest, AddSumsEveryField) {
+  CacheStats a{1, 2, 3, 4, 5, 6, 7};
+  const CacheStats b{10, 20, 30, 40, 50, 60, 70};
+  a.Add(b);
+  EXPECT_EQ(a, (CacheStats{11, 22, 33, 44, 55, 66, 77}));
+}
+
+TEST(CacheStatsTest, HitRate) {
+  CacheStats s;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.0);
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+}
+
+TEST(CacheEnumsTest, NameParseRoundTrip) {
+  EXPECT_EQ(*ParseCacheMode(CacheModeName(CacheMode::kWriteBack)),
+            CacheMode::kWriteBack);
+  EXPECT_EQ(*ParseCacheMode(CacheModeName(CacheMode::kWriteThrough)),
+            CacheMode::kWriteThrough);
+  EXPECT_EQ(*ParseCacheEviction(CacheEvictionName(CacheEviction::kLru)),
+            CacheEviction::kLru);
+  EXPECT_EQ(*ParseCacheEviction(CacheEvictionName(CacheEviction::kClock)),
+            CacheEviction::kClock);
+  EXPECT_FALSE(ParseCacheMode("bogus").ok());
+  EXPECT_FALSE(ParseCacheEviction("bogus").ok());
+}
+
+// --- Accounting-only pool ---------------------------------------------------
+
+TEST(BufferPoolAccountingTest, TouchReadFaultsAndHits) {
+  BufferPool pool(Opts(4), kBlockSize, /*materialized=*/false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  EXPECT_EQ(pool.TouchRead(c, 0, 3), 0u);  // all cold
+  EXPECT_EQ(pool.TouchRead(c, 0, 3), 3u);  // all resident now
+  EXPECT_EQ(pool.TouchRead(c, 2, 2), 1u);  // block 2 hit, block 3 miss
+  const CacheStats s = pool.stats();
+  EXPECT_EQ(s.hits, 4u);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.physical_reads, 4u);
+  EXPECT_EQ(pool.resident_blocks(), 4u);
+}
+
+TEST(BufferPoolAccountingTest, LruEvictionOrder) {
+  BufferPool pool(Opts(3, CacheMode::kWriteThrough, CacheEviction::kLru),
+                  kBlockSize, false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  pool.TouchRead(c, 0, 1);
+  pool.TouchRead(c, 1, 1);
+  pool.TouchRead(c, 2, 1);
+  pool.TouchRead(c, 0, 1);  // 0 becomes most recent; LRU order: 1, 2, 0
+  pool.TouchRead(c, 3, 1);  // evicts 1
+  EXPECT_EQ(pool.PeekResident(c, 0, 1), 1u);
+  EXPECT_EQ(pool.PeekResident(c, 1, 1), 0u);
+  EXPECT_EQ(pool.PeekResident(c, 2, 1), 1u);
+  EXPECT_EQ(pool.PeekResident(c, 3, 1), 1u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPoolAccountingTest, ClockGivesSecondChance) {
+  BufferPool pool(Opts(2, CacheMode::kWriteThrough, CacheEviction::kClock),
+                  kBlockSize, false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  pool.TouchRead(c, 0, 1);  // slot 0, referenced
+  pool.TouchRead(c, 1, 1);  // slot 1, referenced
+  pool.TouchRead(c, 0, 1);  // re-reference 0
+  // Both referenced: the hand clears 0's bit first, clears 1's bit, comes
+  // back to 0... but 0 was re-referenced only before the sweep started, so
+  // the first full sweep clears both and the second pass takes slot 0.
+  pool.TouchRead(c, 2, 1);
+  EXPECT_EQ(pool.resident_blocks(), 2u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  // Exactly one of 0/1 was evicted and 2 is resident.
+  EXPECT_EQ(pool.PeekResident(c, 2, 1), 1u);
+  EXPECT_EQ(pool.PeekResident(c, 0, 1) + pool.PeekResident(c, 1, 1), 1u);
+}
+
+TEST(BufferPoolAccountingTest, ClockPrefersUnreferencedVictim) {
+  BufferPool pool(Opts(3, CacheMode::kWriteThrough, CacheEviction::kClock),
+                  kBlockSize, false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  pool.TouchRead(c, 0, 1);
+  pool.TouchRead(c, 1, 1);
+  pool.TouchRead(c, 2, 1);
+  // One sweep clears all referenced bits (first fault after this point
+  // evicts slot 0), then re-reference block 0 so it survives.
+  pool.TouchRead(c, 3, 1);  // evicts 0 (hand sweeps, second pass takes it)
+  pool.TouchRead(c, 1, 1);  // re-reference 1
+  pool.TouchRead(c, 4, 1);  // must evict 2 or 3, never the referenced 1
+  EXPECT_EQ(pool.PeekResident(c, 1, 1), 1u);
+  EXPECT_EQ(pool.PeekResident(c, 4, 1), 1u);
+}
+
+TEST(BufferPoolAccountingTest, CapacityOne) {
+  BufferPool pool(Opts(1), kBlockSize, false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  EXPECT_EQ(pool.TouchRead(c, 7, 1), 0u);
+  EXPECT_EQ(pool.TouchRead(c, 7, 1), 1u);
+  EXPECT_EQ(pool.TouchRead(c, 8, 1), 0u);  // evicts 7
+  EXPECT_EQ(pool.PeekResident(c, 7, 1), 0u);
+  EXPECT_EQ(pool.PeekResident(c, 8, 1), 1u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.resident_blocks(), 1u);
+  EXPECT_EQ(pool.capacity_blocks(), 1u);
+}
+
+TEST(BufferPoolAccountingTest, WriteBackDefersPhysicalWrites) {
+  BufferPool wt(Opts(8, CacheMode::kWriteThrough), kBlockSize, false);
+  const uint32_t cw = wt.RegisterClient(nullptr);
+  wt.TouchWrite(cw, 0, 4);
+  wt.TouchWrite(cw, 0, 4);
+  EXPECT_EQ(wt.stats().physical_writes, 8u);  // every write goes down
+
+  BufferPool wb(Opts(8, CacheMode::kWriteBack), kBlockSize, false);
+  const uint32_t cb = wb.RegisterClient(nullptr);
+  wb.TouchWrite(cb, 0, 4);
+  wb.TouchWrite(cb, 0, 4);  // re-dirty the same frames: absorbed
+  EXPECT_EQ(wb.stats().physical_writes, 0u);
+  EXPECT_TRUE(wb.Flush().ok());
+  EXPECT_EQ(wb.stats().physical_writes, 4u);
+  EXPECT_EQ(wb.stats().dirty_writebacks, 4u);
+}
+
+TEST(BufferPoolAccountingTest, InvalidateDropsWithoutWriteback) {
+  BufferPool pool(Opts(4, CacheMode::kWriteBack), kBlockSize, false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  pool.TouchWrite(c, 0, 4);
+  pool.Invalidate(c, 0, 2);
+  EXPECT_EQ(pool.resident_blocks(), 2u);
+  EXPECT_TRUE(pool.Flush().ok());
+  // Only the two surviving dirty frames were written back.
+  EXPECT_EQ(pool.stats().dirty_writebacks, 2u);
+  // Freed slots are reusable.
+  EXPECT_EQ(pool.TouchRead(c, 10, 2), 0u);
+  EXPECT_EQ(pool.resident_blocks(), 4u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
+TEST(BufferPoolAccountingTest, ShardedCapacitySplitsExactly) {
+  BufferPool pool(Opts(10, CacheMode::kWriteThrough, CacheEviction::kClock,
+                       /*lock_shards=*/3),
+                  kBlockSize, false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  // Fill far beyond capacity; residency can never exceed it.
+  pool.TouchRead(c, 0, 100);
+  EXPECT_LE(pool.resident_blocks(), 10u);
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+TEST(BufferPoolAccountingTest, LockShardsClampedToCapacity) {
+  BufferPool pool(Opts(2, CacheMode::kWriteThrough, CacheEviction::kClock,
+                       /*lock_shards=*/64),
+                  kBlockSize, false);
+  const uint32_t c = pool.RegisterClient(nullptr);
+  pool.TouchRead(c, 0, 8);
+  EXPECT_LE(pool.resident_blocks(), 2u);
+}
+
+// --- Materialized pool / CachingBlockDevice ---------------------------------
+
+TEST(CachingBlockDeviceTest, ReadThroughCachesAndHits) {
+  MemBlockDevice base(16, kBlockSize);
+  ASSERT_TRUE(WriteString(base, 2, 0, "payload").ok());
+  BufferPool pool(Opts(4), kBlockSize, /*materialized=*/true);
+  CachingBlockDevice dev(&base, &pool);
+
+  EXPECT_EQ(ReadString(dev, 2, 0, 7), "payload");
+  EXPECT_EQ(ReadString(dev, 2, 0, 7), "payload");
+  const CacheStats s = pool.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.physical_reads, 1u);  // the base was read exactly once
+}
+
+TEST(CachingBlockDeviceTest, WriteThroughReachesBaseImmediately) {
+  MemBlockDevice base(16, kBlockSize);
+  BufferPool pool(Opts(4, CacheMode::kWriteThrough), kBlockSize, true);
+  CachingBlockDevice dev(&base, &pool);
+  ASSERT_TRUE(WriteString(dev, 0, 0, std::string(kBlockSize, 'x')).ok());
+  EXPECT_EQ(ReadString(base, 0, 0, 4), "xxxx");
+  EXPECT_EQ(pool.stats().physical_writes, 1u);
+}
+
+TEST(CachingBlockDeviceTest, WriteBackHoldsDirtyUntilFlush) {
+  MemBlockDevice base(16, kBlockSize);
+  BufferPool pool(Opts(4, CacheMode::kWriteBack), kBlockSize, true);
+  CachingBlockDevice dev(&base, &pool);
+  ASSERT_TRUE(WriteString(dev, 0, 0, std::string(kBlockSize, 'y')).ok());
+  // The base still reads as zero: the write lives in a dirty frame.
+  EXPECT_EQ(ReadString(base, 0, 0, 4), std::string(4, '\0'));
+  // But reads through the device see the new bytes.
+  EXPECT_EQ(ReadString(dev, 0, 0, 4), "yyyy");
+  ASSERT_TRUE(dev.Flush().ok());
+  EXPECT_EQ(ReadString(base, 0, 0, 4), "yyyy");
+  const CacheStats s = pool.stats();
+  EXPECT_EQ(s.dirty_writebacks, 1u);
+  EXPECT_EQ(s.physical_writes, 1u);
+}
+
+TEST(CachingBlockDeviceTest, WriteBackEvictionFlushesDirtyFrame) {
+  MemBlockDevice base(16, kBlockSize);
+  BufferPool pool(Opts(1, CacheMode::kWriteBack), kBlockSize, true);
+  CachingBlockDevice dev(&base, &pool);
+  ASSERT_TRUE(WriteString(dev, 0, 0, std::string(kBlockSize, 'a')).ok());
+  EXPECT_EQ(ReadString(base, 0, 0, 1), std::string(1, '\0'));
+  // Faulting another block through the capacity-1 pool evicts the dirty
+  // frame, which must hit the base on the way out.
+  EXPECT_EQ(ReadString(dev, 5, 0, 4), std::string(4, '\0'));
+  EXPECT_EQ(ReadString(base, 0, 0, 4), "aaaa");
+  const CacheStats s = pool.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.dirty_writebacks, 1u);
+}
+
+TEST(CachingBlockDeviceTest, PartialWriteMissLoadsSurroundingBytes) {
+  MemBlockDevice base(16, kBlockSize);
+  ASSERT_TRUE(WriteString(base, 1, 0, "ABCDEFGH").ok());
+  BufferPool pool(Opts(4, CacheMode::kWriteBack), kBlockSize, true);
+  CachingBlockDevice dev(&base, &pool);
+  // Partial write to a cold block: the pool must read-modify so bytes
+  // around the write survive in the frame.
+  ASSERT_TRUE(WriteString(dev, 1, 2, "xy").ok());
+  EXPECT_EQ(ReadString(dev, 1, 0, 8), "ABxyEFGH");
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  ASSERT_TRUE(dev.Flush().ok());
+  EXPECT_EQ(ReadString(base, 1, 0, 8), "ABxyEFGH");
+}
+
+TEST(CachingBlockDeviceTest, FullBlockWriteMissSkipsLoad) {
+  MemBlockDevice base(16, kBlockSize);
+  BufferPool pool(Opts(4, CacheMode::kWriteBack), kBlockSize, true);
+  CachingBlockDevice dev(&base, &pool);
+  ASSERT_TRUE(WriteString(dev, 3, 0, std::string(kBlockSize, 'z')).ok());
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+}
+
+TEST(CachingBlockDeviceTest, MultiBlockSpanningReadWrite) {
+  MemBlockDevice base(16, 8);
+  BufferPool pool(Opts(8), 8, true);
+  CachingBlockDevice dev(&base, &pool);
+  const std::string payload = "abcdefghijklmnopqrst";  // 20 bytes, 3 blocks
+  ASSERT_TRUE(WriteString(dev, 2, 4, payload).ok());
+  EXPECT_EQ(ReadString(dev, 2, 4, payload.size()), payload);
+  // And the base agrees (write-through).
+  EXPECT_EQ(ReadString(base, 2, 4, payload.size()), payload);
+}
+
+TEST(CachingBlockDeviceTest, OutOfRangeMatchesBaseContract) {
+  MemBlockDevice base(4, 8);
+  BufferPool pool(Opts(4), 8, true);
+  CachingBlockDevice dev(&base, &pool);
+  uint8_t buf[16] = {0};
+  EXPECT_TRUE(dev.Read(3, 0, buf, 8).ok());
+  EXPECT_FALSE(dev.Read(3, 1, buf, 8).ok());
+  EXPECT_FALSE(dev.Write(4, 0, buf, 1).ok());
+  EXPECT_EQ(dev.capacity_blocks(), base.capacity_blocks());
+  EXPECT_EQ(dev.block_size(), base.block_size());
+}
+
+TEST(CachingBlockDeviceTest, PinBlocksEviction) {
+  MemBlockDevice base(16, kBlockSize);
+  BufferPool pool(Opts(2), kBlockSize, true);
+  CachingBlockDevice dev(&base, &pool);
+  Result<BufferPool::PinnedBlock> p0 = dev.PinBlock(0);
+  Result<BufferPool::PinnedBlock> p1 = dev.PinBlock(1);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  // Every frame pinned: a fault has no victim.
+  uint8_t buf[1];
+  const Status blocked = dev.Read(2, 0, buf, 1);
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.IsResourceExhausted()) << blocked.ToString();
+  // Releasing one pin unblocks eviction.
+  p0->Release();
+  EXPECT_TRUE(dev.Read(2, 0, buf, 1).ok());
+  EXPECT_EQ(pool.stats().pinned_peak, 2u);
+  // The still-pinned block 1 survived the eviction.
+  EXPECT_EQ(pool.PeekResident(dev.client_id(), 1, 1), 1u);
+}
+
+TEST(CachingBlockDeviceTest, PinnedDataStaysValidAndCurrent) {
+  MemBlockDevice base(16, kBlockSize);
+  ASSERT_TRUE(WriteString(base, 0, 0, "pinned!").ok());
+  BufferPool pool(Opts(2), kBlockSize, true);
+  CachingBlockDevice dev(&base, &pool);
+  Result<BufferPool::PinnedBlock> pin = dev.PinBlock(0);
+  ASSERT_TRUE(pin.ok());
+  EXPECT_TRUE(pin->valid());
+  EXPECT_EQ(pin->block(), 0u);
+  EXPECT_EQ(std::memcmp(pin->data(), "pinned!", 7), 0);
+  // Moving the guard transfers the pin.
+  BufferPool::PinnedBlock moved = std::move(*pin);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(pin->valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST(CachingBlockDeviceTest, TwoClientsShareOnePool) {
+  MemBlockDevice base_a(16, kBlockSize);
+  MemBlockDevice base_b(16, kBlockSize);
+  BufferPool pool(Opts(4), kBlockSize, true);
+  CachingBlockDevice dev_a(&base_a, &pool);
+  CachingBlockDevice dev_b(&base_b, &pool);
+  ASSERT_NE(dev_a.client_id(), dev_b.client_id());
+  ASSERT_TRUE(WriteString(dev_a, 0, 0, "from-a").ok());
+  ASSERT_TRUE(WriteString(dev_b, 0, 0, "from-b").ok());
+  // Same block id, different clients: frames do not alias.
+  EXPECT_EQ(ReadString(dev_a, 0, 0, 6), "from-a");
+  EXPECT_EQ(ReadString(dev_b, 0, 0, 6), "from-b");
+}
+
+TEST(CachingBlockDeviceTest, WorksOverFileBlockDevice) {
+  const std::string path =
+      testing::TempDir() + "/buffer_pool_file_device.bin";
+  std::remove(path.c_str());
+  Result<std::unique_ptr<FileBlockDevice>> file =
+      FileBlockDevice::Open(path, 16, kBlockSize);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(Opts(2, CacheMode::kWriteBack), kBlockSize, true);
+  CachingBlockDevice dev(file->get(), &pool);
+  ASSERT_TRUE(WriteString(dev, 3, 5, "file-backed").ok());
+  EXPECT_EQ(ReadString(dev, 3, 5, 11), "file-backed");
+  ASSERT_TRUE(dev.Flush().ok());
+  EXPECT_EQ(ReadString(**file, 3, 5, 11), "file-backed");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace duplex::storage

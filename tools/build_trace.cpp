@@ -12,6 +12,7 @@
 
 #include "core/inverted_index.h"
 #include "sim/pipeline.h"
+#include "storage/buffer_pool.h"
 
 int main(int argc, char** argv) {
   using namespace duplex;
@@ -43,6 +44,25 @@ int main(int argc, char** argv) {
       config.num_disks = static_cast<uint32_t>(atoi(value));
     } else if (std::strcmp(flag, "--block-postings") == 0) {
       config.block_postings = static_cast<uint64_t>(atoll(value));
+    } else if (std::strcmp(flag, "--cache-blocks") == 0) {
+      config.cache_blocks = static_cast<uint64_t>(atoll(value));
+    } else if (std::strcmp(flag, "--cache-mode") == 0) {
+      Result<storage::CacheMode> mode = storage::ParseCacheMode(value);
+      if (!mode.ok()) {
+        std::cerr << "unknown cache mode '" << value
+                  << "' (write-through|write-back)\n";
+        return 2;
+      }
+      config.cache_mode = *mode;
+    } else if (std::strcmp(flag, "--cache-eviction") == 0) {
+      Result<storage::CacheEviction> eviction =
+          storage::ParseCacheEviction(value);
+      if (!eviction.ok()) {
+        std::cerr << "unknown cache eviction '" << value
+                  << "' (clock|lru)\n";
+        return 2;
+      }
+      config.cache_eviction = *eviction;
     } else {
       std::cerr << "unknown flag " << flag << "\n";
       return 2;
@@ -112,5 +132,10 @@ int main(int argc, char** argv) {
             << " long words, " << stats.io_ops
             << " I/O events, utilization " << stats.long_utilization
             << ", reads/list " << stats.avg_reads_per_list << "\n";
+  if (config.cache_blocks > 0) {
+    std::cerr << "cache: " << index.trace().CountCachedOps()
+              << " cached events, " << stats.cache_hits << " hits, "
+              << stats.cache_misses << " misses\n";
+  }
   return 0;
 }

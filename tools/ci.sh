@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: build + test in Release, then rebuild with
-# ThreadSanitizer (-DDUPLEX_SANITIZE=thread) and re-run the concurrency
-# surface (thread pool, concurrent facade, sharded index) so every PR is
-# race-checked. Usage: tools/ci.sh [jobs]
+# CI entry point: build + test in Release (with an explicit buffer-pool
+# pass), then rebuild with ThreadSanitizer (-DDUPLEX_SANITIZE=thread) and
+# re-run the concurrency surface (thread pool, concurrent facade, sharded
+# index, cache stress) so every PR is race-checked. Finishes with a smoke
+# run of the cache-sweep bench so BENCH_cache.json stays fresh.
+# Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,12 +18,22 @@ cmake -B build-ci-release -S . "${GEN[@]}" \
 cmake --build build-ci-release -j "$JOBS"
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
 
+echo "=== Buffer-pool pass (unit + equivalence + crash recovery) ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'BufferPool|CachingBlockDevice|CacheEquivalence|CacheCrashRecovery'
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B build-ci-tsan -S . "${GEN[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDUPLEX_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target \
-  util_thread_pool_test core_concurrent_index_test core_sharded_index_test
+  util_thread_pool_test core_concurrent_index_test \
+  core_sharded_index_test core_cache_stress_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress'
+
+echo "=== Cache-sweep bench smoke (writes BENCH_cache.json) ==="
+DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
+DUPLEX_BENCH_DOCS="${DUPLEX_BENCH_DOCS:-150}" \
+  ./build-ci-release/bench/bench_ext_cache_hit >/dev/null
 
 echo "CI OK"
