@@ -4,6 +4,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <iostream>
 
 #include "core/posting_codec.h"
 #include "util/hash.h"
@@ -112,34 +113,58 @@ Status BatchLog::Scan() {
     uint64_t stored_checksum = 0;
     std::memcpy(&stored_checksum, contents.data() + pos, 8);
     pos += 8;
+    // Damage in the FINAL record is a torn tail by another name — the
+    // crash hit mid-append, the record was never durable, and recovery's
+    // contract is to drop it (with a warning) and carry on. Damage with
+    // intact records after it means the file rotted in place: fatal.
+    const bool is_final_record = pos == contents.size();
+    const auto tail_or_fatal = [&](Status damage) {
+      if (!is_final_record) return damage;
+      std::cerr << "batch log " << path_ << ": dropping damaged final "
+                << "record at offset " << record_start << " ("
+                << damage.ToString() << ")\n";
+      return Status::OK();
+    };
     const uint64_t checksum =
         Fnv1a64(payload.data(), payload.size(),
                 Fnv1a64(&type, 1));
     if (checksum != stored_checksum) {
-      return Status::Corruption("batch log checksum mismatch at offset " +
-                                std::to_string(record_start));
+      DUPLEX_RETURN_IF_ERROR(tail_or_fatal(Status::Corruption(
+          "batch log checksum mismatch at offset " +
+          std::to_string(record_start))));
+      break;
     }
     if (type == kBatchRecord) {
       LoggedBatch batch;
-      DUPLEX_RETURN_IF_ERROR(DecodeBatchPayload(payload, &batch));
-      if (batch.id != batches_.size()) {
-        return Status::Corruption("batch log ids out of sequence");
+      Status decoded = DecodeBatchPayload(payload, &batch);
+      if (decoded.ok() && batch.id != batches_.size()) {
+        decoded = Status::Corruption("batch log ids out of sequence");
+      }
+      if (!decoded.ok()) {
+        DUPLEX_RETURN_IF_ERROR(tail_or_fatal(std::move(decoded)));
+        break;
       }
       batches_.push_back(std::move(batch));
       applied_.push_back(false);
     } else if (type == kAppliedRecord) {
       size_t id_pos = 0;
       Result<uint64_t> id = GetVarint64(payload, &id_pos);
-      if (!id.ok()) return id.status();
-      if (*id >= applied_.size()) {
-        return Status::Corruption("applied record for unknown batch");
+      Status decoded = id.ok() ? Status::OK() : id.status();
+      if (decoded.ok() && *id >= applied_.size()) {
+        decoded = Status::Corruption("applied record for unknown batch");
+      }
+      if (!decoded.ok()) {
+        DUPLEX_RETURN_IF_ERROR(tail_or_fatal(std::move(decoded)));
+        break;
       }
       if (!applied_[*id]) {
         applied_[*id] = true;
         ++applied_count_;
       }
     } else {
-      return Status::Corruption("unknown batch-log record type");
+      DUPLEX_RETURN_IF_ERROR(tail_or_fatal(
+          Status::Corruption("unknown batch-log record type")));
+      break;
     }
     valid_end = pos;
   }
@@ -168,6 +193,14 @@ Status BatchLog::AppendRecord(char type, const std::string& payload) {
   }
   if (std::fflush(file_) != 0) {
     return Status::Internal("batch log flush failed");
+  }
+  if (fail_next_syncs_ > 0) {
+    // Injected durability failure: the bytes reached the kernel (fflush
+    // succeeded) but the platter sync "failed". The record may or may not
+    // survive a crash — exactly the ambiguity real fsync failures leave.
+    --fail_next_syncs_;
+    return Status::IoError("injected fdatasync failure on batch log " +
+                           path_);
   }
   if (fsync_enabled_) {
     // fflush only moved the bytes into the kernel; "durable before any
@@ -260,22 +293,41 @@ Status BatchLog::ApplyLogged(InvertedIndex* index,
 Status BatchLog::RecoverInto(InvertedIndex* index) {
   DUPLEX_CHECK(index != nullptr);
   for (const LoggedBatch* batch : UnappliedBatches()) {
-    if (index->options().materialize) {
-      if (!batch->materialized) {
-        return Status::FailedPrecondition(
-            "count-only batch cannot be replayed into a materialized "
-            "index");
-      }
-      DUPLEX_RETURN_IF_ERROR(index->ApplyInvertedBatch(batch->docs));
-    } else {
-      DUPLEX_RETURN_IF_ERROR(index->ApplyBatchUpdate(batch->counts));
-    }
-    // Same ordering as ApplyLogged: dirty frames down before the commit
-    // record.
-    DUPLEX_RETURN_IF_ERROR(index->FlushCaches());
+    DUPLEX_RETURN_IF_ERROR(ApplyOne(index, *batch));
     DUPLEX_RETURN_IF_ERROR(MarkApplied(batch->id));
   }
   return Status::OK();
+}
+
+Status BatchLog::ReplayInto(InvertedIndex* index) {
+  DUPLEX_CHECK(index != nullptr);
+  // Every batch, applied or not, in append order: the caller starts from a
+  // freshly constructed (empty) index, so replaying the full history is
+  // idempotent by construction — there is no partially-applied device
+  // state to double-count, whatever the crashed instance managed to write.
+  for (const LoggedBatch& batch : batches_) {
+    DUPLEX_RETURN_IF_ERROR(ApplyOne(index, batch));
+  }
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (!applied_[i]) DUPLEX_RETURN_IF_ERROR(MarkApplied(batches_[i].id));
+  }
+  return Status::OK();
+}
+
+Status BatchLog::ApplyOne(InvertedIndex* index, const LoggedBatch& batch) {
+  if (index->options().materialize) {
+    if (!batch.materialized) {
+      return Status::FailedPrecondition(
+          "count-only batch cannot be replayed into a materialized "
+          "index");
+    }
+    DUPLEX_RETURN_IF_ERROR(index->ApplyInvertedBatch(batch.docs));
+  } else {
+    DUPLEX_RETURN_IF_ERROR(index->ApplyBatchUpdate(batch.counts));
+  }
+  // Same ordering as ApplyLogged: dirty frames down before the commit
+  // record.
+  return index->FlushCaches();
 }
 
 Status BatchLog::Truncate() {

@@ -71,17 +71,33 @@ class BatchLog {
   bool fsync_enabled() const { return fsync_enabled_; }
   uint64_t syncs() const { return syncs_; }
 
+  // Test hook: the next `n` appends fail their durability sync (after the
+  // bytes reached the kernel), modeling a disk that accepts writes but
+  // cannot promise them. The failed append is NOT registered in memory;
+  // on the next Open the record surfaces as an unapplied batch.
+  void set_fail_next_syncs(uint64_t n) { fail_next_syncs_ = n; }
+
   // Batches appended but never marked applied, in append order.
   std::vector<const LoggedBatch*> UnappliedBatches() const;
 
   // Replays every unapplied batch into `index` and marks it applied.
   Status RecoverInto(InvertedIndex* index);
 
+  // Replays ALL logged batches, applied or not, into a freshly
+  // constructed empty `index`, then marks everything applied. This is the
+  // full-rebuild recovery path for a crash that may have left device
+  // state partially written: rebuilding from nothing sidesteps "was block
+  // k's write durable?" entirely.
+  Status ReplayInto(InvertedIndex* index);
+
   // Drops all records (e.g. after a Snapshot made them redundant).
   Status Truncate();
 
   uint64_t batches_logged() const { return batches_.size(); }
   uint64_t batches_applied() const { return applied_count_; }
+  // Logged batch `i` in append order (i < batches_logged()). Scrub walks
+  // the full history to reconstruct a damaged list's postings.
+  const LoggedBatch& batch(uint64_t i) const { return batches_[i]; }
   const std::string& path() const { return path_; }
 
  private:
@@ -91,11 +107,13 @@ class BatchLog {
   Status AppendRecord(char type, const std::string& payload);
   Result<uint64_t> AppendBatchRecord(const std::string& payload,
                                      LoggedBatch batch);
+  static Status ApplyOne(InvertedIndex* index, const LoggedBatch& batch);
 
   std::string path_;
   std::FILE* file_ = nullptr;
   bool fsync_enabled_ = true;
   uint64_t syncs_ = 0;
+  uint64_t fail_next_syncs_ = 0;
   uint64_t next_id_ = 0;
   uint64_t applied_count_ = 0;
   std::vector<LoggedBatch> batches_;

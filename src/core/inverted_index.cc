@@ -329,6 +329,26 @@ Status InvertedIndex::SweepDeletions() {
   return Status::OK();
 }
 
+Status InvertedIndex::RewriteLongList(WordId word, std::vector<DocId> docs) {
+  if (!options_.materialize) {
+    return Status::FailedPrecondition("rewrite requires a materialized index");
+  }
+  const LongList* list = long_lists_->directory().Find(word);
+  if (list == nullptr) {
+    return Status::NotFound("word has no long list to rewrite");
+  }
+  const uint64_t before = list->total_postings;
+  DUPLEX_RETURN_IF_ERROR(long_lists_->Drop(word));
+  total_postings_ -= before;
+  if (!docs.empty()) {
+    const uint64_t after = docs.size();
+    DUPLEX_RETURN_IF_ERROR(long_lists_->Append(
+        word, PostingList::Materialized(std::move(docs))));
+    total_postings_ += after;
+  }
+  return Status::OK();
+}
+
 Status InvertedIndex::VerifyIntegrity() const {
   std::map<std::pair<storage::DiskId, storage::BlockId>, storage::BlockId>
       ranges;

@@ -120,6 +120,14 @@ class InvertedIndex {
   // clears the deleted set. Requires materialize.
   Status SweepDeletions();
 
+  // --- Repair (used by core::Scrub) ----------------------------------------
+
+  // Replaces the long list of `word` wholesale with `docs` (ascending),
+  // dropping its existing chunks and re-appending through the configured
+  // policy. Posting accounting absorbs any size difference. Requires
+  // materialize; NotFound when the word has no long list.
+  Status RewriteLongList(WordId word, std::vector<DocId> docs);
+
   // --- Bucket-space rebalancing ---------------------------------------------
 
   // Manually reshapes the bucket space (see BucketStore::Resize); lists
@@ -166,6 +174,9 @@ class InvertedIndex {
   BucketStore& bucket_store() { return buckets_; }
   const LongListStore& long_list_store() const { return *long_lists_; }
   const storage::DiskArray& disks() const { return *disks_; }
+  // Mutable array access for fault/scrub integration (fault schedules,
+  // checksum verification below the cache).
+  storage::DiskArray& disks() { return *disks_; }
   text::Vocabulary& vocabulary() { return vocabulary_; }
   const text::Vocabulary& vocabulary() const { return vocabulary_; }
   DocId next_doc_id() const { return next_doc_id_; }

@@ -36,7 +36,13 @@ ShardedIndex::ShardedIndex(const ShardedIndexOptions& options)
   DUPLEX_CHECK(options.num_shards > 0);
   shards_.reserve(options.num_shards);
   for (uint32_t s = 0; s < options.num_shards; ++s) {
-    shards_.push_back(std::make_unique<IndexShard>(options.shard));
+    if (options.customize_shard) {
+      IndexOptions tweaked = options.shard;
+      options.customize_shard(s, tweaked);
+      shards_.push_back(std::make_unique<IndexShard>(tweaked));
+    } else {
+      shards_.push_back(std::make_unique<IndexShard>(options.shard));
+    }
   }
 }
 

@@ -35,6 +35,11 @@ struct ShardedIndexOptions {
   // the locks) but applies sub-batches sequentially.
   uint32_t threads = 0;
 
+  // Optional per-shard tweak applied to a copy of `shard` before that
+  // shard's index is built. Fault-isolation tests use it to arm a fault
+  // schedule on exactly one shard's disks while the rest stay clean.
+  std::function<void(uint32_t shard, IndexOptions&)> customize_shard;
+
   // Splits a single-index configuration across `num_shards` shards,
   // dividing the bucket space so the total bucket capacity matches the
   // unsharded index (disk geometry is kept per shard: each shard owns its

@@ -25,6 +25,12 @@ core::IndexOptions SimConfig::ToIndexOptions(
   opts.cache.mode = cache_mode;
   opts.cache.eviction = cache_eviction;
   opts.cache.lock_shards = cache_lock_shards;
+  opts.disks.fault.seed = fault_seed;
+  opts.disks.fault.read_error_probability = fault_read_error_prob;
+  opts.disks.fault.write_error_probability = fault_write_error_prob;
+  opts.disks.fault.bit_flip_probability = fault_bit_flip_prob;
+  opts.disks.fault.crash_at_op = fault_crash_at_op;
+  opts.disks.checksums = device_checksums;
   return opts;
 }
 

@@ -37,6 +37,16 @@ struct SimConfig {
   storage::CacheEviction cache_eviction = storage::CacheEviction::kClock;
   uint32_t cache_lock_shards = 8;
 
+  // Fault injection + integrity (materialized runs only; the count-only
+  // pipeline issues no physical device I/O to corrupt). Probabilities are
+  // per physical op; 0 disables. See storage::FaultScheduleOptions.
+  uint64_t fault_seed = 1;
+  double fault_read_error_prob = 0.0;
+  double fault_write_error_prob = 0.0;
+  double fault_bit_flip_prob = 0.0;
+  uint64_t fault_crash_at_op = 0;
+  bool device_checksums = false;
+
   core::IndexOptions ToIndexOptions(const core::Policy& policy) const;
   storage::ExecutorOptions ToExecutorOptions(
       const storage::DiskModelParams& disk =

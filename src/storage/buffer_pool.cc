@@ -49,6 +49,7 @@ CacheStats& CacheStats::Add(const CacheStats& other) {
   pinned_peak += other.pinned_peak;
   physical_reads += other.physical_reads;
   physical_writes += other.physical_writes;
+  writeback_failures += other.writeback_failures;
   return *this;
 }
 
@@ -192,7 +193,22 @@ Result<uint32_t> BufferPool::EvictVictim(Shard& shard) {
         "buffer pool shard exhausted: every frame is pinned");
   }
   Frame& f = shard.slots[victim];
-  if (f.dirty) DUPLEX_RETURN_IF_ERROR(WriteBackFrame(shard, f));
+  if (f.dirty) {
+    if (Status s = WriteBackFrame(shard, f); !s.ok()) {
+      // The device refused the write-back. The frame is the only copy of
+      // that data now, so it must NOT leave the pool: keep it dirty and
+      // mapped, give it a fresh reprieve so the next eviction pass tries a
+      // different victim first, and surface the failure to the caller.
+      f.referenced = true;
+      if (options_.eviction == CacheEviction::kLru &&
+          shard.lru_head != victim) {
+        LruUnlink(shard, victim);
+        LruPushFront(shard, victim);
+      }
+      ++shard.stats.writeback_failures;
+      return s;
+    }
+  }
   ++shard.stats.evictions;
   shard.map.erase(f.key);
   LruUnlink(shard, victim);

@@ -54,6 +54,8 @@ struct CacheStats {
   uint64_t pinned_peak = 0;       // max frames pinned at once
   uint64_t physical_reads = 0;    // block reads issued to the base
   uint64_t physical_writes = 0;   // block writes issued to the base
+  uint64_t writeback_failures = 0;  // evictions aborted: device refused
+                                    // the dirty write-back (frame kept)
 
   CacheStats& Add(const CacheStats& other);
   double hit_rate() const {

@@ -1,0 +1,119 @@
+#include "storage/checksum_device.h"
+
+#include <cstring>
+#include <string>
+
+#include "util/hash.h"
+
+namespace duplex::storage {
+
+ChecksumBlockDevice::ChecksumBlockDevice(BlockDevice* base) : base_(base) {}
+
+Status ChecksumBlockDevice::CheckBlockLocked(
+    BlockId block, std::vector<uint8_t>* scratch) const {
+  scratch->assign(block_size(), 0);
+  DUPLEX_RETURN_IF_ERROR(base_->Read(block, 0, scratch->data(), scratch->size()));
+  const auto it = checksums_.find(block);
+  if (it == checksums_.end()) return Status::OK();  // no claim on this block
+  const uint64_t got = Fnv1a64(scratch->data(), scratch->size());
+  if (got != it->second) {
+    ++corruptions_;
+    return Status::Corruption("checksum mismatch on block " +
+                              std::to_string(block) + " (stored " +
+                              std::to_string(it->second) + ", computed " +
+                              std::to_string(got) + ")");
+  }
+  return Status::OK();
+}
+
+Status ChecksumBlockDevice::Write(BlockId start, uint64_t byte_offset,
+                                  const uint8_t* data, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bs = block_size();
+  if (len == 0) return base_->Write(start, byte_offset, data, len);
+  const uint64_t first = start + byte_offset / bs;
+  const uint64_t begin = byte_offset % bs;
+  const uint64_t last = start + (byte_offset + len - 1) / bs;
+
+  // Build the full post-write image of every touched block so the stored
+  // checksum always covers a whole block.
+  std::vector<uint8_t> scratch;
+  std::unordered_map<BlockId, uint64_t> intent;
+  uint64_t consumed = 0;
+  for (BlockId b = first; b <= last; ++b) {
+    const uint64_t off = (b == first) ? begin : 0;
+    const uint64_t take = std::min<uint64_t>(bs - off, len - consumed);
+    if (off == 0 && take == bs) {
+      intent[b] = Fnv1a64(data + consumed, bs);
+    } else {
+      // Read-modify: verify the resident image first so a write on top of
+      // silent damage surfaces it instead of blessing it.
+      DUPLEX_RETURN_IF_ERROR(CheckBlockLocked(b, &scratch));
+      std::memcpy(scratch.data() + off, data + consumed, take);
+      intent[b] = Fnv1a64(scratch.data(), scratch.size());
+    }
+    consumed += take;
+  }
+
+  // Install the intent checksums before attempting the write: if the base
+  // device fails or tears it, the block's content is unknown and must read
+  // as suspect, never as silently fine.
+  for (const auto& [b, sum] : intent) checksums_[b] = sum;
+  return base_->Write(start, byte_offset, data, len);
+}
+
+Status ChecksumBlockDevice::Read(BlockId start, uint64_t byte_offset,
+                                 uint8_t* out, size_t len) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bs = block_size();
+  if (len == 0) return base_->Read(start, byte_offset, out, len);
+  const uint64_t first = start + byte_offset / bs;
+  const uint64_t begin = byte_offset % bs;
+  const uint64_t last = start + (byte_offset + len - 1) / bs;
+
+  std::vector<uint8_t> scratch;
+  uint64_t produced = 0;
+  for (BlockId b = first; b <= last; ++b) {
+    DUPLEX_RETURN_IF_ERROR(CheckBlockLocked(b, &scratch));
+    const uint64_t off = (b == first) ? begin : 0;
+    const uint64_t take = std::min<uint64_t>(bs - off, len - produced);
+    std::memcpy(out + produced, scratch.data() + off, take);
+    produced += take;
+  }
+  return Status::OK();
+}
+
+void ChecksumBlockDevice::Forget(BlockId start, uint64_t nblocks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t i = 0; i < nblocks; ++i) checksums_.erase(start + i);
+}
+
+Status ChecksumBlockDevice::VerifyBlocks(BlockId start, uint64_t nblocks,
+                                         std::vector<BlockId>* bad) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint8_t> scratch;
+  Status first_io_error = Status::OK();
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    const BlockId b = start + i;
+    const Status s = CheckBlockLocked(b, &scratch);
+    if (s.ok()) continue;
+    if (s.IsCorruption()) {
+      if (bad != nullptr) bad->push_back(b);
+    } else if (first_io_error.ok()) {
+      first_io_error = s;  // keep scanning; report the read failure last
+    }
+  }
+  return first_io_error;
+}
+
+uint64_t ChecksumBlockDevice::blocks_tracked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checksums_.size();
+}
+
+uint64_t ChecksumBlockDevice::corruptions_detected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corruptions_;
+}
+
+}  // namespace duplex::storage

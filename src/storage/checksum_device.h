@@ -1,0 +1,72 @@
+#ifndef DUPLEX_STORAGE_CHECKSUM_DEVICE_H_
+#define DUPLEX_STORAGE_CHECKSUM_DEVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// BlockDevice decorator that keeps an FNV-1a-64 checksum per block and
+// verifies every read against it, turning silent corruption (a bit flip or
+// torn write injected below this layer) into a typed kCorruption Status
+// instead of garbage postings.
+//
+// Checksums record *intent*: they are computed over the bytes the caller
+// asked to persist, before the write is handed down. A write that the base
+// device loses or mangles therefore fails verification on the next read.
+// The conservative corollary: if the base device rejects a write outright,
+// the intent checksum is still installed, so the stale-but-intact old
+// block now reads as corrupt. That is deliberate — after a failed write
+// the block's content is unknown, and "suspect" is the safe answer.
+//
+// Partial-block writes do read-modify-update on a shadow copy of the
+// block, so the checksum always covers the full block image.
+class ChecksumBlockDevice : public BlockDevice {
+ public:
+  explicit ChecksumBlockDevice(BlockDevice* base);
+
+  uint64_t capacity_blocks() const override {
+    return base_->capacity_blocks();
+  }
+  uint64_t block_size() const override { return base_->block_size(); }
+
+  Status Write(BlockId start, uint64_t byte_offset, const uint8_t* data,
+               size_t len) override;
+
+  // Fails with kCorruption naming the first bad block if any covered block
+  // fails verification. Blocks never written verify against the device's
+  // all-zeros read semantics.
+  Status Read(BlockId start, uint64_t byte_offset, uint8_t* out,
+              size_t len) const override;
+
+  // Drops checksums for [start, start + nblocks): the range was freed and
+  // whatever the device returns for it next is no longer our claim.
+  void Forget(BlockId start, uint64_t nblocks);
+
+  // Verifies [start, start + nblocks) without going through a caller read
+  // path; appends every failing block to *bad. Never returns early, so a
+  // scrub sees all damage in one pass.
+  Status VerifyBlocks(BlockId start, uint64_t nblocks,
+                      std::vector<BlockId>* bad) const;
+
+  uint64_t blocks_tracked() const;
+  uint64_t corruptions_detected() const;
+
+ private:
+  // Requires mu_ held. Reads the full block from base and checks it.
+  Status CheckBlockLocked(BlockId block, std::vector<uint8_t>* scratch) const;
+
+  BlockDevice* base_;
+  mutable std::mutex mu_;
+  std::unordered_map<BlockId, uint64_t> checksums_;
+  mutable uint64_t corruptions_ = 0;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_CHECKSUM_DEVICE_H_

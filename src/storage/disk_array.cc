@@ -21,6 +21,11 @@ DiskArray::DiskArray(const DiskArrayOptions& options) : options_(options) {
                                          options.block_size_bytes,
                                          options.materialize_payloads);
   }
+  if (options.fault_schedule != nullptr) {
+    fault_schedule_ = options.fault_schedule;
+  } else if (options.fault.enabled()) {
+    fault_schedule_ = std::make_shared<FaultSchedule>(options.fault);
+  }
   disks_.reserve(options.num_disks);
   for (uint32_t i = 0; i < options.num_disks; ++i) {
     Disk d;
@@ -28,10 +33,22 @@ DiskArray::DiskArray(const DiskArrayOptions& options) : options_(options) {
     if (options.materialize_payloads) {
       d.device = std::make_unique<MemBlockDevice>(options.blocks_per_disk,
                                                   options.block_size_bytes);
+      // Stack, bottom up: Mem -> Fault -> Checksum -> Caching. Each layer
+      // is optional; `top` is whatever ended up outermost.
+      d.top = d.device.get();
+      if (fault_schedule_ != nullptr) {
+        d.faulty = std::make_unique<FaultInjectingBlockDevice>(
+            d.top, fault_schedule_);
+        d.top = d.faulty.get();
+      }
+      if (options.checksums) {
+        d.checksum = std::make_unique<ChecksumBlockDevice>(d.top);
+        d.top = d.checksum.get();
+      }
       if (pool_ != nullptr) {
-        d.cached =
-            std::make_unique<CachingBlockDevice>(d.device.get(), pool_.get());
+        d.cached = std::make_unique<CachingBlockDevice>(d.top, pool_.get());
         d.cache_client = d.cached->client_id();
+        d.top = d.cached.get();
       }
     } else if (pool_ != nullptr) {
       d.cache_client = pool_->RegisterClient(nullptr);
@@ -86,6 +103,11 @@ Status DiskArray::Free(const BlockRange& range) {
     pool_->Invalidate(disks_[range.disk].cache_client, range.start,
                       range.length);
   }
+  if (disks_[range.disk].checksum != nullptr) {
+    // Likewise drop the integrity claim: a reallocated block starts fresh,
+    // not "corrupt because it no longer matches its previous life".
+    disks_[range.disk].checksum->Forget(range.start, range.length);
+  }
   return disks_[range.disk].space->Free(range.start, range.length);
 }
 
@@ -118,16 +140,30 @@ uint64_t DiskArray::fragment_count(DiskId disk) const {
 
 BlockDevice* DiskArray::device(DiskId disk) {
   DUPLEX_CHECK_LT(disk, num_disks());
-  Disk& d = disks_[disk];
-  return d.cached != nullptr ? static_cast<BlockDevice*>(d.cached.get())
-                             : d.device.get();
+  return disks_[disk].top;
 }
 
 const BlockDevice* DiskArray::device(DiskId disk) const {
   DUPLEX_CHECK_LT(disk, num_disks());
-  const Disk& d = disks_[disk];
-  return d.cached != nullptr ? static_cast<const BlockDevice*>(d.cached.get())
-                             : d.device.get();
+  return disks_[disk].top;
+}
+
+ChecksumBlockDevice* DiskArray::checksum_device(DiskId disk) {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return disks_[disk].checksum.get();
+}
+
+BlockDevice* DiskArray::scrub_device(DiskId disk) {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  Disk& d = disks_[disk];
+  if (d.checksum != nullptr) return d.checksum.get();
+  if (d.faulty != nullptr) return d.faulty.get();
+  return d.device.get();
+}
+
+MemBlockDevice* DiskArray::base_device(DiskId disk) {
+  DUPLEX_CHECK_LT(disk, num_disks());
+  return disks_[disk].device.get();
 }
 
 uint64_t DiskArray::CacheTouchRead(const BlockRange& range, uint64_t nblocks) {

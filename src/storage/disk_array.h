@@ -8,6 +8,8 @@
 #include "storage/block.h"
 #include "storage/block_device.h"
 #include "storage/buffer_pool.h"
+#include "storage/checksum_device.h"
+#include "storage/fault_injection.h"
 #include "storage/free_space.h"
 #include "util/status.h"
 
@@ -39,6 +41,16 @@ struct DiskArrayOptions {
   // accounting-only mode so the count-only pipeline still models hit/miss
   // behaviour of the same block access stream.
   BufferPoolOptions cache;
+  // Fault injection under everything else (materialized arrays only). If
+  // `fault_schedule` is set it is shared as-is (so a sweep harness can keep
+  // one op counter across index rebuilds); otherwise a schedule is built
+  // from `fault` when fault.enabled(). The device stack per disk is then
+  //   Mem -> FaultInjecting -> [Checksum] -> [Caching].
+  FaultScheduleOptions fault;
+  std::shared_ptr<FaultSchedule> fault_schedule;
+  // Per-block FNV-1a checksums verified on every physical read, so silent
+  // corruption surfaces as Status kCorruption instead of garbage postings.
+  bool checksums = false;
 };
 
 // A bank of simulated disks: per-disk free-space management plus optional
@@ -104,19 +116,44 @@ class DiskArray {
 
   CacheStats cache_stats() const;
 
+  // --- Fault / integrity integration --------------------------------------
+
+  // Shared schedule driving every disk's fault decorator; null when fault
+  // injection is off.
+  FaultSchedule* fault_schedule() { return fault_schedule_.get(); }
+  std::shared_ptr<FaultSchedule> shared_fault_schedule() const {
+    return fault_schedule_;
+  }
+
+  // Checksum layer for one disk; null when checksums are off.
+  ChecksumBlockDevice* checksum_device(DiskId disk);
+
+  // Device below the cache (checksum layer if on, else fault layer, else
+  // raw). A scrub reads through this so cached-but-not-evicted copies
+  // cannot mask on-device damage.
+  BlockDevice* scrub_device(DiskId disk);
+
+  // Raw in-memory device, below even the fault layer. Tests use it to
+  // plant post-hoc corruption exactly where a real disk would rot.
+  MemBlockDevice* base_device(DiskId disk);
+
  private:
   struct Disk {
     std::unique_ptr<FreeSpaceMap> space;
     std::unique_ptr<MemBlockDevice> device;
-    // Decorator over `device` when the cache is on and payloads are
-    // materialized.
+    // Optional decorators over `device`, innermost first.
+    std::unique_ptr<FaultInjectingBlockDevice> faulty;
+    std::unique_ptr<ChecksumBlockDevice> checksum;
     std::unique_ptr<CachingBlockDevice> cached;
     uint32_t cache_client = 0;
+    // Topmost layer handed out by device().
+    BlockDevice* top = nullptr;
   };
 
   DiskArrayOptions options_;
   std::vector<Disk> disks_;
   std::unique_ptr<BufferPool> pool_;
+  std::shared_ptr<FaultSchedule> fault_schedule_;
   uint32_t cursor_ = 0;
 };
 

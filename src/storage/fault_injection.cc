@@ -1,0 +1,161 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace duplex::storage {
+
+FaultSchedule::FaultSchedule(FaultScheduleOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+FaultSchedule::Decision FaultSchedule::NextOp(bool is_write, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision d;
+  d.op = ++ops_;
+  if (crashed_ || (options_.crash_at_op != 0 && d.op >= options_.crash_at_op)) {
+    crashed_ = true;
+    d.fault = Fault::kCrash;
+    ++faults_;
+    return d;
+  }
+  const auto exact = [&](const std::set<uint64_t>& ops) {
+    return ops.count(d.op) != 0;
+  };
+  if (is_write) {
+    if (d.op == options_.torn_write_at_op) {
+      d.fault = Fault::kTornWrite;
+      d.torn_bytes = static_cast<size_t>(
+          std::ceil(static_cast<double>(len) * options_.torn_write_fraction));
+      d.torn_bytes = std::min(d.torn_bytes, len);
+      ++faults_;
+      return d;
+    }
+    if (exact(options_.bit_flip_ops) ||
+        (options_.bit_flip_probability > 0 &&
+         rng_.Bernoulli(options_.bit_flip_probability))) {
+      d.fault = Fault::kBitFlip;
+      d.flip_bit = len == 0 ? 0 : rng_.Uniform(len * 8);
+      ++faults_;
+      ++flips_;
+      return d;
+    }
+    if (exact(options_.write_error_ops) ||
+        (options_.write_error_probability > 0 &&
+         rng_.Bernoulli(options_.write_error_probability))) {
+      d.fault = Fault::kTransientError;
+      ++faults_;
+      return d;
+    }
+  } else {
+    if (exact(options_.read_error_ops) ||
+        (options_.read_error_probability > 0 &&
+         rng_.Bernoulli(options_.read_error_probability))) {
+      d.fault = Fault::kTransientError;
+      ++faults_;
+      return d;
+    }
+  }
+  return d;
+}
+
+void FaultSchedule::CrashAtOp(uint64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.crash_at_op = op;
+  crashed_ = false;
+}
+
+void FaultSchedule::CrashNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+void FaultSchedule::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  const uint64_t seed = options_.seed;
+  options_ = FaultScheduleOptions{};
+  options_.seed = seed;
+}
+
+bool FaultSchedule::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultSchedule::ops_issued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultSchedule::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+uint64_t FaultSchedule::bits_flipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flips_;
+}
+
+namespace {
+
+std::string OpLabel(bool is_write, BlockId start, uint64_t byte_offset,
+                    size_t len, uint64_t op) {
+  return std::string(is_write ? "write" : "read") + " op " +
+         std::to_string(op) + " (block " + std::to_string(start) + "+" +
+         std::to_string(byte_offset) + ", " + std::to_string(len) + "B)";
+}
+
+}  // namespace
+
+Status FaultInjectingBlockDevice::Write(BlockId start, uint64_t byte_offset,
+                                        const uint8_t* data, size_t len) {
+  const FaultSchedule::Decision d = schedule_->NextOp(/*is_write=*/true, len);
+  switch (d.fault) {
+    case FaultSchedule::Fault::kNone:
+      return base_->Write(start, byte_offset, data, len);
+    case FaultSchedule::Fault::kCrash:
+      return Status::IoError("injected crash: device frozen at " +
+                             OpLabel(true, start, byte_offset, len, d.op));
+    case FaultSchedule::Fault::kTransientError:
+      return Status::IoError("injected transient write error at " +
+                             OpLabel(true, start, byte_offset, len, d.op));
+    case FaultSchedule::Fault::kTornWrite: {
+      if (d.torn_bytes > 0) {
+        // Persist the prefix a power cut would have left behind, then fail.
+        DUPLEX_RETURN_IF_ERROR(
+            base_->Write(start, byte_offset, data, d.torn_bytes));
+      }
+      return Status::IoError(
+          "injected torn write (" + std::to_string(d.torn_bytes) + "/" +
+          std::to_string(len) + "B persisted) at " +
+          OpLabel(true, start, byte_offset, len, d.op));
+    }
+    case FaultSchedule::Fault::kBitFlip: {
+      std::vector<uint8_t> flipped(data, data + len);
+      if (len > 0) flipped[d.flip_bit / 8] ^= uint8_t{1} << (d.flip_bit % 8);
+      // Silent corruption: the write "succeeds".
+      return base_->Write(start, byte_offset, flipped.data(), len);
+    }
+  }
+  return Status::Internal("unreachable fault decision");
+}
+
+Status FaultInjectingBlockDevice::Read(BlockId start, uint64_t byte_offset,
+                                       uint8_t* out, size_t len) const {
+  const FaultSchedule::Decision d = schedule_->NextOp(/*is_write=*/false, len);
+  switch (d.fault) {
+    case FaultSchedule::Fault::kCrash:
+      return Status::IoError("injected crash: device frozen at " +
+                             OpLabel(false, start, byte_offset, len, d.op));
+    case FaultSchedule::Fault::kTransientError:
+      return Status::IoError("injected transient read error at " +
+                             OpLabel(false, start, byte_offset, len, d.op));
+    default:
+      return base_->Read(start, byte_offset, out, len);
+  }
+}
+
+}  // namespace duplex::storage

@@ -1,0 +1,132 @@
+#ifndef DUPLEX_STORAGE_FAULT_INJECTION_H_
+#define DUPLEX_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "storage/block_device.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// Deterministic fault plan for a stack of FaultInjectingBlockDevice
+// decorators. One schedule is shared by every disk of a DiskArray so the
+// op counter numbers physical I/O globally, in issue order — exactly the
+// sequence a crash-point sweep needs to replay.
+//
+// Ops are numbered from 1. For every op the schedule decides, in priority
+// order: crash (device is frozen forever), exact-index fault, probabilistic
+// fault. Probabilistic draws come from a seeded Rng, so two schedules built
+// from equal options issue identical fault sequences.
+struct FaultScheduleOptions {
+  uint64_t seed = 1;
+
+  // Probabilistic faults, evaluated per op.
+  double read_error_probability = 0.0;   // transient read error
+  double write_error_probability = 0.0;  // transient write error, no data
+  double bit_flip_probability = 0.0;     // write lands with one bit flipped
+
+  // Exact 1-based op indices (global across the sharing devices).
+  std::set<uint64_t> read_error_ops;
+  std::set<uint64_t> write_error_ops;
+  std::set<uint64_t> bit_flip_ops;
+
+  // Hard power-cut: op `crash_at_op` and everything after it fail, and no
+  // data reaches the underlying device. 0 disables.
+  uint64_t crash_at_op = 0;
+
+  // Torn write: op `torn_write_at_op` persists only the first
+  // ceil(len * torn_write_fraction) bytes, then reports an error.
+  uint64_t torn_write_at_op = 0;
+  double torn_write_fraction = 0.5;
+
+  bool enabled() const {
+    return read_error_probability > 0 || write_error_probability > 0 ||
+           bit_flip_probability > 0 || !read_error_ops.empty() ||
+           !write_error_ops.empty() || !bit_flip_ops.empty() ||
+           crash_at_op != 0 || torn_write_at_op != 0;
+  }
+};
+
+class FaultSchedule {
+ public:
+  enum class Fault {
+    kNone,
+    kTransientError,  // fail the op, nothing written
+    kTornWrite,       // persist a prefix, then fail
+    kBitFlip,         // persist with one flipped bit, report success
+    kCrash,           // device frozen: fail this and every later op
+  };
+
+  struct Decision {
+    Fault fault = Fault::kNone;
+    uint64_t op = 0;          // 1-based index of this op
+    size_t torn_bytes = 0;    // kTornWrite: bytes that reach the device
+    uint64_t flip_bit = 0;    // kBitFlip: bit index within the buffer
+  };
+
+  explicit FaultSchedule(FaultScheduleOptions options);
+
+  // Claims the next op index and decides its fate. Thread-safe.
+  Decision NextOp(bool is_write, size_t len);
+
+  // Re-arms the hard crash at absolute op index `op` (1-based, 0 disables)
+  // and un-freezes the device. Used by crash-point sweeps between runs.
+  void CrashAtOp(uint64_t op);
+
+  // Freezes the device as of the next op, regardless of schedule.
+  void CrashNow();
+
+  // Clears the frozen state and all probabilistic/exact faults so a test
+  // can prove data survived an injection episode. Counters are kept.
+  void Heal();
+
+  bool crashed() const;
+  uint64_t ops_issued() const;
+  uint64_t faults_injected() const;
+  uint64_t bits_flipped() const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultScheduleOptions options_;
+  Rng rng_;
+  uint64_t ops_ = 0;
+  bool crashed_ = false;
+  uint64_t faults_ = 0;
+  uint64_t flips_ = 0;
+};
+
+// BlockDevice decorator that consults a FaultSchedule before every
+// physical op. Stacks below ChecksumBlockDevice/CachingBlockDevice so an
+// injected torn write or bit flip is exactly what a real disk would
+// deliver: the layers above only find out when they read.
+class FaultInjectingBlockDevice : public BlockDevice {
+ public:
+  FaultInjectingBlockDevice(BlockDevice* base,
+                            std::shared_ptr<FaultSchedule> schedule)
+      : base_(base), schedule_(std::move(schedule)) {}
+
+  uint64_t capacity_blocks() const override {
+    return base_->capacity_blocks();
+  }
+  uint64_t block_size() const override { return base_->block_size(); }
+
+  Status Write(BlockId start, uint64_t byte_offset, const uint8_t* data,
+               size_t len) override;
+  Status Read(BlockId start, uint64_t byte_offset, uint8_t* out,
+              size_t len) const override;
+
+  FaultSchedule* schedule() const { return schedule_.get(); }
+
+ private:
+  BlockDevice* base_;
+  std::shared_ptr<FaultSchedule> schedule_;
+};
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_FAULT_INJECTION_H_

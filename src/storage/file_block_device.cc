@@ -1,12 +1,42 @@
 #include "storage/file_block_device.h"
 
 #include <fcntl.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <string>
 
 namespace duplex::storage {
+namespace {
+
+// Transient-failure policy for pread/pwrite: EINTR and EAGAIN get up to
+// kMaxRetries attempts with exponential backoff (1 << attempt times the
+// base, so ~25 ms total at 8 tries) instead of either spinning forever or
+// failing on the first signal delivery. A write that makes zero progress
+// without errno (possible on some special files) is retried on the same
+// budget rather than looping indefinitely.
+constexpr int kMaxRetries = 8;
+constexpr long kBackoffBaseNanos = 100 * 1000;  // 100 us
+
+bool RetryableErrno(int err) { return err == EINTR || err == EAGAIN; }
+
+void BackoffSleep(int attempt) {
+  struct timespec ts;
+  ts.tv_sec = 0;
+  ts.tv_nsec = kBackoffBaseNanos << attempt;
+  ::nanosleep(&ts, nullptr);
+}
+
+std::string ErrnoMessage(const char* op, const std::string& path,
+                         uint64_t offset, int err) {
+  return std::string(op) + "(" + path + " @" + std::to_string(offset) +
+         ") failed: " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+}  // namespace
 
 Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
     const std::string& path, uint64_t capacity_blocks,
@@ -16,8 +46,7 @@ Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
   }
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
-    return Status::Internal("open(" + path +
-                            ") failed: " + std::strerror(errno));
+    return Status::IoError(ErrnoMessage("open", path, 0, errno));
   }
   return std::unique_ptr<FileBlockDevice>(
       new FileBlockDevice(path, fd, capacity_blocks, block_size));
@@ -42,16 +71,33 @@ Status FileBlockDevice::Write(BlockId start, uint64_t byte_offset,
     return Status::OutOfRange("write beyond device end");
   }
   size_t written = 0;
+  int retries = 0;
   while (written < len) {
     const ssize_t n =
         ::pwrite(fd_, data + written, len - written,
                  static_cast<off_t>(abs + written));
     if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("pwrite failed: ") +
-                              std::strerror(errno));
+      if (RetryableErrno(errno) && retries < kMaxRetries) {
+        BackoffSleep(retries++);
+        continue;
+      }
+      return Status::IoError(
+          ErrnoMessage("pwrite", path_, abs + written, errno));
+    }
+    if (n == 0) {
+      // No error, no progress: back off and retry on the same budget so a
+      // pathological device cannot spin us forever.
+      if (retries >= kMaxRetries) {
+        return Status::IoError("pwrite(" + path_ + " @" +
+                               std::to_string(abs + written) +
+                               ") made no progress after " +
+                               std::to_string(kMaxRetries) + " retries");
+      }
+      BackoffSleep(retries++);
+      continue;
     }
     written += static_cast<size_t>(n);
+    retries = 0;  // progress resets the budget
   }
   return Status::OK();
 }
@@ -63,13 +109,16 @@ Status FileBlockDevice::Read(BlockId start, uint64_t byte_offset,
     return Status::OutOfRange("read beyond device end");
   }
   size_t done = 0;
+  int retries = 0;
   while (done < len) {
     const ssize_t n = ::pread(fd_, out + done, len - done,
                               static_cast<off_t>(abs + done));
     if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("pread failed: ") +
-                              std::strerror(errno));
+      if (RetryableErrno(errno) && retries < kMaxRetries) {
+        BackoffSleep(retries++);
+        continue;
+      }
+      return Status::IoError(ErrnoMessage("pread", path_, abs + done, errno));
     }
     if (n == 0) {
       // Past EOF of a sparse/short file: unwritten bytes read as zero.
@@ -77,14 +126,14 @@ Status FileBlockDevice::Read(BlockId start, uint64_t byte_offset,
       return Status::OK();
     }
     done += static_cast<size_t>(n);
+    retries = 0;
   }
   return Status::OK();
 }
 
 Status FileBlockDevice::Sync() {
   if (::fdatasync(fd_) != 0) {
-    return Status::Internal(std::string("fdatasync failed: ") +
-                            std::strerror(errno));
+    return Status::IoError(ErrnoMessage("fdatasync", path_, 0, errno));
   }
   return Status::OK();
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kIoError,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -68,6 +69,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +84,8 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -132,6 +132,107 @@ TEST_F(BatchLogTest, TornTailIsDroppedSilently) {
   EXPECT_EQ(*(*log)->AppendBatch(CountBatch({{9, 9}})), 1u);
 }
 
+TEST_F(BatchLogTest, DamagedFinalRecordIsTruncatedNotFatal) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{3, 4}})).ok());
+  }
+  // Crash mid-write of the FINAL record that garbled bytes in place
+  // rather than leaving the file short: flip a byte inside the last
+  // record's payload (its length is intact, so the scan reads a full
+  // record whose checksum fails — at end-of-file that is a torn tail).
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekp(static_cast<std::streamoff>(size) - 4);
+    f.put('\x7f');
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ((*log)->batches_logged(), 1u);  // damaged tail dropped
+  // The log remains appendable: the truncation discards the garbage.
+  EXPECT_EQ(*(*log)->AppendBatch(CountBatch({{9, 9}})), 1u);
+  Result<std::unique_ptr<BatchLog>> reopened = BatchLog::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->batches_logged(), 2u);
+}
+
+TEST_F(BatchLogTest, GarbageTailIsTruncatedNotFatal) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+  }
+  // Append raw garbage that never formed a record (crash during the
+  // very first write of a new record).
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "\x02\xff\xffgarbage-that-is-not-a-record";
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ((*log)->batches_logged(), 1u);
+  EXPECT_EQ(*(*log)->AppendBatch(CountBatch({{7, 7}})), 1u);
+}
+
+TEST_F(BatchLogTest, FailedSyncRejectsAppendButRecordSurvivesReopen) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
+
+  // The disk accepts the bytes but the durability barrier fails: the
+  // append must surface a typed I/O error and NOT register the batch —
+  // the caller cannot treat it as logged.
+  (*log)->set_fail_next_syncs(1);
+  Result<uint64_t> id = (*log)->AppendBatch(CountBatch({{3, 4}}));
+  ASSERT_FALSE(id.ok());
+  EXPECT_TRUE(id.status().IsIoError()) << id.status();
+  EXPECT_EQ((*log)->batches_logged(), 1u);
+
+  // The bytes still reached the kernel, so a reopen (the crash-recovery
+  // path) surfaces the record as an unapplied batch — the protocol errs
+  // toward replaying, never toward losing a possibly-durable batch.
+  Result<std::unique_ptr<BatchLog>> reopened = BatchLog::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->batches_logged(), 2u);
+  EXPECT_EQ((*reopened)->UnappliedBatches().size(), 2u);
+}
+
+TEST_F(BatchLogTest, ReplayIntoRebuildsTheFullyAppliedState) {
+  InvertedIndex reference(Options(true));
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    (*log)->set_fsync(false);
+    text::InvertedBatch b0;
+    b0.entries = {{1, {0, 1, 2}}, {4, {2}}};
+    text::InvertedBatch b1;
+    b1.entries = {{1, {3, 4}}, {9, {4}}};
+    // b0 committed, b1 crashed mid-apply (simulated: logged only).
+    ASSERT_TRUE((*log)->ApplyLogged(&reference, b0).ok());
+    ASSERT_TRUE((*log)->AppendBatch(b1).ok());
+    ASSERT_TRUE(reference.ApplyInvertedBatch(b1).ok());
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->UnappliedBatches().size(), 1u);
+  // Full-rebuild recovery: fresh index, replay EVERYTHING.
+  InvertedIndex recovered(Options(true));
+  ASSERT_TRUE((*log)->ReplayInto(&recovered).ok());
+  EXPECT_TRUE((*log)->UnappliedBatches().empty());
+  for (const WordId w : {1u, 4u, 9u}) {
+    Result<std::vector<DocId>> expect = reference.GetPostings(w);
+    Result<std::vector<DocId>> got = recovered.GetPostings(w);
+    ASSERT_TRUE(expect.ok() && got.ok()) << w;
+    EXPECT_EQ(*expect, *got) << w;
+  }
+  EXPECT_EQ(recovered.Stats().total_postings,
+            reference.Stats().total_postings);
+}
+
 TEST_F(BatchLogTest, CorruptedMiddleRecordIsFatal) {
   {
     Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);

@@ -102,6 +102,45 @@ TEST_F(DuplexctlTest, UsageOnBadArguments) {
             0);
 }
 
+TEST_F(DuplexctlTest, ScrubDemoRepairsInjectedCorruption) {
+  const std::string out = dir_ + "/scrub.out";
+  ASSERT_EQ(RunShell(std::string(DUPLEXCTL_BIN) + " scrub-demo > " + out +
+                     " 2>&1"),
+            0)
+      << ReadAll(out);
+  const std::string log = ReadAll(out);
+  EXPECT_NE(log.find("injected"), std::string::npos) << log;
+  EXPECT_NE(log.find("kCorruption"), std::string::npos) << log;
+  EXPECT_NE(log.find("repair verified"), std::string::npos) << log;
+}
+
+TEST_F(DuplexctlTest, ScrubDemoSeedIsDeterministic) {
+  const std::string out1 = dir_ + "/scrub1.out";
+  const std::string out2 = dir_ + "/scrub2.out";
+  ASSERT_EQ(RunShell(std::string(DUPLEXCTL_BIN) +
+                     " --fault-seed 9 scrub-demo > " + out1 + " 2>&1"),
+            0)
+      << ReadAll(out1);
+  ASSERT_EQ(RunShell(std::string(DUPLEXCTL_BIN) +
+                     " --fault-seed 9 scrub-demo > " + out2 + " 2>&1"),
+            0)
+      << ReadAll(out2);
+  EXPECT_EQ(ReadAll(out1), ReadAll(out2));
+}
+
+TEST_F(DuplexctlTest, ScrubOnCleanSnapshotReportsClean) {
+  ASSERT_EQ(Build(), 0) << ReadAll(dir_ + "/build.out");
+  const std::string out = dir_ + "/scrub.out";
+  ASSERT_EQ(RunShell(std::string(DUPLEXCTL_BIN) + " scrub " + prefix_ +
+                     " > " + out + " 2>&1"),
+            0)
+      << ReadAll(out);
+  const std::string log = ReadAll(out);
+  EXPECT_NE(log.find("scrub:"), std::string::npos) << log;
+  EXPECT_NE(log.find("0 corrupt blocks"), std::string::npos) << log;
+  EXPECT_NE(log.find("quarantined 0"), std::string::npos) << log;
+}
+
 TEST_F(DuplexctlTest, BuildOnEmptyDirectoryFails) {
   fs::create_directories(dir_ + "/empty");
   EXPECT_NE(RunShell(std::string(DUPLEXCTL_BIN) + " build " + prefix_ +

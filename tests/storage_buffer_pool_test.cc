@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/fault_injection.h"
 #include "storage/file_block_device.h"
 
 namespace duplex::storage {
@@ -349,6 +350,67 @@ TEST(CachingBlockDeviceTest, TwoClientsShareOnePool) {
   // Same block id, different clients: frames do not alias.
   EXPECT_EQ(ReadString(dev_a, 0, 0, 6), "from-a");
   EXPECT_EQ(ReadString(dev_b, 0, 0, 6), "from-b");
+}
+
+// Satellite (c): a failed write-back during eviction must NOT drop the
+// dirty frame — the data's only copy lives there. The pool re-pins the
+// victim, surfaces the Status, and a later flush (after the device
+// heals) still lands every byte.
+TEST(CachingBlockDeviceTest, EvictionWritebackFailureKeepsDirtyFrame) {
+  MemBlockDevice base(16, kBlockSize);
+  auto schedule = std::make_shared<FaultSchedule>(FaultScheduleOptions{});
+  FaultInjectingBlockDevice faulty(&base, schedule);
+  BufferPool pool(Opts(1, CacheMode::kWriteBack), kBlockSize, true);
+  CachingBlockDevice dev(&faulty, &pool);
+
+  // Dirty frame for block 0; write-back mode issues no physical op yet.
+  ASSERT_TRUE(WriteString(dev, 0, 0, std::string(kBlockSize, 'a')).ok());
+  ASSERT_EQ(schedule->ops_issued(), 0u);
+
+  // Faulting block 5 through the capacity-1 pool must evict block 0;
+  // freeze the device first so the write-back fails.
+  schedule->CrashNow();
+  std::string out(4, '\0');
+  const Status read =
+      dev.Read(5, 0, reinterpret_cast<uint8_t*>(out.data()), out.size());
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.IsIoError()) << read;
+  EXPECT_EQ(pool.stats().writeback_failures, 1u);
+  EXPECT_EQ(pool.stats().physical_writes, 0u);
+
+  // The dirty data is still served from the surviving frame (cache hit,
+  // no device op) and the base still has nothing.
+  EXPECT_EQ(ReadString(dev, 0, 0, 4), "aaaa");
+  EXPECT_EQ(ReadString(base, 0, 0, 4), std::string(4, '\0'));
+
+  // Device heals; the retained frame flushes cleanly. Nothing was lost.
+  schedule->Heal();
+  ASSERT_TRUE(dev.Flush().ok());
+  EXPECT_EQ(ReadString(base, 0, 0, 4), "aaaa");
+  EXPECT_EQ(pool.stats().dirty_writebacks, 1u);
+}
+
+// Repeated eviction failures must be stable: every attempt surfaces the
+// error, the frame survives each time, and the failure counter counts.
+TEST(CachingBlockDeviceTest, RepeatedEvictionFailuresAreStable) {
+  MemBlockDevice base(16, kBlockSize);
+  auto schedule = std::make_shared<FaultSchedule>(FaultScheduleOptions{});
+  FaultInjectingBlockDevice faulty(&base, schedule);
+  BufferPool pool(Opts(1, CacheMode::kWriteBack), kBlockSize, true);
+  CachingBlockDevice dev(&faulty, &pool);
+  ASSERT_TRUE(WriteString(dev, 0, 0, std::string(kBlockSize, 'z')).ok());
+  schedule->CrashNow();
+  for (int i = 1; i <= 3; ++i) {
+    std::string out(1, '\0');
+    const Status read =
+        dev.Read(static_cast<BlockId>(4 + i), 0,
+                 reinterpret_cast<uint8_t*>(out.data()), 1);
+    ASSERT_FALSE(read.ok()) << i;
+    EXPECT_EQ(pool.stats().writeback_failures, static_cast<uint64_t>(i));
+  }
+  schedule->Heal();
+  ASSERT_TRUE(dev.Flush().ok());
+  EXPECT_EQ(ReadString(base, 0, 0, 1), "z");
 }
 
 TEST(CachingBlockDeviceTest, WorksOverFileBlockDevice) {

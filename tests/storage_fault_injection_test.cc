@@ -1,0 +1,240 @@
+// The fault layer itself: a FaultSchedule must be deterministic (same
+// options, same fault sequence), each fault kind must behave like the disk
+// failure it models, and the ChecksumBlockDevice above it must turn every
+// silent corruption into a typed kCorruption at read time.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "storage/checksum_device.h"
+#include "storage/fault_injection.h"
+
+namespace duplex::storage {
+namespace {
+
+constexpr uint64_t kBlocks = 64;
+constexpr uint64_t kBlockSize = 128;
+
+std::vector<uint8_t> Pattern(size_t len, uint8_t seed) {
+  std::vector<uint8_t> data(len);
+  for (size_t i = 0; i < len; ++i) {
+    data[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return data;
+}
+
+// --- FaultSchedule ----------------------------------------------------------
+
+TEST(FaultScheduleTest, SameOptionsSameDecisions) {
+  FaultScheduleOptions options;
+  options.seed = 99;
+  options.write_error_probability = 0.3;
+  options.read_error_probability = 0.2;
+  FaultSchedule a(options);
+  FaultSchedule b(options);
+  for (int i = 0; i < 200; ++i) {
+    const bool is_write = (i % 3) != 0;
+    const auto da = a.NextOp(is_write, 64);
+    const auto db = b.NextOp(is_write, 64);
+    EXPECT_EQ(static_cast<int>(da.fault), static_cast<int>(db.fault));
+    EXPECT_EQ(da.op, db.op);
+  }
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+  EXPECT_GT(a.faults_injected(), 0u);
+}
+
+TEST(FaultScheduleTest, ExactOpIndicesFire) {
+  FaultScheduleOptions options;
+  options.write_error_ops = {3};
+  options.read_error_ops = {5};
+  FaultSchedule s(options);
+  EXPECT_EQ(s.NextOp(true, 8).fault, FaultSchedule::Fault::kNone);   // 1
+  EXPECT_EQ(s.NextOp(false, 8).fault, FaultSchedule::Fault::kNone);  // 2
+  EXPECT_EQ(s.NextOp(true, 8).fault,
+            FaultSchedule::Fault::kTransientError);                  // 3
+  EXPECT_EQ(s.NextOp(true, 8).fault, FaultSchedule::Fault::kNone);   // 4
+  EXPECT_EQ(s.NextOp(false, 8).fault,
+            FaultSchedule::Fault::kTransientError);                  // 5
+  // A write index does not fire on a read op and vice versa.
+  FaultSchedule s2(options);
+  EXPECT_EQ(s2.NextOp(false, 8).fault, FaultSchedule::Fault::kNone);  // 1
+  EXPECT_EQ(s2.NextOp(false, 8).fault, FaultSchedule::Fault::kNone);  // 2
+  EXPECT_EQ(s2.NextOp(false, 8).fault, FaultSchedule::Fault::kNone);  // 3
+}
+
+TEST(FaultScheduleTest, CrashFreezesEveryLaterOp) {
+  FaultScheduleOptions options;
+  options.crash_at_op = 4;
+  FaultSchedule s(options);
+  EXPECT_EQ(s.NextOp(true, 8).fault, FaultSchedule::Fault::kNone);
+  EXPECT_EQ(s.NextOp(false, 8).fault, FaultSchedule::Fault::kNone);
+  EXPECT_EQ(s.NextOp(true, 8).fault, FaultSchedule::Fault::kNone);
+  EXPECT_FALSE(s.crashed());
+  EXPECT_EQ(s.NextOp(true, 8).fault, FaultSchedule::Fault::kCrash);
+  EXPECT_TRUE(s.crashed());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.NextOp(i % 2 == 0, 8).fault, FaultSchedule::Fault::kCrash);
+  }
+  s.Heal();
+  EXPECT_FALSE(s.crashed());
+  EXPECT_EQ(s.NextOp(true, 8).fault, FaultSchedule::Fault::kNone);
+}
+
+// --- FaultInjectingBlockDevice ----------------------------------------------
+
+TEST(FaultInjectingBlockDeviceTest, TransientErrorWritesNothing) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  auto schedule = std::make_shared<FaultSchedule>([] {
+    FaultScheduleOptions o;
+    o.write_error_ops = {1};
+    return o;
+  }());
+  FaultInjectingBlockDevice dev(&mem, schedule);
+  const std::vector<uint8_t> data = Pattern(32, 5);
+  Status s = dev.Write(0, 0, data.data(), data.size());
+  EXPECT_TRUE(s.IsIoError()) << s;
+  std::vector<uint8_t> out(32, 0xff);
+  ASSERT_TRUE(mem.Read(0, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(32, 0));  // nothing landed
+  // Second attempt (op 2) succeeds.
+  ASSERT_TRUE(dev.Write(0, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(dev.Read(0, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(FaultInjectingBlockDeviceTest, TornWritePersistsPrefixOnly) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  FaultScheduleOptions o;
+  o.torn_write_at_op = 1;
+  o.torn_write_fraction = 0.25;
+  auto schedule = std::make_shared<FaultSchedule>(o);
+  FaultInjectingBlockDevice dev(&mem, schedule);
+  const std::vector<uint8_t> data = Pattern(64, 9);
+  Status s = dev.Write(2, 0, data.data(), data.size());
+  EXPECT_TRUE(s.IsIoError()) << s;
+  std::vector<uint8_t> out(64, 0);
+  ASSERT_TRUE(mem.Read(2, 0, out.data(), out.size()).ok());
+  EXPECT_TRUE(std::equal(data.begin(), data.begin() + 16, out.begin()));
+  EXPECT_EQ(std::vector<uint8_t>(out.begin() + 16, out.end()),
+            std::vector<uint8_t>(48, 0));
+}
+
+TEST(FaultInjectingBlockDeviceTest, BitFlipReportsSuccessButCorrupts) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  FaultScheduleOptions o;
+  o.bit_flip_ops = {1};
+  auto schedule = std::make_shared<FaultSchedule>(o);
+  FaultInjectingBlockDevice dev(&mem, schedule);
+  const std::vector<uint8_t> data = Pattern(48, 1);
+  ASSERT_TRUE(dev.Write(1, 0, data.data(), data.size()).ok());
+  EXPECT_EQ(schedule->bits_flipped(), 1u);
+  std::vector<uint8_t> out(48, 0);
+  ASSERT_TRUE(mem.Read(1, 0, out.data(), out.size()).ok());
+  EXPECT_NE(out, data);
+  // Exactly one bit differs.
+  int diff_bits = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    diff_bits += __builtin_popcount(data[i] ^ out[i]);
+  }
+  EXPECT_EQ(diff_bits, 1);
+}
+
+TEST(FaultInjectingBlockDeviceTest, CrashFreezesReadsAndWrites) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  FaultScheduleOptions o;
+  o.crash_at_op = 2;
+  auto schedule = std::make_shared<FaultSchedule>(o);
+  FaultInjectingBlockDevice dev(&mem, schedule);
+  const std::vector<uint8_t> data = Pattern(16, 3);
+  ASSERT_TRUE(dev.Write(0, 0, data.data(), data.size()).ok());
+  EXPECT_TRUE(dev.Write(1, 0, data.data(), data.size()).IsIoError());
+  std::vector<uint8_t> out(16, 0);
+  EXPECT_TRUE(dev.Read(0, 0, out.data(), out.size()).IsIoError());
+  // Op 1's data survives the crash (it was durable before the cut).
+  ASSERT_TRUE(mem.Read(0, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+  // Healing un-freezes the device and data is intact.
+  schedule->Heal();
+  ASSERT_TRUE(dev.Read(0, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+// --- ChecksumBlockDevice ----------------------------------------------------
+
+TEST(ChecksumBlockDeviceTest, RoundTripAndPartialWritesVerify) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  ChecksumBlockDevice dev(&mem);
+  const std::vector<uint8_t> a = Pattern(kBlockSize, 11);
+  ASSERT_TRUE(dev.Write(0, 0, a.data(), a.size()).ok());
+  // Partial overwrite inside the block keeps the checksum coherent.
+  const std::vector<uint8_t> patch = Pattern(17, 42);
+  ASSERT_TRUE(dev.Write(0, 31, patch.data(), patch.size()).ok());
+  std::vector<uint8_t> out(kBlockSize, 0);
+  ASSERT_TRUE(dev.Read(0, 0, out.data(), out.size()).ok());
+  std::vector<uint8_t> expect = a;
+  std::memcpy(expect.data() + 31, patch.data(), patch.size());
+  EXPECT_EQ(out, expect);
+  // Cross-block write verifies block by block.
+  const std::vector<uint8_t> big = Pattern(3 * kBlockSize, 77);
+  ASSERT_TRUE(dev.Write(4, 50, big.data(), big.size()).ok());
+  std::vector<uint8_t> big_out(big.size(), 0);
+  ASSERT_TRUE(dev.Read(4, 50, big_out.data(), big_out.size()).ok());
+  EXPECT_EQ(big_out, big);
+  EXPECT_EQ(dev.corruptions_detected(), 0u);
+}
+
+TEST(ChecksumBlockDeviceTest, BitFlipBelowIsDetectedAtReadTime) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  ChecksumBlockDevice dev(&mem);
+  const std::vector<uint8_t> data = Pattern(kBlockSize, 23);
+  ASSERT_TRUE(dev.Write(7, 0, data.data(), data.size()).ok());
+  // Rot a byte directly on the base device (below the checksum layer).
+  uint8_t rotten = data[40] ^ 0x10;
+  ASSERT_TRUE(mem.Write(7, 40, &rotten, 1).ok());
+  std::vector<uint8_t> out(kBlockSize, 0);
+  Status s = dev.Read(7, 0, out.data(), out.size());
+  EXPECT_TRUE(s.IsCorruption()) << s;
+  EXPECT_EQ(dev.corruptions_detected(), 1u);
+  std::vector<BlockId> bad;
+  ASSERT_TRUE(dev.VerifyBlocks(0, kBlocks, &bad).ok());
+  EXPECT_EQ(bad, std::vector<BlockId>{7});
+}
+
+TEST(ChecksumBlockDeviceTest, TornWriteBelowIsDetectedAtReadTime) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  FaultScheduleOptions o;
+  o.torn_write_at_op = 2;  // op 1 is the read-modify read? no: full block
+  auto schedule = std::make_shared<FaultSchedule>(o);
+  FaultInjectingBlockDevice faulty(&mem, schedule);
+  ChecksumBlockDevice dev(&faulty);
+  const std::vector<uint8_t> a = Pattern(kBlockSize, 2);
+  ASSERT_TRUE(dev.Write(3, 0, a.data(), a.size()).ok());  // op 1: clean
+  const std::vector<uint8_t> b = Pattern(kBlockSize, 3);
+  Status s = dev.Write(3, 0, b.data(), b.size());  // op 2: torn
+  EXPECT_TRUE(s.IsIoError()) << s;
+  // The block now holds half of b over half of a; the intent checksum is
+  // for all of b, so the next read must flag it.
+  std::vector<uint8_t> out(kBlockSize, 0);
+  EXPECT_TRUE(dev.Read(3, 0, out.data(), out.size()).IsCorruption());
+}
+
+TEST(ChecksumBlockDeviceTest, ForgetDropsTheClaim) {
+  MemBlockDevice mem(kBlocks, kBlockSize);
+  ChecksumBlockDevice dev(&mem);
+  const std::vector<uint8_t> data = Pattern(kBlockSize, 5);
+  ASSERT_TRUE(dev.Write(9, 0, data.data(), data.size()).ok());
+  uint8_t rotten = 0xAA;
+  ASSERT_TRUE(mem.Write(9, 3, &rotten, 1).ok());
+  EXPECT_EQ(dev.blocks_tracked(), 1u);
+  dev.Forget(9, 1);
+  EXPECT_EQ(dev.blocks_tracked(), 0u);
+  // No claim, no corruption: the block reads whatever the base holds.
+  std::vector<uint8_t> out(kBlockSize, 0);
+  EXPECT_TRUE(dev.Read(9, 0, out.data(), out.size()).ok());
+}
+
+}  // namespace
+}  // namespace duplex::storage

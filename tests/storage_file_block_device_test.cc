@@ -120,5 +120,44 @@ TEST_F(FileBlockDeviceTest, UnopenablePathFails) {
   EXPECT_FALSE(dev.ok());
 }
 
+// Satellite (b): I/O failures surface as typed kIoError carrying the
+// errno, not as stringly-typed Internal errors.
+TEST_F(FileBlockDeviceTest, OpenFailureIsTypedIoErrorWithErrno) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open("/nonexistent_dir_zz/f", 8, 512);
+  ASSERT_FALSE(dev.ok());
+  EXPECT_TRUE(dev.status().IsIoError()) << dev.status();
+  // Message carries the syscall context: path and numeric errno.
+  EXPECT_NE(dev.status().message().find("/nonexistent_dir_zz/f"),
+            std::string::npos)
+      << dev.status();
+  EXPECT_NE(dev.status().message().find("errno"), std::string::npos)
+      << dev.status();
+}
+
+// The retry loop must not mask genuine success: heavy interleaved I/O
+// through the retry-wrapped paths stays bit-exact.
+TEST_F(FileBlockDeviceTest, RetryWrappedPathsStayBitExact) {
+  Result<std::unique_ptr<FileBlockDevice>> dev =
+      FileBlockDevice::Open(path_, 32, 64);
+  ASSERT_TRUE(dev.ok());
+  for (int i = 0; i < 32; ++i) {
+    std::string payload(48, static_cast<char>('a' + (i % 26)));
+    ASSERT_TRUE((*dev)
+                    ->Write(i, 7,
+                            reinterpret_cast<const uint8_t*>(payload.data()),
+                            payload.size())
+                    .ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    std::string out(48, '\0');
+    ASSERT_TRUE((*dev)
+                    ->Read(i, 7, reinterpret_cast<uint8_t*>(out.data()),
+                           out.size())
+                    .ok());
+    EXPECT_EQ(out, std::string(48, static_cast<char>('a' + (i % 26))));
+  }
+}
+
 }  // namespace
 }  // namespace duplex::storage

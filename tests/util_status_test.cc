@@ -36,11 +36,23 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, TypedPredicatesDistinguishIoFromCorruption) {
+  Status io = Status::IoError("device crashed at op 7");
+  EXPECT_TRUE(io.IsIoError());
+  EXPECT_FALSE(io.IsCorruption());
+  Status rot = Status::Corruption("checksum mismatch block 3");
+  EXPECT_TRUE(rot.IsCorruption());
+  EXPECT_FALSE(rot.IsIoError());
+  EXPECT_EQ(io.ToString(), "IoError: device crashed at op 7");
 }
 
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
 }
 
 TEST(StatusTest, CopyPreservesState) {

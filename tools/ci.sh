@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: build + test in Release (with an explicit buffer-pool
-# pass), then rebuild with ThreadSanitizer (-DDUPLEX_SANITIZE=thread) and
-# re-run the concurrency surface (thread pool, concurrent facade, sharded
-# index, cache stress) so every PR is race-checked. Finishes with a smoke
+# CI entry point: build + test in Release (with explicit buffer-pool and
+# fault-injection passes), rebuild with ThreadSanitizer
+# (-DDUPLEX_SANITIZE=thread) and re-run the concurrency surface (thread
+# pool, concurrent facade, sharded index, cache stress) so every PR is
+# race-checked, then rebuild the recovery surface with ASan+UBSan
+# (-DDUPLEX_SANITIZE=address,undefined) — crash-path code runs rarely in
+# production, so memory errors there hide longest. Finishes with a smoke
 # run of the cache-sweep bench so BENCH_cache.json stays fresh.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -22,6 +25,10 @@ echo "=== Buffer-pool pass (unit + equivalence + crash recovery) ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'BufferPool|CachingBlockDevice|CacheEquivalence|CacheCrashRecovery'
 
+echo "=== Fault-injection + recovery pass ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|Scrub'
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B build-ci-tsan -S . "${GEN[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDUPLEX_SANITIZE=thread >/dev/null
@@ -30,6 +37,16 @@ cmake --build build-ci-tsan -j "$JOBS" --target \
   core_sharded_index_test core_cache_stress_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress'
+
+echo "=== ASan+UBSan build + recovery tests ==="
+cmake -B build-ci-asan -S . "${GEN[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDUPLEX_SANITIZE=address,undefined >/dev/null
+cmake --build build-ci-asan -j "$JOBS" --target \
+  storage_fault_injection_test integration_crash_sweep_test \
+  core_sharded_recovery_test core_batch_log_test
+ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
+  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog'
 
 echo "=== Cache-sweep bench smoke (writes BENCH_cache.json) ==="
 DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
