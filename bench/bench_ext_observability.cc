@@ -1,0 +1,180 @@
+// Extension: overhead of the observability layer on the two hot paths it
+// instruments — batch apply (core + storage handles cached in component
+// constructors) and boolean query evaluation (per-query registry lookups
+// + a span). Each phase runs three ways: no registry installed (every
+// instrumentation site reduces to one null test), metrics only, and
+// metrics + tracing. Acceptance: enabled recording costs < 3% wall-clock;
+// the null path is indistinguishable from noise.
+#include <algorithm>
+#include <array>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/inverted_index.h"
+#include "ir/query_eval.h"
+#include "sim/pipeline.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/table_writer.h"
+#include "util/tracer.h"
+
+namespace {
+
+using namespace duplex;
+
+enum class Mode { kOff, kMetrics, kMetricsAndTrace };
+
+// Runs `body` with the mode's recorders installed; returns wall seconds.
+template <typename Fn>
+double TimedWithMode(Mode mode, Fn&& body) {
+  MetricsRegistry registry;
+  Tracer tracer(1 << 16);
+  MetricsRegistry* prev_registry = nullptr;
+  Tracer* prev_tracer = nullptr;
+  if (mode != Mode::kOff) prev_registry = SetGlobalMetrics(&registry);
+  if (mode == Mode::kMetricsAndTrace) prev_tracer = SetGlobalTracer(&tracer);
+  Stopwatch watch;
+  body();
+  const double seconds = watch.ElapsedSeconds();
+  if (mode != Mode::kOff) SetGlobalMetrics(prev_registry);
+  if (mode == Mode::kMetricsAndTrace) SetGlobalTracer(prev_tracer);
+  return seconds;
+}
+
+// Minimum wall time per mode, with modes interleaved round-robin inside
+// each rep so frequency/cache drift lands on every mode equally instead
+// of biasing whichever mode happens to run last. One untimed warm-up
+// precedes the measured reps.
+template <typename Fn>
+std::array<double, 3> MinPerMode(int reps, Fn&& body) {
+  std::array<double, 3> best;
+  best.fill(1e100);
+  body();  // warm-up: faults, allocator growth, branch history
+  for (int r = 0; r < reps; ++r) {
+    for (const Mode mode :
+         {Mode::kOff, Mode::kMetrics, Mode::kMetricsAndTrace}) {
+      const int m = static_cast<int>(mode);
+      best[m] = std::min(best[m], TimedWithMode(mode, body));
+    }
+  }
+  return best;
+}
+
+double OverheadPercent(double base, double with) {
+  return base <= 0.0 ? 0.0 : 100.0 * (with - base) / base;
+}
+
+}  // namespace
+
+int main() {
+  // Modes differ by tens of microseconds over ~20-80 ms phases, so the
+  // noise floor of a shared machine swamps single runs; many interleaved
+  // reps let the per-mode minimum converge.
+  constexpr int kApplyReps = 25;
+  constexpr int kQueryReps = 15;
+
+  // Phase A: the full incremental batch-apply path (buckets, long lists,
+  // allocation) on a count-only index with the accounting cache on, so
+  // the core and storage instrumentation sites all fire.
+  sim::SimConfig config = bench::BenchConfig();
+  config.cache_blocks = 64;
+  text::CorpusOptions corpus;
+  corpus.num_updates = 16;
+  corpus.docs_per_update = 1200;
+  corpus.word_universe = 30000;
+  corpus.seed = 17;
+  const sim::BatchStream stream = sim::GenerateBatches(corpus);
+  const core::Policy policy = core::Policy::RecommendedUpdateOptimized();
+  auto apply_all = [&config, &stream, &policy] {
+    core::InvertedIndex index(config.ToIndexOptions(policy));
+    for (const text::BatchUpdate& batch : stream.batches) {
+      if (!index.ApplyBatchUpdate(batch).ok()) std::abort();
+    }
+  };
+
+  // Phase B: boolean query evaluation against a materialized index built
+  // from text (string vocabulary), the hottest instrumented path — each
+  // query pays two registry lookups, three counter increments, one
+  // histogram record, and a span when tracing.
+  core::IndexOptions query_options;
+  query_options.buckets.num_buckets = 256;
+  query_options.buckets.bucket_capacity = 128;
+  query_options.policy = policy;
+  query_options.block_postings = 32;
+  query_options.disks.num_disks = 2;
+  query_options.disks.blocks_per_disk = 1 << 18;
+  query_options.materialize = true;
+  core::InvertedIndex query_index(query_options);
+  {
+    static constexpr const char* kPool[] = {
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta",
+        "theta", "iota", "kappa", "lambda", "mu", "nu", "xi"};
+    Rng rng(3);
+    for (int d = 0; d < 600; ++d) {
+      std::string text;
+      for (int w = 0; w < 20; ++w) {
+        text += kPool[rng.Uniform(std::size(kPool))];
+        text += ' ';
+      }
+      query_index.AddDocument(text);
+      if (query_index.buffered_documents() >= 64 &&
+          !query_index.FlushDocuments().ok()) {
+        return 1;
+      }
+    }
+    if (!query_index.FlushDocuments().ok()) return 1;
+  }
+  std::vector<std::unique_ptr<ir::BooleanQuery>> queries;
+  for (const char* text :
+       {"alpha AND beta", "gamma OR delta", "epsilon AND NOT zeta",
+        "(eta OR theta) AND iota", "kappa lambda", "mu AND NOT nu"}) {
+    Result<std::unique_ptr<ir::BooleanQuery>> parsed =
+        ir::ParseBooleanQuery(text);
+    if (!parsed.ok()) return 1;
+    queries.push_back(std::move(*parsed));
+  }
+  constexpr int kQueryRounds = 3000;
+  auto run_queries = [&query_index, &queries] {
+    for (int round = 0; round < kQueryRounds; ++round) {
+      for (const auto& q : queries) {
+        Result<ir::QueryResult> r = ir::EvaluateBoolean(query_index, *q);
+        if (!r.ok()) std::abort();
+      }
+    }
+  };
+
+  struct Phase {
+    const char* name;
+    std::array<double, 3> seconds{};
+  };
+  Phase phases[2] = {{"batch apply", {}}, {"boolean queries", {}}};
+  phases[0].seconds = MinPerMode(kApplyReps, apply_all);
+  std::cerr << "[bench] " << phases[0].name << " done\n";
+  phases[1].seconds = MinPerMode(kQueryReps, run_queries);
+  std::cerr << "[bench] " << phases[1].name << " done\n";
+
+  TableWriter table({"phase", "off s", "metrics s", "metrics ovh%",
+                     "+trace s", "+trace ovh%"});
+  bool within_budget = true;
+  for (const Phase& p : phases) {
+    const double ovh_metrics = OverheadPercent(p.seconds[0], p.seconds[1]);
+    const double ovh_trace = OverheadPercent(p.seconds[0], p.seconds[2]);
+    within_budget = within_budget && ovh_trace < 3.0;
+    table.Row()
+        .Cell(p.name)
+        .Cell(p.seconds[0], 4)
+        .Cell(p.seconds[1], 4)
+        .Cell(ovh_metrics, 2)
+        .Cell(p.seconds[2], 4)
+        .Cell(ovh_trace, 2);
+  }
+  table.PrintAscii(std::cout,
+                   "Extension: observability overhead (min over "
+                   "mode-interleaved reps; off = no registry installed)");
+  std::cout << "\nBudget: < 3% with metrics + tracing enabled -> "
+            << (within_budget ? "within budget" : "EXCEEDED") << "\n";
+  return 0;
+}

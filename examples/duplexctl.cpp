@@ -6,6 +6,8 @@
 //   duplexctl stats <prefix>                    snapshot statistics
 //   duplexctl scrub <prefix>                    verify checksums, repair
 //   duplexctl scrub-demo                        seeded corruption + scrub
+//   duplexctl metrics [out-dir]                 observed workload -> Prometheus
+//   duplexctl trace [out-dir]                   observed workload -> Chrome JSON
 //   duplexctl demo                              self-contained demo (default)
 //
 // Global flags (before the command): --cache-blocks <n> puts a buffer
@@ -29,6 +31,8 @@
 #include "core/scrub.h"
 #include "core/snapshot.h"
 #include "ir/query_eval.h"
+#include "ir/query_workload.h"
+#include "sim/observability.h"
 #include "storage/buffer_pool.h"
 #include "text/batch.h"
 #include "util/random.h"
@@ -345,6 +349,135 @@ int ScrubDemo() {
   return 0;
 }
 
+// Deterministic built-in workload touching every instrumented layer, run
+// under an ObservabilityScope by the `metrics` and `trace` subcommands.
+// Phase 1 drives text documents into a materialized, cached, checksummed
+// index sized so frequent words promote to long lists, then evaluates
+// boolean queries twice (the second pass hits the buffer pool) and a
+// cost-estimate sweep. Phase 2 commits WordId batches through the WAL and
+// replays the log into a fresh index, covering the recovery path.
+int RunObservedWorkload() {
+  core::IndexOptions options = DefaultOptions();
+  options.buckets.num_buckets = 128;
+  options.buckets.bucket_capacity = 64;
+  options.block_postings = 16;
+  if (options.cache.capacity_blocks == 0) options.cache.capacity_blocks = 64;
+  core::InvertedIndex index(options);
+
+  static constexpr const char* kPool[] = {
+      "alpha", "beta",  "gamma", "delta", "epsilon", "zeta",  "eta",
+      "theta", "iota",  "kappa", "lambda", "mu",     "nu",    "xi",
+      "omicron", "pi",  "rho",   "sigma", "tau",     "upsilon", "phi",
+      "chi",   "psi",   "omega"};
+  Rng rng(42);
+  for (int d = 0; d < 96; ++d) {
+    std::string text;
+    for (int w = 0; w < 24; ++w) {
+      text += kPool[rng.Uniform(std::size(kPool))];
+      text += ' ';
+    }
+    index.AddDocument(text);
+    if (index.buffered_documents() >= 32) {
+      if (Status s = index.FlushDocuments(); !s.ok()) {
+        std::cerr << "flush failed: " << s << "\n";
+        return 1;
+      }
+    }
+  }
+  if (Status s = index.FlushDocuments(); !s.ok()) {
+    std::cerr << "flush failed: " << s << "\n";
+    return 1;
+  }
+
+  const std::vector<std::string> queries = {
+      "alpha AND beta",          "gamma OR delta", "alpha AND NOT omega",
+      "(pi OR rho) AND sigma",   "tau upsilon",    "kappa AND NOT lambda"};
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& q : queries) {
+      Result<ir::QueryResult> result = ir::EvaluateBoolean(index, q);
+      if (!result.ok()) {
+        std::cerr << "query error: " << result.status() << "\n";
+        return 1;
+      }
+    }
+  }
+  ir::QueryWorkloadGenerator generator(index, 7);
+  for (int i = 0; i < 16; ++i) {
+    (void)generator.EstimateCost(generator.SampleBooleanTerms(4));
+  }
+
+  const std::string wal_path =
+      (fs::temp_directory_path() / "duplexctl_observe.wal").string();
+  std::remove(wal_path.c_str());
+  Result<std::unique_ptr<core::BatchLog>> log =
+      core::BatchLog::Open(wal_path);
+  if (!log.ok()) {
+    std::cerr << "cannot open WAL: " << log.status() << "\n";
+    return 1;
+  }
+  core::IndexOptions wal_options = DefaultOptions();
+  wal_options.buckets.num_buckets = 64;
+  wal_options.buckets.bucket_capacity = 64;
+  wal_options.block_postings = 16;
+  core::InvertedIndex wal_index(wal_options);
+  constexpr int kWords = 30;
+  Rng gen(9);
+  DocId next_doc = 0;
+  for (int b = 0; b < 4; ++b) {
+    text::InvertedBatch batch;
+    std::vector<std::vector<DocId>> lists(kWords);
+    for (int d = 0; d < 24; ++d) {
+      const DocId doc = next_doc++;
+      for (int w = 0; w < kWords; ++w) {
+        if (gen.Uniform(1 + static_cast<uint64_t>(w) / 4) == 0) {
+          lists[w].push_back(doc);
+        }
+      }
+    }
+    for (int w = 0; w < kWords; ++w) {
+      if (!lists[w].empty()) {
+        batch.entries.push_back({static_cast<WordId>(w), lists[w]});
+      }
+    }
+    if (Status s = (*log)->ApplyLogged(&wal_index, batch); !s.ok()) {
+      std::cerr << "logged apply failed: " << s << "\n";
+      return 1;
+    }
+  }
+  core::InvertedIndex replay_index(wal_options);
+  if (Status s = (*log)->ReplayInto(&replay_index); !s.ok()) {
+    std::cerr << "replay failed: " << s << "\n";
+    return 1;
+  }
+  std::remove(wal_path.c_str());
+  return 0;
+}
+
+// `duplexctl metrics` / `duplexctl trace`: run the built-in workload with
+// a fresh registry + tracer installed and print the requested exposition
+// on stdout (stdout carries nothing else, so it pipes straight into
+// promtool / Perfetto). The three export files land in out-dir, default
+// a fixed path under the system temp directory.
+int Observe(bool want_trace, std::string out_dir) {
+  if (out_dir.empty()) {
+    out_dir = (fs::temp_directory_path() / "duplexctl_observe").string();
+  }
+  sim::ObservabilityScope scope(out_dir);
+  if (int rc = RunObservedWorkload(); rc != 0) return rc;
+  const std::string exposition = want_trace
+                                     ? scope.tracer()->ExportChromeTrace()
+                                     : scope.registry()->ExportPrometheus();
+  std::cout << exposition;
+  if (exposition.empty() || exposition.back() != '\n') std::cout << "\n";
+  if (Status s = scope.Export(); !s.ok()) {
+    std::cerr << "export failed: " << s << "\n";
+    return 1;
+  }
+  std::cerr << "wrote metrics.prom, metrics.json, trace.json to " << out_dir
+            << "\n";
+  return 0;
+}
+
 int Demo() {
   const std::string dir = fs::temp_directory_path() / "duplexctl_demo";
   fs::create_directories(dir);
@@ -403,6 +536,12 @@ int main(int argc, char** argv) {
   if (args[0] == "stats" && args.size() == 2) return Stats(args[1]);
   if (args[0] == "scrub" && args.size() == 2) return Scrub(args[1]);
   if (args[0] == "scrub-demo" && args.size() == 1) return ScrubDemo();
+  if (args[0] == "metrics" && args.size() <= 2) {
+    return Observe(/*want_trace=*/false, args.size() == 2 ? args[1] : "");
+  }
+  if (args[0] == "trace" && args.size() <= 2) {
+    return Observe(/*want_trace=*/true, args.size() == 2 ? args[1] : "");
+  }
   std::cerr << "usage: duplexctl [--cache-blocks <n>] [--cache-mode "
                "write-through|write-back] [--fault-seed <n>]\n"
                "                 build <prefix> <file-or-dir>...\n"
@@ -410,6 +549,8 @@ int main(int argc, char** argv) {
                "       duplexctl stats <prefix>\n"
                "       duplexctl scrub <prefix>\n"
                "       duplexctl scrub-demo\n"
+               "       duplexctl metrics [out-dir]\n"
+               "       duplexctl trace [out-dir]\n"
                "       duplexctl demo\n";
   return 2;
 }

@@ -181,6 +181,7 @@ Status BatchLog::Scan() {
 
 Status BatchLog::AppendRecord(char type, const std::string& payload) {
   DUPLEX_CHECK(file_ != nullptr);
+  ScopedLatency timer(m_append_ns_);
   std::string record(1, type);
   PutVarint64(payload.size(), &record);
   record += payload;
@@ -207,6 +208,7 @@ Status BatchLog::AppendRecord(char type, const std::string& payload) {
     // index I/O" needs them on the platter. fdatasync skips the inode
     // timestamp update — record boundaries are self-describing, so file
     // length metadata is not load-bearing.
+    ScopedLatency sync_timer(m_fsync_ns_);
     if (::fdatasync(::fileno(file_)) != 0) {
       return Status::Internal("batch log fdatasync failed");
     }
@@ -292,6 +294,8 @@ Status BatchLog::ApplyLogged(InvertedIndex* index,
 
 Status BatchLog::RecoverInto(InvertedIndex* index) {
   DUPLEX_CHECK(index != nullptr);
+  ScopedLatency timer(m_replay_ns_);
+  Span span = TraceSpan("core.wal_recover");
   for (const LoggedBatch* batch : UnappliedBatches()) {
     DUPLEX_RETURN_IF_ERROR(ApplyOne(index, *batch));
     DUPLEX_RETURN_IF_ERROR(MarkApplied(batch->id));
@@ -301,6 +305,8 @@ Status BatchLog::RecoverInto(InvertedIndex* index) {
 
 Status BatchLog::ReplayInto(InvertedIndex* index) {
   DUPLEX_CHECK(index != nullptr);
+  ScopedLatency timer(m_replay_ns_);
+  Span span = TraceSpan("core.wal_replay");
   // Every batch, applied or not, in append order: the caller starts from a
   // freshly constructed (empty) index, so replaying the full history is
   // idempotent by construction — there is no partially-applied device

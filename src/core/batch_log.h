@@ -101,7 +101,15 @@ class BatchLog {
   const std::string& path() const { return path_; }
 
  private:
-  explicit BatchLog(std::string path) : path_(std::move(path)) {}
+  explicit BatchLog(std::string path) : path_(std::move(path)) {
+    m_append_ns_ = GlobalLatency("duplex_core_wal_append_ns",
+                                 "Batch-log record append latency "
+                                 "(write + flush + sync)");
+    m_fsync_ns_ = GlobalLatency("duplex_core_wal_fsync_ns",
+                                "Batch-log fdatasync latency");
+    m_replay_ns_ = GlobalLatency("duplex_core_wal_replay_ns",
+                                 "Batch-log recovery/replay wall-clock");
+  }
 
   Status Scan();
   Status AppendRecord(char type, const std::string& payload);
@@ -118,6 +126,9 @@ class BatchLog {
   uint64_t applied_count_ = 0;
   std::vector<LoggedBatch> batches_;
   std::vector<bool> applied_;
+  LatencyHistogram* m_append_ns_ = nullptr;
+  LatencyHistogram* m_fsync_ns_ = nullptr;
+  LatencyHistogram* m_replay_ns_ = nullptr;
 };
 
 }  // namespace duplex::core

@@ -1,51 +1,88 @@
 #include "core/index_stats.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace duplex::core {
 
+void IndexStats::Merge(const IndexStats& other) {
+  // Recombine ratio fields from their weighted numerators BEFORE the
+  // weight fields (long_blocks, long_words, stats_sources) are summed —
+  // this is what makes the fold associative.
+  const double util_num =
+      long_utilization * static_cast<double>(long_blocks) +
+      other.long_utilization * static_cast<double>(other.long_blocks);
+  const double util_weight =
+      static_cast<double>(long_blocks) + static_cast<double>(other.long_blocks);
+  const double reads_num =
+      avg_reads_per_list * static_cast<double>(long_words) +
+      other.avg_reads_per_list * static_cast<double>(other.long_words);
+  const double reads_weight =
+      static_cast<double>(long_words) + static_cast<double>(other.long_words);
+  const double occ_num =
+      bucket_occupancy * static_cast<double>(stats_sources) +
+      other.bucket_occupancy * static_cast<double>(other.stats_sources);
+  const double occ_weight = static_cast<double>(stats_sources) +
+                            static_cast<double>(other.stats_sources);
+
+  updates_applied = std::max(updates_applied, other.updates_applied);
+  total_postings += other.total_postings;
+  bucket_words += other.bucket_words;
+  bucket_postings += other.bucket_postings;
+  long_words += other.long_words;
+  long_postings += other.long_postings;
+  long_chunks += other.long_chunks;
+  long_blocks += other.long_blocks;
+  io_ops += other.io_ops;
+  in_place_updates += other.in_place_updates;
+  append_opportunities += other.append_opportunities;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  cache_dirty_writebacks += other.cache_dirty_writebacks;
+  cache_pinned_peak += other.cache_pinned_peak;
+  cache_physical_reads += other.cache_physical_reads;
+  cache_physical_writes += other.cache_physical_writes;
+  stats_sources += other.stats_sources;
+
+  long_utilization = util_weight > 0.0 ? util_num / util_weight : 1.0;
+  avg_reads_per_list = reads_weight > 0.0 ? reads_num / reads_weight : 0.0;
+  bucket_occupancy = occ_weight > 0.0 ? occ_num / occ_weight : 0.0;
+}
+
+std::string IndexStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"updates_applied\": " << updates_applied << ",\n"
+     << "  \"total_postings\": " << total_postings << ",\n"
+     << "  \"bucket_words\": " << bucket_words << ",\n"
+     << "  \"bucket_postings\": " << bucket_postings << ",\n"
+     << "  \"long_words\": " << long_words << ",\n"
+     << "  \"long_postings\": " << long_postings << ",\n"
+     << "  \"long_chunks\": " << long_chunks << ",\n"
+     << "  \"long_blocks\": " << long_blocks << ",\n"
+     << "  \"long_utilization\": " << long_utilization << ",\n"
+     << "  \"avg_reads_per_list\": " << avg_reads_per_list << ",\n"
+     << "  \"bucket_occupancy\": " << bucket_occupancy << ",\n"
+     << "  \"io_ops\": " << io_ops << ",\n"
+     << "  \"in_place_updates\": " << in_place_updates << ",\n"
+     << "  \"append_opportunities\": " << append_opportunities << ",\n"
+     << "  \"cache_hits\": " << cache_hits << ",\n"
+     << "  \"cache_misses\": " << cache_misses << ",\n"
+     << "  \"cache_evictions\": " << cache_evictions << ",\n"
+     << "  \"cache_dirty_writebacks\": " << cache_dirty_writebacks << ",\n"
+     << "  \"cache_pinned_peak\": " << cache_pinned_peak << ",\n"
+     << "  \"cache_physical_reads\": " << cache_physical_reads << ",\n"
+     << "  \"cache_physical_writes\": " << cache_physical_writes << ",\n"
+     << "  \"stats_sources\": " << stats_sources << "\n"
+     << "}";
+  return os.str();
+}
+
 IndexStats MergeStats(const std::vector<IndexStats>& shards) {
-  IndexStats merged;
-  if (shards.empty()) return merged;
-  merged.long_utilization = 0.0;
-  double utilization_weight = 0.0;
-  double reads_weight = 0.0;
-  double occupancy_sum = 0.0;
-  for (const IndexStats& s : shards) {
-    merged.updates_applied = std::max(merged.updates_applied,
-                                      s.updates_applied);
-    merged.total_postings += s.total_postings;
-    merged.bucket_words += s.bucket_words;
-    merged.bucket_postings += s.bucket_postings;
-    merged.long_words += s.long_words;
-    merged.long_postings += s.long_postings;
-    merged.long_chunks += s.long_chunks;
-    merged.long_blocks += s.long_blocks;
-    merged.long_utilization +=
-        s.long_utilization * static_cast<double>(s.long_blocks);
-    utilization_weight += static_cast<double>(s.long_blocks);
-    merged.avg_reads_per_list +=
-        s.avg_reads_per_list * static_cast<double>(s.long_words);
-    reads_weight += static_cast<double>(s.long_words);
-    occupancy_sum += s.bucket_occupancy;
-    merged.io_ops += s.io_ops;
-    merged.in_place_updates += s.in_place_updates;
-    merged.append_opportunities += s.append_opportunities;
-    merged.cache_hits += s.cache_hits;
-    merged.cache_misses += s.cache_misses;
-    merged.cache_evictions += s.cache_evictions;
-    merged.cache_dirty_writebacks += s.cache_dirty_writebacks;
-    merged.cache_pinned_peak += s.cache_pinned_peak;
-    merged.cache_physical_reads += s.cache_physical_reads;
-    merged.cache_physical_writes += s.cache_physical_writes;
-  }
-  merged.long_utilization = utilization_weight > 0.0
-                                ? merged.long_utilization / utilization_weight
-                                : 1.0;
-  merged.avg_reads_per_list =
-      reads_weight > 0.0 ? merged.avg_reads_per_list / reads_weight : 0.0;
-  merged.bucket_occupancy =
-      occupancy_sum / static_cast<double>(shards.size());
+  if (shards.empty()) return IndexStats{};
+  IndexStats merged = shards.front();
+  for (size_t i = 1; i < shards.size(); ++i) merged.Merge(shards[i]);
   return merged;
 }
 

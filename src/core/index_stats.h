@@ -2,6 +2,7 @@
 #define DUPLEX_CORE_INDEX_STATS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace duplex::core {
@@ -46,6 +47,23 @@ struct IndexStats {
   uint64_t cache_pinned_peak = 0;
   uint64_t cache_physical_reads = 0;
   uint64_t cache_physical_writes = 0;
+  // How many per-index snapshots this value aggregates (1 for a single
+  // InvertedIndex). Carried so pairwise Merge() can recombine
+  // `bucket_occupancy` (a per-snapshot mean) associatively.
+  uint64_t stats_sources = 1;
+
+  // Folds `other` into this snapshot. Counters sum; `updates_applied`
+  // takes the max (every shard sees every batch, so they agree in a
+  // healthy index); ratio metrics are recombined from their underlying
+  // numerators/denominators: `long_utilization` weighted by long_blocks,
+  // `avg_reads_per_list` by long_words, `bucket_occupancy` by
+  // stats_sources (shards share one bucket geometry, so capacities are
+  // equal). Associative: folding N snapshots in any grouping yields the
+  // same result as MergeStats() over all N.
+  void Merge(const IndexStats& other);
+
+  // Pretty-printed JSON object covering every field.
+  std::string ToJson() const;
 };
 
 // Where a word's list lives — input to the query cost model. Historically
@@ -61,14 +79,9 @@ struct ListLocation {
   uint64_t cached_chunks = 0;
 };
 
-// Reduces per-shard statistics into index-wide totals. Counters sum;
-// `updates_applied` takes the max (every shard sees every batch, so they
-// agree in a healthy index); ratio metrics are recombined from their
-// underlying numerators/denominators: `long_utilization` weighted by
-// long_blocks, `avg_reads_per_list` by long_words, and
-// `bucket_occupancy` as the plain mean (shards share one bucket
-// geometry, so capacities are equal). Empty input yields a default
-// IndexStats.
+// Reduces per-shard statistics into index-wide totals: a fold over
+// IndexStats::Merge (the one canonical merge path — see its contract).
+// Empty input yields a default IndexStats.
 IndexStats MergeStats(const std::vector<IndexStats>& shards);
 
 // Element-wise sum of per-shard category series. Shorter shard series are

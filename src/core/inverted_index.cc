@@ -21,6 +21,22 @@ InvertedIndex::InvertedIndex(const IndexOptions& options)
   ll_opts.materialize = options.materialize;
   long_lists_ = std::make_unique<LongListStore>(
       ll_opts, disks_.get(), options.record_trace ? &trace_ : nullptr);
+
+  m_apply_ns_ = GlobalLatency("duplex_core_batch_apply_ns",
+                              "Wall-clock of one batch apply");
+  m_flush_ns_ = GlobalLatency(
+      "duplex_core_flush_meta_ns",
+      "Wall-clock of the end-of-batch bucket/directory flush");
+  m_long_appends_ = GlobalCounter("duplex_core_long_appends_total",
+                                  "Posting lists appended to a long list");
+  m_bucket_inserts_ = GlobalCounter("duplex_core_bucket_inserts_total",
+                                    "Posting lists inserted into a bucket");
+  m_promotions_ =
+      GlobalCounter("duplex_core_bucket_promotions_total",
+                    "Bucket overflow evictions promoted to long lists");
+  m_occupancy_ = GlobalGauge("duplex_core_bucket_occupancy",
+                             "Bucket space occupancy fraction after the "
+                             "latest flush");
 }
 
 void InvertedIndex::Categorize(WordId word, UpdateCategories* cats) const {
@@ -33,18 +49,34 @@ void InvertedIndex::Categorize(WordId word, UpdateCategories* cats) const {
   }
 }
 
-Status InvertedIndex::RouteList(WordId word, const PostingList& list) {
+Status InvertedIndex::RouteList(WordId word, const PostingList& list,
+                                RouteCounts* counts) {
   if (list.empty()) return Status::OK();
   // Paper Section 2: if w already has a long list, append to it;
   // otherwise insert into bucket h(w), promoting overflow evictions.
   if (long_lists_->Contains(word)) {
+    ++counts->long_appends;
     return long_lists_->Append(word, list);
   }
+  ++counts->bucket_inserts;
   for (auto& [evicted_word, evicted_list] : buckets_.Insert(word, list)) {
+    ++counts->promotions;
     DUPLEX_RETURN_IF_ERROR(
         long_lists_->Append(evicted_word, evicted_list));
   }
   return Status::OK();
+}
+
+void InvertedIndex::FlushRouteCounts(const RouteCounts& counts) {
+  if (m_long_appends_ != nullptr && counts.long_appends > 0) {
+    m_long_appends_->Inc(counts.long_appends);
+  }
+  if (m_bucket_inserts_ != nullptr && counts.bucket_inserts > 0) {
+    m_bucket_inserts_->Inc(counts.bucket_inserts);
+  }
+  if (m_promotions_ != nullptr && counts.promotions > 0) {
+    m_promotions_->Inc(counts.promotions);
+  }
 }
 
 Status InvertedIndex::ApplyBatchUpdate(const text::BatchUpdate& batch) {
@@ -53,14 +85,20 @@ Status InvertedIndex::ApplyBatchUpdate(const text::BatchUpdate& batch) {
         "count-only batches cannot feed a materialized index; use "
         "ApplyInvertedBatch");
   }
+  ScopedLatency timer(m_apply_ns_);
+  Span span = TraceSpan("core.apply_batch");
+  span.AddAttr("words", static_cast<uint64_t>(batch.pairs.size()));
   UpdateCategories cats;
+  RouteCounts route_counts;
   for (const text::WordCount& pair : batch.pairs) {
     if (pair.count == 0) continue;
     Categorize(pair.word, &cats);
     DUPLEX_RETURN_IF_ERROR(
-        RouteList(pair.word, PostingList::Counted(pair.count)));
+        RouteList(pair.word, PostingList::Counted(pair.count),
+                  &route_counts));
     total_postings_ += pair.count;
   }
+  FlushRouteCounts(route_counts);
   categories_.push_back(cats);
   ++updates_applied_;
   return FlushMeta();
@@ -71,17 +109,23 @@ Status InvertedIndex::ApplyInvertedBatch(const text::InvertedBatch& batch) {
     return Status::FailedPrecondition(
         "materialized batches require materialize=true");
   }
+  ScopedLatency timer(m_apply_ns_);
+  Span span = TraceSpan("core.apply_batch");
+  span.AddAttr("words", static_cast<uint64_t>(batch.entries.size()));
   UpdateCategories cats;
+  RouteCounts route_counts;
   for (const text::InvertedBatch::Entry& entry : batch.entries) {
     if (entry.docs.empty()) continue;
     Categorize(entry.word, &cats);
     DUPLEX_RETURN_IF_ERROR(
-        RouteList(entry.word, PostingList::Materialized(entry.docs)));
+        RouteList(entry.word, PostingList::Materialized(entry.docs),
+                  &route_counts));
     total_postings_ += entry.docs.size();
     if (!entry.docs.empty()) {
       next_doc_id_ = std::max(next_doc_id_, entry.docs.back() + 1);
     }
   }
+  FlushRouteCounts(route_counts);
   categories_.push_back(cats);
   ++updates_applied_;
   return FlushMeta();
@@ -124,6 +168,8 @@ Status InvertedIndex::GrowBuckets(uint32_t new_num_buckets,
 }
 
 Status InvertedIndex::FlushMeta() {
+  ScopedLatency timer(m_flush_ns_);
+  Span span = TraceSpan("core.flush_meta");
   // Auto-grow the bucket space when it saturates (paper future work: "we
   // need to study how to dynamically grow the bucket space since ... the
   // performance of the index degrades").
@@ -178,6 +224,7 @@ Status InvertedIndex::FlushMeta() {
   // are returned to free space now, after the flush.
   DUPLEX_RETURN_IF_ERROR(long_lists_->FlushEpoch());
   if (options_.record_trace) trace_.EndUpdate();
+  if (m_occupancy_ != nullptr) m_occupancy_->Set(buckets_.Occupancy());
   return Status::OK();
 }
 

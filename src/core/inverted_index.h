@@ -17,7 +17,9 @@
 #include "text/batch.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/tracer.h"
 #include "util/types.h"
 
 namespace duplex::core {
@@ -182,9 +184,22 @@ class InvertedIndex {
   DocId next_doc_id() const { return next_doc_id_; }
 
  private:
+  // Per-batch accumulator for the routing counters. RouteList runs once
+  // per word, so it bumps these plain fields; the batch-apply loop flushes
+  // the totals into the registry counters with three Inc(n) calls instead
+  // of one atomic add per word.
+  struct RouteCounts {
+    uint64_t long_appends = 0;
+    uint64_t bucket_inserts = 0;
+    uint64_t promotions = 0;
+  };
+
   // Routes one in-memory list to the long-list store or the buckets,
   // promoting bucket evictions.
-  Status RouteList(WordId word, const PostingList& list);
+  Status RouteList(WordId word, const PostingList& list, RouteCounts* counts);
+
+  // Adds a batch's accumulated routing counts to the registry counters.
+  void FlushRouteCounts(const RouteCounts& counts);
 
   // End-of-batch flush of buckets + directory (shadow-paged: write new,
   // free old), then the long-list RELEASE list.
@@ -207,6 +222,14 @@ class InvertedIndex {
   std::unordered_set<DocId> deleted_;
   std::vector<storage::BlockRange> prev_bucket_ranges_;
   std::vector<storage::BlockRange> prev_directory_ranges_;
+
+  // Registry handles, fetched at construction (null = recording off).
+  LatencyHistogram* m_apply_ns_ = nullptr;
+  LatencyHistogram* m_flush_ns_ = nullptr;
+  Counter* m_long_appends_ = nullptr;
+  Counter* m_bucket_inserts_ = nullptr;
+  Counter* m_promotions_ = nullptr;
+  Gauge* m_occupancy_ = nullptr;
 };
 
 }  // namespace duplex::core

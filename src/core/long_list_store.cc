@@ -22,6 +22,17 @@ LongListStore::LongListStore(const LongListStoreOptions& options,
     DUPLEX_CHECK_GE(disks_->block_size(),
                     5 * options_.block_postings);
   }
+  m_in_place_ = GlobalCounter("duplex_core_long_in_place_updates_total",
+                              "Long-list appends satisfied in place "
+                              "(paper Figure 2 UPDATE)");
+  m_new_chunks_ = GlobalCounter("duplex_core_long_new_chunks_total",
+                                "New long-list chunks written");
+  m_lists_created_ = GlobalCounter("duplex_core_long_lists_created_total",
+                                   "Words promoted to their first long "
+                                   "list chunk");
+  m_postings_moved_ = GlobalCounter("duplex_core_long_postings_moved_total",
+                                    "Postings rewritten by whole-style "
+                                    "moves");
 }
 
 void LongListStore::Record(storage::IoOp op, WordId word, uint64_t postings,
@@ -103,6 +114,7 @@ Status LongListStore::UpdateInPlace(WordId word, LongList* list,
   c.postings += y;
   list->total_postings += y;
   ++counters_.in_place_updates;
+  if (m_in_place_ != nullptr) m_in_place_->Inc();
   return Status::OK();
 }
 
@@ -135,6 +147,9 @@ Result<PostingList> LongListStore::ReadAndRelease(WordId word,
                          ? PostingList::Materialized(std::move(docs))
                          : PostingList::Counted(list->total_postings);
   counters_.postings_moved += list->total_postings;
+  if (m_postings_moved_ != nullptr) {
+    m_postings_moved_->Inc(list->total_postings);
+  }
   list->chunks.clear();
   list->total_postings = 0;
   return full;
@@ -171,6 +186,7 @@ Status LongListStore::WriteReserved(WordId word, LongList* list,
   }
   list->chunks.push_back(chunk);
   list->total_postings += x;
+  if (m_new_chunks_ != nullptr) m_new_chunks_->Inc();
   return Status::OK();
 }
 
@@ -207,6 +223,7 @@ Status LongListStore::WriteExtents(WordId word, LongList* list,
     }
     list->chunks.push_back(chunk);
     list->total_postings += take;
+    if (m_new_chunks_ != nullptr) m_new_chunks_->Inc();
   }
   return Status::OK();
 }
@@ -222,6 +239,7 @@ Status LongListStore::Append(WordId word, const PostingList& m) {
   if (is_new) {
     list = &directory_.GetOrCreate(word);
     ++counters_.lists_created;
+    if (m_lists_created_ != nullptr) m_lists_created_->Inc();
   } else {
     ++counters_.appends_to_existing;
   }

@@ -9,6 +9,7 @@
 #include "core/posting.h"
 #include "storage/disk_array.h"
 #include "storage/io_trace.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -127,6 +128,12 @@ class LongListStore {
   Directory directory_;
   std::vector<storage::BlockRange> release_;
   Counters counters_;
+
+  // Registry mirrors of the decision counters (null = recording off).
+  Counter* m_in_place_ = nullptr;
+  Counter* m_new_chunks_ = nullptr;
+  Counter* m_lists_created_ = nullptr;
+  Counter* m_postings_moved_ = nullptr;
 };
 
 }  // namespace duplex::core

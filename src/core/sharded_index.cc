@@ -44,6 +44,16 @@ ShardedIndex::ShardedIndex(const ShardedIndexOptions& options)
       shards_.push_back(std::make_unique<IndexShard>(options.shard));
     }
   }
+  m_shard_apply_ns_.resize(options.num_shards, nullptr);
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    m_shard_apply_ns_[s] =
+        GlobalLatency("duplex_core_shard_apply_ns",
+                      "Per-shard batch apply wall-clock (shard skew)",
+                      "shard=\"" + std::to_string(s) + "\"");
+  }
+  m_partition_ns_ = GlobalLatency(
+      "duplex_core_partition_ns",
+      "Wall-clock of hash-partitioning a batch across shards");
 }
 
 Status ShardedIndex::ParallelOverShards(
@@ -58,9 +68,16 @@ Status ShardedIndex::ParallelOverShards(
 }
 
 Status ShardedIndex::ApplyBatchUpdate(const text::BatchUpdate& batch) {
-  std::vector<text::BatchUpdate> parts =
-      text::PartitionBatch(batch, num_shards());
+  std::vector<text::BatchUpdate> parts;
+  {
+    ScopedLatency timer(m_partition_ns_);
+    Span span = TraceSpan("core.partition_batch");
+    parts = text::PartitionBatch(batch, num_shards());
+  }
   return ParallelOverShards([&](uint32_t s) {
+    ScopedLatency timer(m_shard_apply_ns_[s]);
+    Span span = TraceSpan("core.shard_apply");
+    span.AddAttr("shard", static_cast<uint64_t>(s));
     return shards_[s]->WithWrite([&](InvertedIndex& index) {
       return index.ApplyBatchUpdate(parts[s]);
     });
@@ -68,8 +85,12 @@ Status ShardedIndex::ApplyBatchUpdate(const text::BatchUpdate& batch) {
 }
 
 Status ShardedIndex::ApplyInvertedBatch(const text::InvertedBatch& batch) {
-  std::vector<text::InvertedBatch> parts =
-      text::PartitionBatch(batch, num_shards());
+  std::vector<text::InvertedBatch> parts;
+  {
+    ScopedLatency timer(m_partition_ns_);
+    Span span = TraceSpan("core.partition_batch");
+    parts = text::PartitionBatch(batch, num_shards());
+  }
   DocId max_doc = 0;
   bool any = false;
   for (const text::InvertedBatch::Entry& entry : batch.entries) {
@@ -79,6 +100,9 @@ Status ShardedIndex::ApplyInvertedBatch(const text::InvertedBatch& batch) {
     }
   }
   DUPLEX_RETURN_IF_ERROR(ParallelOverShards([&](uint32_t s) {
+    ScopedLatency timer(m_shard_apply_ns_[s]);
+    Span span = TraceSpan("core.shard_apply");
+    span.AddAttr("shard", static_cast<uint64_t>(s));
     return shards_[s]->WithWrite([&](InvertedIndex& index) {
       return index.ApplyInvertedBatch(parts[s]);
     });

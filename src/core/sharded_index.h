@@ -17,6 +17,7 @@
 #include "text/shard_partition.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
@@ -165,6 +166,11 @@ class ShardedIndex {
   ShardedIndexOptions options_;
   std::vector<std::unique_ptr<IndexShard>> shards_;
   mutable ThreadPool pool_;
+
+  // Per-shard apply wall-clock, labeled shard="s" so skew between shards
+  // is visible in one export. Null entries = recording off.
+  std::vector<LatencyHistogram*> m_shard_apply_ns_;
+  LatencyHistogram* m_partition_ns_ = nullptr;
 
   // Document-buffer state, locked before any shard lock.
   mutable std::shared_mutex doc_mutex_;

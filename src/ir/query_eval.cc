@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/tracer.h"
+
 namespace duplex::ir {
 
 std::vector<DocId> Intersect(const std::vector<DocId>& a,
@@ -86,11 +89,73 @@ Status EvalNode(const Index& index, const BooleanQuery& node,
   return Status::Internal("unreachable");
 }
 
+// Query evaluation has no owning object whose lifetime tracks the
+// registry, so handles are cached per thread and re-fetched only when the
+// installed registry changes. Identity is (pointer, uid): a new registry
+// can reuse a dead one's address, and uid() never repeats.
+struct QueryMetricHandles {
+  const MetricsRegistry* registry = nullptr;
+  uint64_t registry_uid = 0;
+  LatencyHistogram* query_ns = nullptr;
+  Counter* queries = nullptr;
+  Counter* read_ops = nullptr;
+  Counter* postings = nullptr;
+};
+
+QueryMetricHandles& QueryMetrics() {
+  static thread_local QueryMetricHandles handles;
+  MetricsRegistry* reg = GlobalMetrics();
+  if (reg == handles.registry &&
+      (reg == nullptr || reg->uid() == handles.registry_uid)) {
+    return handles;
+  }
+  handles.registry = reg;
+  if (reg == nullptr) {
+    handles.registry_uid = 0;
+    handles.query_ns = nullptr;
+    handles.queries = nullptr;
+    handles.read_ops = nullptr;
+    handles.postings = nullptr;
+    return handles;
+  }
+  handles.registry_uid = reg->uid();
+  handles.query_ns =
+      reg->GetHistogram("duplex_ir_query_ns", "Boolean query latency");
+  handles.queries =
+      reg->GetCounter("duplex_ir_queries_total", "Boolean queries evaluated");
+  handles.read_ops =
+      reg->GetCounter("duplex_ir_list_read_ops_total",
+                      "Disk read ops needed by query term lists");
+  handles.postings = reg->GetCounter("duplex_ir_postings_read_total",
+                                     "Postings scanned by queries");
+  return handles;
+}
+
+// Queries run in single-digit microseconds, so an unsampled span (string
+// attrs plus a mutex-guarded ring push) would dominate them. Sample 1 in
+// 64 per thread, first query included, so short runs still get a span.
+constexpr uint32_t kQuerySpanSampleEvery = 64;
+
 template <typename Index>
 Result<QueryResult> EvaluateBooleanImpl(const Index& index,
                                         const BooleanQuery& query) {
+  QueryMetricHandles& metrics = QueryMetrics();
+  ScopedLatency timer(metrics.query_ns);
+  static thread_local uint32_t span_tick = 0;
+  Span span;
+  if (span_tick++ % kQuerySpanSampleEvery == 0) span = TraceSpan("ir.query");
   QueryResult result;
   DUPLEX_RETURN_IF_ERROR(EvalNode(index, query, &result, &result.docs));
+  if (metrics.queries != nullptr) {
+    metrics.queries->Inc();
+    metrics.read_ops->Inc(result.read_ops);
+    metrics.postings->Inc(result.postings_read);
+  }
+  if (span.active()) {
+    span.AddAttr("read_ops", result.read_ops);
+    span.AddAttr("postings", result.postings_read);
+    span.AddAttr("docs", static_cast<uint64_t>(result.docs.size()));
+  }
   return result;
 }
 

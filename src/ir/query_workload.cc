@@ -27,6 +27,9 @@ QueryWorkloadGenerator::QueryWorkloadGenerator(
     sum += index.Locate(w).postings;
     cumulative_postings_.push_back(sum);
   }
+  m_cost_ns_ = GlobalLatency("duplex_ir_query_cost_ns",
+                             "Query cost-estimate latency (directory and "
+                             "bucket lookups per query)");
 }
 
 std::vector<WordId> QueryWorkloadGenerator::SampleBooleanTerms(
@@ -63,6 +66,7 @@ std::vector<WordId> QueryWorkloadGenerator::SampleVectorTerms(
 
 QueryWorkloadGenerator::Cost QueryWorkloadGenerator::EstimateCost(
     const std::vector<WordId>& words) const {
+  const uint64_t start = MonotonicNanos();
   Cost cost;
   for (const WordId w : words) {
     const core::InvertedIndex::ListLocation loc = index_.Locate(w);
@@ -72,6 +76,8 @@ QueryWorkloadGenerator::Cost QueryWorkloadGenerator::EstimateCost(
     cost.cached_read_ops += loc.cached_chunks;
     if (loc.is_long) ++cost.long_lists;
   }
+  cost.estimate_ns = MonotonicNanos() - start;
+  if (m_cost_ns_ != nullptr) m_cost_ns_->Record(cost.estimate_ns);
   return cost;
 }
 

@@ -39,6 +39,11 @@ class QueryWorkloadGenerator {
     // movement). 0 without a cache; bucket reads never count (the bucket
     // region bypasses the pool).
     uint64_t cached_read_ops = 0;
+    // Wall-clock of this estimate (the directory/bucket lookups a real
+    // query would do). Also recorded into the installed metrics registry
+    // as duplex_ir_query_cost_ns, so workload benches can report
+    // p50/p95/p99 alongside mean cost.
+    uint64_t estimate_ns = 0;
   };
   Cost EstimateCost(const std::vector<WordId>& words) const;
 
@@ -47,6 +52,7 @@ class QueryWorkloadGenerator {
   Rng rng_;
   std::vector<WordId> words_;
   std::vector<uint64_t> cumulative_postings_;  // prefix sums over words_
+  LatencyHistogram* m_cost_ns_ = nullptr;  // fetched at construction
 };
 
 }  // namespace duplex::ir

@@ -1,0 +1,54 @@
+#include "sim/observability.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace duplex::sim {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << contents;
+  out.flush();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+ObservabilityScope::ObservabilityScope(std::string dir)
+    : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  registry_ = std::make_unique<MetricsRegistry>();
+  tracer_ = std::make_unique<Tracer>();
+  previous_registry_ = SetGlobalMetrics(registry_.get());
+  previous_tracer_ = SetGlobalTracer(tracer_.get());
+}
+
+ObservabilityScope::~ObservabilityScope() {
+  if (!enabled()) return;
+  // Best effort on the unwind path; call Export() directly to observe
+  // failures. Restore the ambient recorders before the members die.
+  (void)Export();
+  SetGlobalMetrics(previous_registry_);
+  SetGlobalTracer(previous_tracer_);
+}
+
+Status ObservabilityScope::Export() {
+  if (!enabled()) return Status::OK();
+  const std::string sep =
+      dir_.empty() || dir_.back() == '/' ? "" : "/";
+  DUPLEX_RETURN_IF_ERROR(
+      WriteFile(dir_ + sep + "metrics.prom", registry_->ExportPrometheus()));
+  DUPLEX_RETURN_IF_ERROR(
+      WriteFile(dir_ + sep + "metrics.json", registry_->ExportJson()));
+  DUPLEX_RETURN_IF_ERROR(
+      WriteFile(dir_ + sep + "trace.json", tracer_->ExportChromeTrace()));
+  return Status::OK();
+}
+
+}  // namespace duplex::sim

@@ -1,0 +1,55 @@
+#ifndef DUPLEX_SIM_OBSERVABILITY_H_
+#define DUPLEX_SIM_OBSERVABILITY_H_
+
+#include <memory>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/tracer.h"
+
+namespace duplex::sim {
+
+// RAII observability capture for one run: installs a fresh MetricsRegistry
+// and Tracer as the process-global recorders and, on destruction, writes
+//
+//   <dir>/metrics.prom   Prometheus text exposition
+//   <dir>/metrics.json   the same snapshot as JSON
+//   <dir>/trace.json     Chrome trace_event JSON (loads in Perfetto)
+//
+// then restores whatever recorders were installed before, so scopes nest.
+// An empty dir constructs an inert scope: nothing installed, nothing
+// written, and the ambient recorders (if any) keep collecting.
+//
+// Construct the scope BEFORE the components it should observe:
+// instrumented objects cache their metric handles at construction, and a
+// handle fetched from this registry must not outlive it — destroy those
+// components before the scope ends.
+class ObservabilityScope {
+ public:
+  explicit ObservabilityScope(std::string dir);
+  ~ObservabilityScope();
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+  bool enabled() const { return registry_ != nullptr; }
+  // Null when the scope is inert.
+  MetricsRegistry* registry() { return registry_.get(); }
+  Tracer* tracer() { return tracer_.get(); }
+
+  // Writes the three files now (the destructor calls this too; each call
+  // overwrites). No-op on an inert scope. Returns the first I/O failure.
+  Status Export();
+
+ private:
+  std::string dir_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<Tracer> tracer_;
+  MetricsRegistry* previous_registry_ = nullptr;
+  Tracer* previous_tracer_ = nullptr;
+};
+
+}  // namespace duplex::sim
+
+#endif  // DUPLEX_SIM_OBSERVABILITY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "sim/observability.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -105,6 +106,9 @@ PolicyRunResult RunPolicy(const SimConfig& config,
   Stopwatch watch;
   PolicyRunResult result;
   result.policy = policy;
+  // Before the index: instrumented components cache metric handles at
+  // construction, and the scope's exporter runs after `index` dies.
+  ObservabilityScope observability(config.observability_dir);
   core::InvertedIndex index(config.ToIndexOptions(policy));
   for (const text::BatchUpdate& batch : batches) {
     DUPLEX_CHECK_OK(index.ApplyBatchUpdate(batch));
@@ -131,6 +135,7 @@ ShardedRunResult RunPolicySharded(const SimConfig& config,
   ShardedRunResult result;
   result.policy = policy;
   result.num_shards = num_shards;
+  ObservabilityScope observability(config.observability_dir);
   core::ShardedIndex index(core::ShardedIndexOptions::Partition(
       config.ToIndexOptions(policy), num_shards, threads));
   for (const text::BatchUpdate& batch : batches) {

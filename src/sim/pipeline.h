@@ -2,6 +2,7 @@
 #define DUPLEX_SIM_PIPELINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/inverted_index.h"
@@ -46,6 +47,12 @@ struct SimConfig {
   double fault_bit_flip_prob = 0.0;
   uint64_t fault_crash_at_op = 0;
   bool device_checksums = false;
+
+  // When non-empty, each RunPolicy/RunPolicySharded call installs a fresh
+  // per-run MetricsRegistry + Tracer (sim::ObservabilityScope) and writes
+  // metrics.prom, metrics.json, and trace.json into this directory before
+  // returning. Empty (the default) records nothing and costs nothing.
+  std::string observability_dir;
 
   core::IndexOptions ToIndexOptions(const core::Policy& policy) const;
   storage::ExecutorOptions ToExecutorOptions(

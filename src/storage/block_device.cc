@@ -6,7 +6,12 @@
 namespace duplex::storage {
 
 MemBlockDevice::MemBlockDevice(uint64_t capacity_blocks, uint64_t block_size)
-    : capacity_blocks_(capacity_blocks), block_size_(block_size) {}
+    : capacity_blocks_(capacity_blocks), block_size_(block_size) {
+  m_reads_ = GlobalCounter("duplex_storage_device_reads_total",
+                           "Block-device read ops", "device=\"mem\"");
+  m_writes_ = GlobalCounter("duplex_storage_device_writes_total",
+                            "Block-device write ops", "device=\"mem\"");
+}
 
 Status MemBlockDevice::Write(BlockId start, uint64_t byte_offset,
                              const uint8_t* data, size_t len) {
@@ -14,6 +19,7 @@ Status MemBlockDevice::Write(BlockId start, uint64_t byte_offset,
   if (abs + len > capacity_blocks_ * block_size_) {
     return Status::OutOfRange("write beyond device end");
   }
+  if (m_writes_ != nullptr) m_writes_->Inc();
   uint64_t pos = abs;
   size_t written = 0;
   while (written < len) {
@@ -36,6 +42,7 @@ Status MemBlockDevice::Read(BlockId start, uint64_t byte_offset, uint8_t* out,
   if (abs + len > capacity_blocks_ * block_size_) {
     return Status::OutOfRange("read beyond device end");
   }
+  if (m_reads_ != nullptr) m_reads_->Inc();
   uint64_t pos = abs;
   size_t done = 0;
   while (done < len) {

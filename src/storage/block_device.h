@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/block.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace duplex::storage {
@@ -51,6 +52,9 @@ class MemBlockDevice : public BlockDevice {
   uint64_t capacity_blocks_;
   uint64_t block_size_;
   std::unordered_map<BlockId, std::vector<uint8_t>> blocks_;
+  // Op counters only — a memory copy is too cheap to pay two clock reads.
+  Counter* m_reads_ = nullptr;
+  Counter* m_writes_ = nullptr;
 };
 
 }  // namespace duplex::storage

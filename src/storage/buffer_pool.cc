@@ -99,6 +99,23 @@ BufferPool::BufferPool(const BufferPoolOptions& options, uint64_t block_size,
     }
     shard.map.reserve(cap);
   }
+  m_hits_ = GlobalCounter("duplex_storage_cache_hits_total",
+                          "Buffer-pool read probes served from a frame");
+  m_misses_ = GlobalCounter("duplex_storage_cache_misses_total",
+                            "Buffer-pool read probes that went to the base");
+  m_evictions_ = GlobalCounter("duplex_storage_cache_evictions_total",
+                               "Buffer-pool frames reclaimed");
+  m_writebacks_ =
+      GlobalCounter("duplex_storage_cache_writebacks_total",
+                    "Dirty frames written back on eviction or flush");
+  m_writeback_failures_ =
+      GlobalCounter("duplex_storage_cache_writeback_failures_total",
+                    "Evictions aborted because the base refused the write");
+  m_load_ns_ = GlobalLatency("duplex_storage_cache_load_ns",
+                             "Latency of faulting a block in from the base");
+  m_writeback_ns_ =
+      GlobalLatency("duplex_storage_cache_writeback_ns",
+                    "Latency of writing a dirty frame back to the base");
 }
 
 uint32_t BufferPool::RegisterClient(BlockSource* source) {
@@ -152,6 +169,7 @@ Status BufferPool::WriteBackFrame(Shard& shard, Frame& frame) {
   DUPLEX_CHECK(frame.dirty);
   BlockSource* source = clients_[frame.client].source;
   if (source != nullptr && materialized_) {
+    ScopedLatency timer(m_writeback_ns_);
     std::lock_guard io_lock(*clients_[frame.client].io_mu);
     DUPLEX_RETURN_IF_ERROR(source->StoreBlock(frame.block,
                                               frame.data.data()));
@@ -159,6 +177,7 @@ Status BufferPool::WriteBackFrame(Shard& shard, Frame& frame) {
   frame.dirty = false;
   ++shard.stats.dirty_writebacks;
   ++shard.stats.physical_writes;
+  if (m_writebacks_ != nullptr) m_writebacks_->Inc();
   return Status::OK();
 }
 
@@ -206,10 +225,12 @@ Result<uint32_t> BufferPool::EvictVictim(Shard& shard) {
         LruPushFront(shard, victim);
       }
       ++shard.stats.writeback_failures;
+      if (m_writeback_failures_ != nullptr) m_writeback_failures_->Inc();
       return s;
     }
   }
   ++shard.stats.evictions;
+  if (m_evictions_ != nullptr) m_evictions_->Inc();
   shard.map.erase(f.key);
   LruUnlink(shard, victim);
   f.in_use = false;
@@ -253,6 +274,7 @@ Result<uint32_t> BufferPool::FaultIn(Shard& shard, uint32_t client,
       BlockSource* source = clients_[client].source;
       DUPLEX_CHECK(source != nullptr)
           << "payload fault-in needs a block source";
+      ScopedLatency timer(m_load_ns_);
       std::lock_guard io_lock(*clients_[client].io_mu);
       Status s = source->LoadBlock(block, f.data.data());
       if (!s.ok()) {
@@ -278,10 +300,12 @@ Result<BufferPool::PinnedBlock> BufferPool::Pin(uint32_t client,
   uint32_t slot;
   if (Frame* f = FindFrame(shard, key); f != nullptr) {
     ++shard.stats.hits;
+    if (m_hits_ != nullptr) m_hits_->Inc();
     slot = static_cast<uint32_t>(f - shard.slots.data());
     TouchRecency(shard, slot);
   } else {
     ++shard.stats.misses;
+    if (m_misses_ != nullptr) m_misses_->Inc();
     if (materialized_) ++shard.stats.physical_reads;
     Result<uint32_t> faulted =
         FaultIn(shard, client, block, /*load=*/materialized_);
@@ -391,10 +415,12 @@ uint64_t BufferPool::TouchRead(uint32_t client, BlockId start,
     if (Frame* f = FindFrame(shard, key); f != nullptr) {
       ++resident;
       ++shard.stats.hits;
+      if (m_hits_ != nullptr) m_hits_->Inc();
       TouchRecency(shard,
                    static_cast<uint32_t>(f - shard.slots.data()));
     } else {
       ++shard.stats.misses;
+      if (m_misses_ != nullptr) m_misses_->Inc();
       ++shard.stats.physical_reads;
       // An eviction failure is impossible here: accounting frames are
       // never pinned.

@@ -10,6 +10,7 @@
 
 #include "storage/block.h"
 #include "storage/block_device.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace duplex::storage {
@@ -270,6 +271,17 @@ class BufferPool {
   bool materialized_ = false;
   std::vector<Shard> shards_;
   std::vector<Client> clients_;
+
+  // Registry handles, fetched once at construction against the registry
+  // installed at that moment (null when none — recording then costs one
+  // branch). The registry must outlive the pool.
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+  Counter* m_evictions_ = nullptr;
+  Counter* m_writebacks_ = nullptr;
+  Counter* m_writeback_failures_ = nullptr;
+  LatencyHistogram* m_load_ns_ = nullptr;
+  LatencyHistogram* m_writeback_ns_ = nullptr;
 };
 
 // Decorator that gives any BlockDevice a buffer-pool front: reads are

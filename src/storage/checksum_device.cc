@@ -7,7 +7,11 @@
 
 namespace duplex::storage {
 
-ChecksumBlockDevice::ChecksumBlockDevice(BlockDevice* base) : base_(base) {}
+ChecksumBlockDevice::ChecksumBlockDevice(BlockDevice* base) : base_(base) {
+  m_corruptions_ =
+      GlobalCounter("duplex_storage_checksum_failures_total",
+                    "Block reads that failed checksum verification");
+}
 
 Status ChecksumBlockDevice::CheckBlockLocked(
     BlockId block, std::vector<uint8_t>* scratch) const {
@@ -18,6 +22,7 @@ Status ChecksumBlockDevice::CheckBlockLocked(
   const uint64_t got = Fnv1a64(scratch->data(), scratch->size());
   if (got != it->second) {
     ++corruptions_;
+    if (m_corruptions_ != nullptr) m_corruptions_->Inc();
     return Status::Corruption("checksum mismatch on block " +
                               std::to_string(block) + " (stored " +
                               std::to_string(it->second) + ", computed " +

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/block_device.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace duplex::storage {
@@ -65,6 +66,7 @@ class ChecksumBlockDevice : public BlockDevice {
   mutable std::mutex mu_;
   std::unordered_map<BlockId, uint64_t> checksums_;
   mutable uint64_t corruptions_ = 0;
+  Counter* m_corruptions_ = nullptr;
 };
 
 }  // namespace duplex::storage

@@ -8,7 +8,10 @@
 namespace duplex::storage {
 
 FaultSchedule::FaultSchedule(FaultScheduleOptions options)
-    : options_(std::move(options)), rng_(options_.seed) {}
+    : options_(std::move(options)), rng_(options_.seed) {
+  m_faults_ = GlobalCounter("duplex_storage_faults_injected_total",
+                            "Faults delivered by the injection schedule");
+}
 
 FaultSchedule::Decision FaultSchedule::NextOp(bool is_write, size_t len) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -17,7 +20,7 @@ FaultSchedule::Decision FaultSchedule::NextOp(bool is_write, size_t len) {
   if (crashed_ || (options_.crash_at_op != 0 && d.op >= options_.crash_at_op)) {
     crashed_ = true;
     d.fault = Fault::kCrash;
-    ++faults_;
+    NoteFault();
     return d;
   }
   const auto exact = [&](const std::set<uint64_t>& ops) {
@@ -29,7 +32,7 @@ FaultSchedule::Decision FaultSchedule::NextOp(bool is_write, size_t len) {
       d.torn_bytes = static_cast<size_t>(
           std::ceil(static_cast<double>(len) * options_.torn_write_fraction));
       d.torn_bytes = std::min(d.torn_bytes, len);
-      ++faults_;
+      NoteFault();
       return d;
     }
     if (exact(options_.bit_flip_ops) ||
@@ -37,7 +40,7 @@ FaultSchedule::Decision FaultSchedule::NextOp(bool is_write, size_t len) {
          rng_.Bernoulli(options_.bit_flip_probability))) {
       d.fault = Fault::kBitFlip;
       d.flip_bit = len == 0 ? 0 : rng_.Uniform(len * 8);
-      ++faults_;
+      NoteFault();
       ++flips_;
       return d;
     }
@@ -45,7 +48,7 @@ FaultSchedule::Decision FaultSchedule::NextOp(bool is_write, size_t len) {
         (options_.write_error_probability > 0 &&
          rng_.Bernoulli(options_.write_error_probability))) {
       d.fault = Fault::kTransientError;
-      ++faults_;
+      NoteFault();
       return d;
     }
   } else {
@@ -53,7 +56,7 @@ FaultSchedule::Decision FaultSchedule::NextOp(bool is_write, size_t len) {
         (options_.read_error_probability > 0 &&
          rng_.Bernoulli(options_.read_error_probability))) {
       d.fault = Fault::kTransientError;
-      ++faults_;
+      NoteFault();
       return d;
     }
   }

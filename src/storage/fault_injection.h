@@ -8,6 +8,7 @@
 #include <string>
 
 #include "storage/block_device.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -91,6 +92,12 @@ class FaultSchedule {
   uint64_t bits_flipped() const;
 
  private:
+  // Requires mu_ held.
+  void NoteFault() {
+    ++faults_;
+    if (m_faults_ != nullptr) m_faults_->Inc();
+  }
+
   mutable std::mutex mu_;
   FaultScheduleOptions options_;
   Rng rng_;
@@ -98,6 +105,7 @@ class FaultSchedule {
   bool crashed_ = false;
   uint64_t faults_ = 0;
   uint64_t flips_ = 0;
+  Counter* m_faults_ = nullptr;
 };
 
 // BlockDevice decorator that consults a FaultSchedule before every

@@ -58,7 +58,17 @@ FileBlockDevice::FileBlockDevice(std::string path, int fd,
     : path_(std::move(path)),
       fd_(fd),
       capacity_blocks_(capacity_blocks),
-      block_size_(block_size) {}
+      block_size_(block_size) {
+  m_read_ns_ = GlobalLatency("duplex_storage_device_read_ns",
+                             "Per-op block-device read latency",
+                             "device=\"file\"");
+  m_write_ns_ = GlobalLatency("duplex_storage_device_write_ns",
+                              "Per-op block-device write latency",
+                              "device=\"file\"");
+  m_retries_ = GlobalCounter("duplex_storage_device_retries_total",
+                             "Transient I/O errors retried with backoff",
+                             "device=\"file\"");
+}
 
 FileBlockDevice::~FileBlockDevice() {
   if (fd_ >= 0) ::close(fd_);
@@ -70,6 +80,7 @@ Status FileBlockDevice::Write(BlockId start, uint64_t byte_offset,
   if (abs + len > capacity_blocks_ * block_size_) {
     return Status::OutOfRange("write beyond device end");
   }
+  ScopedLatency timer(m_write_ns_);
   size_t written = 0;
   int retries = 0;
   while (written < len) {
@@ -78,6 +89,7 @@ Status FileBlockDevice::Write(BlockId start, uint64_t byte_offset,
                  static_cast<off_t>(abs + written));
     if (n < 0) {
       if (RetryableErrno(errno) && retries < kMaxRetries) {
+        if (m_retries_ != nullptr) m_retries_->Inc();
         BackoffSleep(retries++);
         continue;
       }
@@ -93,6 +105,7 @@ Status FileBlockDevice::Write(BlockId start, uint64_t byte_offset,
                                ") made no progress after " +
                                std::to_string(kMaxRetries) + " retries");
       }
+      if (m_retries_ != nullptr) m_retries_->Inc();
       BackoffSleep(retries++);
       continue;
     }
@@ -108,6 +121,7 @@ Status FileBlockDevice::Read(BlockId start, uint64_t byte_offset,
   if (abs + len > capacity_blocks_ * block_size_) {
     return Status::OutOfRange("read beyond device end");
   }
+  ScopedLatency timer(m_read_ns_);
   size_t done = 0;
   int retries = 0;
   while (done < len) {
@@ -115,6 +129,7 @@ Status FileBlockDevice::Read(BlockId start, uint64_t byte_offset,
                               static_cast<off_t>(abs + done));
     if (n < 0) {
       if (RetryableErrno(errno) && retries < kMaxRetries) {
+        if (m_retries_ != nullptr) m_retries_->Inc();
         BackoffSleep(retries++);
         continue;
       }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "storage/block_device.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace duplex::storage {
@@ -48,6 +49,10 @@ class FileBlockDevice : public BlockDevice {
   int fd_;
   uint64_t capacity_blocks_;
   uint64_t block_size_;
+  // Registry handles (null when no registry was installed at Open time).
+  LatencyHistogram* m_read_ns_ = nullptr;
+  LatencyHistogram* m_write_ns_ = nullptr;
+  Counter* m_retries_ = nullptr;
 };
 
 }  // namespace duplex::storage

@@ -7,53 +7,102 @@
 namespace duplex {
 
 void Histogram::Add(double value) {
-  values_.push_back(value);
-  sorted_ = false;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
   sum_ += value;
   sum_sq_ += value * value;
+  Retain(value);
+}
+
+void Histogram::Retain(double value) {
+  if (sample_cap_ == 0 || values_.size() < sample_cap_) {
+    values_.push_back(value);
+    return;
+  }
+  // Reservoir sampling (Algorithm R): keep each of the count_ stream
+  // values with equal probability cap/count_.
+  uint64_t slot = reservoir_rng_.Uniform(count_);
+  if (slot < sample_cap_) {
+    values_[slot] = value;
+    // The replacement may land inside the sorted prefix.
+    if (slot < sorted_prefix_) sorted_prefix_ = 0;
+  }
 }
 
 void Histogram::Merge(const Histogram& other) {
-  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
-  sorted_ = false;
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
   sum_ += other.sum_;
   sum_sq_ += other.sum_sq_;
+  if (sample_cap_ == 0) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  } else {
+    for (double v : other.values_) {
+      if (values_.size() < sample_cap_) {
+        values_.push_back(v);
+      } else {
+        uint64_t slot = reservoir_rng_.Uniform(values_.size() * 2);
+        if (slot < sample_cap_) {
+          values_[slot] = v;
+          if (slot < sorted_prefix_) sorted_prefix_ = 0;
+        }
+      }
+    }
+  }
 }
 
 void Histogram::Clear() {
   values_.clear();
-  sorted_ = true;
+  sorted_prefix_ = 0;
+  count_ = 0;
   sum_ = 0.0;
   sum_sq_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
 }
 
-void Histogram::EnsureSorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+void Histogram::Reserve(size_t n) {
+  values_.reserve(sample_cap_ == 0 ? n : std::min(n, sample_cap_));
+}
+
+void Histogram::set_sample_cap(size_t cap) {
+  sample_cap_ = cap;
+  if (cap != 0 && values_.size() > cap) {
+    // Downsample the existing retention uniformly to the new cap.
+    for (size_t i = cap; i < values_.size(); ++i) {
+      uint64_t slot = reservoir_rng_.Uniform(i + 1);
+      if (slot < cap) values_[slot] = values_[i];
+    }
+    values_.resize(cap);
+    sorted_prefix_ = 0;
   }
 }
 
-double Histogram::min() const {
-  if (values_.empty()) return 0.0;
-  EnsureSorted();
-  return values_.front();
+void Histogram::EnsureSorted() const {
+  if (sorted_prefix_ == values_.size()) return;
+  // Sort only the unsorted tail, then merge it into the sorted prefix:
+  // O(k log k + n) for a k-element tail instead of O(n log n).
+  auto mid = values_.begin() + static_cast<ptrdiff_t>(sorted_prefix_);
+  std::sort(mid, values_.end());
+  std::inplace_merge(values_.begin(), mid, values_.end());
+  sorted_prefix_ = values_.size();
 }
 
-double Histogram::max() const {
-  if (values_.empty()) return 0.0;
-  EnsureSorted();
-  return values_.back();
-}
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double Histogram::Mean() const {
-  if (values_.empty()) return 0.0;
-  return sum_ / static_cast<double>(values_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 double Histogram::StdDev() const {
-  if (values_.size() < 2) return 0.0;
-  const double n = static_cast<double>(values_.size());
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
   const double mean = sum_ / n;
   const double var = std::max(0.0, sum_sq_ / n - mean * mean);
   return std::sqrt(var);

@@ -5,11 +5,25 @@
 #include <string>
 #include <vector>
 
+#include "util/random.h"
+
 namespace duplex {
 
 // Streaming summary of a scalar series: count / sum / min / max / mean /
 // percentiles. Percentiles are exact (values retained); intended for
-// experiment harnesses, not hot paths.
+// experiment harnesses, not hot paths — use util::LatencyHistogram for
+// those.
+//
+// Memory: every Add() retains its value, so an unbounded stream grows
+// memory without bound. Call Reserve() when the sample count is known
+// up front, or set_sample_cap() to bound retention: past the cap the
+// retained values become a uniform reservoir sample (percentiles turn
+// approximate) while count/sum/mean/stddev/min/max stay exact.
+//
+// Interleaving Add() and Percentile() does not re-sort the whole series
+// each call: the sorted prefix is kept and only the unsorted tail is
+// sorted and merged in, so k adds between queries cost
+// O(k log k + n), not O(n log n).
 class Histogram {
  public:
   Histogram() = default;
@@ -18,14 +32,27 @@ class Histogram {
   void Merge(const Histogram& other);
   void Clear();
 
-  uint64_t count() const { return values_.size(); }
+  // Pre-allocates retention for n samples.
+  void Reserve(size_t n);
+
+  // Bounds retained samples to `cap` (0 = unbounded, the default). When
+  // the cap is exceeded, retained values are a uniform reservoir sample
+  // of the full stream; count()/sum()/Mean()/StdDev()/min()/max() remain
+  // exact, percentiles become estimates over the sample.
+  void set_sample_cap(size_t cap);
+  size_t sample_cap() const { return sample_cap_; }
+  // Number of values currently retained (== count() unless capped).
+  size_t retained() const { return values_.size(); }
+
+  uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const;
   double max() const;
   double Mean() const;
   double StdDev() const;
 
-  // p in [0, 100]. Returns 0 for an empty histogram.
+  // p in [0, 100]. Returns 0 for an empty histogram. Exact unless the
+  // sample cap truncated retention.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 
@@ -34,11 +61,18 @@ class Histogram {
 
  private:
   void EnsureSorted() const;
+  void Retain(double value);
 
   mutable std::vector<double> values_;
-  mutable bool sorted_ = true;
+  // values_[0, sorted_prefix_) is sorted; the tail is insertion order.
+  mutable size_t sorted_prefix_ = 0;
+  uint64_t count_ = 0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  size_t sample_cap_ = 0;
+  Rng reservoir_rng_{0x9e3779b97f4a7c15ull};
 };
 
 }  // namespace duplex

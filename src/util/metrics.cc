@@ -1,0 +1,387 @@
+#include "util/metrics.h"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace duplex {
+namespace {
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Compact double formatting for exports: integers print without a
+// trailing ".0" (Prometheus accepts both; this keeps output stable).
+std::string FormatDouble(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// "name" or "name{labels}".
+std::string ExpositionName(std::string_view name, std::string_view labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+// Shared percentile interpolation over a bucket array. Finds the bucket
+// containing the requested rank and interpolates linearly inside it,
+// clamped to the observed [min, max].
+double PercentileFromBuckets(
+    const std::array<uint64_t, LatencyHistogram::kBuckets>& buckets,
+    uint64_t count, uint64_t min_v, uint64_t max_v, double p) {
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min_v);
+  if (p >= 100.0) return static_cast<double>(max_v);
+  // 1-based rank of the requested percentile among `count` samples.
+  double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      double lo = static_cast<double>(LatencyHistogram::BucketLowerBound(b));
+      double hi = static_cast<double>(LatencyHistogram::BucketUpperBound(b));
+      double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      double est = lo + frac * (hi - lo);
+      if (est < static_cast<double>(min_v)) est = static_cast<double>(min_v);
+      if (est > static_cast<double>(max_v)) est = static_cast<double>(max_v);
+      return est;
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max_v);
+}
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  static const uint64_t start = SteadyNowNanos();
+  return SteadyNowNanos() - start;
+}
+
+size_t Counter::CellIndex() {
+  // Thread-stable cell choice; hashing the thread id spreads contending
+  // threads across cells without any registration step.
+  static thread_local const size_t cell =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kCells;
+  return cell;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~0ull;
+  return (1ull << bucket) - 1;
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return 1ull << (bucket - 1);
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() > 0) {
+    uint64_t omin = other.min_.load(std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (omin < cur && !min_.compare_exchange_weak(cur, omin,
+                                                     std::memory_order_relaxed)) {
+    }
+    uint64_t omax = other.max_.load(std::memory_order_relaxed);
+    cur = max_.load(std::memory_order_relaxed);
+    while (omax > cur && !max_.compare_exchange_weak(cur, omax,
+                                                     std::memory_order_relaxed)) {
+    }
+  }
+}
+
+uint64_t LatencyHistogram::min() const {
+  if (count() == 0) return 0;
+  return min_.load(std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::max() const {
+  if (count() == 0) return 0;
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::array<uint64_t, kBuckets> snap;
+  uint64_t n = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    snap[b] = buckets_[b].load(std::memory_order_relaxed);
+    n += snap[b];
+  }
+  return PercentileFromBuckets(snap, n, min(), max(), p);
+}
+
+double MetricsSnapshot::HistogramView::Percentile(double p) const {
+  return PercentileFromBuckets(buckets, count, min, max, p);
+}
+
+MetricsRegistry::MetricsRegistry() : uid_([] {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}()) {}
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(Kind kind,
+                                                  std::string_view name,
+                                                  std::string_view help,
+                                                  std::string_view labels) {
+  std::string key = ExpositionName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) return nullptr;
+    return &it->second;
+  }
+  Entry& e = entries_[key];
+  e.kind = kind;
+  e.name = std::string(name);
+  e.labels = std::string(labels);
+  e.help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      e.histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  return &e;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     std::string_view labels) {
+  Entry* e = GetEntry(Kind::kCounter, name, help, labels);
+  return e == nullptr ? nullptr : e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 std::string_view labels) {
+  Entry* e = GetEntry(Kind::kGauge, name, help, labels);
+  return e == nullptr ? nullptr : e->gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                                std::string_view help,
+                                                std::string_view labels) {
+  Entry* e = GetEntry(Kind::kHistogram, name, help, labels);
+  return e == nullptr ? nullptr : e->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        snap.counters[key] = e.counter->Value();
+        break;
+      case Kind::kGauge:
+        snap.gauges[key] = e.gauge->Value();
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramView v;
+        v.count = e.histogram->count();
+        v.sum = e.histogram->sum();
+        v.min = e.histogram->min();
+        v.max = e.histogram->max();
+        for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+          v.buckets[b] = e.histogram->bucket_count(b);
+        }
+        snap.histograms[key] = v;
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
+  // entries_ is ordered by exposition name, so labeled series of one
+  // family are adjacent; emit HELP/TYPE once per family.
+  std::string last_family;
+  for (const auto& [key, e] : entries_) {
+    if (e.name != last_family) {
+      last_family = e.name;
+      if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+      const char* type = e.kind == Kind::kCounter  ? "counter"
+                         : e.kind == Kind::kGauge ? "gauge"
+                                                  : "histogram";
+      os << "# TYPE " << e.name << " " << type << "\n";
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << key << " " << e.counter->Value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << key << " " << FormatDouble(e.gauge->Value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        // Cumulative buckets; only boundaries up to the populated range
+        // plus one (and +Inf) are emitted to keep the output readable.
+        uint64_t cumulative = 0;
+        size_t highest = 0;
+        for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+          if (e.histogram->bucket_count(b) > 0) highest = b;
+        }
+        std::string label_prefix =
+            e.labels.empty() ? "" : e.labels + ",";
+        for (size_t b = 0; b <= highest && b < 64; ++b) {
+          cumulative += e.histogram->bucket_count(b);
+          os << e.name << "_bucket{" << label_prefix << "le=\""
+             << LatencyHistogram::BucketUpperBound(b) << "\"} " << cumulative
+             << "\n";
+        }
+        os << e.name << "_bucket{" << label_prefix << "le=\"+Inf\"} "
+           << e.histogram->count() << "\n";
+        os << e.name << "_sum" << (e.labels.empty() ? "" : "{" + e.labels + "}")
+           << " " << e.histogram->sum() << "\n";
+        os << e.name << "_count"
+           << (e.labels.empty() ? "" : "{" + e.labels + "}") << " "
+           << e.histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, v] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(key) << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [key, v] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(key)
+       << "\": " << FormatDouble(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [key, v] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(key) << "\": {"
+       << "\"count\": " << v.count << ", \"sum\": " << v.sum
+       << ", \"min\": " << v.min << ", \"max\": " << v.max
+       << ", \"p50\": " << FormatDouble(v.Percentile(50))
+       << ", \"p95\": " << FormatDouble(v.Percentile(95))
+       << ", \"p99\": " << FormatDouble(v.Percentile(99)) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+MetricsRegistry* GlobalMetrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+MetricsRegistry* SetGlobalMetrics(MetricsRegistry* registry) {
+  return g_metrics.exchange(registry, std::memory_order_acq_rel);
+}
+
+Counter* GlobalCounter(std::string_view name, std::string_view help,
+                       std::string_view labels) {
+  MetricsRegistry* r = GlobalMetrics();
+  return r == nullptr ? nullptr : r->GetCounter(name, help, labels);
+}
+
+Gauge* GlobalGauge(std::string_view name, std::string_view help,
+                   std::string_view labels) {
+  MetricsRegistry* r = GlobalMetrics();
+  return r == nullptr ? nullptr : r->GetGauge(name, help, labels);
+}
+
+LatencyHistogram* GlobalLatency(std::string_view name, std::string_view help,
+                                std::string_view labels) {
+  MetricsRegistry* r = GlobalMetrics();
+  return r == nullptr ? nullptr : r->GetHistogram(name, help, labels);
+}
+
+}  // namespace duplex

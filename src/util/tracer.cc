@@ -1,0 +1,188 @@
+#include "util/tracer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "util/metrics.h"
+
+namespace duplex {
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+// Innermost live span id for the current thread, per tracer generation.
+// The tracer pointer is part of the state so a span stack from a
+// previous (destroyed) tracer can never leak into a new one.
+struct ThreadSpanStack {
+  const Tracer* tracer = nullptr;
+  std::vector<uint64_t> ids;
+};
+thread_local ThreadSpanStack t_span_stack;
+
+thread_local uint32_t t_tid = 0;  // 0 = unassigned; assigned ids start at 1
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Span::Span(Tracer* tracer, std::string name) : tracer_(tracer) {
+  event_.name = std::move(name);
+  event_.id = tracer_->NextId();
+  event_.tid = tracer_->ThreadId();
+  if (t_span_stack.tracer != tracer_) {
+    t_span_stack.tracer = tracer_;
+    t_span_stack.ids.clear();
+  }
+  event_.parent_id = t_span_stack.ids.empty() ? 0 : t_span_stack.ids.back();
+  t_span_stack.ids.push_back(event_.id);
+  event_.start_ns = MonotonicNanos();
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    event_ = std::move(other.event_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::AddAttr(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  event_.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::AddAttr(std::string key, uint64_t value) {
+  AddAttr(std::move(key), std::to_string(value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  event_.dur_ns = MonotonicNanos() - event_.start_ns;
+  // Unwind this thread's span stack. Spans normally end LIFO; if one is
+  // ended out of order (e.g. moved across scopes), drop it from wherever
+  // it sits so descendants don't re-parent onto a dead id forever.
+  if (t_span_stack.tracer == tracer_) {
+    auto& ids = t_span_stack.ids;
+    for (size_t i = ids.size(); i > 0; --i) {
+      if (ids[i - 1] == event_.id) {
+        ids.erase(ids.begin() + static_cast<ptrdiff_t>(i - 1));
+        break;
+      }
+    }
+  }
+  tracer_->Record(std::move(event_));
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+Span Tracer::StartSpan(std::string name) {
+  return Span(this, std::move(name));
+}
+
+uint32_t Tracer::ThreadId() {
+  if (t_tid == 0) {
+    t_tid = next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return t_tid;
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_slot_] = std::move(event);
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+  ++total_recorded_;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Ring is oldest-first starting at next_slot_ once it has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_recorded_ - ring_.size();
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::vector<TraceEvent> events = Events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << JsonEscape(e.name) << "\",\"ph\":\"X\",\"pid\":1"
+       << ",\"tid\":" << e.tid;
+    // trace_event timestamps are microseconds; emit the nanosecond
+    // remainder as three zero-padded fractional digits.
+    char frac[8];
+    std::snprintf(frac, sizeof frac, "%03u",
+                  static_cast<unsigned>(e.start_ns % 1000));
+    os << ",\"ts\":" << e.start_ns / 1000 << "." << frac;
+    std::snprintf(frac, sizeof frac, "%03u",
+                  static_cast<unsigned>(e.dur_ns % 1000));
+    os << ",\"dur\":" << e.dur_ns / 1000 << "." << frac;
+    os << ",\"args\":{\"span_id\":" << e.id;
+    if (e.parent_id != 0) os << ",\"parent_id\":" << e.parent_id;
+    for (const auto& [k, v] : e.attrs) {
+      os << ",\"" << JsonEscape(k) << "\":\"" << JsonEscape(v) << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return os.str();
+}
+
+Tracer* GlobalTracer() { return g_tracer.load(std::memory_order_acquire); }
+
+Tracer* SetGlobalTracer(Tracer* tracer) {
+  return g_tracer.exchange(tracer, std::memory_order_acq_rel);
+}
+
+Span TraceSpan(std::string name) {
+  Tracer* t = GlobalTracer();
+  if (t == nullptr) return Span();
+  return t->StartSpan(std::move(name));
+}
+
+}  // namespace duplex

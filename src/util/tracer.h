@@ -1,0 +1,105 @@
+#ifndef DUPLEX_UTIL_TRACER_H_
+#define DUPLEX_UTIL_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace duplex {
+
+// One completed span. Timestamps come from MonotonicNanos(), so they
+// share a zero point with every latency histogram in the process.
+struct TraceEvent {
+  std::string name;
+  uint64_t id = 0;         // unique per tracer
+  uint64_t parent_id = 0;  // 0 = root
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // small sequential per-thread id, not the OS tid
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer;
+
+// Move-only RAII span. Completed (and recorded) on End() or destruction.
+// A default-constructed / moved-from span is inert. Spans started on the
+// same thread nest: the innermost live span is the parent of the next.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  void AddAttr(std::string key, std::string value);
+  void AddAttr(std::string key, uint64_t value);
+  // Ends the span now and pushes it into the tracer's ring. Idempotent.
+  void End();
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name);
+
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+// Bounded ring of completed spans. StartSpan/record are cheap (the ring
+// is guarded by one mutex held only to push a finished event; span
+// nesting state is thread-local and touch-free). When the ring is full
+// the oldest events are overwritten, so a long run keeps the most recent
+// window — size it to the workload with `capacity`.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 65536);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Starts a span parented to the innermost live span on this thread.
+  Span StartSpan(std::string name);
+
+  // Completed events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const;  // events overwritten because the ring filled
+
+  // Chrome trace_event JSON (the "traceEvents" array form) — loads
+  // directly in chrome://tracing and Perfetto. Durations use complete
+  // events (ph "X"); timestamps are microseconds with fractional ns.
+  std::string ExportChromeTrace() const;
+
+ private:
+  friend class Span;
+  void Record(TraceEvent event);
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  uint32_t ThreadId();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_slot_ = 0;
+  uint64_t total_recorded_ = 0;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint32_t> next_tid_{0};
+};
+
+// Process-global tracer, same ownership contract as GlobalMetrics():
+// null by default, caller keeps the tracer alive while installed.
+Tracer* GlobalTracer();
+Tracer* SetGlobalTracer(Tracer* tracer);
+
+// Starts a span on the global tracer; returns an inert span when no
+// tracer is installed (cost: one atomic load).
+Span TraceSpan(std::string name);
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_TRACER_H_

@@ -134,6 +134,60 @@ TEST(MergeStatsTest, CacheCountersSumFieldWise) {
   EXPECT_EQ(merged.cache_physical_writes, 66u);
 }
 
+// MergeStats is a left fold over IndexStats::Merge; the weighted-ratio
+// recombination must make the fold associative so sharded runs can merge
+// partial merges.
+TEST(MergeStatsTest, FoldIsAssociative) {
+  IndexStats a;
+  a.long_utilization = 0.5;
+  a.long_blocks = 10;
+  a.avg_reads_per_list = 2.0;
+  a.long_words = 4;
+  a.bucket_occupancy = 0.2;
+  IndexStats b;
+  b.long_utilization = 0.9;
+  b.long_blocks = 30;
+  b.avg_reads_per_list = 1.0;
+  b.long_words = 12;
+  b.bucket_occupancy = 0.6;
+  IndexStats c;
+  c.long_utilization = 0.7;
+  c.long_blocks = 20;
+  c.avg_reads_per_list = 4.0;
+  c.long_words = 8;
+  c.bucket_occupancy = 0.4;
+
+  const IndexStats left = MergeStats({MergeStats({a, b}), c});
+  const IndexStats right = MergeStats({a, MergeStats({b, c})});
+  const IndexStats flat = MergeStats({a, b, c});
+  EXPECT_DOUBLE_EQ(left.long_utilization, flat.long_utilization);
+  EXPECT_DOUBLE_EQ(right.long_utilization, flat.long_utilization);
+  EXPECT_DOUBLE_EQ(left.avg_reads_per_list, flat.avg_reads_per_list);
+  EXPECT_DOUBLE_EQ(right.avg_reads_per_list, flat.avg_reads_per_list);
+  EXPECT_DOUBLE_EQ(left.bucket_occupancy, flat.bucket_occupancy);
+  EXPECT_DOUBLE_EQ(right.bucket_occupancy, flat.bucket_occupancy);
+  EXPECT_EQ(left.stats_sources, 3u);
+  EXPECT_EQ(right.stats_sources, 3u);
+}
+
+TEST(IndexStatsToJsonTest, EmitsEveryField) {
+  IndexStats s;
+  s.updates_applied = 3;
+  s.total_postings = 1234;
+  s.long_utilization = 0.75;
+  s.cache_hits = 42;
+  const std::string json = s.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"updates_applied\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"total_postings\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"long_utilization\": 0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"stats_sources\": 1"), std::string::npos);
+  // No trailing comma before the closing brace.
+  EXPECT_EQ(json.find(",\n}"), std::string::npos);
+}
+
 TEST(MergeCategoriesTest, ElementWiseSumWithZeroPadding) {
   std::vector<UpdateCategories> a = {{5, 1, 0}, {2, 3, 1}};
   std::vector<UpdateCategories> b = {{4, 0, 2}};

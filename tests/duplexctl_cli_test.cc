@@ -3,10 +3,12 @@
 // invocation — the full downstream-user workflow.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -139,6 +141,101 @@ TEST_F(DuplexctlTest, ScrubOnCleanSnapshotReportsClean) {
   EXPECT_NE(log.find("scrub:"), std::string::npos) << log;
   EXPECT_NE(log.find("0 corrupt blocks"), std::string::npos) << log;
   EXPECT_NE(log.find("quarantined 0"), std::string::npos) << log;
+}
+
+// Embedded Prometheus text-exposition validator: every comment line is
+// HELP/TYPE, every sample line is "name[{labels}] value" with a numeric
+// value, and TYPE appears exactly once per family. Returns the family
+// names.
+std::set<std::string> ValidatePrometheusText(const std::string& text) {
+  std::set<std::string> families;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const bool help = line.rfind("# HELP ", 0) == 0;
+      const bool type = line.rfind("# TYPE ", 0) == 0;
+      EXPECT_TRUE(help || type) << line;
+      if (type) {
+        std::istringstream fields(line.substr(7));
+        std::string name;
+        std::string kind;
+        fields >> name >> kind;
+        EXPECT_TRUE(kind == "counter" || kind == "gauge" ||
+                    kind == "histogram")
+            << line;
+        EXPECT_TRUE(families.insert(name).second) << "duplicate " << line;
+      }
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    if (space == std::string::npos) continue;
+    const std::string value = line.substr(space + 1);
+    size_t parsed = 0;
+    EXPECT_NO_THROW({ (void)std::stod(value, &parsed); }) << line;
+    EXPECT_EQ(parsed, value.size()) << line;
+  }
+  return families;
+}
+
+TEST_F(DuplexctlTest, MetricsEmitsValidPrometheusAcrossLayers) {
+  const std::string out = dir_ + "/metrics.out";
+  const std::string obs_dir = dir_ + "/obs";
+  ASSERT_EQ(RunShell(std::string(DUPLEXCTL_BIN) + " metrics " + obs_dir +
+                     " > " + out + " 2> " + dir_ + "/metrics.err"),
+            0)
+      << ReadAll(dir_ + "/metrics.err");
+  const std::string text = ReadAll(out);
+  const std::set<std::string> families = ValidatePrometheusText(text);
+  EXPECT_GE(families.size(), 12u) << text;
+  // Families must span all three instrumented layers.
+  int core = 0;
+  int storage = 0;
+  int ir = 0;
+  for (const std::string& f : families) {
+    core += f.rfind("duplex_core_", 0) == 0;
+    storage += f.rfind("duplex_storage_", 0) == 0;
+    ir += f.rfind("duplex_ir_", 0) == 0;
+  }
+  EXPECT_GE(core, 3) << text;
+  EXPECT_GE(storage, 3) << text;
+  EXPECT_GE(ir, 3) << text;
+  // The workload actually recorded: queries ran and batches applied.
+  EXPECT_NE(text.find("duplex_ir_queries_total 12"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("duplex_ir_queries_total 0"), std::string::npos);
+  // The per-run export files landed in the requested directory.
+  EXPECT_TRUE(fs::exists(obs_dir + "/metrics.prom"));
+  EXPECT_TRUE(fs::exists(obs_dir + "/metrics.json"));
+  EXPECT_TRUE(fs::exists(obs_dir + "/trace.json"));
+  // Stdout and the exported file carry the same exposition.
+  EXPECT_EQ(text, ReadAll(obs_dir + "/metrics.prom"));
+}
+
+TEST_F(DuplexctlTest, TraceEmitsChromeTraceJson) {
+  const std::string out = dir_ + "/trace.out";
+  ASSERT_EQ(RunShell(std::string(DUPLEXCTL_BIN) + " trace " + dir_ +
+                     "/obs > " + out + " 2> " + dir_ + "/trace.err"),
+            0)
+      << ReadAll(dir_ + "/trace.err");
+  std::string json = ReadAll(out);
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  ASSERT_FALSE(json.empty());
+  // Chrome trace_event object form, loadable by Perfetto.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  // Spans from both the core apply path and query evaluation.
+  EXPECT_NE(json.find("\"name\":\"core.apply_batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ir.query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"core.wal_replay\""), std::string::npos);
 }
 
 TEST_F(DuplexctlTest, BuildOnEmptyDirectoryFails) {

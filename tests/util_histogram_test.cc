@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace duplex {
 namespace {
 
@@ -94,6 +96,106 @@ TEST(HistogramTest, ToStringMentionsCount) {
   h.Add(1);
   h.Add(2);
   EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+TEST(HistogramTest, ReserveDoesNotChangeStats) {
+  Histogram h;
+  h.Reserve(1000);
+  EXPECT_EQ(h.count(), 0u);
+  h.Add(4);
+  h.Add(2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.Median(), 3.0);
+}
+
+TEST(HistogramTest, SampleCapBoundsRetention) {
+  Histogram h;
+  h.set_sample_cap(100);
+  EXPECT_EQ(h.sample_cap(), 100u);
+  for (int i = 0; i < 100000; ++i) h.Add(i);
+  EXPECT_EQ(h.retained(), 100u);
+  EXPECT_EQ(h.count(), 100000u);
+}
+
+TEST(HistogramTest, SampleCapKeepsExactScalarStats) {
+  Histogram capped;
+  Histogram exact;
+  capped.set_sample_cap(64);
+  for (int i = 1; i <= 10000; ++i) {
+    capped.Add(i);
+    exact.Add(i);
+  }
+  // count/sum/mean/stddev/min/max never degrade under the cap.
+  EXPECT_EQ(capped.count(), exact.count());
+  EXPECT_DOUBLE_EQ(capped.sum(), exact.sum());
+  EXPECT_DOUBLE_EQ(capped.Mean(), exact.Mean());
+  EXPECT_DOUBLE_EQ(capped.StdDev(), exact.StdDev());
+  EXPECT_EQ(capped.min(), exact.min());
+  EXPECT_EQ(capped.max(), exact.max());
+}
+
+TEST(HistogramTest, SampleCapPercentileApproximatesUniform) {
+  Histogram h;
+  h.set_sample_cap(512);
+  for (int i = 0; i < 50000; ++i) h.Add(i % 1000);
+  // A uniform reservoir over a uniform stream: the median estimate
+  // should land near 500 (wide tolerance, it is a 512-point sample).
+  EXPECT_NEAR(h.Percentile(50), 500.0, 120.0);
+  EXPECT_GE(h.Percentile(0), 0.0);
+  EXPECT_LE(h.Percentile(100), 999.0);
+}
+
+TEST(HistogramTest, SettingCapDownsamplesExistingRetention) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(i);
+  EXPECT_EQ(h.retained(), 1000u);
+  h.set_sample_cap(50);
+  EXPECT_EQ(h.retained(), 50u);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 999.0);
+}
+
+TEST(HistogramTest, InterleavedAddAndPercentileMatchesBatchSort) {
+  // The sorted-prefix merge must agree with a plain sort-at-the-end.
+  Histogram interleaved;
+  Histogram batch;
+  uint64_t state = 88172645463325252ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state % 100000);
+  };
+  std::vector<double> values;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 37; ++i) {
+      const double v = next();
+      values.push_back(v);
+      interleaved.Add(v);
+    }
+    // Interleave queries so the sorted prefix is exercised every round.
+    (void)interleaved.Percentile(50);
+    (void)interleaved.Percentile(99);
+  }
+  for (const double v : values) batch.Add(v);
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(interleaved.Percentile(p), batch.Percentile(p)) << p;
+  }
+}
+
+TEST(HistogramTest, MergeIntoCappedHistogramKeepsExactTotals) {
+  Histogram a;
+  a.set_sample_cap(32);
+  Histogram b;
+  for (int i = 0; i < 500; ++i) a.Add(1.0);
+  for (int i = 0; i < 500; ++i) b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_DOUBLE_EQ(a.sum(), 2000.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  EXPECT_EQ(a.max(), 3.0);
+  EXPECT_LE(a.retained(), 32u);
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+#include "util/tracer.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace duplex {
+namespace {
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TracerTest, RecordsCompletedSpans) {
+  Tracer tracer;
+  {
+    Span span = tracer.StartSpan("work");
+    span.AddAttr("items", uint64_t{12});
+    span.AddAttr("mode", "batch");
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  const TraceEvent e = tracer.Events()[0];
+  EXPECT_EQ(e.name, "work");
+  EXPECT_NE(e.id, 0u);
+  EXPECT_EQ(e.parent_id, 0u);
+  ASSERT_EQ(e.attrs.size(), 2u);
+  EXPECT_EQ(e.attrs[0].first, "items");
+  EXPECT_EQ(e.attrs[0].second, "12");
+  EXPECT_EQ(e.attrs[1].second, "batch");
+}
+
+TEST(TracerTest, EndIsIdempotentAndDeactivates) {
+  Tracer tracer;
+  Span span = tracer.StartSpan("once");
+  EXPECT_TRUE(span.active());
+  span.End();
+  EXPECT_FALSE(span.active());
+  span.End();
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(TracerTest, NestedSpansGetParentIds) {
+  Tracer tracer;
+  {
+    Span outer = tracer.StartSpan("outer");
+    {
+      Span inner = tracer.StartSpan("inner");
+    }
+  }
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = FindEvent(events, "outer");
+  const TraceEvent* inner = FindEvent(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->id);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+}
+
+TEST(TracerTest, SiblingsShareAParent) {
+  Tracer tracer;
+  {
+    Span outer = tracer.StartSpan("outer");
+    { Span a = tracer.StartSpan("a"); }
+    { Span b = tracer.StartSpan("b"); }
+  }
+  const std::vector<TraceEvent> events = tracer.Events();
+  const TraceEvent* outer = FindEvent(events, "outer");
+  const TraceEvent* a = FindEvent(events, "a");
+  const TraceEvent* b = FindEvent(events, "b");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(a->parent_id, outer->id);
+  EXPECT_EQ(b->parent_id, outer->id);
+  EXPECT_NE(a->id, b->id);
+}
+
+TEST(TracerTest, MovedFromSpanIsInert) {
+  Tracer tracer;
+  Span a = tracer.StartSpan("moved");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  a.End();  // must not record
+  EXPECT_EQ(tracer.size(), 0u);
+  b.End();
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    Span span = tracer.StartSpan("s" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and only the newest four survive.
+  EXPECT_EQ(events[0].name, "s6");
+  EXPECT_EQ(events[3].name, "s9");
+}
+
+TEST(TracerTest, DistinctThreadsGetDistinctTids) {
+  Tracer tracer;
+  {
+    Span main_span = tracer.StartSpan("main");
+  }
+  std::thread other([&tracer] {
+    Span span = tracer.StartSpan("other");
+  });
+  other.join();
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  // A thread's spans never parent another thread's spans.
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_EQ(events[1].parent_id, 0u);
+}
+
+TEST(TracerTest, ConcurrentSpansAllRecorded) {
+  Tracer tracer(1 << 16);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span outer = tracer.StartSpan("outer");
+        Span inner = tracer.StartSpan("inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.size(), kThreads * kPerThread * 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, ChromeExportShape) {
+  Tracer tracer;
+  {
+    Span span = tracer.StartSpan("phase");
+    span.AddAttr("n", uint64_t{3});
+  }
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"n\":\"3\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(GlobalTracerTest, NullByDefaultAndRestorable) {
+  ASSERT_EQ(GlobalTracer(), nullptr);
+  {
+    Span inert = TraceSpan("nothing");
+    EXPECT_FALSE(inert.active());
+  }
+  Tracer tracer;
+  Tracer* prev = SetGlobalTracer(&tracer);
+  EXPECT_EQ(prev, nullptr);
+  {
+    Span span = TraceSpan("something");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(SetGlobalTracer(prev), &tracer);
+  EXPECT_EQ(GlobalTracer(), nullptr);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+// Swapping tracers mid-thread must not leak parent ids across tracers:
+// the thread-local nesting stack is keyed by the tracer pointer.
+TEST(GlobalTracerTest, SpanStackResetsAcrossTracerSwap) {
+  Tracer first;
+  Tracer second;
+  SetGlobalTracer(&first);
+  {
+    Span outer = TraceSpan("first.outer");
+    SetGlobalTracer(&second);
+    {
+      Span inner = TraceSpan("second.root");
+      inner.End();
+    }
+    SetGlobalTracer(&first);
+  }
+  SetGlobalTracer(nullptr);
+  const std::vector<TraceEvent> events = second.Events();
+  ASSERT_EQ(events.size(), 1u);
+  // The span on the new tracer is a root, not a child of first.outer.
+  EXPECT_EQ(events[0].parent_id, 0u);
+}
+
+}  // namespace
+}  // namespace duplex

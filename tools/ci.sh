@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI entry point: build + test in Release (with explicit buffer-pool and
-# fault-injection passes), rebuild with ThreadSanitizer
+# CI entry point: build + test in Release (with explicit buffer-pool,
+# fault-injection, and observability passes), rebuild with ThreadSanitizer
 # (-DDUPLEX_SANITIZE=thread) and re-run the concurrency surface (thread
 # pool, concurrent facade, sharded index, cache stress) so every PR is
 # race-checked, then rebuild the recovery surface with ASan+UBSan
@@ -29,14 +29,23 @@ echo "=== Fault-injection + recovery pass ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|Scrub'
 
+echo "=== Observability pass (metrics + tracing + CLI exposition) ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'Counter|Gauge|LatencyHistogram|MetricsRegistry|GlobalMetrics|ScopedLatency|Tracer|ObservabilityScope|ObservedPipeline|ObservedComponents'
+# The embedded Prometheus-text validator runs against a live `duplexctl
+# metrics` invocation inside these two tests.
+ctest --test-dir build-ci-release --output-on-failure \
+  -R 'MetricsEmitsValidPrometheusAcrossLayers|TraceEmitsChromeTraceJson'
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B build-ci-tsan -S . "${GEN[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDUPLEX_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target \
   util_thread_pool_test core_concurrent_index_test \
-  core_sharded_index_test core_cache_stress_test
+  core_sharded_index_test core_cache_stress_test \
+  observability_stress_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|ObservabilityStress'
 
 echo "=== ASan+UBSan build + recovery tests ==="
 cmake -B build-ci-asan -S . "${GEN[@]}" \
