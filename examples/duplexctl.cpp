@@ -6,6 +6,8 @@
 //   duplexctl stats <prefix>                    snapshot statistics
 //   duplexctl scrub <prefix>                    verify checksums, repair
 //   duplexctl scrub-demo                        seeded corruption + scrub
+//   duplexctl compact <prefix>                  defragment long lists
+//   duplexctl compact-demo                      fragmentation + compaction
 //   duplexctl metrics [out-dir]                 observed workload -> Prometheus
 //   duplexctl trace [out-dir]                   observed workload -> Chrome JSON
 //   duplexctl demo                              self-contained demo (default)
@@ -200,6 +202,160 @@ int Scrub(const std::string& prefix) {
   }
   std::cout << "structural check OK\n";
   return report->quarantined.empty() ? 0 : 1;
+}
+
+// Long-list fragmentation summary printed by `compact`/`compact-demo`.
+struct FragReport {
+  uint64_t long_lists = 0;
+  uint64_t chunks = 0;
+  uint64_t blocks = 0;
+  uint64_t postings = 0;
+  double utilization = 0.0;
+};
+
+FragReport Fragmentation(const core::InvertedIndex& index) {
+  FragReport r;
+  const uint64_t bp = index.options().block_postings;
+  for (const auto& [word, list] : index.long_list_store().directory().lists()) {
+    ++r.long_lists;
+    r.chunks += list.chunks.size();
+    r.postings += list.total_postings;
+    for (const core::ChunkRef& chunk : list.chunks) {
+      r.blocks += chunk.range.length;
+    }
+  }
+  if (r.blocks > 0) {
+    r.utilization = static_cast<double>(r.postings) /
+                    static_cast<double>(r.blocks * bp);
+  }
+  return r;
+}
+
+void PrintFragReport(const char* label, const FragReport& r) {
+  std::cout << label << ": " << r.long_lists << " long lists, " << r.chunks
+            << " chunks, " << r.blocks << " blocks, utilization "
+            << r.utilization << "\n";
+}
+
+// `duplexctl compact <prefix>`: load the snapshot, run compaction rounds
+// until no candidate remains, and write the defragmented index back.
+int Compact(const std::string& prefix) {
+  Result<std::unique_ptr<core::InvertedIndex>> index = LoadIndex(prefix);
+  if (!index.ok()) {
+    std::cerr << "cannot load snapshot: " << index.status() << "\n";
+    return 1;
+  }
+  PrintFragReport("before", Fragmentation(**index));
+  core::CompactionStats total;
+  while (true) {
+    Result<core::CompactionStats> round = (*index)->CompactOnce();
+    if (!round.ok()) {
+      std::cerr << "compaction failed: " << round.status() << "\n";
+      return 1;
+    }
+    total.Merge(*round);
+    if (!round->more_pending || round->lists_compacted == 0) break;
+  }
+  PrintFragReport("after", Fragmentation(**index));
+  std::cout << "compacted " << total.lists_compacted << " lists in "
+            << total.rounds << " rounds: " << total.chunks_before << " -> "
+            << total.chunks_after << " chunks, reclaimed "
+            << total.blocks_reclaimed() << " blocks ("
+            << total.read_ops << " reads, " << total.write_ops
+            << " writes)\n";
+  if (Status s = (*index)->VerifyIntegrity(); !s.ok()) {
+    std::cerr << "post-compaction integrity check failed: " << s << "\n";
+    return 1;
+  }
+  if (Status s = core::Snapshot::Write(**index, prefix); !s.ok()) {
+    std::cerr << "snapshot failed: " << s << "\n";
+    return 1;
+  }
+  std::cout << "snapshot rewritten -> " << prefix << ".postings/.dict\n";
+  return 0;
+}
+
+// Self-contained fragmentation drill: grow long lists chunk by chunk over
+// many small batches (Style=new + proportional over-allocation, the
+// worst-case fragmenter), compact, and prove postings are untouched.
+int CompactDemo() {
+  core::IndexOptions options = DefaultOptions();
+  options.buckets.num_buckets = 64;
+  options.buckets.bucket_capacity = 64;
+  // New-style chunks with 2x proportional reserve: lists accrete a chunk
+  // whenever the in-place tail fills, and every chunk carries dead
+  // reserve — both fragmentation axes at once.
+  options.policy = core::Policy::NewZ(core::AllocStrategy::kProportional, 2);
+  options.block_postings = 16;
+  options.disks.blocks_per_disk = 1 << 18;
+  options.disks.block_size_bytes = 128;
+
+  core::InvertedIndex index(options);
+  core::InvertedIndex reference(options);
+  constexpr int kWords = 48;
+  Rng gen(11);
+  DocId next_doc = 0;
+  for (int b = 0; b < 24; ++b) {
+    text::InvertedBatch batch;
+    std::vector<std::vector<DocId>> lists(kWords);
+    for (int d = 0; d < 30; ++d) {
+      const DocId doc = next_doc++;
+      for (int w = 0; w < kWords; ++w) {
+        if (gen.Uniform(1 + static_cast<uint64_t>(w) / 6) == 0) {
+          lists[w].push_back(doc);
+        }
+      }
+    }
+    for (int w = 0; w < kWords; ++w) {
+      if (!lists[w].empty()) {
+        batch.entries.push_back({static_cast<WordId>(w), lists[w]});
+      }
+    }
+    if (Status s = index.ApplyInvertedBatch(batch); !s.ok()) {
+      std::cerr << "apply failed: " << s << "\n";
+      return 1;
+    }
+    if (Status s = reference.ApplyInvertedBatch(batch); !s.ok()) {
+      std::cerr << "reference apply failed: " << s << "\n";
+      return 1;
+    }
+  }
+
+  const FragReport before = Fragmentation(index);
+  PrintFragReport("before", before);
+  core::CompactionStats total;
+  while (true) {
+    Result<core::CompactionStats> round = index.CompactOnce();
+    if (!round.ok()) {
+      std::cerr << "compaction failed: " << round.status() << "\n";
+      return 1;
+    }
+    total.Merge(*round);
+    if (!round->more_pending || round->lists_compacted == 0) break;
+  }
+  const FragReport after = Fragmentation(index);
+  PrintFragReport("after", after);
+  std::cout << "compacted " << total.lists_compacted << " lists, reclaimed "
+            << total.blocks_reclaimed() << " blocks\n";
+  if (after.utilization <= before.utilization) {
+    std::cerr << "compaction did not improve utilization\n";
+    return 1;
+  }
+  if (Status s = index.VerifyIntegrity(); !s.ok()) {
+    std::cerr << "integrity check failed: " << s << "\n";
+    return 1;
+  }
+  for (WordId w = 0; w < kWords; ++w) {
+    const Result<std::vector<DocId>> expect = reference.GetPostings(w);
+    const Result<std::vector<DocId>> got = index.GetPostings(w);
+    if (expect.ok() != got.ok() || (expect.ok() && *expect != *got)) {
+      std::cerr << "postings mismatch after compaction (word " << w << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "verified: all postings identical to the uncompacted "
+               "reference\n";
+  return 0;
 }
 
 // Seeded end-to-end corruption drill: build a small materialized index
@@ -536,6 +692,8 @@ int main(int argc, char** argv) {
   if (args[0] == "stats" && args.size() == 2) return Stats(args[1]);
   if (args[0] == "scrub" && args.size() == 2) return Scrub(args[1]);
   if (args[0] == "scrub-demo" && args.size() == 1) return ScrubDemo();
+  if (args[0] == "compact" && args.size() == 2) return Compact(args[1]);
+  if (args[0] == "compact-demo" && args.size() == 1) return CompactDemo();
   if (args[0] == "metrics" && args.size() <= 2) {
     return Observe(/*want_trace=*/false, args.size() == 2 ? args[1] : "");
   }
@@ -549,6 +707,8 @@ int main(int argc, char** argv) {
                "       duplexctl stats <prefix>\n"
                "       duplexctl scrub <prefix>\n"
                "       duplexctl scrub-demo\n"
+               "       duplexctl compact <prefix>\n"
+               "       duplexctl compact-demo\n"
                "       duplexctl metrics [out-dir]\n"
                "       duplexctl trace [out-dir]\n"
                "       duplexctl demo\n";

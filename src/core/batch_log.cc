@@ -15,6 +15,7 @@ namespace {
 
 constexpr char kBatchRecord = 'B';
 constexpr char kAppliedRecord = 'A';
+constexpr char kCompactionRecord = 'C';
 constexpr uint64_t kFlagMaterialized = 1;
 
 std::string EncodeBatchPayload(uint64_t id, bool materialized,
@@ -161,6 +162,32 @@ Status BatchLog::Scan() {
         applied_[*id] = true;
         ++applied_count_;
       }
+    } else if (type == kCompactionRecord) {
+      size_t c_pos = 0;
+      LoggedCompaction compaction;
+      Result<uint64_t> lists = GetVarint64(payload, &c_pos);
+      Status decoded = lists.ok() ? Status::OK() : lists.status();
+      if (decoded.ok()) {
+        compaction.lists = *lists;
+        Result<uint64_t> blocks = GetVarint64(payload, &c_pos);
+        Result<uint64_t> postings =
+            blocks.ok() ? GetVarint64(payload, &c_pos) : blocks;
+        if (!postings.ok()) {
+          decoded = postings.status();
+        } else {
+          compaction.blocks_reclaimed = *blocks;
+          compaction.postings = *postings;
+          if (c_pos != payload.size()) {
+            decoded =
+                Status::Corruption("compaction record has trailing bytes");
+          }
+        }
+      }
+      if (!decoded.ok()) {
+        DUPLEX_RETURN_IF_ERROR(tail_or_fatal(std::move(decoded)));
+        break;
+      }
+      compactions_.push_back(compaction);
     } else {
       DUPLEX_RETURN_IF_ERROR(tail_or_fatal(
           Status::Corruption("unknown batch-log record type")));
@@ -292,6 +319,27 @@ Status BatchLog::ApplyLogged(InvertedIndex* index,
   return MarkApplied(*id);
 }
 
+Result<CompactionStats> BatchLog::CompactLogged(InvertedIndex* index) {
+  DUPLEX_CHECK(index != nullptr);
+  Result<CompactionStats> round = index->CompactOnce();
+  if (!round.ok()) return round.status();
+  if (round->lists_compacted == 0) return round;
+  // The rewritten chunks may still sit in dirty write-back frames; push
+  // them down before the log claims the round happened.
+  DUPLEX_RETURN_IF_ERROR(index->FlushCaches());
+  LoggedCompaction logged;
+  logged.lists = round->lists_compacted;
+  logged.blocks_reclaimed = round->blocks_reclaimed();
+  logged.postings = round->postings_rewritten;
+  std::string payload;
+  PutVarint64(logged.lists, &payload);
+  PutVarint64(logged.blocks_reclaimed, &payload);
+  PutVarint64(logged.postings, &payload);
+  DUPLEX_RETURN_IF_ERROR(AppendRecord(kCompactionRecord, payload));
+  compactions_.push_back(logged);
+  return round;
+}
+
 Status BatchLog::RecoverInto(InvertedIndex* index) {
   DUPLEX_CHECK(index != nullptr);
   ScopedLatency timer(m_replay_ns_);
@@ -350,6 +398,7 @@ Status BatchLog::Truncate() {
   }
   batches_.clear();
   applied_.clear();
+  compactions_.clear();
   applied_count_ = 0;
   next_id_ = 0;
   return Status::OK();

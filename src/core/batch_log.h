@@ -37,6 +37,17 @@ class BatchLog {
     text::InvertedBatch docs;
   };
 
+  // One logged compaction round ('C' record). Informational: compaction
+  // never changes logical postings, so replay ignores these — recovery of
+  // a crash mid-round is the ordinary full rebuild. They exist so
+  // operators (duplexctl) and tests can see reclamation history in the
+  // log.
+  struct LoggedCompaction {
+    uint64_t lists = 0;
+    uint64_t blocks_reclaimed = 0;
+    uint64_t postings = 0;
+  };
+
   // Opens (creating if necessary) the log at `path` and scans it. Returns
   // Corruption only for damage before the final record; a torn tail is
   // silently truncated on the next append.
@@ -63,6 +74,14 @@ class BatchLog {
   // record. This is the ordering diagram in DESIGN.md § Buffer pool.
   Status ApplyLogged(InvertedIndex* index, const text::BatchUpdate& batch);
   Status ApplyLogged(InvertedIndex* index, const text::InvertedBatch& batch);
+
+  // One logged compaction round: run index->CompactOnce(), flush dirty
+  // cache frames (same discipline as ApplyLogged — the rewritten chunks
+  // must be on the devices before the log mentions them), then append a
+  // 'C' record when the round rewrote anything. A crash anywhere inside is
+  // recovered by ReplayInto exactly like a crashed batch apply, because
+  // compaction is logically a no-op.
+  Result<CompactionStats> CompactLogged(InvertedIndex* index);
 
   // Test hook: disable the per-record fdatasync (appends still fflush).
   // Durability tests count syncs(); everything else can skip the disk
@@ -95,6 +114,10 @@ class BatchLog {
 
   uint64_t batches_logged() const { return batches_.size(); }
   uint64_t batches_applied() const { return applied_count_; }
+  uint64_t compactions_logged() const { return compactions_.size(); }
+  const LoggedCompaction& compaction(uint64_t i) const {
+    return compactions_[i];
+  }
   // Logged batch `i` in append order (i < batches_logged()). Scrub walks
   // the full history to reconstruct a damaged list's postings.
   const LoggedBatch& batch(uint64_t i) const { return batches_[i]; }
@@ -126,6 +149,7 @@ class BatchLog {
   uint64_t applied_count_ = 0;
   std::vector<LoggedBatch> batches_;
   std::vector<bool> applied_;
+  std::vector<LoggedCompaction> compactions_;
   LatencyHistogram* m_append_ns_ = nullptr;
   LatencyHistogram* m_fsync_ns_ = nullptr;
   LatencyHistogram* m_replay_ns_ = nullptr;

@@ -1,0 +1,122 @@
+#include "core/compactor.h"
+
+#include <algorithm>
+
+#include "core/long_list_store.h"
+#include "util/logging.h"
+
+namespace duplex::core {
+
+void CompactionStats::Merge(const CompactionStats& other) {
+  rounds += other.rounds;
+  lists_examined += other.lists_examined;
+  candidates += other.candidates;
+  lists_compacted += other.lists_compacted;
+  chunks_before += other.chunks_before;
+  chunks_after += other.chunks_after;
+  blocks_before += other.blocks_before;
+  blocks_after += other.blocks_after;
+  postings_rewritten += other.postings_rewritten;
+  read_ops += other.read_ops;
+  write_ops += other.write_ops;
+  more_pending = more_pending || other.more_pending;
+}
+
+Compactor::Compactor(const CompactionOptions& options, LongListStore* store)
+    : options_(options), store_(store) {
+  DUPLEX_CHECK(store != nullptr);
+  DUPLEX_CHECK_GE(options.min_chunks, 1u);
+}
+
+uint64_t Compactor::Score(const LongList& list) const {
+  if (list.chunks.empty() || list.total_postings == 0) return 0;
+  const uint64_t bp = store_->options().block_postings;
+  const uint64_t blocks = list.total_blocks();
+  const uint64_t minimal = (list.total_postings + bp - 1) / bp;
+  // One right-sized chunk already: nothing to reclaim.
+  if (list.chunks.size() == 1 && blocks <= minimal) return 0;
+  const uint64_t capacity = blocks * bp;
+  const double utilization =
+      static_cast<double>(list.total_postings) /
+      static_cast<double>(capacity);
+  const bool fragmented = list.chunks.size() >= options_.min_chunks;
+  const bool underfull =
+      blocks > minimal && utilization < options_.min_utilization;
+  if (!fragmented && !underfull) return 0;
+  // Reads saved on every future scan of this list, in posting units, plus
+  // the dead reserved space the merge hands back to the allocator.
+  const uint64_t extra_reads = (list.chunks.size() - 1) * bp;
+  const uint64_t dead_space = capacity - list.total_postings;
+  return extra_reads + dead_space;
+}
+
+std::vector<Compactor::Candidate> Compactor::SelectCandidates(
+    uint64_t* examined) const {
+  std::vector<Candidate> candidates;
+  uint64_t scanned = 0;
+  for (const auto& [word, list] : store_->directory().lists()) {
+    ++scanned;
+    const uint64_t score = Score(list);
+    if (score == 0) continue;
+    Candidate c;
+    c.word = word;
+    c.score = score;
+    c.est_ops = list.chunks.size() + 1;
+    candidates.push_back(c);
+  }
+  // The directory map iterates in hash order; sort so rounds are
+  // deterministic and the most fragmented lists go first.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.word < b.word;
+            });
+  if (examined != nullptr) *examined = scanned;
+  return candidates;
+}
+
+Result<CompactionStats> Compactor::RunRound() {
+  CompactionStats stats;
+  stats.rounds = 1;
+  const std::vector<Candidate> candidates =
+      SelectCandidates(&stats.lists_examined);
+  stats.candidates = candidates.size();
+  uint64_t est_spent = 0;
+  size_t taken = 0;
+  for (const Candidate& c : candidates) {
+    if (options_.max_lists_per_round > 0 &&
+        stats.lists_compacted >= options_.max_lists_per_round) {
+      break;
+    }
+    // The budget always admits the first list so a qualified round makes
+    // progress; after that it is a hard cap.
+    if (options_.io_budget > 0 && taken > 0 &&
+        est_spent + c.est_ops > options_.io_budget) {
+      break;
+    }
+    const LongList* before = store_->directory().Find(c.word);
+    DUPLEX_CHECK(before != nullptr);
+    const uint64_t chunks_before = before->chunks.size();
+    const uint64_t blocks_before = before->total_blocks();
+    const uint64_t postings = before->total_postings;
+    const LongListStore::Counters ops_before = store_->counters();
+    DUPLEX_RETURN_IF_ERROR(store_->Compact(c.word));
+    const LongListStore::Counters ops_after = store_->counters();
+    const LongList* after = store_->directory().Find(c.word);
+    DUPLEX_CHECK(after != nullptr);
+    ++taken;
+    ++stats.lists_compacted;
+    stats.chunks_before += chunks_before;
+    stats.chunks_after += after->chunks.size();
+    stats.blocks_before += blocks_before;
+    stats.blocks_after += after->total_blocks();
+    stats.postings_rewritten += postings;
+    stats.read_ops += ops_after.read_ops - ops_before.read_ops;
+    stats.write_ops += ops_after.write_ops - ops_before.write_ops;
+    est_spent += c.est_ops;
+  }
+  stats.more_pending = taken < candidates.size();
+  return stats;
+}
+
+}  // namespace duplex::core

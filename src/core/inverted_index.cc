@@ -21,6 +21,8 @@ InvertedIndex::InvertedIndex(const IndexOptions& options)
   ll_opts.materialize = options.materialize;
   long_lists_ = std::make_unique<LongListStore>(
       ll_opts, disks_.get(), options.record_trace ? &trace_ : nullptr);
+  compactor_ =
+      std::make_unique<Compactor>(options.compaction, long_lists_.get());
 
   m_apply_ns_ = GlobalLatency("duplex_core_batch_apply_ns",
                               "Wall-clock of one batch apply");
@@ -37,6 +39,17 @@ InvertedIndex::InvertedIndex(const IndexOptions& options)
   m_occupancy_ = GlobalGauge("duplex_core_bucket_occupancy",
                              "Bucket space occupancy fraction after the "
                              "latest flush");
+  m_compaction_round_ns_ =
+      GlobalLatency("duplex_core_compaction_round_ns",
+                    "Wall-clock of one long-list compaction round");
+  m_compaction_rounds_ = GlobalCounter("duplex_core_compaction_rounds_total",
+                                       "Long-list compaction rounds run");
+  m_compaction_lists_ =
+      GlobalCounter("duplex_core_compaction_lists_total",
+                    "Long lists rewritten by the compactor");
+  m_compaction_blocks_ =
+      GlobalCounter("duplex_core_compaction_blocks_reclaimed_total",
+                    "Disk blocks returned to free space by compaction");
 }
 
 void InvertedIndex::Categorize(WordId word, UpdateCategories* cats) const {
@@ -223,9 +236,40 @@ Status InvertedIndex::FlushMeta() {
   // Whole-style moves freed their old chunks onto the RELEASE list; they
   // are returned to free space now, after the flush.
   DUPLEX_RETURN_IF_ERROR(long_lists_->FlushEpoch());
+  // Auto compaction rides the tail of the batch, inside the same trace
+  // update, so its I/O is charged to the batch that fragmented the store.
+  if (options_.compaction.enabled) {
+    Result<CompactionStats> round = RunCompactionRound();
+    if (!round.ok()) return round.status();
+  }
   if (options_.record_trace) trace_.EndUpdate();
   if (m_occupancy_ != nullptr) m_occupancy_->Set(buckets_.Occupancy());
   return Status::OK();
+}
+
+Result<CompactionStats> InvertedIndex::RunCompactionRound() {
+  ScopedLatency timer(m_compaction_round_ns_);
+  Span span = TraceSpan("core.compact_round");
+  Result<CompactionStats> round = compactor_->RunRound();
+  if (!round.ok()) return round.status();
+  // The rewrites parked the merged-away chunks on the RELEASE list; free
+  // them now so the round's reclaim is visible immediately.
+  DUPLEX_RETURN_IF_ERROR(long_lists_->FlushEpoch());
+  span.AddAttr("lists", round->lists_compacted);
+  span.AddAttr("blocks_reclaimed", round->blocks_reclaimed());
+  compaction_totals_.Merge(*round);
+  if (m_compaction_rounds_ != nullptr) m_compaction_rounds_->Inc();
+  if (m_compaction_lists_ != nullptr && round->lists_compacted > 0) {
+    m_compaction_lists_->Inc(round->lists_compacted);
+  }
+  if (m_compaction_blocks_ != nullptr && round->blocks_reclaimed() > 0) {
+    m_compaction_blocks_->Inc(round->blocks_reclaimed());
+  }
+  return round;
+}
+
+Result<CompactionStats> InvertedIndex::CompactOnce() {
+  return RunCompactionRound();
 }
 
 Status InvertedIndex::RestoreWord(WordId word, const PostingList& list,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/bucket_store.h"
+#include "core/compactor.h"
 #include "core/index_stats.h"
 #include "core/long_list_store.h"
 #include "core/memory_index.h"
@@ -51,6 +52,10 @@ struct IndexOptions {
   // of buckets doubles and every short list is rehashed (overflow in the
   // new geometry is promoted). 0 disables auto-growth.
   double bucket_grow_threshold = 0.0;
+  // Online long-list space reclamation (core::Compactor). With
+  // compaction.enabled, every batch apply ends with one bounded round;
+  // CompactOnce() runs rounds manually either way.
+  CompactionOptions compaction;
 };
 
 // UpdateCategories / IndexStats / ListLocation live in core/index_stats.h
@@ -130,6 +135,22 @@ class InvertedIndex {
   // materialize; NotFound when the word has no long list.
   Status RewriteLongList(WordId word, std::vector<DocId> docs);
 
+  // --- Long-list compaction -------------------------------------------------
+
+  // One bounded compaction round over the long-list store (see
+  // core::Compactor): merges the most fragmented lists into right-sized
+  // single chunks and returns the freed blocks to the allocator. Logical
+  // postings are untouched, so callers running under a BatchLog need no
+  // special crash handling — full replay recovers any mid-round crash.
+  // Returns the round's stats; stats.more_pending says another round has
+  // work left.
+  Result<CompactionStats> CompactOnce();
+
+  // Accumulated stats over every round this index ran (manual + auto).
+  const CompactionStats& compaction_totals() const {
+    return compaction_totals_;
+  }
+
   // --- Bucket-space rebalancing ---------------------------------------------
 
   // Manually reshapes the bucket space (see BucketStore::Resize); lists
@@ -205,6 +226,10 @@ class InvertedIndex {
   // free old), then the long-list RELEASE list.
   Status FlushMeta();
 
+  // Shared body of CompactOnce and the after-flush auto trigger: one
+  // Compactor round, then the RELEASE list back to free space.
+  Result<CompactionStats> RunCompactionRound();
+
   void Categorize(WordId word, UpdateCategories* cats) const;
 
   IndexOptions options_;
@@ -212,6 +237,8 @@ class InvertedIndex {
   storage::IoTrace trace_;
   BucketStore buckets_;
   std::unique_ptr<LongListStore> long_lists_;
+  std::unique_ptr<Compactor> compactor_;
+  CompactionStats compaction_totals_;
   text::Vocabulary vocabulary_;
   text::Tokenizer tokenizer_;
   MemoryIndex memory_index_{&tokenizer_, &vocabulary_};
@@ -230,6 +257,10 @@ class InvertedIndex {
   Counter* m_bucket_inserts_ = nullptr;
   Counter* m_promotions_ = nullptr;
   Gauge* m_occupancy_ = nullptr;
+  LatencyHistogram* m_compaction_round_ns_ = nullptr;
+  Counter* m_compaction_rounds_ = nullptr;
+  Counter* m_compaction_lists_ = nullptr;
+  Counter* m_compaction_blocks_ = nullptr;
 };
 
 }  // namespace duplex::core

@@ -157,12 +157,18 @@ Result<PostingList> LongListStore::ReadAndRelease(WordId word,
 
 Status LongListStore::WriteReserved(WordId word, LongList* list,
                                     const PostingList& a) {
+  const uint64_t f = std::max(
+      a.size(), options_.policy.ReservedFor(a.size(), options_.block_postings,
+                                            list->chunks.size()));
+  return WriteChunk(word, list, a, std::max<uint64_t>(1, BlocksFor(f)));
+}
+
+Status LongListStore::WriteChunk(WordId word, LongList* list,
+                                 const PostingList& a,
+                                 uint64_t alloc_blocks) {
   const uint64_t x = a.size();
   DUPLEX_CHECK_GT(x, 0u);
-  const uint64_t f = std::max(
-      x, options_.policy.ReservedFor(x, options_.block_postings,
-                                     list->chunks.size()));
-  const uint64_t alloc_blocks = std::max<uint64_t>(1, BlocksFor(f));
+  DUPLEX_CHECK_GE(alloc_blocks, std::max<uint64_t>(1, BlocksFor(x)));
   Result<storage::BlockRange> range = disks_->Allocate(alloc_blocks);
   if (!range.ok()) return range.status();
 
@@ -310,6 +316,24 @@ Status LongListStore::Drop(WordId word) {
   }
   directory_.Erase(word);
   return Status::OK();
+}
+
+Status LongListStore::Compact(WordId word) {
+  LongList* list = directory_.FindMutable(word);
+  if (list == nullptr) return Status::NotFound("no long list for word");
+  if (list->chunks.empty()) return Status::OK();
+  const uint64_t minimal =
+      std::max<uint64_t>(1, BlocksFor(list->total_postings));
+  if (list->chunks.size() == 1 && list->chunks[0].range.length <= minimal) {
+    return Status::OK();  // already one right-sized chunk
+  }
+  // READ(L) frees the old chunks onto the RELEASE list (deferred to
+  // FlushEpoch, so a crash mid-rewrite never sees reused blocks), then the
+  // merged list goes back as one chunk with no reserve — compaction trades
+  // future in-place headroom for utilization and read locality.
+  Result<PostingList> full = ReadAndRelease(word, list);
+  if (!full.ok()) return full.status();
+  return WriteChunk(word, list, *full, minimal);
 }
 
 }  // namespace duplex::core

@@ -85,6 +85,14 @@ class LongListStore {
   // Returns NotFound if absent. Used by the deletion sweep.
   Status Drop(WordId word);
 
+  // Merges the word's chunks into one right-sized chunk (exactly the
+  // blocks its postings need, no policy reserve), freeing the old chunks
+  // onto the RELEASE list. Works in both counted and materialized modes —
+  // compaction moves postings, it never interprets them. A list already
+  // occupying one minimal chunk is left untouched. NotFound when the word
+  // has no long list.
+  Status Compact(WordId word);
+
   bool Contains(WordId word) const { return directory_.Contains(word); }
   const Directory& directory() const { return directory_; }
   const Counters& counters() const { return counters_; }
@@ -114,6 +122,11 @@ class LongListStore {
 
   // WRITE_RESERVED(a): writes `a` as one new chunk with f(x) reserved.
   Status WriteReserved(WordId word, LongList* list, const PostingList& a);
+
+  // Writes `a` as one new chunk of exactly `alloc_blocks` blocks (the
+  // shared tail of WRITE_RESERVED and the compactor's right-sized write).
+  Status WriteChunk(WordId word, LongList* list, const PostingList& a,
+                    uint64_t alloc_blocks);
 
   // WRITE(a, b): fill style; writes up to extent-size postings, returns
   // the remainder through `a`.

@@ -56,6 +56,8 @@ ShardedIndex::ShardedIndex(const ShardedIndexOptions& options)
       "Wall-clock of hash-partitioning a batch across shards");
 }
 
+ShardedIndex::~ShardedIndex() { StopBackgroundCompaction(); }
+
 Status ShardedIndex::ParallelOverShards(
     const std::function<Status(uint32_t)>& fn) {
   std::vector<Status> statuses(num_shards());
@@ -264,6 +266,100 @@ Status ShardedIndex::FlushCaches() {
     return shards_[s]->WithWrite(
         [](InvertedIndex& index) { return index.FlushCaches(); });
   });
+}
+
+Result<CompactionStats> ShardedIndex::CompactOnce() {
+  std::vector<CompactionStats> per_shard(num_shards());
+  DUPLEX_RETURN_IF_ERROR(ParallelOverShards([&](uint32_t s) {
+    return shards_[s]->WithWrite([&](InvertedIndex& index) -> Status {
+      Result<CompactionStats> round = index.CompactOnce();
+      if (!round.ok()) return round.status();
+      per_shard[s] = *round;
+      return Status::OK();
+    });
+  }));
+  CompactionStats merged;
+  for (const CompactionStats& s : per_shard) merged.Merge(s);
+  // N parallel rounds are one logical round over the whole word space.
+  merged.rounds = 1;
+  return merged;
+}
+
+void ShardedIndex::StartBackgroundCompaction(
+    std::chrono::milliseconds interval) {
+  {
+    std::lock_guard<std::mutex> lock(compaction_mutex_);
+    if (compaction_thread_.joinable()) return;  // already running
+    compaction_stop_ = false;
+    compaction_status_ = Status::OK();
+  }
+  compaction_thread_ = std::thread([this, interval] {
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(compaction_mutex_);
+        if (compaction_cv_.wait_for(lock, interval,
+                                    [this] { return compaction_stop_; })) {
+          return;
+        }
+      }
+      // Round-robin over the shards, one write lock at a time, so a long
+      // round never starves more than one shard's writers and no query
+      // ever waits on more than one shard.
+      for (uint32_t s = 0; s < num_shards(); ++s) {
+        {
+          std::lock_guard<std::mutex> lock(compaction_mutex_);
+          if (compaction_stop_) return;
+        }
+        Status status = shards_[s]->WithWrite([](InvertedIndex& index) {
+          Result<CompactionStats> round = index.CompactOnce();
+          return round.ok() ? Status::OK() : round.status();
+        });
+        std::lock_guard<std::mutex> lock(compaction_mutex_);
+        ++compaction_rounds_done_;
+        if (!status.ok() && compaction_status_.ok()) {
+          compaction_status_ = std::move(status);
+        }
+      }
+    }
+  });
+}
+
+void ShardedIndex::StopBackgroundCompaction() {
+  if (!compaction_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(compaction_mutex_);
+    compaction_stop_ = true;
+  }
+  compaction_cv_.notify_all();
+  compaction_thread_.join();
+  compaction_thread_ = std::thread();
+}
+
+bool ShardedIndex::background_compaction_running() const {
+  return compaction_thread_.joinable();
+}
+
+uint64_t ShardedIndex::background_compaction_rounds() const {
+  std::lock_guard<std::mutex> lock(compaction_mutex_);
+  return compaction_rounds_done_;
+}
+
+Status ShardedIndex::background_compaction_status() const {
+  std::lock_guard<std::mutex> lock(compaction_mutex_);
+  return compaction_status_;
+}
+
+CompactionStats ShardedIndex::compaction_totals() const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex());
+  }
+  CompactionStats merged;
+  for (const auto& shard : shards_) {
+    merged.Merge(shard->index_unlocked().compaction_totals());
+  }
+  return merged;
 }
 
 std::vector<IndexStats> ShardedIndex::ShardStats() const {

@@ -1,11 +1,15 @@
 #ifndef DUPLEX_CORE_SHARDED_INDEX_H_
 #define DUPLEX_CORE_SHARDED_INDEX_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -74,6 +78,7 @@ struct ShardedIndexOptions {
 class ShardedIndex {
  public:
   explicit ShardedIndex(const ShardedIndexOptions& options);
+  ~ShardedIndex();
 
   ShardedIndex(const ShardedIndex&) = delete;
   ShardedIndex& operator=(const ShardedIndex&) = delete;
@@ -132,6 +137,32 @@ class ShardedIndex {
   // (write-back mode; no-op otherwise). Parallel across shards.
   Status FlushCaches();
 
+  // --- Long-list compaction ------------------------------------------------
+
+  // One bounded compaction round on every shard, in parallel on the
+  // worker pool (per-shard exclusive locks, same as a batch apply).
+  // Returns the merged round stats.
+  Result<CompactionStats> CompactOnce();
+
+  // Starts/stops the background compaction thread: every `interval` it
+  // walks the shards round-robin, running one round per shard under that
+  // shard's exclusive lock — queries on other shards proceed untouched,
+  // mirroring how a batch apply shares the index. Start/Stop are control-
+  // plane calls: serialize them externally (they are not safe to race
+  // against each other). Stop is idempotent and runs in the destructor.
+  void StartBackgroundCompaction(
+      std::chrono::milliseconds interval = std::chrono::milliseconds(50));
+  void StopBackgroundCompaction();
+  bool background_compaction_running() const;
+  // Background rounds completed, and the first error one of them hit
+  // (OK when none did).
+  uint64_t background_compaction_rounds() const;
+  Status background_compaction_status() const;
+
+  // Accumulated per-shard compaction totals, merged (consistent snapshot
+  // under all shard locks).
+  CompactionStats compaction_totals() const;
+
   // --- Introspection -------------------------------------------------------
 
   // Merged statistics (MergeStats over a consistent per-shard snapshot:
@@ -171,6 +202,16 @@ class ShardedIndex {
   // is visible in one export. Null entries = recording off.
   std::vector<LatencyHistogram*> m_shard_apply_ns_;
   LatencyHistogram* m_partition_ns_ = nullptr;
+
+  // Background compaction thread state. The thread takes only per-shard
+  // write locks (never doc_mutex_, never two shard locks at once), so it
+  // composes with every other lock order in this file.
+  mutable std::mutex compaction_mutex_;
+  std::condition_variable compaction_cv_;
+  std::thread compaction_thread_;
+  bool compaction_stop_ = false;          // guarded by compaction_mutex_
+  uint64_t compaction_rounds_done_ = 0;   // guarded by compaction_mutex_
+  Status compaction_status_;              // guarded by compaction_mutex_
 
   // Document-buffer state, locked before any shard lock.
   mutable std::shared_mutex doc_mutex_;

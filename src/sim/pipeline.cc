@@ -32,6 +32,7 @@ core::IndexOptions SimConfig::ToIndexOptions(
   opts.disks.fault.bit_flip_probability = fault_bit_flip_prob;
   opts.disks.fault.crash_at_op = fault_crash_at_op;
   opts.disks.checksums = device_checksums;
+  opts.compaction = compaction;
   return opts;
 }
 
@@ -121,6 +122,7 @@ PolicyRunResult RunPolicy(const SimConfig& config,
   result.categories = index.update_categories();
   result.final_stats = index.Stats();
   result.counters = index.long_list_store().counters();
+  result.compaction = index.compaction_totals();
   result.trace = index.trace();
   result.harness_seconds = watch.ElapsedSeconds();
   return result;

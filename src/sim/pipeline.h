@@ -48,6 +48,11 @@ struct SimConfig {
   uint64_t fault_crash_at_op = 0;
   bool device_checksums = false;
 
+  // Online long-list compaction, run after every batch flush when enabled
+  // (core::CompactionOptions; the per-round I/O lands in that batch's
+  // trace update so cumulative_io_ops charges it to the triggering batch).
+  core::CompactionOptions compaction;
+
   // When non-empty, each RunPolicy/RunPolicySharded call installs a fresh
   // per-run MetricsRegistry + Tracer (sim::ObservabilityScope) and writes
   // metrics.prom, metrics.json, and trace.json into this directory before
@@ -101,6 +106,8 @@ struct PolicyRunResult {
   std::vector<core::UpdateCategories> categories;  // Figure 7
   core::IndexStats final_stats;
   core::LongListStore::Counters counters;
+  // Accumulated compaction totals (all zero when compaction is off).
+  core::CompactionStats compaction;
   storage::IoTrace trace;  // replayable by TraceExecutor (Figures 13/14)
   double harness_seconds = 0.0;
 };

@@ -1,5 +1,7 @@
 #include "storage/disk_array.h"
 
+#include <string>
+
 #include "util/logging.h"
 
 namespace duplex::storage {
@@ -96,7 +98,18 @@ Result<BlockRange> DiskArray::Allocate(uint64_t length) {
 }
 
 Status DiskArray::Free(const BlockRange& range) {
-  DUPLEX_CHECK_LT(range.disk, num_disks());
+  // Typed, not a CHECK: the compactor frees chunks on the hot path, and a
+  // corrupted directory entry must surface as a recoverable error, not an
+  // abort. Double frees and frees of unallocated space are likewise typed
+  // by the FreeSpaceMap below (kCorruption / kInvalidArgument).
+  if (range.disk >= num_disks()) {
+    return Status::InvalidArgument(
+        "free of range on unknown disk " + std::to_string(range.disk) +
+        " (array has " + std::to_string(num_disks()) + ")");
+  }
+  if (range.length == 0) {
+    return Status::InvalidArgument("free of empty block range");
+  }
   if (pool_ != nullptr) {
     // The blocks are dead; cached copies must not be served (or written
     // back) if the range is later reallocated.

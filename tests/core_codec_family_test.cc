@@ -136,6 +136,156 @@ INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTripTest,
                                            CodecKind::kEliasGamma,
                                            CodecKind::kEliasDelta));
 
+// --- Fuzz round-trips --------------------------------------------------------
+// Three gap regimes (dense gap-1 runs, sparse multi-million gaps, and
+// adversarial mixes with a near-2^32 jump) must round-trip exactly, and a
+// damaged buffer — truncated at every byte, or bit-shifted so every code
+// boundary moves — must either decode `count` postings or fail with a
+// typed kCorruption. Never an abort, never an out-of-bounds read (the
+// sanitizer passes in ci.sh check that half).
+
+std::vector<DocId> GenDocs(Rng& rng, int regime, size_t n) {
+  std::vector<DocId> docs;
+  DocId d = static_cast<DocId>(rng.Uniform(1000));
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t gap = 1;
+    switch (regime) {
+      case 0:  // dense: mostly gap 1, occasional small skip
+        gap = rng.Uniform(10) == 0 ? 1 + rng.Uniform(30) : 1;
+        break;
+      case 1:  // sparse: uniformly huge gaps
+        gap = 1 + rng.Uniform(1u << 22);
+        break;
+      case 2:  // adversarial: alternate tiny and enormous, one 2^31 jump
+        gap = (i % 2 == 0) ? 1 : 1 + rng.Uniform(1u << 28);
+        if (i == n / 2) gap = (1ull << 31) - rng.Uniform(1000);
+        break;
+    }
+    if (static_cast<uint64_t>(d) + gap > 0xffffffffull) break;
+    d += static_cast<DocId>(gap);
+    docs.push_back(d);
+  }
+  return docs;
+}
+
+// Either an exact decode of `count` postings or a typed corruption; any
+// other outcome (wrong count, wrong code, abort) is a bug.
+void ExpectDecodeOrCorruption(const GapCodec& codec, const std::string& bytes,
+                              uint64_t count, DocId base) {
+  std::vector<DocId> decoded;
+  const Status s = codec.Decode(bytes, count, base, &decoded);
+  if (s.ok()) {
+    EXPECT_EQ(decoded.size(), count);
+  } else {
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << s;
+  }
+}
+
+TEST_P(CodecRoundTripTest, FuzzRegimesRoundTripExactly) {
+  const GapCodec& codec = GetCodec(GetParam());
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  for (int regime = 0; regime < 3; ++regime) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::vector<DocId> docs =
+          GenDocs(rng, regime, 1 + rng.Uniform(300));
+      if (docs.empty()) continue;
+      const DocId base = docs[0] - rng.Uniform(docs[0] + 1);
+      std::string bytes;
+      codec.Encode(docs, base, &bytes);
+      std::vector<DocId> decoded;
+      ASSERT_TRUE(codec.Decode(bytes, docs.size(), base, &decoded).ok())
+          << codec.name() << " regime " << regime << " trial " << trial;
+      ASSERT_EQ(decoded, docs);
+    }
+  }
+}
+
+TEST_P(CodecRoundTripTest, FuzzTruncationAtEveryByte) {
+  const GapCodec& codec = GetCodec(GetParam());
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 17);
+  for (int regime = 0; regime < 3; ++regime) {
+    const std::vector<DocId> docs = GenDocs(rng, regime, 60);
+    ASSERT_FALSE(docs.empty());
+    std::string bytes;
+    codec.Encode(docs, 0, &bytes);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      ExpectDecodeOrCorruption(codec, bytes.substr(0, cut), docs.size(), 0);
+    }
+    // Truncation to any prefix that still holds all codes decodes exactly;
+    // in particular the full buffer still does.
+    std::vector<DocId> decoded;
+    ASSERT_TRUE(codec.Decode(bytes, docs.size(), 0, &decoded).ok());
+    EXPECT_EQ(decoded, docs);
+  }
+}
+
+TEST_P(CodecRoundTripTest, FuzzBitShiftedBuffers) {
+  const GapCodec& codec = GetCodec(GetParam());
+  Rng rng(static_cast<uint64_t>(GetParam()) * 311 + 23);
+  for (int regime = 0; regime < 3; ++regime) {
+    const std::vector<DocId> docs = GenDocs(rng, regime, 80);
+    ASSERT_FALSE(docs.empty());
+    std::string bytes;
+    codec.Encode(docs, 0, &bytes);
+    for (int shift = 1; shift < 8; ++shift) {
+      // Shift the whole bit stream left: every code boundary moves, the
+      // tail refills with zeros.
+      std::string shifted(bytes.size(), '\0');
+      for (size_t i = 0; i < bytes.size(); ++i) {
+        const uint8_t hi = static_cast<uint8_t>(bytes[i]) << shift;
+        const uint8_t lo =
+            i + 1 < bytes.size()
+                ? static_cast<uint8_t>(bytes[i + 1]) >> (8 - shift)
+                : 0;
+        shifted[i] = static_cast<char>(hi | lo);
+      }
+      ExpectDecodeOrCorruption(codec, shifted, docs.size(), 0);
+    }
+  }
+}
+
+TEST_P(CodecRoundTripTest, FuzzRandomByteFlips) {
+  const GapCodec& codec = GetCodec(GetParam());
+  Rng rng(static_cast<uint64_t>(GetParam()) * 733 + 41);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::vector<DocId> docs = GenDocs(rng, trial % 3, 50);
+    ASSERT_FALSE(docs.empty());
+    std::string bytes;
+    codec.Encode(docs, 0, &bytes);
+    for (int flip = 0; flip < 3; ++flip) {
+      bytes[rng.Uniform(bytes.size())] ^=
+          static_cast<char>(1u << rng.Uniform(8));
+    }
+    ExpectDecodeOrCorruption(codec, bytes, docs.size(), 0);
+  }
+}
+
+TEST_P(CodecRoundTripTest, FuzzRandomGarbageBuffers) {
+  const GapCodec& codec = GetCodec(GetParam());
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage(rng.Uniform(64), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Uniform(256));
+    ExpectDecodeOrCorruption(codec, garbage, 1 + rng.Uniform(40), 0);
+  }
+}
+
+TEST(CodecFuzzTest, SingleMaxGapRoundTrips) {
+  // One posting at the top of the id space from base 0: the largest
+  // encodable gap for every codec.
+  const std::vector<DocId> docs = {0xffffffffu};
+  for (const CodecKind kind :
+       {CodecKind::kVByte, CodecKind::kEliasGamma, CodecKind::kEliasDelta}) {
+    const GapCodec& codec = GetCodec(kind);
+    std::string bytes;
+    codec.Encode(docs, 0, &bytes);
+    std::vector<DocId> decoded;
+    ASSERT_TRUE(codec.Decode(bytes, 1, 0, &decoded).ok())
+        << CodecKindName(kind);
+    EXPECT_EQ(decoded, docs);
+  }
+}
+
 TEST(CodecComparisonTest, GammaBeatsVByteOnDenseLists) {
   // Gap-1 lists: gamma needs 2 bits/posting (x=2), vbyte needs 8.
   std::vector<DocId> docs;

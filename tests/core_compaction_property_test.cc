@@ -1,0 +1,266 @@
+// Property tests for online long-list compaction: under every allocation
+// policy, with CompactOnce fired at random points of a random batch
+// sequence, the compacted index must stay logically bit-identical to a
+// never-compacted reference — same postings, same stats, same query
+// answers — while never using more disk space, and repeated rounds must
+// converge to a fixed point (no candidate left, second round a no-op).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compactor.h"
+#include "core/directory.h"
+#include "core/inverted_index.h"
+#include "core/long_list_store.h"
+#include "text/batch.h"
+#include "util/random.h"
+
+namespace duplex::core {
+namespace {
+
+struct PolicyCase {
+  const char* label;
+  Policy policy;
+};
+
+std::vector<PolicyCase> AllPolicies() {
+  return {
+      {"new0", Policy::New0()},
+      {"newz", Policy::NewZ()},
+      {"newz_prop", Policy::NewZ(AllocStrategy::kProportional, 1.5)},
+      {"newz_exp", Policy::NewZ(AllocStrategy::kExponential, 2.0)},
+      {"fill0", Policy::Fill0(2)},
+      {"fillz", Policy::FillZ(4)},
+      {"whole0", Policy::Whole0()},
+      {"wholez_prop", Policy::WholeZ(AllocStrategy::kProportional, 1.2)},
+  };
+}
+
+constexpr int kWords = 36;
+constexpr int kBatches = 12;
+
+IndexOptions BaseOptions(const Policy& policy, bool materialize) {
+  IndexOptions o;
+  o.buckets.num_buckets = 32;
+  o.buckets.bucket_capacity = 64;
+  o.policy = policy;
+  o.block_postings = 16;
+  o.disks.num_disks = 2;
+  o.disks.blocks_per_disk = 1 << 16;
+  o.disks.block_size_bytes = 128;  // >= 5 * block_postings
+  o.materialize = materialize;
+  return o;
+}
+
+// One random batch; materialized runs consume the doc lists, count-only
+// runs just the (word, count) pairs derived from them.
+text::InvertedBatch RandomBatch(Rng& rng, DocId* next_doc) {
+  std::vector<std::vector<DocId>> lists(kWords);
+  const int docs = 10 + static_cast<int>(rng.Uniform(20));
+  for (int d = 0; d < docs; ++d) {
+    const DocId doc = (*next_doc)++;
+    for (int w = 0; w < kWords; ++w) {
+      if (rng.Uniform(1 + static_cast<uint64_t>(w) / 4) == 0) {
+        lists[w].push_back(doc);
+      }
+    }
+  }
+  text::InvertedBatch batch;
+  for (int w = 0; w < kWords; ++w) {
+    if (!lists[w].empty()) {
+      batch.entries.push_back({static_cast<WordId>(w), lists[w]});
+    }
+  }
+  return batch;
+}
+
+text::BatchUpdate ToCounts(const text::InvertedBatch& batch) {
+  text::BatchUpdate update;
+  for (const auto& entry : batch.entries) {
+    update.pairs.push_back(
+        {entry.word, static_cast<uint32_t>(entry.docs.size())});
+  }
+  return update;
+}
+
+// The logical-state diff: everything a query or stats consumer can see.
+// Chunk layout is allowed (expected) to differ; posting content is not.
+void ExpectLogicallyIdentical(const InvertedIndex& compacted,
+                              const InvertedIndex& reference,
+                              bool materialized, const std::string& label) {
+  ASSERT_TRUE(compacted.VerifyIntegrity().ok()) << label;
+  const IndexStats cs = compacted.Stats();
+  const IndexStats rs = reference.Stats();
+  EXPECT_EQ(cs.total_postings, rs.total_postings) << label;
+  EXPECT_EQ(cs.bucket_words, rs.bucket_words) << label;
+  EXPECT_EQ(cs.long_words, rs.long_words) << label;
+  // Compaction only merges and right-sizes chunks: never more of either.
+  EXPECT_LE(cs.long_chunks, rs.long_chunks) << label;
+  EXPECT_LE(cs.long_blocks, rs.long_blocks) << label;
+  EXPECT_LE(compacted.disks().total_used_blocks(),
+            reference.disks().total_used_blocks())
+      << label;
+  if (materialized) {
+    for (WordId w = 0; w < kWords; ++w) {
+      const Result<std::vector<DocId>> expect = reference.GetPostings(w);
+      const Result<std::vector<DocId>> got = compacted.GetPostings(w);
+      ASSERT_EQ(expect.ok(), got.ok()) << label << " word " << w;
+      if (expect.ok()) EXPECT_EQ(*expect, *got) << label << " word " << w;
+    }
+  } else {
+    for (WordId w = 0; w < kWords; ++w) {
+      EXPECT_EQ(compacted.Locate(w).postings,
+                reference.Locate(w).postings)
+          << label << " word " << w;
+    }
+  }
+}
+
+class CompactionPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+void RunDifferential(const PolicyCase& pc, bool materialized,
+                     uint64_t seed) {
+  InvertedIndex compacted(BaseOptions(pc.policy, materialized));
+  InvertedIndex reference(BaseOptions(pc.policy, materialized));
+  Rng rng(seed);
+  DocId next_doc = 0;
+  uint64_t rounds_fired = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    const text::InvertedBatch batch = RandomBatch(rng, &next_doc);
+    if (materialized) {
+      ASSERT_TRUE(compacted.ApplyInvertedBatch(batch).ok()) << pc.label;
+      ASSERT_TRUE(reference.ApplyInvertedBatch(batch).ok()) << pc.label;
+    } else {
+      const text::BatchUpdate update = ToCounts(batch);
+      ASSERT_TRUE(compacted.ApplyBatchUpdate(update).ok()) << pc.label;
+      ASSERT_TRUE(reference.ApplyBatchUpdate(update).ok()) << pc.label;
+    }
+    // Random compaction points: roughly every third batch boundary, plus
+    // occasional back-to-back rounds.
+    while (rng.Uniform(3) == 0) {
+      Result<CompactionStats> round = compacted.CompactOnce();
+      ASSERT_TRUE(round.ok()) << pc.label << " batch " << b;
+      ++rounds_fired;
+      ExpectLogicallyIdentical(
+          compacted, reference, materialized,
+          std::string(pc.label) + " after round at batch " +
+              std::to_string(b));
+    }
+  }
+  // Drain to the fixed point, then prove it IS a fixed point.
+  for (int guard = 0; guard < 64; ++guard) {
+    Result<CompactionStats> round = compacted.CompactOnce();
+    ASSERT_TRUE(round.ok()) << pc.label;
+    ++rounds_fired;
+    if (!round->more_pending && round->lists_compacted == 0) break;
+    ASSERT_LT(guard, 63) << pc.label << ": compaction never converged";
+  }
+  Result<CompactionStats> again = compacted.CompactOnce();
+  ASSERT_TRUE(again.ok()) << pc.label;
+  ++rounds_fired;
+  EXPECT_EQ(again->lists_compacted, 0u)
+      << pc.label << ": fixed point not stable";
+  EXPECT_FALSE(again->more_pending) << pc.label;
+  ExpectLogicallyIdentical(compacted, reference, materialized,
+                           std::string(pc.label) + " final");
+  EXPECT_GT(rounds_fired, 0u);
+  EXPECT_EQ(compacted.compaction_totals().rounds, rounds_fired) << pc.label;
+
+  // Every surviving long list is a single chunk at most one block over
+  // minimal (the fixed point the utilization trigger drives toward).
+  const uint64_t bp = compacted.options().block_postings;
+  for (const auto& [word, list] :
+       compacted.long_list_store().directory().lists()) {
+    EXPECT_EQ(list.chunks.size(), 1u) << pc.label << " word " << word;
+    const uint64_t minimal =
+        (list.total_postings + bp - 1) / bp;
+    uint64_t blocks = 0;
+    for (const ChunkRef& chunk : list.chunks) blocks += chunk.range.length;
+    EXPECT_LE(blocks, std::max<uint64_t>(1, minimal))
+        << pc.label << " word " << word;
+  }
+}
+
+TEST_P(CompactionPropertyTest, CountOnlyDifferential) {
+  const PolicyCase pc = AllPolicies()[GetParam()];
+  RunDifferential(pc, /*materialized=*/false, 1013 + GetParam());
+}
+
+TEST_P(CompactionPropertyTest, MaterializedDifferential) {
+  const PolicyCase pc = AllPolicies()[GetParam()];
+  RunDifferential(pc, /*materialized=*/true, 2027 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CompactionPropertyTest,
+                         ::testing::Range<size_t>(0, 8));
+
+// Policy knobs actually gate the trigger: a min_chunks floor above any
+// real list suppresses every candidate, and a round cap bounds one round.
+TEST(CompactionOptionsTest, TriggersRespectPolicyKnobs) {
+  IndexOptions options =
+      BaseOptions(Policy::NewZ(AllocStrategy::kProportional, 2.0),
+                  /*materialize=*/true);
+  options.compaction.min_chunks = 1000;
+  options.compaction.min_utilization = 0.0;
+  InvertedIndex index(options);
+  Rng rng(5);
+  DocId next_doc = 0;
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(index.ApplyInvertedBatch(RandomBatch(rng, &next_doc)).ok());
+  }
+  Result<CompactionStats> round = index.CompactOnce();
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->candidates, 0u);
+  EXPECT_EQ(round->lists_compacted, 0u);
+}
+
+TEST(CompactionOptionsTest, RoundCapBoundsWorkAndReportsMorePending) {
+  IndexOptions options =
+      BaseOptions(Policy::NewZ(AllocStrategy::kProportional, 2.0),
+                  /*materialize=*/true);
+  options.compaction.max_lists_per_round = 1;
+  InvertedIndex index(options);
+  Rng rng(6);
+  DocId next_doc = 0;
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(index.ApplyInvertedBatch(RandomBatch(rng, &next_doc)).ok());
+  }
+  Result<CompactionStats> round = index.CompactOnce();
+  ASSERT_TRUE(round.ok());
+  ASSERT_GT(round->candidates, 1u);
+  EXPECT_EQ(round->lists_compacted, 1u);
+  EXPECT_TRUE(round->more_pending);
+}
+
+// enabled=true runs a round inside every flush: after a fragmenting
+// workload the index should sit at (or near) the compaction fixed point
+// without a single manual CompactOnce call.
+TEST(CompactionOptionsTest, AutoCompactionKeepsUtilizationHigh) {
+  IndexOptions options =
+      BaseOptions(Policy::NewZ(AllocStrategy::kProportional, 2.0),
+                  /*materialize=*/true);
+  options.compaction.enabled = true;
+  options.compaction.min_utilization = 0.9;
+  options.compaction.max_lists_per_round = 0;  // unbounded round
+  InvertedIndex index(options);
+  InvertedIndex reference(BaseOptions(options.policy, true));
+  Rng rng(7);
+  DocId next_doc = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    const text::InvertedBatch batch = RandomBatch(rng, &next_doc);
+    ASSERT_TRUE(index.ApplyInvertedBatch(batch).ok());
+    ASSERT_TRUE(reference.ApplyInvertedBatch(batch).ok());
+  }
+  EXPECT_GT(index.compaction_totals().rounds, 0u);
+  EXPECT_GT(index.compaction_totals().lists_compacted, 0u);
+  ExpectLogicallyIdentical(index, reference, /*materialized=*/true, "auto");
+  const IndexStats stats = index.Stats();
+  ASSERT_GT(stats.long_words, 0u);
+  EXPECT_GE(stats.long_utilization, 0.9);
+}
+
+}  // namespace
+}  // namespace duplex::core

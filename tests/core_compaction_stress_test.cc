@@ -1,0 +1,179 @@
+// Concurrency stress for background compaction on the sharded index:
+// batch applies, point queries, stats snapshots, and the background
+// compaction thread all run at once. Run under TSan in ci.sh — the
+// assertions here check logical correctness (postings identical to an
+// uncompacted reference, monotonic reads, clean status); the sanitizer
+// checks the locking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/compactor.h"
+#include "core/sharded_index.h"
+#include "text/batch.h"
+#include "util/random.h"
+
+namespace duplex::core {
+namespace {
+
+constexpr int kWords = 48;
+constexpr int kBatches = 30;
+constexpr uint32_t kShards = 4;
+
+ShardedIndexOptions StressOptions() {
+  IndexOptions o;
+  o.buckets.num_buckets = 64;
+  o.buckets.bucket_capacity = 64;
+  // New-style chunks with 2x reserve keep the compactor busy: every apply
+  // re-fragments what the last round just merged.
+  o.policy = Policy::NewZ(AllocStrategy::kProportional, 2.0);
+  o.block_postings = 16;
+  o.disks.num_disks = 2;
+  o.disks.blocks_per_disk = 1 << 16;
+  o.disks.block_size_bytes = 128;
+  o.materialize = true;
+  return ShardedIndexOptions::Partition(o, kShards, /*threads=*/2);
+}
+
+std::vector<text::InvertedBatch> StressBatches(uint64_t seed) {
+  std::vector<text::InvertedBatch> batches;
+  Rng rng(seed);
+  DocId next_doc = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<std::vector<DocId>> lists(kWords);
+    for (int d = 0; d < 16; ++d) {
+      const DocId doc = next_doc++;
+      for (int w = 0; w < kWords; ++w) {
+        if (rng.Uniform(1 + static_cast<uint64_t>(w) / 6) == 0) {
+          lists[w].push_back(doc);
+        }
+      }
+    }
+    text::InvertedBatch batch;
+    for (int w = 0; w < kWords; ++w) {
+      if (!lists[w].empty()) {
+        batch.entries.push_back({static_cast<WordId>(w), lists[w]});
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+TEST(CompactionStressTest, BackgroundCompactionConcurrentWithQueries) {
+  const std::vector<text::InvertedBatch> batches = StressBatches(97);
+  ShardedIndex index(StressOptions());
+  index.StartBackgroundCompaction(std::chrono::milliseconds(1));
+  ASSERT_TRUE(index.background_compaction_running());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        const WordId w = static_cast<WordId>(rng.Uniform(kWords));
+        Result<std::vector<DocId>> got = index.GetPostings(w);
+        // A missing word is fine early on; an error never is.
+        if (got.ok()) {
+          for (size_t i = 1; i < got->size(); ++i) {
+            ASSERT_LT((*got)[i - 1], (*got)[i]) << "word " << w;
+          }
+        } else {
+          ASSERT_TRUE(got.status().IsNotFound()) << got.status();
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread stats_reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)index.Stats();
+      (void)index.compaction_totals();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (const text::InvertedBatch& batch : batches) {
+    ASSERT_TRUE(index.ApplyInvertedBatch(batch).ok());
+    // A manual foreground round racing the background thread must also be
+    // safe (both go through the same per-shard write locks).
+    if (&batch == &batches[kBatches / 2]) {
+      ASSERT_TRUE(index.CompactOnce().ok());
+    }
+  }
+  // Let the background thread lap the final state at least once.
+  const uint64_t rounds_after_apply = index.background_compaction_rounds();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (index.background_compaction_rounds() <
+             rounds_after_apply + kShards &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  stats_reader.join();
+  index.StopBackgroundCompaction();
+  EXPECT_FALSE(index.background_compaction_running());
+  ASSERT_TRUE(index.background_compaction_status().ok())
+      << index.background_compaction_status();
+  EXPECT_GT(index.background_compaction_rounds(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+
+  // The background thread compacted concurrently with the applies; the
+  // logical state must match a reference that never compacted at all.
+  ShardedIndex reference(StressOptions());
+  for (const text::InvertedBatch& batch : batches) {
+    ASSERT_TRUE(reference.ApplyInvertedBatch(batch).ok());
+  }
+  ASSERT_TRUE(index.VerifyIntegrity().ok());
+  const IndexStats is = index.Stats();
+  const IndexStats rs = reference.Stats();
+  EXPECT_EQ(is.total_postings, rs.total_postings);
+  EXPECT_EQ(is.long_words, rs.long_words);
+  EXPECT_LE(is.long_blocks, rs.long_blocks);
+  for (WordId w = 0; w < kWords; ++w) {
+    const Result<std::vector<DocId>> expect = reference.GetPostings(w);
+    const Result<std::vector<DocId>> got = index.GetPostings(w);
+    ASSERT_EQ(expect.ok(), got.ok()) << "word " << w;
+    if (expect.ok()) EXPECT_EQ(*expect, *got) << "word " << w;
+  }
+  EXPECT_GT(index.compaction_totals().lists_compacted, 0u);
+}
+
+TEST(CompactionStressTest, StartStopCycles) {
+  ShardedIndex index(StressOptions());
+  const std::vector<text::InvertedBatch> batches = StressBatches(31);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    index.StartBackgroundCompaction(std::chrono::milliseconds(1));
+    ASSERT_TRUE(index.background_compaction_running());
+    // Start while running is an idempotent no-op.
+    index.StartBackgroundCompaction(std::chrono::milliseconds(1));
+    ASSERT_TRUE(
+        index.ApplyInvertedBatch(batches[cycle % batches.size()]).ok());
+    index.StopBackgroundCompaction();
+    EXPECT_FALSE(index.background_compaction_running());
+    // Stop while stopped is also a no-op.
+    index.StopBackgroundCompaction();
+  }
+  ASSERT_TRUE(index.background_compaction_status().ok());
+  ASSERT_TRUE(index.VerifyIntegrity().ok());
+}
+
+// Destruction with the thread still running must stop it cleanly.
+TEST(CompactionStressTest, DestructorStopsBackgroundThread) {
+  auto index = std::make_unique<ShardedIndex>(StressOptions());
+  const std::vector<text::InvertedBatch> batches = StressBatches(67);
+  index->StartBackgroundCompaction(std::chrono::milliseconds(1));
+  ASSERT_TRUE(index->ApplyInvertedBatch(batches[0]).ok());
+  index.reset();  // ~ShardedIndex joins the thread
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -185,6 +185,153 @@ TEST_F(CrashSweepTest, EveryIoBoundaryRecoversToReference) {
   }
 }
 
+// The same bar for online compaction: crash the device at EVERY physical
+// I/O boundary of a logged compaction round (chunk reads, merged-chunk
+// write, cache write-back), recover from the WAL alone, and demand the
+// recovered index be bit-equivalent to a never-compacted reference — no
+// posting lost or duplicated, no block leaked. Compaction never changes
+// logical state, so full replay of the applied batches is always the
+// correct recovery regardless of where inside the round the power died;
+// the 'C' record is informational and must only appear once the round
+// (and its cache flush) fully completed.
+TEST_F(CrashSweepTest, CompactionEveryIoBoundaryRecoversToReference) {
+  // New-style chunks with 2x proportional reserve fragment hard, giving
+  // the compactor real multi-chunk, low-utilization lists to rewrite.
+  core::IndexOptions fragmenting = SweepOptions();
+  fragmenting.policy =
+      core::Policy::NewZ(core::AllocStrategy::kProportional, 2.0);
+
+  const std::vector<text::InvertedBatch> batches = SweepBatches();
+  core::InvertedIndex reference(fragmenting);
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(reference.ApplyInvertedBatch(batch).ok());
+  }
+
+  // Counting run: apply everything, then number the compaction round's
+  // physical ops.
+  uint64_t ops_before = 0;
+  uint64_t ops_total = 0;
+  {
+    core::IndexOptions options = fragmenting;
+    options.disks.fault_schedule = std::make_shared<storage::FaultSchedule>(
+        storage::FaultScheduleOptions{});
+    core::InvertedIndex index(options);
+    Result<std::unique_ptr<core::BatchLog>> log =
+        core::BatchLog::Open(wal_path_);
+    ASSERT_TRUE(log.ok());
+    (*log)->set_fsync(false);
+    for (const auto& batch : batches) {
+      ASSERT_TRUE((*log)->ApplyLogged(&index, batch).ok());
+    }
+    ops_before = options.disks.fault_schedule->ops_issued();
+    Result<core::CompactionStats> stats = (*log)->CompactLogged(&index);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    ops_total = options.disks.fault_schedule->ops_issued();
+    ASSERT_GT(stats->lists_compacted, 0u)
+        << "workload produced nothing to compact";
+    EXPECT_EQ((*log)->compactions_logged(), 1u);
+    // Compaction changed layout, not logic: postings still match the
+    // never-compacted reference, and nothing leaked.
+    ASSERT_TRUE(index.VerifyIntegrity().ok());
+    for (WordId w = 0; w < kWords; ++w) {
+      const Result<std::vector<DocId>> expect = reference.GetPostings(w);
+      const Result<std::vector<DocId>> got = index.GetPostings(w);
+      ASSERT_EQ(expect.ok(), got.ok()) << "word " << w;
+      if (expect.ok()) EXPECT_EQ(*expect, *got) << "word " << w;
+    }
+    EXPECT_LE(index.disks().total_used_blocks(),
+              reference.disks().total_used_blocks());
+  }
+  const uint64_t n_ops = ops_total - ops_before;
+  ASSERT_GT(n_ops, 0u) << "compaction issued no physical I/O";
+
+  // The sweep: crash at every op k inside the compaction round.
+  for (uint64_t k = 1; k <= n_ops; ++k) {
+    std::remove(wal_path_.c_str());
+    storage::FaultScheduleOptions fault;
+    fault.crash_at_op = ops_before + k;
+    auto schedule = std::make_shared<storage::FaultSchedule>(fault);
+    {
+      core::IndexOptions options = fragmenting;
+      options.disks.fault_schedule = schedule;
+      core::InvertedIndex index(options);
+      Result<std::unique_ptr<core::BatchLog>> log =
+          core::BatchLog::Open(wal_path_);
+      ASSERT_TRUE(log.ok());
+      (*log)->set_fsync(false);
+      for (const auto& batch : batches) {
+        ASSERT_TRUE((*log)->ApplyLogged(&index, batch).ok())
+            << "crash point " << k << " fired before compaction";
+      }
+      Result<core::CompactionStats> crashed = (*log)->CompactLogged(&index);
+      ASSERT_FALSE(crashed.ok()) << "crash at op " << k << " did not fire";
+      ASSERT_TRUE(crashed.status().IsIoError()) << crashed.status();
+      // Every batch was applied and marked before the round started; the
+      // crash must not have manufactured an unapplied batch, and the 'C'
+      // record must not have been written for the torn round.
+      EXPECT_EQ((*log)->UnappliedBatches().size(), 0u) << "crash " << k;
+      EXPECT_EQ((*log)->compactions_logged(), 0u) << "crash " << k;
+      // Power cut: index object, dirty frames, devices — all dropped.
+    }
+
+    core::InvertedIndex recovered(fragmenting);
+    Result<std::unique_ptr<core::BatchLog>> log =
+        core::BatchLog::Open(wal_path_);
+    ASSERT_TRUE(log.ok()) << "crash " << k;
+    (*log)->set_fsync(false);
+    ASSERT_EQ((*log)->batches_logged(), batches.size()) << "crash " << k;
+    EXPECT_EQ((*log)->compactions_logged(), 0u) << "crash " << k;
+    ASSERT_TRUE((*log)->ReplayInto(&recovered).ok()) << "crash " << k;
+    // Replay rebuilds the fully-applied, never-compacted state: exactly
+    // the reference, chunk for chunk — no posting lost or duplicated, no
+    // block leaked to a half-finished rewrite.
+    ExpectBitEquivalent(recovered, reference,
+                        "compaction crash at op " + std::to_string(k));
+  }
+}
+
+// A WAL that DID record the compaction (round + flush + 'C' all landed)
+// replays to the same logical state: the record is informational, replay
+// rebuilds from the batches alone.
+TEST_F(CrashSweepTest, CompactionRecordSurvivesReopenAndReplay) {
+  core::IndexOptions fragmenting = SweepOptions();
+  fragmenting.policy =
+      core::Policy::NewZ(core::AllocStrategy::kProportional, 2.0);
+  const std::vector<text::InvertedBatch> batches = SweepBatches();
+
+  core::InvertedIndex reference(fragmenting);
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(reference.ApplyInvertedBatch(batch).ok());
+  }
+
+  uint64_t lists = 0;
+  {
+    core::InvertedIndex index(fragmenting);
+    Result<std::unique_ptr<core::BatchLog>> log =
+        core::BatchLog::Open(wal_path_);
+    ASSERT_TRUE(log.ok());
+    (*log)->set_fsync(false);
+    for (const auto& batch : batches) {
+      ASSERT_TRUE((*log)->ApplyLogged(&index, batch).ok());
+    }
+    Result<core::CompactionStats> stats = (*log)->CompactLogged(&index);
+    ASSERT_TRUE(stats.ok());
+    lists = stats->lists_compacted;
+    ASSERT_GT(lists, 0u);
+  }
+
+  Result<std::unique_ptr<core::BatchLog>> reopened =
+      core::BatchLog::Open(wal_path_);
+  ASSERT_TRUE(reopened.ok());
+  (*reopened)->set_fsync(false);
+  ASSERT_EQ((*reopened)->compactions_logged(), 1u);
+  EXPECT_EQ((*reopened)->compaction(0).lists, lists);
+  EXPECT_GT((*reopened)->compaction(0).blocks_reclaimed, 0u);
+  core::InvertedIndex recovered(fragmenting);
+  ASSERT_TRUE((*reopened)->ReplayInto(&recovered).ok());
+  ExpectBitEquivalent(recovered, reference, "replay past C record");
+}
+
 // Acceptance: silent bit flips planted below the checksum layer are
 // DETECTED — a query returns either the exact reference postings (block
 // still clean or cache-resident) or kCorruption, never wrong postings.

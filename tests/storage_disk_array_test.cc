@@ -71,6 +71,60 @@ TEST(DiskArrayTest, FreeReturnsBlocks) {
   EXPECT_EQ(array.total_free_blocks(), 4 * 64u);
 }
 
+// Free() failures are typed — the compactor frees chunks on its hot path
+// and must recover from a corrupt directory entry instead of aborting.
+
+TEST(DiskArrayTest, DoubleFreeIsTypedCorruption) {
+  DiskArray array(SmallArray());
+  Result<BlockRange> r = array.Allocate(8);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(array.Free(*r).ok());
+  const Status again = array.Free(*r);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kCorruption);
+}
+
+TEST(DiskArrayTest, FreeOfUnallocatedOverlapIsTypedCorruption) {
+  DiskArray array(SmallArray(1, 64));
+  Result<BlockRange> r = array.AllocateOn(0, 8);
+  ASSERT_TRUE(r.ok());
+  // [8, 16) was never allocated; freeing it overlaps the free tail.
+  const Status s = array.Free(BlockRange{0, 8, 8});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(DiskArrayTest, FreeBeyondDiskEndIsTypedInvalidArgument) {
+  DiskArray array(SmallArray(1, 64));
+  const Status s = array.Free(BlockRange{0, 60, 8});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiskArrayTest, FreeOnUnknownDiskIsTypedInvalidArgument) {
+  DiskArray array(SmallArray(2));
+  const Status s = array.Free(BlockRange{7, 0, 4});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiskArrayTest, FreeOfEmptyRangeIsTypedInvalidArgument) {
+  DiskArray array(SmallArray());
+  const Status s = array.Free(BlockRange{0, 0, 0});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiskArrayTest, FailedFreeLeavesAccountingIntact) {
+  DiskArray array(SmallArray(1, 64));
+  Result<BlockRange> a = array.AllocateOn(0, 8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_FALSE(array.Free(BlockRange{0, 32, 8}).ok());  // not allocated
+  EXPECT_EQ(array.used_blocks(0), 8u);
+  ASSERT_TRUE(array.Free(*a).ok());  // the real range still frees cleanly
+  EXPECT_EQ(array.used_blocks(0), 0u);
+}
+
 TEST(DiskArrayTest, MostFreeStrategyBalances) {
   DiskArrayOptions o = SmallArray(3);
   o.disk_choice = DiskChoice::kMostFree;

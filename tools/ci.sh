@@ -5,8 +5,9 @@
 # pool, concurrent facade, sharded index, cache stress) so every PR is
 # race-checked, then rebuild the recovery surface with ASan+UBSan
 # (-DDUPLEX_SANITIZE=address,undefined) — crash-path code runs rarely in
-# production, so memory errors there hide longest. Finishes with a smoke
-# run of the cache-sweep bench so BENCH_cache.json stays fresh.
+# production, so memory errors there hide longest. Finishes with smoke
+# runs of the cache-sweep and compaction benches so BENCH_cache.json and
+# BENCH_compaction.json stay fresh.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -29,6 +30,10 @@ echo "=== Fault-injection + recovery pass ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|Scrub'
 
+echo "=== Compaction pass (property + options + crash sweep + codec fuzz) ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'Compaction|CodecRoundTrip|CodecFuzz|DiskArray'
+
 echo "=== Observability pass (metrics + tracing + CLI exposition) ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'Counter|Gauge|LatencyHistogram|MetricsRegistry|GlobalMetrics|ScopedLatency|Tracer|ObservabilityScope|ObservedPipeline|ObservedComponents'
@@ -43,9 +48,9 @@ cmake -B build-ci-tsan -S . "${GEN[@]}" \
 cmake --build build-ci-tsan -j "$JOBS" --target \
   util_thread_pool_test core_concurrent_index_test \
   core_sharded_index_test core_cache_stress_test \
-  observability_stress_test
+  core_compaction_stress_test observability_stress_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|ObservabilityStress'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress'
 
 echo "=== ASan+UBSan build + recovery tests ==="
 cmake -B build-ci-asan -S . "${GEN[@]}" \
@@ -53,13 +58,19 @@ cmake -B build-ci-asan -S . "${GEN[@]}" \
   -DDUPLEX_SANITIZE=address,undefined >/dev/null
 cmake --build build-ci-asan -j "$JOBS" --target \
   storage_fault_injection_test integration_crash_sweep_test \
-  core_sharded_recovery_test core_batch_log_test
+  core_sharded_recovery_test core_batch_log_test \
+  core_compaction_property_test core_codec_family_test
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
-  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog'
+  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz'
 
 echo "=== Cache-sweep bench smoke (writes BENCH_cache.json) ==="
 DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
 DUPLEX_BENCH_DOCS="${DUPLEX_BENCH_DOCS:-150}" \
   ./build-ci-release/bench/bench_ext_cache_hit >/dev/null
+
+echo "=== Compaction bench smoke (writes BENCH_compaction.json) ==="
+DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
+DUPLEX_BENCH_DOCS="${DUPLEX_BENCH_DOCS:-150}" \
+  ./build-ci-release/bench/bench_ext_compaction >/dev/null
 
 echo "CI OK"
