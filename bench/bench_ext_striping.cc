@@ -35,28 +35,19 @@ int main() {
       if (!index.ApplyBatchUpdate(batch).ok()) return 1;
     }
     // Top 100 longest lists: the ones vector queries actually fetch.
-    std::vector<const core::LongList*> lists;
-    for (const auto& [word, list] :
-         index.long_list_store().directory().lists()) {
-      lists.push_back(&list);
-    }
-    std::sort(lists.begin(), lists.end(),
-              [](const core::LongList* a, const core::LongList* b) {
-                return a->total_postings > b->total_postings;
-              });
-    if (lists.size() > 100) lists.resize(100);
+    const std::vector<ir::ListReadEstimate> estimates =
+        ir::EstimateLongestListReads(index, 100, disk);
     double parallel_ms = 0;
     double serial_ms = 0;
     double disks = 0;
     double chunks = 0;
-    for (const core::LongList* list : lists) {
-      const ir::ListReadEstimate e = ir::EstimateListRead(*list, disk);
+    for (const ir::ListReadEstimate& e : estimates) {
       parallel_ms += e.ms;
       serial_ms += e.serial_ms;
       disks += e.disks_used;
       chunks += static_cast<double>(e.read_ops);
     }
-    const double n = static_cast<double>(lists.size());
+    const double n = static_cast<double>(estimates.size());
     table.Row()
         .Cell(label)
         .Cell(parallel_ms / n, 2)

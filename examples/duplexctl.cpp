@@ -32,7 +32,7 @@
 #include "core/long_list_store.h"
 #include "core/scrub.h"
 #include "core/snapshot.h"
-#include "ir/query_eval.h"
+#include "ir/query_executor.h"
 #include "ir/query_workload.h"
 #include "sim/observability.h"
 #include "storage/buffer_pool.h"
@@ -135,7 +135,8 @@ int Query(const std::string& prefix, const std::string& query) {
     std::cerr << "cannot load snapshot: " << index.status() << "\n";
     return 1;
   }
-  Result<ir::QueryResult> result = ir::EvaluateBoolean(**index, query);
+  Result<ir::QueryResult> result =
+      ir::QueryExecutor(**index).EvaluateBoolean(query);
   if (!result.ok()) {
     std::cerr << "query error: " << result.status() << "\n";
     return 1;
@@ -548,9 +549,10 @@ int RunObservedWorkload() {
   const std::vector<std::string> queries = {
       "alpha AND beta",          "gamma OR delta", "alpha AND NOT omega",
       "(pi OR rho) AND sigma",   "tau upsilon",    "kappa AND NOT lambda"};
+  ir::QueryExecutor executor(index);
   for (int pass = 0; pass < 2; ++pass) {
     for (const std::string& q : queries) {
-      Result<ir::QueryResult> result = ir::EvaluateBoolean(index, q);
+      Result<ir::QueryResult> result = executor.EvaluateBoolean(q);
       if (!result.ok()) {
         std::cerr << "query error: " << result.status() << "\n";
         return 1;

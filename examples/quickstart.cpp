@@ -5,8 +5,7 @@
 #include <iostream>
 
 #include "core/inverted_index.h"
-#include "ir/query_eval.h"
-#include "ir/vector_query.h"
+#include "ir/query_executor.h"
 
 int main() {
   using namespace duplex;
@@ -45,10 +44,15 @@ int main() {
     return 1;
   }
 
-  // 3. Boolean queries, e.g. the paper's "(cat and dog) or mouse" form.
+  // 3. Queries go through one ir::QueryExecutor, which works over any
+  //    core::IndexReader (InvertedIndex here; ShardedIndex or a
+  //    MergingReader overlay work identically).
+  ir::QueryExecutor executor(index);
+
+  //    Boolean queries, e.g. the paper's "(cat and dog) or mouse" form.
   for (const char* q : {"quick AND dog", "(fox OR cat) AND NOT lazy",
                         "inverted lists"}) {
-    Result<ir::QueryResult> r = ir::EvaluateBoolean(index, q);
+    Result<ir::QueryResult> r = executor.EvaluateBoolean(q);
     if (!r.ok()) {
       std::cerr << "query failed: " << r.status() << "\n";
       return 1;
@@ -64,7 +68,7 @@ int main() {
   ir::VectorQuery vq;
   vq.terms = {{"quick", 2.0}, {"document", 1.0}, {"fox", 1.0}};
   Result<ir::VectorQueryResult> vr =
-      ir::EvaluateVector(index, vq, 3, index.next_doc_id());
+      executor.EvaluateVector(vq, 3, index.next_doc_id());
   if (!vr.ok()) {
     std::cerr << "vector query failed: " << vr.status() << "\n";
     return 1;
@@ -78,7 +82,7 @@ int main() {
   // 5. Delete a document: immediate filtering, then a background sweep
   //    reclaims the space.
   index.DeleteDocument(0);
-  Result<ir::QueryResult> after = ir::EvaluateBoolean(index, "lazy");
+  Result<ir::QueryResult> after = executor.EvaluateBoolean("lazy");
   std::cout << "after deleting doc 0, 'lazy' matches " << after->docs.size()
             << " docs\n";
   if (Status s = index.SweepDeletions(); !s.ok()) {

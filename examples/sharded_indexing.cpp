@@ -10,8 +10,7 @@
 #include <thread>
 
 #include "core/sharded_index.h"
-#include "ir/query_eval.h"
-#include "ir/vector_query.h"
+#include "ir/query_executor.h"
 #include "text/corpus_generator.h"
 
 int main() {
@@ -46,10 +45,12 @@ int main() {
     return 1;
   }
 
-  // 3. Queries fan out per term to the owning shard and merge; results are
-  //    bit-identical to the unsharded index.
+  // 3. Queries go through the same ir::QueryExecutor as the unsharded
+  //    index — each term fans out to the owning shard and merges; results
+  //    are bit-identical to the unsharded index.
+  ir::QueryExecutor executor(index);
   for (const char* q : {"quick AND dog", "(fox OR cat) AND NOT lazy"}) {
-    Result<ir::QueryResult> r = ir::EvaluateBoolean(index, q);
+    Result<ir::QueryResult> r = executor.EvaluateBoolean(q);
     if (!r.ok()) {
       std::cerr << "query failed: " << r.status() << "\n";
       return 1;
@@ -63,7 +64,7 @@ int main() {
   ir::VectorQuery vq;
   vq.terms = {{"quick", 2.0}, {"document", 1.0}};
   Result<ir::VectorQueryResult> vr =
-      ir::EvaluateVector(index, vq, 3, index.next_doc_id());
+      executor.EvaluateVector(vq, 3, index.next_doc_id());
   if (!vr.ok()) {
     std::cerr << "vector query failed: " << vr.status() << "\n";
     return 1;

@@ -1,0 +1,82 @@
+#include "core/chunk_format.h"
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+uint8_t CodecKindId(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kVByte:
+      return 0;
+    case CodecKind::kEliasGamma:
+      return 1;
+    case CodecKind::kEliasDelta:
+      return 2;
+  }
+  DUPLEX_CHECK(false) << "unknown CodecKind";
+  return 0;
+}
+
+Result<CodecKind> CodecKindFromId(uint8_t id) {
+  switch (id) {
+    case 0:
+      return CodecKind::kVByte;
+    case 1:
+      return CodecKind::kEliasGamma;
+    case 2:
+      return CodecKind::kEliasDelta;
+    default:
+      return Status::Corruption("chunk header: unknown codec id " +
+                                std::to_string(id));
+  }
+}
+
+void EncodeChunkHeader(const ChunkHeader& header, std::string* out) {
+  DUPLEX_CHECK_EQ(header.version, kChunkFormatV1);
+  const size_t start = out->size();
+  out->resize(start + kChunkHeaderSize, '\0');
+  uint8_t* p = reinterpret_cast<uint8_t*>(out->data() + start);
+  p[0] = static_cast<uint8_t>(kChunkMagic & 0xFF);
+  p[1] = static_cast<uint8_t>(kChunkMagic >> 8);
+  p[2] = header.version;
+  p[3] = CodecKindId(header.codec);
+  // flags [4..5] and reserved [6..15] stay zero.
+}
+
+Result<ChunkHeader> DecodeChunkHeader(std::string_view bytes) {
+  if (bytes.size() < kChunkHeaderSize) {
+    return Status::Corruption(
+        "chunk header: truncated (" + std::to_string(bytes.size()) +
+        " bytes, need " + std::to_string(kChunkHeaderSize) + ")");
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  const uint16_t magic =
+      static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+  if (magic != kChunkMagic) {
+    return Status::Corruption("chunk header: bad magic");
+  }
+  if (p[2] != kChunkFormatV1) {
+    return Status::Corruption("chunk header: unknown format version " +
+                              std::to_string(p[2]));
+  }
+  Result<CodecKind> codec = CodecKindFromId(p[3]);
+  if (!codec.ok()) return codec.status();
+  const uint16_t flags =
+      static_cast<uint16_t>(p[4]) | static_cast<uint16_t>(p[5]) << 8;
+  if (flags != 0) {
+    return Status::Corruption("chunk header: unsupported flags " +
+                              std::to_string(flags));
+  }
+  for (size_t i = 6; i < kChunkHeaderSize; ++i) {
+    if (p[i] != 0) {
+      return Status::Corruption("chunk header: nonzero reserved byte at " +
+                                std::to_string(i));
+    }
+  }
+  ChunkHeader header;
+  header.version = p[2];
+  header.codec = *codec;
+  return header;
+}
+
+}  // namespace duplex::core

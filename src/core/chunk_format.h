@@ -1,0 +1,65 @@
+#ifndef DUPLEX_CORE_CHUNK_FORMAT_H_
+#define DUPLEX_CORE_CHUNK_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/codec_family.h"
+#include "util/status.h"
+
+namespace duplex::core {
+
+// On-device framing of one long-list chunk. Format v1 prefixes the encoded
+// payload with a fixed 16-byte header; v0 ("legacy") is the headerless
+// layout every index before the versioning change wrote — payload bytes
+// start at byte 0 of the chunk's first block. Which format a chunk uses is
+// also mirrored in its ChunkRef, so readers dispatch on metadata and use
+// the header purely as an on-device cross-check (a mismatch is corruption,
+// never a silent fallback).
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//   0       2     magic 0xD17C, little-endian
+//   2       1     format version (1)
+//   3       1     codec id (CodecKind: 0 vbyte, 1 elias-gamma, 2 elias-delta)
+//   4       2     flags, little-endian — must be zero in v1
+//   6       10    reserved, must be zero (earmarked for per-block max-score
+//                 metadata so future ranked readers can skip blocks)
+//
+// The header is deliberately fixed-size and zero-padded: decode cost is a
+// bounds check plus five field loads, and every spare byte is validated so
+// a later version can assign meaning without ambiguity about old writers.
+
+inline constexpr uint16_t kChunkMagic = 0xD17C;
+inline constexpr uint8_t kChunkFormatLegacy = 0;  // headerless v0
+inline constexpr uint8_t kChunkFormatV1 = 1;
+inline constexpr uint64_t kChunkHeaderSize = 16;
+
+// Stable on-device codec ids (CodecKind enumerator order is ABI here).
+uint8_t CodecKindId(CodecKind kind);
+Result<CodecKind> CodecKindFromId(uint8_t id);
+
+struct ChunkHeader {
+  uint8_t version = kChunkFormatV1;
+  CodecKind codec = CodecKind::kVByte;
+};
+
+// Appends the 16-byte v1 header for `header` to *out.
+void EncodeChunkHeader(const ChunkHeader& header, std::string* out);
+
+// Validates and decodes a v1 header from the first kChunkHeaderSize bytes
+// of `bytes`. Every failure — truncation, bad magic, unknown version or
+// codec, nonzero flags or reserved bytes — is a typed kCorruption status;
+// no partially-decoded header ever escapes.
+Result<ChunkHeader> DecodeChunkHeader(std::string_view bytes);
+
+// Bytes the header occupies ahead of the payload for a chunk of `format`:
+// kChunkHeaderSize for v1, 0 for legacy.
+inline uint64_t ChunkHeaderBytes(uint8_t format) {
+  return format == kChunkFormatLegacy ? 0 : kChunkHeaderSize;
+}
+
+}  // namespace duplex::core
+
+#endif  // DUPLEX_CORE_CHUNK_FORMAT_H_

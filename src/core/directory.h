@@ -18,7 +18,14 @@ struct ChunkRef {
   storage::BlockRange range;
   uint64_t postings = 0;   // postings stored in this chunk
   DocId base_doc = 0;      // doc id preceding this chunk's first posting
-  uint64_t byte_length = 0;  // encoded payload bytes (materialized mode)
+  uint64_t byte_length = 0;  // encoded payload bytes, header excluded
+  // On-device framing of this chunk (values from core/chunk_format.h):
+  // format 0 = legacy headerless, 1 = v1 16-byte header ahead of the
+  // payload; codec is the CodecKindId of the payload encoding. Reads
+  // dispatch on these fields — the v1 header on device is a cross-check,
+  // never sniffed.
+  uint8_t format = 0;
+  uint8_t codec = 0;
 };
 
 // Directory entry for a word with a long list.

@@ -19,6 +19,8 @@ InvertedIndex::InvertedIndex(const IndexOptions& options)
   ll_opts.policy = options.policy;
   ll_opts.block_postings = options.block_postings;
   ll_opts.materialize = options.materialize;
+  ll_opts.codec = options.long_list_codec;
+  ll_opts.chunk_format = options.chunk_format;
   long_lists_ = std::make_unique<LongListStore>(
       ll_opts, disks_.get(), options.record_trace ? &trace_ : nullptr);
   compactor_ =
@@ -312,7 +314,8 @@ InvertedIndex::ListLocation InvertedIndex::Locate(WordId word) const {
         // residency.
         const uint64_t data_blocks = std::max<uint64_t>(
             1, options_.materialize
-                   ? (c.byte_length + bs - 1) / bs
+                   ? (ChunkHeaderBytes(c.format) + c.byte_length + bs - 1) /
+                         bs
                    : (c.postings + options_.block_postings - 1) /
                          options_.block_postings);
         if (disks_->CachePeek(c.range.disk, c.range.start, data_blocks) ==
@@ -378,6 +381,26 @@ Result<std::vector<DocId>> InvertedIndex::GetPostings(
   const WordId id = vocabulary_.Lookup(word);
   if (id == kInvalidWord) return Status::NotFound("unknown word");
   return GetPostings(id);
+}
+
+void InvertedIndex::ForEachWord(
+    const std::function<void(WordId)>& fn) const {
+  // A word lives in exactly one on-disk structure (directory or bucket),
+  // so those two walks never repeat a word; buffered words are emitted
+  // only when the word has no flushed list yet.
+  for (const auto& [word, list] : long_lists_->directory().lists()) {
+    fn(word);
+  }
+  for (uint32_t b = 0; b < buckets_.options().num_buckets; ++b) {
+    for (const auto& [word, list] : buckets_.bucket(b).entries()) {
+      fn(word);
+    }
+  }
+  for (const auto& [word, list] : memory_index_.lists()) {
+    if (!long_lists_->Contains(word) && buckets_.Find(word) == nullptr) {
+      fn(word);
+    }
+  }
 }
 
 Status InvertedIndex::SweepDeletions() {

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/bucket_store.h"
+#include "core/codec_family.h"
 #include "core/compactor.h"
+#include "core/index_reader.h"
 #include "core/index_stats.h"
 #include "core/long_list_store.h"
 #include "core/memory_index.h"
@@ -56,6 +58,16 @@ struct IndexOptions {
   // compaction.enabled, every batch apply ends with one bounded round;
   // CompactOnce() runs rounds manually either way.
   CompactionOptions compaction;
+  // On-disk chunk format for materialized long lists (see
+  // core/chunk_format.h). kChunkFormatV1 prefixes every new chunk with a
+  // versioned header carrying the codec id; kChunkFormatLegacy writes the
+  // pre-versioning headerless layout (v0) for compatibility tests. Reads
+  // handle both transparently.
+  uint8_t chunk_format = 1;  // kChunkFormatV1
+  // Posting-payload codec for materialized long-list chunks, recorded in
+  // each chunk's header. Bitwise codecs (Elias gamma/delta) disable
+  // in-place tail appends — their padded segments cannot concatenate.
+  CodecKind long_list_codec = CodecKind::kVByte;
 };
 
 // UpdateCategories / IndexStats / ListLocation live in core/index_stats.h
@@ -67,7 +79,7 @@ struct IndexOptions {
 // structures: short lists into hash-addressed fixed-size buckets, bucket
 // overflows promoting the longest short lists into policy-managed long
 // lists.
-class InvertedIndex {
+class InvertedIndex : public IndexReader {
  public:
   explicit InvertedIndex(const IndexOptions& options);
 
@@ -100,18 +112,23 @@ class InvertedIndex {
   }
   const MemoryIndex& memory_index() const { return memory_index_; }
 
-  // --- Query access ------------------------------------------------------
+  // --- Query access (the IndexReader surface) ----------------------------
 
   // Where a word's list lives — input to the query cost model.
   using ListLocation = duplex::core::ListLocation;
-  ListLocation Locate(WordId word) const;
-  ListLocation Locate(std::string_view word) const;
+  ListLocation Locate(WordId word) const override;
+  ListLocation Locate(std::string_view word) const override;
 
   // Returns the word's full posting list (bucket or long list), with
   // deleted documents filtered out. Requires materialize. NotFound when
   // the word has no list.
-  Result<std::vector<DocId>> GetPostings(WordId word) const;
-  Result<std::vector<DocId>> GetPostings(std::string_view word) const;
+  Result<std::vector<DocId>> GetPostings(WordId word) const override;
+  Result<std::vector<DocId>> GetPostings(
+      std::string_view word) const override;
+
+  // Every word with a list anywhere in the index — long lists, buckets,
+  // and the unflushed in-memory batch — each exactly once.
+  void ForEachWord(const std::function<void(WordId)>& fn) const override;
 
   // --- Deletion (paper Section 3 end) -------------------------------------
 
@@ -202,7 +219,7 @@ class InvertedIndex {
   storage::DiskArray& disks() { return *disks_; }
   text::Vocabulary& vocabulary() { return vocabulary_; }
   const text::Vocabulary& vocabulary() const { return vocabulary_; }
-  DocId next_doc_id() const { return next_doc_id_; }
+  DocId next_doc_id() const override { return next_doc_id_; }
 
  private:
   // Per-batch accumulator for the routing counters. RouteList runs once

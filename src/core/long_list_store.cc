@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/posting_codec.h"
 #include "util/logging.h"
 
 namespace duplex::core {
@@ -14,13 +13,18 @@ LongListStore::LongListStore(const LongListStoreOptions& options,
   DUPLEX_CHECK(disks != nullptr);
   DUPLEX_CHECK_GT(options.block_postings, 0u);
   DUPLEX_CHECK_OK(options.policy.Validate());
+  DUPLEX_CHECK(options_.chunk_format == kChunkFormatLegacy ||
+               options_.chunk_format == kChunkFormatV1);
   if (options_.materialize) {
     DUPLEX_CHECK(disks_->device(0) != nullptr)
         << "materialize requires a disk array with payload devices";
     // Varints use at most 5 bytes per doc-id posting; the byte capacity of
-    // a chunk must cover its posting capacity.
+    // a chunk must cover its posting capacity plus the per-chunk header
+    // (the header amortizes over the first block, so a per-block bound
+    // suffices for chunks of any length).
     DUPLEX_CHECK_GE(disks_->block_size(),
-                    5 * options_.block_postings);
+                    5 * options_.block_postings +
+                        ChunkHeaderBytes(options_.chunk_format));
   }
   m_in_place_ = GlobalCounter("duplex_core_long_in_place_updates_total",
                               "Long-list appends satisfied in place "
@@ -71,15 +75,56 @@ uint64_t LongListStore::TailSpace(WordId word) const {
   return ChunkCapacity(last) - last.postings;
 }
 
-Status LongListStore::WritePayload(const ChunkRef& chunk,
-                                   const std::vector<DocId>& docs, DocId base,
-                                   uint64_t byte_offset) {
-  const std::string bytes = EncodePostingBlock(docs, base);
-  storage::BlockDevice* dev = disks_->device(chunk.range.disk);
+Status LongListStore::WriteChunkPayload(ChunkRef* chunk,
+                                        const std::vector<DocId>& docs,
+                                        DocId base) {
+  chunk->format = options_.chunk_format;
+  chunk->codec = CodecKindId(options_.codec);
+  std::string bytes;
+  if (chunk->format != kChunkFormatLegacy) {
+    ChunkHeader header;
+    header.codec = options_.codec;
+    EncodeChunkHeader(header, &bytes);
+  }
+  const size_t header_bytes = bytes.size();
+  GetCodec(options_.codec).Encode(docs, base, &bytes);
+  chunk->byte_length = bytes.size() - header_bytes;
+  storage::BlockDevice* dev = disks_->device(chunk->range.disk);
   DUPLEX_CHECK(dev != nullptr);
-  return dev->Write(chunk.range.start, byte_offset,
+  return dev->Write(chunk->range.start, 0,
                     reinterpret_cast<const uint8_t*>(bytes.data()),
                     bytes.size());
+}
+
+Result<std::vector<DocId>> LongListStore::DecodeChunk(
+    const ChunkRef& c) const {
+  const storage::BlockDevice* dev = disks_->device(c.range.disk);
+  const uint64_t header_bytes = ChunkHeaderBytes(c.format);
+  std::string bytes(header_bytes + c.byte_length, '\0');
+  DUPLEX_RETURN_IF_ERROR(dev->Read(c.range.start, 0,
+                                   reinterpret_cast<uint8_t*>(bytes.data()),
+                                   bytes.size()));
+  Result<CodecKind> codec = CodecKindFromId(c.codec);
+  if (!codec.ok()) return codec.status();
+  if (header_bytes > 0) {
+    Result<ChunkHeader> header = DecodeChunkHeader(bytes);
+    if (!header.ok()) return header.status();
+    // A flipped codec byte can still form a well-shaped header; the
+    // directory remembers what was written, so any disagreement is rot,
+    // not a format change.
+    if (header->codec != *codec) {
+      return Status::Corruption(
+          "chunk header: codec disagrees with directory metadata");
+    }
+  }
+  std::vector<DocId> docs;
+  docs.reserve(c.postings);
+  DUPLEX_RETURN_IF_ERROR(GetCodec(*codec).Decode(
+      bytes.substr(header_bytes), c.postings, c.base_doc, &docs));
+  if (docs.size() != c.postings) {
+    return Status::Corruption("chunk payload: short decode");
+  }
+  return docs;
 }
 
 Status LongListStore::UpdateInPlace(WordId word, LongList* list,
@@ -102,10 +147,17 @@ Status LongListStore::UpdateInPlace(WordId word, LongList* list,
 
   if (options_.materialize) {
     DUPLEX_CHECK(m.materialized());
-    const std::string bytes = EncodePostingBlock(m.docs(), list->last_doc);
+    // Only byte-aligned codecs reach this path (Append gates the bitwise
+    // ones out), so the appended segment continues the chunk's varint
+    // stream seamlessly. The write lands after the chunk's own header —
+    // dispatching on the chunk's recorded format, not the store's, so a
+    // legacy chunk keeps its headerless layout.
+    DUPLEX_CHECK(CodecSupportsInPlaceAppend());
+    std::string bytes;
+    GetCodec(options_.codec).Encode(m.docs(), list->last_doc, &bytes);
     storage::BlockDevice* dev = disks_->device(c.range.disk);
     DUPLEX_RETURN_IF_ERROR(
-        dev->Write(c.range.start, c.byte_length,
+        dev->Write(c.range.start, ChunkHeaderBytes(c.format) + c.byte_length,
                    reinterpret_cast<const uint8_t*>(bytes.data()),
                    bytes.size()));
     c.byte_length += bytes.size();
@@ -131,13 +183,7 @@ Result<PostingList> LongListStore::ReadAndRelease(WordId word,
     Record(storage::IoOp::kRead, word, c.postings, c.range,
            std::max<uint64_t>(1, BlocksFor(c.postings)));
     if (options_.materialize) {
-      const storage::BlockDevice* dev = disks_->device(c.range.disk);
-      std::string bytes(c.byte_length, '\0');
-      DUPLEX_RETURN_IF_ERROR(dev->Read(
-          c.range.start, 0, reinterpret_cast<uint8_t*>(bytes.data()),
-          bytes.size()));
-      Result<std::vector<DocId>> chunk_docs =
-          DecodePostingBlock(bytes, c.postings, c.base_doc);
+      Result<std::vector<DocId>> chunk_docs = DecodeChunk(c);
       if (!chunk_docs.ok()) return chunk_docs.status();
       docs.insert(docs.end(), chunk_docs->begin(), chunk_docs->end());
     }
@@ -181,13 +227,8 @@ Status LongListStore::WriteChunk(WordId word, LongList* list,
   chunk.base_doc = list->total_postings > 0 ? list->last_doc : 0;
   if (options_.materialize) {
     DUPLEX_CHECK(a.materialized());
-    const std::string bytes = EncodePostingBlock(a.docs(), chunk.base_doc);
-    chunk.byte_length = bytes.size();
-    storage::BlockDevice* dev = disks_->device(range->disk);
-    DUPLEX_RETURN_IF_ERROR(
-        dev->Write(range->start, 0,
-                   reinterpret_cast<const uint8_t*>(bytes.data()),
-                   bytes.size()));
+    DUPLEX_RETURN_IF_ERROR(WriteChunkPayload(&chunk, a.docs(),
+                                             chunk.base_doc));
     list->last_doc = a.last_doc();
   }
   list->chunks.push_back(chunk);
@@ -217,14 +258,8 @@ Status LongListStore::WriteExtents(WordId word, LongList* list,
     chunk.base_doc = list->total_postings > 0 ? list->last_doc : 0;
     if (options_.materialize) {
       DUPLEX_CHECK(prefix.materialized());
-      const std::string bytes =
-          EncodePostingBlock(prefix.docs(), chunk.base_doc);
-      chunk.byte_length = bytes.size();
-      storage::BlockDevice* dev = disks_->device(range->disk);
       DUPLEX_RETURN_IF_ERROR(
-          dev->Write(range->start, 0,
-                     reinterpret_cast<const uint8_t*>(bytes.data()),
-                     bytes.size()));
+          WriteChunkPayload(&chunk, prefix.docs(), chunk.base_doc));
       list->last_doc = prefix.last_doc();
     }
     list->chunks.push_back(chunk);
@@ -253,7 +288,10 @@ Status LongListStore::Append(WordId word, const PostingList& m) {
   const uint64_t y = m.size();
   // Figure 2 line 1: "if y <= Limit then UPDATE(M)". Limit is 0 or z; a
   // brand-new list has no chunk to extend so it always falls through.
+  // Bitwise codecs force Limit to 0 in materialized mode: their padded
+  // final byte means an appended segment cannot continue the stream.
   if (!is_new && options_.policy.in_place && !list->chunks.empty() &&
+      (!options_.materialize || CodecSupportsInPlaceAppend()) &&
       y <= ChunkCapacity(list->chunks.back()) -
                list->chunks.back().postings) {
     return UpdateInPlace(word, list, m);
@@ -295,13 +333,7 @@ Result<std::vector<DocId>> LongListStore::ReadPostings(WordId word) const {
   std::vector<DocId> docs;
   docs.reserve(list->total_postings);
   for (const ChunkRef& c : list->chunks) {
-    const storage::BlockDevice* dev = disks_->device(c.range.disk);
-    std::string bytes(c.byte_length, '\0');
-    DUPLEX_RETURN_IF_ERROR(dev->Read(c.range.start, 0,
-                                     reinterpret_cast<uint8_t*>(bytes.data()),
-                                     bytes.size()));
-    Result<std::vector<DocId>> chunk_docs =
-        DecodePostingBlock(bytes, c.postings, c.base_doc);
+    Result<std::vector<DocId>> chunk_docs = DecodeChunk(c);
     if (!chunk_docs.ok()) return chunk_docs.status();
     docs.insert(docs.end(), chunk_docs->begin(), chunk_docs->end());
   }

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/chunk_format.h"
+#include "core/codec_family.h"
 #include "core/directory.h"
 #include "core/policy.h"
 #include "core/posting.h"
@@ -20,10 +22,22 @@ struct LongListStoreOptions {
   // Postings per disk block — the paper's BlockPosting parameter, which
   // "implicitly models the efficiency of the compression algorithm".
   uint64_t block_postings = 512;
-  // When true, posting payloads are varint-delta encoded and stored in the
-  // disk array's block devices (required for queries). The array must have
-  // materialize_payloads enabled.
+  // When true, posting payloads are gap-encoded with `codec` and stored in
+  // the disk array's block devices (required for queries). The array must
+  // have materialize_payloads enabled.
   bool materialize = false;
+  // Codec for materialized chunk payloads. Bitwise codecs (the Elias pair)
+  // pad their final byte, so appended segments cannot be decoded as one
+  // stream — in-place updates are automatically disabled for them and
+  // every append rewrites through the whole/new/fill styles instead.
+  CodecKind codec = CodecKind::kVByte;
+  // On-device chunk framing (core/chunk_format.h): kChunkFormatV1 writes
+  // the 16-byte versioned header ahead of each chunk payload;
+  // kChunkFormatLegacy reproduces the pre-versioning headerless layout
+  // (kept so indexes built before the header existed keep reading, and so
+  // compatibility tests can write exact v0 bytes). Counted mode writes no
+  // payloads, so the format only matters when `materialize` is set.
+  uint8_t chunk_format = kChunkFormatV1;
 };
 
 // The long-list half of the dual-structure index. Implements the update
@@ -132,8 +146,23 @@ class LongListStore {
   // the remainder through `a`.
   Status WriteExtents(WordId word, LongList* list, PostingList m);
 
-  Status WritePayload(const ChunkRef& chunk, const std::vector<DocId>& docs,
-                      DocId base, uint64_t byte_offset);
+  // Encodes `docs` with the configured codec and writes (v1 header +)
+  // payload at the front of `chunk`'s range; fills chunk->byte_length,
+  // chunk->format, and chunk->codec.
+  Status WriteChunkPayload(ChunkRef* chunk, const std::vector<DocId>& docs,
+                           DocId base);
+
+  // Reads one chunk back: fetches the (header +) payload bytes, validates
+  // the v1 header against the ChunkRef — magic, version, flags, reserved
+  // bytes, and codec must all agree with the directory's metadata; any
+  // disagreement is kCorruption — then decodes `chunk.postings` doc ids.
+  Result<std::vector<DocId>> DecodeChunk(const ChunkRef& chunk) const;
+
+  // Whether the configured codec can decode appended segments as one
+  // stream (byte-aligned varints can; bit-padded Elias codes cannot).
+  bool CodecSupportsInPlaceAppend() const {
+    return options_.codec == CodecKind::kVByte;
+  }
 
   LongListStoreOptions options_;
   storage::DiskArray* disks_;

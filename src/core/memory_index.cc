@@ -1,5 +1,7 @@
 #include "core/memory_index.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace duplex::core {
@@ -15,6 +17,7 @@ void MemoryIndex::AddDocument(DocId doc, const std::string& text) {
     ++postings_;
   }
   ++documents_;
+  next_doc_id_ = std::max(next_doc_id_, doc + 1);
 }
 
 const std::vector<DocId>* MemoryIndex::Find(WordId word) const {
@@ -26,6 +29,40 @@ void MemoryIndex::Clear() {
   lists_.clear();
   documents_ = 0;
   postings_ = 0;
+}
+
+ListLocation MemoryIndex::Locate(WordId word) const {
+  ListLocation loc;
+  if (const std::vector<DocId>* list = Find(word)) {
+    loc.exists = true;
+    loc.postings = list->size();
+    // Buffered lists live in memory: zero chunk reads, nothing cached.
+  }
+  return loc;
+}
+
+ListLocation MemoryIndex::Locate(std::string_view word) const {
+  const WordId id = vocabulary_->Lookup(word);
+  if (id == kInvalidWord) return ListLocation{};
+  return Locate(id);
+}
+
+Result<std::vector<DocId>> MemoryIndex::GetPostings(WordId word) const {
+  const std::vector<DocId>* list = Find(word);
+  if (list == nullptr) return Status::NotFound("word has no inverted list");
+  return *list;  // already ascending (AddDocument enforces doc order)
+}
+
+Result<std::vector<DocId>> MemoryIndex::GetPostings(
+    std::string_view word) const {
+  const WordId id = vocabulary_->Lookup(word);
+  if (id == kInvalidWord) return Status::NotFound("unknown word");
+  return GetPostings(id);
+}
+
+void MemoryIndex::ForEachWord(
+    const std::function<void(WordId)>& fn) const {
+  for (const auto& [word, list] : lists_) fn(word);
 }
 
 }  // namespace duplex::core

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/index_reader.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
 #include "util/types.h"
@@ -16,7 +17,13 @@ namespace duplex::core {
 // this: updates are batched, and "to maintain access to the batch, it can
 // be searched simultaneously with the larger index". InvertedIndex merges
 // these postings into query results until FlushDocuments() drains them.
-class MemoryIndex {
+//
+// MemoryIndex is also a full IndexReader: standing alone it is the delta
+// tier of an immediate-visibility ingest path, and under a MergingReader
+// it overlays an on-disk index so unflushed documents answer queries —
+// the merge shape of Asadi & Lin's in-memory incremental indexing.
+// Buffered lists cost no disk reads, so Locate reports zero chunks.
+class MemoryIndex : public IndexReader {
  public:
   MemoryIndex(const text::Tokenizer* tokenizer,
               text::Vocabulary* vocabulary)
@@ -43,12 +50,24 @@ class MemoryIndex {
     return lists_;
   }
 
+  // --- IndexReader ---------------------------------------------------------
+
+  ListLocation Locate(WordId word) const override;
+  ListLocation Locate(std::string_view word) const override;
+  Result<std::vector<DocId>> GetPostings(WordId word) const override;
+  Result<std::vector<DocId>> GetPostings(std::string_view word) const override;
+  // One past the largest doc id ever buffered. Monotonic across Clear():
+  // doc ids keep ascending globally, so the horizon survives a flush.
+  DocId next_doc_id() const override { return next_doc_id_; }
+  void ForEachWord(const std::function<void(WordId)>& fn) const override;
+
  private:
   const text::Tokenizer* tokenizer_;
   text::Vocabulary* vocabulary_;
   std::unordered_map<WordId, std::vector<DocId>> lists_;
   size_t documents_ = 0;
   uint64_t postings_ = 0;
+  DocId next_doc_id_ = 0;
 };
 
 }  // namespace duplex::core

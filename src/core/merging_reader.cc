@@ -1,0 +1,108 @@
+#include "core/merging_reader.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+MergingReader::MergingReader(std::vector<const IndexReader*> readers)
+    : readers_(std::move(readers)) {
+  DUPLEX_CHECK(!readers_.empty());
+  for (const IndexReader* reader : readers_) {
+    DUPLEX_CHECK(reader != nullptr);
+  }
+}
+
+template <typename Key>
+ListLocation MergingReader::LocateImpl(Key key) const {
+  ListLocation merged;
+  for (const IndexReader* reader : readers_) {
+    const ListLocation loc = reader->Locate(key);
+    if (!loc.exists) continue;
+    merged.exists = true;
+    merged.is_long = merged.is_long || loc.is_long;
+    merged.chunks += loc.chunks;
+    merged.cached_chunks += loc.cached_chunks;
+    merged.postings += loc.postings;
+  }
+  return merged;
+}
+
+ListLocation MergingReader::Locate(WordId word) const {
+  return LocateImpl(word);
+}
+
+ListLocation MergingReader::Locate(std::string_view word) const {
+  return LocateImpl(word);
+}
+
+std::vector<DocId> MergeDocLists(
+    const std::vector<std::vector<DocId>>& lists) {
+  // Two-at-a-time set_union keeps the merge simple and the common case
+  // (two readers: delta + disk) a single pass; duplicates collapse
+  // because set_union emits an element common to both inputs once.
+  std::vector<DocId> merged;
+  for (const std::vector<DocId>& list : lists) {
+    if (list.empty()) continue;
+    if (merged.empty()) {
+      merged = list;
+      continue;
+    }
+    std::vector<DocId> next;
+    next.reserve(merged.size() + list.size());
+    std::set_union(merged.begin(), merged.end(), list.begin(), list.end(),
+                   std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return merged;
+}
+
+template <typename Key>
+Result<std::vector<DocId>> MergingReader::GetPostingsImpl(Key key) const {
+  std::vector<std::vector<DocId>> lists;
+  bool found = false;
+  for (const IndexReader* reader : readers_) {
+    Result<std::vector<DocId>> docs = reader->GetPostings(key);
+    if (!docs.ok()) {
+      // A reader without the word contributes nothing; any other failure
+      // (corruption, not materialized) is the overlay's failure too.
+      if (docs.status().IsNotFound()) continue;
+      return docs.status();
+    }
+    found = true;
+    lists.push_back(std::move(*docs));
+  }
+  if (!found) return Status::NotFound("word has no inverted list");
+  return MergeDocLists(lists);
+}
+
+Result<std::vector<DocId>> MergingReader::GetPostings(WordId word) const {
+  return GetPostingsImpl(word);
+}
+
+Result<std::vector<DocId>> MergingReader::GetPostings(
+    std::string_view word) const {
+  return GetPostingsImpl(word);
+}
+
+DocId MergingReader::next_doc_id() const {
+  DocId next = 0;
+  for (const IndexReader* reader : readers_) {
+    next = std::max(next, reader->next_doc_id());
+  }
+  return next;
+}
+
+void MergingReader::ForEachWord(
+    const std::function<void(WordId)>& fn) const {
+  std::unordered_set<WordId> seen;
+  for (const IndexReader* reader : readers_) {
+    reader->ForEachWord([&](WordId word) {
+      if (seen.insert(word).second) fn(word);
+    });
+  }
+}
+
+}  // namespace duplex::core

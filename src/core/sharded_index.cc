@@ -218,6 +218,24 @@ Result<std::vector<DocId>> ShardedIndex::GetPostings(
   return GetPostings(id);
 }
 
+void ShardedIndex::ForEachWord(
+    const std::function<void(WordId)>& fn) const {
+  std::shared_lock doc_lock(doc_mutex_);
+  // Shards partition the word space, so their enumerations are disjoint;
+  // one shard's shared lock is held at a time (never two).
+  for (const auto& shard : shards_) {
+    shard->WithRead(
+        [&](const InvertedIndex& index) { index.ForEachWord(fn); });
+  }
+  // The index-wide document buffer may hold words the shards also have;
+  // emit only the ones the owning shard does not know yet.
+  for (const auto& [word, list] : memory_index_.lists()) {
+    const bool flushed = shards_[ShardFor(word)]->WithRead(
+        [&](const InvertedIndex& index) { return index.Locate(word).exists; });
+    if (!flushed) fn(word);
+  }
+}
+
 void ShardedIndex::DeleteDocument(DocId doc) {
   {
     std::unique_lock lock(doc_mutex_);

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/index_reader.h"
 #include "core/index_shard.h"
 #include "core/index_stats.h"
 #include "core/inverted_index.h"
@@ -75,10 +76,10 @@ struct ShardedIndexOptions {
 // global disk ids disk_global = shard * disks_per_shard + disk_local, so
 // recorded traces are bit-identical across runs regardless of thread
 // scheduling.
-class ShardedIndex {
+class ShardedIndex : public IndexReader {
  public:
   explicit ShardedIndex(const ShardedIndexOptions& options);
-  ~ShardedIndex();
+  ~ShardedIndex() override;
 
   ShardedIndex(const ShardedIndex&) = delete;
   ShardedIndex& operator=(const ShardedIndex&) = delete;
@@ -113,12 +114,18 @@ class ShardedIndex {
   Status FlushDocuments();
   size_t buffered_documents() const;
 
-  // --- Query access (per-shard shared locks) ------------------------------
+  // --- Query access (the IndexReader surface; per-shard shared locks) -----
 
-  ListLocation Locate(WordId word) const;
-  ListLocation Locate(std::string_view word) const;
-  Result<std::vector<DocId>> GetPostings(WordId word) const;
-  Result<std::vector<DocId>> GetPostings(std::string_view word) const;
+  ListLocation Locate(WordId word) const override;
+  ListLocation Locate(std::string_view word) const override;
+  Result<std::vector<DocId>> GetPostings(WordId word) const override;
+  Result<std::vector<DocId>> GetPostings(
+      std::string_view word) const override;
+
+  // Every word with a list on any shard or in the index-wide document
+  // buffer, each exactly once (shards partition the word space, so only
+  // buffered words need a containment check).
+  void ForEachWord(const std::function<void(WordId)>& fn) const override;
 
   // --- Deletion ------------------------------------------------------------
 
@@ -186,7 +193,7 @@ class ShardedIndex {
         shard * options_.shard.disks.num_disks + local_disk);
   }
 
-  DocId next_doc_id() const;
+  DocId next_doc_id() const override;
   const text::Vocabulary& vocabulary() const { return vocabulary_; }
 
  private:

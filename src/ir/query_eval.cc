@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "util/metrics.h"
-#include "util/tracer.h"
+#include "ir/query_executor.h"
 
 namespace duplex::ir {
 
@@ -45,149 +44,27 @@ std::vector<DocId> Difference(const std::vector<DocId>& a,
   return out;
 }
 
-namespace {
-
-// Templated over the index type: anything providing Locate(string_view)
-// and GetPostings(string_view) — InvertedIndex evaluates in place,
-// ShardedIndex fans each term out to its owning shard.
-template <typename Index>
-Status EvalNode(const Index& index, const BooleanQuery& node,
-                QueryResult* result, std::vector<DocId>* out) {
-  switch (node.kind) {
-    case BooleanQuery::Kind::kTerm: {
-      const core::ListLocation loc = index.Locate(node.term);
-      if (!loc.exists) {
-        ++result->missing_terms;
-        out->clear();
-        return Status::OK();
-      }
-      result->read_ops += loc.chunks;
-      result->cached_read_ops += loc.cached_chunks;
-      result->postings_read += loc.postings;
-      Result<std::vector<DocId>> docs = index.GetPostings(node.term);
-      if (!docs.ok()) return docs.status();
-      *out = std::move(*docs);
-      return Status::OK();
-    }
-    case BooleanQuery::Kind::kAnd:
-    case BooleanQuery::Kind::kOr:
-    case BooleanQuery::Kind::kAndNot: {
-      std::vector<DocId> left;
-      std::vector<DocId> right;
-      DUPLEX_RETURN_IF_ERROR(EvalNode(index, *node.left, result, &left));
-      DUPLEX_RETURN_IF_ERROR(EvalNode(index, *node.right, result, &right));
-      if (node.kind == BooleanQuery::Kind::kAnd) {
-        *out = Intersect(left, right);
-      } else if (node.kind == BooleanQuery::Kind::kOr) {
-        *out = Union(left, right);
-      } else {
-        *out = Difference(left, right);
-      }
-      return Status::OK();
-    }
-  }
-  return Status::Internal("unreachable");
-}
-
-// Query evaluation has no owning object whose lifetime tracks the
-// registry, so handles are cached per thread and re-fetched only when the
-// installed registry changes. Identity is (pointer, uid): a new registry
-// can reuse a dead one's address, and uid() never repeats.
-struct QueryMetricHandles {
-  const MetricsRegistry* registry = nullptr;
-  uint64_t registry_uid = 0;
-  LatencyHistogram* query_ns = nullptr;
-  Counter* queries = nullptr;
-  Counter* read_ops = nullptr;
-  Counter* postings = nullptr;
-};
-
-QueryMetricHandles& QueryMetrics() {
-  static thread_local QueryMetricHandles handles;
-  MetricsRegistry* reg = GlobalMetrics();
-  if (reg == handles.registry &&
-      (reg == nullptr || reg->uid() == handles.registry_uid)) {
-    return handles;
-  }
-  handles.registry = reg;
-  if (reg == nullptr) {
-    handles.registry_uid = 0;
-    handles.query_ns = nullptr;
-    handles.queries = nullptr;
-    handles.read_ops = nullptr;
-    handles.postings = nullptr;
-    return handles;
-  }
-  handles.registry_uid = reg->uid();
-  handles.query_ns =
-      reg->GetHistogram("duplex_ir_query_ns", "Boolean query latency");
-  handles.queries =
-      reg->GetCounter("duplex_ir_queries_total", "Boolean queries evaluated");
-  handles.read_ops =
-      reg->GetCounter("duplex_ir_list_read_ops_total",
-                      "Disk read ops needed by query term lists");
-  handles.postings = reg->GetCounter("duplex_ir_postings_read_total",
-                                     "Postings scanned by queries");
-  return handles;
-}
-
-// Queries run in single-digit microseconds, so an unsampled span (string
-// attrs plus a mutex-guarded ring push) would dominate them. Sample 1 in
-// 64 per thread, first query included, so short runs still get a span.
-constexpr uint32_t kQuerySpanSampleEvery = 64;
-
-template <typename Index>
-Result<QueryResult> EvaluateBooleanImpl(const Index& index,
-                                        const BooleanQuery& query) {
-  QueryMetricHandles& metrics = QueryMetrics();
-  ScopedLatency timer(metrics.query_ns);
-  static thread_local uint32_t span_tick = 0;
-  Span span;
-  if (span_tick++ % kQuerySpanSampleEvery == 0) span = TraceSpan("ir.query");
-  QueryResult result;
-  DUPLEX_RETURN_IF_ERROR(EvalNode(index, query, &result, &result.docs));
-  if (metrics.queries != nullptr) {
-    metrics.queries->Inc();
-    metrics.read_ops->Inc(result.read_ops);
-    metrics.postings->Inc(result.postings_read);
-  }
-  if (span.active()) {
-    span.AddAttr("read_ops", result.read_ops);
-    span.AddAttr("postings", result.postings_read);
-    span.AddAttr("docs", static_cast<uint64_t>(result.docs.size()));
-  }
-  return result;
-}
-
-template <typename Index>
-Result<QueryResult> EvaluateBooleanImpl(const Index& index,
-                                        std::string_view query_text) {
-  Result<std::unique_ptr<BooleanQuery>> query =
-      ParseBooleanQuery(query_text);
-  if (!query.ok()) return query.status();
-  return EvaluateBooleanImpl(index, **query);
-}
-
-}  // namespace
+// The per-index-type overloads survive as forwarding shims so existing
+// call sites keep compiling; QueryExecutor is the single implementation.
 
 Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
                                     const BooleanQuery& query) {
-  return EvaluateBooleanImpl(index, query);
+  return QueryExecutor(index).EvaluateBoolean(query);
 }
 
 Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
                                     std::string_view query_text) {
-  return EvaluateBooleanImpl(index, query_text);
+  return QueryExecutor(index).EvaluateBoolean(query_text);
 }
 
 Result<QueryResult> EvaluateBoolean(const core::ShardedIndex& index,
                                     const BooleanQuery& query) {
-  return EvaluateBooleanImpl(index, query);
+  return QueryExecutor(index).EvaluateBoolean(query);
 }
 
 Result<QueryResult> EvaluateBoolean(const core::ShardedIndex& index,
                                     std::string_view query_text) {
-  return EvaluateBooleanImpl(index, query_text);
+  return QueryExecutor(index).EvaluateBoolean(query_text);
 }
 
 }  // namespace duplex::ir

@@ -33,7 +33,9 @@ struct QueryResult {
 };
 
 // Evaluates a boolean query against a materialized index. Unknown terms
-// evaluate to the empty list.
+// evaluate to the empty list. These overloads forward to ir::QueryExecutor
+// (see ir/query_executor.h), the single evaluator implementation; prefer
+// constructing an executor directly for new code.
 Result<QueryResult> EvaluateBoolean(const core::InvertedIndex& index,
                                     const BooleanQuery& query);
 

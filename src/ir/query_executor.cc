@@ -1,0 +1,165 @@
+#include "ir/query_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "util/metrics.h"
+#include "util/tracer.h"
+
+namespace duplex::ir {
+namespace {
+
+// Query evaluation has no owning object whose lifetime tracks the
+// registry, so handles are cached per thread and re-fetched only when the
+// installed registry changes. Identity is (pointer, uid): a new registry
+// can reuse a dead one's address, and uid() never repeats.
+struct QueryMetricHandles {
+  const MetricsRegistry* registry = nullptr;
+  uint64_t registry_uid = 0;
+  LatencyHistogram* query_ns = nullptr;
+  Counter* queries = nullptr;
+  Counter* read_ops = nullptr;
+  Counter* postings = nullptr;
+};
+
+QueryMetricHandles& QueryMetrics() {
+  static thread_local QueryMetricHandles handles;
+  MetricsRegistry* reg = GlobalMetrics();
+  if (reg == handles.registry &&
+      (reg == nullptr || reg->uid() == handles.registry_uid)) {
+    return handles;
+  }
+  handles.registry = reg;
+  if (reg == nullptr) {
+    handles.registry_uid = 0;
+    handles.query_ns = nullptr;
+    handles.queries = nullptr;
+    handles.read_ops = nullptr;
+    handles.postings = nullptr;
+    return handles;
+  }
+  handles.registry_uid = reg->uid();
+  handles.query_ns =
+      reg->GetHistogram("duplex_ir_query_ns", "Boolean query latency");
+  handles.queries =
+      reg->GetCounter("duplex_ir_queries_total", "Boolean queries evaluated");
+  handles.read_ops =
+      reg->GetCounter("duplex_ir_list_read_ops_total",
+                      "Disk read ops needed by query term lists");
+  handles.postings = reg->GetCounter("duplex_ir_postings_read_total",
+                                     "Postings scanned by queries");
+  return handles;
+}
+
+// Queries run in single-digit microseconds, so an unsampled span (string
+// attrs plus a mutex-guarded ring push) would dominate them. Sample 1 in
+// 64 per thread, first query included, so short runs still get a span.
+constexpr uint32_t kQuerySpanSampleEvery = 64;
+
+}  // namespace
+
+Status QueryExecutor::EvalNode(const BooleanQuery& node,
+                               CostAccumulator* cost,
+                               std::vector<DocId>* out) const {
+  switch (node.kind) {
+    case BooleanQuery::Kind::kTerm: {
+      if (!cost->Observe(reader_.Locate(node.term))) {
+        out->clear();
+        return Status::OK();
+      }
+      Result<std::vector<DocId>> docs = reader_.GetPostings(node.term);
+      if (!docs.ok()) return docs.status();
+      *out = std::move(*docs);
+      return Status::OK();
+    }
+    case BooleanQuery::Kind::kAnd:
+    case BooleanQuery::Kind::kOr:
+    case BooleanQuery::Kind::kAndNot: {
+      std::vector<DocId> left;
+      std::vector<DocId> right;
+      DUPLEX_RETURN_IF_ERROR(EvalNode(*node.left, cost, &left));
+      DUPLEX_RETURN_IF_ERROR(EvalNode(*node.right, cost, &right));
+      if (node.kind == BooleanQuery::Kind::kAnd) {
+        *out = Intersect(left, right);
+      } else if (node.kind == BooleanQuery::Kind::kOr) {
+        *out = Union(left, right);
+      } else {
+        *out = Difference(left, right);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<QueryResult> QueryExecutor::EvaluateBoolean(
+    const BooleanQuery& query) const {
+  QueryMetricHandles& metrics = QueryMetrics();
+  ScopedLatency timer(metrics.query_ns);
+  static thread_local uint32_t span_tick = 0;
+  Span span;
+  if (span_tick++ % kQuerySpanSampleEvery == 0) span = TraceSpan("ir.query");
+  CostAccumulator cost;
+  QueryResult result;
+  DUPLEX_RETURN_IF_ERROR(EvalNode(query, &cost, &result.docs));
+  result.read_ops = cost.read_ops;
+  result.cached_read_ops = cost.cached_read_ops;
+  result.postings_read = cost.postings_read;
+  result.missing_terms = cost.missing_terms;
+  if (metrics.queries != nullptr) {
+    metrics.queries->Inc();
+    metrics.read_ops->Inc(result.read_ops);
+    metrics.postings->Inc(result.postings_read);
+  }
+  if (span.active()) {
+    span.AddAttr("read_ops", result.read_ops);
+    span.AddAttr("postings", result.postings_read);
+    span.AddAttr("docs", static_cast<uint64_t>(result.docs.size()));
+  }
+  return result;
+}
+
+Result<QueryResult> QueryExecutor::EvaluateBoolean(
+    std::string_view query_text) const {
+  Result<std::unique_ptr<BooleanQuery>> query =
+      ParseBooleanQuery(query_text);
+  if (!query.ok()) return query.status();
+  return EvaluateBoolean(**query);
+}
+
+Result<VectorQueryResult> QueryExecutor::EvaluateVector(
+    const VectorQuery& query, size_t k, uint64_t total_docs) const {
+  VectorQueryResult result;
+  CostAccumulator cost;
+  std::unordered_map<DocId, double> accumulators;
+  for (const VectorQuery::TermWeight& tw : query.terms) {
+    if (!cost.Observe(reader_.Locate(tw.term))) continue;
+    Result<std::vector<DocId>> docs = reader_.GetPostings(tw.term);
+    if (!docs.ok()) return docs.status();
+    if (docs->empty()) continue;
+    const double idf =
+        std::log(1.0 + static_cast<double>(total_docs) /
+                           static_cast<double>(docs->size()));
+    const double contribution = tw.weight * idf;
+    for (const DocId d : *docs) accumulators[d] += contribution;
+  }
+  result.read_ops = cost.read_ops;
+  result.cached_read_ops = cost.cached_read_ops;
+  result.postings_read = cost.postings_read;
+  result.missing_terms = cost.missing_terms;
+  result.top.reserve(accumulators.size());
+  for (const auto& [doc, score] : accumulators) {
+    result.top.push_back({doc, score});
+  }
+  std::sort(result.top.begin(), result.top.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (result.top.size() > k) result.top.resize(k);
+  return result;
+}
+
+}  // namespace duplex::ir

@@ -7,19 +7,11 @@
 namespace duplex::ir {
 
 QueryWorkloadGenerator::QueryWorkloadGenerator(
-    const core::InvertedIndex& index, uint64_t seed)
+    const core::IndexReader& index, uint64_t seed)
     : index_(index), rng_(seed) {
-  // Collect all words with lists: long-list words from the directory and
-  // short-list words from the buckets.
-  for (const auto& [word, list] : index.long_list_store().directory().lists()) {
-    words_.push_back(word);
-  }
-  const core::BucketStore& buckets = index.bucket_store();
-  for (uint32_t b = 0; b < buckets.options().num_buckets; ++b) {
-    for (const auto& [word, list] : buckets.bucket(b).entries()) {
-      words_.push_back(word);
-    }
-  }
+  // Every word with a list right now, via the reader interface — long,
+  // bucket, and buffered words alike, whatever the backend.
+  index.ForEachWord([&](WordId word) { words_.push_back(word); });
   std::sort(words_.begin(), words_.end());
   cumulative_postings_.reserve(words_.size());
   uint64_t sum = 0;
@@ -69,7 +61,7 @@ QueryWorkloadGenerator::Cost QueryWorkloadGenerator::EstimateCost(
   const uint64_t start = MonotonicNanos();
   Cost cost;
   for (const WordId w : words) {
-    const core::InvertedIndex::ListLocation loc = index_.Locate(w);
+    const core::ListLocation loc = index_.Locate(w);
     if (!loc.exists) continue;
     cost.read_ops += loc.chunks;
     cost.postings += loc.postings;

@@ -4,7 +4,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/inverted_index.h"
+#include "core/index_reader.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/types.h"
 
@@ -21,8 +22,12 @@ namespace duplex::ir {
 //    sampling proportional to posting counts.
 class QueryWorkloadGenerator {
  public:
-  // Snapshots the index's current word -> posting-count distribution.
-  QueryWorkloadGenerator(const core::InvertedIndex& index, uint64_t seed);
+  // Snapshots the reader's current word -> posting-count distribution.
+  // Works over any core::IndexReader — InvertedIndex, ShardedIndex, a
+  // MergingReader overlay — via ForEachWord + Locate; the word walk is
+  // sorted, so the sampled sequences are deterministic for a given seed
+  // regardless of the backend's internal iteration order.
+  QueryWorkloadGenerator(const core::IndexReader& index, uint64_t seed);
 
   // Words with any inverted list right now.
   size_t vocabulary_size() const { return words_.size(); }
@@ -48,7 +53,7 @@ class QueryWorkloadGenerator {
   Cost EstimateCost(const std::vector<WordId>& words) const;
 
  private:
-  const core::InvertedIndex& index_;
+  const core::IndexReader& index_;
   Rng rng_;
   std::vector<WordId> words_;
   std::vector<uint64_t> cumulative_postings_;  // prefix sums over words_

@@ -27,4 +27,37 @@ ListReadEstimate EstimateListRead(const core::LongList& list,
   return estimate;
 }
 
+ListReadEstimate EstimateListRead(const core::InvertedIndex& index,
+                                  WordId word,
+                                  const storage::DiskModelParams& disk) {
+  const core::LongList* list =
+      index.long_list_store().directory().Find(word);
+  if (list == nullptr) return ListReadEstimate{};
+  return EstimateListRead(*list, disk);
+}
+
+std::vector<ListReadEstimate> EstimateLongestListReads(
+    const core::InvertedIndex& index, size_t n,
+    const storage::DiskModelParams& disk) {
+  std::vector<std::pair<WordId, const core::LongList*>> lists;
+  for (const auto& [word, list] :
+       index.long_list_store().directory().lists()) {
+    lists.emplace_back(word, &list);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->total_postings != b.second->total_postings) {
+                return a.second->total_postings > b.second->total_postings;
+              }
+              return a.first < b.first;
+            });
+  if (lists.size() > n) lists.resize(n);
+  std::vector<ListReadEstimate> estimates;
+  estimates.reserve(lists.size());
+  for (const auto& [word, list] : lists) {
+    estimates.push_back(EstimateListRead(*list, disk));
+  }
+  return estimates;
+}
+
 }  // namespace duplex::ir

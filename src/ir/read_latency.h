@@ -1,7 +1,10 @@
 #ifndef DUPLEX_IR_READ_LATENCY_H_
 #define DUPLEX_IR_READ_LATENCY_H_
 
+#include <vector>
+
 #include "core/directory.h"
+#include "core/inverted_index.h"
 #include "storage/disk_model.h"
 
 namespace duplex::ir {
@@ -25,6 +28,21 @@ struct ListReadEstimate {
 // of each disk's serial chunk-read time.
 ListReadEstimate EstimateListRead(const core::LongList& list,
                                   const storage::DiskModelParams& disk);
+
+// Index-level conveniences over the LongList primitive.
+
+// Estimate for one word's long list; a zero estimate when the word has
+// none (short and buffered lists cost no long-list reads).
+ListReadEstimate EstimateListRead(const core::InvertedIndex& index,
+                                  WordId word,
+                                  const storage::DiskModelParams& disk);
+
+// Estimates for the index's `n` longest lists by posting count — the
+// lists vector queries actually fetch. Ordered longest first; ties break
+// by ascending word id so the result is deterministic across runs.
+std::vector<ListReadEstimate> EstimateLongestListReads(
+    const core::InvertedIndex& index, size_t n,
+    const storage::DiskModelParams& disk);
 
 }  // namespace duplex::ir
 

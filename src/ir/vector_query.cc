@@ -1,62 +1,21 @@
 #include "ir/vector_query.h"
 
-#include <algorithm>
-#include <cmath>
-#include <unordered_map>
+#include "ir/query_executor.h"
 
 namespace duplex::ir {
-namespace {
 
-// Templated over the index type (see query_eval.cc): InvertedIndex reads
-// in place, ShardedIndex fetches each term from its owning shard.
-template <typename Index>
-Result<VectorQueryResult> EvaluateVectorImpl(const Index& index,
-                                             const VectorQuery& query,
-                                             size_t k, uint64_t total_docs) {
-  VectorQueryResult result;
-  std::unordered_map<DocId, double> accumulators;
-  for (const VectorQuery::TermWeight& tw : query.terms) {
-    const core::ListLocation loc = index.Locate(tw.term);
-    if (!loc.exists) {
-      ++result.missing_terms;
-      continue;
-    }
-    result.read_ops += loc.chunks;
-    result.postings_read += loc.postings;
-    Result<std::vector<DocId>> docs = index.GetPostings(tw.term);
-    if (!docs.ok()) return docs.status();
-    if (docs->empty()) continue;
-    const double idf =
-        std::log(1.0 + static_cast<double>(total_docs) /
-                           static_cast<double>(docs->size()));
-    const double contribution = tw.weight * idf;
-    for (const DocId d : *docs) accumulators[d] += contribution;
-  }
-  result.top.reserve(accumulators.size());
-  for (const auto& [doc, score] : accumulators) {
-    result.top.push_back({doc, score});
-  }
-  std::sort(result.top.begin(), result.top.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  if (result.top.size() > k) result.top.resize(k);
-  return result;
-}
-
-}  // namespace
+// Forwarding shims; QueryExecutor::EvaluateVector is the implementation.
 
 Result<VectorQueryResult> EvaluateVector(const core::InvertedIndex& index,
                                          const VectorQuery& query, size_t k,
                                          uint64_t total_docs) {
-  return EvaluateVectorImpl(index, query, k, total_docs);
+  return QueryExecutor(index).EvaluateVector(query, k, total_docs);
 }
 
 Result<VectorQueryResult> EvaluateVector(const core::ShardedIndex& index,
                                          const VectorQuery& query, size_t k,
                                          uint64_t total_docs) {
-  return EvaluateVectorImpl(index, query, k, total_docs);
+  return QueryExecutor(index).EvaluateVector(query, k, total_docs);
 }
 
 }  // namespace duplex::ir

@@ -33,6 +33,10 @@ struct VectorQueryResult {
   uint64_t read_ops = 0;
   uint64_t postings_read = 0;
   uint64_t missing_terms = 0;
+  // Of read_ops, how many were buffer-pool resident at evaluation time —
+  // charged by the same CostAccumulator as boolean queries, so identical
+  // term sequences report identical costs across both query kinds.
+  uint64_t cached_read_ops = 0;
 };
 
 // Evaluates a vector query, returning the k highest-scored documents.

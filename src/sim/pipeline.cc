@@ -3,11 +3,41 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "ir/query_workload.h"
 #include "sim/observability.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace duplex::sim {
+namespace {
+
+// One probe round: samples `queries` term sets from a fresh generator
+// over `reader` (seeded per update so the sampled words track the growing
+// vocabulary deterministically) and appends the mean read cost and cached
+// fraction to the series.
+void RunQueryProbe(const SimConfig& config, const core::IndexReader& reader,
+                   uint64_t update, std::vector<double>* probe_read_ops,
+                   std::vector<double>* probe_cached_fraction) {
+  if (config.query_probe_queries == 0) return;
+  ir::QueryWorkloadGenerator generator(
+      reader, config.query_probe_seed + update);
+  uint64_t read_ops = 0;
+  uint64_t cached = 0;
+  for (uint32_t q = 0; q < config.query_probe_queries; ++q) {
+    const ir::QueryWorkloadGenerator::Cost cost = generator.EstimateCost(
+        generator.SampleBooleanTerms(config.query_probe_terms));
+    read_ops += cost.read_ops;
+    cached += cost.cached_read_ops;
+  }
+  probe_read_ops->push_back(static_cast<double>(read_ops) /
+                            static_cast<double>(config.query_probe_queries));
+  probe_cached_fraction->push_back(
+      read_ops == 0 ? 0.0
+                    : static_cast<double>(cached) /
+                          static_cast<double>(read_ops));
+}
+
+}  // namespace
 
 core::IndexOptions SimConfig::ToIndexOptions(
     const core::Policy& policy) const {
@@ -111,6 +141,7 @@ PolicyRunResult RunPolicy(const SimConfig& config,
   // construction, and the scope's exporter runs after `index` dies.
   ObservabilityScope observability(config.observability_dir);
   core::InvertedIndex index(config.ToIndexOptions(policy));
+  uint64_t update = 0;
   for (const text::BatchUpdate& batch : batches) {
     DUPLEX_CHECK_OK(index.ApplyBatchUpdate(batch));
     const core::IndexStats stats = index.Stats();
@@ -118,6 +149,8 @@ PolicyRunResult RunPolicy(const SimConfig& config,
     result.utilization.push_back(stats.long_utilization);
     result.avg_reads_per_list.push_back(stats.avg_reads_per_list);
     result.long_words.push_back(stats.long_words);
+    RunQueryProbe(config, index, update++, &result.probe_read_ops,
+                  &result.probe_cached_fraction);
   }
   result.categories = index.update_categories();
   result.final_stats = index.Stats();
@@ -140,9 +173,12 @@ ShardedRunResult RunPolicySharded(const SimConfig& config,
   ObservabilityScope observability(config.observability_dir);
   core::ShardedIndex index(core::ShardedIndexOptions::Partition(
       config.ToIndexOptions(policy), num_shards, threads));
+  uint64_t update = 0;
   for (const text::BatchUpdate& batch : batches) {
     DUPLEX_CHECK_OK(index.ApplyBatchUpdate(batch));
     result.cumulative_io_ops.push_back(index.Stats().io_ops);
+    RunQueryProbe(config, index, update++, &result.probe_read_ops,
+                  &result.probe_cached_fraction);
   }
   result.shard_stats = index.ShardStats();
   result.final_stats = core::MergeStats(result.shard_stats);

@@ -59,6 +59,18 @@ struct SimConfig {
   // returning. Empty (the default) records nothing and costs nothing.
   std::string observability_dir;
 
+  // Optional per-update query-cost probe: after each batch apply, sample
+  // `query_probe_queries` boolean-style term sets (each of
+  // `query_probe_terms` terms) through an ir::QueryWorkloadGenerator over
+  // the index's reader interface, and record the mean estimated read cost
+  // into the run result. The probe issues no device I/O — it reads the
+  // directory and buckets exactly as a real query planner would — so
+  // traces and paper-figure series are bit-identical with it on or off.
+  // 0 queries (the default) disables the probe entirely.
+  uint32_t query_probe_queries = 0;
+  uint32_t query_probe_terms = 4;
+  uint64_t query_probe_seed = 7;
+
   core::IndexOptions ToIndexOptions(const core::Policy& policy) const;
   storage::ExecutorOptions ToExecutorOptions(
       const storage::DiskModelParams& disk =
@@ -110,6 +122,11 @@ struct PolicyRunResult {
   core::CompactionStats compaction;
   storage::IoTrace trace;  // replayable by TraceExecutor (Figures 13/14)
   double harness_seconds = 0.0;
+  // Query-cost probe series, one entry per update (empty when
+  // SimConfig::query_probe_queries == 0): mean read ops per sampled query
+  // after that update, and the cached fraction of those reads.
+  std::vector<double> probe_read_ops;
+  std::vector<double> probe_cached_fraction;
 };
 
 // Runs one policy over a pre-generated batch stream.
@@ -129,6 +146,11 @@ struct ShardedRunResult {
   std::vector<core::UpdateCategories> categories;  // summed across shards
   storage::IoTrace trace;  // deterministic merged trace (global disk ids)
   double harness_seconds = 0.0;
+  // Query-cost probe series, as in PolicyRunResult (the same generator
+  // runs over the ShardedIndex's reader interface, so single-shard probe
+  // numbers match RunPolicy exactly).
+  std::vector<double> probe_read_ops;
+  std::vector<double> probe_cached_fraction;
 };
 
 // Runs one policy over the stream through `num_shards` shards. The total

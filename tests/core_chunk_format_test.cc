@@ -1,0 +1,287 @@
+#include "core/chunk_format.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/scrub.h"
+#include "storage/block_device.h"
+#include "text/batch.h"
+
+namespace duplex::core {
+namespace {
+
+// --- Header codec unit fuzz ------------------------------------------------
+
+std::string EncodedHeader(CodecKind codec = CodecKind::kVByte) {
+  ChunkHeader header;
+  header.codec = codec;
+  std::string bytes;
+  EncodeChunkHeader(header, &bytes);
+  return bytes;
+}
+
+TEST(ChunkHeaderTest, RoundTripsEveryCodec) {
+  for (const CodecKind codec :
+       {CodecKind::kVByte, CodecKind::kEliasGamma, CodecKind::kEliasDelta}) {
+    const std::string bytes = EncodedHeader(codec);
+    ASSERT_EQ(bytes.size(), kChunkHeaderSize);
+    Result<ChunkHeader> decoded = DecodeChunkHeader(bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->version, kChunkFormatV1);
+    EXPECT_EQ(decoded->codec, codec);
+    EXPECT_EQ(CodecKindId(codec), static_cast<uint8_t>(bytes[3]));
+  }
+}
+
+TEST(ChunkHeaderTest, EveryTruncationFailsTyped) {
+  const std::string bytes = EncodedHeader();
+  for (size_t len = 0; len < kChunkHeaderSize; ++len) {
+    Result<ChunkHeader> decoded =
+        DecodeChunkHeader(std::string_view(bytes.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "length " << len;
+    EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+  }
+}
+
+TEST(ChunkHeaderTest, BadMagicFailsTyped) {
+  for (const size_t byte : {size_t{0}, size_t{1}}) {
+    std::string bytes = EncodedHeader();
+    bytes[byte] ^= 0x5A;
+    Result<ChunkHeader> decoded = DecodeChunkHeader(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST(ChunkHeaderTest, UnknownVersionFailsTyped) {
+  std::string bytes = EncodedHeader();
+  bytes[2] = static_cast<char>(kChunkFormatV1 + 1);
+  EXPECT_TRUE(DecodeChunkHeader(bytes).status().IsCorruption());
+  bytes[2] = static_cast<char>(0xFF);
+  EXPECT_TRUE(DecodeChunkHeader(bytes).status().IsCorruption());
+}
+
+TEST(ChunkHeaderTest, UnknownCodecFailsTyped) {
+  std::string bytes = EncodedHeader();
+  bytes[3] = static_cast<char>(0x7F);
+  EXPECT_TRUE(DecodeChunkHeader(bytes).status().IsCorruption());
+  EXPECT_FALSE(CodecKindFromId(0x7F).ok());
+}
+
+TEST(ChunkHeaderTest, NonzeroFlagsOrReservedFailsTyped) {
+  for (size_t byte = 4; byte < kChunkHeaderSize; ++byte) {
+    std::string bytes = EncodedHeader();
+    bytes[byte] = 0x01;
+    Result<ChunkHeader> decoded = DecodeChunkHeader(bytes);
+    ASSERT_FALSE(decoded.ok()) << "byte " << byte;
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+// --- End-to-end through the long-list store --------------------------------
+
+IndexOptions Options(uint8_t chunk_format,
+                     CodecKind codec = CodecKind::kVByte,
+                     bool checksums = false) {
+  IndexOptions o;
+  o.buckets.num_buckets = 16;
+  o.buckets.bucket_capacity = 32;
+  o.policy = Policy::RecommendedUpdateOptimized();
+  o.block_postings = 16;
+  o.disks.num_disks = 1;
+  o.disks.blocks_per_disk = 1 << 16;
+  o.disks.block_size_bytes = 128;
+  o.disks.checksums = checksums;
+  o.materialize = true;
+  o.chunk_format = chunk_format;
+  o.long_list_codec = codec;
+  return o;
+}
+
+constexpr int kWords = 8;
+
+// Several small batches so long lists grow through the append path, not
+// just the initial chunk write.
+void FillIndex(InvertedIndex* index) {
+  DocId next_doc = 0;
+  for (int b = 0; b < 5; ++b) {
+    text::InvertedBatch batch;
+    for (WordId w = 0; w < kWords; ++w) {
+      std::vector<DocId> docs;
+      for (int d = 0; d < 40; ++d) {
+        if ((next_doc + d + w) % (1 + w) == 0) {
+          docs.push_back(next_doc + d);
+        }
+      }
+      if (!docs.empty()) batch.entries.push_back({w, std::move(docs)});
+    }
+    next_doc += 40;
+    ASSERT_TRUE(index->ApplyInvertedBatch(batch).ok());
+  }
+}
+
+// Finds a long word whose first chunk holds encoded bytes.
+WordId FindLongWord(const InvertedIndex& index) {
+  for (WordId w = 0; w < kWords; ++w) {
+    const LongList* list = index.long_list_store().directory().Find(w);
+    if (list != nullptr && !list->chunks.empty() &&
+        list->chunks[0].byte_length > 0) {
+      return w;
+    }
+  }
+  ADD_FAILURE() << "no long word materialized";
+  return 0;
+}
+
+TEST(ChunkFormatEndToEndTest, NewChunksCarryVersionedHeaders) {
+  InvertedIndex index(Options(kChunkFormatV1, CodecKind::kVByte));
+  FillIndex(&index);
+  size_t chunks = 0;
+  for (const auto& [word, list] :
+       index.long_list_store().directory().lists()) {
+    for (const ChunkRef& chunk : list.chunks) {
+      EXPECT_EQ(chunk.format, kChunkFormatV1);
+      Result<CodecKind> codec = CodecKindFromId(chunk.codec);
+      ASSERT_TRUE(codec.ok());
+      EXPECT_EQ(*codec, CodecKind::kVByte);
+      ++chunks;
+    }
+  }
+  EXPECT_GT(chunks, 0u);
+}
+
+// Flip every one of the 16 header bytes in turn (below any checksum
+// layer); each flip must surface as typed kCorruption, never as garbage
+// postings, and restoring the byte must restore the exact list.
+TEST(ChunkFormatEndToEndTest, HeaderByteFlipsFailTyped) {
+  InvertedIndex index(Options(kChunkFormatV1));
+  FillIndex(&index);
+  const WordId word = FindLongWord(index);
+  const Result<std::vector<DocId>> expected = index.GetPostings(word);
+  ASSERT_TRUE(expected.ok());
+
+  const ChunkRef chunk =
+      index.long_list_store().directory().Find(word)->chunks[0];
+  storage::MemBlockDevice* dev = index.disks().base_device(chunk.range.disk);
+  for (uint64_t offset = 0; offset < kChunkHeaderSize; ++offset) {
+    uint8_t original = 0;
+    ASSERT_TRUE(dev->Read(chunk.range.start, offset, &original, 1).ok());
+    const uint8_t flipped = original ^ 0xFF;
+    ASSERT_TRUE(dev->Write(chunk.range.start, offset, &flipped, 1).ok());
+
+    Result<std::vector<DocId>> got = index.GetPostings(word);
+    ASSERT_FALSE(got.ok()) << "header byte " << offset;
+    EXPECT_TRUE(got.status().IsCorruption()) << got.status();
+
+    ASSERT_TRUE(dev->Write(chunk.range.start, offset, &original, 1).ok());
+    got = index.GetPostings(word);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *expected);
+  }
+}
+
+// The sneaky flip: the codec byte rewritten to a *different valid* codec
+// id still parses as a well-formed header, so only the cross-check
+// against the directory's recorded codec can catch it.
+TEST(ChunkFormatEndToEndTest, ValidButWrongCodecByteFailsTyped) {
+  InvertedIndex index(Options(kChunkFormatV1, CodecKind::kVByte));
+  FillIndex(&index);
+  const WordId word = FindLongWord(index);
+  const ChunkRef chunk =
+      index.long_list_store().directory().Find(word)->chunks[0];
+  storage::MemBlockDevice* dev = index.disks().base_device(chunk.range.disk);
+  const uint8_t gamma_id = CodecKindId(CodecKind::kEliasGamma);
+  ASSERT_TRUE(dev->Write(chunk.range.start, 3, &gamma_id, 1).ok());
+
+  Result<std::vector<DocId>> got = index.GetPostings(word);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status();
+}
+
+// With device checksums on, header bytes sit inside checksummed blocks
+// like any other payload byte, so the integrity layer fails the read
+// before header parsing even runs.
+TEST(ChunkFormatEndToEndTest, ChecksumsCoverHeaderBytes) {
+  InvertedIndex index(
+      Options(kChunkFormatV1, CodecKind::kVByte, /*checksums=*/true));
+  FillIndex(&index);
+  const WordId word = FindLongWord(index);
+  const ChunkRef chunk =
+      index.long_list_store().directory().Find(word)->chunks[0];
+  storage::MemBlockDevice* dev = index.disks().base_device(chunk.range.disk);
+  uint8_t byte = 0;
+  ASSERT_TRUE(dev->Read(chunk.range.start, 2, &byte, 1).ok());
+  byte ^= 0x01;
+  ASSERT_TRUE(dev->Write(chunk.range.start, 2, &byte, 1).ok());
+  Result<std::vector<DocId>> got = index.GetPostings(word);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption());
+}
+
+// v0 compatibility: an index written in the pre-versioning headerless
+// format returns bit-identical postings to a v1 index over the same
+// batches, and scrubs clean under device checksums.
+TEST(ChunkFormatEndToEndTest, LegacyFormatReadsIdenticallyAndScrubsClean) {
+  InvertedIndex legacy(
+      Options(kChunkFormatLegacy, CodecKind::kVByte, /*checksums=*/true));
+  InvertedIndex v1(
+      Options(kChunkFormatV1, CodecKind::kVByte, /*checksums=*/true));
+  FillIndex(&legacy);
+  FillIndex(&v1);
+
+  for (WordId w = 0; w < kWords; ++w) {
+    const Result<std::vector<DocId>> from_legacy = legacy.GetPostings(w);
+    const Result<std::vector<DocId>> from_v1 = v1.GetPostings(w);
+    ASSERT_EQ(from_legacy.ok(), from_v1.ok()) << "word " << w;
+    if (from_legacy.ok()) {
+      EXPECT_EQ(*from_legacy, *from_v1) << "word " << w;
+    }
+  }
+  for (const auto& [word, list] :
+       legacy.long_list_store().directory().lists()) {
+    for (const ChunkRef& chunk : list.chunks) {
+      EXPECT_EQ(chunk.format, kChunkFormatLegacy);
+    }
+  }
+  EXPECT_TRUE(legacy.VerifyIntegrity().ok());
+  Result<ScrubReport> report = ScrubIndex(&legacy, /*wal=*/nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
+// Bitwise codecs ride the same header + append machinery: postings round
+// trip exactly, the codec id round-trips through the directory, and no
+// in-place tail append ever fires (padded segments cannot concatenate).
+TEST(ChunkFormatEndToEndTest, EliasCodecsRoundTripWithoutInPlaceAppends) {
+  InvertedIndex reference(Options(kChunkFormatV1, CodecKind::kVByte));
+  FillIndex(&reference);
+  for (const CodecKind codec :
+       {CodecKind::kEliasGamma, CodecKind::kEliasDelta}) {
+    InvertedIndex index(Options(kChunkFormatV1, codec));
+    FillIndex(&index);
+    for (WordId w = 0; w < kWords; ++w) {
+      const Result<std::vector<DocId>> expected = reference.GetPostings(w);
+      const Result<std::vector<DocId>> got = index.GetPostings(w);
+      ASSERT_EQ(expected.ok(), got.ok()) << "word " << w;
+      if (expected.ok()) {
+        EXPECT_EQ(*got, *expected) << "word " << w;
+      }
+    }
+    for (const auto& [word, list] :
+         index.long_list_store().directory().lists()) {
+      for (const ChunkRef& chunk : list.chunks) {
+        Result<CodecKind> round = CodecKindFromId(chunk.codec);
+        ASSERT_TRUE(round.ok());
+        EXPECT_EQ(*round, codec);
+      }
+    }
+    EXPECT_EQ(index.long_list_store().counters().in_place_updates, 0u);
+    EXPECT_TRUE(index.VerifyIntegrity().ok());
+  }
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -14,7 +14,7 @@ IndexOptions SmallOptions(const Policy& policy, bool materialize = false) {
   o.bucket_unit_bytes = 16;
   o.disks.num_disks = 2;
   o.disks.blocks_per_disk = 1 << 16;
-  o.disks.block_size_bytes = 64;
+  o.disks.block_size_bytes = 80;
   o.materialize = materialize;
   return o;
 }

@@ -20,7 +20,7 @@ class LongListStoreTest : public ::testing::Test {
     storage::DiskArrayOptions disk_opts;
     disk_opts.num_disks = num_disks;
     disk_opts.blocks_per_disk = 4096;
-    disk_opts.block_size_bytes = 64;  // >= 5 * block_postings
+    disk_opts.block_size_bytes = 80;  // >= 5 * block_postings + header
     disk_opts.materialize_payloads = materialize;
     disks_ = std::make_unique<storage::DiskArray>(disk_opts);
     LongListStoreOptions opts;

@@ -15,7 +15,7 @@ IndexOptions Options(bool materialize) {
   o.block_postings = 10;
   o.disks.num_disks = 2;
   o.disks.blocks_per_disk = 1 << 16;
-  o.disks.block_size_bytes = 64;
+  o.disks.block_size_bytes = 80;
   o.materialize = materialize;
   return o;
 }

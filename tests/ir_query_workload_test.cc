@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/inverted_index.h"
 #include "text/batch.h"
 
 namespace duplex::ir {

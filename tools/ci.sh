@@ -7,7 +7,8 @@
 # (-DDUPLEX_SANITIZE=address,undefined) — crash-path code runs rarely in
 # production, so memory errors there hide longest. Finishes with smoke
 # runs of the cache-sweep and compaction benches so BENCH_cache.json and
-# BENCH_compaction.json stay fresh.
+# BENCH_compaction.json stay fresh, plus the read-path bench gate that
+# fails if the QueryExecutor seam regresses query throughput by >2%.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -34,6 +35,10 @@ echo "=== Compaction pass (property + options + crash sweep + codec fuzz) ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'Compaction|CodecRoundTrip|CodecFuzz|DiskArray'
 
+echo "=== Read-path pass (executor equivalence + chunk format + merging reader) ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'QueryExecutor|ChunkHeader|ChunkFormat|MergingReader|MergeDocLists'
+
 echo "=== Observability pass (metrics + tracing + CLI exposition) ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'Counter|Gauge|LatencyHistogram|MetricsRegistry|GlobalMetrics|ScopedLatency|Tracer|ObservabilityScope|ObservedPipeline|ObservedComponents'
@@ -48,9 +53,10 @@ cmake -B build-ci-tsan -S . "${GEN[@]}" \
 cmake --build build-ci-tsan -j "$JOBS" --target \
   util_thread_pool_test core_concurrent_index_test \
   core_sharded_index_test core_cache_stress_test \
-  core_compaction_stress_test observability_stress_test
+  core_compaction_stress_test observability_stress_test \
+  core_merging_reader_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress'
 
 echo "=== ASan+UBSan build + recovery tests ==="
 cmake -B build-ci-asan -S . "${GEN[@]}" \
@@ -59,9 +65,10 @@ cmake -B build-ci-asan -S . "${GEN[@]}" \
 cmake --build build-ci-asan -j "$JOBS" --target \
   storage_fault_injection_test integration_crash_sweep_test \
   core_sharded_recovery_test core_batch_log_test \
-  core_compaction_property_test core_codec_family_test
+  core_compaction_property_test core_codec_family_test \
+  core_chunk_format_test
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
-  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz'
+  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz|ChunkHeader|ChunkFormat'
 
 echo "=== Cache-sweep bench smoke (writes BENCH_cache.json) ==="
 DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
@@ -72,5 +79,8 @@ echo "=== Compaction bench smoke (writes BENCH_compaction.json) ==="
 DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
 DUPLEX_BENCH_DOCS="${DUPLEX_BENCH_DOCS:-150}" \
   ./build-ci-release/bench/bench_ext_compaction >/dev/null
+
+echo "=== Read-path bench smoke (executor vs direct-overload, <2% budget) ==="
+./build-ci-release/bench/bench_ext_read_path
 
 echo "CI OK"
