@@ -1,0 +1,314 @@
+// Extension: duplexd saturation under mixed read/update traffic. An
+// in-process net::Server fronts a ShardedIndex seeded with a synthetic
+// corpus; N client connections drive a ~90/5/5 boolean/vector/submit mix
+// through a QPS sweep ending in an unthrottled point, each connection
+// keeping a bounded pipeline window in flight. Per load point we report
+// achieved throughput, p50/p95/p99 request latency, and the rejection
+// rate — past saturation the server answers typed BUSY instead of
+// queueing without bound, so latency plateaus while rejections absorb
+// the excess. Machine-readable output goes to BENCH_server.json.
+//
+// Scale knobs (environment):
+//   DUPLEX_BENCH_NET_CONNS    client connections        (default 8)
+//   DUPLEX_BENCH_NET_MS       wall-clock per load point (default 2000)
+//   DUPLEX_BENCH_NET_WINDOW   in-flight cap per conn    (default 16)
+//   DUPLEX_BENCH_NET_WORKERS  server worker threads     (default 4)
+//   DUPLEX_BENCH_NET_QUEUE    server global queue bound (default 256)
+//   DUPLEX_BENCH_NET_DOCS     seed corpus documents     (default 2000)
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/sharded_index.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/service.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace duplex;
+
+constexpr size_t kPoolWords = 64;
+
+std::string PoolWord(uint64_t i) { return "word" + std::to_string(i); }
+
+std::string SynthDocument(Rng& rng, int words) {
+  std::string text;
+  for (int w = 0; w < words; ++w) {
+    text += PoolWord(rng.Uniform(kPoolWords));
+    text += ' ';
+  }
+  return text;
+}
+
+// Per-connection traffic counters plus the latency histogram; merged
+// across connections per load point.
+struct ConnResult {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+  LatencyHistogram latency;
+};
+
+struct LoadPoint {
+  uint64_t target_qps = 0;  // 0 = unthrottled
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+  double achieved_qps = 0.0;
+  double rejection_rate = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// One connection's worth of offered load: paced sends with up to `window`
+// requests outstanding, responses matched by request id (rejections come
+// back out of order — the reader thread answers BUSY before the worker
+// pool answers anything). The mix is ~90% boolean, 5% vector, 5% submit.
+void DriveConnection(uint16_t port, uint64_t seed, uint64_t run_ns,
+                     uint64_t interval_ns, uint32_t window,
+                     ConnResult* out) {
+  ConnResult& result = *out;
+  Result<net::Client> client = net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    ++result.errors;
+    return;
+  }
+  Rng rng(seed);
+  std::unordered_map<uint64_t, uint64_t> sent_ns;
+  const uint64_t start = MonotonicNanos();
+  uint64_t next_send = start;
+  while (true) {
+    const uint64_t now = MonotonicNanos();
+    const bool window_open = sent_ns.size() < window;
+    const bool time_left = now - start < run_ns;
+    if (time_left && window_open && now >= next_send) {
+      const uint64_t kind = rng.Uniform(100);
+      Result<uint64_t> id = Status::OK();
+      if (kind < 90) {
+        net::BooleanQueryRequest req;
+        req.query = PoolWord(rng.Uniform(kPoolWords)) + " AND " +
+                    PoolWord(rng.Uniform(kPoolWords));
+        id = client->Send(net::Opcode::kBooleanQuery,
+                          EncodeBooleanQueryRequest(req));
+      } else if (kind < 95) {
+        net::VectorQueryRequest req;
+        req.k = 10;
+        for (int t = 0; t < 3; ++t) {
+          req.query.terms.push_back({PoolWord(rng.Uniform(kPoolWords)), 1.0});
+        }
+        id = client->Send(net::Opcode::kVectorQuery,
+                          EncodeVectorQueryRequest(req));
+      } else {
+        net::SubmitDocumentsRequest req;
+        req.documents.push_back(SynthDocument(rng, 12));
+        id = client->Send(net::Opcode::kSubmitDocuments,
+                          EncodeSubmitDocumentsRequest(req));
+      }
+      if (!id.ok()) {
+        ++result.errors;
+        return;
+      }
+      sent_ns.emplace(*id, MonotonicNanos());
+      ++result.sent;
+      if (interval_ns > 0) next_send += interval_ns;
+      continue;
+    }
+    if (sent_ns.empty()) {
+      if (!time_left) break;
+      continue;  // paced idle gap, nothing outstanding
+    }
+    Result<net::ClientResponse> resp = client->Receive();
+    if (!resp.ok()) {
+      result.errors += sent_ns.size();
+      return;
+    }
+    auto it = sent_ns.find(resp->request_id);
+    if (it == sent_ns.end()) {
+      ++result.errors;
+      continue;
+    }
+    const uint64_t elapsed = MonotonicNanos() - it->second;
+    sent_ns.erase(it);
+    if (resp->status.ok()) {
+      ++result.ok;
+      result.latency.Record(elapsed);
+    } else if (resp->status.IsResourceExhausted()) {
+      ++result.busy;  // typed backpressure, not a latency sample
+    } else {
+      ++result.errors;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto conns =
+      static_cast<uint32_t>(bench::EnvOr("DUPLEX_BENCH_NET_CONNS", 8));
+  const uint64_t run_ms = bench::EnvOr("DUPLEX_BENCH_NET_MS", 2000);
+  const auto window =
+      static_cast<uint32_t>(bench::EnvOr("DUPLEX_BENCH_NET_WINDOW", 16));
+  const auto workers =
+      static_cast<uint32_t>(bench::EnvOr("DUPLEX_BENCH_NET_WORKERS", 4));
+  const auto queue =
+      static_cast<uint32_t>(bench::EnvOr("DUPLEX_BENCH_NET_QUEUE", 256));
+  const uint64_t seed_docs = bench::EnvOr("DUPLEX_BENCH_NET_DOCS", 2000);
+
+  // Server side: a sharded index seeded with a deterministic corpus.
+  core::IndexOptions total;
+  total.buckets.num_buckets = 1024;
+  total.buckets.bucket_capacity = 512;
+  total.policy = core::Policy::RecommendedUpdateOptimized();
+  total.block_postings = 128;
+  total.disks.num_disks = 2;
+  total.disks.blocks_per_disk = 1 << 20;
+  total.materialize = true;
+  core::ShardedIndex index(core::ShardedIndexOptions::Partition(total, 4));
+  {
+    Stopwatch watch;
+    Rng rng(1234);
+    for (uint64_t d = 0; d < seed_docs; ++d) {
+      index.AddDocument(SynthDocument(rng, 24));
+      if (index.buffered_documents() >= 256) {
+        if (!index.FlushDocuments().ok()) return 1;
+      }
+    }
+    if (!index.FlushDocuments().ok()) return 1;
+    std::cerr << "[bench] seeded " << seed_docs << " documents in "
+              << watch.ElapsedSeconds() << "s\n";
+  }
+
+  net::ShardedIndexService service(&index, /*wal=*/nullptr);
+  net::ServerOptions options;
+  options.port = 0;
+  options.num_workers = workers;
+  options.global_queue = queue;
+  options.per_connection_queue = window;
+  net::Server server(&service, options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << "[bench] cannot start server: " << s << "\n";
+    return 1;
+  }
+  std::cerr << "[bench] server on port " << server.port() << " ("
+            << workers << " workers, queue " << queue << ")\n";
+
+  const std::vector<uint64_t> sweep_qps = {1000, 4000, 16000, 0};
+  std::vector<LoadPoint> points;
+  for (const uint64_t qps : sweep_qps) {
+    Stopwatch watch;
+    const uint64_t run_ns = run_ms * 1000 * 1000;
+    const uint64_t interval_ns =
+        qps == 0 ? 0 : (1000ull * 1000 * 1000 * conns) / qps;
+    std::vector<ConnResult> per_conn(conns);
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    for (uint32_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        DriveConnection(server.port(), 77 + qps * 131 + c, run_ns,
+                        interval_ns, window, &per_conn[c]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    LoadPoint point;
+    point.target_qps = qps;
+    LatencyHistogram merged;
+    for (const ConnResult& r : per_conn) {
+      point.sent += r.sent;
+      point.ok += r.ok;
+      point.busy += r.busy;
+      point.errors += r.errors;
+      merged.Merge(r.latency);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    point.achieved_qps =
+        seconds > 0 ? static_cast<double>(point.ok) / seconds : 0.0;
+    point.rejection_rate =
+        point.sent > 0
+            ? static_cast<double>(point.busy) / static_cast<double>(point.sent)
+            : 0.0;
+    point.p50_us = merged.Percentile(50) / 1000.0;
+    point.p95_us = merged.Percentile(95) / 1000.0;
+    point.p99_us = merged.Percentile(99) / 1000.0;
+    points.push_back(point);
+    std::cerr << "[bench] qps target "
+              << (qps == 0 ? std::string("max") : std::to_string(qps))
+              << ": " << point.sent << " sent, " << point.busy
+              << " busy, " << point.errors << " errors in " << seconds
+              << "s\n";
+    if (point.errors > 0) {
+      std::cerr << "[bench] hard errors during sweep\n";
+      return 1;
+    }
+  }
+  server.Stop();
+
+  TableWriter table({"target qps", "achieved qps", "sent", "ok", "busy",
+                     "reject rate", "p50 us", "p95 us", "p99 us"});
+  for (const LoadPoint& p : points) {
+    table.Row()
+        .Cell(p.target_qps == 0 ? std::string("max")
+                                : std::to_string(p.target_qps))
+        .Cell(p.achieved_qps, 1)
+        .Cell(p.sent)
+        .Cell(p.ok)
+        .Cell(p.busy)
+        .Cell(p.rejection_rate, 4)
+        .Cell(p.p50_us, 1)
+        .Cell(p.p95_us, 1)
+        .Cell(p.p99_us, 1);
+  }
+  table.PrintAscii(std::cout,
+                   "Extension: duplexd saturation sweep (" +
+                       std::to_string(conns) + " connections, " +
+                       std::to_string(workers) + " workers, mixed "
+                       "90/5/5 boolean/vector/submit)");
+  std::cout << "\nPast saturation the rejection rate rises while latency "
+               "percentiles plateau:\nthe bounded queue sheds load with "
+               "typed BUSY responses instead of queueing\nunboundedly.\n";
+
+  std::FILE* json = std::fopen("BENCH_server.json", "w");
+  if (json == nullptr) {
+    std::cerr << "[bench] cannot write BENCH_server.json\n";
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"ext_server_saturation\",\n");
+  std::fprintf(json,
+               "  \"config\": {\"connections\": %u, \"window\": %u, "
+               "\"workers\": %u, \"global_queue\": %u, \"point_ms\": %llu, "
+               "\"seed_docs\": %llu},\n",
+               conns, window, workers, queue,
+               static_cast<unsigned long long>(run_ms),
+               static_cast<unsigned long long>(seed_docs));
+  std::fprintf(json, "  \"sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::fprintf(
+        json,
+        "    {\"target_qps\": %llu, \"achieved_qps\": %.1f, "
+        "\"sent\": %llu, \"ok\": %llu, \"busy\": %llu, "
+        "\"rejection_rate\": %.4f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+        "\"p99_us\": %.1f}%s\n",
+        static_cast<unsigned long long>(p.target_qps), p.achieved_qps,
+        static_cast<unsigned long long>(p.sent),
+        static_cast<unsigned long long>(p.ok),
+        static_cast<unsigned long long>(p.busy), p.rejection_rate,
+        p.p50_us, p.p95_us, p.p99_us,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::cerr << "[bench] wrote BENCH_server.json\n";
+  return 0;
+}

@@ -10,6 +10,11 @@
 //   duplexctl compact-demo                      fragmentation + compaction
 //   duplexctl metrics [out-dir]                 observed workload -> Prometheus
 //   duplexctl trace [out-dir]                   observed workload -> Chrome JSON
+//   duplexctl serve <prefix> <port>             serve a snapshot over TCP
+//   duplexctl net-ping <host> <port>            round-trip one ping frame
+//   duplexctl net-query <host> <port> "<q>"     boolean query over TCP
+//   duplexctl net-stats <host> <port>           server stats + metrics JSON
+//   duplexctl net-submit <host> <port> <file>.. submit documents over TCP
 //   duplexctl demo                              self-contained demo (default)
 //
 // Global flags (before the command): --cache-blocks <n> puts a buffer
@@ -19,14 +24,19 @@
 // scrub-demo (and enables device checksums for build/query/scrub).
 //
 // Each regular file becomes one document.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_log.h"
+#include "core/concurrent_index.h"
 #include "core/directory.h"
 #include "core/inverted_index.h"
 #include "core/long_list_store.h"
@@ -34,9 +44,13 @@
 #include "core/snapshot.h"
 #include "ir/query_executor.h"
 #include "ir/query_workload.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/service.h"
 #include "sim/observability.h"
 #include "storage/buffer_pool.h"
 #include "text/batch.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace {
@@ -636,6 +650,151 @@ int Observe(bool want_trace, std::string out_dir) {
   return 0;
 }
 
+// --- TCP service ------------------------------------------------------------
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+// `duplexctl serve <prefix> <port>`: load the snapshot behind the
+// reader-writer facade and serve it until SIGINT/SIGTERM. Shutdown is
+// graceful: the server drains admitted requests, then Flush() folds any
+// submitted documents back into the snapshot files.
+int Serve(const std::string& prefix, uint16_t port) {
+  MetricsRegistry registry;
+  MetricsRegistry* previous = SetGlobalMetrics(&registry);
+
+  core::ConcurrentIndex index(DefaultOptions());
+  const Status loaded = index.WithWriteLock([&](core::InvertedIndex& idx) {
+    return core::Snapshot::Load(prefix, &idx);
+  });
+  if (!loaded.ok()) {
+    std::cerr << "cannot load snapshot: " << loaded << "\n";
+    SetGlobalMetrics(previous);
+    return 1;
+  }
+
+  net::ConcurrentIndexService service(&index, prefix);
+  net::ServerOptions options;
+  options.port = port;
+  net::Server server(&service, options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << "cannot start server: " << s << "\n";
+    SetGlobalMetrics(previous);
+    return 1;
+  }
+  // The smoke test parses this line for the ephemeral port; keep the
+  // format stable and flush before blocking.
+  std::cout << "duplexctl serving " << prefix << " on port " << server.port()
+            << std::endl;
+
+  g_shutdown.store(false);
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  std::cout << "shutting down: draining requests\n";
+  server.Stop();
+  if (Status s = service.Flush(); !s.ok()) {
+    std::cerr << "flush on shutdown failed: " << s << "\n";
+    SetGlobalMetrics(previous);
+    return 1;
+  }
+  std::cout << "served " << server.requests_handled() << " requests ("
+            << server.requests_rejected() << " rejected), snapshot "
+            << "rewritten -> " << prefix << ".postings/.dict\n";
+  SetGlobalMetrics(previous);
+  return 0;
+}
+
+int NetPing(const std::string& host, uint16_t port) {
+  Result<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "cannot connect: " << client.status() << "\n";
+    return 1;
+  }
+  if (Status s = client->Ping(); !s.ok()) {
+    std::cerr << "ping failed: " << s << "\n";
+    return 1;
+  }
+  std::cout << "pong from " << host << ":" << port << "\n";
+  return 0;
+}
+
+int NetQuery(const std::string& host, uint16_t port,
+             const std::string& query) {
+  Result<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "cannot connect: " << client.status() << "\n";
+    return 1;
+  }
+  Result<ir::QueryResult> result = client->Boolean(query);
+  if (!result.ok()) {
+    std::cerr << "query error: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << result->docs.size() << " matching documents ("
+            << result->read_ops << " list reads):";
+  for (const DocId d : result->docs) std::cout << " " << d;
+  std::cout << "\n";
+  return 0;
+}
+
+int NetStats(const std::string& host, uint16_t port) {
+  Result<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "cannot connect: " << client.status() << "\n";
+    return 1;
+  }
+  Result<std::string> stats = client->StatsJson();
+  if (!stats.ok()) {
+    std::cerr << "stats failed: " << stats.status() << "\n";
+    return 1;
+  }
+  std::cout << *stats << "\n";
+  return 0;
+}
+
+int NetSubmit(const std::string& host, uint16_t port,
+              const std::vector<std::string>& inputs) {
+  std::vector<std::string> documents;
+  for (const std::string& input : inputs) {
+    std::ifstream in(input);
+    if (!in) {
+      std::cerr << "cannot read " << input << ", skipping\n";
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    documents.push_back(text.str());
+  }
+  if (documents.empty()) {
+    std::cerr << "no readable input files\n";
+    return 1;
+  }
+  Result<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "cannot connect: " << client.status() << "\n";
+    return 1;
+  }
+  Result<net::SubmitDocumentsResponse> resp = client->Submit(documents);
+  if (!resp.ok()) {
+    std::cerr << "submit failed: " << resp.status() << "\n";
+    return 1;
+  }
+  std::cout << "accepted " << resp->accepted << " documents starting at doc "
+            << resp->first_doc;
+  if (resp->wal_batch_id != 0) {
+    std::cout << " (WAL batch " << resp->wal_batch_id << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
 int Demo() {
   const std::string dir = fs::temp_directory_path() / "duplexctl_demo";
   fs::create_directories(dir);
@@ -696,6 +855,31 @@ int main(int argc, char** argv) {
   if (args[0] == "scrub-demo" && args.size() == 1) return ScrubDemo();
   if (args[0] == "compact" && args.size() == 2) return Compact(args[1]);
   if (args[0] == "compact-demo" && args.size() == 1) return CompactDemo();
+  if (args[0] == "serve" && args.size() == 3) {
+    return Serve(args[1],
+                 static_cast<uint16_t>(std::strtoul(args[2].c_str(),
+                                                    nullptr, 10)));
+  }
+  if (args[0] == "net-ping" && args.size() == 3) {
+    return NetPing(args[1], static_cast<uint16_t>(
+                                std::strtoul(args[2].c_str(), nullptr, 10)));
+  }
+  if (args[0] == "net-query" && args.size() == 4) {
+    return NetQuery(args[1],
+                    static_cast<uint16_t>(
+                        std::strtoul(args[2].c_str(), nullptr, 10)),
+                    args[3]);
+  }
+  if (args[0] == "net-stats" && args.size() == 3) {
+    return NetStats(args[1], static_cast<uint16_t>(
+                                 std::strtoul(args[2].c_str(), nullptr, 10)));
+  }
+  if (args[0] == "net-submit" && args.size() >= 4) {
+    return NetSubmit(args[1],
+                     static_cast<uint16_t>(
+                         std::strtoul(args[2].c_str(), nullptr, 10)),
+                     {args.begin() + 3, args.end()});
+  }
   if (args[0] == "metrics" && args.size() <= 2) {
     return Observe(/*want_trace=*/false, args.size() == 2 ? args[1] : "");
   }
@@ -713,6 +897,11 @@ int main(int argc, char** argv) {
                "       duplexctl compact-demo\n"
                "       duplexctl metrics [out-dir]\n"
                "       duplexctl trace [out-dir]\n"
+               "       duplexctl serve <prefix> <port>\n"
+               "       duplexctl net-ping <host> <port>\n"
+               "       duplexctl net-query <host> <port> \"<boolean query>\"\n"
+               "       duplexctl net-stats <host> <port>\n"
+               "       duplexctl net-submit <host> <port> <file>...\n"
                "       duplexctl demo\n";
   return 2;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "core/batch_log.h"
 #include "util/logging.h"
 
 namespace duplex::core {
@@ -125,6 +126,11 @@ DocId ShardedIndex::AddDocument(const std::string& text) {
 }
 
 Status ShardedIndex::FlushDocuments() {
+  return FlushDocumentsLogged(nullptr, nullptr);
+}
+
+Status ShardedIndex::FlushDocumentsLogged(BatchLog* log, uint64_t* batch_id) {
+  if (batch_id != nullptr) *batch_id = 0;
   std::unique_lock lock(doc_mutex_);
   if (memory_index_.empty()) return Status::OK();
   text::InvertedBatch batch;
@@ -139,6 +145,13 @@ Status ShardedIndex::FlushDocuments() {
             });
   const DocId new_next =
       next_doc_id_ + static_cast<DocId>(memory_index_.document_count());
+  uint64_t logged_id = 0;
+  if (log != nullptr) {
+    // WAL protocol step 1: the batch is durable before any shard I/O.
+    Result<uint64_t> appended = log->AppendBatch(batch);
+    if (!appended.ok()) return appended.status();
+    logged_id = *appended;
+  }
   std::vector<text::InvertedBatch> parts =
       text::PartitionBatch(batch, num_shards());
   DUPLEX_RETURN_IF_ERROR(ParallelOverShards([&](uint32_t s) {
@@ -148,6 +161,13 @@ Status ShardedIndex::FlushDocuments() {
   }));
   next_doc_id_ = std::max(next_doc_id_, new_next);
   memory_index_.Clear();
+  if (log != nullptr) {
+    // Steps 2-3: dirty cache frames on the devices, then the commit
+    // record — a crash in between replays the batch, never loses it.
+    DUPLEX_RETURN_IF_ERROR(FlushCaches());
+    DUPLEX_RETURN_IF_ERROR(log->MarkApplied(logged_id));
+    if (batch_id != nullptr) *batch_id = logged_id;
+  }
   return Status::OK();
 }
 
@@ -305,12 +325,13 @@ Result<CompactionStats> ShardedIndex::CompactOnce() {
 
 void ShardedIndex::StartBackgroundCompaction(
     std::chrono::milliseconds interval) {
-  {
-    std::lock_guard<std::mutex> lock(compaction_mutex_);
-    if (compaction_thread_.joinable()) return;  // already running
-    compaction_stop_ = false;
-    compaction_status_ = Status::OK();
-  }
+  // The thread handle is only touched under compaction_mutex_, so Start,
+  // Stop and running() may race freely; the new thread blocks on the same
+  // mutex until this call releases it.
+  std::lock_guard<std::mutex> start_lock(compaction_mutex_);
+  if (compaction_thread_.joinable()) return;  // already running
+  compaction_stop_ = false;
+  compaction_status_ = Status::OK();
   compaction_thread_ = std::thread([this, interval] {
     while (true) {
       {
@@ -343,17 +364,23 @@ void ShardedIndex::StartBackgroundCompaction(
 }
 
 void ShardedIndex::StopBackgroundCompaction() {
-  if (!compaction_thread_.joinable()) return;
+  // Claim the thread handle under the lock, join outside it (the worker
+  // takes compaction_mutex_ on its way out). A second concurrent Stop
+  // finds an empty handle and returns — idempotent, and a no-op without
+  // a prior Start.
+  std::thread worker;
   {
     std::lock_guard<std::mutex> lock(compaction_mutex_);
+    if (!compaction_thread_.joinable()) return;
     compaction_stop_ = true;
+    worker = std::move(compaction_thread_);
   }
   compaction_cv_.notify_all();
-  compaction_thread_.join();
-  compaction_thread_ = std::thread();
+  worker.join();
 }
 
 bool ShardedIndex::background_compaction_running() const {
+  std::lock_guard<std::mutex> lock(compaction_mutex_);
   return compaction_thread_.joinable();
 }
 

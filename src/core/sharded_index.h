@@ -29,6 +29,8 @@
 
 namespace duplex::core {
 
+class BatchLog;
+
 // Configuration of a word-partitioned index.
 struct ShardedIndexOptions {
   // Per-shard index configuration; every shard is built from the same
@@ -112,6 +114,13 @@ class ShardedIndex : public IndexReader {
   // word, and applies per shard in parallel.
   DocId AddDocument(const std::string& text);
   Status FlushDocuments();
+  // FlushDocuments under the WAL commit protocol: the inverted buffer is
+  // appended to `log` (durable) before any shard applies it, dirty cache
+  // frames are flushed after, and the commit record lands last — the
+  // ordering BatchLog::ApplyLogged documents, lifted to the sharded
+  // index. `log` may be null (plain flush); `batch_id` (optional)
+  // receives the WAL batch id, 0 when nothing was logged.
+  Status FlushDocumentsLogged(BatchLog* log, uint64_t* batch_id = nullptr);
   size_t buffered_documents() const;
 
   // --- Query access (the IndexReader surface; per-shard shared locks) -----
@@ -154,9 +163,10 @@ class ShardedIndex : public IndexReader {
   // Starts/stops the background compaction thread: every `interval` it
   // walks the shards round-robin, running one round per shard under that
   // shard's exclusive lock — queries on other shards proceed untouched,
-  // mirroring how a batch apply shares the index. Start/Stop are control-
-  // plane calls: serialize them externally (they are not safe to race
-  // against each other). Stop is idempotent and runs in the destructor.
+  // mirroring how a batch apply shares the index. Start and Stop are
+  // idempotent, safe without a prior Start, and safe to race against each
+  // other (the thread handle only moves under compaction_mutex_). Stop
+  // runs in the destructor.
   void StartBackgroundCompaction(
       std::chrono::milliseconds interval = std::chrono::milliseconds(50));
   void StopBackgroundCompaction();

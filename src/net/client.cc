@@ -1,0 +1,128 @@
+#include "net/client.h"
+
+namespace duplex::net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  Result<Socket> sock = Socket::Connect(host, port);
+  if (!sock.ok()) return sock.status();
+  (void)sock->SetNoDelay();
+  return Client(std::move(*sock));
+}
+
+Result<uint64_t> Client::Send(Opcode opcode, std::string_view payload) {
+  if (!sock_.valid()) return Status::FailedPrecondition("client not connected");
+  const uint64_t id = ++next_request_id_;
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  EncodeFrame(static_cast<uint8_t>(opcode), id, payload, &frame);
+  DUPLEX_RETURN_IF_ERROR(sock_.SendAll(frame.data(), frame.size()));
+  return id;
+}
+
+Result<Frame> Client::ReceiveFrame() {
+  if (!sock_.valid()) return Status::FailedPrecondition("client not connected");
+  char header_bytes[kFrameHeaderSize];
+  DUPLEX_RETURN_IF_ERROR(sock_.RecvAll(header_bytes, sizeof(header_bytes)));
+  Result<FrameHeader> header = DecodeFrameHeader(
+      std::string_view(header_bytes, sizeof(header_bytes)),
+      kMaxPayloadCeiling);
+  if (!header.ok()) return header.status();
+  Frame frame;
+  frame.header = *header;
+  frame.payload.resize(header->payload_len);
+  if (header->payload_len > 0) {
+    DUPLEX_RETURN_IF_ERROR(
+        sock_.RecvAll(frame.payload.data(), frame.payload.size()));
+  }
+  return frame;
+}
+
+Result<ClientResponse> Client::Receive() {
+  Result<Frame> frame = ReceiveFrame();
+  if (!frame.ok()) return frame.status();
+  ClientResponse resp;
+  resp.opcode = frame->header.opcode;
+  resp.request_id = frame->header.request_id;
+  std::string_view body(frame->payload);
+  DUPLEX_RETURN_IF_ERROR(DecodeResponseStatus(&body, &resp.status));
+  resp.body.assign(body);
+  return resp;
+}
+
+Result<std::string> Client::Call(Opcode opcode, std::string_view payload) {
+  Result<uint64_t> id = Send(opcode, payload);
+  if (!id.ok()) return id.status();
+  Result<Frame> frame = ReceiveFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->header.opcode == static_cast<uint8_t>(Opcode::kGoAway)) {
+    // The server refused the stream and is hanging up.
+    std::string_view body(frame->payload);
+    Status refusal;
+    const Status prelude = DecodeResponseStatus(&body, &refusal);
+    sock_.Close();
+    if (prelude.ok() && !refusal.ok()) return refusal;
+    return Status::IoError("server sent GoAway");
+  }
+  const uint8_t expected = static_cast<uint8_t>(opcode) | kResponseBit;
+  if (frame->header.opcode != expected || frame->header.request_id != *id) {
+    return Status::Internal(
+        "response does not match request (opcode " +
+        std::to_string(frame->header.opcode) + ", id " +
+        std::to_string(frame->header.request_id) + ")");
+  }
+  // Fail fast on an error prelude; on OK hand back the full payload —
+  // the typed decoders consume the prelude themselves.
+  std::string_view body(frame->payload);
+  Status handler_status;
+  DUPLEX_RETURN_IF_ERROR(DecodeResponseStatus(&body, &handler_status));
+  if (!handler_status.ok()) return handler_status;
+  return std::move(frame->payload);
+}
+
+Status Client::Ping() {
+  return Call(Opcode::kPing, std::string_view()).status();
+}
+
+Result<ir::QueryResult> Client::Boolean(std::string_view query) {
+  BooleanQueryRequest req;
+  req.query.assign(query);
+  Result<std::string> payload =
+      Call(Opcode::kBooleanQuery, EncodeBooleanQueryRequest(req));
+  if (!payload.ok()) return payload.status();
+  Result<BooleanQueryResponse> resp = DecodeBooleanQueryResponse(*payload);
+  if (!resp.ok()) return resp.status();
+  return std::move(resp->result);
+}
+
+Result<ir::VectorQueryResult> Client::Vector(const ir::VectorQuery& query,
+                                             size_t k) {
+  VectorQueryRequest req;
+  req.k = static_cast<uint32_t>(k);
+  req.query = query;
+  Result<std::string> payload =
+      Call(Opcode::kVectorQuery, EncodeVectorQueryRequest(req));
+  if (!payload.ok()) return payload.status();
+  Result<VectorQueryResponse> resp = DecodeVectorQueryResponse(*payload);
+  if (!resp.ok()) return resp.status();
+  return std::move(resp->result);
+}
+
+Result<SubmitDocumentsResponse> Client::Submit(
+    const std::vector<std::string>& documents) {
+  SubmitDocumentsRequest req;
+  req.documents = documents;
+  Result<std::string> payload =
+      Call(Opcode::kSubmitDocuments, EncodeSubmitDocumentsRequest(req));
+  if (!payload.ok()) return payload.status();
+  return DecodeSubmitDocumentsResponse(*payload);
+}
+
+Result<std::string> Client::StatsJson() {
+  Result<std::string> payload = Call(Opcode::kStats, std::string_view());
+  if (!payload.ok()) return payload.status();
+  Result<StatsResponse> resp = DecodeStatsResponse(*payload);
+  if (!resp.ok()) return resp.status();
+  return std::move(resp->json);
+}
+
+}  // namespace duplex::net

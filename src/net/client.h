@@ -1,0 +1,72 @@
+#ifndef DUPLEX_NET_CLIENT_H_
+#define DUPLEX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace duplex::net {
+
+// One decoded response frame: the echoed request id, the status prelude,
+// and the body bytes that follow it (empty on non-OK status).
+struct ClientResponse {
+  uint8_t opcode = 0;
+  uint64_t request_id = 0;
+  Status status;
+  std::string body;
+};
+
+// Blocking duplexd client over one TCP connection. The typed calls
+// (Ping/Boolean/Vector/Submit/Stats) are strict request/response; the
+// Send/Receive pair underneath is public so load generators can pipeline
+// many requests before draining responses. A server BUSY answer surfaces
+// as kResourceExhausted from any call — callers are expected to back off.
+// Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  Client() = default;
+
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  // --- Low-level (pipelining) ---
+  // Writes one request frame; returns the request id assigned to it.
+  Result<uint64_t> Send(Opcode opcode, std::string_view payload);
+  // Reads one response frame (any opcode, including kGoAway) and decodes
+  // its status prelude. I/O and framing errors are the returned status;
+  // a handler-level error lives in ClientResponse::status.
+  Result<ClientResponse> Receive();
+
+  // --- Strict request/response ---
+  Status Ping();
+  Result<ir::QueryResult> Boolean(std::string_view query);
+  Result<ir::VectorQueryResult> Vector(const ir::VectorQuery& query,
+                                       size_t k);
+  Result<SubmitDocumentsResponse> Submit(
+      const std::vector<std::string>& documents);
+  Result<std::string> StatsJson();
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  // Reads one raw frame (header + payload) off the socket.
+  Result<Frame> ReceiveFrame();
+  // Send + receive + match id; fails fast on an error prelude and
+  // returns the full response payload (prelude included) on OK, which
+  // the typed Decode*Response helpers consume.
+  Result<std::string> Call(Opcode opcode, std::string_view payload);
+
+  Socket sock_;
+  uint64_t next_request_id_ = 0;
+};
+
+}  // namespace duplex::net
+
+#endif  // DUPLEX_NET_CLIENT_H_

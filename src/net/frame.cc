@@ -1,0 +1,444 @@
+#include "net/frame.h"
+
+#include <bit>
+#include <limits>
+
+namespace duplex::net {
+
+namespace {
+
+Status Corrupt(std::string msg) { return Status::Corruption(std::move(msg)); }
+
+// Status codes cross the wire as their enum value; anything outside the
+// defined range is a protocol violation, not a silent kInternal.
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kIoError);
+
+}  // namespace
+
+bool IsRequestOpcode(uint8_t op) {
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::kPing:
+    case Opcode::kBooleanQuery:
+    case Opcode::kVectorQuery:
+    case Opcode::kSubmitDocuments:
+    case Opcode::kStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsKnownOpcode(uint8_t op) {
+  const uint8_t base = op & static_cast<uint8_t>(~kResponseBit);
+  if (base == static_cast<uint8_t>(Opcode::kGoAway)) return true;
+  return IsRequestOpcode(base);
+}
+
+const char* OpcodeName(uint8_t op) {
+  switch (static_cast<Opcode>(op & ~kResponseBit)) {
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kBooleanQuery:
+      return "boolean";
+    case Opcode::kVectorQuery:
+      return "vector";
+    case Opcode::kSubmitDocuments:
+      return "submit";
+    case Opcode::kStats:
+      return "stats";
+    case Opcode::kGoAway:
+      return "goaway";
+  }
+  return "unknown";
+}
+
+// --- Primitives -------------------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU8(std::string_view* in, uint8_t* v) {
+  if (in->size() < 1) return false;
+  *v = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  return true;
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<uint8_t>((*in)[i])) << (8 * i);
+  }
+  *v = r;
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<uint8_t>((*in)[i])) << (8 * i);
+  }
+  *v = r;
+  in->remove_prefix(8);
+  return true;
+}
+
+bool GetF64(std::string_view* in, double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(in, &bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool GetString(std::string_view* in, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, &len)) return false;
+  if (in->size() < len) return false;
+  s->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+// --- Frame header -----------------------------------------------------------
+
+void EncodeFrameHeader(const FrameHeader& header, std::string* out) {
+  out->append(reinterpret_cast<const char*>(kFrameMagic), 4);
+  PutU8(out, header.version);
+  PutU8(out, header.opcode);
+  PutU8(out, 0);  // flags lo
+  PutU8(out, 0);  // flags hi
+  PutU64(out, header.request_id);
+  PutU32(out, header.payload_len);
+  PutU32(out, 0);  // reserved
+}
+
+void EncodeFrame(uint8_t opcode, uint64_t request_id,
+                 std::string_view payload, std::string* out) {
+  FrameHeader header;
+  header.opcode = opcode;
+  header.request_id = request_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  EncodeFrameHeader(header, out);
+  out->append(payload);
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes,
+                                      uint32_t max_payload) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Corrupt("truncated frame header: " +
+                   std::to_string(bytes.size()) + " of " +
+                   std::to_string(kFrameHeaderSize) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kFrameMagic, 4) != 0) {
+    return Corrupt("bad frame magic");
+  }
+  std::string_view rest = bytes.substr(4);
+  FrameHeader header;
+  uint8_t flags_lo = 0, flags_hi = 0;
+  uint32_t reserved = 0;
+  GetU8(&rest, &header.version);
+  GetU8(&rest, &header.opcode);
+  GetU8(&rest, &flags_lo);
+  GetU8(&rest, &flags_hi);
+  GetU64(&rest, &header.request_id);
+  GetU32(&rest, &header.payload_len);
+  GetU32(&rest, &reserved);
+  if (header.version != kFrameVersion) {
+    return Corrupt("unknown frame version " +
+                   std::to_string(header.version));
+  }
+  if (flags_lo != 0 || flags_hi != 0 || reserved != 0) {
+    return Corrupt("nonzero flags/reserved in v1 frame");
+  }
+  if (!IsKnownOpcode(header.opcode)) {
+    return Status::InvalidArgument("unknown opcode " +
+                                   std::to_string(header.opcode));
+  }
+  if (header.payload_len > max_payload ||
+      header.payload_len > kMaxPayloadCeiling) {
+    return Status::InvalidArgument(
+        "oversized frame: declared " + std::to_string(header.payload_len) +
+        " bytes, limit " + std::to_string(max_payload));
+  }
+  return header;
+}
+
+Status FrameAssembler::Feed(std::string_view bytes) {
+  if (!error_.ok()) return error_;
+  buffer_.append(bytes);
+  while (buffer_.size() >= kFrameHeaderSize) {
+    Result<FrameHeader> header =
+        DecodeFrameHeader(buffer_, max_payload_);
+    if (!header.ok()) {
+      error_ = header.status();
+      buffer_.clear();
+      return error_;
+    }
+    const size_t total = kFrameHeaderSize + header->payload_len;
+    if (buffer_.size() < total) break;  // payload still arriving
+    Frame frame;
+    frame.header = *header;
+    frame.payload = buffer_.substr(kFrameHeaderSize, header->payload_len);
+    buffer_.erase(0, total);
+    frames_.push_back(std::move(frame));
+  }
+  return Status::OK();
+}
+
+Frame FrameAssembler::Next() {
+  Frame frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+// --- Requests ---------------------------------------------------------------
+
+std::string EncodeBooleanQueryRequest(const BooleanQueryRequest& req) {
+  std::string out;
+  PutString(&out, req.query);
+  return out;
+}
+
+Result<BooleanQueryRequest> DecodeBooleanQueryRequest(std::string_view in) {
+  BooleanQueryRequest req;
+  if (!GetString(&in, &req.query)) {
+    return Corrupt("boolean request underrun");
+  }
+  if (!in.empty()) return Corrupt("boolean request trailing bytes");
+  return req;
+}
+
+std::string EncodeVectorQueryRequest(const VectorQueryRequest& req) {
+  std::string out;
+  PutU32(&out, req.k);
+  PutU32(&out, static_cast<uint32_t>(req.query.terms.size()));
+  for (const auto& term : req.query.terms) {
+    PutString(&out, term.term);
+    PutF64(&out, term.weight);
+  }
+  return out;
+}
+
+Result<VectorQueryRequest> DecodeVectorQueryRequest(std::string_view in) {
+  VectorQueryRequest req;
+  uint32_t n = 0;
+  if (!GetU32(&in, &req.k) || !GetU32(&in, &n)) {
+    return Corrupt("vector request underrun");
+  }
+  // Each term needs at least its length prefix plus the weight.
+  if (n > in.size() / 12 + 1) return Corrupt("vector request bogus count");
+  req.query.terms.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ir::VectorQuery::TermWeight term;
+    if (!GetString(&in, &term.term) || !GetF64(&in, &term.weight)) {
+      return Corrupt("vector request term underrun");
+    }
+    req.query.terms.push_back(std::move(term));
+  }
+  if (!in.empty()) return Corrupt("vector request trailing bytes");
+  return req;
+}
+
+std::string EncodeSubmitDocumentsRequest(const SubmitDocumentsRequest& req) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(req.documents.size()));
+  for (const std::string& doc : req.documents) PutString(&out, doc);
+  return out;
+}
+
+Result<SubmitDocumentsRequest> DecodeSubmitDocumentsRequest(
+    std::string_view in) {
+  SubmitDocumentsRequest req;
+  uint32_t n = 0;
+  if (!GetU32(&in, &n)) return Corrupt("submit request underrun");
+  if (n > in.size() / 4 + 1) return Corrupt("submit request bogus count");
+  req.documents.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string doc;
+    if (!GetString(&in, &doc)) return Corrupt("submit document underrun");
+    req.documents.push_back(std::move(doc));
+  }
+  if (!in.empty()) return Corrupt("submit request trailing bytes");
+  return req;
+}
+
+// --- Responses --------------------------------------------------------------
+
+void EncodeResponseStatus(const Status& status, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(status.code()));
+  PutString(out, status.message());
+}
+
+Status DecodeResponseStatus(std::string_view* in, Status* decoded) {
+  uint8_t code = 0;
+  std::string message;
+  if (!GetU8(in, &code) || !GetString(in, &message)) {
+    return Corrupt("response status underrun");
+  }
+  if (code > kMaxStatusCode) {
+    return Corrupt("response carries unknown status code " +
+                   std::to_string(code));
+  }
+  *decoded = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+namespace {
+
+void PutQueryCost(std::string* out, uint64_t read_ops, uint64_t cached,
+                  uint64_t postings, uint64_t missing) {
+  PutU64(out, read_ops);
+  PutU64(out, cached);
+  PutU64(out, postings);
+  PutU64(out, missing);
+}
+
+bool GetQueryCost(std::string_view* in, uint64_t* read_ops, uint64_t* cached,
+                  uint64_t* postings, uint64_t* missing) {
+  return GetU64(in, read_ops) && GetU64(in, cached) &&
+         GetU64(in, postings) && GetU64(in, missing);
+}
+
+}  // namespace
+
+std::string EncodeBooleanQueryResponse(const BooleanQueryResponse& resp) {
+  std::string out;
+  EncodeResponseStatus(Status::OK(), &out);
+  const ir::QueryResult& r = resp.result;
+  PutQueryCost(&out, r.read_ops, r.cached_read_ops, r.postings_read,
+               r.missing_terms);
+  PutU32(&out, static_cast<uint32_t>(r.docs.size()));
+  for (const DocId doc : r.docs) PutU32(&out, doc);
+  return out;
+}
+
+Result<BooleanQueryResponse> DecodeBooleanQueryResponse(
+    std::string_view in) {
+  Status handler_status;
+  DUPLEX_RETURN_IF_ERROR(DecodeResponseStatus(&in, &handler_status));
+  if (!handler_status.ok()) return handler_status;
+  BooleanQueryResponse resp;
+  ir::QueryResult& r = resp.result;
+  uint32_t n = 0;
+  if (!GetQueryCost(&in, &r.read_ops, &r.cached_read_ops, &r.postings_read,
+                    &r.missing_terms) ||
+      !GetU32(&in, &n)) {
+    return Corrupt("boolean response underrun");
+  }
+  if (n > in.size() / 4) return Corrupt("boolean response bogus count");
+  r.docs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t doc = 0;
+    if (!GetU32(&in, &doc)) return Corrupt("boolean response doc underrun");
+    r.docs.push_back(doc);
+  }
+  if (!in.empty()) return Corrupt("boolean response trailing bytes");
+  return resp;
+}
+
+std::string EncodeVectorQueryResponse(const VectorQueryResponse& resp) {
+  std::string out;
+  EncodeResponseStatus(Status::OK(), &out);
+  const ir::VectorQueryResult& r = resp.result;
+  PutQueryCost(&out, r.read_ops, r.cached_read_ops, r.postings_read,
+               r.missing_terms);
+  PutU32(&out, static_cast<uint32_t>(r.top.size()));
+  for (const ir::ScoredDoc& d : r.top) {
+    PutU32(&out, d.doc);
+    PutF64(&out, d.score);
+  }
+  return out;
+}
+
+Result<VectorQueryResponse> DecodeVectorQueryResponse(std::string_view in) {
+  Status handler_status;
+  DUPLEX_RETURN_IF_ERROR(DecodeResponseStatus(&in, &handler_status));
+  if (!handler_status.ok()) return handler_status;
+  VectorQueryResponse resp;
+  ir::VectorQueryResult& r = resp.result;
+  uint32_t n = 0;
+  if (!GetQueryCost(&in, &r.read_ops, &r.cached_read_ops, &r.postings_read,
+                    &r.missing_terms) ||
+      !GetU32(&in, &n)) {
+    return Corrupt("vector response underrun");
+  }
+  if (n > in.size() / 12) return Corrupt("vector response bogus count");
+  r.top.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ir::ScoredDoc d;
+    if (!GetU32(&in, &d.doc) || !GetF64(&in, &d.score)) {
+      return Corrupt("vector response doc underrun");
+    }
+    r.top.push_back(d);
+  }
+  if (!in.empty()) return Corrupt("vector response trailing bytes");
+  return resp;
+}
+
+std::string EncodeSubmitDocumentsResponse(
+    const SubmitDocumentsResponse& resp) {
+  std::string out;
+  EncodeResponseStatus(Status::OK(), &out);
+  PutU32(&out, resp.first_doc);
+  PutU32(&out, resp.accepted);
+  PutU64(&out, resp.wal_batch_id);
+  return out;
+}
+
+Result<SubmitDocumentsResponse> DecodeSubmitDocumentsResponse(
+    std::string_view in) {
+  Status handler_status;
+  DUPLEX_RETURN_IF_ERROR(DecodeResponseStatus(&in, &handler_status));
+  if (!handler_status.ok()) return handler_status;
+  SubmitDocumentsResponse resp;
+  if (!GetU32(&in, &resp.first_doc) || !GetU32(&in, &resp.accepted) ||
+      !GetU64(&in, &resp.wal_batch_id)) {
+    return Corrupt("submit response underrun");
+  }
+  if (!in.empty()) return Corrupt("submit response trailing bytes");
+  return resp;
+}
+
+std::string EncodeStatsResponse(const StatsResponse& resp) {
+  std::string out;
+  EncodeResponseStatus(Status::OK(), &out);
+  PutString(&out, resp.json);
+  return out;
+}
+
+Result<StatsResponse> DecodeStatsResponse(std::string_view in) {
+  Status handler_status;
+  DUPLEX_RETURN_IF_ERROR(DecodeResponseStatus(&in, &handler_status));
+  if (!handler_status.ok()) return handler_status;
+  StatsResponse resp;
+  if (!GetString(&in, &resp.json)) return Corrupt("stats response underrun");
+  if (!in.empty()) return Corrupt("stats response trailing bytes");
+  return resp;
+}
+
+}  // namespace duplex::net

@@ -1,0 +1,211 @@
+#ifndef DUPLEX_NET_FRAME_H_
+#define DUPLEX_NET_FRAME_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/query_eval.h"
+#include "ir/vector_query.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace duplex::net {
+
+// --- Wire protocol (version 1) ---------------------------------------------
+//
+// Every message on a duplexd connection is one length-prefixed frame:
+// a fixed 24-byte header followed by `payload_len` payload bytes. All
+// integers are little-endian. See DESIGN.md § 10 for the layout table.
+//
+//   offset  size  field
+//        0     4  magic "DPLX"
+//        4     1  version (1)
+//        5     1  opcode
+//        6     2  flags (must be 0 in v1)
+//        8     8  request id (echoed verbatim in the response)
+//       16     4  payload length
+//       20     4  reserved (must be 0 in v1)
+//
+// Requests flow client -> server; the response to opcode K carries opcode
+// K | 0x80 and the request's id, so clients may pipeline and match
+// replies out of band. A frame the server cannot even parse (bad magic,
+// unknown version, nonzero flags/reserved, oversized declared length)
+// draws one kGoAway response with a typed status, then the connection is
+// closed — a garbage stream never wedges a worker.
+
+inline constexpr uint8_t kFrameMagic[4] = {'D', 'P', 'L', 'X'};
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 24;
+// Hard ceiling a decoder ever accepts; servers usually configure less.
+inline constexpr uint32_t kMaxPayloadCeiling = 64u << 20;
+inline constexpr uint32_t kDefaultMaxPayload = 4u << 20;
+
+enum class Opcode : uint8_t {
+  kPing = 0x01,
+  kBooleanQuery = 0x02,
+  kVectorQuery = 0x03,
+  kSubmitDocuments = 0x04,
+  kStats = 0x05,
+  // Server -> client only: typed refusal of an unparseable frame, sent
+  // once before the connection closes. request id is echoed when the
+  // header decoded, 0 otherwise.
+  kGoAway = 0x7F,
+};
+
+inline constexpr uint8_t kResponseBit = 0x80;
+
+// True for the request opcodes a server executes.
+bool IsRequestOpcode(uint8_t op);
+// True for any opcode that may legally appear in a frame header
+// (requests, their responses, kGoAway and its response form).
+bool IsKnownOpcode(uint8_t op);
+const char* OpcodeName(uint8_t op);
+
+struct FrameHeader {
+  uint8_t version = kFrameVersion;
+  uint8_t opcode = 0;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+// Appends the 24 header bytes for `header` to `out`.
+void EncodeFrameHeader(const FrameHeader& header, std::string* out);
+// Appends a full frame (header + payload).
+void EncodeFrame(uint8_t opcode, uint64_t request_id,
+                 std::string_view payload, std::string* out);
+
+// Decodes exactly one header from `bytes` (>= kFrameHeaderSize bytes are
+// required — fewer is typed kCorruption, mirroring DecodeChunkHeader).
+// Magic/version/flags/reserved violations are kCorruption; an unknown
+// opcode or a declared payload above `max_payload` is kInvalidArgument.
+Result<FrameHeader> DecodeFrameHeader(
+    std::string_view bytes, uint32_t max_payload = kDefaultMaxPayload);
+
+// Incremental frame decoder for a byte stream: feed arbitrary splits
+// (down to one byte at a time), pop complete frames. Any header error is
+// sticky — once the stream is corrupt there is no resynchronization
+// point, so the connection must be torn down. Incomplete input is never
+// an error.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(uint32_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  // Appends bytes; decodes as many complete frames as they finish.
+  Status Feed(std::string_view bytes);
+
+  bool HasFrame() const { return !frames_.empty(); }
+  // Requires HasFrame().
+  Frame Next();
+
+  // First error Feed hit (sticky; later Feeds return it unchanged).
+  const Status& error() const { return error_; }
+  // Bytes buffered toward the next, still-incomplete frame.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  uint32_t max_payload_;
+  std::string buffer_;
+  std::deque<Frame> frames_;
+  Status error_;
+};
+
+// --- Little-endian payload primitives ---------------------------------------
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutF64(std::string* out, double v);
+void PutString(std::string* out, std::string_view s);  // u32 length prefix
+
+// Consuming readers: advance `*in` past the value; false = underrun.
+bool GetU8(std::string_view* in, uint8_t* v);
+bool GetU32(std::string_view* in, uint32_t* v);
+bool GetU64(std::string_view* in, uint64_t* v);
+bool GetF64(std::string_view* in, double* v);
+bool GetString(std::string_view* in, std::string* s);
+
+// --- Request payloads -------------------------------------------------------
+//
+// Every Decode* is total over arbitrary bytes: malformed input (underrun,
+// bogus counts, trailing garbage) is typed kCorruption, never a crash —
+// the frame fuzz test sweeps these directly.
+
+struct BooleanQueryRequest {
+  std::string query;
+};
+
+struct VectorQueryRequest {
+  uint32_t k = 10;
+  ir::VectorQuery query;
+};
+
+struct SubmitDocumentsRequest {
+  std::vector<std::string> documents;
+};
+
+std::string EncodeBooleanQueryRequest(const BooleanQueryRequest& req);
+Result<BooleanQueryRequest> DecodeBooleanQueryRequest(std::string_view in);
+
+std::string EncodeVectorQueryRequest(const VectorQueryRequest& req);
+Result<VectorQueryRequest> DecodeVectorQueryRequest(std::string_view in);
+
+std::string EncodeSubmitDocumentsRequest(const SubmitDocumentsRequest& req);
+Result<SubmitDocumentsRequest> DecodeSubmitDocumentsRequest(
+    std::string_view in);
+
+// --- Response payloads ------------------------------------------------------
+//
+// Every response payload starts with a status prelude (u8 code + message
+// string). On a non-OK code the body is empty.
+
+void EncodeResponseStatus(const Status& status, std::string* out);
+// Decodes the prelude into `*decoded`, leaving `*in` at the body. The
+// return value is the transport-level verdict (kCorruption on a
+// malformed prelude); `*decoded` is the handler's status.
+Status DecodeResponseStatus(std::string_view* in, Status* decoded);
+
+struct BooleanQueryResponse {
+  ir::QueryResult result;
+};
+
+struct VectorQueryResponse {
+  ir::VectorQueryResult result;
+};
+
+struct SubmitDocumentsResponse {
+  DocId first_doc = 0;
+  uint32_t accepted = 0;
+  // WAL batch id when the server logs updates, 0 otherwise.
+  uint64_t wal_batch_id = 0;
+};
+
+struct StatsResponse {
+  std::string json;
+};
+
+std::string EncodeBooleanQueryResponse(const BooleanQueryResponse& resp);
+Result<BooleanQueryResponse> DecodeBooleanQueryResponse(std::string_view in);
+
+std::string EncodeVectorQueryResponse(const VectorQueryResponse& resp);
+Result<VectorQueryResponse> DecodeVectorQueryResponse(std::string_view in);
+
+std::string EncodeSubmitDocumentsResponse(const SubmitDocumentsResponse& r);
+Result<SubmitDocumentsResponse> DecodeSubmitDocumentsResponse(
+    std::string_view in);
+
+std::string EncodeStatsResponse(const StatsResponse& resp);
+Result<StatsResponse> DecodeStatsResponse(std::string_view in);
+
+}  // namespace duplex::net
+
+#endif  // DUPLEX_NET_FRAME_H_

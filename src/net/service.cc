@@ -1,0 +1,162 @@
+#include "net/service.h"
+
+#include "core/snapshot.h"
+#include "ir/query_executor.h"
+#include "util/metrics.h"
+
+namespace duplex::net {
+
+namespace {
+
+std::string StatusOnlyPayload(const Status& status) {
+  std::string out;
+  EncodeResponseStatus(status, &out);
+  return out;
+}
+
+}  // namespace
+
+std::string IndexService::HandleRequest(uint8_t opcode,
+                                        std::string_view payload) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kPing:
+      return StatusOnlyPayload(Status::OK());
+    case Opcode::kBooleanQuery: {
+      Result<BooleanQueryRequest> req = DecodeBooleanQueryRequest(payload);
+      if (!req.ok()) return StatusOnlyPayload(req.status());
+      Result<ir::QueryResult> result = Boolean(req->query);
+      if (!result.ok()) return StatusOnlyPayload(result.status());
+      return EncodeBooleanQueryResponse({std::move(*result)});
+    }
+    case Opcode::kVectorQuery: {
+      Result<VectorQueryRequest> req = DecodeVectorQueryRequest(payload);
+      if (!req.ok()) return StatusOnlyPayload(req.status());
+      Result<ir::VectorQueryResult> result = Vector(req->query, req->k);
+      if (!result.ok()) return StatusOnlyPayload(result.status());
+      return EncodeVectorQueryResponse({std::move(*result)});
+    }
+    case Opcode::kSubmitDocuments: {
+      Result<SubmitDocumentsRequest> req =
+          DecodeSubmitDocumentsRequest(payload);
+      if (!req.ok()) return StatusOnlyPayload(req.status());
+      if (req->documents.empty()) {
+        return StatusOnlyPayload(
+            Status::InvalidArgument("submit: empty document batch"));
+      }
+      Result<SubmitDocumentsResponse> result = Submit(req->documents);
+      if (!result.ok()) return StatusOnlyPayload(result.status());
+      return EncodeSubmitDocumentsResponse(*result);
+    }
+    case Opcode::kStats:
+      return EncodeStatsResponse({StatsJson()});
+    default:
+      return StatusOnlyPayload(Status::InvalidArgument(
+          "unhandled opcode " + std::to_string(opcode)));
+  }
+}
+
+namespace {
+
+// {"index": <stats json>, "metrics": <registry json or null>} — the same
+// registry JSON `duplexctl metrics` exports, so one stats RPC feeds the
+// promtool-style scrape in README.
+std::string BuildStatsJson(const core::IndexStats& stats) {
+  std::string json = "{\n\"index\": ";
+  json += stats.ToJson();
+  json += ",\n\"metrics\": ";
+  if (MetricsRegistry* registry = GlobalMetrics()) {
+    json += registry->ExportJson();
+  } else {
+    json += "null";
+  }
+  json += "\n}";
+  return json;
+}
+
+}  // namespace
+
+// --- ShardedIndexService ----------------------------------------------------
+
+Result<ir::QueryResult> ShardedIndexService::Boolean(
+    std::string_view query) {
+  return ir::QueryExecutor(*index_).EvaluateBoolean(query);
+}
+
+Result<ir::VectorQueryResult> ShardedIndexService::Vector(
+    const ir::VectorQuery& query, size_t k) {
+  ir::QueryExecutor executor(*index_);
+  return executor.EvaluateVector(query, k, index_->next_doc_id());
+}
+
+Result<SubmitDocumentsResponse> ShardedIndexService::Submit(
+    const std::vector<std::string>& documents) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  SubmitDocumentsResponse resp;
+  resp.first_doc = index_->AddDocument(documents.front());
+  for (size_t i = 1; i < documents.size(); ++i) {
+    index_->AddDocument(documents[i]);
+  }
+  resp.accepted = static_cast<uint32_t>(documents.size());
+  uint64_t batch_id = 0;
+  DUPLEX_RETURN_IF_ERROR(index_->FlushDocumentsLogged(wal_, &batch_id));
+  resp.wal_batch_id = batch_id;
+  return resp;
+}
+
+std::string ShardedIndexService::StatsJson() {
+  return BuildStatsJson(index_->Stats());
+}
+
+Status ShardedIndexService::Flush() {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  uint64_t batch_id = 0;
+  DUPLEX_RETURN_IF_ERROR(index_->FlushDocumentsLogged(wal_, &batch_id));
+  return index_->FlushCaches();
+}
+
+// --- ConcurrentIndexService -------------------------------------------------
+
+Result<ir::QueryResult> ConcurrentIndexService::Boolean(
+    std::string_view query) {
+  return index_->WithReadLock([&](const core::InvertedIndex& index) {
+    return ir::QueryExecutor(index).EvaluateBoolean(query);
+  });
+}
+
+Result<ir::VectorQueryResult> ConcurrentIndexService::Vector(
+    const ir::VectorQuery& query, size_t k) {
+  return index_->WithReadLock([&](const core::InvertedIndex& index) {
+    return ir::QueryExecutor(index).EvaluateVector(query, k,
+                                                   index.next_doc_id());
+  });
+}
+
+Result<SubmitDocumentsResponse> ConcurrentIndexService::Submit(
+    const std::vector<std::string>& documents) {
+  return index_->WithWriteLock(
+      [&](core::InvertedIndex& index) -> Result<SubmitDocumentsResponse> {
+        SubmitDocumentsResponse resp;
+        resp.first_doc = index.AddDocument(documents.front());
+        for (size_t i = 1; i < documents.size(); ++i) {
+          index.AddDocument(documents[i]);
+        }
+        resp.accepted = static_cast<uint32_t>(documents.size());
+        DUPLEX_RETURN_IF_ERROR(index.FlushDocuments());
+        return resp;
+      });
+}
+
+std::string ConcurrentIndexService::StatsJson() {
+  return BuildStatsJson(index_->Stats());
+}
+
+Status ConcurrentIndexService::Flush() {
+  DUPLEX_RETURN_IF_ERROR(index_->FlushDocuments());
+  DUPLEX_RETURN_IF_ERROR(index_->FlushCaches());
+  if (snapshot_prefix_.empty()) return Status::OK();
+  return index_->WithWriteLock([&](core::InvertedIndex& index) {
+    return core::Snapshot::Write(index, snapshot_prefix_);
+  });
+}
+
+}  // namespace duplex::net

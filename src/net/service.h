@@ -1,0 +1,100 @@
+#ifndef DUPLEX_NET_SERVICE_H_
+#define DUPLEX_NET_SERVICE_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batch_log.h"
+#include "core/concurrent_index.h"
+#include "core/sharded_index.h"
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace duplex::net {
+
+// Request execution behind the server's worker pool: one virtual per
+// opcode, with the wire decode/encode shared in HandleRequest so every
+// backend speaks the identical protocol. Implementations must be safe
+// for concurrent calls — the worker pool runs N requests at once, and
+// readers must proceed while a submit applies (the paper's 24x7 story
+// over a socket).
+class IndexService {
+ public:
+  virtual ~IndexService() = default;
+
+  // Executes one decoded request frame and returns the response payload
+  // (status prelude + body). Never fails: handler errors are encoded as
+  // typed non-OK response payloads.
+  std::string HandleRequest(uint8_t opcode, std::string_view payload);
+
+  // Shutdown hook: make everything the service accepted durable (flush
+  // buffered documents through the WAL, write back dirty cache frames).
+  virtual Status Flush() { return Status::OK(); }
+
+ protected:
+  virtual Result<ir::QueryResult> Boolean(std::string_view query) = 0;
+  virtual Result<ir::VectorQueryResult> Vector(const ir::VectorQuery& query,
+                                               size_t k) = 0;
+  virtual Result<SubmitDocumentsResponse> Submit(
+      const std::vector<std::string>& documents) = 0;
+  virtual std::string StatsJson() = 0;
+};
+
+// Service over the word-partitioned ShardedIndex: queries fan out under
+// per-shard shared locks (concurrent with each other and with updates on
+// other shards); submits serialize on one writer mutex and run the WAL
+// commit protocol when a BatchLog is attached (append durable -> apply ->
+// flush caches -> commit). This is the backend duplexd runs.
+class ShardedIndexService : public IndexService {
+ public:
+  // `wal` may be null (no durability logging). Borrowed, not owned.
+  ShardedIndexService(core::ShardedIndex* index, core::BatchLog* wal)
+      : index_(index), wal_(wal) {}
+
+  Status Flush() override;
+
+ protected:
+  Result<ir::QueryResult> Boolean(std::string_view query) override;
+  Result<ir::VectorQueryResult> Vector(const ir::VectorQuery& query,
+                                       size_t k) override;
+  Result<SubmitDocumentsResponse> Submit(
+      const std::vector<std::string>& documents) override;
+  std::string StatsJson() override;
+
+ private:
+  core::ShardedIndex* index_;
+  core::BatchLog* wal_;
+  std::mutex submit_mutex_;
+};
+
+// Service over a snapshot-loaded single InvertedIndex behind the
+// ConcurrentIndex reader-writer facade — the `duplexctl serve <prefix>`
+// backend. Queries share the read lock; submits take the write lock.
+// Durability is snapshot-based: Flush() drains buffered documents and, if
+// a snapshot prefix is set, rewrites the snapshot on shutdown.
+class ConcurrentIndexService : public IndexService {
+ public:
+  ConcurrentIndexService(core::ConcurrentIndex* index,
+                         std::string snapshot_prefix)
+      : index_(index), snapshot_prefix_(std::move(snapshot_prefix)) {}
+
+  Status Flush() override;
+
+ protected:
+  Result<ir::QueryResult> Boolean(std::string_view query) override;
+  Result<ir::VectorQueryResult> Vector(const ir::VectorQuery& query,
+                                       size_t k) override;
+  Result<SubmitDocumentsResponse> Submit(
+      const std::vector<std::string>& documents) override;
+  std::string StatsJson() override;
+
+ private:
+  core::ConcurrentIndex* index_;
+  std::string snapshot_prefix_;
+};
+
+}  // namespace duplex::net
+
+#endif  // DUPLEX_NET_SERVICE_H_

@@ -1,0 +1,259 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace duplex::net {
+namespace {
+
+// Same transient-failure policy as storage::FileBlockDevice: EINTR and
+// EAGAIN get kMaxRetries attempts with exponential backoff before the
+// call fails typed. EAGAIN on a socket with SO_RCVTIMEO set means the
+// timeout elapsed — the backoff budget turns that into a bounded number
+// of grace periods, after which the caller gets kIoError, not a hang.
+constexpr int kMaxRetries = 8;
+constexpr long kBackoffBaseNanos = 100 * 1000;  // 100 us
+
+bool RetryableErrno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK;
+}
+
+void BackoffSleep(int attempt) {
+  struct timespec ts;
+  ts.tv_sec = 0;
+  ts.tv_nsec = kBackoffBaseNanos << attempt;
+  ::nanosleep(&ts, nullptr);
+}
+
+std::string ErrnoMessage(const char* op, int err) {
+  return std::string(op) + " failed: " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+      rc != 0) {
+    return Status::IoError("getaddrinfo(" + host + "): " +
+                           ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_err = 0;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) break;
+    last_err = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return Status::IoError("connect(" + host + ":" + service +
+                           "): " + std::strerror(last_err));
+  }
+  return Socket(fd);
+}
+
+Status Socket::SendAll(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  int retries = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == ECONNRESET || errno == EPIPE) {
+        return Status::IoError("send: peer reset connection");
+      }
+      if (RetryableErrno(errno) && retries < kMaxRetries) {
+        BackoffSleep(retries++);
+        continue;
+      }
+      return Status::IoError(ErrnoMessage("send", errno));
+    }
+    if (n == 0) {
+      // No error, no progress: retry on the bounded budget rather than
+      // spinning forever against a wedged peer.
+      if (retries >= kMaxRetries) {
+        return Status::IoError("send made no progress after " +
+                               std::to_string(kMaxRetries) + " retries");
+      }
+      BackoffSleep(retries++);
+      continue;
+    }
+    sent += static_cast<size_t>(n);
+    retries = 0;  // progress resets the budget
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  while (done < len) {
+    Result<size_t> n = RecvSome(p + done, len - done);
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      if (done == 0) return Status::IoError("recv: connection closed");
+      return Status::IoError("recv: peer closed mid-message (short read " +
+                             std::to_string(done) + " of " +
+                             std::to_string(len) + " bytes)");
+    }
+    done += *n;
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::RecvSome(void* data, size_t len) {
+  int retries = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == ECONNRESET) {
+      return Status::IoError("recv: peer reset connection");
+    }
+    if (RetryableErrno(errno) && retries < kMaxRetries) {
+      BackoffSleep(retries++);
+      continue;
+    }
+    return Status::IoError(ErrnoMessage("recv", errno));
+  }
+}
+
+Status Socket::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError(ErrnoMessage("setsockopt(SO_RCVTIMEO)", errno));
+  }
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay() {
+  const int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::IoError(ErrnoMessage("setsockopt(TCP_NODELAY)", errno));
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1));
+    port_ = other.port_;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Bind(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket", errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("bind", err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("listen", err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("getsockname", err));
+  }
+  Listener listener;
+  listener.fd_.store(fd, std::memory_order_release);
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  for (;;) {
+    const int listen_fd = fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) {
+      return Status::IoError("accept: listener closed");
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Status::IoError(ErrnoMessage("accept", errno));
+  }
+}
+
+void Listener::Close() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() wakes a thread blocked in accept(); close alone does
+    // not on all platforms.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace duplex::net

@@ -1,0 +1,95 @@
+#ifndef DUPLEX_NET_SOCKET_H_
+#define DUPLEX_NET_SOCKET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace duplex::net {
+
+// RAII TCP socket with the same errno discipline as FileBlockDevice:
+// EINTR/EAGAIN draw a bounded exponential-backoff retry budget instead of
+// spinning or failing on the first signal delivery, peer resets
+// (ECONNRESET/EPIPE) and mid-message EOFs map to typed kIoError, and a
+// syscall that makes zero progress without an errno is retried on the
+// same budget. Writes use MSG_NOSIGNAL so a dead peer produces a Status,
+// never a SIGPIPE.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // Connects to host:port (numeric IPv4 or a resolvable name).
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Sends exactly `len` bytes or returns a typed error.
+  Status SendAll(const void* data, size_t len);
+
+  // Receives exactly `len` bytes. EOF before the first byte is typed
+  // kIoError "connection closed"; EOF mid-buffer is kIoError "short
+  // read" — a silent partial frame is never returned.
+  Status RecvAll(void* data, size_t len);
+
+  // Receives up to `len` bytes; 0 means orderly EOF.
+  Result<size_t> RecvSome(void* data, size_t len);
+
+  // Bounds every subsequent blocking recv (SO_RCVTIMEO); expiry surfaces
+  // as typed kIoError after the retry budget drains.
+  Status SetRecvTimeout(std::chrono::milliseconds timeout);
+  Status SetNoDelay();
+
+  // Half-close: stop reading (wakes a blocked reader thread with EOF).
+  void ShutdownRead();
+  void ShutdownBoth();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to `port` on all interfaces (0 = ephemeral:
+// query the bound port afterwards). The fd is atomic because Close() is
+// the shutdown wake-up: Stop() closes the listener from another thread
+// to kick the accept loop out of its blocking accept().
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Result<Listener> Bind(uint16_t port, int backlog = 128);
+
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection. Returns typed kIoError when the
+  // listener was closed out from under it (the shutdown path).
+  Result<Socket> Accept();
+
+  // Safe to call from another thread while Accept() blocks.
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace duplex::net
+
+#endif  // DUPLEX_NET_SOCKET_H_

@@ -1,0 +1,81 @@
+#ifndef DUPLEX_UTIL_BOUNDED_QUEUE_H_
+#define DUPLEX_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace duplex {
+
+// Bounded multi-producer / multi-consumer FIFO, the admission-control
+// primitive of the network worker pool. Producers use TryPush — a full
+// queue is a load-shedding signal (the caller answers BUSY), never a
+// blocking wait, so a slow consumer can not wedge an accept loop.
+// Consumers block in Pop until an item arrives or the queue is closed
+// AND drained, which gives a worker pool clean shutdown semantics:
+// Close() wakes everyone, already-queued work still completes.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available (returns true) or the queue is
+  // closed and empty (returns false — the consumer should exit).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  // Rejects future pushes and wakes blocked consumers; queued items
+  // remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_BOUNDED_QUEUE_H_

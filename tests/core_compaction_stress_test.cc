@@ -175,5 +175,25 @@ TEST(CompactionStressTest, DestructorStopsBackgroundThread) {
   index.reset();  // ~ShardedIndex joins the thread
 }
 
+// Stop without a prior Start is a no-op, and concurrent Stop calls may
+// race freely: the thread handle only moves under the compaction mutex,
+// so exactly one caller joins and the rest fall through.
+TEST(CompactionStressTest, StopIsSafeWithoutStartAndUnderRaces) {
+  ShardedIndex index(StressOptions());
+  index.StopBackgroundCompaction();  // never started
+  EXPECT_FALSE(index.background_compaction_running());
+
+  for (int round = 0; round < 4; ++round) {
+    index.StartBackgroundCompaction(std::chrono::milliseconds(1));
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&] { index.StopBackgroundCompaction(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+    EXPECT_FALSE(index.background_compaction_running());
+  }
+  ASSERT_TRUE(index.VerifyIntegrity().ok());
+}
+
 }  // namespace
 }  // namespace duplex::core

@@ -1,0 +1,401 @@
+// Frame-codec fuzz tests, same shape as core_chunk_format_test: every
+// malformed input — truncated headers, bad magic, unknown version or
+// opcode, nonzero flags/reserved, declared length beyond the limit,
+// single-byte flips across the whole header, payload codec underruns and
+// bogus counts — must draw a typed error (kCorruption or
+// kInvalidArgument), never a crash, hang, or silent partial decode. The
+// pipelining sweep feeds a multi-frame stream split at every byte
+// boundary and requires exact decode regardless of the split.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/frame.h"
+
+namespace duplex::net {
+namespace {
+
+std::string HeaderBytes(uint8_t opcode, uint64_t request_id,
+                        uint32_t payload_len) {
+  FrameHeader header;
+  header.opcode = opcode;
+  header.request_id = request_id;
+  header.payload_len = payload_len;
+  std::string out;
+  EncodeFrameHeader(header, &out);
+  return out;
+}
+
+TEST(FrameHeaderTest, RoundTrip) {
+  const std::string bytes =
+      HeaderBytes(static_cast<uint8_t>(Opcode::kBooleanQuery), 0x1122334455ull,
+                  77);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize);
+  Result<FrameHeader> header = DecodeFrameHeader(bytes);
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->version, kFrameVersion);
+  EXPECT_EQ(header->opcode, static_cast<uint8_t>(Opcode::kBooleanQuery));
+  EXPECT_EQ(header->request_id, 0x1122334455ull);
+  EXPECT_EQ(header->payload_len, 77u);
+}
+
+TEST(FrameHeaderTest, EveryTruncationFailsTyped) {
+  const std::string bytes =
+      HeaderBytes(static_cast<uint8_t>(Opcode::kPing), 9, 0);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Result<FrameHeader> header = DecodeFrameHeader(bytes.substr(0, len));
+    ASSERT_FALSE(header.ok()) << "length " << len;
+    EXPECT_TRUE(header.status().IsCorruption()) << header.status();
+  }
+}
+
+TEST(FrameHeaderTest, BadMagicFailsTyped) {
+  std::string bytes = HeaderBytes(static_cast<uint8_t>(Opcode::kPing), 1, 0);
+  for (size_t i = 0; i < 4; ++i) {
+    std::string bad = bytes;
+    bad[i] ^= 0x40;
+    Result<FrameHeader> header = DecodeFrameHeader(bad);
+    ASSERT_FALSE(header.ok());
+    EXPECT_TRUE(header.status().IsCorruption()) << header.status();
+  }
+}
+
+TEST(FrameHeaderTest, UnknownVersionFailsTyped) {
+  std::string bytes = HeaderBytes(static_cast<uint8_t>(Opcode::kPing), 1, 0);
+  bytes[4] = 9;
+  Result<FrameHeader> header = DecodeFrameHeader(bytes);
+  ASSERT_FALSE(header.ok());
+  EXPECT_TRUE(header.status().IsCorruption()) << header.status();
+}
+
+TEST(FrameHeaderTest, UnknownOpcodeFailsTyped) {
+  for (const uint8_t opcode : {0x00, 0x3A, 0x7E}) {
+    const std::string bytes = HeaderBytes(opcode, 1, 0);
+    Result<FrameHeader> header = DecodeFrameHeader(bytes);
+    ASSERT_FALSE(header.ok()) << "opcode " << int{opcode};
+    EXPECT_TRUE(header.status().IsInvalidArgument()) << header.status();
+  }
+}
+
+TEST(FrameHeaderTest, ResponseAndGoAwayOpcodesAreKnown) {
+  const uint8_t known[] = {
+      static_cast<uint8_t>(static_cast<uint8_t>(Opcode::kPing) | kResponseBit),
+      static_cast<uint8_t>(static_cast<uint8_t>(Opcode::kStats) |
+                           kResponseBit),
+      static_cast<uint8_t>(Opcode::kGoAway)};
+  for (const uint8_t opcode : known) {
+    const std::string bytes = HeaderBytes(opcode, 1, 0);
+    Result<FrameHeader> header = DecodeFrameHeader(bytes);
+    ASSERT_TRUE(header.ok()) << header.status();
+    EXPECT_EQ(header->opcode, opcode);
+  }
+}
+
+TEST(FrameHeaderTest, NonzeroFlagsOrReservedFailsTyped) {
+  for (const size_t offset : {6u, 7u, 20u, 21u, 22u, 23u}) {
+    std::string bytes =
+        HeaderBytes(static_cast<uint8_t>(Opcode::kPing), 1, 0);
+    bytes[offset] = 0x01;
+    Result<FrameHeader> header = DecodeFrameHeader(bytes);
+    ASSERT_FALSE(header.ok()) << "offset " << offset;
+    EXPECT_TRUE(header.status().IsCorruption()) << header.status();
+  }
+}
+
+TEST(FrameHeaderTest, OversizedPayloadFailsTyped) {
+  const std::string bytes =
+      HeaderBytes(static_cast<uint8_t>(Opcode::kPing), 1, 1024 + 1);
+  Result<FrameHeader> header = DecodeFrameHeader(bytes, /*max_payload=*/1024);
+  ASSERT_FALSE(header.ok());
+  EXPECT_TRUE(header.status().IsInvalidArgument()) << header.status();
+  // The ceiling binds even when the caller passes a larger limit.
+  const std::string huge = HeaderBytes(static_cast<uint8_t>(Opcode::kPing), 1,
+                                       kMaxPayloadCeiling + 1);
+  Result<FrameHeader> ceiling =
+      DecodeFrameHeader(huge, /*max_payload=*/0xFFFFFFFF);
+  ASSERT_FALSE(ceiling.ok());
+}
+
+// Byte-flip sweep: every single-bit-in-every-byte corruption of a valid
+// header either still decodes (bits inside request id / a still-valid
+// payload length or opcode) or fails typed — never anything else.
+TEST(FrameHeaderTest, ByteFlipSweepFailsTypedOrDecodes) {
+  const std::string bytes = HeaderBytes(
+      static_cast<uint8_t>(Opcode::kSubmitDocuments), 0xDEADBEEF, 100);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = bytes;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      Result<FrameHeader> header = DecodeFrameHeader(bad);
+      if (!header.ok()) {
+        EXPECT_TRUE(header.status().IsCorruption() ||
+                    header.status().IsInvalidArgument())
+            << "byte " << i << " bit " << bit << ": " << header.status();
+      }
+    }
+  }
+}
+
+TEST(FrameAssemblerTest, DecodesMultipleFramesFromOneFeed) {
+  std::string stream;
+  EncodeFrame(static_cast<uint8_t>(Opcode::kPing), 1, "", &stream);
+  EncodeFrame(static_cast<uint8_t>(Opcode::kBooleanQuery), 2, "abc", &stream);
+  EncodeFrame(static_cast<uint8_t>(Opcode::kStats), 3, "x", &stream);
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(stream).ok());
+  std::vector<Frame> frames;
+  while (assembler.HasFrame()) frames.push_back(assembler.Next());
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].header.request_id, 1u);
+  EXPECT_EQ(frames[1].payload, "abc");
+  EXPECT_EQ(frames[2].header.opcode, static_cast<uint8_t>(Opcode::kStats));
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+}
+
+// Pipelining sweep: a three-frame stream split into two Feeds at every
+// byte boundary must decode to exactly the same frames.
+TEST(FrameAssemblerTest, EverySplitBoundaryDecodesExactly) {
+  std::string stream;
+  EncodeFrame(static_cast<uint8_t>(Opcode::kPing), 10, "", &stream);
+  EncodeFrame(static_cast<uint8_t>(Opcode::kBooleanQuery), 11, "cat AND dog",
+              &stream);
+  EncodeFrame(static_cast<uint8_t>(Opcode::kVectorQuery), 12,
+              std::string(100, 'v'), &stream);
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameAssembler assembler;
+    ASSERT_TRUE(assembler.Feed(stream.substr(0, split)).ok());
+    ASSERT_TRUE(assembler.Feed(stream.substr(split)).ok());
+    std::vector<Frame> frames;
+    while (assembler.HasFrame()) frames.push_back(assembler.Next());
+    ASSERT_EQ(frames.size(), 3u) << "split " << split;
+    EXPECT_EQ(frames[0].header.request_id, 10u);
+    EXPECT_EQ(frames[1].payload, "cat AND dog");
+    EXPECT_EQ(frames[2].payload.size(), 100u);
+    EXPECT_EQ(assembler.pending_bytes(), 0u);
+  }
+}
+
+TEST(FrameAssemblerTest, OneByteAtATimeDecodes) {
+  std::string stream;
+  EncodeFrame(static_cast<uint8_t>(Opcode::kSubmitDocuments), 42, "payload",
+              &stream);
+  FrameAssembler assembler;
+  for (const char c : stream) {
+    ASSERT_TRUE(assembler.Feed(std::string_view(&c, 1)).ok());
+  }
+  ASSERT_TRUE(assembler.HasFrame());
+  const Frame frame = assembler.Next();
+  EXPECT_EQ(frame.header.request_id, 42u);
+  EXPECT_EQ(frame.payload, "payload");
+}
+
+TEST(FrameAssemblerTest, GarbageIsStickyTypedError) {
+  FrameAssembler assembler;
+  const Status fed = assembler.Feed("this is not a DPLX frame at all!");
+  ASSERT_FALSE(fed.ok());
+  EXPECT_TRUE(fed.IsCorruption()) << fed;
+  // Sticky: even a valid frame afterwards is refused — a corrupt
+  // length-prefixed stream has no resynchronization point.
+  std::string good;
+  EncodeFrame(static_cast<uint8_t>(Opcode::kPing), 1, "", &good);
+  const Status after = assembler.Feed(good);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.code(), fed.code());
+  EXPECT_FALSE(assembler.HasFrame());
+  EXPECT_FALSE(assembler.error().ok());
+}
+
+TEST(FrameAssemblerTest, IncompleteInputIsNotAnError) {
+  std::string stream;
+  EncodeFrame(static_cast<uint8_t>(Opcode::kPing), 5, "abcdef", &stream);
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(stream.substr(0, stream.size() - 1)).ok());
+  EXPECT_FALSE(assembler.HasFrame());
+  EXPECT_TRUE(assembler.error().ok());
+  EXPECT_GT(assembler.pending_bytes(), 0u);
+}
+
+TEST(FrameAssemblerTest, OversizedDeclaredLengthFailsTyped) {
+  FrameAssembler assembler(/*max_payload=*/64);
+  std::string stream;
+  EncodeFrame(static_cast<uint8_t>(Opcode::kPing), 1, std::string(65, 'x'),
+              &stream);
+  const Status fed = assembler.Feed(stream);
+  ASSERT_FALSE(fed.ok());
+  EXPECT_TRUE(fed.IsInvalidArgument()) << fed;
+}
+
+// --- Payload codecs ---------------------------------------------------------
+
+TEST(PayloadCodecTest, BooleanRequestRoundTrip) {
+  BooleanQueryRequest req;
+  req.query = "cat AND (dog OR NOT fish)";
+  Result<BooleanQueryRequest> got =
+      DecodeBooleanQueryRequest(EncodeBooleanQueryRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->query, req.query);
+}
+
+TEST(PayloadCodecTest, VectorRequestRoundTrip) {
+  VectorQueryRequest req;
+  req.k = 25;
+  req.query.terms = {{"alpha", 1.5}, {"beta", 0.25}, {"gamma", 2.0}};
+  Result<VectorQueryRequest> got =
+      DecodeVectorQueryRequest(EncodeVectorQueryRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->k, 25u);
+  ASSERT_EQ(got->query.terms.size(), 3u);
+  EXPECT_EQ(got->query.terms[1].term, "beta");
+  EXPECT_EQ(got->query.terms[1].weight, 0.25);
+}
+
+TEST(PayloadCodecTest, SubmitRequestRoundTrip) {
+  SubmitDocumentsRequest req;
+  req.documents = {"first document", "", "third with\nnewline"};
+  Result<SubmitDocumentsRequest> got =
+      DecodeSubmitDocumentsRequest(EncodeSubmitDocumentsRequest(req));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->documents, req.documents);
+}
+
+TEST(PayloadCodecTest, ResponseStatusRoundTrip) {
+  std::string out;
+  EncodeResponseStatus(Status::ResourceExhausted("server queue full"), &out);
+  std::string_view in(out);
+  Status decoded;
+  ASSERT_TRUE(DecodeResponseStatus(&in, &decoded).ok());
+  EXPECT_TRUE(decoded.IsResourceExhausted());
+  EXPECT_EQ(decoded.message(), "server queue full");
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(PayloadCodecTest, UnknownStatusCodeFailsTyped) {
+  std::string out;
+  PutU8(&out, 0xEE);
+  PutString(&out, "bogus");
+  std::string_view in(out);
+  Status decoded;
+  const Status verdict = DecodeResponseStatus(&in, &decoded);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_TRUE(verdict.IsCorruption()) << verdict;
+}
+
+// Every truncation of every encoded payload decodes typed or OK — the
+// codecs are total over arbitrary prefixes.
+TEST(PayloadCodecTest, EveryRequestTruncationFailsTyped) {
+  BooleanQueryRequest boolean_req;
+  boolean_req.query = "alpha AND beta";
+  VectorQueryRequest vector_req;
+  vector_req.k = 3;
+  vector_req.query.terms = {{"alpha", 1.0}, {"beta", 2.0}};
+  SubmitDocumentsRequest submit_req;
+  submit_req.documents = {"doc one", "doc two"};
+  const std::vector<std::string> payloads = {
+      EncodeBooleanQueryRequest(boolean_req),
+      EncodeVectorQueryRequest(vector_req),
+      EncodeSubmitDocumentsRequest(submit_req),
+  };
+  for (const std::string& payload : payloads) {
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const std::string_view cut(payload.data(), len);
+      const Status b = DecodeBooleanQueryRequest(cut).status();
+      const Status v = DecodeVectorQueryRequest(cut).status();
+      const Status s = DecodeSubmitDocumentsRequest(cut).status();
+      for (const Status& st : {b, v, s}) {
+        if (!st.ok()) {
+          EXPECT_TRUE(st.IsCorruption()) << st;
+        }
+      }
+    }
+  }
+}
+
+// Random byte-flip fuzz over encoded requests: decoders must return
+// (typed error | success), never crash. Deterministic xor pattern keeps
+// the sweep reproducible.
+TEST(PayloadCodecTest, ByteFlipFuzzNeverCrashes) {
+  SubmitDocumentsRequest req;
+  req.documents = {"aaaa", "bbbbbbbb", std::string(300, 'c')};
+  const std::string base = EncodeSubmitDocumentsRequest(req);
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::string bad = base;
+    bad[i] = static_cast<char>(bad[i] ^ 0xA5);
+    Result<SubmitDocumentsRequest> got = DecodeSubmitDocumentsRequest(bad);
+    if (!got.ok()) {
+      EXPECT_TRUE(got.status().IsCorruption()) << got.status();
+    }
+  }
+  VectorQueryRequest vreq;
+  vreq.k = 2;
+  vreq.query.terms = {{"word", 3.25}};
+  const std::string vbase = EncodeVectorQueryRequest(vreq);
+  for (size_t i = 0; i < vbase.size(); ++i) {
+    std::string bad = vbase;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5A);
+    Result<VectorQueryRequest> got = DecodeVectorQueryRequest(bad);
+    if (!got.ok()) {
+      EXPECT_TRUE(got.status().IsCorruption()) << got.status();
+    }
+  }
+}
+
+TEST(PayloadCodecTest, ResponseRoundTrips) {
+  BooleanQueryResponse boolean_resp;
+  boolean_resp.result.docs = {1, 5, 9};
+  boolean_resp.result.read_ops = 4;
+  Result<BooleanQueryResponse> boolean_got =
+      DecodeBooleanQueryResponse(EncodeBooleanQueryResponse(boolean_resp));
+  ASSERT_TRUE(boolean_got.ok()) << boolean_got.status();
+  EXPECT_EQ(boolean_got->result.docs, boolean_resp.result.docs);
+  EXPECT_EQ(boolean_got->result.read_ops, 4u);
+
+  VectorQueryResponse vector_resp;
+  vector_resp.result.top = {{7, 2.5}, {3, 1.25}};
+  Result<VectorQueryResponse> vector_got =
+      DecodeVectorQueryResponse(EncodeVectorQueryResponse(vector_resp));
+  ASSERT_TRUE(vector_got.ok()) << vector_got.status();
+  ASSERT_EQ(vector_got->result.top.size(), 2u);
+  EXPECT_EQ(vector_got->result.top[0].doc, 7u);
+  EXPECT_EQ(vector_got->result.top[0].score, 2.5);
+
+  SubmitDocumentsResponse submit_resp;
+  submit_resp.first_doc = 100;
+  submit_resp.accepted = 3;
+  submit_resp.wal_batch_id = 17;
+  Result<SubmitDocumentsResponse> submit_got =
+      DecodeSubmitDocumentsResponse(
+          EncodeSubmitDocumentsResponse(submit_resp));
+  ASSERT_TRUE(submit_got.ok()) << submit_got.status();
+  EXPECT_EQ(submit_got->first_doc, 100u);
+  EXPECT_EQ(submit_got->accepted, 3u);
+  EXPECT_EQ(submit_got->wal_batch_id, 17u);
+
+  StatsResponse stats_resp;
+  stats_resp.json = "{\"x\": 1}";
+  Result<StatsResponse> stats_got =
+      DecodeStatsResponse(EncodeStatsResponse(stats_resp));
+  ASSERT_TRUE(stats_got.ok()) << stats_got.status();
+  EXPECT_EQ(stats_got->json, stats_resp.json);
+}
+
+TEST(PayloadCodecTest, ErrorPreludeSurfacesFromResponseDecoders) {
+  std::string payload;
+  EncodeResponseStatus(Status::NotFound("no such thing"), &payload);
+  Result<BooleanQueryResponse> got = DecodeBooleanQueryResponse(payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+  EXPECT_EQ(got.status().message(), "no such thing");
+}
+
+TEST(PayloadCodecTest, TrailingBytesFailTyped) {
+  BooleanQueryRequest req;
+  req.query = "x";
+  std::string payload = EncodeBooleanQueryRequest(req);
+  payload += "extra";
+  Result<BooleanQueryRequest> got = DecodeBooleanQueryRequest(payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status();
+}
+
+}  // namespace
+}  // namespace duplex::net

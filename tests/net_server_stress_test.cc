@@ -1,0 +1,196 @@
+// ServerStress: the TSan target for the network layer. M client threads
+// hammer boolean and vector queries over loopback TCP while one writer
+// thread streams submit-documents batches into the same server — the
+// paper's 24x7 incremental-update story under maximum interleaving.
+// Invariants: every response is either OK or typed BUSY (nothing
+// malformed, no torn frames), and after quiescing, queries answered over
+// TCP bit-match a direct ir::QueryExecutor run on the same ShardedIndex.
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_index.h"
+#include "gtest/gtest.h"
+#include "ir/query_executor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/service.h"
+
+namespace duplex::net {
+namespace {
+
+core::ShardedIndexOptions StressOptions() {
+  core::IndexOptions total;
+  total.buckets.num_buckets = 256;
+  total.buckets.bucket_capacity = 64;
+  total.policy = core::Policy::RecommendedUpdateOptimized();
+  total.block_postings = 32;
+  total.disks.num_disks = 2;
+  total.disks.blocks_per_disk = 16384;
+  total.disks.checksums = true;
+  total.materialize = true;
+  return core::ShardedIndexOptions::Partition(total, 4);
+}
+
+// Small closed vocabulary so reader and writer traffic collide on the
+// same terms (and therefore the same shards and buckets).
+const char* const kWords[] = {"alpha", "beta",  "gamma", "delta",
+                              "omega", "sigma", "kappa", "lambda"};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string SynthDocument(uint64_t seed) {
+  std::string doc;
+  for (int i = 0; i < 6; ++i) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    if (i > 0) doc += ' ';
+    doc += kWords[(seed >> 33) % kNumWords];
+  }
+  return doc;
+}
+
+TEST(ServerStressTest, ConcurrentReadersWithStreamingWriter) {
+  core::ShardedIndex index(StressOptions());
+  for (uint64_t i = 0; i < 32; ++i) index.AddDocument(SynthDocument(i));
+  ASSERT_TRUE(index.FlushDocuments().ok());
+
+  ShardedIndexService service(&index, nullptr);
+  ServerOptions options;
+  options.num_workers = 4;
+  options.per_connection_queue = 64;
+  options.global_queue = 256;
+  Server server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kReaders = 4;
+  constexpr auto kRunFor = std::chrono::milliseconds(400);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> busy{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Result<Client> client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string a = kWords[(r + i) % kNumWords];
+        const std::string b = kWords[(r + i + 3) % kNumWords];
+        if (i % 3 == 0) {
+          ir::VectorQuery query;
+          query.terms = {{a, 1.0}, {b, 0.5}};
+          Result<ir::VectorQueryResult> got = client->Vector(query, 5);
+          if (!got.ok() && !got.status().IsResourceExhausted()) {
+            ++failures;
+            break;
+          }
+          if (!got.ok()) ++busy;
+        } else {
+          Result<ir::QueryResult> got =
+              client->Boolean(a + " AND " + b);
+          if (!got.ok() && !got.status().IsResourceExhausted()) {
+            ++failures;
+            break;
+          }
+          if (!got.ok()) ++busy;
+        }
+        ++reads;
+        ++i;
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      ++failures;
+      return;
+    }
+    uint64_t seed = 1000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<std::string> batch;
+      for (int d = 0; d < 4; ++d) batch.push_back(SynthDocument(seed++));
+      Result<SubmitDocumentsResponse> got = client->Submit(batch);
+      if (!got.ok() && !got.status().IsResourceExhausted()) {
+        ++failures;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::this_thread::sleep_for(kRunFor);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Quiesce, then the acceptance check: TCP answers bit-match a direct
+  // executor run over the same (now final) index.
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  for (size_t i = 0; i < kNumWords; ++i) {
+    const std::string query = std::string(kWords[i]) + " AND " +
+                              kWords[(i + 1) % kNumWords];
+    Result<ir::QueryResult> remote = client->Boolean(query);
+    Result<ir::QueryResult> direct =
+        ir::QueryExecutor(index).EvaluateBoolean(query);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    EXPECT_EQ(remote->docs, direct->docs) << query;
+  }
+  ir::VectorQuery vq;
+  vq.terms = {{"alpha", 2.0}, {"omega", 1.0}};
+  Result<ir::VectorQueryResult> remote_v = client->Vector(vq, 10);
+  Result<ir::VectorQueryResult> direct_v =
+      ir::QueryExecutor(index).EvaluateVector(vq, 10, index.next_doc_id());
+  ASSERT_TRUE(remote_v.ok()) << remote_v.status();
+  ASSERT_TRUE(direct_v.ok()) << direct_v.status();
+  ASSERT_EQ(remote_v->top.size(), direct_v->top.size());
+  for (size_t i = 0; i < remote_v->top.size(); ++i) {
+    EXPECT_EQ(remote_v->top[i].doc, direct_v->top[i].doc);
+    EXPECT_EQ(remote_v->top[i].score, direct_v->top[i].score);
+  }
+
+  server.Stop();
+}
+
+// Stop while traffic is in flight: clients racing a shutdown may see
+// I/O errors or BUSY, but never a malformed frame, and the server joins
+// every thread (TSan would flag a leaked racing thread).
+TEST(ServerStressTest, StopUnderLoadJoinsCleanly) {
+  core::ShardedIndex index(StressOptions());
+  for (uint64_t i = 0; i < 16; ++i) index.AddDocument(SynthDocument(i));
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  ShardedIndexService service(&index, nullptr);
+  Server server(&service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      Result<Client> client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!client->Boolean("alpha AND beta").ok()) break;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace duplex::net

@@ -1,0 +1,396 @@
+// Loopback server tests: duplexd's front end (net::Server over a
+// ShardedIndexService) driven through net::Client on 127.0.0.1. The core
+// acceptance check is bit-identical results — every boolean and vector
+// query answered over TCP must match a direct ir::QueryExecutor run
+// against the same index. The rest covers the failure protocol (garbage
+// → typed GoAway + close, overload → typed BUSY, stale queue entries →
+// deadline shedding) and Start/Stop lifecycle idempotency.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_log.h"
+#include "core/sharded_index.h"
+#include "gtest/gtest.h"
+#include "ir/query_executor.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/service.h"
+#include "net/socket.h"
+
+namespace duplex::net {
+namespace {
+
+core::ShardedIndexOptions SmallOptions(uint32_t shards) {
+  core::IndexOptions total;
+  total.buckets.num_buckets = 128;
+  total.buckets.bucket_capacity = 64;
+  total.policy = core::Policy::RecommendedUpdateOptimized();
+  total.block_postings = 32;
+  total.disks.num_disks = 2;
+  total.disks.blocks_per_disk = 4096;
+  total.disks.checksums = true;
+  total.materialize = true;
+  return core::ShardedIndexOptions::Partition(total, shards);
+}
+
+// Index + service + running server on an ephemeral loopback port.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options = {},
+                         core::BatchLog* wal = nullptr)
+      : index_(SmallOptions(4)), service_(&index_, wal) {
+    index_.AddDocument("incremental updates of inverted lists");
+    index_.AddDocument("text document retrieval with inverted files");
+    index_.AddDocument("dual structure index for incremental text updates");
+    index_.AddDocument("unrelated words entirely about something else");
+    Status flushed = index_.FlushDocumentsLogged(wal);
+    EXPECT_TRUE(flushed.ok()) << flushed;
+    server_ = std::make_unique<Server>(&service_, options);
+    Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  ~ServerFixture() { server_->Stop(); }
+
+  Client ConnectOrDie() {
+    Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(*client);
+  }
+
+  core::ShardedIndex& index() { return index_; }
+  Server& server() { return *server_; }
+
+ private:
+  core::ShardedIndex index_;
+  ShardedIndexService service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST(NetServerTest, PingAndStats) {
+  ServerFixture fx;
+  Client client = fx.ConnectOrDie();
+  ASSERT_TRUE(client.Ping().ok());
+  Result<std::string> stats = client.StatsJson();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("\"index\""), std::string::npos);
+}
+
+TEST(NetServerTest, BooleanMatchesDirectExecutor) {
+  ServerFixture fx;
+  Client client = fx.ConnectOrDie();
+  const std::vector<std::string> queries = {
+      "inverted AND updates",
+      "incremental OR retrieval",
+      "text AND NOT unrelated",
+      "(inverted OR dual) AND index",
+      "nosuchterm",
+  };
+  for (const std::string& query : queries) {
+    Result<ir::QueryResult> remote = client.Boolean(query);
+    Result<ir::QueryResult> direct =
+        ir::QueryExecutor(fx.index()).EvaluateBoolean(query);
+    ASSERT_EQ(remote.ok(), direct.ok()) << query;
+    if (!remote.ok()) continue;
+    EXPECT_EQ(remote->docs, direct->docs) << query;
+    EXPECT_EQ(remote->missing_terms, direct->missing_terms) << query;
+  }
+}
+
+TEST(NetServerTest, BooleanSyntaxErrorSurfacesTyped) {
+  ServerFixture fx;
+  Client client = fx.ConnectOrDie();
+  Result<ir::QueryResult> remote = client.Boolean("AND AND (");
+  Result<ir::QueryResult> direct =
+      ir::QueryExecutor(fx.index()).EvaluateBoolean("AND AND (");
+  ASSERT_FALSE(direct.ok());
+  ASSERT_FALSE(remote.ok());
+  EXPECT_EQ(remote.status().code(), direct.status().code());
+  // A handler error never tears down the connection.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(NetServerTest, VectorMatchesDirectExecutor) {
+  ServerFixture fx;
+  Client client = fx.ConnectOrDie();
+  ir::VectorQuery query;
+  query.terms = {{"inverted", 2.0}, {"text", 1.0}, {"updates", 0.5}};
+  Result<ir::VectorQueryResult> remote = client.Vector(query, 3);
+  ir::QueryExecutor executor(fx.index());
+  Result<ir::VectorQueryResult> direct =
+      executor.EvaluateVector(query, 3, fx.index().next_doc_id());
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  ASSERT_EQ(remote->top.size(), direct->top.size());
+  for (size_t i = 0; i < remote->top.size(); ++i) {
+    EXPECT_EQ(remote->top[i].doc, direct->top[i].doc) << i;
+    EXPECT_EQ(remote->top[i].score, direct->top[i].score) << i;
+  }
+}
+
+TEST(NetServerTest, SubmitIsVisibleToSubsequentQueries) {
+  ServerFixture fx;
+  Client client = fx.ConnectOrDie();
+  Result<ir::QueryResult> before = client.Boolean("zebra");
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_TRUE(before->docs.empty());
+
+  Result<SubmitDocumentsResponse> submit =
+      client.Submit({"a zebra walks into an inverted index"});
+  ASSERT_TRUE(submit.ok()) << submit.status();
+  EXPECT_EQ(submit->accepted, 1u);
+  EXPECT_EQ(submit->wal_batch_id, 0u);  // no WAL attached
+
+  Result<ir::QueryResult> after = client.Boolean("zebra");
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_EQ(after->docs.size(), 1u);
+  EXPECT_EQ(after->docs[0], submit->first_doc);
+  // TCP answer still matches the direct executor after the update.
+  Result<ir::QueryResult> direct =
+      ir::QueryExecutor(fx.index()).EvaluateBoolean("zebra");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(after->docs, direct->docs);
+}
+
+TEST(NetServerTest, SubmitReturnsWalBatchId) {
+  const std::string wal_path =
+      ::testing::TempDir() + "/duplex_net_server_test.wal";
+  std::remove(wal_path.c_str());
+  Result<std::unique_ptr<core::BatchLog>> wal = core::BatchLog::Open(wal_path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ServerFixture fx({}, wal->get());
+  Client client = fx.ConnectOrDie();
+  Result<SubmitDocumentsResponse> first =
+      client.Submit({"logged document one"});
+  ASSERT_TRUE(first.ok()) << first.status();
+  Result<SubmitDocumentsResponse> second =
+      client.Submit({"logged document two"});
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_GT(first->wal_batch_id, 0u);
+  EXPECT_GT(second->wal_batch_id, first->wal_batch_id);
+}
+
+TEST(NetServerTest, EmptySubmitIsTypedError) {
+  ServerFixture fx;
+  Client client = fx.ConnectOrDie();
+  Result<SubmitDocumentsResponse> submit = client.Submit({});
+  ASSERT_FALSE(submit.ok());
+  EXPECT_TRUE(submit.status().IsInvalidArgument()) << submit.status();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// Raw garbage on the wire: the server answers exactly one GoAway frame
+// carrying a typed status, then closes the connection.
+TEST(NetServerTest, GarbageDrawsGoAwayAndClose) {
+  ServerFixture fx;
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fx.server().port());
+  ASSERT_TRUE(sock.ok()) << sock.status();
+  const std::string garbage = "once upon a time there was no frame here";
+  ASSERT_TRUE(sock->SendAll(garbage.data(), garbage.size()).ok());
+
+  std::string header_bytes(kFrameHeaderSize, '\0');
+  ASSERT_TRUE(
+      sock->RecvAll(header_bytes.data(), header_bytes.size()).ok());
+  Result<FrameHeader> header = DecodeFrameHeader(header_bytes);
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->opcode, static_cast<uint8_t>(Opcode::kGoAway));
+  std::string payload(header->payload_len, '\0');
+  ASSERT_TRUE(sock->RecvAll(payload.data(), payload.size()).ok());
+  std::string_view in(payload);
+  Status refusal;
+  ASSERT_TRUE(DecodeResponseStatus(&in, &refusal).ok());
+  EXPECT_TRUE(refusal.IsCorruption()) << refusal;
+
+  // Connection is closed after the GoAway: next read is EOF.
+  char byte;
+  Result<size_t> eof = sock->RecvSome(&byte, 1);
+  if (eof.ok()) EXPECT_EQ(*eof, 0u);
+}
+
+TEST(NetServerTest, OversizedFrameDrawsTypedGoAway) {
+  ServerOptions options;
+  options.max_payload_bytes = 1024;
+  ServerFixture fx(options);
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fx.server().port());
+  ASSERT_TRUE(sock.ok()) << sock.status();
+  std::string frame;
+  FrameHeader header;
+  header.opcode = static_cast<uint8_t>(Opcode::kBooleanQuery);
+  header.request_id = 7;
+  header.payload_len = 1024 * 1024;  // above the server's limit
+  EncodeFrameHeader(header, &frame);
+  ASSERT_TRUE(sock->SendAll(frame.data(), frame.size()).ok());
+
+  std::string header_bytes(kFrameHeaderSize, '\0');
+  ASSERT_TRUE(
+      sock->RecvAll(header_bytes.data(), header_bytes.size()).ok());
+  Result<FrameHeader> resp = DecodeFrameHeader(header_bytes);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->opcode, static_cast<uint8_t>(Opcode::kGoAway));
+  std::string payload(resp->payload_len, '\0');
+  ASSERT_TRUE(sock->RecvAll(payload.data(), payload.size()).ok());
+  std::string_view in(payload);
+  Status refusal;
+  ASSERT_TRUE(DecodeResponseStatus(&in, &refusal).ok());
+  EXPECT_TRUE(refusal.IsInvalidArgument()) << refusal;
+}
+
+// A response-opcode frame from a client is not a request; the server
+// refuses it with GoAway rather than executing it.
+TEST(NetServerTest, NonRequestOpcodeDrawsGoAway) {
+  ServerFixture fx;
+  Result<Socket> sock = Socket::Connect("127.0.0.1", fx.server().port());
+  ASSERT_TRUE(sock.ok()) << sock.status();
+  std::string frame;
+  EncodeFrame(static_cast<uint8_t>(Opcode::kPing) | kResponseBit, 3, "",
+              &frame);
+  ASSERT_TRUE(sock->SendAll(frame.data(), frame.size()).ok());
+  std::string header_bytes(kFrameHeaderSize, '\0');
+  ASSERT_TRUE(
+      sock->RecvAll(header_bytes.data(), header_bytes.size()).ok());
+  Result<FrameHeader> resp = DecodeFrameHeader(header_bytes);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->opcode, static_cast<uint8_t>(Opcode::kGoAway));
+  EXPECT_EQ(resp->request_id, 3u);
+}
+
+// Overload: one slow worker, tiny queues, a burst of pipelined requests.
+// The overflow must come back as typed BUSY immediately — the server
+// never queues unboundedly — while every admitted request still answers.
+TEST(NetServerTest, OverloadDrawsTypedBusy) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.per_connection_queue = 2;
+  options.global_queue = 2;
+  options.request_deadline = std::chrono::milliseconds(0);  // no shedding
+  options.test_handler_delay = std::chrono::milliseconds(50);
+  ServerFixture fx(options);
+  Client client = fx.ConnectOrDie();
+
+  const int kBurst = 12;
+  const std::string payload = EncodeBooleanQueryRequest({"inverted"});
+  for (int i = 0; i < kBurst; ++i) {
+    Result<uint64_t> sent = client.Send(Opcode::kBooleanQuery, payload);
+    ASSERT_TRUE(sent.ok()) << sent.status();
+  }
+  int ok = 0, busy = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Result<ClientResponse> resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    if (resp->status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_TRUE(resp->status.IsResourceExhausted()) << resp->status;
+      ++busy;
+    }
+  }
+  EXPECT_GT(busy, 0) << "burst never overflowed the queues";
+  EXPECT_GT(ok, 0) << "admitted requests must still answer";
+  EXPECT_EQ(ok + busy, kBurst);
+  EXPECT_EQ(fx.server().requests_rejected(), static_cast<uint64_t>(busy));
+}
+
+// Deadline shedding: with one worker sleeping 60ms per request and a
+// 20ms admission-to-execution budget, pipelined requests behind the
+// first sit past their deadline and must be shed as BUSY, not executed.
+TEST(NetServerTest, StaleQueuedRequestsAreShed) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.per_connection_queue = 16;
+  options.global_queue = 16;
+  options.request_deadline = std::chrono::milliseconds(20);
+  options.test_handler_delay = std::chrono::milliseconds(60);
+  ServerFixture fx(options);
+  Client client = fx.ConnectOrDie();
+
+  const int kBurst = 4;
+  const std::string payload = EncodeBooleanQueryRequest({"inverted"});
+  for (int i = 0; i < kBurst; ++i) {
+    Result<uint64_t> sent = client.Send(Opcode::kBooleanQuery, payload);
+    ASSERT_TRUE(sent.ok()) << sent.status();
+  }
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Result<ClientResponse> resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    if (resp->status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_TRUE(resp->status.IsResourceExhausted()) << resp->status;
+      ++shed;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GT(shed, 0) << "stale requests were executed instead of shed";
+}
+
+TEST(NetServerTest, StopWithoutStartIsSafe) {
+  core::ShardedIndex index(SmallOptions(2));
+  ShardedIndexService service(&index, nullptr);
+  Server server(&service, {});
+  server.Stop();  // never started
+  server.Stop();  // and again
+  EXPECT_FALSE(server.running());
+}
+
+TEST(NetServerTest, StopIsIdempotentAndRestartable) {
+  core::ShardedIndex index(SmallOptions(2));
+  index.AddDocument("restart survivor document");
+  ASSERT_TRUE(index.FlushDocuments().ok());
+  ShardedIndexService service(&index, nullptr);
+  Server server(&service, {});
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(server.Start().ok()) << "round " << round;
+    EXPECT_TRUE(server.running());
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status();
+    EXPECT_TRUE(client->Ping().ok()) << "round " << round;
+    server.Stop();
+    server.Stop();  // double Stop
+    EXPECT_FALSE(server.running());
+  }
+  // Destructor after Stop is the third redundant shutdown.
+}
+
+TEST(NetServerTest, StopDrainsAdmittedRequests) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.test_handler_delay = std::chrono::milliseconds(80);
+  ServerFixture fx(options);
+  Client client = fx.ConnectOrDie();
+  const std::string payload = EncodeBooleanQueryRequest({"inverted"});
+  Result<uint64_t> sent = client.Send(Opcode::kBooleanQuery, payload);
+  ASSERT_TRUE(sent.ok()) << sent.status();
+  // Give the reader thread time to admit the frame, then stop: the
+  // admitted request must still be answered before Stop returns.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fx.server().Stop();
+  Result<ClientResponse> resp = client.Receive();
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_EQ(resp->request_id, *sent);
+  EXPECT_TRUE(resp->status.ok()) << resp->status;
+}
+
+TEST(NetServerTest, CountersTrackTraffic) {
+  ServerFixture fx;
+  {
+    Client client = fx.ConnectOrDie();
+    ASSERT_TRUE(client.Ping().ok());
+    ASSERT_TRUE(client.Ping().ok());
+  }
+  {
+    Client client = fx.ConnectOrDie();
+    ASSERT_TRUE(client.Ping().ok());
+  }
+  EXPECT_EQ(fx.server().connections_accepted(), 2u);
+  EXPECT_EQ(fx.server().requests_handled(), 3u);
+  EXPECT_EQ(fx.server().requests_rejected(), 0u);
+}
+
+}  // namespace
+}  // namespace duplex::net

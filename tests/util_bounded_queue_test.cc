@@ -1,0 +1,108 @@
+// BoundedQueue is the server's admission-control primitive: TryPush
+// never blocks (full or closed = load-shedding signal), Pop blocks until
+// work or closed-and-drained, Close is idempotent and still drains
+// queued items. The MPMC smoke run checks every pushed item is popped
+// exactly once under contention.
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/bounded_queue.h"
+
+namespace duplex {
+namespace {
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: shed, don't block
+  EXPECT_EQ(queue.size(), 2u);
+  int got = 0;
+  EXPECT_TRUE(queue.Pop(&got));
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(queue.TryPush(3));  // slot freed
+}
+
+TEST(BoundedQueueTest, PopDrainsFifo) {
+  BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.TryPush(i));
+  for (int i = 0; i < 4; ++i) {
+    int got = -1;
+    ASSERT_TRUE(queue.Pop(&got));
+    EXPECT_EQ(got, i);
+  }
+}
+
+TEST(BoundedQueueTest, CloseRejectsPushesButDrainsQueued) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7));
+  ASSERT_TRUE(queue.TryPush(8));
+  queue.Close();
+  queue.Close();  // idempotent
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(9));
+  int got = 0;
+  EXPECT_TRUE(queue.Pop(&got));
+  EXPECT_EQ(got, 7);
+  EXPECT_TRUE(queue.Pop(&got));
+  EXPECT_EQ(got, 8);
+  EXPECT_FALSE(queue.Pop(&got));  // closed and empty: consumer exits
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(1);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int got = 0;
+    EXPECT_FALSE(queue.Pop(&got));
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, MpmcEveryItemPoppedExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(16);
+  std::mutex seen_mutex;
+  std::multiset<int> seen;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int got = 0;
+      while (queue.Pop(&got)) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.insert(got);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        while (!queue.TryPush(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(seen.count(i), 1u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace duplex

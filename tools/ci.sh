@@ -9,6 +9,11 @@
 # runs of the cache-sweep and compaction benches so BENCH_cache.json and
 # BENCH_compaction.json stay fresh, plus the read-path bench gate that
 # fails if the QueryExecutor seam regresses query throughput by >2%.
+# The network layer gets its own gates: a net pass in Release, the frame
+# fuzz suite under ASan+UBSan, the ServerStress suite under TSan, a
+# loopback smoke (duplexd on an ephemeral port, duplexctl against it,
+# clean SIGTERM shutdown), and a saturation bench smoke that refreshes
+# BENCH_server.json.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -47,6 +52,10 @@ ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
 ctest --test-dir build-ci-release --output-on-failure \
   -R 'MetricsEmitsValidPrometheusAcrossLayers|TraceEmitsChromeTraceJson'
 
+echo "=== Network pass (frame codec + server protocol + bounded queue) ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'FrameHeader|FrameAssembler|PayloadCodec|NetServer|ServerStress|BoundedQueue'
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B build-ci-tsan -S . "${GEN[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDUPLEX_SANITIZE=thread >/dev/null
@@ -54,9 +63,9 @@ cmake --build build-ci-tsan -j "$JOBS" --target \
   util_thread_pool_test core_concurrent_index_test \
   core_sharded_index_test core_cache_stress_test \
   core_compaction_stress_test observability_stress_test \
-  core_merging_reader_test
+  core_merging_reader_test net_server_stress_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress|ServerStress'
 
 echo "=== ASan+UBSan build + recovery tests ==="
 cmake -B build-ci-asan -S . "${GEN[@]}" \
@@ -66,9 +75,9 @@ cmake --build build-ci-asan -j "$JOBS" --target \
   storage_fault_injection_test integration_crash_sweep_test \
   core_sharded_recovery_test core_batch_log_test \
   core_compaction_property_test core_codec_family_test \
-  core_chunk_format_test
+  core_chunk_format_test net_frame_test
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
-  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz|ChunkHeader|ChunkFormat'
+  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz|ChunkHeader|ChunkFormat|FrameHeader|FrameAssembler|PayloadCodec'
 
 echo "=== Cache-sweep bench smoke (writes BENCH_cache.json) ==="
 DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
@@ -82,5 +91,44 @@ DUPLEX_BENCH_DOCS="${DUPLEX_BENCH_DOCS:-150}" \
 
 echo "=== Read-path bench smoke (executor vs direct-overload, <2% budget) ==="
 ./build-ci-release/bench/bench_ext_read_path
+
+echo "=== Loopback smoke (duplexd + duplexctl + clean SIGTERM shutdown) ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+printf 'incremental updates of inverted lists\n' > "$SMOKE_DIR/a.txt"
+printf 'text document retrieval systems\n' > "$SMOKE_DIR/b.txt"
+./build-ci-release/tools/duplexd --port 0 --wal "$SMOKE_DIR/smoke.wal" \
+  "$SMOKE_DIR/a.txt" "$SMOKE_DIR/b.txt" \
+  > "$SMOKE_DIR/duplexd.out" 2> "$SMOKE_DIR/duplexd.err" &
+DUPLEXD_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^duplexd listening on port \([0-9]*\)$/\1/p' \
+    "$SMOKE_DIR/duplexd.out" 2>/dev/null || true)"
+  [ -n "$PORT" ] && break
+  kill -0 "$DUPLEXD_PID" 2>/dev/null || {
+    echo "duplexd died at startup"; cat "$SMOKE_DIR/duplexd.err"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "duplexd never printed its port"; exit 1; }
+./build-ci-release/examples/duplexctl net-ping 127.0.0.1 "$PORT"
+./build-ci-release/examples/duplexctl net-query 127.0.0.1 "$PORT" \
+  'incremental AND updates' | grep -q '1 matching documents' \
+  || { echo "net-query found nothing"; exit 1; }
+printf 'a freshly submitted document about updates\n' > "$SMOKE_DIR/c.txt"
+./build-ci-release/examples/duplexctl net-submit 127.0.0.1 "$PORT" \
+  "$SMOKE_DIR/c.txt" | grep -q 'accepted 1' \
+  || { echo "net-submit not accepted"; exit 1; }
+./build-ci-release/examples/duplexctl net-stats 127.0.0.1 "$PORT" \
+  | grep -q '"index"' || { echo "net-stats missing index JSON"; exit 1; }
+kill -TERM "$DUPLEXD_PID"
+wait "$DUPLEXD_PID" || { echo "duplexd exited non-zero"; \
+  cat "$SMOKE_DIR/duplexd.err"; exit 1; }
+[ -s "$SMOKE_DIR/smoke.wal" ] || { echo "WAL not written"; exit 1; }
+
+echo "=== Server saturation bench smoke (writes BENCH_server.json) ==="
+DUPLEX_BENCH_NET_MS="${DUPLEX_BENCH_NET_MS:-500}" \
+DUPLEX_BENCH_NET_DOCS="${DUPLEX_BENCH_NET_DOCS:-500}" \
+  ./build-ci-release/bench/bench_ext_server_saturation >/dev/null
 
 echo "CI OK"

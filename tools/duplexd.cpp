@@ -1,0 +1,227 @@
+// duplexd — the duplex index as a network service: a word-partitioned
+// ShardedIndex behind the length-prefixed TCP protocol in net/frame.h,
+// served by a fixed worker pool with explicit backpressure (full queues
+// answer BUSY, garbage frames answer GoAway). Queries fan out under
+// per-shard shared locks, so submit-documents batches applying on one
+// shard never block reads on another — the paper's 24x7 incremental-
+// update story, carried over a socket.
+//
+//   duplexd [--port N] [--shards N] [--workers N] [--queue N]
+//           [--wal PATH] [--compact-interval MS] [file-or-dir]...
+//
+// Input files are indexed before the listener opens. --port 0 (default)
+// binds an ephemeral port; the chosen port is printed as
+// "duplexd listening on port N" (stdout, flushed) for scripts to parse.
+// SIGINT/SIGTERM shut down cleanly: stop accepting, drain admitted
+// requests, stop background compaction, flush buffered documents through
+// the WAL, exit 0.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_log.h"
+#include "core/sharded_index.h"
+#include "net/server.h"
+#include "net/service.h"
+#include "util/metrics.h"
+#include "util/tracer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace duplex;
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+struct DaemonFlags {
+  uint16_t port = 0;
+  uint32_t shards = 4;
+  uint32_t workers = 4;
+  uint32_t queue = 1024;
+  std::string wal;
+  uint32_t compact_interval_ms = 0;  // 0 = no background compaction
+  std::vector<std::string> inputs;
+};
+
+core::ShardedIndexOptions IndexOptionsFor(uint32_t shards) {
+  core::IndexOptions total;
+  total.buckets.num_buckets = 1024;
+  total.buckets.bucket_capacity = 512;
+  total.policy = core::Policy::RecommendedUpdateOptimized();
+  total.block_postings = 128;
+  total.disks.num_disks = 2;
+  total.disks.blocks_per_disk = 1 << 20;
+  total.disks.checksums = true;
+  total.materialize = true;
+  total.bucket_grow_threshold = 0.85;
+  return core::ShardedIndexOptions::Partition(total, shards);
+}
+
+int IndexInputs(core::ShardedIndex& index, core::BatchLog* wal,
+                const std::vector<std::string>& inputs) {
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.emplace_back(input);
+    } else {
+      std::cerr << "skipping " << input << " (not a file or directory)\n";
+    }
+  }
+  std::sort(files.begin(), files.end());
+  size_t indexed = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot read " << file << ", skipping\n";
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    index.AddDocument(text.str());
+    ++indexed;
+    if (index.buffered_documents() >= 64) {
+      if (Status s = index.FlushDocumentsLogged(wal); !s.ok()) {
+        std::cerr << "flush failed: " << s << "\n";
+        return 1;
+      }
+    }
+  }
+  if (Status s = index.FlushDocumentsLogged(wal); !s.ok()) {
+    std::cerr << "flush failed: " << s << "\n";
+    return 1;
+  }
+  if (indexed > 0) {
+    std::cerr << "indexed " << indexed << " documents at startup\n";
+  }
+  return 0;
+}
+
+int Run(const DaemonFlags& flags) {
+  // Registry and tracer outlive every component that fetches handles.
+  MetricsRegistry registry;
+  Tracer tracer;
+  SetGlobalMetrics(&registry);
+  SetGlobalTracer(&tracer);
+
+  core::ShardedIndex index(IndexOptionsFor(flags.shards));
+
+  std::unique_ptr<core::BatchLog> wal;
+  if (!flags.wal.empty()) {
+    Result<std::unique_ptr<core::BatchLog>> opened =
+        core::BatchLog::Open(flags.wal);
+    if (!opened.ok()) {
+      std::cerr << "cannot open WAL " << flags.wal << ": "
+                << opened.status() << "\n";
+      return 1;
+    }
+    wal = std::move(*opened);
+  }
+
+  if (int rc = IndexInputs(index, wal.get(), flags.inputs); rc != 0) {
+    return rc;
+  }
+
+  if (flags.compact_interval_ms > 0) {
+    index.StartBackgroundCompaction(
+        std::chrono::milliseconds(flags.compact_interval_ms));
+  }
+
+  net::ShardedIndexService service(&index, wal.get());
+  net::ServerOptions options;
+  options.port = flags.port;
+  options.num_workers = flags.workers;
+  options.global_queue = flags.queue;
+  net::Server server(&service, options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << "cannot start server: " << s << "\n";
+    return 1;
+  }
+  // Scripts parse this line for the ephemeral port; keep the format
+  // stable and flush before blocking.
+  std::cout << "duplexd listening on port " << server.port() << std::endl;
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  std::cerr << "shutting down: draining requests\n";
+  server.Stop();
+  index.StopBackgroundCompaction();
+  if (Status s = service.Flush(); !s.ok()) {
+    std::cerr << "flush on shutdown failed: " << s << "\n";
+    return 1;
+  }
+  std::cerr << "served " << server.requests_handled() << " requests ("
+            << server.requests_rejected() << " rejected) over "
+            << server.connections_accepted() << " connections\n";
+  SetGlobalTracer(nullptr);
+  SetGlobalMetrics(nullptr);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonFlags flags;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  size_t i = 0;
+  while (i < args.size()) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= args.size()) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i].c_str();
+    };
+    if (arg == "--port") {
+      flags.port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      flags.shards = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--workers") {
+      flags.workers = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--queue") {
+      flags.queue = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--wal") {
+      flags.wal = next();
+    } else if (arg == "--compact-interval") {
+      flags.compact_interval_ms =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: duplexd [--port N] [--shards N] [--workers N] "
+                   "[--queue N] [--wal PATH]\n"
+                   "               [--compact-interval MS] [file-or-dir]...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      flags.inputs.push_back(arg);
+    }
+    ++i;
+  }
+  if (flags.shards == 0 || flags.workers == 0 || flags.queue == 0) {
+    std::cerr << "--shards, --workers and --queue must be positive\n";
+    return 2;
+  }
+  return Run(flags);
+}
