@@ -1,12 +1,17 @@
 #include "core/batch_log.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "core/posting_codec.h"
+#include "storage/superblock.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -16,7 +21,24 @@ namespace {
 constexpr char kBatchRecord = 'B';
 constexpr char kAppliedRecord = 'A';
 constexpr char kCompactionRecord = 'C';
+// Base-epoch record: first record of a tail-truncated log, carrying the
+// id of the oldest batch the log still holds. Everything below that id
+// lives only in the checkpoint the truncation followed.
+constexpr char kEpochRecord = 'E';
 constexpr uint64_t kFlagMaterialized = 1;
+
+// Frames one record exactly as AppendRecord writes it: type byte, varint
+// payload length, payload, FNV-64 over (type, payload). TruncateTo uses
+// this to rebuild the log image offline.
+void AppendRecordBytes(char type, const std::string& payload,
+                       std::string* out) {
+  out->push_back(type);
+  PutVarint64(payload.size(), out);
+  *out += payload;
+  const uint64_t checksum =
+      Fnv1a64(payload.data(), payload.size(), Fnv1a64(&type, 1));
+  out->append(reinterpret_cast<const char*>(&checksum), 8);
+}
 
 std::string EncodeBatchPayload(uint64_t id, bool materialized,
                                const text::BatchUpdate& counts,
@@ -138,7 +160,7 @@ Status BatchLog::Scan() {
     if (type == kBatchRecord) {
       LoggedBatch batch;
       Status decoded = DecodeBatchPayload(payload, &batch);
-      if (decoded.ok() && batch.id != batches_.size()) {
+      if (decoded.ok() && batch.id != base_epoch_ + batches_.size()) {
         decoded = Status::Corruption("batch log ids out of sequence");
       }
       if (!decoded.ok()) {
@@ -151,17 +173,35 @@ Status BatchLog::Scan() {
       size_t id_pos = 0;
       Result<uint64_t> id = GetVarint64(payload, &id_pos);
       Status decoded = id.ok() ? Status::OK() : id.status();
-      if (decoded.ok() && *id >= applied_.size()) {
+      if (decoded.ok() &&
+          (*id < base_epoch_ || *id - base_epoch_ >= applied_.size())) {
         decoded = Status::Corruption("applied record for unknown batch");
       }
       if (!decoded.ok()) {
         DUPLEX_RETURN_IF_ERROR(tail_or_fatal(std::move(decoded)));
         break;
       }
-      if (!applied_[*id]) {
-        applied_[*id] = true;
+      if (!applied_[*id - base_epoch_]) {
+        applied_[*id - base_epoch_] = true;
         ++applied_count_;
       }
+    } else if (type == kEpochRecord) {
+      size_t e_pos = 0;
+      Result<uint64_t> base = GetVarint64(payload, &e_pos);
+      Status decoded = base.ok() ? Status::OK() : base.status();
+      if (decoded.ok() && e_pos != payload.size()) {
+        decoded = Status::Corruption("epoch record has trailing bytes");
+      }
+      if (decoded.ok() && record_start != 0) {
+        // TruncateTo writes the whole file in one rename; an epoch record
+        // anywhere but the head means the file was stitched together.
+        decoded = Status::Corruption("epoch record not at log head");
+      }
+      if (!decoded.ok()) {
+        DUPLEX_RETURN_IF_ERROR(tail_or_fatal(std::move(decoded)));
+        break;
+      }
+      base_epoch_ = *base;
     } else if (type == kCompactionRecord) {
       size_t c_pos = 0;
       LoggedCompaction compaction;
@@ -195,7 +235,7 @@ Status BatchLog::Scan() {
     }
     valid_end = pos;
   }
-  next_id_ = batches_.size();
+  next_id_ = base_epoch_ + batches_.size();
   if (valid_end < contents.size()) {
     // Drop the torn tail so the next append starts at a record boundary.
     if (::truncate(path_.c_str(),
@@ -275,14 +315,16 @@ Result<uint64_t> BatchLog::AppendBatch(const text::InvertedBatch& batch) {
 }
 
 Status BatchLog::MarkApplied(uint64_t batch_id) {
-  if (batch_id >= batches_.size()) {
+  if (batch_id < base_epoch_ ||
+      batch_id - base_epoch_ >= batches_.size()) {
     return Status::InvalidArgument("unknown batch id");
   }
-  if (applied_[batch_id]) return Status::OK();
+  const size_t idx = batch_id - base_epoch_;
+  if (applied_[idx]) return Status::OK();
   std::string payload;
   PutVarint64(batch_id, &payload);
   DUPLEX_RETURN_IF_ERROR(AppendRecord(kAppliedRecord, payload));
-  applied_[batch_id] = true;
+  applied_[idx] = true;
   ++applied_count_;
   return Status::OK();
 }
@@ -353,6 +395,12 @@ Status BatchLog::RecoverInto(InvertedIndex* index) {
 
 Status BatchLog::ReplayInto(InvertedIndex* index) {
   DUPLEX_CHECK(index != nullptr);
+  if (base_epoch_ != 0) {
+    return Status::FailedPrecondition(
+        "batch log was tail-truncated at epoch " +
+        std::to_string(base_epoch_) +
+        "; full replay is impossible, recover from the checkpoint");
+  }
   ScopedLatency timer(m_replay_ns_);
   Span span = TraceSpan("core.wal_replay");
   // Every batch, applied or not, in append order: the caller starts from a
@@ -366,6 +414,44 @@ Status BatchLog::ReplayInto(InvertedIndex* index) {
     if (!applied_[i]) DUPLEX_RETURN_IF_ERROR(MarkApplied(batches_[i].id));
   }
   return Status::OK();
+}
+
+Status BatchLog::ReplayFrom(
+    uint64_t epoch, const std::function<Status(const LoggedBatch&)>& apply) {
+  if (epoch < base_epoch_) {
+    return Status::FailedPrecondition(
+        "replay epoch " + std::to_string(epoch) +
+        " predates the log's base epoch " + std::to_string(base_epoch_) +
+        "; the needed tail was truncated away");
+  }
+  ScopedLatency timer(m_replay_ns_);
+  Span span = TraceSpan("core.wal_replay_tail");
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (batches_[i].id < epoch) {
+      if (!applied_[i]) {
+        return Status::Corruption(
+            "batch " + std::to_string(batches_[i].id) +
+            " is unapplied but below replay epoch " +
+            std::to_string(epoch) +
+            "; the checkpoint claims coverage the log contradicts");
+      }
+      continue;
+    }
+    DUPLEX_RETURN_IF_ERROR(apply(batches_[i]));
+  }
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (batches_[i].id >= epoch && !applied_[i]) {
+      DUPLEX_RETURN_IF_ERROR(MarkApplied(batches_[i].id));
+    }
+  }
+  return Status::OK();
+}
+
+Status BatchLog::ReplayFrom(uint64_t epoch, InvertedIndex* index) {
+  DUPLEX_CHECK(index != nullptr);
+  return ReplayFrom(epoch, [index](const LoggedBatch& batch) {
+    return ApplyOne(index, batch);
+  });
 }
 
 Status BatchLog::ApplyOne(InvertedIndex* index, const LoggedBatch& batch) {
@@ -382,6 +468,104 @@ Status BatchLog::ApplyOne(InvertedIndex* index, const LoggedBatch& batch) {
   // Same ordering as ApplyLogged: dirty frames down before the commit
   // record.
   return index->FlushCaches();
+}
+
+Status BatchLog::TruncateTo(uint64_t new_base) {
+  if (new_base <= base_epoch_) return Status::OK();  // already truncated
+  if (new_base > next_id_) {
+    return Status::InvalidArgument(
+        "truncation epoch " + std::to_string(new_base) +
+        " is beyond the log's next id " + std::to_string(next_id_));
+  }
+  const size_t keep_from = new_base - base_epoch_;
+  for (size_t i = 0; i < keep_from; ++i) {
+    if (!applied_[i]) {
+      return Status::FailedPrecondition(
+          "batch " + std::to_string(base_epoch_ + i) +
+          " is not applied; a checkpoint cannot cover uncommitted work");
+    }
+  }
+  // Build the replacement log image: epoch base record, then the
+  // surviving tail's batch records, then commit records for the applied
+  // ones. Compaction records describe pre-checkpoint reclamation and are
+  // dropped with the prefix.
+  std::string image;
+  {
+    std::string payload;
+    PutVarint64(new_base, &payload);
+    AppendRecordBytes(kEpochRecord, payload, &image);
+  }
+  for (size_t i = keep_from; i < batches_.size(); ++i) {
+    const LoggedBatch& b = batches_[i];
+    AppendRecordBytes(
+        kBatchRecord,
+        EncodeBatchPayload(b.id, b.materialized, b.counts, b.docs), &image);
+  }
+  for (size_t i = keep_from; i < batches_.size(); ++i) {
+    if (!applied_[i]) continue;
+    std::string payload;
+    PutVarint64(batches_[i].id, &payload);
+    AppendRecordBytes(kAppliedRecord, payload, &image);
+  }
+  // Write the image to <path>.tmp (fault-aware, chunked), sync it, then
+  // rename over the live log. The rename is the atomic flip: a crash
+  // before it leaves the old log (checkpoint + old tail still recover);
+  // after it, the new log is complete and synced.
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + tmp + "): " + std::strerror(errno));
+  }
+  Status s = Status::OK();
+  constexpr size_t kChunk = 4096;
+  for (size_t off = 0; s.ok() && off < image.size(); off += kChunk) {
+    const size_t len = std::min(kChunk, image.size() - off);
+    s = storage::FaultyPWrite(
+        fd, tmp, off, reinterpret_cast<const uint8_t*>(image.data()) + off,
+        len, fault_.get());
+  }
+  if (s.ok()) s = storage::FaultySync(fd, tmp, fault_.get());
+  ::close(fd);
+  if (s.ok() && fault_ != nullptr) {
+    // The rename counts as one physical op too, so crash sweeps can stop
+    // the protocol between "tail written" and "tail installed".
+    const storage::FaultSchedule::Decision d =
+        fault_->NextOp(/*is_write=*/true, 0);
+    if (d.fault == storage::FaultSchedule::Fault::kCrash ||
+        d.fault == storage::FaultSchedule::Fault::kTransientError) {
+      s = Status::IoError("injected fault: rename frozen at op " +
+                          std::to_string(d.op) + " (" + tmp + ")");
+    }
+  }
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const Status rename_status = Status::IoError(
+        "rename(" + tmp + ", " + path_ + "): " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    file_ = std::fopen(path_.c_str(), "ab");
+    return rename_status;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot reopen batch log after truncation");
+  }
+  batches_.erase(batches_.begin(),
+                 batches_.begin() + static_cast<ptrdiff_t>(keep_from));
+  applied_.erase(applied_.begin(),
+                 applied_.begin() + static_cast<ptrdiff_t>(keep_from));
+  compactions_.clear();
+  applied_count_ = 0;
+  for (const bool a : applied_) applied_count_ += a ? 1 : 0;
+  base_epoch_ = new_base;
+  return Status::OK();
 }
 
 Status BatchLog::Truncate() {
@@ -401,6 +585,7 @@ Status BatchLog::Truncate() {
   compactions_.clear();
   applied_count_ = 0;
   next_id_ = 0;
+  base_epoch_ = 0;
   return Status::OK();
 }
 

@@ -2,11 +2,13 @@
 #define DUPLEX_CORE_BATCH_LOG_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/inverted_index.h"
+#include "storage/fault_injection.h"
 #include "text/batch.h"
 #include "util/status.h"
 
@@ -26,6 +28,13 @@ namespace duplex::core {
 // any) reconstructs the index. Records carry an FNV-64 checksum; a torn
 // tail (partial final record) is detected and ignored, matching the usual
 // WAL recovery contract.
+//
+// Batch ids are GLOBAL and monotonic for the life of the index, even
+// across tail truncation: after a durable checkpoint covering batches
+// [0, epoch), TruncateTo(epoch) rewrites the log to an 'E' (epoch base)
+// record followed by only the surviving tail, and ids keep counting from
+// where they were. base_epoch() is the id of the oldest record still in
+// the log; ReplayFrom(epoch, ...) is the checkpoint-tail recovery path.
 class BatchLog {
  public:
   // One logged batch; `counts` is always populated, `docs` only when the
@@ -106,20 +115,58 @@ class BatchLog {
   // constructed empty `index`, then marks everything applied. This is the
   // full-rebuild recovery path for a crash that may have left device
   // state partially written: rebuilding from nothing sidesteps "was block
-  // k's write durable?" entirely.
+  // k's write durable?" entirely. FailedPrecondition once the log has
+  // been tail-truncated (base_epoch() > 0): the full history is gone,
+  // and only a checkpoint + ReplayFrom can reconstruct the index.
   Status ReplayInto(InvertedIndex* index);
+
+  // Replays every batch with id >= epoch, in id order, through `apply`
+  // (applied and unapplied alike — the caller restored a checkpoint
+  // covering exactly [0, epoch) into fresh structures, so the tail is
+  // idempotent by construction), then marks the replayed batches
+  // applied. Typed failures, never silent gaps: FailedPrecondition when
+  // epoch < base_epoch() (the tail needed is already truncated away) and
+  // Corruption when an unapplied batch predates `epoch` (the checkpoint
+  // claims coverage the log contradicts).
+  Status ReplayFrom(uint64_t epoch,
+                    const std::function<Status(const LoggedBatch&)>& apply);
+  // Convenience overload applying into an InvertedIndex (same per-batch
+  // path as ReplayInto: apply, then flush dirty cache frames).
+  Status ReplayFrom(uint64_t epoch, InvertedIndex* index);
+
+  // Drops every record for batches with id < new_base (all of which must
+  // be applied — a checkpoint can only cover committed work) by
+  // rewriting the file as an 'E' base record plus the surviving tail,
+  // atomically: the rewrite goes to <path>.tmp, is synced, and renames
+  // over the log, so a crash anywhere leaves either the old or the new
+  // log, never a hybrid. Compaction 'C' records describe pre-checkpoint
+  // history and are dropped. Ids keep counting from next_id().
+  Status TruncateTo(uint64_t new_base);
 
   // Drops all records (e.g. after a Snapshot made them redundant).
   Status Truncate();
 
+  // Arms fault injection on TruncateTo's physical steps (tmp-file chunk
+  // writes, sync, rename), sharing the op counter with the checkpoint
+  // pipeline's crash-point sweeps.
+  void set_fault_schedule(
+      std::shared_ptr<storage::FaultSchedule> schedule) {
+    fault_ = std::move(schedule);
+  }
+
   uint64_t batches_logged() const { return batches_.size(); }
   uint64_t batches_applied() const { return applied_count_; }
+  // Id of the oldest batch still in the log (0 until a TruncateTo).
+  uint64_t base_epoch() const { return base_epoch_; }
+  // Id the next appended batch will get: base_epoch() + batches_logged().
+  uint64_t next_id() const { return next_id_; }
   uint64_t compactions_logged() const { return compactions_.size(); }
   const LoggedCompaction& compaction(uint64_t i) const {
     return compactions_[i];
   }
-  // Logged batch `i` in append order (i < batches_logged()). Scrub walks
-  // the full history to reconstruct a damaged list's postings.
+  // Logged batch `i` of the RETAINED window, in append order
+  // (i < batches_logged(); its id is base_epoch() + i). Scrub walks this
+  // window to reconstruct a damaged list's postings.
   const LoggedBatch& batch(uint64_t i) const { return batches_[i]; }
   const std::string& path() const { return path_; }
 
@@ -145,8 +192,10 @@ class BatchLog {
   bool fsync_enabled_ = true;
   uint64_t syncs_ = 0;
   uint64_t fail_next_syncs_ = 0;
+  uint64_t base_epoch_ = 0;
   uint64_t next_id_ = 0;
   uint64_t applied_count_ = 0;
+  std::shared_ptr<storage::FaultSchedule> fault_;
   std::vector<LoggedBatch> batches_;
   std::vector<bool> applied_;
   std::vector<LoggedCompaction> compactions_;

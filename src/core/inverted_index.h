@@ -168,6 +168,13 @@ class InvertedIndex : public IndexReader {
     return compaction_totals_;
   }
 
+  // Checkpoint-restore hook: reinstates the accumulated compaction totals
+  // the checkpointed instance had, so operator-visible reclamation history
+  // survives a fast restart.
+  void RestoreCompactionTotals(const CompactionStats& totals) {
+    compaction_totals_ = totals;
+  }
+
   // --- Bucket-space rebalancing ---------------------------------------------
 
   // Manually reshapes the bucket space (see BucketStore::Resize); lists

@@ -503,4 +503,42 @@ DocId ShardedIndex::next_doc_id() const {
   return next_doc_id_;
 }
 
+Status ShardedIndex::WithCheckpointView(
+    const std::function<Status(const CheckpointView&)>& fn) const {
+  // Document mutex before any shard lock (the fixed order every other
+  // path uses), then every shard's shared lock ascending.
+  std::shared_lock doc_lock(doc_mutex_);
+  std::vector<std::shared_lock<std::shared_mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    shard_locks.emplace_back(shard->mutex());
+  }
+  CheckpointView view;
+  view.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    view.shards.push_back(&shard->index_unlocked());
+  }
+  view.vocabulary = &vocabulary_;
+  view.next_doc_id = next_doc_id_;
+  view.deleted.assign(deleted_.begin(), deleted_.end());
+  std::sort(view.deleted.begin(), view.deleted.end());
+  return fn(view);
+}
+
+Status ShardedIndex::RestoreDocState(
+    DocId next_doc_id, std::vector<DocId> deleted,
+    const std::vector<std::string>& vocabulary_words) {
+  std::unique_lock lock(doc_mutex_);
+  for (size_t i = 0; i < vocabulary_words.size(); ++i) {
+    if (vocabulary_.GetOrAdd(vocabulary_words[i]) != i) {
+      return Status::Corruption(
+          "checkpoint vocabulary must restore densely in order");
+    }
+  }
+  next_doc_id_ = next_doc_id;
+  deleted_.clear();
+  deleted_.insert(deleted.begin(), deleted.end());
+  return Status::OK();
+}
+
 }  // namespace duplex::core

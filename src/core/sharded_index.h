@@ -206,6 +206,33 @@ class ShardedIndex : public IndexReader {
   DocId next_doc_id() const override;
   const text::Vocabulary& vocabulary() const { return vocabulary_; }
 
+  // --- Checkpoint hooks (used by core::Checkpointer) ------------------------
+
+  // A fully quiesced read view: every shard's index plus the index-wide
+  // document state, all captured under one consistent cut.
+  struct CheckpointView {
+    std::vector<const InvertedIndex*> shards;
+    const text::Vocabulary* vocabulary = nullptr;
+    DocId next_doc_id = 0;
+    std::vector<DocId> deleted;  // sorted
+  };
+
+  // Runs `fn` holding the document mutex (shared) plus every shard's
+  // shared lock, acquired in ascending shard order. Because
+  // FlushDocumentsLogged holds the document mutex exclusively across its
+  // whole WAL protocol (append -> apply -> flush -> commit), a view taken
+  // here can never observe a batch that is appended but not yet applied —
+  // which is exactly the consistency a checkpoint needs. Queries proceed
+  // concurrently; batch applies wait.
+  Status WithCheckpointView(
+      const std::function<Status(const CheckpointView&)>& fn) const;
+
+  // Checkpoint-restore hook: reinstates the index-wide document state
+  // after the per-shard restores (vocabulary ids must rebuild densely in
+  // order, or Corruption).
+  Status RestoreDocState(DocId next_doc_id, std::vector<DocId> deleted,
+                         const std::vector<std::string>& vocabulary_words);
+
  private:
   // Applies `fn(shard_index)` to every shard on the worker pool and
   // returns the first non-OK status in shard order.

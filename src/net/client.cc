@@ -1,12 +1,35 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace duplex::net {
 
+Client::Client(Socket sock, ClientOptions options)
+    : sock_(std::move(sock)),
+      options_(options),
+      rng_state_(options.retry_seed | 1) {
+  m_retries_ = GlobalCounter("duplex_net_client_retries",
+                             "Strict-call retries after a typed BUSY "
+                             "(kResourceExhausted) response");
+}
+
 Result<Client> Client::Connect(const std::string& host, uint16_t port) {
-  Result<Socket> sock = Socket::Connect(host, port);
+  return Connect(host, port, ClientOptions{});
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const ClientOptions& options) {
+  Result<Socket> sock =
+      options.connect_timeout.count() > 0
+          ? Socket::Connect(host, port, options.connect_timeout)
+          : Socket::Connect(host, port);
   if (!sock.ok()) return sock.status();
   (void)sock->SetNoDelay();
-  return Client(std::move(*sock));
+  if (options.recv_timeout.count() > 0) {
+    DUPLEX_RETURN_IF_ERROR(sock->SetRecvTimeout(options.recv_timeout));
+  }
+  return Client(std::move(*sock), options);
 }
 
 Result<uint64_t> Client::Send(Opcode opcode, std::string_view payload) {
@@ -79,15 +102,46 @@ Result<std::string> Client::Call(Opcode opcode, std::string_view payload) {
   return std::move(frame->payload);
 }
 
+Result<std::string> Client::CallWithRetry(Opcode opcode,
+                                          std::string_view payload) {
+  Result<std::string> result = Call(opcode, payload);
+  for (uint32_t attempt = 0; attempt < options_.max_retries; ++attempt) {
+    if (result.ok() || !result.status().IsResourceExhausted() ||
+        !sock_.valid()) {
+      break;
+    }
+    // Jittered exponential backoff: the deterministic full-jitter scheme
+    // (sleep uniform in [backoff/2, backoff]) so a burst of clients
+    // bounced by the same overload does not re-arrive in lockstep.
+    const int64_t cap = options_.max_backoff.count();
+    int64_t backoff = options_.initial_backoff.count();
+    for (uint32_t i = 0; i < attempt && backoff < cap; ++i) backoff *= 2;
+    backoff = std::min(backoff, cap);
+    if (backoff > 0) {
+      rng_state_ ^= rng_state_ << 13;
+      rng_state_ ^= rng_state_ >> 7;
+      rng_state_ ^= rng_state_ << 17;
+      const int64_t half = backoff / 2;
+      const int64_t jittered =
+          half + static_cast<int64_t>(rng_state_ % (backoff - half + 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+    }
+    ++retries_;
+    if (m_retries_ != nullptr) m_retries_->Inc();
+    result = Call(opcode, payload);
+  }
+  return result;
+}
+
 Status Client::Ping() {
-  return Call(Opcode::kPing, std::string_view()).status();
+  return CallWithRetry(Opcode::kPing, std::string_view()).status();
 }
 
 Result<ir::QueryResult> Client::Boolean(std::string_view query) {
   BooleanQueryRequest req;
   req.query.assign(query);
   Result<std::string> payload =
-      Call(Opcode::kBooleanQuery, EncodeBooleanQueryRequest(req));
+      CallWithRetry(Opcode::kBooleanQuery, EncodeBooleanQueryRequest(req));
   if (!payload.ok()) return payload.status();
   Result<BooleanQueryResponse> resp = DecodeBooleanQueryResponse(*payload);
   if (!resp.ok()) return resp.status();
@@ -100,7 +154,7 @@ Result<ir::VectorQueryResult> Client::Vector(const ir::VectorQuery& query,
   req.k = static_cast<uint32_t>(k);
   req.query = query;
   Result<std::string> payload =
-      Call(Opcode::kVectorQuery, EncodeVectorQueryRequest(req));
+      CallWithRetry(Opcode::kVectorQuery, EncodeVectorQueryRequest(req));
   if (!payload.ok()) return payload.status();
   Result<VectorQueryResponse> resp = DecodeVectorQueryResponse(*payload);
   if (!resp.ok()) return resp.status();
@@ -112,13 +166,14 @@ Result<SubmitDocumentsResponse> Client::Submit(
   SubmitDocumentsRequest req;
   req.documents = documents;
   Result<std::string> payload =
-      Call(Opcode::kSubmitDocuments, EncodeSubmitDocumentsRequest(req));
+      CallWithRetry(Opcode::kSubmitDocuments, EncodeSubmitDocumentsRequest(req));
   if (!payload.ok()) return payload.status();
   return DecodeSubmitDocumentsResponse(*payload);
 }
 
 Result<std::string> Client::StatsJson() {
-  Result<std::string> payload = Call(Opcode::kStats, std::string_view());
+  Result<std::string> payload =
+      CallWithRetry(Opcode::kStats, std::string_view());
   if (!payload.ok()) return payload.status();
   Result<StatsResponse> resp = DecodeStatsResponse(*payload);
   if (!resp.ok()) return resp.status();

@@ -1,6 +1,7 @@
 #ifndef DUPLEX_NET_CLIENT_H_
 #define DUPLEX_NET_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -8,9 +9,30 @@
 
 #include "net/frame.h"
 #include "net/socket.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace duplex::net {
+
+// Client-side robustness knobs. Defaults preserve the original behavior
+// (blocking connect, no recv deadline) except for BUSY handling: strict
+// calls retry a typed kResourceExhausted response a bounded number of
+// times with jittered exponential backoff, since BUSY is the server
+// explicitly saying "try again shortly".
+struct ClientOptions {
+  // Connect deadline; <= 0 uses the plain blocking connect.
+  std::chrono::milliseconds connect_timeout{0};
+  // Per-recv deadline (SO_RCVTIMEO) on the connected socket; <= 0 = none.
+  std::chrono::milliseconds recv_timeout{0};
+  // Retries of a strict call after a typed BUSY response (0 disables).
+  // Only kResourceExhausted retries: it is the one status the server
+  // hands out precisely to mean "back off and come back".
+  uint32_t max_retries = 3;
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{500};
+  // Seed for the deterministic backoff jitter (tests pin it).
+  uint64_t retry_seed = 0x9e3779b97f4a7c15ULL;
+};
 
 // One decoded response frame: the echoed request id, the status prelude,
 // and the body bytes that follow it (empty on non-OK status).
@@ -32,6 +54,8 @@ class Client {
   Client() = default;
 
   static Result<Client> Connect(const std::string& host, uint16_t port);
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const ClientOptions& options);
 
   bool connected() const { return sock_.valid(); }
   void Close() { sock_.Close(); }
@@ -53,8 +77,13 @@ class Client {
       const std::vector<std::string>& documents);
   Result<std::string> StatsJson();
 
+  const ClientOptions& options() const { return options_; }
+  // BUSY retries this client has performed (also exported globally as the
+  // duplex_net_client_retries counter).
+  uint64_t retries() const { return retries_; }
+
  private:
-  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+  explicit Client(Socket sock, ClientOptions options = {});
 
   // Reads one raw frame (header + payload) off the socket.
   Result<Frame> ReceiveFrame();
@@ -62,9 +91,16 @@ class Client {
   // returns the full response payload (prelude included) on OK, which
   // the typed Decode*Response helpers consume.
   Result<std::string> Call(Opcode opcode, std::string_view payload);
+  // Call plus the bounded jittered-backoff retry loop on typed BUSY;
+  // every other status (including I/O errors) propagates immediately.
+  Result<std::string> CallWithRetry(Opcode opcode, std::string_view payload);
 
   Socket sock_;
+  ClientOptions options_;
   uint64_t next_request_id_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t rng_state_ = 0;
+  Counter* m_retries_ = nullptr;
 };
 
 }  // namespace duplex::net

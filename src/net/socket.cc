@@ -1,9 +1,11 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <time.h>
 #include <unistd.h>
@@ -82,6 +84,100 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
   if (fd < 0) {
     return Status::IoError("connect(" + host + ":" + service +
                            "): " + std::strerror(last_err));
+  }
+  return Socket(fd);
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                               std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return Connect(host, port);
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+      rc != 0) {
+    return Status::IoError("getaddrinfo(" + host + "): " +
+                           ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_err = 0;
+  bool timed_out = false;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    // Non-blocking connect + poll: the kernel's own connect timeout is
+    // minutes; a client with a deadline needs its own clock.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      last_err = errno;
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && errno == EINPROGRESS) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        timed_out = true;
+        last_err = ETIMEDOUT;
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (rc < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+        last_err = errno;
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      if (so_error != 0) {
+        last_err = so_error;
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      rc = 0;
+    }
+    if (rc != 0) {
+      last_err = errno;
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    // Connected: back to blocking mode for the Recv/Send discipline.
+    if (::fcntl(fd, F_SETFL, flags) < 0) {
+      last_err = errno;
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    break;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return Status::IoError(
+        "connect(" + host + ":" + service + "): " +
+        (timed_out ? ("timed out after " + std::to_string(timeout.count()) +
+                      "ms")
+                   : std::strerror(last_err)));
   }
   return Socket(fd);
 }

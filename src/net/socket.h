@@ -31,6 +31,13 @@ class Socket {
   // Connects to host:port (numeric IPv4 or a resolvable name).
   static Result<Socket> Connect(const std::string& host, uint16_t port);
 
+  // Connects with a deadline: non-blocking connect + poll, so a black-hole
+  // address surfaces as typed kIoError ("timed out") instead of riding
+  // the kernel's minutes-long default. timeout <= 0 means the plain
+  // blocking connect above.
+  static Result<Socket> Connect(const std::string& host, uint16_t port,
+                                std::chrono::milliseconds timeout);
+
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 

@@ -1,0 +1,276 @@
+#include "storage/superblock.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace duplex::storage {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'P', 'L', 'X', 'S', 'U', 'P', 'R'};
+constexpr size_t kChecksumOffset = Superblock::kSlotBytes - 8;
+
+void PutU32(uint32_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+uint32_t GetU32(const std::string& bytes, size_t pos) {
+  uint32_t v = 0;
+  std::memcpy(&v, bytes.data() + pos, 4);
+  return v;
+}
+
+uint64_t GetU64(const std::string& bytes, size_t pos) {
+  uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + pos, 8);
+  return v;
+}
+
+Status PWriteAll(int fd, const std::string& path, uint64_t offset,
+                 const uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, data + done, len - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status::IoError("pwrite(" + path +
+                             "): " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultyPWrite(int fd, const std::string& path, uint64_t offset,
+                    const uint8_t* data, size_t len, FaultSchedule* fault) {
+  if (fault == nullptr) return PWriteAll(fd, path, offset, data, len);
+  const FaultSchedule::Decision d = fault->NextOp(/*is_write=*/true, len);
+  switch (d.fault) {
+    case FaultSchedule::Fault::kNone:
+      return PWriteAll(fd, path, offset, data, len);
+    case FaultSchedule::Fault::kCrash:
+      return Status::IoError("injected crash: file I/O frozen at op " +
+                             std::to_string(d.op) + " (" + path + ")");
+    case FaultSchedule::Fault::kTransientError:
+      return Status::IoError("injected transient write error at op " +
+                             std::to_string(d.op) + " (" + path + ")");
+    case FaultSchedule::Fault::kTornWrite: {
+      if (d.torn_bytes > 0) {
+        DUPLEX_RETURN_IF_ERROR(
+            PWriteAll(fd, path, offset, data, d.torn_bytes));
+      }
+      return Status::IoError(
+          "injected torn write (" + std::to_string(d.torn_bytes) + "/" +
+          std::to_string(len) + "B persisted) at op " +
+          std::to_string(d.op) + " (" + path + ")");
+    }
+    case FaultSchedule::Fault::kBitFlip: {
+      std::vector<uint8_t> flipped(data, data + len);
+      if (len > 0) flipped[d.flip_bit / 8] ^= uint8_t{1} << (d.flip_bit % 8);
+      return PWriteAll(fd, path, offset, flipped.data(), len);
+    }
+  }
+  return Status::Internal("unreachable fault decision");
+}
+
+Status FaultySync(int fd, const std::string& path, FaultSchedule* fault) {
+  if (fault != nullptr) {
+    const FaultSchedule::Decision d = fault->NextOp(/*is_write=*/true, 0);
+    if (d.fault == FaultSchedule::Fault::kCrash) {
+      return Status::IoError("injected crash: sync frozen at op " +
+                             std::to_string(d.op) + " (" + path + ")");
+    }
+    if (d.fault == FaultSchedule::Fault::kTransientError) {
+      return Status::IoError("injected sync failure at op " +
+                             std::to_string(d.op) + " (" + path + ")");
+    }
+    // Torn/bit-flip decisions are meaningless for a sync; treat as clean.
+  }
+  if (::fdatasync(fd) != 0) {
+    return Status::IoError("fdatasync(" + path +
+                           "): " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string EncodeSuperblockSlot(const SuperblockRecord& record) {
+  DUPLEX_CHECK(record.payload_path.size() <= Superblock::kMaxPayloadPath);
+  std::string bytes;
+  bytes.reserve(Superblock::kSlotBytes);
+  bytes.append(kMagic, sizeof(kMagic));
+  PutU32(Superblock::kVersion, &bytes);
+  PutU32(static_cast<uint32_t>(record.payload_path.size()), &bytes);
+  PutU64(record.install_seq, &bytes);
+  PutU64(record.wal_epoch, &bytes);
+  PutU64(record.payload_bytes, &bytes);
+  PutU64(record.payload_checksum, &bytes);
+  bytes.append(record.payload_path);
+  bytes.resize(kChecksumOffset, '\0');
+  PutU64(Fnv1a64(bytes.data(), kChecksumOffset), &bytes);
+  return bytes;
+}
+
+Result<SuperblockRecord> DecodeSuperblockSlot(const std::string& bytes) {
+  if (bytes.size() != Superblock::kSlotBytes) {
+    return Status::Corruption("superblock slot has wrong size");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("superblock slot has bad magic");
+  }
+  const uint64_t stored = GetU64(bytes, kChecksumOffset);
+  const uint64_t computed = Fnv1a64(bytes.data(), kChecksumOffset);
+  if (stored != computed) {
+    return Status::Corruption("superblock slot checksum mismatch");
+  }
+  const uint32_t version = GetU32(bytes, 8);
+  if (version != Superblock::kVersion) {
+    return Status::Corruption("superblock slot has unknown version " +
+                              std::to_string(version));
+  }
+  const uint32_t path_len = GetU32(bytes, 12);
+  if (path_len > Superblock::kMaxPayloadPath) {
+    return Status::Corruption("superblock slot path length out of range");
+  }
+  SuperblockRecord record;
+  record.install_seq = GetU64(bytes, 16);
+  record.wal_epoch = GetU64(bytes, 24);
+  record.payload_bytes = GetU64(bytes, 32);
+  record.payload_checksum = GetU64(bytes, 40);
+  record.payload_path = bytes.substr(48, path_len);
+  return record;
+}
+
+Result<std::unique_ptr<Superblock>> Superblock::Open(
+    const std::string& path) {
+  std::unique_ptr<Superblock> sb(new Superblock(path));
+  DUPLEX_RETURN_IF_ERROR(sb->Scan());
+  return sb;
+}
+
+Status Superblock::Scan() {
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path_ +
+                           "): " + std::strerror(errno));
+  }
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    std::string bytes(kSlotBytes, '\0');
+    size_t done = 0;
+    while (done < kSlotBytes) {
+      const ssize_t n =
+          ::pread(fd, bytes.data() + done, kSlotBytes - done,
+                  static_cast<off_t>(slot * kSlotBytes + done));
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        ::close(fd);
+        return Status::IoError("pread(" + path_ +
+                               "): " + std::strerror(errno));
+      }
+      if (n == 0) break;  // short file: rest reads as zeros
+      done += static_cast<size_t>(n);
+    }
+    // All-zero bytes = never written (fresh file or the inactive slot of
+    // a first install); anything else must decode cleanly or the slot is
+    // damaged.
+    const bool empty = bytes.find_first_not_of('\0') == std::string::npos;
+    if (empty) continue;
+    Result<SuperblockRecord> record = DecodeSuperblockSlot(bytes);
+    if (record.ok()) {
+      slots_[slot] = std::move(*record);
+      valid_[slot] = true;
+    } else {
+      ++damaged_slots_;
+    }
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<SuperblockRecord> Superblock::Current() const {
+  const std::vector<SuperblockRecord> records = ValidRecords();
+  if (!records.empty()) return records.front();
+  if (damaged_slots_ > 0) {
+    return Status::Corruption("superblock " + path_ + ": " +
+                              std::to_string(damaged_slots_) +
+                              " damaged slot(s), none valid");
+  }
+  return Status::NotFound("superblock " + path_ + ": no record installed");
+}
+
+std::vector<SuperblockRecord> Superblock::ValidRecords() const {
+  std::vector<SuperblockRecord> records;
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    if (valid_[slot]) records.push_back(slots_[slot]);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const SuperblockRecord& a, const SuperblockRecord& b) {
+              return a.install_seq > b.install_seq;
+            });
+  return records;
+}
+
+Status Superblock::WriteSlot(uint32_t slot, const std::string& bytes) {
+  DUPLEX_CHECK(bytes.size() == kSlotBytes);
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path_ +
+                           "): " + std::strerror(errno));
+  }
+  // Two half-slot ops + one sync op: a crash between the halves leaves a
+  // torn slot whose checksum cannot validate, which is exactly the
+  // degradation the dual-slot design absorbs.
+  const uint64_t base = static_cast<uint64_t>(slot) * kSlotBytes;
+  const auto* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  const size_t half = kSlotBytes / 2;
+  Status s = FaultyPWrite(fd, path_, base, data, half, fault_.get());
+  if (s.ok()) {
+    s = FaultyPWrite(fd, path_, base + half, data + half,
+                     kSlotBytes - half, fault_.get());
+  }
+  if (s.ok()) s = FaultySync(fd, path_, fault_.get());
+  ::close(fd);
+  return s;
+}
+
+Result<SuperblockRecord> Superblock::Install(SuperblockRecord record) {
+  if (record.payload_path.size() > kMaxPayloadPath) {
+    return Status::InvalidArgument("superblock payload path too long");
+  }
+  if (record.payload_path.find('/') != std::string::npos) {
+    return Status::InvalidArgument(
+        "superblock payload path must be a bare file name");
+  }
+  // Pick the inactive slot: the one NOT holding the newest valid record,
+  // so a crash mid-write can only damage the superseded slot.
+  uint64_t newest_seq = 0;
+  uint32_t newest_slot = 0;
+  bool any_valid = false;
+  for (uint32_t slot = 0; slot < 2; ++slot) {
+    if (valid_[slot] && slots_[slot].install_seq >= newest_seq) {
+      newest_seq = slots_[slot].install_seq;
+      newest_slot = slot;
+      any_valid = true;
+    }
+  }
+  const uint32_t target = any_valid ? (1 - newest_slot) : 0;
+  record.install_seq = newest_seq + 1;
+  DUPLEX_RETURN_IF_ERROR(WriteSlot(target, EncodeSuperblockSlot(record)));
+  slots_[target] = record;
+  valid_[target] = true;
+  return record;
+}
+
+}  // namespace duplex::storage

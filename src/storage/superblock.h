@@ -1,0 +1,132 @@
+#ifndef DUPLEX_STORAGE_SUPERBLOCK_H_
+#define DUPLEX_STORAGE_SUPERBLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injection.h"
+#include "util/status.h"
+
+namespace duplex::storage {
+
+// What one superblock slot points at: the newest durable checkpoint (or
+// manifest) file, the WAL epoch it covers, and enough integrity metadata
+// to prove the payload file intact before trusting it.
+struct SuperblockRecord {
+  // Monotonic install counter; the valid slot with the larger sequence
+  // wins. Starts at 1 for the first install.
+  uint64_t install_seq = 0;
+  // First WAL batch id NOT covered by the checkpoint: recovery loads the
+  // payload, then replays batches with id >= wal_epoch.
+  uint64_t wal_epoch = 0;
+  // Exact length and FNV-1a-64 checksum of the payload file, verified
+  // before any byte of it is deserialized — a torn checkpoint write reads
+  // as typed kCorruption, never as a half-restored index.
+  uint64_t payload_bytes = 0;
+  uint64_t payload_checksum = 0;
+  // Payload file name (no directory component; resolved relative to the
+  // superblock's own directory). Bounded by kMaxPayloadPath.
+  std::string payload_path;
+};
+
+// Dual-slot atomic installation root for the checkpoint subsystem — the
+// one piece of mutable state recovery trusts first. The file holds two
+// fixed-size slots, each independently checksummed; Install() always
+// writes the slot the current record does NOT occupy and only an intact,
+// newest-sequence slot is ever returned. A crash at any byte of an
+// install therefore damages at most the slot being written, and the
+// previous record keeps winning — the single "slot flip" is the checksum
+// becoming valid, which is atomic at the granularity recovery cares
+// about (a torn slot fails its checksum and is ignored with a typed
+// status, never parsed).
+//
+// The slot write path can be armed with a FaultSchedule: each slot half
+// and the final sync count as one physical op, so a crash-point sweep
+// can tear the install at every boundary (first half only = torn slot;
+// between sync and return = both slots intact, new one wins).
+//
+// Single-writer by contract (one checkpointer per index); concurrent
+// readers of an already-opened Superblock are fine, concurrent Install
+// is not.
+class Superblock {
+ public:
+  static constexpr uint64_t kSlotBytes = 512;
+  static constexpr uint64_t kMaxPayloadPath = 400;
+  static constexpr uint32_t kVersion = 1;
+
+  // Opens (creating if necessary) the dual-slot file at `path` and scans
+  // both slots. Damaged slots are tolerated here — they surface through
+  // Current()/ValidRecords() as absence, plus slot_damage() for callers
+  // that want to warn.
+  static Result<std::unique_ptr<Superblock>> Open(const std::string& path);
+
+  Superblock(const Superblock&) = delete;
+  Superblock& operator=(const Superblock&) = delete;
+
+  // Durably installs `record` (install_seq is assigned internally:
+  // newest + 1) into the inactive slot. On success the record becomes
+  // the one Current() returns. On failure (including an injected crash)
+  // the previous record is untouched.
+  Result<SuperblockRecord> Install(SuperblockRecord record);
+
+  // The newest intact record. Typed statuses, never garbage:
+  //   kNotFound    — no record was ever installed (both slots empty)
+  //   kCorruption  — slots were written but every one is damaged
+  Result<SuperblockRecord> Current() const;
+
+  // Every intact record, newest first (at most 2). Recovery walks this
+  // list so a damaged newest checkpoint file can fall back to the
+  // previous install.
+  std::vector<SuperblockRecord> ValidRecords() const;
+
+  // Slots that held data but failed validation on Open (torn install or
+  // in-place rot). Informational; Install() overwrites the inactive slot
+  // regardless.
+  uint32_t slot_damage() const { return damaged_slots_; }
+
+  const std::string& path() const { return path_; }
+
+  // Arms fault injection on the install path's physical writes. Shared
+  // with the checkpoint pipeline so one op counter numbers the whole
+  // protocol.
+  void set_fault_schedule(std::shared_ptr<FaultSchedule> schedule) {
+    fault_ = std::move(schedule);
+  }
+
+ private:
+  explicit Superblock(std::string path) : path_(std::move(path)) {}
+
+  Status Scan();
+  // Writes `bytes` (kSlotBytes) into slot `slot` as two half-slot ops
+  // plus one sync op, each consulting the fault schedule.
+  Status WriteSlot(uint32_t slot, const std::string& bytes);
+
+  std::string path_;
+  std::shared_ptr<FaultSchedule> fault_;
+  // Decoded slot contents; valid_[i] false = empty or damaged.
+  SuperblockRecord slots_[2];
+  bool valid_[2] = {false, false};
+  uint32_t damaged_slots_ = 0;
+};
+
+// Slot codec, exposed for tests that build torn/bit-flipped slots by
+// hand: encodes to exactly kSlotBytes (magic, version, record fields,
+// zero padding, trailing FNV-1a-64 over everything before it).
+std::string EncodeSuperblockSlot(const SuperblockRecord& record);
+Result<SuperblockRecord> DecodeSuperblockSlot(const std::string& bytes);
+
+// Fault-aware plain-file primitives shared by the checkpoint pipeline
+// (superblock install, checkpoint file writer, WAL tail truncation):
+// each call is one physical op under `fault` (null = no injection), with
+// the same fault semantics as FaultInjectingBlockDevice — crash and
+// transient errors write nothing, a torn write persists a prefix then
+// fails, a bit flip persists silently damaged bytes and "succeeds".
+Status FaultyPWrite(int fd, const std::string& path, uint64_t offset,
+                    const uint8_t* data, size_t len, FaultSchedule* fault);
+Status FaultySync(int fd, const std::string& path, FaultSchedule* fault);
+
+}  // namespace duplex::storage
+
+#endif  // DUPLEX_STORAGE_SUPERBLOCK_H_

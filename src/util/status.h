@@ -85,6 +85,9 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
 
   // "OK" or "<Code>: <message>".

@@ -383,5 +383,243 @@ TEST_F(BatchLogTest, ApplyLoggedFlushesWriteBackFramesBeforeCommit) {
   EXPECT_EQ(index.cache_stats().dirty_writebacks, writebacks);
 }
 
+// --- Tail truncation (the checkpoint contract) -----------------------------
+
+TEST_F(BatchLogTest, TruncateToDropsPrefixAndKeepsGlobalIds) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  (*log)->set_fsync(false);
+  for (uint64_t i = 0; i < 5; ++i) {
+    Result<uint64_t> id =
+        (*log)->AppendBatch(CountBatch({{static_cast<WordId>(i), 1}}));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i);
+    ASSERT_TRUE((*log)->MarkApplied(*id).ok());
+  }
+  ASSERT_TRUE((*log)->TruncateTo(3).ok());
+  EXPECT_EQ((*log)->base_epoch(), 3u);
+  EXPECT_EQ((*log)->batches_logged(), 2u);
+  EXPECT_EQ((*log)->batch(0).id, 3u);
+  EXPECT_EQ((*log)->next_id(), 5u);
+  // Ids keep counting globally after the truncation.
+  Result<uint64_t> next = (*log)->AppendBatch(CountBatch({{9, 1}}));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 5u);
+}
+
+TEST_F(BatchLogTest, TruncatedLogSurvivesReopen) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    (*log)->set_fsync(false);
+    for (uint64_t i = 0; i < 4; ++i) {
+      Result<uint64_t> id =
+          (*log)->AppendBatch(CountBatch({{static_cast<WordId>(i), 1}}));
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE((*log)->MarkApplied(*id).ok());
+    }
+    ASSERT_TRUE((*log)->TruncateTo(2).ok());
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ((*log)->base_epoch(), 2u);
+  EXPECT_EQ((*log)->batches_logged(), 2u);
+  EXPECT_EQ((*log)->batches_applied(), 2u);
+  EXPECT_EQ((*log)->next_id(), 4u);
+  EXPECT_TRUE((*log)->UnappliedBatches().empty());
+}
+
+TEST_F(BatchLogTest, TruncateToEmptyTailReopensAndAppends) {
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    (*log)->set_fsync(false);
+    for (uint64_t i = 0; i < 3; ++i) {
+      Result<uint64_t> id =
+          (*log)->AppendBatch(CountBatch({{static_cast<WordId>(i), 1}}));
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE((*log)->MarkApplied(*id).ok());
+    }
+    // Truncate everything: the log is just an epoch base record.
+    ASSERT_TRUE((*log)->TruncateTo((*log)->next_id()).ok());
+    EXPECT_EQ((*log)->batches_logged(), 0u);
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ((*log)->base_epoch(), 3u);
+  EXPECT_EQ((*log)->batches_logged(), 0u);
+  Result<uint64_t> id = (*log)->AppendBatch(CountBatch({{7, 1}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 3u);
+}
+
+TEST_F(BatchLogTest, TruncateToRejectsUnappliedPrefix) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  (*log)->set_fsync(false);
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 1}})).ok());
+  // Batch 0 is durable but never committed: a checkpoint cannot cover it.
+  EXPECT_TRUE((*log)->TruncateTo(1).IsFailedPrecondition());
+}
+
+TEST_F(BatchLogTest, TruncateToBeyondNextIdIsInvalid) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE((*log)->TruncateTo(1).IsInvalidArgument());
+}
+
+TEST_F(BatchLogTest, TruncateAtEveryRecordReplaysTheExactTail) {
+  // Build the same 6-batch materialized history, truncate at every epoch
+  // k, and prove prefix-apply + ReplayFrom(k) equals the full replay.
+  constexpr uint64_t kBatchCount = 6;
+  std::vector<text::InvertedBatch> batches;
+  for (uint64_t i = 0; i < kBatchCount; ++i) {
+    text::InvertedBatch b;
+    b.entries = {{static_cast<WordId>(i % 4), {static_cast<DocId>(i * 2)}},
+                 {static_cast<WordId>(7), {static_cast<DocId>(i * 2 + 1)}}};
+    batches.push_back(std::move(b));
+  }
+  InvertedIndex reference(Options(true));
+  for (const auto& b : batches) {
+    ASSERT_TRUE(reference.ApplyInvertedBatch(b).ok());
+  }
+
+  for (uint64_t k = 0; k <= kBatchCount; ++k) {
+    const std::string path = path_ + "_k" + std::to_string(k);
+    std::remove(path.c_str());
+    {
+      Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path);
+      ASSERT_TRUE(log.ok());
+      (*log)->set_fsync(false);
+      InvertedIndex scratch(Options(true));
+      for (const auto& b : batches) {
+        ASSERT_TRUE((*log)->ApplyLogged(&scratch, b).ok());
+      }
+      ASSERT_TRUE((*log)->TruncateTo(k).ok()) << "k=" << k;
+    }
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path);
+    ASSERT_TRUE(log.ok()) << "k=" << k << ": " << log.status();
+    EXPECT_EQ((*log)->batches_logged(), kBatchCount - k);
+    // "Checkpoint restore": apply the covered prefix directly, then
+    // replay the surviving tail.
+    InvertedIndex recovered(Options(true));
+    for (uint64_t i = 0; i < k; ++i) {
+      ASSERT_TRUE(recovered.ApplyInvertedBatch(batches[i]).ok());
+    }
+    ASSERT_TRUE((*log)->ReplayFrom(k, &recovered).ok()) << "k=" << k;
+    for (const WordId w : {0u, 1u, 2u, 3u, 7u}) {
+      Result<std::vector<DocId>> expect = reference.GetPostings(w);
+      Result<std::vector<DocId>> got = recovered.GetPostings(w);
+      ASSERT_EQ(expect.ok(), got.ok()) << "k=" << k << " word " << w;
+      if (expect.ok()) EXPECT_EQ(*expect, *got) << "k=" << k << " word " << w;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(BatchLogTest, ReplayFromBelowBaseEpochIsFailedPrecondition) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  (*log)->set_fsync(false);
+  for (uint64_t i = 0; i < 4; ++i) {
+    Result<uint64_t> id =
+        (*log)->AppendBatch(CountBatch({{static_cast<WordId>(i), 1}}));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*log)->MarkApplied(*id).ok());
+  }
+  ASSERT_TRUE((*log)->TruncateTo(2).ok());
+  InvertedIndex index(Options());
+  // The records for [1, 2) are gone; claiming a checkpoint at epoch 1
+  // demands history the log no longer has.
+  EXPECT_TRUE((*log)->ReplayFrom(1, &index).IsFailedPrecondition());
+  // Full replay is equally impossible.
+  EXPECT_TRUE((*log)->ReplayInto(&index).IsFailedPrecondition());
+}
+
+TEST_F(BatchLogTest, ReplayFromMarksUnappliedTailApplied) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  (*log)->set_fsync(false);
+  InvertedIndex index(Options());
+  ASSERT_TRUE((*log)->ApplyLogged(&index, CountBatch({{1, 2}})).ok());
+  // Batch 1 crashed mid-apply: durable, never committed.
+  ASSERT_TRUE((*log)->AppendBatch(CountBatch({{2, 3}})).ok());
+  EXPECT_EQ((*log)->UnappliedBatches().size(), 1u);
+
+  InvertedIndex recovered(Options());
+  ASSERT_TRUE((*log)->ReplayFrom(0, &recovered).ok());
+  EXPECT_TRUE((*log)->UnappliedBatches().empty());
+}
+
+TEST_F(BatchLogTest, FullTruncateResetsTheEpochBase) {
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  (*log)->set_fsync(false);
+  Result<uint64_t> id = (*log)->AppendBatch(CountBatch({{1, 1}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*log)->MarkApplied(*id).ok());
+  ASSERT_TRUE((*log)->TruncateTo(1).ok());
+  EXPECT_EQ((*log)->base_epoch(), 1u);
+  // Truncate() is the "snapshot made the whole log redundant" path: ids
+  // restart from zero.
+  ASSERT_TRUE((*log)->Truncate().ok());
+  EXPECT_EQ((*log)->base_epoch(), 0u);
+  EXPECT_EQ((*log)->next_id(), 0u);
+}
+
+TEST_F(BatchLogTest, CrashDuringTruncateToKeepsTheOldLog) {
+  // Count the physical ops of one truncation, then crash at each: the
+  // tmp-file rewrite must never damage the live log until the final
+  // atomic rename.
+  uint64_t total_ops = 0;
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    (*log)->set_fsync(false);
+    for (uint64_t i = 0; i < 4; ++i) {
+      Result<uint64_t> id =
+          (*log)->AppendBatch(CountBatch({{static_cast<WordId>(i), 1}}));
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE((*log)->MarkApplied(*id).ok());
+    }
+    auto schedule = std::make_shared<storage::FaultSchedule>(
+        storage::FaultScheduleOptions{});
+    (*log)->set_fault_schedule(schedule);
+    ASSERT_TRUE((*log)->TruncateTo(2).ok());
+    total_ops = schedule->ops_issued();
+  }
+  ASSERT_GT(total_ops, 1u);
+  std::remove(path_.c_str());
+
+  for (uint64_t crash_at = 1; crash_at <= total_ops; ++crash_at) {
+    SCOPED_TRACE("crash_at_op=" + std::to_string(crash_at));
+    const std::string path = path_ + "_c" + std::to_string(crash_at);
+    std::remove(path.c_str());
+    {
+      Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path);
+      ASSERT_TRUE(log.ok());
+      (*log)->set_fsync(false);
+      for (uint64_t i = 0; i < 4; ++i) {
+        Result<uint64_t> id =
+            (*log)->AppendBatch(CountBatch({{static_cast<WordId>(i), 1}}));
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE((*log)->MarkApplied(*id).ok());
+      }
+      storage::FaultScheduleOptions fo;
+      fo.crash_at_op = crash_at;
+      (*log)->set_fault_schedule(
+          std::make_shared<storage::FaultSchedule>(fo));
+      EXPECT_FALSE((*log)->TruncateTo(2).ok());
+    }
+    // Reopen from disk: the crash must have left the ORIGINAL log.
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path);
+    ASSERT_TRUE(log.ok()) << log.status();
+    EXPECT_EQ((*log)->base_epoch(), 0u);
+    EXPECT_EQ((*log)->batches_logged(), 4u);
+    EXPECT_EQ((*log)->batches_applied(), 4u);
+    std::remove(path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace duplex::core

@@ -392,5 +392,134 @@ TEST(NetServerTest, CountersTrackTraffic) {
   EXPECT_EQ(fx.server().requests_rejected(), 0u);
 }
 
+// --- Client robustness: timeouts and BUSY retry ----------------------------
+
+TEST(NetClientTest, ConnectWithDeadlineReachesLiveServer) {
+  ServerFixture fx;
+  ClientOptions options;
+  options.connect_timeout = std::chrono::milliseconds(2000);
+  options.recv_timeout = std::chrono::milliseconds(2000);
+  Result<Client> client =
+      Client::Connect("127.0.0.1", fx.server().port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_EQ(client->retries(), 0u);
+}
+
+TEST(NetClientTest, RecvTimeoutUnwedgesFromSilentPeer) {
+  // A listener that accepts and then says nothing: without a recv
+  // deadline the client would hang forever; with one it must surface a
+  // typed kIoError once the bounded retry budget drains.
+  Result<Listener> listener = Listener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  std::thread acceptor([&listener] {
+    Result<Socket> conn = listener->Accept();
+    if (conn.ok()) {
+      // Hold the socket open, never respond, until the listener closes.
+      char byte;
+      (void)conn->RecvAll(&byte, 1);
+    }
+  });
+
+  ClientOptions options;
+  options.recv_timeout = std::chrono::milliseconds(50);
+  options.max_retries = 0;
+  Result<Client> client =
+      Client::Connect("127.0.0.1", listener->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const Status status = client->Ping();
+  EXPECT_TRUE(status.IsIoError()) << status;
+
+  client->Close();
+  listener->Close();
+  acceptor.join();
+}
+
+// Overloaded fixture: one worker sleeping per request behind tiny queues,
+// so a pipelined burst keeps the server BUSY for a predictable window.
+ServerOptions OverloadOptions() {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.per_connection_queue = 2;
+  options.global_queue = 2;
+  options.request_deadline = std::chrono::milliseconds(0);  // no shedding
+  options.test_handler_delay = std::chrono::milliseconds(50);
+  return options;
+}
+
+// Fills the server's queues from a second connection and returns it (the
+// responses stay unread so the requests occupy the queues/worker).
+Client FloodServer(ServerFixture& fx, int burst) {
+  Client flooder = fx.ConnectOrDie();
+  const std::string payload = EncodeBooleanQueryRequest({"inverted"});
+  for (int i = 0; i < burst; ++i) {
+    Result<uint64_t> sent = flooder.Send(Opcode::kBooleanQuery, payload);
+    EXPECT_TRUE(sent.ok()) << sent.status();
+  }
+  return flooder;
+}
+
+TEST(NetClientTest, BusyWithoutRetryStaysTyped) {
+  ServerFixture fx(OverloadOptions());
+  Client flooder = FloodServer(fx, 12);
+
+  ClientOptions options;
+  options.max_retries = 0;
+  Result<Client> client =
+      Client::Connect("127.0.0.1", fx.server().port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  // The queues hold ~600ms of work; with retry disabled the typed BUSY
+  // must reach the caller unchanged.
+  Result<ir::QueryResult> result = client->Boolean("inverted");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+  EXPECT_EQ(client->retries(), 0u);
+}
+
+TEST(NetClientTest, BusyRetryBacksOffUntilTheQueueDrains) {
+  ServerFixture fx(OverloadOptions());
+  Client flooder = FloodServer(fx, 12);
+
+  ClientOptions options;
+  options.max_retries = 30;
+  options.initial_backoff = std::chrono::milliseconds(40);
+  options.max_backoff = std::chrono::milliseconds(100);
+  options.retry_seed = 42;  // deterministic jitter
+  Result<Client> client =
+      Client::Connect("127.0.0.1", fx.server().port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // First attempt lands while the flood still owns the queues -> BUSY ->
+  // bounded jittered backoff until the worker drains it.
+  Result<ir::QueryResult> result = client->Boolean("inverted");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(client->retries(), 0u);
+  EXPECT_LE(client->retries(), options.max_retries);
+
+  // The flood's own responses are all still deliverable (OK or BUSY —
+  // pipelined sends bypass the retry loop by design).
+  for (int i = 0; i < 12; ++i) {
+    Result<ClientResponse> resp = flooder.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    EXPECT_TRUE(resp->status.ok() || resp->status.IsResourceExhausted());
+  }
+}
+
+TEST(NetClientTest, OnlyBusyIsRetried) {
+  ServerFixture fx;
+  ClientOptions options;
+  options.max_retries = 5;
+  options.initial_backoff = std::chrono::milliseconds(1);
+  Result<Client> client =
+      Client::Connect("127.0.0.1", fx.server().port(), options);
+  ASSERT_TRUE(client.ok()) << client.status();
+  // A syntax error is typed InvalidArgument: it must surface immediately,
+  // not burn the retry budget on a request that can never succeed.
+  Result<ir::QueryResult> result = client->Boolean("AND AND");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+  EXPECT_EQ(client->retries(), 0u);
+}
+
 }  // namespace
 }  // namespace duplex::net

@@ -1,0 +1,293 @@
+#include "storage/superblock.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injection.h"
+
+namespace duplex::storage {
+namespace {
+
+class SuperblockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/duplex_super_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  SuperblockRecord MakeRecord(uint64_t epoch, const std::string& name) {
+    SuperblockRecord r;
+    r.wal_epoch = epoch;
+    r.payload_bytes = 100 + epoch;
+    r.payload_checksum = 0xfeedULL ^ epoch;
+    r.payload_path = name;
+    return r;
+  }
+
+  // Overwrites the raw superblock file byte at `offset`.
+  void CorruptByte(uint64_t offset, uint8_t mask) {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ mask);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+
+  // Truncates the file to `len` bytes (a torn final write).
+  void TruncateFile(uint64_t len) {
+    std::string bytes;
+    {
+      std::ifstream in(path_, std::ios::binary);
+      ASSERT_TRUE(in.good());
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      bytes = buf.str();
+    }
+    bytes.resize(len);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+TEST_F(SuperblockTest, EmptyFileIsNotFound) {
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok()) << sb.status();
+  EXPECT_TRUE((*sb)->Current().status().IsNotFound());
+  EXPECT_TRUE((*sb)->ValidRecords().empty());
+  EXPECT_EQ((*sb)->slot_damage(), 0u);
+}
+
+TEST_F(SuperblockTest, InstallAssignsMonotonicSequence) {
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  Result<SuperblockRecord> first = (*sb)->Install(MakeRecord(5, "ckpt-1"));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->install_seq, 1u);
+  Result<SuperblockRecord> second = (*sb)->Install(MakeRecord(9, "ckpt-2"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->install_seq, 2u);
+
+  Result<SuperblockRecord> current = (*sb)->Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->install_seq, 2u);
+  EXPECT_EQ(current->wal_epoch, 9u);
+  EXPECT_EQ(current->payload_path, "ckpt-2");
+}
+
+TEST_F(SuperblockTest, ReopenSeesNewestAndKeepsFallback) {
+  {
+    Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+    ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(7, "ckpt-2")).ok());
+  }
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  std::vector<SuperblockRecord> records = (*sb)->ValidRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload_path, "ckpt-2");  // newest first
+  EXPECT_EQ(records[1].payload_path, "ckpt-1");
+  EXPECT_GT(records[0].install_seq, records[1].install_seq);
+}
+
+TEST_F(SuperblockTest, BitFlippedNewestSlotFallsBackTyped) {
+  uint64_t newest_seq = 0;
+  {
+    Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+    ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+    Result<SuperblockRecord> newest = (*sb)->Install(MakeRecord(7, "ckpt-2"));
+    ASSERT_TRUE(newest.ok());
+    newest_seq = newest->install_seq;
+  }
+  // Installs alternate slots: seq 1 went to slot 0, seq 2 to slot 1.
+  // Flip one payload byte inside the newest record's slot.
+  CorruptByte(Superblock::kSlotBytes + 40, 0x10);
+
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ((*sb)->slot_damage(), 1u);
+  Result<SuperblockRecord> current = (*sb)->Current();
+  ASSERT_TRUE(current.ok()) << current.status();
+  EXPECT_LT(current->install_seq, newest_seq);
+  EXPECT_EQ(current->payload_path, "ckpt-1");
+}
+
+TEST_F(SuperblockTest, TornSlotWriteIsIgnored) {
+  {
+    Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+    ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+  }
+  // A torn second install: only half of slot 1's bytes land. Simulate by
+  // hand-writing a prefix of a valid encoding into slot 1.
+  const std::string encoded = EncodeSuperblockSlot(MakeRecord(9, "ckpt-2"));
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(Superblock::kSlotBytes));
+    f.write(encoded.data(),
+            static_cast<std::streamsize>(Superblock::kSlotBytes / 2));
+  }
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ((*sb)->slot_damage(), 1u);
+  Result<SuperblockRecord> current = (*sb)->Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->payload_path, "ckpt-1");
+}
+
+TEST_F(SuperblockTest, BothSlotsDamagedIsCorruption) {
+  {
+    Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+    ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(7, "ckpt-2")).ok());
+  }
+  CorruptByte(40, 0x01);
+  CorruptByte(Superblock::kSlotBytes + 40, 0x01);
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ((*sb)->slot_damage(), 2u);
+  EXPECT_TRUE((*sb)->Current().status().IsCorruption());
+  EXPECT_TRUE((*sb)->ValidRecords().empty());
+}
+
+TEST_F(SuperblockTest, TruncatedFileTreatsMissingSlotAsEmpty) {
+  {
+    Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+    ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(7, "ckpt-2")).ok());
+  }
+  // Tear the file mid-way through the second slot.
+  TruncateFile(Superblock::kSlotBytes + 100);
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  Result<SuperblockRecord> current = (*sb)->Current();
+  ASSERT_TRUE(current.ok()) << current.status();
+  EXPECT_EQ(current->payload_path, "ckpt-1");
+}
+
+TEST_F(SuperblockTest, PayloadPathTooLongRejected) {
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  SuperblockRecord r =
+      MakeRecord(1, std::string(Superblock::kMaxPayloadPath + 1, 'x'));
+  EXPECT_TRUE((*sb)->Install(r).status().IsInvalidArgument());
+}
+
+TEST_F(SuperblockTest, SlotCodecRoundTrip) {
+  SuperblockRecord r = MakeRecord(42, "demo.ckpt-17");
+  r.install_seq = 9;
+  const std::string bytes = EncodeSuperblockSlot(r);
+  EXPECT_EQ(bytes.size(), Superblock::kSlotBytes);
+  Result<SuperblockRecord> decoded = DecodeSuperblockSlot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->install_seq, 9u);
+  EXPECT_EQ(decoded->wal_epoch, 42u);
+  EXPECT_EQ(decoded->payload_bytes, r.payload_bytes);
+  EXPECT_EQ(decoded->payload_checksum, r.payload_checksum);
+  EXPECT_EQ(decoded->payload_path, "demo.ckpt-17");
+}
+
+TEST_F(SuperblockTest, SlotCodecDetectsEveryByteFlip) {
+  const std::string bytes = EncodeSuperblockSlot(MakeRecord(5, "ckpt"));
+  // Flip each byte that participates in the encoding (skip none: even the
+  // zero padding is covered by the trailing checksum).
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x40);
+    EXPECT_FALSE(DecodeSuperblockSlot(damaged).ok()) << "byte " << i;
+  }
+}
+
+TEST_F(SuperblockTest, CrashDuringInstallKeepsPreviousRecord) {
+  // Sweep the crash point over every physical op of one install (two
+  // half-slot writes + one sync = 3 ops). At every point the previous
+  // record must keep winning on reopen.
+  for (uint64_t crash_at = 1; crash_at <= 3; ++crash_at) {
+    const std::string path = path_ + "_" + std::to_string(crash_at);
+    std::remove(path.c_str());
+    {
+      Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path);
+      ASSERT_TRUE(sb.ok());
+      ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+
+      FaultScheduleOptions fo;
+      fo.crash_at_op = crash_at;
+      (*sb)->set_fault_schedule(std::make_shared<FaultSchedule>(fo));
+      Result<SuperblockRecord> r = (*sb)->Install(MakeRecord(9, "ckpt-2"));
+      EXPECT_FALSE(r.ok()) << "crash_at=" << crash_at;
+    }
+    Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path);
+    ASSERT_TRUE(sb.ok());
+    Result<SuperblockRecord> current = (*sb)->Current();
+    ASSERT_TRUE(current.ok())
+        << "crash_at=" << crash_at << ": " << current.status();
+    if (crash_at <= 2) {
+      // The new slot was torn or never written: the old record wins.
+      EXPECT_EQ(current->payload_path, "ckpt-1") << "crash_at=" << crash_at;
+      EXPECT_EQ(current->wal_epoch, 3u);
+    } else {
+      // Crash between the slot bytes and the sync: both slots are intact,
+      // so EITHER complete record may win — but never a torn hybrid.
+      EXPECT_TRUE(current->payload_path == "ckpt-1" ||
+                  current->payload_path == "ckpt-2");
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(SuperblockTest, TornInstallDamagesOnlyInactiveSlot) {
+  {
+    Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+    ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+
+    FaultScheduleOptions fo;
+    fo.torn_write_at_op = 1;  // first half-slot write tears
+    (*sb)->set_fault_schedule(std::make_shared<FaultSchedule>(fo));
+    EXPECT_FALSE((*sb)->Install(MakeRecord(9, "ckpt-2")).ok());
+  }
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  Result<SuperblockRecord> current = (*sb)->Current();
+  ASSERT_TRUE(current.ok()) << current.status();
+  EXPECT_EQ(current->payload_path, "ckpt-1");
+}
+
+TEST_F(SuperblockTest, InstallAfterInjectedFailureRecovers) {
+  Result<std::unique_ptr<Superblock>> sb = Superblock::Open(path_);
+  ASSERT_TRUE(sb.ok());
+  ASSERT_TRUE((*sb)->Install(MakeRecord(3, "ckpt-1")).ok());
+
+  FaultScheduleOptions fo;
+  fo.write_error_ops = {1};
+  auto schedule = std::make_shared<FaultSchedule>(fo);
+  (*sb)->set_fault_schedule(schedule);
+  EXPECT_FALSE((*sb)->Install(MakeRecord(5, "ckpt-2")).ok());
+
+  // Transient error passed; the retry must succeed and win.
+  Result<SuperblockRecord> retry = (*sb)->Install(MakeRecord(5, "ckpt-2"));
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  Result<SuperblockRecord> current = (*sb)->Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->payload_path, "ckpt-2");
+}
+
+}  // namespace
+}  // namespace duplex::storage

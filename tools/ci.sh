@@ -13,7 +13,11 @@
 # fuzz suite under ASan+UBSan, the ServerStress suite under TSan, a
 # loopback smoke (duplexd on an ephemeral port, duplexctl against it,
 # clean SIGTERM shutdown), and a saturation bench smoke that refreshes
-# BENCH_server.json.
+# BENCH_server.json. The checkpoint subsystem gets a Release pass
+# (superblock + checkpoint/recover + crash sweep), rides the ASan+UBSan
+# recovery build, runs its reader-concurrency stress under TSan, extends
+# the loopback smoke with a shutdown checkpoint + recover-demo, and
+# refreshes BENCH_recovery.json.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -35,6 +39,10 @@ ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
 echo "=== Fault-injection + recovery pass ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|Scrub'
+
+echo "=== Checkpoint pass (superblock + checkpoint/recover + crash sweep) ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'Checkpoint|Superblock'
 
 echo "=== Compaction pass (property + options + crash sweep + codec fuzz) ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
@@ -63,9 +71,9 @@ cmake --build build-ci-tsan -j "$JOBS" --target \
   util_thread_pool_test core_concurrent_index_test \
   core_sharded_index_test core_cache_stress_test \
   core_compaction_stress_test observability_stress_test \
-  core_merging_reader_test net_server_stress_test
+  core_merging_reader_test net_server_stress_test core_checkpoint_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress|ServerStress'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress|ServerStress|CheckpointStress'
 
 echo "=== ASan+UBSan build + recovery tests ==="
 cmake -B build-ci-asan -S . "${GEN[@]}" \
@@ -75,9 +83,11 @@ cmake --build build-ci-asan -j "$JOBS" --target \
   storage_fault_injection_test integration_crash_sweep_test \
   core_sharded_recovery_test core_batch_log_test \
   core_compaction_property_test core_codec_family_test \
-  core_chunk_format_test net_frame_test
+  core_chunk_format_test net_frame_test \
+  storage_superblock_test core_checkpoint_test \
+  integration_checkpoint_crash_sweep_test
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
-  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz|ChunkHeader|ChunkFormat|FrameHeader|FrameAssembler|PayloadCodec'
+  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz|ChunkHeader|ChunkFormat|FrameHeader|FrameAssembler|PayloadCodec|Checkpoint|Superblock'
 
 echo "=== Cache-sweep bench smoke (writes BENCH_cache.json) ==="
 DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
@@ -98,6 +108,7 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 printf 'incremental updates of inverted lists\n' > "$SMOKE_DIR/a.txt"
 printf 'text document retrieval systems\n' > "$SMOKE_DIR/b.txt"
 ./build-ci-release/tools/duplexd --port 0 --wal "$SMOKE_DIR/smoke.wal" \
+  --checkpoint "$SMOKE_DIR/ckpt" \
   "$SMOKE_DIR/a.txt" "$SMOKE_DIR/b.txt" \
   > "$SMOKE_DIR/duplexd.out" 2> "$SMOKE_DIR/duplexd.err" &
 DUPLEXD_PID=$!
@@ -125,10 +136,21 @@ kill -TERM "$DUPLEXD_PID"
 wait "$DUPLEXD_PID" || { echo "duplexd exited non-zero"; \
   cat "$SMOKE_DIR/duplexd.err"; exit 1; }
 [ -s "$SMOKE_DIR/smoke.wal" ] || { echo "WAL not written"; exit 1; }
+# SIGTERM drain ends with a final checkpoint: the dual-slot superblock
+# must exist and the offline CLI must recover through it.
+[ -s "$SMOKE_DIR/ckpt.super" ] \
+  || { echo "shutdown checkpoint superblock missing"; exit 1; }
+./build-ci-release/examples/duplexctl recover-demo >/dev/null \
+  || { echo "recover-demo failed"; exit 1; }
 
 echo "=== Server saturation bench smoke (writes BENCH_server.json) ==="
 DUPLEX_BENCH_NET_MS="${DUPLEX_BENCH_NET_MS:-500}" \
 DUPLEX_BENCH_NET_DOCS="${DUPLEX_BENCH_NET_DOCS:-500}" \
   ./build-ci-release/bench/bench_ext_server_saturation >/dev/null
+
+echo "=== Recovery bench smoke (writes BENCH_recovery.json) ==="
+DUPLEX_BENCH_RECOVERY_MAX="${DUPLEX_BENCH_RECOVERY_MAX:-16}" \
+DUPLEX_BENCH_RECOVERY_DOCS="${DUPLEX_BENCH_RECOVERY_DOCS:-80}" \
+  ./build-ci-release/bench/bench_ext_recovery >/dev/null
 
 echo "CI OK"

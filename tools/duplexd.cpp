@@ -7,7 +7,8 @@
 // update story, carried over a socket.
 //
 //   duplexd [--port N] [--shards N] [--workers N] [--queue N]
-//           [--wal PATH] [--compact-interval MS] [file-or-dir]...
+//           [--wal PATH] [--checkpoint PREFIX] [--checkpoint-interval MS]
+//           [--compact-interval MS] [file-or-dir]...
 //
 // Input files are indexed before the listener opens. --port 0 (default)
 // binds an ephemeral port; the chosen port is printed as
@@ -15,6 +16,12 @@
 // SIGINT/SIGTERM shut down cleanly: stop accepting, drain admitted
 // requests, stop background compaction, flush buffered documents through
 // the WAL, exit 0.
+//
+// With --wal the index is recovered at startup; with --checkpoint too,
+// recovery goes through core::Checkpointer (last durable checkpoint +
+// WAL tail instead of full history), checkpoints repeat every
+// --checkpoint-interval, and the drain path ends with a final checkpoint
+// so a clean shutdown restarts with zero WAL replay.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "core/batch_log.h"
+#include "core/checkpoint.h"
 #include "core/sharded_index.h"
 #include "net/server.h"
 #include "net/service.h"
@@ -49,9 +57,23 @@ struct DaemonFlags {
   uint32_t workers = 4;
   uint32_t queue = 1024;
   std::string wal;
+  std::string checkpoint;              // prefix; empty = no checkpoints
+  uint32_t checkpoint_interval_ms = 0;  // 0 = only on shutdown
   uint32_t compact_interval_ms = 0;  // 0 = no background compaction
   std::vector<std::string> inputs;
 };
+
+const char* RecoveryModeName(core::RecoveryMode mode) {
+  switch (mode) {
+    case core::RecoveryMode::kEmpty:
+      return "empty";
+    case core::RecoveryMode::kCheckpointTail:
+      return "checkpoint+tail";
+    case core::RecoveryMode::kFullRebuild:
+      return "full-rebuild";
+  }
+  return "unknown";
+}
 
 core::ShardedIndexOptions IndexOptionsFor(uint32_t shards) {
   core::IndexOptions total;
@@ -132,6 +154,43 @@ int Run(const DaemonFlags& flags) {
     wal = std::move(*opened);
   }
 
+  // Recover whatever the WAL (and checkpoints, when configured) hold
+  // before indexing new inputs or serving traffic.
+  std::unique_ptr<core::Checkpointer> checkpointer;
+  if (!flags.checkpoint.empty()) {
+    core::CheckpointOptions ckpt_options;
+    ckpt_options.prefix = flags.checkpoint;
+    checkpointer = std::make_unique<core::Checkpointer>(ckpt_options);
+  }
+  if (checkpointer != nullptr) {
+    Result<core::RecoveryInfo> recovered =
+        checkpointer->Recover(&index, wal.get());
+    if (!recovered.ok()) {
+      std::cerr << "recovery failed: " << recovered.status() << "\n";
+      return 1;
+    }
+    std::cerr << "recovered (" << RecoveryModeName(recovered->mode)
+              << "): " << recovered->batches_replayed
+              << " WAL batches replayed; " << recovered->detail << "\n";
+  } else if (wal != nullptr && wal->batches_logged() > 0) {
+    // No checkpointing configured: the only recovery path is replaying
+    // the full history into the fresh index.
+    uint64_t replayed = 0;
+    Status s = wal->ReplayFrom(0, [&](const core::BatchLog::LoggedBatch& b) {
+      ++replayed;
+      Status applied = b.materialized ? index.ApplyInvertedBatch(b.docs)
+                                      : index.ApplyBatchUpdate(b.counts);
+      if (!applied.ok()) return applied;
+      return index.FlushCaches();
+    });
+    if (!s.ok()) {
+      std::cerr << "WAL replay failed: " << s << "\n";
+      return 1;
+    }
+    std::cerr << "recovered (full-rebuild): " << replayed
+              << " WAL batches replayed\n";
+  }
+
   if (int rc = IndexInputs(index, wal.get(), flags.inputs); rc != 0) {
     return rc;
   }
@@ -155,6 +214,33 @@ int Run(const DaemonFlags& flags) {
   // stable and flush before blocking.
   std::cout << "duplexd listening on port " << server.port() << std::endl;
 
+  // Periodic background checkpointing: each round trims the WAL to the
+  // tail, keeping restart cost flat no matter how long the daemon runs.
+  std::atomic<bool> checkpoint_stop{false};
+  std::thread checkpoint_thread;
+  if (checkpointer != nullptr && flags.checkpoint_interval_ms > 0) {
+    checkpoint_thread = std::thread([&] {
+      const auto interval =
+          std::chrono::milliseconds(flags.checkpoint_interval_ms);
+      auto next_round = std::chrono::steady_clock::now() + interval;
+      while (!checkpoint_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (std::chrono::steady_clock::now() < next_round) continue;
+        next_round = std::chrono::steady_clock::now() + interval;
+        Result<core::CheckpointInfo> done =
+            checkpointer->Checkpoint(index, wal.get());
+        if (!done.ok()) {
+          std::cerr << "background checkpoint failed: " << done.status()
+                    << "\n";
+        } else {
+          std::cerr << "checkpoint " << done->install_seq << " installed "
+                    << "(epoch " << done->wal_epoch << ", "
+                    << done->payload_bytes << "B)\n";
+        }
+      }
+    });
+  }
+
   std::signal(SIGINT, HandleShutdownSignal);
   std::signal(SIGTERM, HandleShutdownSignal);
   while (!g_shutdown.load()) {
@@ -166,9 +252,24 @@ int Run(const DaemonFlags& flags) {
   std::cerr << "shutting down: draining requests\n";
   server.Stop();
   index.StopBackgroundCompaction();
+  checkpoint_stop.store(true);
+  if (checkpoint_thread.joinable()) checkpoint_thread.join();
   if (Status s = service.Flush(); !s.ok()) {
     std::cerr << "flush on shutdown failed: " << s << "\n";
     return 1;
+  }
+  // Final checkpoint after the flush: a clean shutdown leaves the WAL
+  // tail empty, so the next start restores the checkpoint and replays
+  // nothing.
+  if (checkpointer != nullptr) {
+    Result<core::CheckpointInfo> done =
+        checkpointer->Checkpoint(index, wal.get());
+    if (!done.ok()) {
+      std::cerr << "shutdown checkpoint failed: " << done.status() << "\n";
+    } else {
+      std::cerr << "shutdown checkpoint " << done->install_seq
+                << " installed (epoch " << done->wal_epoch << ")\n";
+    }
   }
   std::cerr << "served " << server.requests_handled() << " requests ("
             << server.requests_rejected() << " rejected) over "
@@ -203,12 +304,19 @@ int main(int argc, char** argv) {
       flags.queue = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--wal") {
       flags.wal = next();
+    } else if (arg == "--checkpoint") {
+      flags.checkpoint = next();
+    } else if (arg == "--checkpoint-interval") {
+      flags.checkpoint_interval_ms =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--compact-interval") {
       flags.compact_interval_ms =
           static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: duplexd [--port N] [--shards N] [--workers N] "
                    "[--queue N] [--wal PATH]\n"
+                   "               [--checkpoint PREFIX] "
+                   "[--checkpoint-interval MS]\n"
                    "               [--compact-interval MS] [file-or-dir]...\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
