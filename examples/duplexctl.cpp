@@ -47,6 +47,7 @@
 #include "core/snapshot.h"
 #include "ir/query_executor.h"
 #include "ir/query_workload.h"
+#include "net/admin_server.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/service.h"
@@ -933,6 +934,21 @@ int NetStats(const std::string& host, uint16_t port) {
   return 0;
 }
 
+// Admin-plane fetch: GETs one endpoint from a running duplexd
+// --admin-port and prints the body. Non-200 still prints (the /readyz
+// 503 body IS the answer) but exits nonzero so scripts can branch.
+int AdminGet(const std::string& host, uint16_t port,
+             const std::string& path) {
+  Result<net::HttpResponse> resp = net::HttpGet(host, port, path);
+  if (!resp.ok()) {
+    std::cerr << "cannot fetch " << path << ": " << resp.status() << "\n";
+    return 1;
+  }
+  std::cout << resp->body;
+  if (!resp->body.empty() && resp->body.back() != '\n') std::cout << "\n";
+  return resp->status_code == 200 ? 0 : 1;
+}
+
 int NetSubmit(const std::string& host, uint16_t port,
               const std::vector<std::string>& inputs) {
   std::vector<std::string> documents;
@@ -1058,6 +1074,36 @@ int main(int argc, char** argv) {
                          std::strtoul(args[2].c_str(), nullptr, 10)),
                      {args.begin() + 3, args.end()});
   }
+  if (args[0] == "net-metrics" && args.size() == 3) {
+    return AdminGet(args[1],
+                    static_cast<uint16_t>(
+                        std::strtoul(args[2].c_str(), nullptr, 10)),
+                    "/metrics");
+  }
+  if (args[0] == "net-status" && args.size() == 3) {
+    return AdminGet(args[1],
+                    static_cast<uint16_t>(
+                        std::strtoul(args[2].c_str(), nullptr, 10)),
+                    "/statusz");
+  }
+  if (args[0] == "net-ready" && args.size() == 3) {
+    return AdminGet(args[1],
+                    static_cast<uint16_t>(
+                        std::strtoul(args[2].c_str(), nullptr, 10)),
+                    "/readyz");
+  }
+  if (args[0] == "net-health" && args.size() == 3) {
+    return AdminGet(args[1],
+                    static_cast<uint16_t>(
+                        std::strtoul(args[2].c_str(), nullptr, 10)),
+                    "/healthz");
+  }
+  if (args[0] == "net-slow" && args.size() == 3) {
+    return AdminGet(args[1],
+                    static_cast<uint16_t>(
+                        std::strtoul(args[2].c_str(), nullptr, 10)),
+                    "/slowz");
+  }
   if (args[0] == "metrics" && args.size() <= 2) {
     return Observe(/*want_trace=*/false, args.size() == 2 ? args[1] : "");
   }
@@ -1082,6 +1128,11 @@ int main(int argc, char** argv) {
                "       duplexctl net-query <host> <port> \"<boolean query>\"\n"
                "       duplexctl net-stats <host> <port>\n"
                "       duplexctl net-submit <host> <port> <file>...\n"
+               "       duplexctl net-metrics <host> <admin-port>\n"
+               "       duplexctl net-status <host> <admin-port>\n"
+               "       duplexctl net-ready <host> <admin-port>\n"
+               "       duplexctl net-health <host> <admin-port>\n"
+               "       duplexctl net-slow <host> <admin-port>\n"
                "       duplexctl demo\n";
   return 2;
 }

@@ -13,6 +13,7 @@
 #include "core/posting_codec.h"
 #include "storage/superblock.h"
 #include "util/hash.h"
+#include "util/log.h"
 #include "util/logging.h"
 
 namespace duplex::core {
@@ -143,9 +144,16 @@ Status BatchLog::Scan() {
     const bool is_final_record = pos == contents.size();
     const auto tail_or_fatal = [&](Status damage) {
       if (!is_final_record) return damage;
-      std::cerr << "batch log " << path_ << ": dropping damaged final "
-                << "record at offset " << record_start << " ("
-                << damage.ToString() << ")\n";
+      if (GlobalLog() != nullptr) {
+        LogWarn("core.wal.torn_tail")
+            .Str("path", path_)
+            .U64("offset", record_start)
+            .Str("damage", damage.ToString());
+      } else {
+        std::cerr << "batch log " << path_ << ": dropping damaged final "
+                  << "record at offset " << record_start << " ("
+                  << damage.ToString() << ")\n";
+      }
       return Status::OK();
     };
     const uint64_t checksum =

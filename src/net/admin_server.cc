@@ -1,0 +1,224 @@
+#include "net/admin_server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "util/log.h"
+#include "util/metrics.h"
+
+namespace duplex::net {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+std::string BuildResponse(int code, const char* reason,
+                          const char* content_type, std::string_view body) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.0 ";
+  out += std::to_string(code);
+  out += " ";
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// "GET /metrics HTTP/1.0" -> "/metrics"; empty on anything else (only
+// GET is served — this plane is read-only by construction).
+std::string ParseRequestPath(std::string_view request) {
+  if (request.substr(0, 4) != "GET ") return "";
+  const size_t path_start = 4;
+  const size_t path_end = request.find(' ', path_start);
+  if (path_end == std::string_view::npos) return "";
+  std::string path(request.substr(path_start, path_end - path_start));
+  // Strip a query string; none of the endpoints take parameters.
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+}  // namespace
+
+// --- Readiness --------------------------------------------------------------
+
+void Readiness::SetStage(std::string stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_ = false;
+  stage_ = std::move(stage);
+}
+
+void Readiness::SetReady() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_ = true;
+  stage_ = "ready";
+}
+
+bool Readiness::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_;
+}
+
+std::string Readiness::stage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stage_;
+}
+
+// --- AdminServer ------------------------------------------------------------
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("admin server already running");
+  }
+  Result<Listener> listener = Listener::Bind(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  running_.store(true, std::memory_order_release);
+  LogInfo("net.admin.start").U64("port", port_);
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  running_.store(false, std::memory_order_release);
+  LogInfo("net.admin.stop")
+      .U64("port", port_)
+      .U64("requests_served", requests_served());
+}
+
+void AdminServer::AcceptLoop() {
+  for (;;) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (!listener_.valid()) return;
+      continue;
+    }
+    ServeConnection(std::move(*accepted));
+  }
+}
+
+void AdminServer::ServeConnection(Socket sock) {
+  // Bounded read: a scrape request fits in one small buffer, and a
+  // stalled or hostile client runs into the recv timeout rather than
+  // holding the (single) admin thread forever.
+  (void)sock.SetRecvTimeout(std::chrono::milliseconds(2000));
+  std::string request;
+  char buffer[2048];
+  while (request.size() < kMaxRequestBytes) {
+    Result<size_t> n = sock.RecvSome(buffer, sizeof(buffer));
+    if (!n.ok() || *n == 0) break;
+    request.append(buffer, *n);
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      break;  // headers complete; no endpoint reads a body
+    }
+  }
+  if (request.empty()) return;
+  const std::string response = HandlePath(ParseRequestPath(request));
+  (void)sock.SendAll(response.data(), response.size());
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string AdminServer::HandlePath(const std::string& path) const {
+  if (path == "/metrics") {
+    std::string body;
+    if (MetricsRegistry* registry = GlobalMetrics()) {
+      body = registry->ExportPrometheus();
+    }
+    return BuildResponse(200, "OK", "text/plain; version=0.0.4", body);
+  }
+  if (path == "/metrics.json") {
+    std::string body = "null\n";
+    if (MetricsRegistry* registry = GlobalMetrics()) {
+      body = registry->ExportJson();
+    }
+    return BuildResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/healthz") {
+    // Liveness: answering at all is the signal.
+    return BuildResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/readyz") {
+    if (options_.readiness == nullptr || options_.readiness->ready()) {
+      return BuildResponse(200, "OK", "text/plain", "ready\n");
+    }
+    return BuildResponse(503, "Service Unavailable", "text/plain",
+                         "not ready: " + options_.readiness->stage() + "\n");
+  }
+  if (path == "/statusz") {
+    std::string body = "{}\n";
+    if (options_.statusz) body = options_.statusz();
+    return BuildResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/slowz") {
+    std::string body = "{\"total\": 0, \"capacity\": 0, "
+                       "\"slow_queries\": []}\n";
+    if (options_.slow_log != nullptr) body = options_.slow_log->ToJson();
+    return BuildResponse(200, "OK", "application/json", body);
+  }
+  if (path.empty()) {
+    return BuildResponse(405, "Method Not Allowed", "text/plain",
+                         "only GET is served\n");
+  }
+  return BuildResponse(
+      404, "Not Found", "text/plain",
+      "unknown path; try /metrics /metrics.json /healthz /readyz "
+      "/statusz /slowz\n");
+}
+
+// --- HttpGet ----------------------------------------------------------------
+
+Result<HttpResponse> HttpGet(const std::string& host, uint16_t port,
+                             const std::string& path,
+                             std::chrono::milliseconds timeout) {
+  Result<Socket> sock = Socket::Connect(host, port, timeout);
+  if (!sock.ok()) return sock.status();
+  DUPLEX_RETURN_IF_ERROR(sock->SetRecvTimeout(timeout));
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  DUPLEX_RETURN_IF_ERROR(sock->SendAll(request.data(), request.size()));
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    Result<size_t> n = sock->RecvSome(buffer, sizeof(buffer));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // server closed: response complete
+    raw.append(buffer, *n);
+  }
+  // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+  HttpResponse resp;
+  const size_t space = raw.find(' ');
+  if (space == std::string::npos || raw.substr(0, 5) != "HTTP/") {
+    return Status::IoError("http: malformed status line");
+  }
+  resp.status_code = std::atoi(raw.c_str() + space + 1);
+  size_t body_start = raw.find("\r\n\r\n");
+  if (body_start != std::string::npos) {
+    resp.body = raw.substr(body_start + 4);
+  }
+  return resp;
+}
+
+}  // namespace duplex::net

@@ -1,0 +1,117 @@
+#ifndef DUPLEX_NET_ADMIN_SERVER_H_
+#define DUPLEX_NET_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/slow_query_log.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace duplex::net {
+
+// Shared readiness flag between the daemon lifecycle and the admin
+// plane's /readyz. The daemon narrates its startup ladder through
+// SetStage ("opening wal", "recovering: checkpoint_tail", ...) so an
+// operator curling /readyz during a long recovery sees WHERE the
+// process is, then flips Ready once serving, and back to "draining" on
+// SIGTERM so load balancers stop routing before the listener closes.
+class Readiness {
+ public:
+  // Not ready, with a human-readable stage ("recovering: full_rebuild").
+  void SetStage(std::string stage);
+  void SetReady();
+  // Not ready again; /readyz answers 503 "draining".
+  void SetDraining() { SetStage("draining"); }
+
+  bool ready() const;
+  std::string stage() const;
+
+ private:
+  mutable std::mutex mu_;
+  bool ready_ = false;
+  std::string stage_ = "starting";
+};
+
+struct AdminServerOptions {
+  uint16_t port = 0;  // 0 = ephemeral; read back via port()
+  // All borrowed, all optional. Null readiness means "always ready",
+  // null slow_log means /slowz serves an empty ring, null statusz means
+  // a minimal uptime-only document.
+  Readiness* readiness = nullptr;
+  const SlowQueryLog* slow_log = nullptr;
+  // Builds the /statusz JSON body on each scrape — the daemon assembles
+  // it from whatever it can observe safely (server gauges, WAL status
+  // under the submit mutex, checkpoint epochs).
+  std::function<std::string()> statusz;
+};
+
+// The telemetry plane: a deliberately minimal HTTP/1.0 endpoint on its
+// own listener and single thread, so an operator's curl and a Prometheus
+// scrape never contend with the request-serving worker pool. Serves:
+//
+//   /metrics       Prometheus text exposition from the global registry
+//   /metrics.json  the same registry as JSON
+//   /healthz       liveness — 200 whenever the process can answer at all
+//   /readyz        readiness — 200 once serving, 503 + stage otherwise
+//   /statusz       operational snapshot (uptime, shards, queue, WAL...)
+//   /slowz         recent slow queries, newest first
+//
+// One request per connection, Connection: close — no keep-alive, no
+// routing table, no deps. Requests are handled serially on the accept
+// thread; a stalled client is bounded by a recv timeout so it cannot
+// wedge the plane.
+class AdminServer {
+ public:
+  explicit AdminServer(AdminServerOptions options);
+  ~AdminServer();  // implies Stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  // Routing, exposed for in-process tests: returns the full HTTP
+  // response (status line through body) for a request path.
+  std::string HandlePath(const std::string& path) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(Socket sock);
+
+  const AdminServerOptions options_;
+  std::mutex lifecycle_mutex_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  uint16_t port_ = 0;
+  Listener listener_;
+  std::thread accept_thread_;
+};
+
+// Minimal HTTP GET for tests and duplexctl: one request, reads to EOF
+// (the admin server closes after responding). Returns the parsed status
+// code and body.
+struct HttpResponse {
+  int status_code = 0;
+  std::string body;
+};
+Result<HttpResponse> HttpGet(
+    const std::string& host, uint16_t port, const std::string& path,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+}  // namespace duplex::net
+
+#endif  // DUPLEX_NET_ADMIN_SERVER_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/log.h"
 #include "util/tracer.h"
 
 namespace duplex::net {
@@ -10,10 +11,17 @@ namespace {
 
 constexpr size_t kRecvChunk = 64 * 1024;
 
+// 1-in-N per-worker sampling for request lifecycle spans (first request
+// on each worker included, so short runs still produce spans). Slow
+// requests bypass the sampler and always trace.
+constexpr uint32_t kRequestSpanSampleEvery = 64;
+
 }  // namespace
 
 Server::Server(IndexService* service, ServerOptions options)
-    : service_(service), options_(options) {
+    : service_(service),
+      options_(options),
+      slow_log_(options.slow_log_capacity) {
   m_requests_ = GlobalCounter("duplex_net_requests_total",
                               "Requests executed by the worker pool");
   m_rejected_queue_full_ =
@@ -37,6 +45,10 @@ Server::Server(IndexService* service, ServerOptions options)
                             "Requests admitted but not yet answered");
   m_open_conns_ = GlobalGauge("duplex_net_open_connections",
                               "Currently open client connections");
+  m_queue_depth_ = GlobalGauge("duplex_net_queue_depth",
+                               "Worker-queue depth sampled at admission");
+  m_connections_gauge_ = GlobalGauge(
+      "duplex_net_connections", "Currently open client connections");
   for (const Opcode op :
        {Opcode::kPing, Opcode::kBooleanQuery, Opcode::kVectorQuery,
         Opcode::kSubmitDocuments, Opcode::kStats}) {
@@ -45,6 +57,15 @@ Server::Server(IndexService* service, ServerOptions options)
         "duplex_net_request_ns", "Per-opcode request execution latency",
         std::string("op=\"") + OpcodeName(code) + "\"");
   }
+  m_phase_queue_wait_ =
+      GlobalLatency("duplex_net_phase_ns", "Request lifecycle phase latency",
+                    LabelPair("phase", "queue_wait"));
+  m_phase_execute_ =
+      GlobalLatency("duplex_net_phase_ns", "Request lifecycle phase latency",
+                    LabelPair("phase", "execute"));
+  m_phase_respond_ =
+      GlobalLatency("duplex_net_phase_ns", "Request lifecycle phase latency",
+                    LabelPair("phase", "respond"));
 }
 
 Server::~Server() { Stop(); }
@@ -69,6 +90,12 @@ Status Server::Start() {
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   running_.store(true, std::memory_order_release);
+  LogInfo("net.server.start")
+      .U64("port", port_)
+      .U64("workers", options_.num_workers)
+      .U64("global_queue", options_.global_queue)
+      .I64("slow_query_ms",
+           static_cast<int64_t>(options_.slow_query_threshold.count()));
   return Status::OK();
 }
 
@@ -99,6 +126,13 @@ void Server::Stop() {
   running_.store(false, std::memory_order_release);
   if (m_inflight_ != nullptr) m_inflight_->Set(0);
   if (m_open_conns_ != nullptr) m_open_conns_->Set(0);
+  if (m_queue_depth_ != nullptr) m_queue_depth_->Set(0);
+  if (m_connections_gauge_ != nullptr) m_connections_gauge_->Set(0);
+  LogInfo("net.server.stop")
+      .U64("port", port_)
+      .U64("requests_handled", requests_handled())
+      .U64("requests_rejected", requests_rejected())
+      .U64("connections_accepted", connections_accepted());
 }
 
 void Server::AcceptLoop() {
@@ -127,6 +161,9 @@ void Server::AcceptLoop() {
     if (m_open_conns_ != nullptr) {
       m_open_conns_->Set(static_cast<double>(open));
     }
+    if (m_connections_gauge_ != nullptr) {
+      m_connections_gauge_->Set(static_cast<double>(open));
+    }
     conn->reader = std::thread([this, conn] {
       ReaderLoop(conn);
       conn->reader_done.store(true, std::memory_order_release);
@@ -134,6 +171,9 @@ void Server::AcceptLoop() {
           open_conns_now_.fetch_sub(1, std::memory_order_relaxed) - 1;
       if (m_open_conns_ != nullptr) {
         m_open_conns_->Set(static_cast<double>(now_open));
+      }
+      if (m_connections_gauge_ != nullptr) {
+        m_connections_gauge_->Set(static_cast<double>(now_open));
       }
     });
     ReapConnections(/*all=*/false);
@@ -156,6 +196,10 @@ void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
       last_request_id = frame.header.request_id;
       if (!IsRequestOpcode(frame.header.opcode)) {
         if (m_frame_errors_ != nullptr) m_frame_errors_->Inc();
+        LogWarn("net.goaway")
+            .U64("conn", conn->id)
+            .U64("opcode", frame.header.opcode)
+            .Str("reason", "frame opcode is not a request");
         std::string payload;
         EncodeResponseStatus(
             Status::InvalidArgument("frame opcode is not a request"),
@@ -198,12 +242,17 @@ void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
         inflight_now_.fetch_sub(1, std::memory_order_relaxed);
         RejectRequest(conn, frame.header, "server queue full",
                       m_rejected_queue_full_);
+      } else if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<double>(queue_->size()));
       }
     }
     if (!fed.ok()) {
       // Garbage on the wire: answer once, typed, then hang up. There is
       // no resynchronization point in a corrupt length-prefixed stream.
       if (m_frame_errors_ != nullptr) m_frame_errors_->Inc();
+      LogWarn("net.goaway")
+          .U64("conn", conn->id)
+          .Str("reason", fed.message());
       std::string payload;
       EncodeResponseStatus(fed, &payload);
       WriteResponse(conn, static_cast<uint8_t>(Opcode::kGoAway),
@@ -229,10 +278,16 @@ void Server::WorkerLoop() {
 void Server::Execute(WorkItem item) {
   const uint8_t opcode = item.header.opcode;
   const uint8_t response_opcode = opcode | kResponseBit;
+  // Phase 1 boundary: the worker picked the request up — everything since
+  // admission was queue wait.
+  const uint64_t dequeue_ns = MonotonicNanos();
+  const uint64_t queue_wait_ns = dequeue_ns - item.enqueue_ns;
+  if (m_phase_queue_wait_ != nullptr) {
+    m_phase_queue_wait_->Record(queue_wait_ns);
+  }
   const auto deadline_ns = static_cast<uint64_t>(
       options_.request_deadline.count() * 1000 * 1000);
-  if (deadline_ns > 0 &&
-      MonotonicNanos() - item.enqueue_ns > deadline_ns) {
+  if (deadline_ns > 0 && queue_wait_ns > deadline_ns) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (m_rejected_deadline_ != nullptr) m_rejected_deadline_->Inc();
     std::string payload;
@@ -241,22 +296,75 @@ void Server::Execute(WorkItem item) {
     WriteResponse(item.conn, response_opcode, item.header.request_id,
                   payload);
   } else {
-    if (options_.test_handler_delay.count() > 0) {
-      std::this_thread::sleep_for(options_.test_handler_delay);
-    }
-    Span span = TraceSpan("net.request");
-    span.AddAttr("op", OpcodeName(opcode));
+    RequestCost cost;
     std::string payload;
+    const uint64_t execute_start_ns = MonotonicNanos();
     {
       ScopedLatency timer(m_request_ns_[opcode < m_request_ns_.size()
                                             ? opcode
                                             : 0]);
-      payload = service_->HandleRequest(opcode, item.payload);
+      // The test delay models a slow handler, so it counts as execution.
+      if (options_.test_handler_delay.count() > 0) {
+        std::this_thread::sleep_for(options_.test_handler_delay);
+      }
+      payload = service_->HandleRequest(opcode, item.payload, &cost);
     }
+    const uint64_t execute_ns = MonotonicNanos() - execute_start_ns;
+    if (m_phase_execute_ != nullptr) m_phase_execute_->Record(execute_ns);
     requests_handled_.fetch_add(1, std::memory_order_relaxed);
     if (m_requests_ != nullptr) m_requests_->Inc();
+    const uint64_t respond_start_ns = MonotonicNanos();
     WriteResponse(item.conn, response_opcode, item.header.request_id,
                   payload);
+    const uint64_t respond_ns = MonotonicNanos() - respond_start_ns;
+    if (m_phase_respond_ != nullptr) m_phase_respond_->Record(respond_ns);
+    const auto threshold_ns = static_cast<uint64_t>(
+        options_.slow_query_threshold.count() * 1000 * 1000);
+    const bool slow = threshold_ns > 0 &&
+                      queue_wait_ns + execute_ns + respond_ns > threshold_ns;
+    // The phase histograms above see every request; span records are
+    // sampled per worker — an unsampled ring push with string attrs
+    // would rival the cheap requests it measures (same rationale as
+    // ir.query). Slow requests always trace: every phase interval was
+    // timed regardless, so their spans are recorded retroactively and
+    // correlate via the wire request id.
+    static thread_local uint32_t trace_tick = 0;
+    const bool sampled = trace_tick++ % kRequestSpanSampleEvery == 0;
+    if (GlobalTracer() != nullptr && (sampled || slow)) {
+      const std::string request_id_str =
+          std::to_string(item.header.request_id);
+      const std::string op(OpcodeName(opcode));
+      TraceCompleted("net.queue_wait", item.enqueue_ns, queue_wait_ns,
+                     {{"request_id", request_id_str}, {"op", op}});
+      TraceCompleted("net.execute", execute_start_ns, execute_ns,
+                     {{"request_id", request_id_str}, {"op", op}});
+      TraceCompleted("net.respond", respond_start_ns, respond_ns,
+                     {{"request_id", request_id_str}, {"op", op}});
+    }
+    if (slow) {
+      SlowQueryRecord record;
+      record.request_id = item.header.request_id;
+      record.conn_id = item.conn->id;
+      record.opcode = opcode;
+      record.status_code = cost.status_code;
+      record.admitted_ns = item.enqueue_ns;
+      record.queue_wait_ns = queue_wait_ns;
+      record.execute_ns = execute_ns;
+      record.respond_ns = respond_ns;
+      record.read_ops = cost.read_ops;
+      record.cached_read_ops = cost.cached_read_ops;
+      record.postings_read = cost.postings_read;
+      record.response_bytes = static_cast<uint32_t>(payload.size());
+      slow_log_.Record(record);
+      LogWarn("net.slow_query")
+          .U64("request_id", item.header.request_id)
+          .Str("op", OpcodeName(opcode))
+          .U64("queue_wait_ns", queue_wait_ns)
+          .U64("execute_ns", execute_ns)
+          .U64("respond_ns", respond_ns)
+          .U64("read_ops", cost.read_ops)
+          .U64("postings_read", cost.postings_read);
+    }
   }
   item.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
   const int64_t inflight =

@@ -13,6 +13,7 @@
 
 #include "net/frame.h"
 #include "net/service.h"
+#include "net/slow_query_log.h"
 #include "net/socket.h"
 #include "util/bounded_queue.h"
 #include "util/metrics.h"
@@ -42,6 +43,12 @@ struct ServerOptions {
   // Test hook: every request handler sleeps this long before executing,
   // so saturation tests can force BUSY/deadline paths deterministically.
   std::chrono::milliseconds test_handler_delay{0};
+  // Requests whose queue_wait + execute + respond exceeds this threshold
+  // are recorded in the slow-query ring (served by /slowz). Zero
+  // disables slow-query capture entirely.
+  std::chrono::milliseconds slow_query_threshold{0};
+  // Ring capacity of the slow-query log.
+  uint32_t slow_log_capacity = 128;
 };
 
 // duplexd's front end: one accept loop, one reader thread per
@@ -82,6 +89,18 @@ class Server {
   uint64_t requests_rejected() const {
     return requests_rejected_.load(std::memory_order_relaxed);
   }
+
+  // Live worker-queue observation for /statusz (0 when not running).
+  size_t queue_depth() const {
+    return queue_ != nullptr ? queue_->size() : 0;
+  }
+  size_t queue_capacity() const { return options_.global_queue; }
+  // Currently open client connections.
+  int64_t open_connections() const {
+    return open_conns_now_.load(std::memory_order_relaxed);
+  }
+  // Ring of recent slow queries (empty unless slow_query_threshold > 0).
+  const SlowQueryLog& slow_queries() const { return slow_log_; }
 
  private:
   struct Connection {
@@ -149,10 +168,20 @@ class Server {
   Counter* m_bytes_out_ = nullptr;
   Gauge* m_inflight_ = nullptr;
   Gauge* m_open_conns_ = nullptr;
+  // Admin-plane gauges sampled on admission / connection close.
+  Gauge* m_queue_depth_ = nullptr;
+  Gauge* m_connections_gauge_ = nullptr;
   // Per-opcode execution latency, indexed by request opcode value.
   std::array<LatencyHistogram*, 8> m_request_ns_{};
+  // Request-lifecycle phase latencies: admission -> dequeue (queue_wait),
+  // handler run (execute), response write (respond).
+  LatencyHistogram* m_phase_queue_wait_ = nullptr;
+  LatencyHistogram* m_phase_execute_ = nullptr;
+  LatencyHistogram* m_phase_respond_ = nullptr;
   std::atomic<int64_t> inflight_now_{0};
   std::atomic<int64_t> open_conns_now_{0};
+
+  SlowQueryLog slow_log_;
 };
 
 }  // namespace duplex::net

@@ -17,40 +17,52 @@ std::string StatusOnlyPayload(const Status& status) {
 }  // namespace
 
 std::string IndexService::HandleRequest(uint8_t opcode,
-                                        std::string_view payload) {
+                                        std::string_view payload,
+                                        RequestCost* cost) {
+  RequestCost scratch;
+  if (cost == nullptr) cost = &scratch;
+  const auto fail = [cost](const Status& status) {
+    cost->status_code = static_cast<uint8_t>(status.code());
+    return StatusOnlyPayload(status);
+  };
   switch (static_cast<Opcode>(opcode)) {
     case Opcode::kPing:
       return StatusOnlyPayload(Status::OK());
     case Opcode::kBooleanQuery: {
       Result<BooleanQueryRequest> req = DecodeBooleanQueryRequest(payload);
-      if (!req.ok()) return StatusOnlyPayload(req.status());
+      if (!req.ok()) return fail(req.status());
       Result<ir::QueryResult> result = Boolean(req->query);
-      if (!result.ok()) return StatusOnlyPayload(result.status());
+      if (!result.ok()) return fail(result.status());
+      cost->read_ops = result->read_ops;
+      cost->cached_read_ops = result->cached_read_ops;
+      cost->postings_read = result->postings_read;
       return EncodeBooleanQueryResponse({std::move(*result)});
     }
     case Opcode::kVectorQuery: {
       Result<VectorQueryRequest> req = DecodeVectorQueryRequest(payload);
-      if (!req.ok()) return StatusOnlyPayload(req.status());
+      if (!req.ok()) return fail(req.status());
       Result<ir::VectorQueryResult> result = Vector(req->query, req->k);
-      if (!result.ok()) return StatusOnlyPayload(result.status());
+      if (!result.ok()) return fail(result.status());
+      cost->read_ops = result->read_ops;
+      cost->cached_read_ops = result->cached_read_ops;
+      cost->postings_read = result->postings_read;
       return EncodeVectorQueryResponse({std::move(*result)});
     }
     case Opcode::kSubmitDocuments: {
       Result<SubmitDocumentsRequest> req =
           DecodeSubmitDocumentsRequest(payload);
-      if (!req.ok()) return StatusOnlyPayload(req.status());
+      if (!req.ok()) return fail(req.status());
       if (req->documents.empty()) {
-        return StatusOnlyPayload(
-            Status::InvalidArgument("submit: empty document batch"));
+        return fail(Status::InvalidArgument("submit: empty document batch"));
       }
       Result<SubmitDocumentsResponse> result = Submit(req->documents);
-      if (!result.ok()) return StatusOnlyPayload(result.status());
+      if (!result.ok()) return fail(result.status());
       return EncodeSubmitDocumentsResponse(*result);
     }
     case Opcode::kStats:
       return EncodeStatsResponse({StatsJson()});
     default:
-      return StatusOnlyPayload(Status::InvalidArgument(
+      return fail(Status::InvalidArgument(
           "unhandled opcode " + std::to_string(opcode)));
   }
 }
@@ -105,6 +117,24 @@ Result<SubmitDocumentsResponse> ShardedIndexService::Submit(
 
 std::string ShardedIndexService::StatsJson() {
   return BuildStatsJson(index_->Stats());
+}
+
+ShardedIndexService::WalStatus ShardedIndexService::GetWalStatus() {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  WalStatus status;
+  if (wal_ != nullptr) {
+    status.attached = true;
+    status.tail_batches = wal_->batches_logged();
+    status.base_epoch = wal_->base_epoch();
+    status.next_id = wal_->next_id();
+  }
+  return status;
+}
+
+Result<core::CheckpointInfo> ShardedIndexService::CheckpointNow(
+    core::Checkpointer* checkpointer) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return checkpointer->Checkpoint(*index_, wal_);
 }
 
 Status ShardedIndexService::Flush() {

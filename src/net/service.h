@@ -7,12 +7,26 @@
 #include <vector>
 
 #include "core/batch_log.h"
+#include "core/checkpoint.h"
 #include "core/concurrent_index.h"
 #include "core/sharded_index.h"
 #include "net/frame.h"
 #include "util/status.h"
 
 namespace duplex::net {
+
+// Index-cost accounting for one executed request, reported back to the
+// server so the slow-query log can say WHY a request was slow (how many
+// chunk reads, how many buffer-pool resident, how many postings
+// scanned) rather than just how long it took.
+struct RequestCost {
+  uint64_t read_ops = 0;
+  uint64_t cached_read_ops = 0;
+  uint64_t postings_read = 0;
+  // StatusCode of the handler outcome (0 = OK), as encoded in the
+  // response prelude.
+  uint8_t status_code = 0;
+};
 
 // Request execution behind the server's worker pool: one virtual per
 // opcode, with the wire decode/encode shared in HandleRequest so every
@@ -26,8 +40,10 @@ class IndexService {
 
   // Executes one decoded request frame and returns the response payload
   // (status prelude + body). Never fails: handler errors are encoded as
-  // typed non-OK response payloads.
-  std::string HandleRequest(uint8_t opcode, std::string_view payload);
+  // typed non-OK response payloads. `cost` (optional) receives the
+  // request's index-cost counters and outcome code.
+  std::string HandleRequest(uint8_t opcode, std::string_view payload,
+                            RequestCost* cost = nullptr);
 
   // Shutdown hook: make everything the service accepted durable (flush
   // buffered documents through the WAL, write back dirty cache frames).
@@ -54,6 +70,24 @@ class ShardedIndexService : public IndexService {
       : index_(index), wal_(wal) {}
 
   Status Flush() override;
+
+  // Point-in-time WAL accounting for /statusz, read under the same mutex
+  // that serializes submits — BatchLog itself is not synchronized, so
+  // this is the only safe way to observe it while the service is live.
+  struct WalStatus {
+    bool attached = false;      // false = no WAL configured
+    uint64_t tail_batches = 0;  // records currently in the log
+    uint64_t base_epoch = 0;    // oldest id still in the log
+    uint64_t next_id = 0;       // id the next submit's batch will get
+  };
+  WalStatus GetWalStatus();
+
+  // Runs a checkpoint with submits excluded: the WAL cannot grow (or be
+  // truncated under a concurrent append) while the image is cut. This is
+  // the ONLY safe way to checkpoint a live service — calling
+  // Checkpointer::Checkpoint directly races the submit path on the
+  // BatchLog.
+  Result<core::CheckpointInfo> CheckpointNow(core::Checkpointer* checkpointer);
 
  protected:
   Result<ir::QueryResult> Boolean(std::string_view query) override;

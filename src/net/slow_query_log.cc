@@ -1,0 +1,76 @@
+#include "net/slow_query_log.h"
+
+#include <sstream>
+
+#include "net/frame.h"
+
+namespace duplex::net {
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+void SlowQueryLog::Record(const SlowQueryRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_slot_] = record;
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(ring_.size());
+  // ring_ is oldest-first starting at next_slot_ once wrapped; walk it
+  // backwards so the caller sees newest first.
+  for (size_t i = ring_.size(); i > 0; --i) {
+    out.push_back(ring_[(next_slot_ + i - 1) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+}
+
+std::string SlowQueryLog::ToJson() const {
+  const std::vector<SlowQueryRecord> recent = Recent();
+  std::ostringstream os;
+  os << "{\n  \"total\": " << total_recorded()
+     << ",\n  \"capacity\": " << capacity_
+     << ",\n  \"slow_queries\": [";
+  bool first = true;
+  for (const SlowQueryRecord& r : recent) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"request_id\": " << r.request_id
+       << ", \"conn\": " << r.conn_id
+       << ", \"op\": \"" << OpcodeName(r.opcode) << "\""
+       << ", \"status\": " << static_cast<uint32_t>(r.status_code)
+       << ", \"admitted_ns\": " << r.admitted_ns
+       << ", \"queue_wait_ns\": " << r.queue_wait_ns
+       << ", \"execute_ns\": " << r.execute_ns
+       << ", \"respond_ns\": " << r.respond_ns
+       << ", \"total_ns\": " << r.total_ns()
+       << ", \"read_ops\": " << r.read_ops
+       << ", \"cached_read_ops\": " << r.cached_read_ops
+       << ", \"postings_read\": " << r.postings_read
+       << ", \"response_bytes\": " << r.response_bytes << "}";
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace duplex::net

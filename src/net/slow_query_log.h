@@ -1,0 +1,68 @@
+#ifndef DUPLEX_NET_SLOW_QUERY_LOG_H_
+#define DUPLEX_NET_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace duplex::net {
+
+// One request that crossed the slow-query threshold, stamped with the
+// full lifecycle breakdown (admission -> dequeue -> execute -> respond)
+// and the index-cost counters the handler reported. Timestamps are
+// MonotonicNanos(), so they line up with trace spans and histograms.
+struct SlowQueryRecord {
+  uint64_t request_id = 0;
+  uint64_t conn_id = 0;
+  uint8_t opcode = 0;
+  uint8_t status_code = 0;  // duplex::StatusCode of the handler outcome
+  uint64_t admitted_ns = 0;  // MonotonicNanos at admission
+  uint64_t queue_wait_ns = 0;
+  uint64_t execute_ns = 0;
+  uint64_t respond_ns = 0;
+  // Index cost counters (queries only; zero for ping/submit/stats).
+  uint64_t read_ops = 0;
+  uint64_t cached_read_ops = 0;
+  uint64_t postings_read = 0;
+  uint32_t response_bytes = 0;
+
+  uint64_t total_ns() const {
+    return queue_wait_ns + execute_ns + respond_ns;
+  }
+};
+
+// Bounded ring of the most recent slow queries, written by worker
+// threads and read by the admin plane's /slowz. Recording is one mutexed
+// struct copy — cheap, and only paid by requests already slow enough to
+// qualify.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 128);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  void Record(const SlowQueryRecord& record);
+
+  // Newest first (the order an operator wants: what just got slow?).
+  std::vector<SlowQueryRecord> Recent() const;
+  // Slow queries ever recorded (>= Recent().size(); the ring overwrites).
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  // {"total": N, "capacity": C, "slow_queries": [{...} newest first]}.
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryRecord> ring_;
+  size_t next_slot_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace duplex::net
+
+#endif  // DUPLEX_NET_SLOW_QUERY_LOG_H_

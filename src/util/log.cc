@@ -1,0 +1,246 @@
+#include "util/log.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/metrics.h"
+
+namespace duplex {
+namespace {
+
+std::atomic<Logger*> g_log{nullptr};
+
+uint64_t WallMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendKey(std::string* line, std::string_view key) {
+  *line += ",\"";
+  *line += key;
+  *line += "\":";
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  std::string lower(text);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string JsonEscapeString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Logger::Logger(LogOptions options)
+    : options_(options),
+      out_(options.sink == nullptr ? stderr : options.sink) {
+  sink_thread_ = std::thread([this] { SinkLoop(); });
+}
+
+Logger::~Logger() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  if (sink_thread_.joinable()) sink_thread_.join();
+}
+
+bool Logger::Emit(std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(std::move(line));
+    ++pushed_;
+  }
+  ready_.notify_one();
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Logger::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = pushed_;
+  drained_.wait(lock, [this, target] {
+    return written_ >= target || stopping_;
+  });
+}
+
+void Logger::SinkLoop() {
+  for (;;) {
+    std::string line;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: everything is written.
+        std::fflush(out_);
+        drained_.notify_all();
+        return;
+      }
+      line = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), out_);
+    bool empty_now;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++written_;
+      empty_now = queue_.empty();
+    }
+    // Flush when the queue drains, not per line: a burst is written with
+    // one syscall's worth of buffering, an idle logger is always flushed.
+    if (empty_now) std::fflush(out_);
+    drained_.notify_all();
+  }
+}
+
+Logger* GlobalLog() { return g_log.load(std::memory_order_acquire); }
+
+Logger* SetGlobalLog(Logger* logger) {
+  return g_log.exchange(logger, std::memory_order_acq_rel);
+}
+
+LogEvent::LogEvent(Logger* logger, LogLevel level, std::string_view event) {
+  if (logger == nullptr || !logger->Enabled(level)) return;
+  logger_ = logger;
+  line_.reserve(96);
+  line_ += "{\"ts_ms\":";
+  line_ += std::to_string(WallMillis());
+  line_ += ",\"mono_ns\":";
+  line_ += std::to_string(MonotonicNanos());
+  line_ += ",\"lvl\":\"";
+  line_ += LogLevelName(level);
+  line_ += "\",\"ev\":\"";
+  line_ += JsonEscapeString(event);
+  line_ += '"';
+}
+
+LogEvent::~LogEvent() {
+  if (logger_ == nullptr) return;
+  line_ += '}';
+  logger_->Emit(std::move(line_));
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  if (logger_ != nullptr) {
+    AppendKey(&line_, key);
+    line_ += '"';
+    line_ += JsonEscapeString(value);
+    line_ += '"';
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::U64(std::string_view key, uint64_t value) {
+  if (logger_ != nullptr) {
+    AppendKey(&line_, key);
+    line_ += std::to_string(value);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::I64(std::string_view key, int64_t value) {
+  if (logger_ != nullptr) {
+    AppendKey(&line_, key);
+    line_ += std::to_string(value);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::F64(std::string_view key, double value) {
+  if (logger_ != nullptr) {
+    AppendKey(&line_, key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    line_ += buf;
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(std::string_view key, bool value) {
+  if (logger_ != nullptr) {
+    AppendKey(&line_, key);
+    line_ += value ? "true" : "false";
+  }
+  return *this;
+}
+
+LogEvent LogDebug(std::string_view event) {
+  return LogEvent(GlobalLog(), LogLevel::kDebug, event);
+}
+LogEvent LogInfo(std::string_view event) {
+  return LogEvent(GlobalLog(), LogLevel::kInfo, event);
+}
+LogEvent LogWarn(std::string_view event) {
+  return LogEvent(GlobalLog(), LogLevel::kWarn, event);
+}
+LogEvent LogError(std::string_view event) {
+  return LogEvent(GlobalLog(), LogLevel::kError, event);
+}
+
+}  // namespace duplex

@@ -1,0 +1,137 @@
+#ifndef DUPLEX_UTIL_LOG_H_
+#define DUPLEX_UTIL_LOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace duplex {
+
+// Severity order: a logger at level L emits events at L and above.
+enum class LogLevel : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+// "debug"/"info"/"warn"/"error" (case-insensitive); false on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+struct LogOptions {
+  LogLevel min_level = LogLevel::kInfo;
+  // Events buffered between the emitting thread and the sink thread. At
+  // the bound new events are DROPPED (and counted), never blocked on —
+  // a slow disk must not stall a request worker.
+  size_t queue_capacity = 4096;
+  // Destination stream; null = stderr. Borrowed, not owned; must stay
+  // open while the logger lives.
+  std::FILE* sink = nullptr;
+};
+
+// Leveled structured logger: each event is one JSON object per line
+//
+//   {"ts_ms":...,"mono_ns":...,"lvl":"info","ev":"net.server.start",
+//    "port":4800,...}
+//
+// Emission is asynchronous: the builder formats the line on the calling
+// thread (bounded work, no I/O), pushes it onto a bounded queue, and a
+// single sink thread writes lines in order. A full queue drops the event
+// and bumps dropped() — backpressure never reaches the caller.
+//
+// Global installation mirrors SetGlobalMetrics: null by default (every
+// log site reduces to one pointer test), caller owns the logger and keeps
+// it alive while installed.
+class Logger {
+ public:
+  explicit Logger(LogOptions options = {});
+  ~Logger();  // drains the queue, then joins the sink thread
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  bool Enabled(LogLevel level) const {
+    return level >= options_.min_level;
+  }
+  LogLevel min_level() const { return options_.min_level; }
+
+  // Enqueues one fully formatted line (no trailing newline). Returns
+  // false when the line was dropped because the queue was full.
+  bool Emit(std::string line);
+
+  // Blocks until every line enqueued before the call has been written
+  // and flushed to the sink.
+  void Flush();
+
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  void SinkLoop();
+
+  const LogOptions options_;
+  std::FILE* out_;
+
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::condition_variable drained_;
+  std::deque<std::string> queue_;
+  bool stopping_ = false;
+  uint64_t pushed_ = 0;   // lines ever enqueued
+  uint64_t written_ = 0;  // lines the sink thread has written
+
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::thread sink_thread_;
+};
+
+// Process-global logger, same ownership contract as GlobalMetrics().
+Logger* GlobalLog();
+Logger* SetGlobalLog(Logger* logger);
+
+// One event under construction. Inert (every method is a no-op beyond a
+// null test) when no logger is installed or the level is filtered; emits
+// on destruction otherwise. Attribute keys must be plain identifiers;
+// string values are JSON-escaped.
+class LogEvent {
+ public:
+  LogEvent(Logger* logger, LogLevel level, std::string_view event);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& U64(std::string_view key, uint64_t value);
+  LogEvent& I64(std::string_view key, int64_t value);
+  LogEvent& F64(std::string_view key, double value);
+  LogEvent& Bool(std::string_view key, bool value);
+
+  bool active() const { return logger_ != nullptr; }
+
+ private:
+  Logger* logger_ = nullptr;
+  std::string line_;
+};
+
+// Builders against the global logger; the usual call shape is
+//   LogInfo("net.server.start").U64("port", port).U64("workers", n);
+LogEvent LogDebug(std::string_view event);
+LogEvent LogInfo(std::string_view event);
+LogEvent LogWarn(std::string_view event);
+LogEvent LogError(std::string_view event);
+
+// JSON string escaping shared with the metrics exporter tests: escapes
+// `"`, `\`, and control characters (\n, \t, ... as \uXXXX where needed).
+std::string JsonEscapeString(std::string_view s);
+
+}  // namespace duplex
+
+#endif  // DUPLEX_UTIL_LOG_H_

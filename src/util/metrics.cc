@@ -51,6 +51,50 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
+// Exposition-format sanitizer for a raw label body. Call sites SHOULD
+// build bodies with LabelPair (which escapes values up front); this pass
+// is the exporter's backstop for bodies assembled by hand: inside quoted
+// values it escapes raw newlines and stray backslashes while leaving the
+// valid escapes (\\, \", \n) untouched, so running it over an
+// already-escaped body is the identity. An unescaped interior quote is
+// not recoverable here (it reads as the value terminator) — that is
+// exactly what LabelPair exists to prevent.
+std::string SanitizeLabelBody(std::string_view body) {
+  std::string out;
+  out.reserve(body.size());
+  bool in_quote = false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (!in_quote) {
+      if (c == '"') in_quote = true;
+      out += c;
+      continue;
+    }
+    switch (c) {
+      case '\\':
+        if (i + 1 < body.size() && (body[i + 1] == '\\' ||
+                                    body[i + 1] == '"' ||
+                                    body[i + 1] == 'n')) {
+          out += c;
+          out += body[++i];  // keep the valid escape pair
+        } else {
+          out += "\\\\";
+        }
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        in_quote = false;
+        out += c;
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 // "name" or "name{labels}".
 std::string ExpositionName(std::string_view name, std::string_view labels) {
   std::string key(name);
@@ -97,6 +141,35 @@ double PercentileFromBuckets(
 uint64_t MonotonicNanos() {
   static const uint64_t start = SteadyNowNanos();
   return SteadyNowNanos() - start;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabelPair(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  out += EscapeLabelValue(value);
+  out += '"';
+  return out;
 }
 
 size_t Counter::CellIndex() {
@@ -290,12 +363,18 @@ std::string MetricsRegistry::ExportPrometheus() const {
                                                   : "histogram";
       os << "# TYPE " << e.name << " " << type << "\n";
     }
+    // Emit from name + sanitized label body, never the raw map key: a
+    // label value smuggling a newline or stray backslash must not be
+    // able to corrupt the exposition stream.
+    const std::string labels = SanitizeLabelBody(e.labels);
+    const std::string series =
+        labels.empty() ? e.name : e.name + "{" + labels + "}";
     switch (e.kind) {
       case Kind::kCounter:
-        os << key << " " << e.counter->Value() << "\n";
+        os << series << " " << e.counter->Value() << "\n";
         break;
       case Kind::kGauge:
-        os << key << " " << FormatDouble(e.gauge->Value()) << "\n";
+        os << series << " " << FormatDouble(e.gauge->Value()) << "\n";
         break;
       case Kind::kHistogram: {
         // Cumulative buckets; only boundaries up to the populated range
@@ -306,7 +385,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
           if (e.histogram->bucket_count(b) > 0) highest = b;
         }
         std::string label_prefix =
-            e.labels.empty() ? "" : e.labels + ",";
+            labels.empty() ? "" : labels + ",";
         for (size_t b = 0; b <= highest && b < 64; ++b) {
           cumulative += e.histogram->bucket_count(b);
           os << e.name << "_bucket{" << label_prefix << "le=\""
@@ -315,10 +394,10 @@ std::string MetricsRegistry::ExportPrometheus() const {
         }
         os << e.name << "_bucket{" << label_prefix << "le=\"+Inf\"} "
            << e.histogram->count() << "\n";
-        os << e.name << "_sum" << (e.labels.empty() ? "" : "{" + e.labels + "}")
+        os << e.name << "_sum" << (labels.empty() ? "" : "{" + labels + "}")
            << " " << e.histogram->sum() << "\n";
         os << e.name << "_count"
-           << (e.labels.empty() ? "" : "{" + e.labels + "}") << " "
+           << (labels.empty() ? "" : "{" + labels + "}") << " "
            << e.histogram->count() << "\n";
         break;
       }

@@ -92,6 +92,17 @@ class LatencyHistogram {
   std::atomic<uint64_t> max_{0};
 };
 
+// Escapes a label VALUE per the Prometheus exposition format: backslash,
+// double-quote, and newline become \\, \", and \n. Apply to any dynamic
+// string interpolated into a label body.
+std::string EscapeLabelValue(std::string_view value);
+
+// `key="value"` with the value escaped — the safe way to build the
+// `labels` argument of the Get*/Global* calls from runtime strings:
+//   GetCounter("duplex_net_rejected_total", help, LabelPair("reason", r));
+// Join multiple pairs with ",".
+std::string LabelPair(std::string_view key, std::string_view value);
+
 // Point-in-time copy of every metric in a registry, keyed by exposition
 // name (name plus {labels} when the metric is labeled).
 struct MetricsSnapshot {

@@ -104,6 +104,19 @@ Span Tracer::StartSpan(std::string name) {
   return Span(this, std::move(name));
 }
 
+void Tracer::RecordCompleted(
+    std::string name, uint64_t start_ns, uint64_t dur_ns,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.id = NextId();
+  event.tid = ThreadId();
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.attrs = std::move(attrs);
+  Record(std::move(event));
+}
+
 uint32_t Tracer::ThreadId() {
   if (t_tid == 0) {
     t_tid = next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -183,6 +196,13 @@ Span TraceSpan(std::string name) {
   Tracer* t = GlobalTracer();
   if (t == nullptr) return Span();
   return t->StartSpan(std::move(name));
+}
+
+void TraceCompleted(std::string name, uint64_t start_ns, uint64_t dur_ns,
+                    std::vector<std::pair<std::string, std::string>> attrs) {
+  Tracer* t = GlobalTracer();
+  if (t == nullptr) return;
+  t->RecordCompleted(std::move(name), start_ns, dur_ns, std::move(attrs));
 }
 
 }  // namespace duplex

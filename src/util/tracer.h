@@ -65,6 +65,15 @@ class Tracer {
   // Starts a span parented to the innermost live span on this thread.
   Span StartSpan(std::string name);
 
+  // Records a span whose interval was measured externally — e.g. a queue
+  // wait timed between the admitting and executing threads, where no
+  // RAII scope exists. The event gets a fresh id and the calling thread's
+  // tid; it is always a root (parent 0) — correlate via attrs such as the
+  // request id.
+  void RecordCompleted(
+      std::string name, uint64_t start_ns, uint64_t dur_ns,
+      std::vector<std::pair<std::string, std::string>> attrs = {});
+
   // Completed events, oldest first.
   std::vector<TraceEvent> Events() const;
   size_t size() const;
@@ -99,6 +108,11 @@ Tracer* SetGlobalTracer(Tracer* tracer);
 // Starts a span on the global tracer; returns an inert span when no
 // tracer is installed (cost: one atomic load).
 Span TraceSpan(std::string name);
+
+// RecordCompleted on the global tracer; a no-op when none is installed.
+void TraceCompleted(
+    std::string name, uint64_t start_ns, uint64_t dur_ns,
+    std::vector<std::pair<std::string, std::string>> attrs = {});
 
 }  // namespace duplex
 

@@ -481,7 +481,10 @@ TEST(NetClientTest, BusyRetryBacksOffUntilTheQueueDrains) {
   Client flooder = FloodServer(fx, 12);
 
   ClientOptions options;
-  options.max_retries = 30;
+  // The flood holds ~600 ms of handler work, but on a loaded machine the
+  // single worker can fall far behind wall-clock — give the retry budget
+  // several times that headroom so exhaustion can't race the drain.
+  options.max_retries = 60;
   options.initial_backoff = std::chrono::milliseconds(40);
   options.max_backoff = std::chrono::milliseconds(100);
   options.retry_seed = 42;  // deterministic jitter

@@ -1,0 +1,202 @@
+// util::Logger: the structured JSON-lines event log behind duplexd's
+// runtime logging. Covers line shape, level filtering, the null-default
+// global pattern, bounded-queue drop accounting, Flush ordering, and
+// JSON escaping of hostile attribute values.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/log.h"
+
+namespace duplex {
+namespace {
+
+// A logger writing to a temp file, plus a reader for the emitted lines.
+class FileLogFixture {
+ public:
+  explicit FileLogFixture(LogOptions options = {}) {
+    path_ = std::string(::testing::TempDir()) + "duplex_log_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".jsonl";
+    file_ = std::fopen(path_.c_str(), "w+");
+    EXPECT_NE(file_, nullptr);
+    options.sink = file_;
+    logger_ = std::make_unique<Logger>(options);
+  }
+
+  ~FileLogFixture() {
+    logger_.reset();  // drains + joins before the FILE closes
+    if (file_ != nullptr) std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+
+  Logger& logger() { return *logger_; }
+
+  std::vector<std::string> Lines() {
+    logger_->Flush();
+    std::fflush(file_);
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::unique_ptr<Logger> logger_;
+};
+
+TEST(LoggerTest, EmitsOneJsonObjectPerLine) {
+  FileLogFixture fx;
+  LogEvent(&fx.logger(), LogLevel::kInfo, "test.start")
+      .U64("port", 4800)
+      .Str("mode", "serving")
+      .Bool("ready", true)
+      .I64("delta", -3)
+      .F64("ratio", 0.5);
+  const std::vector<std::string> lines = fx.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"lvl\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"ev\":\"test.start\""), std::string::npos);
+  EXPECT_NE(line.find("\"port\":4800"), std::string::npos);
+  EXPECT_NE(line.find("\"mode\":\"serving\""), std::string::npos);
+  EXPECT_NE(line.find("\"ready\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"delta\":-3"), std::string::npos);
+  EXPECT_NE(line.find("\"ratio\":0.5"), std::string::npos);
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"mono_ns\":"), std::string::npos);
+}
+
+TEST(LoggerTest, LevelFilteringSuppressesFormattingEntirely) {
+  LogOptions options;
+  options.min_level = LogLevel::kWarn;
+  FileLogFixture fx(options);
+  LogEvent(&fx.logger(), LogLevel::kDebug, "below").Str("k", "v");
+  LogEvent(&fx.logger(), LogLevel::kInfo, "below").Str("k", "v");
+  LogEvent(&fx.logger(), LogLevel::kWarn, "warned");
+  LogEvent(&fx.logger(), LogLevel::kError, "errored");
+  const std::vector<std::string> lines = fx.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("warned"), std::string::npos);
+  EXPECT_NE(lines[1].find("errored"), std::string::npos);
+  EXPECT_EQ(fx.logger().emitted(), 2u);
+}
+
+TEST(LoggerTest, FilteredBuilderIsInert) {
+  LogOptions options;
+  options.min_level = LogLevel::kError;
+  FileLogFixture fx(options);
+  LogEvent ev(&fx.logger(), LogLevel::kInfo, "filtered");
+  EXPECT_FALSE(ev.active());
+}
+
+TEST(LoggerTest, NullGlobalLoggerIsInert) {
+  ASSERT_EQ(GlobalLog(), nullptr);
+  // Builders against a null global must be safe no-ops.
+  LogInfo("nobody.listening").U64("n", 1).Str("s", "x");
+  LogError("still.nobody");
+  SUCCEED();
+}
+
+TEST(LoggerTest, GlobalInstallReturnsPreviousSoScopesNest) {
+  FileLogFixture fx;
+  Logger* prev = SetGlobalLog(&fx.logger());
+  EXPECT_EQ(prev, nullptr);
+  LogInfo("global.event").U64("x", 7);
+  Logger* mine = SetGlobalLog(prev);
+  EXPECT_EQ(mine, &fx.logger());
+  const std::vector<std::string> lines = fx.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("global.event"), std::string::npos);
+}
+
+TEST(LoggerTest, HostileStringsAreJsonEscaped) {
+  FileLogFixture fx;
+  LogEvent(&fx.logger(), LogLevel::kInfo, "esc")
+      .Str("quote", "a\"b")
+      .Str("backslash", "a\\b")
+      .Str("newline", "a\nb")
+      .Str("control", std::string("a\x01") + "b");
+  const std::vector<std::string> lines = fx.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("\"quote\":\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(line.find("\"backslash\":\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(line.find("\"newline\":\"a\\nb\""), std::string::npos);
+  EXPECT_NE(line.find("\"control\":\"a\\u0001b\""), std::string::npos);
+  // No raw newline inside the record: one event stays one line.
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(LoggerTest, FullQueueDropsAndCounts) {
+  LogOptions options;
+  options.queue_capacity = 4;
+  FileLogFixture fx(options);
+  // The sink thread may drain concurrently, so force the drop path by
+  // emitting far more than the queue holds as fast as possible.
+  const int kEvents = 50000;
+  for (int i = 0; i < kEvents; ++i) {
+    LogEvent(&fx.logger(), LogLevel::kInfo, "burst").U64("i", i);
+  }
+  const std::vector<std::string> lines = fx.Lines();
+  EXPECT_EQ(fx.logger().emitted(), lines.size());
+  EXPECT_EQ(fx.logger().emitted() + fx.logger().dropped(),
+            static_cast<uint64_t>(kEvents));
+  EXPECT_GT(fx.logger().dropped(), 0u) << "queue of 4 never overflowed";
+}
+
+TEST(LoggerTest, ConcurrentEmittersProduceWholeLines) {
+  LogOptions options;
+  options.queue_capacity = 1 << 16;
+  FileLogFixture fx(options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fx, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        LogEvent(&fx.logger(), LogLevel::kInfo, "race")
+            .U64("thread", t)
+            .U64("i", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<std::string> lines = fx.Lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ev\":\"race\""), std::string::npos);
+  }
+  EXPECT_EQ(fx.logger().dropped(), 0u);
+}
+
+TEST(LoggerTest, ParseLogLevelRoundTrips) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace duplex

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -301,6 +302,74 @@ TEST(ScopedLatencyTest, RecordsOnceAndToleratesNull) {
     ScopedLatency timer(nullptr);  // must be inert
   }
   EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(LabelEscapingTest, EscapeLabelValueCoversExpositionSpecials) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(EscapeLabelValue(""), "");
+}
+
+TEST(LabelEscapingTest, LabelPairBuildsEscapedBody) {
+  EXPECT_EQ(LabelPair("op", "ping"), "op=\"ping\"");
+  EXPECT_EQ(LabelPair("q", "a\"b\nc\\d"), "q=\"a\\\"b\\nc\\\\d\"");
+}
+
+// Adversarial label values routed through LabelPair survive a full
+// export round: the exposition stream stays line-structured and every
+// escape is intact.
+TEST(LabelEscapingTest, PrometheusExportEscapesAdversarialLabelValues) {
+  MetricsRegistry registry;
+  const std::string hostile = "evil\"} 42\ninjected_metric 1";
+  registry.GetCounter("duplex_test_total", "h", LabelPair("q", hostile))
+      ->Inc(3);
+  registry
+      .GetHistogram("duplex_test_ns", "h", LabelPair("q", "back\\slash"))
+      ->Record(7);
+  const std::string text = registry.ExportPrometheus();
+  // The raw newline of the hostile value must not appear: no line in the
+  // output may start with the injected series name.
+  EXPECT_EQ(text.find("\ninjected_metric"), std::string::npos);
+  EXPECT_NE(text.find("q=\"evil\\\"} 42\\ninjected_metric 1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("duplex_test_ns_bucket{q=\"back\\\\slash\","),
+            std::string::npos);
+  // Every sample line still parses as `name{labels} value`: the
+  // UNESCAPED quotes on each non-comment line must be balanced (a \"
+  // inside a value is payload, not a delimiter).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    int unescaped = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '\\') {
+        ++i;  // skip the escaped character
+      } else if (line[i] == '"') {
+        ++unescaped;
+      }
+    }
+    EXPECT_EQ(unescaped % 2, 0) << line;
+  }
+}
+
+// Raw (pre-LabelPair) bodies with embedded newlines or stray backslashes
+// are sanitized at export time, so legacy call sites cannot corrupt the
+// stream either.
+TEST(LabelEscapingTest, ExporterSanitizesHandAssembledLabelBodies) {
+  MetricsRegistry registry;
+  registry.GetCounter("duplex_raw_total", "h", "k=\"raw\nnewline\"")->Inc();
+  registry.GetCounter("duplex_raw2_total", "h", "k=\"stray\\zig\"")->Inc();
+  registry.GetCounter("duplex_raw3_total", "h", "k=\"ok\\nkept\"")->Inc();
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("k=\"raw\\nnewline\""), std::string::npos);
+  EXPECT_NE(text.find("k=\"stray\\\\zig\""), std::string::npos);
+  // An already-valid escape is left untouched (sanitizer is idempotent).
+  EXPECT_NE(text.find("k=\"ok\\nkept\""), std::string::npos);
+  EXPECT_EQ(text.find("raw\nnewline"), std::string::npos);
 }
 
 }  // namespace

@@ -17,7 +17,11 @@
 # (superblock + checkpoint/recover + crash sweep), rides the ASan+UBSan
 # recovery build, runs its reader-concurrency stress under TSan, extends
 # the loopback smoke with a shutdown checkpoint + recover-demo, and
-# refreshes BENCH_recovery.json.
+# refreshes BENCH_recovery.json. The admin plane rides the loopback
+# smoke too: duplexd starts with --admin-port 0 and /healthz, /readyz,
+# /metrics (exposition format checked), and /statusz are all hit over
+# real HTTP; the async logger + admin/scrape-race tests run under TSan;
+# and the observability bench smoke refreshes BENCH_observability.json.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -52,9 +56,9 @@ echo "=== Read-path pass (executor equivalence + chunk format + merging reader) 
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'QueryExecutor|ChunkHeader|ChunkFormat|MergingReader|MergeDocLists'
 
-echo "=== Observability pass (metrics + tracing + CLI exposition) ==="
+echo "=== Observability pass (metrics + tracing + logging + admin plane) ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
-  -R 'Counter|Gauge|LatencyHistogram|MetricsRegistry|GlobalMetrics|ScopedLatency|Tracer|ObservabilityScope|ObservedPipeline|ObservedComponents'
+  -R 'Counter|Gauge|LatencyHistogram|MetricsRegistry|GlobalMetrics|ScopedLatency|Tracer|ObservabilityScope|ObservedPipeline|ObservedComponents|Logger|AdminServer|Readiness|SlowQueryLog|ServerInstrumentation|DuplexdAdmin|LabelEscaping'
 # The embedded Prometheus-text validator runs against a live `duplexctl
 # metrics` invocation inside these two tests.
 ctest --test-dir build-ci-release --output-on-failure \
@@ -71,9 +75,10 @@ cmake --build build-ci-tsan -j "$JOBS" --target \
   util_thread_pool_test core_concurrent_index_test \
   core_sharded_index_test core_cache_stress_test \
   core_compaction_stress_test observability_stress_test \
-  core_merging_reader_test net_server_stress_test core_checkpoint_test
+  core_merging_reader_test net_server_stress_test core_checkpoint_test \
+  util_log_test net_admin_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress|ServerStress|CheckpointStress'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress|ServerStress|CheckpointStress|Logger|ServerInstrumentation|AdminServer|Readiness|SlowQueryLog'
 
 echo "=== ASan+UBSan build + recovery tests ==="
 cmake -B build-ci-asan -S . "${GEN[@]}" \
@@ -107,7 +112,8 @@ SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 printf 'incremental updates of inverted lists\n' > "$SMOKE_DIR/a.txt"
 printf 'text document retrieval systems\n' > "$SMOKE_DIR/b.txt"
-./build-ci-release/tools/duplexd --port 0 --wal "$SMOKE_DIR/smoke.wal" \
+./build-ci-release/tools/duplexd --port 0 --admin-port 0 \
+  --slow-query-ms 50 --wal "$SMOKE_DIR/smoke.wal" \
   --checkpoint "$SMOKE_DIR/ckpt" \
   "$SMOKE_DIR/a.txt" "$SMOKE_DIR/b.txt" \
   > "$SMOKE_DIR/duplexd.out" 2> "$SMOKE_DIR/duplexd.err" &
@@ -130,8 +136,38 @@ printf 'a freshly submitted document about updates\n' > "$SMOKE_DIR/c.txt"
 ./build-ci-release/examples/duplexctl net-submit 127.0.0.1 "$PORT" \
   "$SMOKE_DIR/c.txt" | grep -q 'accepted 1' \
   || { echo "net-submit not accepted"; exit 1; }
+# Buffer to a file before grepping: `grep -q` exits at the first match,
+# and with pipefail a SIGPIPE to duplexctl mid-write would read as
+# failure (the stats JSON is now larger than one stdio buffer).
 ./build-ci-release/examples/duplexctl net-stats 127.0.0.1 "$PORT" \
-  | grep -q '"index"' || { echo "net-stats missing index JSON"; exit 1; }
+  > "$SMOKE_DIR/stats.json"
+grep -q '"index"' "$SMOKE_DIR/stats.json" \
+  || { echo "net-stats missing index JSON"; exit 1; }
+
+# Admin plane: liveness, readiness, Prometheus exposition, and /statusz
+# over real HTTP (duplexctl's admin subcommands wrap HTTP GET).
+ADMIN_PORT="$(sed -n 's/^duplexd admin listening on port \([0-9]*\)$/\1/p' \
+  "$SMOKE_DIR/duplexd.out")"
+[ -n "$ADMIN_PORT" ] || { echo "duplexd never printed its admin port"; exit 1; }
+./build-ci-release/examples/duplexctl net-health 127.0.0.1 "$ADMIN_PORT" \
+  | grep -q 'ok' || { echo "/healthz not ok"; exit 1; }
+./build-ci-release/examples/duplexctl net-ready 127.0.0.1 "$ADMIN_PORT" \
+  | grep -q 'ready' || { echo "/readyz not ready"; exit 1; }
+./build-ci-release/examples/duplexctl net-metrics 127.0.0.1 "$ADMIN_PORT" \
+  > "$SMOKE_DIR/metrics.prom"
+grep -q '^# TYPE duplex_net_requests_total counter' "$SMOKE_DIR/metrics.prom" \
+  || { echo "/metrics missing request counter TYPE line"; exit 1; }
+grep -q '^# TYPE duplex_net_phase_ns histogram' "$SMOKE_DIR/metrics.prom" \
+  || { echo "/metrics missing phase histogram TYPE line"; exit 1; }
+grep -q '^duplex_net_phase_ns_bucket{phase="execute",le="' \
+  "$SMOKE_DIR/metrics.prom" \
+  || { echo "/metrics missing labeled histogram buckets"; exit 1; }
+./build-ci-release/examples/duplexctl net-status 127.0.0.1 "$ADMIN_PORT" \
+  > "$SMOKE_DIR/statusz.json"
+grep -q '"ready": true' "$SMOKE_DIR/statusz.json" \
+  || { echo "/statusz not ready"; exit 1; }
+grep -q '"attached": true' "$SMOKE_DIR/statusz.json" \
+  || { echo "/statusz missing WAL status"; exit 1; }
 kill -TERM "$DUPLEXD_PID"
 wait "$DUPLEXD_PID" || { echo "duplexd exited non-zero"; \
   cat "$SMOKE_DIR/duplexd.err"; exit 1; }
@@ -147,6 +183,13 @@ echo "=== Server saturation bench smoke (writes BENCH_server.json) ==="
 DUPLEX_BENCH_NET_MS="${DUPLEX_BENCH_NET_MS:-500}" \
 DUPLEX_BENCH_NET_DOCS="${DUPLEX_BENCH_NET_DOCS:-500}" \
   ./build-ci-release/bench/bench_ext_server_saturation >/dev/null
+
+echo "=== Observability bench smoke (writes BENCH_observability.json) ==="
+# Informational, not a hard gate: the micro phases measure tens of
+# microseconds of instrumentation against tens of milliseconds of work,
+# so shared-machine noise swings them past any fixed threshold.
+./build-ci-release/bench/bench_ext_observability 2>/dev/null \
+  | tail -n 8
 
 echo "=== Recovery bench smoke (writes BENCH_recovery.json) ==="
 DUPLEX_BENCH_RECOVERY_MAX="${DUPLEX_BENCH_RECOVERY_MAX:-16}" \
