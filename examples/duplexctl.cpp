@@ -985,6 +985,56 @@ int NetSubmit(const std::string& host, uint16_t port,
   return 0;
 }
 
+int NetSubmitLive(const std::string& host, uint16_t port,
+                  const std::vector<std::string>& inputs) {
+  // Inputs are files, except a literal "--text" prefix switches the rest
+  // of the arguments to inline document bodies (handy for quickstarts:
+  // no temp files needed to watch a document become searchable).
+  std::vector<std::string> documents;
+  bool inline_text = false;
+  for (const std::string& input : inputs) {
+    if (!inline_text && input == "--text") {
+      inline_text = true;
+      continue;
+    }
+    if (inline_text) {
+      documents.push_back(input);
+      continue;
+    }
+    std::ifstream in(input);
+    if (!in) {
+      std::cerr << "cannot read " << input << ", skipping\n";
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    documents.push_back(text.str());
+  }
+  if (documents.empty()) {
+    std::cerr << "no readable input documents\n";
+    return 1;
+  }
+  Result<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "cannot connect: " << client.status() << "\n";
+    return 1;
+  }
+  Result<net::SubmitLiveResponse> resp = client->SubmitLive(documents);
+  if (!resp.ok()) {
+    std::cerr << "submit-live failed: " << resp.status() << "\n";
+    return 1;
+  }
+  std::cout << "accepted " << resp->accepted
+            << " documents starting at doc " << resp->first_doc
+            << ", visible now (delta epoch " << resp->epoch << ", "
+            << resp->delta_docs << " docs awaiting drain)";
+  if (resp->wal_batch_id != 0) {
+    std::cout << " (WAL batch " << resp->wal_batch_id << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
 int Demo() {
   const std::string dir = fs::temp_directory_path() / "duplexctl_demo";
   fs::create_directories(dir);
@@ -1074,6 +1124,12 @@ int main(int argc, char** argv) {
                          std::strtoul(args[2].c_str(), nullptr, 10)),
                      {args.begin() + 3, args.end()});
   }
+  if (args[0] == "net-submit-live" && args.size() >= 4) {
+    return NetSubmitLive(args[1],
+                         static_cast<uint16_t>(
+                             std::strtoul(args[2].c_str(), nullptr, 10)),
+                         {args.begin() + 3, args.end()});
+  }
   if (args[0] == "net-metrics" && args.size() == 3) {
     return AdminGet(args[1],
                     static_cast<uint16_t>(
@@ -1128,6 +1184,8 @@ int main(int argc, char** argv) {
                "       duplexctl net-query <host> <port> \"<boolean query>\"\n"
                "       duplexctl net-stats <host> <port>\n"
                "       duplexctl net-submit <host> <port> <file>...\n"
+               "       duplexctl net-submit-live <host> <port> "
+               "<file>... | --text <doc>...\n"
                "       duplexctl net-metrics <host> <admin-port>\n"
                "       duplexctl net-status <host> <admin-port>\n"
                "       duplexctl net-ready <host> <admin-port>\n"

@@ -27,6 +27,11 @@ constexpr char kCompactionRecord = 'C';
 // lives only in the checkpoint the truncation followed.
 constexpr char kEpochRecord = 'E';
 constexpr uint64_t kFlagMaterialized = 1;
+// The record carries a trailing word-string section (one length-prefixed
+// string per entry). Added after materialized records shipped without
+// strings; decode treats its absence as "no strings recorded", so older
+// logs stay readable.
+constexpr uint64_t kFlagWords = 2;
 
 // Frames one record exactly as AppendRecord writes it: type byte, varint
 // payload length, payload, FNV-64 over (type, payload). TruncateTo uses
@@ -43,16 +48,27 @@ void AppendRecordBytes(char type, const std::string& payload,
 
 std::string EncodeBatchPayload(uint64_t id, bool materialized,
                                const text::BatchUpdate& counts,
-                               const text::InvertedBatch& docs) {
+                               const text::InvertedBatch& docs,
+                               const std::vector<std::string>& words) {
+  DUPLEX_CHECK(words.empty() || words.size() == docs.entries.size());
+  const bool with_words = materialized && !words.empty();
   std::string payload;
   PutVarint64(id, &payload);
-  PutVarint64(materialized ? kFlagMaterialized : 0, &payload);
+  PutVarint64((materialized ? kFlagMaterialized : 0) |
+                  (with_words ? kFlagWords : 0),
+              &payload);
   if (materialized) {
     PutVarint64(docs.entries.size(), &payload);
     for (const auto& entry : docs.entries) {
       PutVarint64(entry.word, &payload);
       PutVarint64(entry.docs.size(), &payload);
       EncodePostings(entry.docs, 0, &payload);
+    }
+    if (with_words) {
+      for (const std::string& word : words) {
+        PutVarint64(word.size(), &payload);
+        payload += word;
+      }
     }
   } else {
     PutVarint64(counts.pairs.size(), &payload);
@@ -89,6 +105,22 @@ Status DecodeBatchPayload(const std::string& payload,
           DecodePostings(payload, &pos, *count, 0, &doc_ids));
       batch->docs.entries.push_back(
           {static_cast<WordId>(*word), std::move(doc_ids)});
+    }
+  }
+  if ((*flags & kFlagWords) != 0) {
+    if (!batch->materialized) {
+      return Status::Corruption(
+          "batch-log word strings on a count-only record");
+    }
+    batch->words.reserve(*entries);
+    for (uint64_t i = 0; i < *entries; ++i) {
+      Result<uint64_t> len = GetVarint64(payload, &pos);
+      if (!len.ok()) return len.status();
+      if (pos + *len > payload.size()) {
+        return Status::Corruption("batch-log word string truncated");
+      }
+      batch->words.emplace_back(payload, pos, *len);
+      pos += *len;
     }
   }
   if (pos != payload.size()) {
@@ -285,7 +317,10 @@ Status BatchLog::AppendRecord(char type, const std::string& payload) {
     // length metadata is not load-bearing.
     ScopedLatency sync_timer(m_fsync_ns_);
     if (::fdatasync(::fileno(file_)) != 0) {
-      return Status::Internal("batch log fdatasync failed");
+      // Same ambiguity as the injected failure above: the bytes are in
+      // the kernel, the platter promise failed. Typed IoError so callers
+      // (and AppendBatchRecord) can distinguish this from a torn write.
+      return Status::IoError("batch log fdatasync failed");
     }
     ++syncs_;
   }
@@ -294,7 +329,21 @@ Status BatchLog::AppendRecord(char type, const std::string& payload) {
 
 Result<uint64_t> BatchLog::AppendBatchRecord(const std::string& payload,
                                              LoggedBatch batch) {
-  DUPLEX_RETURN_IF_ERROR(AppendRecord(kBatchRecord, payload));
+  const Status appended = AppendRecord(kBatchRecord, payload);
+  if (!appended.ok()) {
+    if (appended.IsIoError()) {
+      // The record bytes reached the kernel but the durability barrier
+      // failed: whether they survive a crash is unknowable here. Keep
+      // the batch as an unapplied entry — exactly what a reopen of this
+      // file would reconstruct — so later appends continue the dense id
+      // sequence instead of reusing this id and turning the next record
+      // into out-of-sequence damage that recovery would drop.
+      batches_.push_back(std::move(batch));
+      applied_.push_back(false);
+      ++next_id_;
+    }
+    return appended;
+  }
   const uint64_t id = batch.id;
   batches_.push_back(std::move(batch));
   applied_.push_back(false);
@@ -308,18 +357,26 @@ Result<uint64_t> BatchLog::AppendBatch(const text::BatchUpdate& batch) {
   logged.materialized = false;
   logged.counts = batch;
   return AppendBatchRecord(
-      EncodeBatchPayload(next_id_, false, batch, {}), std::move(logged));
+      EncodeBatchPayload(next_id_, false, batch, {}, {}), std::move(logged));
 }
 
 Result<uint64_t> BatchLog::AppendBatch(const text::InvertedBatch& batch) {
+  return AppendBatch(batch, {});
+}
+
+Result<uint64_t> BatchLog::AppendBatch(const text::InvertedBatch& batch,
+                                       std::vector<std::string> words) {
   LoggedBatch logged;
   logged.id = next_id_;
   logged.materialized = true;
   logged.counts = batch.ToBatchUpdate();
   logged.docs = batch;
-  return AppendBatchRecord(
-      EncodeBatchPayload(next_id_, true, logged.counts, batch),
-      std::move(logged));
+  logged.words = std::move(words);
+  // Sequenced before the call: the LoggedBatch argument is constructed by
+  // move, and argument evaluation order is unspecified.
+  std::string payload =
+      EncodeBatchPayload(next_id_, true, logged.counts, batch, logged.words);
+  return AppendBatchRecord(std::move(payload), std::move(logged));
 }
 
 Status BatchLog::MarkApplied(uint64_t batch_id) {
@@ -507,7 +564,8 @@ Status BatchLog::TruncateTo(uint64_t new_base) {
     const LoggedBatch& b = batches_[i];
     AppendRecordBytes(
         kBatchRecord,
-        EncodeBatchPayload(b.id, b.materialized, b.counts, b.docs), &image);
+        EncodeBatchPayload(b.id, b.materialized, b.counts, b.docs, b.words),
+        &image);
   }
   for (size_t i = keep_from; i < batches_.size(); ++i) {
     if (!applied_[i]) continue;

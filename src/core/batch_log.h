@@ -38,12 +38,17 @@ namespace duplex::core {
 class BatchLog {
  public:
   // One logged batch; `counts` is always populated, `docs` only when the
-  // batch was materialized.
+  // batch was materialized. `words` (parallel to `docs.entries`, possibly
+  // empty — the caller may not track strings, and older records never
+  // carried them) holds the word string of each entry so a replay into a
+  // fresh index can reinstate the vocabulary at the recorded ids, not
+  // just the postings.
   struct LoggedBatch {
     uint64_t id = 0;
     bool materialized = false;
     text::BatchUpdate counts;
     text::InvertedBatch docs;
+    std::vector<std::string> words;
   };
 
   // One logged compaction round ('C' record). Informational: compaction
@@ -73,6 +78,12 @@ class BatchLog {
   // process crash.
   Result<uint64_t> AppendBatch(const text::BatchUpdate& batch);
   Result<uint64_t> AppendBatch(const text::InvertedBatch& batch);
+  // Materialized append that also records each entry's word string
+  // (`words[i]` names `batch.entries[i].word`). Costs log bytes but makes
+  // the record self-contained: a full rebuild restores string-keyed
+  // queries, not only WordId-keyed postings.
+  Result<uint64_t> AppendBatch(const text::InvertedBatch& batch,
+                               std::vector<std::string> words);
 
   // Appends the commit record for `batch_id`.
   Status MarkApplied(uint64_t batch_id);
@@ -101,8 +112,10 @@ class BatchLog {
 
   // Test hook: the next `n` appends fail their durability sync (after the
   // bytes reached the kernel), modeling a disk that accepts writes but
-  // cannot promise them. The failed append is NOT registered in memory;
-  // on the next Open the record surfaces as an unapplied batch.
+  // cannot promise them. The append returns IoError, but the batch is
+  // kept as an UNAPPLIED entry — the same state a reopen of the file
+  // would reconstruct — so later appends keep the dense id sequence and
+  // recovery errs toward replaying the possibly-durable record.
   void set_fail_next_syncs(uint64_t n) { fail_next_syncs_ = n; }
 
   // Batches appended but never marked applied, in append order.

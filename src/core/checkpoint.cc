@@ -717,7 +717,12 @@ Result<RecoveryInfo> Checkpointer::Recover(ShardedIndex* index,
   }
   // Replays one logged batch through the sharded index with the same
   // per-batch discipline as ApplyLogged: apply, then flush dirty frames.
+  // Word strings recorded with the batch are reinstated first — the
+  // checkpoint image covers only the vocabulary as of its epoch, so words
+  // first seen in the replayed tail exist nowhere else.
   const auto apply_batch = [index](const BatchLog::LoggedBatch& batch) {
+    DUPLEX_RETURN_IF_ERROR(
+        index->RestoreBatchWords(batch.docs, batch.words));
     Status applied =
         batch.materialized
             ? index->ApplyInvertedBatch(batch.docs)

@@ -1,0 +1,119 @@
+#include "core/delta_index.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace duplex::core {
+
+void DeltaIndex::Insert(const text::InvertedBatch& batch,
+                        const std::vector<std::string>& words,
+                        DocId first_doc, uint32_t documents, bool logged,
+                        uint64_t wal_batch_id) {
+  DUPLEX_CHECK(batch.entries.size() == words.size());
+  std::unique_lock lock(mutex_);
+  if (empty_locked()) oldest_insert_ = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batch.entries.size(); ++i) {
+    mem_.AddPostings(batch.entries[i].word, batch.entries[i].docs);
+    words_.emplace(words[i], batch.entries[i].word);
+  }
+  mem_.NoteDocuments(documents, first_doc + documents);
+  if (logged) wal_batch_ids_.push_back(wal_batch_id);
+}
+
+void DeltaIndex::MarkDeleted(DocId doc) {
+  std::unique_lock lock(mutex_);
+  deleted_.insert(doc);
+}
+
+bool DeltaIndex::empty_locked() const {
+  return mem_.document_count() == 0 && wal_batch_ids_.empty();
+}
+
+bool DeltaIndex::empty() const {
+  std::shared_lock lock(mutex_);
+  return empty_locked();
+}
+
+size_t DeltaIndex::document_count() const {
+  std::shared_lock lock(mutex_);
+  return mem_.document_count();
+}
+
+uint64_t DeltaIndex::total_postings() const {
+  std::shared_lock lock(mutex_);
+  return mem_.total_postings();
+}
+
+std::chrono::steady_clock::time_point DeltaIndex::oldest_insert() const {
+  std::shared_lock lock(mutex_);
+  return oldest_insert_;
+}
+
+DeltaIndex::DrainSnapshot DeltaIndex::Snapshot() const {
+  std::shared_lock lock(mutex_);
+  DrainSnapshot snap;
+  snap.batch.entries.reserve(mem_.lists().size());
+  for (const auto& [word, docs] : mem_.lists()) {
+    snap.batch.entries.push_back({word, docs});
+  }
+  std::sort(snap.batch.entries.begin(), snap.batch.entries.end(),
+            [](const text::InvertedBatch::Entry& a,
+               const text::InvertedBatch::Entry& b) {
+              return a.word < b.word;
+            });
+  snap.wal_batch_ids = wal_batch_ids_;
+  snap.documents = mem_.document_count();
+  snap.postings = mem_.total_postings();
+  return snap;
+}
+
+ListLocation DeltaIndex::Locate(WordId word) const {
+  std::shared_lock lock(mutex_);
+  return mem_.Locate(word);
+}
+
+ListLocation DeltaIndex::Locate(std::string_view word) const {
+  std::shared_lock lock(mutex_);
+  auto it = words_.find(std::string(word));
+  if (it == words_.end()) return ListLocation{};
+  return mem_.Locate(it->second);
+}
+
+Result<std::vector<DocId>> DeltaIndex::FilteredPostings(WordId word) const {
+  Result<std::vector<DocId>> postings = mem_.GetPostings(word);
+  if (!postings.ok()) return postings;
+  if (!deleted_.empty()) {
+    postings->erase(
+        std::remove_if(postings->begin(), postings->end(),
+                       [&](DocId d) { return deleted_.contains(d); }),
+        postings->end());
+  }
+  return postings;
+}
+
+Result<std::vector<DocId>> DeltaIndex::GetPostings(WordId word) const {
+  std::shared_lock lock(mutex_);
+  return FilteredPostings(word);
+}
+
+Result<std::vector<DocId>> DeltaIndex::GetPostings(
+    std::string_view word) const {
+  std::shared_lock lock(mutex_);
+  auto it = words_.find(std::string(word));
+  if (it == words_.end()) return Status::NotFound("unknown word");
+  return FilteredPostings(it->second);
+}
+
+DocId DeltaIndex::next_doc_id() const {
+  std::shared_lock lock(mutex_);
+  return mem_.next_doc_id();
+}
+
+void DeltaIndex::ForEachWord(const std::function<void(WordId)>& fn) const {
+  std::shared_lock lock(mutex_);
+  mem_.ForEachWord(fn);
+}
+
+}  // namespace duplex::core

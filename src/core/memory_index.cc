@@ -20,6 +20,20 @@ void MemoryIndex::AddDocument(DocId doc, const std::string& text) {
   next_doc_id_ = std::max(next_doc_id_, doc + 1);
 }
 
+void MemoryIndex::AddPostings(WordId word, const std::vector<DocId>& docs) {
+  if (docs.empty()) return;
+  std::vector<DocId>& list = lists_[word];
+  DUPLEX_CHECK(list.empty() || list.back() < docs.front())
+      << "postings must be appended in ascending doc-id order";
+  list.insert(list.end(), docs.begin(), docs.end());
+  postings_ += docs.size();
+}
+
+void MemoryIndex::NoteDocuments(size_t count, DocId next) {
+  documents_ += count;
+  next_doc_id_ = std::max(next_doc_id_, next);
+}
+
 const std::vector<DocId>* MemoryIndex::Find(WordId word) const {
   auto it = lists_.find(word);
   return it == lists_.end() ? nullptr : &it->second;

@@ -36,6 +36,15 @@ class MemoryIndex : public IndexReader {
   // in ascending order.
   void AddDocument(DocId doc, const std::string& text);
 
+  // Posting-level ingest for the delta tier: appends already-inverted,
+  // ascending `docs` under `word` (ids assigned by an external
+  // vocabulary, so a nullptr tokenizer/vocabulary index can be fed this
+  // way). Every doc id must exceed the list's current tail.
+  void AddPostings(WordId word, const std::vector<DocId>& docs);
+  // Accounts `count` documents whose postings arrived via AddPostings and
+  // advances the doc-id horizon to at least `next`.
+  void NoteDocuments(size_t count, DocId next);
+
   // Postings buffered for `word`; nullptr when none.
   const std::vector<DocId>* Find(WordId word) const;
 

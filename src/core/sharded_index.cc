@@ -148,7 +148,14 @@ Status ShardedIndex::FlushDocumentsLogged(BatchLog* log, uint64_t* batch_id) {
   uint64_t logged_id = 0;
   if (log != nullptr) {
     // WAL protocol step 1: the batch is durable before any shard I/O.
-    Result<uint64_t> appended = log->AppendBatch(batch);
+    // The record carries each entry's word string so a log-only rebuild
+    // can reinstate the vocabulary, not just the postings.
+    std::vector<std::string> words;
+    words.reserve(batch.entries.size());
+    for (const text::InvertedBatch::Entry& entry : batch.entries) {
+      words.push_back(vocabulary_.WordFor(entry.word));
+    }
+    Result<uint64_t> appended = log->AppendBatch(batch, std::move(words));
     if (!appended.ok()) return appended.status();
     logged_id = *appended;
   }
@@ -169,6 +176,26 @@ Status ShardedIndex::FlushDocumentsLogged(BatchLog* log, uint64_t* batch_id) {
     if (batch_id != nullptr) *batch_id = logged_id;
   }
   return Status::OK();
+}
+
+Result<ShardedIndex::LiveBatch> ShardedIndex::BuildLiveBatch(
+    const std::vector<std::string>& documents) {
+  std::unique_lock lock(doc_mutex_);
+  if (!memory_index_.empty()) {
+    return Status::FailedPrecondition(
+        "live batch over a non-empty document buffer: flush first");
+  }
+  LiveBatch out;
+  out.first_doc = next_doc_id_;
+  out.documents = static_cast<uint32_t>(documents.size());
+  out.batch =
+      text::BatchInverter(tokenizer_, &vocabulary_).Invert(documents,
+                                                           &next_doc_id_);
+  out.words.reserve(out.batch.entries.size());
+  for (const text::InvertedBatch::Entry& entry : out.batch.entries) {
+    out.words.push_back(vocabulary_.WordFor(entry.word));
+  }
+  return out;
 }
 
 size_t ShardedIndex::buffered_documents() const {
@@ -538,6 +565,22 @@ Status ShardedIndex::RestoreDocState(
   next_doc_id_ = next_doc_id;
   deleted_.clear();
   deleted_.insert(deleted.begin(), deleted.end());
+  return Status::OK();
+}
+
+Status ShardedIndex::RestoreBatchWords(
+    const text::InvertedBatch& batch,
+    const std::vector<std::string>& words) {
+  if (words.empty()) return Status::OK();
+  if (words.size() != batch.entries.size()) {
+    return Status::Corruption(
+        "batch word strings do not match the entry count");
+  }
+  std::unique_lock lock(doc_mutex_);
+  for (size_t i = 0; i < words.size(); ++i) {
+    DUPLEX_RETURN_IF_ERROR(
+        vocabulary_.Restore(words[i], batch.entries[i].word));
+  }
   return Status::OK();
 }
 

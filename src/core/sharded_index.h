@@ -123,6 +123,27 @@ class ShardedIndex : public IndexReader {
   Status FlushDocumentsLogged(BatchLog* log, uint64_t* batch_id = nullptr);
   size_t buffered_documents() const;
 
+  // --- Live-ingest path (used by core::LiveIndex) --------------------------
+
+  // One live submit, inverted against the shared vocabulary with its doc
+  // ids assigned — but NOT buffered here: the caller (the delta tier)
+  // owns visibility until the batch drains back in via
+  // ApplyInvertedBatch. `words[i]` is the string of
+  // `batch.entries[i].word`, so the delta can resolve string-keyed query
+  // terms without taking this index's locks.
+  struct LiveBatch {
+    text::InvertedBatch batch;        // sorted by word, vocabulary ids
+    std::vector<std::string> words;   // parallel to batch.entries
+    DocId first_doc = 0;
+    uint32_t documents = 0;
+  };
+
+  // Tokenizes `documents`, assigns them the next doc ids, and returns the
+  // inverted batch. FailedPrecondition while AddDocument-buffered
+  // documents exist: the live and buffered ingest disciplines assign doc
+  // ids differently and must not interleave — flush the buffer first.
+  Result<LiveBatch> BuildLiveBatch(const std::vector<std::string>& documents);
+
   // --- Query access (the IndexReader surface; per-shard shared locks) -----
 
   ListLocation Locate(WordId word) const override;
@@ -232,6 +253,15 @@ class ShardedIndex : public IndexReader {
   // order, or Corruption).
   Status RestoreDocState(DocId next_doc_id, std::vector<DocId> deleted,
                          const std::vector<std::string>& vocabulary_words);
+
+  // WAL-replay hook: reinstates the word strings a materialized batch
+  // record carried (`words[i]` names `batch.entries[i].word`) at their
+  // recorded ids, so a rebuild from the log answers string-keyed queries
+  // — a checkpoint image snapshots the whole vocabulary, but a
+  // log-only recovery sees words solely through these records. No-op for
+  // an empty `words` (older records carried none).
+  Status RestoreBatchWords(const text::InvertedBatch& batch,
+                           const std::vector<std::string>& words);
 
  private:
   // Applies `fn(shard_index)` to every shard on the worker pool and

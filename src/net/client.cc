@@ -171,6 +171,16 @@ Result<SubmitDocumentsResponse> Client::Submit(
   return DecodeSubmitDocumentsResponse(*payload);
 }
 
+Result<SubmitLiveResponse> Client::SubmitLive(
+    const std::vector<std::string>& documents) {
+  SubmitLiveRequest req;
+  req.documents = documents;
+  Result<std::string> payload =
+      CallWithRetry(Opcode::kSubmitLive, EncodeSubmitLiveRequest(req));
+  if (!payload.ok()) return payload.status();
+  return DecodeSubmitLiveResponse(*payload);
+}
+
 Result<std::string> Client::StatsJson() {
   Result<std::string> payload =
       CallWithRetry(Opcode::kStats, std::string_view());

@@ -75,6 +75,11 @@ class Client {
                                        size_t k);
   Result<SubmitDocumentsResponse> Submit(
       const std::vector<std::string>& documents);
+  // Immediate-visibility ingest: the ack means durable + queryable. A
+  // BUSY server (delta cap hit) retries under the same bounded-backoff
+  // policy as every strict call.
+  Result<SubmitLiveResponse> SubmitLive(
+      const std::vector<std::string>& documents);
   Result<std::string> StatsJson();
 
   const ClientOptions& options() const { return options_; }

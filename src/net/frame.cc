@@ -22,6 +22,7 @@ bool IsRequestOpcode(uint8_t op) {
     case Opcode::kVectorQuery:
     case Opcode::kSubmitDocuments:
     case Opcode::kStats:
+    case Opcode::kSubmitLive:
       return true;
     default:
       return false;
@@ -46,6 +47,8 @@ const char* OpcodeName(uint8_t op) {
       return "submit";
     case Opcode::kStats:
       return "stats";
+    case Opcode::kSubmitLive:
+      return "submit_live";
     case Opcode::kGoAway:
       return "goaway";
   }
@@ -287,6 +290,32 @@ Result<SubmitDocumentsRequest> DecodeSubmitDocumentsRequest(
   return req;
 }
 
+std::string EncodeSubmitLiveRequest(const SubmitLiveRequest& req) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(req.documents.size()));
+  for (const std::string& doc : req.documents) PutString(&out, doc);
+  return out;
+}
+
+Result<SubmitLiveRequest> DecodeSubmitLiveRequest(std::string_view in) {
+  SubmitLiveRequest req;
+  uint32_t n = 0;
+  if (!GetU32(&in, &n)) return Corrupt("submit-live request underrun");
+  if (n > in.size() / 4 + 1) {
+    return Corrupt("submit-live request bogus count");
+  }
+  req.documents.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string doc;
+    if (!GetString(&in, &doc)) {
+      return Corrupt("submit-live document underrun");
+    }
+    req.documents.push_back(std::move(doc));
+  }
+  if (!in.empty()) return Corrupt("submit-live request trailing bytes");
+  return req;
+}
+
 // --- Responses --------------------------------------------------------------
 
 void EncodeResponseStatus(const Status& status, std::string* out) {
@@ -421,6 +450,31 @@ Result<SubmitDocumentsResponse> DecodeSubmitDocumentsResponse(
     return Corrupt("submit response underrun");
   }
   if (!in.empty()) return Corrupt("submit response trailing bytes");
+  return resp;
+}
+
+std::string EncodeSubmitLiveResponse(const SubmitLiveResponse& resp) {
+  std::string out;
+  EncodeResponseStatus(Status::OK(), &out);
+  PutU32(&out, resp.first_doc);
+  PutU32(&out, resp.accepted);
+  PutU64(&out, resp.wal_batch_id);
+  PutU64(&out, resp.epoch);
+  PutU64(&out, resp.delta_docs);
+  return out;
+}
+
+Result<SubmitLiveResponse> DecodeSubmitLiveResponse(std::string_view in) {
+  Status handler_status;
+  DUPLEX_RETURN_IF_ERROR(DecodeResponseStatus(&in, &handler_status));
+  if (!handler_status.ok()) return handler_status;
+  SubmitLiveResponse resp;
+  if (!GetU32(&in, &resp.first_doc) || !GetU32(&in, &resp.accepted) ||
+      !GetU64(&in, &resp.wal_batch_id) || !GetU64(&in, &resp.epoch) ||
+      !GetU64(&in, &resp.delta_docs)) {
+    return Corrupt("submit-live response underrun");
+  }
+  if (!in.empty()) return Corrupt("submit-live response trailing bytes");
   return resp;
 }
 

@@ -50,6 +50,10 @@ enum class Opcode : uint8_t {
   kVectorQuery = 0x03,
   kSubmitDocuments = 0x04,
   kStats = 0x05,
+  // Immediate-visibility ingest: documents are durable AND queryable at
+  // the ack (delta tier), applied to the disk index by the background
+  // drain. A full delta answers with typed kResourceExhausted (BUSY).
+  kSubmitLive = 0x06,
   // Server -> client only: typed refusal of an unparseable frame, sent
   // once before the connection closes. request id is echoed when the
   // header decoded, 0 otherwise.
@@ -153,6 +157,10 @@ struct SubmitDocumentsRequest {
   std::vector<std::string> documents;
 };
 
+struct SubmitLiveRequest {
+  std::vector<std::string> documents;
+};
+
 std::string EncodeBooleanQueryRequest(const BooleanQueryRequest& req);
 Result<BooleanQueryRequest> DecodeBooleanQueryRequest(std::string_view in);
 
@@ -162,6 +170,9 @@ Result<VectorQueryRequest> DecodeVectorQueryRequest(std::string_view in);
 std::string EncodeSubmitDocumentsRequest(const SubmitDocumentsRequest& req);
 Result<SubmitDocumentsRequest> DecodeSubmitDocumentsRequest(
     std::string_view in);
+
+std::string EncodeSubmitLiveRequest(const SubmitLiveRequest& req);
+Result<SubmitLiveRequest> DecodeSubmitLiveRequest(std::string_view in);
 
 // --- Response payloads ------------------------------------------------------
 //
@@ -189,6 +200,17 @@ struct SubmitDocumentsResponse {
   uint64_t wal_batch_id = 0;
 };
 
+struct SubmitLiveResponse {
+  DocId first_doc = 0;
+  uint32_t accepted = 0;
+  // WAL batch id when the server logs updates, 0 otherwise.
+  uint64_t wal_batch_id = 0;
+  // Delta epoch the documents landed in and the tier depth after the
+  // insert — the client-visible backpressure signal.
+  uint64_t epoch = 0;
+  uint64_t delta_docs = 0;
+};
+
 struct StatsResponse {
   std::string json;
 };
@@ -202,6 +224,9 @@ Result<VectorQueryResponse> DecodeVectorQueryResponse(std::string_view in);
 std::string EncodeSubmitDocumentsResponse(const SubmitDocumentsResponse& r);
 Result<SubmitDocumentsResponse> DecodeSubmitDocumentsResponse(
     std::string_view in);
+
+std::string EncodeSubmitLiveResponse(const SubmitLiveResponse& resp);
+Result<SubmitLiveResponse> DecodeSubmitLiveResponse(std::string_view in);
 
 std::string EncodeStatsResponse(const StatsResponse& resp);
 Result<StatsResponse> DecodeStatsResponse(std::string_view in);

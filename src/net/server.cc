@@ -51,7 +51,7 @@ Server::Server(IndexService* service, ServerOptions options)
       "duplex_net_connections", "Currently open client connections");
   for (const Opcode op :
        {Opcode::kPing, Opcode::kBooleanQuery, Opcode::kVectorQuery,
-        Opcode::kSubmitDocuments, Opcode::kStats}) {
+        Opcode::kSubmitDocuments, Opcode::kStats, Opcode::kSubmitLive}) {
     const uint8_t code = static_cast<uint8_t>(op);
     m_request_ns_[code] = GlobalLatency(
         "duplex_net_request_ns", "Per-opcode request execution latency",

@@ -9,6 +9,7 @@
 #include "core/batch_log.h"
 #include "core/checkpoint.h"
 #include "core/concurrent_index.h"
+#include "core/live_index.h"
 #include "core/sharded_index.h"
 #include "net/frame.h"
 #include "util/status.h"
@@ -55,6 +56,14 @@ class IndexService {
                                                size_t k) = 0;
   virtual Result<SubmitDocumentsResponse> Submit(
       const std::vector<std::string>& documents) = 0;
+  // Immediate-visibility ingest. Backends without a live tier keep the
+  // typed default: the client sees exactly why the opcode is refused.
+  virtual Result<SubmitLiveResponse> SubmitLive(
+      const std::vector<std::string>& documents) {
+    (void)documents;
+    return Status::Unimplemented(
+        "live ingest not enabled on this backend (--live-ingest)");
+  }
   virtual std::string StatsJson() = 0;
 };
 
@@ -65,9 +74,16 @@ class IndexService {
 // flush caches -> commit). This is the backend duplexd runs.
 class ShardedIndexService : public IndexService {
  public:
-  // `wal` may be null (no durability logging). Borrowed, not owned.
-  ShardedIndexService(core::ShardedIndex* index, core::BatchLog* wal)
-      : index_(index), wal_(wal) {}
+  // `wal` may be null (no durability logging); `live` may be null (no
+  // immediate-visibility tier — kSubmitLive answers Unimplemented). With
+  // a LiveIndex attached, EVERY request routes through it: queries read
+  // the delta + disk overlay, submits serialize on its locks (the WAL is
+  // shared with live appends, so the service's own mutex is not enough),
+  // and WAL/checkpoint accounting uses its quiesce protocol. All
+  // borrowed, not owned.
+  ShardedIndexService(core::ShardedIndex* index, core::BatchLog* wal,
+                      core::LiveIndex* live = nullptr)
+      : index_(index), wal_(wal), live_(live) {}
 
   Status Flush() override;
 
@@ -95,11 +111,14 @@ class ShardedIndexService : public IndexService {
                                        size_t k) override;
   Result<SubmitDocumentsResponse> Submit(
       const std::vector<std::string>& documents) override;
+  Result<SubmitLiveResponse> SubmitLive(
+      const std::vector<std::string>& documents) override;
   std::string StatsJson() override;
 
  private:
   core::ShardedIndex* index_;
   core::BatchLog* wal_;
+  core::LiveIndex* live_;
   std::mutex submit_mutex_;
 };
 

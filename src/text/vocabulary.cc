@@ -18,6 +18,30 @@ WordId Vocabulary::Lookup(std::string_view word) const {
   return it == ids_.end() ? kInvalidWord : it->second;
 }
 
+Status Vocabulary::Restore(std::string_view word, WordId id) {
+  if (word.empty()) {
+    return Status::InvalidArgument("cannot restore an empty word");
+  }
+  if (id < words_.size() && !words_[id].empty()) {
+    if (words_[id] != word) {
+      return Status::Corruption(
+          "vocabulary restore: id " + std::to_string(id) +
+          " is already bound to a different word");
+    }
+    return Status::OK();
+  }
+  const WordId existing = Lookup(word);
+  if (existing != kInvalidWord && existing != id) {
+    return Status::Corruption(
+        "vocabulary restore: word is already bound to id " +
+        std::to_string(existing));
+  }
+  if (id >= words_.size()) words_.resize(id + 1);
+  words_[id] = std::string(word);
+  ids_.emplace(words_[id], id);
+  return Status::OK();
+}
+
 const std::string& Vocabulary::WordFor(WordId id) const {
   DUPLEX_CHECK_LT(id, words_.size());
   return words_[id];

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/status.h"
 #include "util/types.h"
 
 namespace duplex::text {
@@ -22,6 +23,15 @@ class Vocabulary {
 
   // Returns the id for `word` or kInvalidWord if absent.
   WordId Lookup(std::string_view word) const;
+
+  // Reinstates `word` at a specific id — the WAL-replay path, where
+  // materialized batch records carry the strings of the ids they
+  // reference so string-keyed lookups survive a rebuild from the log.
+  // Idempotent for a matching (word, id) pair; Corruption when either
+  // side is already bound differently. Ids may arrive out of order;
+  // unseen slots below `id` stay empty until their own record restores
+  // them.
+  Status Restore(std::string_view word, WordId id);
 
   // Requires id < size().
   const std::string& WordFor(WordId id) const;

@@ -108,6 +108,40 @@ TEST_F(BatchLogTest, MaterializedBatchesRoundTrip) {
   EXPECT_EQ(unapplied[0]->counts.pairs[0], (text::WordCount{2, 3}));
 }
 
+TEST_F(BatchLogTest, WordStringsSurviveReopenAndTruncation) {
+  text::InvertedBatch first;
+  first.entries = {{2, {0, 1}}, {8, {1}}};
+  text::InvertedBatch second;
+  second.entries = {{8, {2}}};
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->AppendBatch(first, {"alpha", "beta"}).ok());
+    // A record without strings (the pre-words format) coexists in the
+    // same log and decodes with an empty `words`.
+    ASSERT_TRUE((*log)->AppendBatch(second).ok());
+    ASSERT_TRUE((*log)->MarkApplied(0).ok());
+  }
+  {
+    Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ((*log)->batch(0).words,
+              (std::vector<std::string>{"alpha", "beta"}));
+    EXPECT_TRUE((*log)->batch(1).words.empty());
+    // TruncateTo rewrites the surviving tail from the in-memory batches;
+    // the strings must survive that re-encode too.
+    ASSERT_TRUE((*log)->MarkApplied(1).ok());
+    ASSERT_TRUE(
+        (*log)->AppendBatch(first, {"alpha", "beta"}).ok());
+    ASSERT_TRUE((*log)->TruncateTo(2).ok());
+  }
+  Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ((*log)->batches_logged(), 1u);
+  EXPECT_EQ((*log)->batch(0).words,
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
 TEST_F(BatchLogTest, TornTailIsDroppedSilently) {
   {
     Result<std::unique_ptr<BatchLog>> log = BatchLog::Open(path_);
@@ -184,21 +218,29 @@ TEST_F(BatchLogTest, FailedSyncRejectsAppendButRecordSurvivesReopen) {
   ASSERT_TRUE((*log)->AppendBatch(CountBatch({{1, 2}})).ok());
 
   // The disk accepts the bytes but the durability barrier fails: the
-  // append must surface a typed I/O error and NOT register the batch —
-  // the caller cannot treat it as logged.
+  // append must surface a typed I/O error, and the batch stays as an
+  // UNAPPLIED entry (mirroring what a reopen would reconstruct) so the
+  // id sequence stays dense for later appends. The caller cannot treat
+  // it as logged — no commit, no ack.
   (*log)->set_fail_next_syncs(1);
   Result<uint64_t> id = (*log)->AppendBatch(CountBatch({{3, 4}}));
   ASSERT_FALSE(id.ok());
   EXPECT_TRUE(id.status().IsIoError()) << id.status();
-  EXPECT_EQ((*log)->batches_logged(), 1u);
+  EXPECT_EQ((*log)->batches_logged(), 2u);
+  EXPECT_EQ((*log)->UnappliedBatches().size(), 2u);
+  // Appending after the ambiguous failure continues the sequence — the
+  // next record must not collide with the possibly-durable one.
+  Result<uint64_t> after = (*log)->AppendBatch(CountBatch({{5, 6}}));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, 2u);
 
   // The bytes still reached the kernel, so a reopen (the crash-recovery
   // path) surfaces the record as an unapplied batch — the protocol errs
   // toward replaying, never toward losing a possibly-durable batch.
   Result<std::unique_ptr<BatchLog>> reopened = BatchLog::Open(path_);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
-  EXPECT_EQ((*reopened)->batches_logged(), 2u);
-  EXPECT_EQ((*reopened)->UnappliedBatches().size(), 2u);
+  EXPECT_EQ((*reopened)->batches_logged(), 3u);
+  EXPECT_EQ((*reopened)->UnappliedBatches().size(), 3u);
 }
 
 TEST_F(BatchLogTest, ReplayIntoRebuildsTheFullyAppliedState) {

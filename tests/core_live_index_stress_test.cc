@@ -1,0 +1,234 @@
+// Race coverage for the immediate-visibility invariant: query threads
+// hammer the merged read view while one writer streams live submits and
+// the background drainer seals and applies epochs underneath them. Every
+// query asserts, per probe document, that once the writer's ack returned
+// the document answers — whether the racing drain has it in the delta, on
+// disk, or momentarily in both (the merge dedups). At quiesce the result
+// set is the exact union of everything submitted. Run under TSan by
+// tools/ci.sh; the assertions themselves hold under any sanitizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_log.h"
+#include "core/live_index.h"
+#include "core/sharded_index.h"
+#include "ir/query_executor.h"
+
+namespace duplex::core {
+namespace {
+
+constexpr int kQueryThreads = 4;
+constexpr int kLiveDocs = 160;
+
+ShardedIndexOptions SmallOptions() {
+  IndexOptions o;
+  o.buckets.num_buckets = 16;
+  o.buckets.bucket_capacity = 64;
+  o.policy = Policy::NewZ();
+  o.block_postings = 16;
+  o.disks.num_disks = 2;
+  o.disks.blocks_per_disk = 1 << 16;
+  o.disks.block_size_bytes = 128;
+  o.materialize = true;
+  ShardedIndexOptions options;
+  options.shard = o;
+  options.num_shards = 2;
+  return options;
+}
+
+TEST(LiveIndexStress, NoQueryEverMissesAnAckedDocument) {
+  const std::string wal_path =
+      ::testing::TempDir() + "/duplex_live_stress.wal";
+  std::remove(wal_path.c_str());
+  Result<std::unique_ptr<BatchLog>> wal = BatchLog::Open(wal_path);
+  ASSERT_TRUE(wal.ok());
+  (*wal)->set_fsync(false);
+
+  ShardedIndex index(SmallOptions());
+  LiveIndex::Options options;
+  options.drain_interval = std::chrono::milliseconds(1);
+  LiveIndex live(&index, wal->get(), options);
+
+  // Disk baseline so the merge always has a non-trivial bottom tier.
+  {
+    std::vector<std::string> base;
+    for (int i = 0; i < 20; ++i) {
+      base.push_back("base document " + std::to_string(i) +
+                     " probe common");
+    }
+    ASSERT_TRUE(live.SubmitBatch(base).ok());
+  }
+
+  // acked_ is the writer's high-water mark: every doc id below it has
+  // been acked, and every such doc's text contains the word "probe".
+  std::atomic<DocId> acked{20};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_run{0};
+  std::atomic<int> violations{0};
+
+  live.StartDrainer();
+
+  std::vector<std::thread> readers;
+  readers.reserve(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Read the floor BEFORE acquiring the view: every doc acked by
+        // now must be in the view, whatever the drain does meanwhile.
+        const DocId floor = acked.load(std::memory_order_acquire);
+        LiveIndex::ReadView view = live.AcquireView();
+        ir::QueryExecutor exec(view.reader());
+        Result<ir::QueryResult> result = exec.EvaluateBoolean("probe");
+        if (!result.ok()) {
+          ++violations;
+          continue;
+        }
+        // "probe" appears in every document; the result must contain all
+        // of [0, floor) with no duplicates from the overlay.
+        if (result->docs.size() < floor) ++violations;
+        for (DocId d = 0; d < floor; ++d) {
+          if (!std::binary_search(result->docs.begin(),
+                                  result->docs.end(), d)) {
+            ++violations;
+            break;
+          }
+        }
+        if (std::adjacent_find(result->docs.begin(), result->docs.end()) !=
+            result->docs.end()) {
+          ++violations;  // merge handed out a duplicate doc id
+        }
+        ++queries_run;
+      }
+    });
+  }
+
+  // Writer: one live submit at a time; the ack advances the floor.
+  for (int i = 0; i < kLiveDocs; ++i) {
+    const std::string text =
+        "probe live document " + std::to_string(i) + " word" +
+        std::to_string(i % 17);
+    Result<LiveIndex::SubmitReceipt> receipt = live.SubmitLive({text});
+    ASSERT_TRUE(receipt.ok()) << receipt.status();
+    ASSERT_EQ(receipt->first_doc, acked.load());
+    acked.store(receipt->first_doc + 1, std::memory_order_release);
+    if (i % 8 == 0) std::this_thread::yield();
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  live.StopDrainer();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(queries_run.load(), 0u);
+
+  // Quiesce: drain everything and check the exact union, through the
+  // merged view and through the bare disk index.
+  ASSERT_TRUE(live.DrainAll().ok());
+  EXPECT_TRUE(live.GetDeltaStatus().drain_status.ok());
+  EXPECT_EQ(live.GetDeltaStatus().active_docs, 0u);
+  const DocId total = 20 + kLiveDocs;
+  std::vector<DocId> expect(total);
+  for (DocId d = 0; d < total; ++d) expect[d] = d;
+
+  {
+    LiveIndex::ReadView view = live.AcquireView();
+    ir::QueryExecutor exec(view.reader());
+    Result<ir::QueryResult> result = exec.EvaluateBoolean("probe");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->docs, expect);
+  }
+  {
+    ir::QueryExecutor exec(index);
+    Result<ir::QueryResult> result = exec.EvaluateBoolean("probe");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->docs, expect);
+  }
+  EXPECT_EQ(live.GetWalStatus().unapplied, 0u);
+  EXPECT_TRUE(index.VerifyIntegrity().ok());
+
+  wal->reset();
+  std::remove(wal_path.c_str());
+}
+
+TEST(LiveIndexStress, DeletionsRacingTheDrainNeverResurrect) {
+  const std::string wal_path =
+      ::testing::TempDir() + "/duplex_live_stress_del.wal";
+  std::remove(wal_path.c_str());
+  Result<std::unique_ptr<BatchLog>> wal = BatchLog::Open(wal_path);
+  ASSERT_TRUE(wal.ok());
+  (*wal)->set_fsync(false);
+
+  ShardedIndex index(SmallOptions());
+  LiveIndex::Options options;
+  options.drain_interval = std::chrono::milliseconds(1);
+  LiveIndex live(&index, wal->get(), options);
+  live.StartDrainer();
+
+  // Submit documents and immediately delete every third one; readers
+  // assert a deleted doc never reappears once its deletion returned.
+  std::atomic<DocId> deleted_floor{0};  // docs % 3 == 0 below this are dead
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const DocId floor = deleted_floor.load(std::memory_order_acquire);
+      LiveIndex::ReadView view = live.AcquireView();
+      ir::QueryExecutor exec(view.reader());
+      Result<ir::QueryResult> result = exec.EvaluateBoolean("marker");
+      if (!result.ok()) {
+        ++violations;
+        continue;
+      }
+      for (DocId d = 0; d < floor; d += 3) {
+        if (std::binary_search(result->docs.begin(), result->docs.end(),
+                               d)) {
+          ++violations;  // resurrected deletion
+          break;
+        }
+      }
+    }
+  });
+
+  constexpr int kDocs = 90;
+  for (int i = 0; i < kDocs; ++i) {
+    Result<LiveIndex::SubmitReceipt> receipt =
+        live.SubmitLive({"marker doc " + std::to_string(i)});
+    ASSERT_TRUE(receipt.ok()) << receipt.status();
+    if (receipt->first_doc % 3 == 0) {
+      live.DeleteDocument(receipt->first_doc);
+      deleted_floor.store(receipt->first_doc + 1,
+                          std::memory_order_release);
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  live.StopDrainer();
+  EXPECT_EQ(violations.load(), 0);
+
+  ASSERT_TRUE(live.DrainAll().ok());
+  LiveIndex::ReadView view = live.AcquireView();
+  ir::QueryExecutor exec(view.reader());
+  Result<ir::QueryResult> result = exec.EvaluateBoolean("marker");
+  ASSERT_TRUE(result.ok());
+  for (DocId d = 0; d < kDocs; ++d) {
+    const bool found =
+        std::binary_search(result->docs.begin(), result->docs.end(), d);
+    EXPECT_EQ(found, d % 3 != 0) << "doc " << d;
+  }
+
+  wal->reset();
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace duplex::core

@@ -39,6 +39,28 @@ TEST(VocabularyTest, ManyWords) {
   EXPECT_EQ(v.WordFor(999), "w999");
 }
 
+TEST(VocabularyTest, RestoreReinstatesWordsAtTheirIds) {
+  Vocabulary v;
+  // Out-of-order arrival (WAL batches reference ids, not insert order).
+  ASSERT_TRUE(v.Restore("late", 3).ok());
+  ASSERT_TRUE(v.Restore("early", 1).ok());
+  EXPECT_EQ(v.Lookup("late"), 3u);
+  EXPECT_EQ(v.Lookup("early"), 1u);
+  EXPECT_EQ(v.WordFor(3), "late");
+  // Idempotent for a matching pair; later ids keep assigning densely
+  // after the highest restored slot.
+  EXPECT_TRUE(v.Restore("late", 3).ok());
+  EXPECT_EQ(v.GetOrAdd("fresh"), 4u);
+}
+
+TEST(VocabularyTest, RestoreRejectsConflictingBindings) {
+  Vocabulary v;
+  ASSERT_TRUE(v.Restore("cat", 0).ok());
+  EXPECT_TRUE(v.Restore("dog", 0).IsCorruption());
+  EXPECT_TRUE(v.Restore("cat", 5).IsCorruption());
+  EXPECT_TRUE(v.Restore("", 7).IsInvalidArgument());
+}
+
 TEST(VocabularyDeathTest, WordForOutOfRangeChecks) {
   Vocabulary v;
   EXPECT_DEATH(v.WordFor(0), "CHECK failed");

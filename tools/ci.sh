@@ -22,6 +22,12 @@
 # /metrics (exposition format checked), and /statusz are all hit over
 # real HTTP; the async logger + admin/scrape-race tests run under TSan;
 # and the observability bench smoke refreshes BENCH_observability.json.
+# The live-ingest tier gets its own gates: a Release pass (unit +
+# property differential + crash sweep + submit-live codec fuzz), the
+# visibility-invariant stress under TSan, the delta crash sweep under
+# ASan+UBSan, a loopback submit-live-then-immediately-query against the
+# real duplexd (with the /statusz delta block checked), and a bench
+# smoke that refreshes BENCH_live_ingest.json.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -68,6 +74,10 @@ echo "=== Network pass (frame codec + server protocol + bounded queue) ==="
 ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
   -R 'FrameHeader|FrameAssembler|PayloadCodec|NetServer|ServerStress|BoundedQueue'
 
+echo "=== Live-ingest pass (delta tier + property diff + crash sweep) ==="
+ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" \
+  -R 'LiveIndex|LiveProperty|DeltaCrashSweep|SubmitLive'
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B build-ci-tsan -S . "${GEN[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDUPLEX_SANITIZE=thread >/dev/null
@@ -76,9 +86,9 @@ cmake --build build-ci-tsan -j "$JOBS" --target \
   core_sharded_index_test core_cache_stress_test \
   core_compaction_stress_test observability_stress_test \
   core_merging_reader_test net_server_stress_test core_checkpoint_test \
-  util_log_test net_admin_test
+  util_log_test net_admin_test core_live_index_stress_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress|ServerStress|CheckpointStress|Logger|ServerInstrumentation|AdminServer|Readiness|SlowQueryLog'
+  -R 'ThreadPool|ConcurrentIndex|ShardedIndex|CacheStress|CompactionStress|ObservabilityStress|MergingReaderStress|ServerStress|CheckpointStress|Logger|ServerInstrumentation|AdminServer|Readiness|SlowQueryLog|LiveIndexStress'
 
 echo "=== ASan+UBSan build + recovery tests ==="
 cmake -B build-ci-asan -S . "${GEN[@]}" \
@@ -90,9 +100,10 @@ cmake --build build-ci-asan -j "$JOBS" --target \
   core_compaction_property_test core_codec_family_test \
   core_chunk_format_test net_frame_test \
   storage_superblock_test core_checkpoint_test \
-  integration_checkpoint_crash_sweep_test
+  integration_checkpoint_crash_sweep_test \
+  integration_delta_crash_sweep_test
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" \
-  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz|ChunkHeader|ChunkFormat|FrameHeader|FrameAssembler|PayloadCodec|Checkpoint|Superblock'
+  -R 'FaultSchedule|FaultInjecting|ChecksumBlockDevice|CrashSweep|ShardedRecovery|BatchLog|CompactionProperty|CodecRoundTrip|CodecFuzz|ChunkHeader|ChunkFormat|FrameHeader|FrameAssembler|PayloadCodec|SubmitLiveCodec|Checkpoint|Superblock'
 
 echo "=== Cache-sweep bench smoke (writes BENCH_cache.json) ==="
 DUPLEX_BENCH_UPDATES="${DUPLEX_BENCH_UPDATES:-6}" \
@@ -115,6 +126,7 @@ printf 'text document retrieval systems\n' > "$SMOKE_DIR/b.txt"
 ./build-ci-release/tools/duplexd --port 0 --admin-port 0 \
   --slow-query-ms 50 --wal "$SMOKE_DIR/smoke.wal" \
   --checkpoint "$SMOKE_DIR/ckpt" \
+  --live-ingest --drain-interval-ms 25 \
   "$SMOKE_DIR/a.txt" "$SMOKE_DIR/b.txt" \
   > "$SMOKE_DIR/duplexd.out" 2> "$SMOKE_DIR/duplexd.err" &
 DUPLEXD_PID=$!
@@ -136,6 +148,16 @@ printf 'a freshly submitted document about updates\n' > "$SMOKE_DIR/c.txt"
 ./build-ci-release/examples/duplexctl net-submit 127.0.0.1 "$PORT" \
   "$SMOKE_DIR/c.txt" | grep -q 'accepted 1' \
   || { echo "net-submit not accepted"; exit 1; }
+# Live ingest: the submit-live ack IS visibility, so the query fired
+# straight after it must find the document — whether it is still in the
+# delta tier or the 25 ms drainer already moved it to the shards.
+printf 'a live wire document about inverted deltas\n' > "$SMOKE_DIR/live.txt"
+./build-ci-release/examples/duplexctl net-submit-live 127.0.0.1 "$PORT" \
+  "$SMOKE_DIR/live.txt" | grep -q 'visible now' \
+  || { echo "net-submit-live not acked"; exit 1; }
+./build-ci-release/examples/duplexctl net-query 127.0.0.1 "$PORT" \
+  'deltas' | grep -q '1 matching documents' \
+  || { echo "live document not immediately visible"; exit 1; }
 # Buffer to a file before grepping: `grep -q` exits at the first match,
 # and with pipefail a SIGPIPE to duplexctl mid-write would read as
 # failure (the stats JSON is now larger than one stdio buffer).
@@ -168,6 +190,8 @@ grep -q '"ready": true' "$SMOKE_DIR/statusz.json" \
   || { echo "/statusz not ready"; exit 1; }
 grep -q '"attached": true' "$SMOKE_DIR/statusz.json" \
   || { echo "/statusz missing WAL status"; exit 1; }
+grep -q '"delta"' "$SMOKE_DIR/statusz.json" \
+  || { echo "/statusz missing live delta block"; exit 1; }
 kill -TERM "$DUPLEXD_PID"
 wait "$DUPLEXD_PID" || { echo "duplexd exited non-zero"; \
   cat "$SMOKE_DIR/duplexd.err"; exit 1; }
@@ -195,5 +219,10 @@ echo "=== Recovery bench smoke (writes BENCH_recovery.json) ==="
 DUPLEX_BENCH_RECOVERY_MAX="${DUPLEX_BENCH_RECOVERY_MAX:-16}" \
 DUPLEX_BENCH_RECOVERY_DOCS="${DUPLEX_BENCH_RECOVERY_DOCS:-80}" \
   ./build-ci-release/bench/bench_ext_recovery >/dev/null
+
+echo "=== Live-ingest bench smoke (writes BENCH_live_ingest.json) ==="
+DUPLEX_BENCH_DOCS="${DUPLEX_BENCH_DOCS:-300}" \
+DUPLEX_BENCH_LIVE_SUBMITS="${DUPLEX_BENCH_LIVE_SUBMITS:-300}" \
+  ./build-ci-release/bench/bench_ext_live_ingest >/dev/null
 
 echo "CI OK"

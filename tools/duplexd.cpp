@@ -9,7 +9,15 @@
 //   duplexd [--port N] [--shards N] [--workers N] [--queue N]
 //           [--wal PATH] [--checkpoint PREFIX] [--checkpoint-interval MS]
 //           [--compact-interval MS] [--admin-port N] [--slow-query-ms N]
+//           [--live-ingest] [--drain-interval-ms MS] [--delta-cap-docs N]
 //           [--log-level LEVEL] [file-or-dir]...
+//
+// --live-ingest attaches the immediate-visibility tier (core::LiveIndex):
+// kSubmitLive documents are durable + queryable at the ack, queries read
+// the delta + disk overlay, and a background drainer batches deltas into
+// the shards every --drain-interval-ms. --delta-cap-docs bounds the
+// undrained memtable; past it, live submits answer typed BUSY
+// (kResourceExhausted) that clients retry with backoff.
 //
 // Input files are indexed before the listener opens. --port 0 (default)
 // binds an ephemeral port; the chosen port is printed as
@@ -43,6 +51,7 @@
 
 #include "core/batch_log.h"
 #include "core/checkpoint.h"
+#include "core/live_index.h"
 #include "core/sharded_index.h"
 #include "net/admin_server.h"
 #include "net/server.h"
@@ -71,6 +80,9 @@ struct DaemonFlags {
   uint32_t compact_interval_ms = 0;  // 0 = no background compaction
   int admin_port = -1;       // -1 = no admin plane; 0 = ephemeral
   uint32_t slow_query_ms = 0;  // 0 = slow-query log off
+  bool live_ingest = false;
+  uint32_t drain_interval_ms = 50;
+  uint32_t delta_cap_docs = 100000;  // 0 = unbounded
   LogLevel log_level = LogLevel::kInfo;
   // Test hooks: artificially extend the recovery and drain windows so
   // integration tests can observe /readyz mid-transition.
@@ -167,7 +179,7 @@ struct StatusState {
 std::string BuildStatusz(const StatusState& state, net::Readiness& readiness,
                          core::ShardedIndex& index,
                          net::ShardedIndexService& service,
-                         net::Server& server) {
+                         net::Server& server, core::LiveIndex* live) {
   const uint64_t now_ns = MonotonicNanos();
   std::ostringstream os;
   os << "{\n";
@@ -195,8 +207,28 @@ std::string BuildStatusz(const StatusState& state, net::Readiness& readiness,
        << ", \"lists_compacted\": " << compaction.lists_compacted
        << ", \"postings_rewritten\": " << compaction.postings_rewritten
        << "},\n";
+    if (live != nullptr) {
+      const core::LiveIndex::DeltaStatus delta = live->GetDeltaStatus();
+      os << "  \"delta\": {\"epoch\": " << delta.epoch
+         << ", \"active_docs\": " << delta.active_docs
+         << ", \"draining_docs\": " << delta.draining_docs
+         << ", \"postings\": " << delta.postings
+         << ", \"drain_rounds\": " << delta.drain_rounds
+         << ", \"last_drain_ns\": " << delta.last_drain_ns
+         << ", \"busy_rejections\": " << delta.busy_rejections
+         << ", \"oldest_age_ms\": " << delta.oldest_age_ms
+         << ", \"drainer_running\": "
+         << (delta.drainer_running ? "true" : "false")
+         << ", \"drain_status\": \""
+         << JsonEscapeString(delta.drain_status.ok()
+                                 ? "ok"
+                                 : delta.drain_status.message())
+         << "\"},\n";
+    } else {
+      os << "  \"delta\": null,\n";
+    }
   } else {
-    os << "  \"wal\": null,\n  \"compaction\": null,\n";
+    os << "  \"wal\": null,\n  \"compaction\": null,\n  \"delta\": null,\n";
   }
   const uint64_t ckpt_ns = state.last_ckpt_ns.load(std::memory_order_relaxed);
   if (ckpt_ns != 0) {
@@ -245,7 +277,20 @@ int Run(const DaemonFlags& flags) {
     wal = std::move(*opened);
   }
 
-  net::ShardedIndexService service(&index, wal.get());
+  // The live tier is constructed up front (the doc-id counter lives in
+  // the ShardedIndex, so an idle LiveIndex is inert during recovery);
+  // its drainer starts only once the daemon serves.
+  std::unique_ptr<core::LiveIndex> live;
+  if (flags.live_ingest) {
+    core::LiveIndex::Options live_options;
+    live_options.delta_cap_docs = flags.delta_cap_docs;
+    live_options.drain_interval =
+        std::chrono::milliseconds(flags.drain_interval_ms);
+    live = std::make_unique<core::LiveIndex>(&index, wal.get(),
+                                             live_options);
+  }
+
+  net::ShardedIndexService service(&index, wal.get(), live.get());
   net::ServerOptions options;
   options.port = flags.port;
   options.num_workers = flags.workers;
@@ -263,7 +308,8 @@ int Run(const DaemonFlags& flags) {
   admin_options.readiness = &readiness;
   admin_options.slow_log = &server.slow_queries();
   admin_options.statusz = [&] {
-    return BuildStatusz(status_state, readiness, index, service, server);
+    return BuildStatusz(status_state, readiness, index, service, server,
+                        live.get());
   };
   net::AdminServer admin(admin_options);
   // Catch shutdown signals before anything is externally reachable: once
@@ -315,6 +361,12 @@ int Run(const DaemonFlags& flags) {
     uint64_t replayed = 0;
     Status s = wal->ReplayFrom(0, [&](const core::BatchLog::LoggedBatch& b) {
       ++replayed;
+      // Word strings first: the fresh index's vocabulary knows nothing,
+      // and the postings below reference the ids these strings name.
+      if (Status words = index.RestoreBatchWords(b.docs, b.words);
+          !words.ok()) {
+        return words;
+      }
       Status applied = b.materialized ? index.ApplyInvertedBatch(b.docs)
                                       : index.ApplyBatchUpdate(b.counts);
       if (!applied.ok()) return applied;
@@ -347,6 +399,15 @@ int Run(const DaemonFlags& flags) {
     return 1;
   }
   status_state.serving.store(true, std::memory_order_release);
+  if (live != nullptr) {
+    live->StartDrainer();
+    LogInfo("duplexd.live_ingest")
+        .U64("drain_interval_ms", flags.drain_interval_ms)
+        .U64("delta_cap_docs", flags.delta_cap_docs);
+    std::cerr << "live ingest enabled (drain every "
+              << flags.drain_interval_ms << "ms, delta cap "
+              << flags.delta_cap_docs << " docs)\n";
+  }
   readiness.SetReady();
   // Scripts parse this line for the ephemeral port; keep the format
   // stable and flush before blocking.
@@ -411,6 +472,7 @@ int Run(const DaemonFlags& flags) {
   }
   server.Stop();
   index.StopBackgroundCompaction();
+  if (live != nullptr) live->StopDrainer();
   checkpoint_stop.store(true);
   if (checkpoint_thread.joinable()) checkpoint_thread.join();
   if (Status s = service.Flush(); !s.ok()) {
@@ -482,6 +544,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--slow-query-ms") {
       flags.slow_query_ms =
           static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--live-ingest") {
+      flags.live_ingest = true;
+    } else if (arg == "--drain-interval-ms") {
+      flags.drain_interval_ms =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--delta-cap-docs") {
+      flags.delta_cap_docs =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--log-level") {
       const char* level = next();
       if (!duplex::ParseLogLevel(level, &flags.log_level)) {
@@ -502,6 +572,8 @@ int main(int argc, char** argv) {
                    "[--checkpoint-interval MS]\n"
                    "               [--compact-interval MS] "
                    "[--admin-port N] [--slow-query-ms N]\n"
+                   "               [--live-ingest] [--drain-interval-ms MS] "
+                   "[--delta-cap-docs N]\n"
                    "               [--log-level LEVEL] [file-or-dir]...\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
@@ -514,6 +586,10 @@ int main(int argc, char** argv) {
   }
   if (flags.shards == 0 || flags.workers == 0 || flags.queue == 0) {
     std::cerr << "--shards, --workers and --queue must be positive\n";
+    return 2;
+  }
+  if (flags.live_ingest && flags.drain_interval_ms == 0) {
+    std::cerr << "--drain-interval-ms must be positive with --live-ingest\n";
     return 2;
   }
   return Run(flags);
